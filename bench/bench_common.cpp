@@ -1,0 +1,217 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "models/trainer.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace einet::bench {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream in{s};
+  while (std::getline(in, field, sep)) out.push_back(field);
+  return out;
+}
+
+/// Rough relative training cost used to scale budgets down for big models.
+bool is_heavy_model(const std::string& name) {
+  if (name == "MSDNet21" || name == "MSDNet40" || name == "VGG-16")
+    return true;
+  if (name.starts_with("MSDNet:") || name.starts_with("MSDNetDense:") ||
+      name.starts_with("Classic:") || name.starts_with("Compressed:")) {
+    const auto parts = split(name, ':');
+    return parts.size() > 1 && std::stoul(parts[1]) >= 16;
+  }
+  return false;
+}
+
+std::string sanitize(std::string s) {
+  for (auto& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+std::string cache_stem(const JobSpec& spec) {
+  std::ostringstream out;
+  out << sanitize(spec.model) << "-" << spec.dataset << "-tr"
+      << spec.train_samples << "-te" << spec.test_samples << "-ep"
+      << spec.epochs << "-s" << spec.seed << "-p"
+      << sanitize(spec.platform.name);
+  if (spec.branch_overridden) {
+    out << "-b" << spec.branch.convs << "c" << spec.branch.fcs << "f"
+        << (spec.branch.global_pool ? "g" : "x") << spec.branch.fc_hidden;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string artifact_dir() {
+  const char* env = std::getenv("EINET_ARTIFACTS");
+  const std::string dir = env != nullptr ? env : "artifacts";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+data::SyntheticDataset make_bench_dataset(const std::string& name,
+                                          std::size_t train,
+                                          std::size_t test) {
+  if (name == "mnist")
+    return data::make_synthetic(data::synth_mnist_spec(train, test));
+  if (name == "cifar10")
+    return data::make_synthetic(data::synth_cifar10_spec(train, test));
+  if (name == "cifar100")
+    return data::make_synthetic(data::synth_cifar100_spec(train, test));
+  throw std::invalid_argument{"make_bench_dataset: unknown dataset '" + name +
+                              "'"};
+}
+
+models::MultiExitNetwork build_bench_model(const JobSpec& spec,
+                                           const nn::Shape& input,
+                                           std::size_t classes,
+                                           util::Rng& rng) {
+  const std::string& name = spec.model;
+  if (name.starts_with("Classic:")) {
+    const std::size_t blocks = std::stoul(name.substr(8));
+    return models::make_classic_msdnet(
+        models::MsdnetSpec{.blocks = blocks, .step = 1, .base = 2,
+                           .channel = 8},
+        input, classes, rng);
+  }
+  if (name.starts_with("Compressed:")) {
+    const std::size_t blocks = std::stoul(name.substr(11));
+    return models::make_compressed_msdnet(
+        models::MsdnetSpec{.blocks = blocks, .step = 1, .base = 2,
+                           .channel = 8},
+        input, classes, rng);
+  }
+  if (name.starts_with("MSDNetDense:")) {
+    const auto parts = split(name, ':');
+    if (parts.size() != 6)
+      throw std::invalid_argument{
+          "build_bench_model: want "
+          "MSDNetDense:<blocks>:<step>:<base>:<channel>:<growth>"};
+    return models::make_msdnet_dense(
+        models::MsdnetSpec{.blocks = std::stoul(parts[1]),
+                           .step = std::stoul(parts[2]),
+                           .base = std::stoul(parts[3]),
+                           .channel = std::stoul(parts[4])},
+        input, classes, rng, std::stoul(parts[5]), spec.branch);
+  }
+  if (name.starts_with("MSDNet:")) {
+    const auto parts = split(name, ':');
+    if (parts.size() != 5)
+      throw std::invalid_argument{
+          "build_bench_model: want MSDNet:<blocks>:<step>:<base>:<channel>"};
+    return models::make_msdnet(
+        models::MsdnetSpec{.blocks = std::stoul(parts[1]),
+                           .step = std::stoul(parts[2]),
+                           .base = std::stoul(parts[3]),
+                           .channel = std::stoul(parts[4])},
+        input, classes, rng, spec.branch);
+  }
+  return models::make_model(name, input, classes, rng, spec.branch);
+}
+
+void resolve_budgets(JobSpec& spec) {
+  const bool heavy = is_heavy_model(spec.model);
+  if (spec.train_samples == 0) {
+    if (spec.dataset == "mnist") spec.train_samples = 600;
+    else spec.train_samples = 800;
+  }
+  if (spec.test_samples == 0) spec.test_samples = 300;
+  if (spec.epochs == 0) {
+    if (spec.dataset == "mnist") spec.epochs = heavy ? 10 : 8;
+    else spec.epochs = heavy ? 14 : 12;
+  }
+}
+
+TrainedProfiles ensure_profiles(JobSpec spec) {
+  resolve_budgets(spec);
+  const std::string stem = artifact_dir() + "/" + cache_stem(spec);
+  const std::string et_path = stem + ".et.csv";
+  const std::string cs_path = stem + ".cs.csv";
+  if (std::filesystem::exists(et_path) && std::filesystem::exists(cs_path)) {
+    return TrainedProfiles{profiling::ETProfile::load(et_path),
+                           profiling::CSProfile::load(cs_path)};
+  }
+
+  util::Timer timer;
+  auto ds = make_bench_dataset(spec.dataset, spec.train_samples,
+                               spec.test_samples);
+  util::Rng rng{spec.seed};
+  auto net = build_bench_model(spec, ds.train->input_shape(),
+                               ds.train->num_classes(), rng);
+  models::MultiExitTrainer trainer{net};
+  models::TrainConfig tc;
+  tc.epochs = spec.epochs;
+  tc.seed = spec.seed;
+  trainer.train(*ds.train, tc);
+
+  TrainedProfiles out{profiling::profile_execution_time(net, spec.platform),
+                      profiling::profile_confidence(net, *ds.test)};
+  out.et.save(et_path);
+  out.cs.save(cs_path);
+  std::cerr << "[bench] trained " << spec.model << " on " << spec.dataset
+            << " (" << spec.train_samples << " samples, " << spec.epochs
+            << " epochs) in " << static_cast<int>(timer.elapsed_s())
+            << " s\n";
+  return out;
+}
+
+std::vector<TrainedProfiles> ensure_profiles_parallel(
+    std::vector<JobSpec> jobs, std::size_t parallelism) {
+  if (parallelism == 0) parallelism = 1;
+  std::vector<TrainedProfiles> results(jobs.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (std::size_t w = 0; w < std::min(parallelism, jobs.size()); ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= jobs.size()) return;
+        try {
+          results[i] = ensure_profiles(jobs[i]);
+        } catch (...) {
+          std::lock_guard lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+predictor::CSPredictor train_predictor(const profiling::CSProfile& cs,
+                                        std::size_t epochs) {
+  predictor::CSPredictorConfig cfg;
+  cfg.hidden = cs.num_exits >= 20 ? 128 : 64;
+  cfg.epochs = epochs;
+  predictor::CSPredictor pred{cs.num_exits, cfg};
+  pred.train(cs);
+  return pred;
+}
+
+void print_bench_header(const std::string& id, const std::string& title) {
+  std::cout << "\n==================================================\n"
+            << id << ": " << title << "\n"
+            << "==================================================\n";
+}
+
+}  // namespace einet::bench

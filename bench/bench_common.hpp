@@ -1,0 +1,78 @@
+// Shared infrastructure for the reproduction benches.
+//
+// Every bench needs (ET-profile, CS-profile) pairs for trained multi-exit
+// models. Training is the expensive part, so ensure_profiles() persists the
+// profiles as CSV under an artifact directory ("artifacts/" in the working
+// directory by default, overridable via EINET_ARTIFACTS) and later benches —
+// or later runs of the same bench — reuse them. ensure_profiles_parallel()
+// trains independent jobs on separate threads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "models/backbones.hpp"
+#include "profiling/platform.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "profiling/profiler.hpp"
+
+namespace einet::bench {
+
+/// One (model, dataset) training/profiling job. Training budgets default to
+/// values scaled to the model's cost (see resolve_budgets).
+struct JobSpec {
+  /// Registry name ("B-AlexNet", ..., "MSDNet40"), or "Classic:<blocks>" /
+  /// "Compressed:<blocks>" for the single-exit Figure-10 baselines, or
+  /// "MSDNet:<blocks>:<step>:<base>:<channel>" for ablation variants.
+  std::string model;
+  /// "mnist" | "cifar10" | "cifar100".
+  std::string dataset;
+  /// 0 = use the default budget for this model/dataset.
+  std::size_t train_samples = 0;
+  std::size_t test_samples = 0;
+  std::size_t epochs = 0;
+  std::uint64_t seed = 7;
+  profiling::Platform platform = profiling::edge_fast_platform();
+  /// Branch structure override (Figure 14b); default is the paper's 1c2f.
+  models::BranchSpec branch{};
+  bool branch_overridden = false;
+};
+
+struct TrainedProfiles {
+  profiling::ETProfile et;
+  profiling::CSProfile cs;
+};
+
+/// Artifact directory (created on demand).
+[[nodiscard]] std::string artifact_dir();
+
+/// Dataset factory by bench name.
+[[nodiscard]] data::SyntheticDataset make_bench_dataset(
+    const std::string& name, std::size_t train, std::size_t test);
+
+/// Model factory covering the JobSpec::model grammar.
+[[nodiscard]] models::MultiExitNetwork build_bench_model(
+    const JobSpec& spec, const nn::Shape& input, std::size_t classes,
+    util::Rng& rng);
+
+/// Fill in default train/test/epoch budgets for a job.
+void resolve_budgets(JobSpec& spec);
+
+/// Load the job's profiles from the artifact cache, or train + profile +
+/// cache them. Thread-safe for distinct jobs.
+[[nodiscard]] TrainedProfiles ensure_profiles(JobSpec spec);
+
+/// Run ensure_profiles for every job, `parallelism` jobs at a time.
+[[nodiscard]] std::vector<TrainedProfiles> ensure_profiles_parallel(
+    std::vector<JobSpec> jobs, std::size_t parallelism = 2);
+
+/// Train a CS-Predictor for the given profile with bench-scaled defaults
+/// (hidden width grows with the exit count, as in the paper).
+[[nodiscard]] predictor::CSPredictor train_predictor(
+    const profiling::CSProfile& cs, std::size_t epochs = 30);
+
+/// Human-readable header printed by every bench.
+void print_bench_header(const std::string& id, const std::string& title);
+
+}  // namespace einet::bench

@@ -1,0 +1,65 @@
+// Figure 9: EINet vs other *dynamic* exit plans — the confidence-threshold
+// early-exit rule (BranchyNet-style) and EINet driven by random search
+// instead of hybrid search. The paper plots each strategy's improvement over
+// the no-skip (100%-output) static plan and reports EINet gaining 0.79-4.1%
+// over the other dynamic plans.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "profiling/calibration.hpp"
+#include "runtime/evaluator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace einet;
+  bench::print_bench_header("Figure 9", "EINet vs dynamic exit plans");
+
+  const std::vector<std::string> datasets{"cifar10", "cifar100"};
+  const std::vector<std::string> model_names{"FlexVGG-16", "MSDNet21"};
+
+  std::vector<bench::JobSpec> jobs;
+  for (const auto& ds : datasets)
+    for (const auto& m : model_names)
+      jobs.push_back(bench::JobSpec{.model = m, .dataset = ds});
+  const auto profiles = bench::ensure_profiles_parallel(jobs);
+
+  const std::size_t repeats = 8;
+  util::Table t{{"dataset", "model", "EINet(hybrid)", "EINet(random)",
+                 "thresh 0.7", "thresh 0.9", "(improvement over 100% plan)"}};
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    for (std::size_t m = 0; m < model_names.size(); ++m) {
+      const auto& p = profiles[d * model_names.size() + m];
+      core::UniformExitDistribution dist{p.et.total_ms()};
+      runtime::Evaluator ev{p.et, p.cs, dist};
+      auto pred = bench::train_predictor(p.cs);
+      const auto calib = profiling::ConfidenceCalibrator::fit(p.cs);
+
+      const auto base = ev.eval_static(
+          core::ExitPlan{p.et.num_blocks(), true}, "100%", repeats);
+
+      runtime::ElasticConfig hybrid_cfg;
+      hybrid_cfg.calibrator = &calib;
+      const auto hybrid = ev.eval_einet(&pred, hybrid_cfg, repeats);
+
+      runtime::ElasticConfig random_cfg;
+      random_cfg.calibrator = &calib;
+      random_cfg.search.method = core::SearchMethod::kRandom;
+      random_cfg.search.random_plans = 512;  // keep online search affordable
+      const auto random = ev.eval_einet(&pred, random_cfg, repeats);
+
+      const auto t07 = ev.eval_threshold(0.7, repeats);
+      const auto t09 = ev.eval_threshold(0.9, repeats);
+
+      auto delta = [&](const runtime::StrategyStats& s) {
+        return util::Table::pct((s.accuracy - base.accuracy) * 100.0);
+      };
+      t.add_row({datasets[d], model_names[m], delta(hybrid), delta(random),
+                 delta(t07), delta(t09), ""});
+    }
+  }
+  std::cout << t.str()
+            << "\npaper: EINet(hybrid) improves ~1-4% over the 100% plan and\n"
+               "beats confidence-threshold and random-search planners by\n"
+               "0.79-4.1%.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 12: hybrid-search sweep over the enumeration depth m on MSDNet-40.
+// As m grows, the searched expectation rises slightly while the search time
+// grows exponentially; m = 4-5 already gives near-optimal plans (the paper's
+// conclusion). m = 0 is pure greedy and can get stuck in local optima.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/search.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace einet;
+  bench::print_bench_header("Figure 12",
+                            "Hybrid-search enumeration-depth sweep (MSDNet40)");
+
+  bench::JobSpec spec;
+  spec.model = "MSDNet40";
+  spec.dataset = "cifar100";
+  const auto profiles = bench::ensure_profiles(spec);
+
+  const auto means = profiles.cs.mean_confidence();
+  const std::vector<float> conf{means.begin(), means.end()};
+  core::UniformExitDistribution dist{profiles.et.total_ms()};
+  core::PlanProblem problem{.conv_ms = profiles.et.conv_ms,
+                            .branch_ms = profiles.et.branch_ms,
+                            .confidence = conf,
+                            .dist = &dist,
+                            .fixed_prefix = 0,
+                            .base = core::ExitPlan{profiles.et.num_blocks()}};
+
+  util::Table t{{"m (enum branches)", "expectation", "plans evaluated",
+                 "search time (ms)"}};
+  for (std::size_t m : {0u, 1u, 2u, 3u, 4u, 5u, 6u, 8u, 10u, 12u}) {
+    // Median of several runs to stabilise the timing column.
+    core::SearchResult best;
+    double best_ms = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      auto res = core::hybrid_search(problem, m);
+      best_ms = std::min(best_ms, res.search_ms);
+      best = std::move(res);
+    }
+    t.add_row({std::to_string(m), util::Table::num(best.expectation, 5),
+               std::to_string(best.plans_evaluated),
+               util::Table::num(best_ms, 3)});
+  }
+  std::cout << t.str()
+            << "\npaper: expectation rises slightly with m while search time\n"
+               "rises exponentially; enumerating 4-5 branches is enough.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Plan explorer: a small CLI for poking at the Search Engine without any
+// model training. It builds a synthetic block-wise profile (rising
+// confidence, configurable block count), prints the accuracy expectation of
+// user-supplied plans, and shows what enumeration / greedy / hybrid / random
+// search find.
+//
+// Usage: plan_explorer [n_exits] [plan_bits ...]
+//   plan_explorer 8                 -> searches only
+//   plan_explorer 8 10101010 11111111 -> also scores the given plans
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/search.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace einet;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+  if (n == 0 || n > 64) {
+    std::cerr << "n_exits must be in [1, 64]\n";
+    return 1;
+  }
+
+  // Synthetic profile: conv parts get slightly cheaper with depth (pooling),
+  // branches are flat, confidence rises with depth.
+  std::vector<double> conv, branch;
+  std::vector<float> conf;
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    conv.push_back(1.0 - 0.4 * static_cast<double>(i) / static_cast<double>(n));
+    branch.push_back(0.45);
+    conf.push_back(static_cast<float>(
+        0.25 + 0.65 * static_cast<double>(i + 1) / static_cast<double>(n)));
+    total += conv.back() + branch.back();
+  }
+  core::UniformExitDistribution dist{total};
+  core::PlanProblem problem{.conv_ms = conv,
+                            .branch_ms = branch,
+                            .confidence = conf,
+                            .dist = &dist,
+                            .fixed_prefix = 0,
+                            .base = core::ExitPlan{n}};
+
+  std::cout << "profile: " << n << " exits, horizon "
+            << util::Table::num(total, 2) << " ms, confidence "
+            << util::Table::num(conf.front(), 2) << " -> "
+            << util::Table::num(conf.back(), 2) << "\n\n";
+
+  util::Table t{{"plan", "outputs", "expectation", "evals", "search ms"}};
+  auto add_result = [&](const std::string& label,
+                        const core::SearchResult& r) {
+    t.add_row({label + " " + r.plan.str(),
+               std::to_string(r.plan.num_outputs()),
+               util::Table::num(r.expectation, 4),
+               std::to_string(r.plans_evaluated),
+               util::Table::num(r.search_ms, 3)});
+  };
+
+  // User plans.
+  for (int a = 2; a < argc; ++a) {
+    const std::string bits = argv[a];
+    if (bits.size() != n) {
+      std::cerr << "plan '" << bits << "' must have exactly " << n
+                << " bits\n";
+      return 1;
+    }
+    core::ExitPlan plan{n};
+    for (std::size_t i = 0; i < n; ++i) plan.set(i, bits[i] == '1');
+    const double e =
+        core::accuracy_expectation(plan, conv, branch, conf, dist);
+    t.add_row({"user   " + plan.str(), std::to_string(plan.num_outputs()),
+               util::Table::num(e, 4), "1", "-"});
+  }
+
+  if (n <= 20) add_result("enum  ", core::enumeration_search(problem));
+  add_result("greedy", core::greedy_search(problem));
+  add_result("hybrid", core::hybrid_search(problem, 4));
+  util::Rng rng{1};
+  add_result("random", core::random_search(problem, 10000, rng));
+
+  std::cout << t.str();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quickstart: the full EINet pipeline on a small synthetic-MNIST model.
+//
+//   1. build a fine-grained multi-exit CNN and train it jointly;
+//   2. profile it (ET-profile on a simulated edge platform + CS-profile);
+//   3. train the block-wise CS-Predictor from the CS-profile;
+//   4. run elastic inference under uniformly random forced exits, comparing
+//      EINet's hybrid-search planner against the paper's static baselines.
+//
+// Usage: quickstart [train_samples] [epochs]
+#include <cstdlib>
+#include <iostream>
+
+#include "data/synthetic.hpp"
+#include "models/backbones.hpp"
+#include "models/trainer.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "profiling/platform.hpp"
+#include "profiling/profiler.hpp"
+#include "runtime/evaluator.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace einet;
+  const std::size_t train_samples =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 600;
+  const std::size_t epochs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+
+  std::cout << "== EINet quickstart ==\n";
+  util::Timer total;
+
+  // 1. Dataset + model.
+  const auto spec = data::synth_mnist_spec(train_samples, 300);
+  const auto ds = data::make_synthetic(spec);
+  util::Rng rng{7};
+  auto net = models::make_msdnet(
+      models::MsdnetSpec{.blocks = 8, .step = 1, .base = 2, .channel = 8},
+      ds.train->input_shape(), ds.train->num_classes(), rng);
+  std::cout << "model: " << net.name() << " with " << net.num_exits()
+            << " exits, " << net.num_params() << " parameters\n";
+
+  util::Timer train_timer;
+  models::MultiExitTrainer trainer{net};
+  models::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.on_epoch = [](std::size_t e, float loss) {
+    std::cout << "  epoch " << e << " loss " << loss << "\n";
+  };
+  trainer.train(*ds.train, tc);
+  std::cout << "training took " << train_timer.elapsed_s() << " s\n";
+
+  const auto eval = trainer.evaluate(*ds.test);
+  std::cout << "per-exit accuracy:";
+  for (double a : eval.exit_accuracy) std::cout << ' ' << util::Table::num(a * 100, 1);
+  std::cout << " %\n";
+
+  // 2. Block-wise model profiling.
+  const auto platform = profiling::edge_fast_platform();
+  const auto et = profiling::profile_execution_time(net, platform);
+  auto cs = profiling::profile_confidence(net, *ds.test);
+  std::cout << "ET-profile total " << util::Table::num(et.total_ms(), 3)
+            << " ms on '" << platform.name << "'\n";
+
+  // 3. CS-Predictor.
+  predictor::CSPredictorConfig pc;
+  pc.hidden = 64;
+  pc.epochs = 30;
+  predictor::CSPredictor pred{net.num_exits(), pc};
+  const float ploss = pred.train(cs);
+  std::cout << "CS-Predictor trained, final masked-MSE " << ploss << "\n";
+
+  // 4. Elastic inference under uniform unpredictable exits.
+  core::UniformExitDistribution dist{et.total_ms()};
+  runtime::Evaluator evaluator{et, cs, dist};
+
+  util::Table table{{"strategy", "accuracy", "no-result", "avg branches"}};
+  auto add = [&](const runtime::StrategyStats& s) {
+    table.add_row({s.name, util::Table::pct(s.accuracy * 100),
+                   util::Table::pct(s.no_result_rate * 100),
+                   util::Table::num(s.avg_branches)});
+  };
+  runtime::ElasticConfig ec;
+  add(evaluator.eval_einet(&pred, ec, /*repeats=*/3));
+  const std::size_t n = net.num_exits();
+  add(evaluator.eval_static(core::ExitPlan::static_fraction(n, 0.25),
+                            "static-25%", 3));
+  add(evaluator.eval_static(core::ExitPlan::static_fraction(n, 0.50),
+                            "static-50%", 3));
+  add(evaluator.eval_static(core::ExitPlan{n, true}, "static-100%", 3));
+  std::cout << table.str();
+
+  std::cout << "total " << total.elapsed_s() << " s\n";
+  return 0;
+}

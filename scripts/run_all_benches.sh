@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Run every reproduction bench in order, teeing the combined output.
+# Usage: scripts/run_all_benches.sh [output-file]
+set -u
+out="${1:-bench_output.txt}"
+: > "$out"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo ">>> $b" | tee -a "$out"
+  "$b" 2>&1 | tee -a "$out"
+  echo "exit=$? ($b)" >> "$out"
+done
+echo "all benches done -> $out"

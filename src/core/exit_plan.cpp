@@ -1,0 +1,83 @@
+#include "core/exit_plan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace einet::core {
+
+ExitPlan::ExitPlan(std::size_t n, bool execute_all)
+    : bits_(n, execute_all ? 1 : 0) {}
+
+ExitPlan ExitPlan::from_bits(std::vector<std::uint8_t> bits) {
+  for (auto b : bits)
+    if (b > 1) throw std::invalid_argument{"ExitPlan: bits must be 0/1"};
+  ExitPlan p;
+  p.bits_ = std::move(bits);
+  return p;
+}
+
+ExitPlan ExitPlan::static_fraction(std::size_t n, double fraction) {
+  if (n == 0) throw std::invalid_argument{"ExitPlan::static_fraction: n == 0"};
+  if (fraction <= 0.0 || fraction > 1.0)
+    throw std::invalid_argument{
+        "ExitPlan::static_fraction: fraction must be in (0, 1]"};
+  const auto outputs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(fraction * static_cast<double>(n))));
+  ExitPlan p{n};
+  // Evenly spaced from the back so the deepest exit is always included.
+  for (std::size_t k = 1; k <= outputs; ++k) {
+    const auto idx = static_cast<std::size_t>(
+        std::llround(static_cast<double>(k * n) / static_cast<double>(outputs))) - 1;
+    p.bits_[std::min(idx, n - 1)] = 1;
+  }
+  return p;
+}
+
+ExitPlan ExitPlan::uniform_skip(std::size_t n, std::size_t skip) {
+  if (n == 0) throw std::invalid_argument{"ExitPlan::uniform_skip: n == 0"};
+  if (skip >= n)
+    throw std::invalid_argument{
+        "ExitPlan::uniform_skip: must keep at least one exit"};
+  ExitPlan p{n, /*execute_all=*/true};
+  if (skip == 0) return p;
+  // Spread the skipped exits evenly over the first n-1 positions (the
+  // deepest exit always produces the final result).
+  for (std::size_t k = 0; k < skip; ++k) {
+    const auto idx = static_cast<std::size_t>(
+        std::llround(static_cast<double>((k + 1) * (n - 1)) /
+                     static_cast<double>(skip + 1)));
+    p.bits_[std::min(idx, n - 2)] = 0;
+  }
+  return p;
+}
+
+bool ExitPlan::executes(std::size_t i) const {
+  if (i >= bits_.size()) throw std::out_of_range{"ExitPlan::executes"};
+  return bits_[i] != 0;
+}
+
+void ExitPlan::set(std::size_t i, bool execute) {
+  if (i >= bits_.size()) throw std::out_of_range{"ExitPlan::set"};
+  bits_[i] = execute ? 1 : 0;
+}
+
+std::size_t ExitPlan::num_outputs() const {
+  std::size_t count = 0;
+  for (auto b : bits_) count += b;
+  return count;
+}
+
+std::size_t ExitPlan::deepest_output() const {
+  for (std::size_t i = bits_.size(); i-- > 0;)
+    if (bits_[i]) return i;
+  return bits_.size();
+}
+
+std::string ExitPlan::str() const {
+  std::string out;
+  out.reserve(bits_.size());
+  for (auto b : bits_) out.push_back(b ? '1' : '0');
+  return out;
+}
+
+}  // namespace einet::core

@@ -1,0 +1,52 @@
+// Exit plans (paper Section V-A): a binary list over the exits of a
+// multi-exit network — bit 1 means "execute the branch at this exit and keep
+// its result", bit 0 means "skip the branch".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace einet::core {
+
+class ExitPlan {
+ public:
+  ExitPlan() = default;
+
+  /// Plan over `n` exits, all bits set to `execute_all`.
+  explicit ExitPlan(std::size_t n, bool execute_all = false);
+
+  /// Plan from explicit bits (0/1).
+  [[nodiscard]] static ExitPlan from_bits(std::vector<std::uint8_t> bits);
+
+  /// Static plan executing `fraction` of the branches, evenly spaced, always
+  /// including the deepest exit (the paper's 25% / 50% / 100% baselines).
+  /// fraction must be in (0, 1].
+  [[nodiscard]] static ExitPlan static_fraction(std::size_t n,
+                                                double fraction);
+
+  /// Plan that skips `skip` exits, evenly spaced (Figure 11's x-axis).
+  [[nodiscard]] static ExitPlan uniform_skip(std::size_t n, std::size_t skip);
+
+  [[nodiscard]] std::size_t size() const { return bits_.size(); }
+  [[nodiscard]] bool empty() const { return bits_.empty(); }
+  [[nodiscard]] bool executes(std::size_t i) const;
+  void set(std::size_t i, bool execute);
+
+  /// Number of executed branches.
+  [[nodiscard]] std::size_t num_outputs() const;
+  /// Index of the deepest executed branch, or size() if none.
+  [[nodiscard]] std::size_t deepest_output() const;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bits() const { return bits_; }
+
+  /// "1011…" rendering.
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const ExitPlan&, const ExitPlan&) = default;
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace einet::core

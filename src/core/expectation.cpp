@@ -1,0 +1,101 @@
+#include "core/expectation.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace einet::core {
+
+namespace {
+void check_sizes(const ExitPlan& plan, std::span<const double> conv_ms,
+                 std::span<const double> branch_ms,
+                 std::span<const float> confidence) {
+  if (plan.empty()) throw std::invalid_argument{"expectation: empty plan"};
+  if (conv_ms.size() != plan.size() || branch_ms.size() != plan.size() ||
+      confidence.size() != plan.size())
+    throw std::invalid_argument{
+        "expectation: plan/profile/confidence size mismatch"};
+}
+}  // namespace
+
+double accuracy_expectation(const ExitPlan& plan,
+                            std::span<const double> conv_ms,
+                            std::span<const double> branch_ms,
+                            std::span<const float> confidence,
+                            const TimeDistribution& dist) {
+  check_sizes(plan, conv_ms, branch_ms, confidence);
+  double expectation = 0.0;
+  double t = 0.0;             // simulated clock
+  double segment_start = 0.0; // completion time of the last output
+  double segment_cdf = 0.0;   // dist.cdf(segment_start), kept incrementally
+  double conf = 0.0;          // confidence of the current best result
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    t += conv_ms[i];
+    if (!plan.executes(i)) continue;
+    t += branch_ms[i];
+    const double cdf_t = dist.cdf(t);
+    expectation += conf * (cdf_t - segment_cdf);
+    conf = confidence[i];
+    segment_start = t;
+    segment_cdf = cdf_t;
+  }
+  // After the plan finishes, the deepest result survives any later exit.
+  expectation += conf * (1.0 - segment_cdf);
+  (void)segment_start;
+  return expectation;
+}
+
+double accuracy_expectation_reference(const ExitPlan& plan,
+                                      std::span<const double> conv_ms,
+                                      std::span<const double> branch_ms,
+                                      std::span<const float> confidence,
+                                      const TimeDistribution& dist,
+                                      std::size_t integration_steps) {
+  check_sizes(plan, conv_ms, branch_ms, confidence);
+  if (integration_steps == 0)
+    throw std::invalid_argument{"expectation_reference: zero steps"};
+
+  // Deliberately materialises every interval, then integrates the density
+  // numerically — the shape of an interpreted / dataframe-style
+  // implementation. Used as the slow row of Table I and as a test oracle.
+  struct Interval {
+    double begin;
+    double end;
+    double conf;
+  };
+  std::vector<Interval> intervals;
+  double t = 0.0;
+  double last_output_time = 0.0;
+  double conf = 0.0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    t += conv_ms[i];
+    if (!plan.executes(i)) continue;
+    t += branch_ms[i];
+    intervals.push_back({last_output_time, t, conf});
+    conf = confidence[i];
+    last_output_time = t;
+  }
+  const double horizon =
+      std::max(dist.horizon_ms(), t);  // cover plans longer than the horizon
+  intervals.push_back({last_output_time, horizon, conf});
+
+  double expectation = 0.0;
+  for (const auto& iv : intervals) {
+    if (iv.conf == 0.0 || iv.end <= iv.begin) continue;
+    // Midpoint-rule integration of the density (finite-differenced CDF).
+    const double width = (iv.end - iv.begin) /
+                         static_cast<double>(integration_steps);
+    double mass = 0.0;
+    for (std::size_t s = 0; s < integration_steps; ++s) {
+      const double a = iv.begin + static_cast<double>(s) * width;
+      const double b = a + width;
+      mass += dist.cdf(b) - dist.cdf(a);
+    }
+    expectation += iv.conf * mass;
+  }
+  // Mass beyond the horizon (if the plan ends before it) keeps the deepest
+  // confidence; the last interval above already reaches the horizon, and
+  // cdf(horizon) == 1, so nothing is left to add.
+  return expectation;
+}
+
+}  // namespace einet::core

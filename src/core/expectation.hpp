@@ -1,0 +1,44 @@
+// Accuracy Expectation (paper Algorithm 1 / Equation 5).
+//
+// Given an exit plan, the block-wise ET-profile (Tc, Tb), the (predicted)
+// confidence score at every exit and a forced-exit time distribution, the
+// expectation of the result quality is
+//
+//   E = sum_i  C_i * P(exit lands in interval i)
+//
+// where interval i stretches from the completion of the i-th executed
+// branch to the completion of the next one (and to +inf after the plan
+// finishes, since a finished inference keeps its deepest result). Before the
+// first output the confidence is 0 — a forced exit there yields no result.
+//
+// Two implementations are provided: the production one (allocation-free,
+// single pass — the paper's "C" row of Table I) and a deliberately naive
+// reference (interval materialisation + numerical CDF integration — standing
+// in for the paper's "Python" row). Both agree to ~1e-6.
+#pragma once
+
+#include <span>
+
+#include "core/exit_plan.hpp"
+#include "core/time_distribution.hpp"
+
+namespace einet::core {
+
+/// Fast single-pass expectation. `confidence[i]` is the (predicted) score of
+/// exit i; conv_ms/branch_ms come from the ET-profile. All spans must have
+/// the same length as the plan.
+[[nodiscard]] double accuracy_expectation(const ExitPlan& plan,
+                                          std::span<const double> conv_ms,
+                                          std::span<const double> branch_ms,
+                                          std::span<const float> confidence,
+                                          const TimeDistribution& dist);
+
+/// Reference implementation used by the Table-I timing comparison and as a
+/// differential-testing oracle. `integration_steps` controls the numerical
+/// CDF integration granularity per interval.
+[[nodiscard]] double accuracy_expectation_reference(
+    const ExitPlan& plan, std::span<const double> conv_ms,
+    std::span<const double> branch_ms, std::span<const float> confidence,
+    const TimeDistribution& dist, std::size_t integration_steps = 256);
+
+}  // namespace einet::core

@@ -1,0 +1,231 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace einet::core {
+
+namespace {
+
+double evaluate(const PlanProblem& p, const ExitPlan& plan) {
+  return accuracy_expectation(plan, p.conv_ms, p.branch_ms, p.confidence,
+                              *p.dist);
+}
+
+/// Plan whose prefix comes from `base` and whose free suffix is all-skip.
+ExitPlan frozen_prefix_plan(const PlanProblem& p) {
+  ExitPlan plan{p.n()};
+  for (std::size_t i = 0; i < p.fixed_prefix; ++i)
+    plan.set(i, p.base.executes(i));
+  return plan;
+}
+
+/// Greedy growth stage shared by greedy_search and hybrid_search: starting
+/// from `plan`, repeatedly add the locally best remaining output until every
+/// free bit is set, tracking the best plan seen anywhere along the way.
+void greedy_grow(const PlanProblem& p, ExitPlan plan, double plan_e,
+                 SearchResult& best, std::size_t& evaluated) {
+  if (plan_e > best.expectation) {
+    best.expectation = plan_e;
+    best.plan = plan;
+  }
+  while (true) {
+    double round_best_e = -1.0;
+    std::size_t round_best_bit = p.n();
+    for (std::size_t i = p.fixed_prefix; i < p.n(); ++i) {
+      if (plan.executes(i)) continue;
+      plan.set(i, true);
+      const double e = evaluate(p, plan);
+      ++evaluated;
+      plan.set(i, false);
+      if (e > round_best_e) {
+        round_best_e = e;
+        round_best_bit = i;
+      }
+    }
+    if (round_best_bit == p.n()) break;  // no zero bits left
+    plan.set(round_best_bit, true);
+    if (round_best_e > best.expectation) {
+      best.expectation = round_best_e;
+      best.plan = plan;
+    }
+  }
+}
+
+}  // namespace
+
+void PlanProblem::validate() const {
+  if (conv_ms.empty()) throw std::invalid_argument{"PlanProblem: no blocks"};
+  if (branch_ms.size() != conv_ms.size() ||
+      confidence.size() != conv_ms.size())
+    throw std::invalid_argument{"PlanProblem: span size mismatch"};
+  if (dist == nullptr)
+    throw std::invalid_argument{"PlanProblem: null distribution"};
+  if (fixed_prefix > conv_ms.size())
+    throw std::invalid_argument{"PlanProblem: fixed_prefix out of range"};
+  if (fixed_prefix > 0 && base.size() != conv_ms.size())
+    throw std::invalid_argument{
+        "PlanProblem: base plan must cover all exits when prefix is frozen"};
+}
+
+SearchResult enumeration_search(const PlanProblem& problem) {
+  problem.validate();
+  const std::size_t free = problem.free_bits();
+  if (free > 24)
+    throw std::invalid_argument{
+        "enumeration_search: suffix too large (" + std::to_string(free) +
+        " bits); use hybrid_search"};
+  util::Timer timer;
+  SearchResult best;
+  best.expectation = -1.0;
+  ExitPlan plan = frozen_prefix_plan(problem);
+  const std::size_t combos = std::size_t{1} << free;
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    for (std::size_t b = 0; b < free; ++b)
+      plan.set(problem.fixed_prefix + b, (mask >> b) & 1);
+    const double e = evaluate(problem, plan);
+    ++best.plans_evaluated;
+    if (e > best.expectation) {
+      best.expectation = e;
+      best.plan = plan;
+    }
+  }
+  best.search_ms = timer.elapsed_ms();
+  return best;
+}
+
+SearchResult greedy_search(const PlanProblem& problem) {
+  problem.validate();
+  util::Timer timer;
+  SearchResult best;
+  best.expectation = -1.0;
+  ExitPlan start = frozen_prefix_plan(problem);
+  const double start_e = evaluate(problem, start);
+  std::size_t evaluated = 1;
+  greedy_grow(problem, std::move(start), start_e, best, evaluated);
+  best.plans_evaluated = evaluated;
+  best.search_ms = timer.elapsed_ms();
+  return best;
+}
+
+SearchResult hybrid_search(const PlanProblem& problem,
+                           std::size_t enum_outputs) {
+  problem.validate();
+  util::Timer timer;
+  const std::size_t free = problem.free_bits();
+  const std::size_t m = std::min(enum_outputs, free);
+
+  SearchResult best;
+  best.expectation = -1.0;
+  std::size_t evaluated = 0;
+
+  // Stage 1 ("for the first few branches, we use enumeration"): exhaustively
+  // try all 2^m assignments of the first m free positions, with the
+  // remaining suffix all-skip. Guarantees the optimal prefix decision.
+  if (m > 24)
+    throw std::invalid_argument{"hybrid_search: enum_outputs too large"};
+  ExitPlan enum_best = frozen_prefix_plan(problem);
+  double enum_best_e = evaluate(problem, enum_best);
+  ++evaluated;
+  {
+    ExitPlan plan = frozen_prefix_plan(problem);
+    const std::size_t combos = std::size_t{1} << m;
+    for (std::size_t mask = 1; mask < combos; ++mask) {
+      for (std::size_t b = 0; b < m; ++b)
+        plan.set(problem.fixed_prefix + b, (mask >> b) & 1);
+      const double e = evaluate(problem, plan);
+      ++evaluated;
+      if (e > enum_best_e) {
+        enum_best_e = e;
+        enum_best = plan;
+      }
+    }
+  }
+
+  // Stage 2: greedy growth seeded with the enumeration winner. Also grow
+  // from the all-skip plan (the pure-greedy trajectory) so the hybrid result
+  // is never worse than greedy_search — the property Figure 13 relies on.
+  greedy_grow(problem, enum_best, enum_best_e, best, evaluated);
+  if (m > 0 && enum_best.num_outputs() > 0) {
+    ExitPlan empty = frozen_prefix_plan(problem);
+    const double empty_e = evaluate(problem, empty);
+    ++evaluated;
+    greedy_grow(problem, std::move(empty), empty_e, best, evaluated);
+  }
+  best.plans_evaluated = evaluated;
+  best.search_ms = timer.elapsed_ms();
+  return best;
+}
+
+SearchResult random_search(const PlanProblem& problem, std::size_t num_plans,
+                           util::Rng& rng) {
+  problem.validate();
+  if (num_plans == 0)
+    throw std::invalid_argument{"random_search: num_plans == 0"};
+  util::Timer timer;
+  SearchResult best;
+  best.expectation = -1.0;
+  ExitPlan plan = frozen_prefix_plan(problem);
+  for (std::size_t k = 0; k < num_plans; ++k) {
+    for (std::size_t i = problem.fixed_prefix; i < problem.n(); ++i)
+      plan.set(i, rng.bernoulli(0.5));
+    const double e = evaluate(problem, plan);
+    ++best.plans_evaluated;
+    if (e > best.expectation) {
+      best.expectation = e;
+      best.plan = plan;
+    }
+  }
+  best.search_ms = timer.elapsed_ms();
+  return best;
+}
+
+std::string search_method_name(SearchMethod method) {
+  switch (method) {
+    case SearchMethod::kHybrid:
+      return "hybrid";
+    case SearchMethod::kGreedy:
+      return "greedy";
+    case SearchMethod::kEnumeration:
+      return "enumeration";
+    case SearchMethod::kRandom:
+      return "random";
+    case SearchMethod::kNone:
+      return "baseline";
+  }
+  return "unknown";
+}
+
+SearchEngine::SearchEngine(const SearchEngineConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+SearchResult SearchEngine::search(const PlanProblem& problem) {
+  switch (config_.method) {
+    case SearchMethod::kHybrid:
+      return hybrid_search(problem, config_.enum_outputs);
+    case SearchMethod::kGreedy:
+      return greedy_search(problem);
+    case SearchMethod::kEnumeration:
+      return enumeration_search(problem);
+    case SearchMethod::kRandom:
+      return random_search(problem, config_.random_plans, rng_);
+    case SearchMethod::kNone: {
+      problem.validate();
+      SearchResult res;
+      ExitPlan plan{problem.n(), /*execute_all=*/true};
+      for (std::size_t i = 0; i < problem.fixed_prefix; ++i)
+        plan.set(i, problem.base.executes(i));
+      res.expectation = accuracy_expectation(
+          plan, problem.conv_ms, problem.branch_ms, problem.confidence,
+          *problem.dist);
+      res.plan = std::move(plan);
+      res.plans_evaluated = 1;
+      return res;
+    }
+  }
+  throw std::logic_error{"SearchEngine: unknown method"};
+}
+
+}  // namespace einet::core

@@ -1,0 +1,102 @@
+// The Search Engine (paper Section V-B, Algorithm 2).
+//
+// A PlanProblem describes one (re-)planning situation: the ET-profile rows,
+// the full-length confidence vector O' (observed prefix + CS-Predictor
+// predictions), the exit-time distribution, and a frozen prefix — online
+// re-planning may only change the bits of exits the inference has not yet
+// reached; the already-executed/skipped prefix is part of history.
+//
+// Search strategies:
+//   * enumeration_search — exhaustive over the free suffix (2^free plans);
+//   * greedy_search      — grow the output set one locally-best branch at a
+//                          time until all branches are selected (n^2 evals);
+//   * hybrid_search      — Algorithm 2: enumerate all 2^m assignments of
+//                          the first m free positions ("for the first few
+//                          branches, we use enumeration"), then grow the
+//                          best of those greedily over the later branches
+//                          (also growing the pure-greedy trajectory, so
+//                          hybrid is never worse than greedy);
+//   * random_search      — best of k uniformly random suffixes (baseline).
+#pragma once
+
+#include <span>
+
+#include "core/exit_plan.hpp"
+#include "core/expectation.hpp"
+#include "core/time_distribution.hpp"
+#include "util/rng.hpp"
+
+namespace einet::core {
+
+struct PlanProblem {
+  std::span<const double> conv_ms;
+  std::span<const double> branch_ms;
+  std::span<const float> confidence;  // O' for all exits
+  const TimeDistribution* dist = nullptr;
+  /// Bits [0, fixed_prefix) are frozen to `base`'s values.
+  std::size_t fixed_prefix = 0;
+  /// Supplies the frozen prefix bits; suffix bits are ignored.
+  ExitPlan base;
+
+  [[nodiscard]] std::size_t n() const { return conv_ms.size(); }
+  [[nodiscard]] std::size_t free_bits() const { return n() - fixed_prefix; }
+  void validate() const;
+};
+
+struct SearchResult {
+  ExitPlan plan;
+  double expectation = 0.0;
+  std::size_t plans_evaluated = 0;
+  double search_ms = 0.0;
+};
+
+/// Exhaustive search over the free suffix. Throws if free_bits() > 24.
+[[nodiscard]] SearchResult enumeration_search(const PlanProblem& problem);
+
+/// Greedy growth from the all-skip suffix.
+[[nodiscard]] SearchResult greedy_search(const PlanProblem& problem);
+
+/// Algorithm 2. `enum_outputs` (m) is the number of leading branches handled
+/// by the enumeration stage; m == 0 degenerates to pure greedy.
+[[nodiscard]] SearchResult hybrid_search(const PlanProblem& problem,
+                                         std::size_t enum_outputs);
+
+/// Best of `num_plans` uniformly random suffixes.
+[[nodiscard]] SearchResult random_search(const PlanProblem& problem,
+                                         std::size_t num_plans,
+                                         util::Rng& rng);
+
+/// Strategy selector used by the elastic runtime and the benches.
+enum class SearchMethod {
+  kHybrid,
+  kGreedy,
+  kEnumeration,
+  kRandom,
+  kNone,  // execute every remaining branch (the 100%/"Baseline" plan)
+};
+
+[[nodiscard]] std::string search_method_name(SearchMethod method);
+
+struct SearchEngineConfig {
+  SearchMethod method = SearchMethod::kHybrid;
+  /// m for the hybrid enumeration stage (paper: 4-5 is enough).
+  std::size_t enum_outputs = 4;
+  /// Plan budget for random search (paper uses 10,000).
+  std::size_t random_plans = 10000;
+  std::uint64_t seed = 99;
+};
+
+class SearchEngine {
+ public:
+  explicit SearchEngine(const SearchEngineConfig& config);
+
+  [[nodiscard]] SearchResult search(const PlanProblem& problem);
+
+  [[nodiscard]] const SearchEngineConfig& config() const { return config_; }
+
+ private:
+  SearchEngineConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace einet::core

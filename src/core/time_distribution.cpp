@@ -1,0 +1,166 @@
+#include "core/time_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace einet::core {
+
+namespace {
+void check_horizon(double horizon) {
+  if (!(horizon > 0.0))
+    throw std::invalid_argument{"TimeDistribution: horizon must be > 0"};
+}
+
+/// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+}  // namespace
+
+UniformExitDistribution::UniformExitDistribution(double horizon_ms)
+    : horizon_(horizon_ms) {
+  check_horizon(horizon_);
+}
+
+double UniformExitDistribution::cdf(double t_ms) const {
+  return std::clamp(t_ms / horizon_, 0.0, 1.0);
+}
+
+double UniformExitDistribution::sample(util::Rng& rng) const {
+  return rng.uniform(0.0, horizon_);
+}
+
+TruncatedGaussianExitDistribution::TruncatedGaussianExitDistribution(
+    double mu_ms, double sigma_ms, double horizon_ms)
+    : mu_(mu_ms), sigma_(sigma_ms), horizon_(horizon_ms) {
+  check_horizon(horizon_);
+  if (!(sigma_ > 0.0))
+    throw std::invalid_argument{"TruncatedGaussian: sigma must be > 0"};
+  lo_mass_ = raw_cdf(0.0);
+  hi_mass_ = raw_cdf(horizon_);
+  if (hi_mass_ - lo_mass_ < 1e-12)
+    throw std::invalid_argument{
+        "TruncatedGaussian: no probability mass inside [0, horizon]"};
+}
+
+double TruncatedGaussianExitDistribution::raw_cdf(double t) const {
+  return phi((t - mu_) / sigma_);
+}
+
+double TruncatedGaussianExitDistribution::cdf(double t_ms) const {
+  if (t_ms <= 0.0) return 0.0;
+  if (t_ms >= horizon_) return 1.0;
+  return (raw_cdf(t_ms) - lo_mass_) / (hi_mass_ - lo_mass_);
+}
+
+double TruncatedGaussianExitDistribution::sample(util::Rng& rng) const {
+  // Rejection from the untruncated Gaussian; acceptance mass is at least
+  // hi_mass_ - lo_mass_ which the constructor guarantees to be positive.
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const double t = rng.gaussian(mu_, sigma_);
+    if (t >= 0.0 && t <= horizon_) return t;
+  }
+  // Pathologically thin acceptance region: fall back to inverse-CDF search.
+  double lo = 0.0, hi = horizon_;
+  const double u = rng.uniform();
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (cdf(mid) < u ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::string TruncatedGaussianExitDistribution::name() const {
+  return "gauss(mu=" + std::to_string(mu_) + ",sigma=" +
+         std::to_string(sigma_) + ")";
+}
+
+TraceExitDistribution::TraceExitDistribution(std::vector<double> exit_times_ms,
+                                             double horizon_ms)
+    : times_(std::move(exit_times_ms)), horizon_(horizon_ms) {
+  check_horizon(horizon_);
+  if (times_.empty())
+    throw std::invalid_argument{"TraceExitDistribution: empty trace"};
+  for (auto& t : times_) t = std::clamp(t, 0.0, horizon_);
+  std::sort(times_.begin(), times_.end());
+}
+
+double TraceExitDistribution::cdf(double t_ms) const {
+  if (t_ms >= horizon_) return 1.0;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t_ms);
+  return static_cast<double>(std::distance(times_.begin(), it)) /
+         static_cast<double>(times_.size());
+}
+
+double TraceExitDistribution::sample(util::Rng& rng) const {
+  return times_[rng.uniform_int(times_.size())];
+}
+
+PiecewiseLinearExitDistribution::PiecewiseLinearExitDistribution(
+    std::vector<Knot> knots, double horizon_ms)
+    : knots_(std::move(knots)), horizon_(horizon_ms) {
+  check_horizon(horizon_);
+  if (knots_.size() < 2)
+    throw std::invalid_argument{"PiecewiseLinear: need at least two knots"};
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (knots_[i].t_ms < knots_[i - 1].t_ms ||
+        knots_[i].cum < knots_[i - 1].cum)
+      throw std::invalid_argument{"PiecewiseLinear: knots must be monotone"};
+  }
+  // Anchor the curve at (0, 0) and (horizon, last), then normalise the
+  // cumulative axis to [0, 1].
+  if (knots_.front().t_ms > 0.0)
+    knots_.insert(knots_.begin(), Knot{0.0, 0.0});
+  if (knots_.back().t_ms < horizon_)
+    knots_.push_back(Knot{horizon_, knots_.back().cum});
+  const double lo = knots_.front().cum;
+  const double hi = knots_.back().cum;
+  if (hi - lo < 1e-12)
+    throw std::invalid_argument{"PiecewiseLinear: degenerate cumulative mass"};
+  for (auto& k : knots_) k.cum = (k.cum - lo) / (hi - lo);
+}
+
+double PiecewiseLinearExitDistribution::cdf(double t_ms) const {
+  if (t_ms <= 0.0) return 0.0;
+  if (t_ms >= horizon_) return 1.0;
+  const auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), t_ms,
+      [](double t, const Knot& k) { return t < k.t_ms; });
+  const Knot& b = *it;
+  const Knot& a = *(it - 1);
+  const double span = b.t_ms - a.t_ms;
+  if (span <= 0.0) return b.cum;
+  const double frac = (t_ms - a.t_ms) / span;
+  return a.cum + frac * (b.cum - a.cum);
+}
+
+double PiecewiseLinearExitDistribution::sample(util::Rng& rng) const {
+  // Inverse-CDF sampling over the knot segments.
+  const double u = rng.uniform();
+  const auto it = std::upper_bound(
+      knots_.begin(), knots_.end(), u,
+      [](double v, const Knot& k) { return v < k.cum; });
+  if (it == knots_.begin()) return knots_.front().t_ms;
+  if (it == knots_.end()) return knots_.back().t_ms;
+  const Knot& b = *it;
+  const Knot& a = *(it - 1);
+  const double span = b.cum - a.cum;
+  if (span <= 0.0) return a.t_ms;
+  const double frac = (u - a.cum) / span;
+  return a.t_ms + frac * (b.t_ms - a.t_ms);
+}
+
+std::unique_ptr<TimeDistribution> make_distribution(const std::string& kind,
+                                                    double horizon_ms) {
+  if (kind == "uniform")
+    return std::make_unique<UniformExitDistribution>(horizon_ms);
+  if (kind == "gauss0.5")
+    return std::make_unique<TruncatedGaussianExitDistribution>(
+        horizon_ms / 2.0, 0.5 * horizon_ms, horizon_ms);
+  if (kind == "gauss1.0")
+    return std::make_unique<TruncatedGaussianExitDistribution>(
+        horizon_ms / 2.0, 1.0 * horizon_ms, horizon_ms);
+  throw std::invalid_argument{"make_distribution: unknown kind '" + kind +
+                              "'"};
+}
+
+}  // namespace einet::core

@@ -1,0 +1,114 @@
+// Unpredictable-exit time distributions (paper Sections V-A and VI-C3).
+//
+// The forced-exit instant is a random variable over [0, horizon]; the
+// accuracy expectation weighs each inference interval by the probability the
+// exit lands inside it, i.e. by a CDF difference. The paper evaluates a
+// uniform distribution, two truncated Gaussians (mu = T/2, sigma = 0.5T and
+// 1.0T), and notes that real preemption patterns follow arbitrary curves
+// [34] — covered here by the empirical TraceExitDistribution.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace einet::core {
+
+class TimeDistribution {
+ public:
+  virtual ~TimeDistribution() = default;
+
+  /// P(exit time <= t). Must be monotone with cdf(t<=0) == 0 and
+  /// cdf(t>=horizon) == 1.
+  [[nodiscard]] virtual double cdf(double t_ms) const = 0;
+
+  /// Draw one forced-exit instant.
+  [[nodiscard]] virtual double sample(util::Rng& rng) const = 0;
+
+  /// Upper bound of the support (the total profiled execution time T).
+  [[nodiscard]] virtual double horizon_ms() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Uniform over [0, horizon] — the paper's default simulation setting.
+class UniformExitDistribution final : public TimeDistribution {
+ public:
+  explicit UniformExitDistribution(double horizon_ms);
+  [[nodiscard]] double cdf(double t_ms) const override;
+  [[nodiscard]] double sample(util::Rng& rng) const override;
+  [[nodiscard]] double horizon_ms() const override { return horizon_; }
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+
+ private:
+  double horizon_;
+};
+
+/// Gaussian truncated to [0, horizon]. The paper uses mu = horizon/2 with
+/// sigma expressed as a fraction of the horizon (0.5 and 1.0).
+class TruncatedGaussianExitDistribution final : public TimeDistribution {
+ public:
+  TruncatedGaussianExitDistribution(double mu_ms, double sigma_ms,
+                                    double horizon_ms);
+  [[nodiscard]] double cdf(double t_ms) const override;
+  [[nodiscard]] double sample(util::Rng& rng) const override;
+  [[nodiscard]] double horizon_ms() const override { return horizon_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  [[nodiscard]] double raw_cdf(double t) const;
+
+  double mu_;
+  double sigma_;
+  double horizon_;
+  double lo_mass_;   // raw_cdf(0)
+  double hi_mass_;   // raw_cdf(horizon)
+};
+
+/// Empirical distribution over recorded forced-exit instants (e.g. a 5G vRAN
+/// preemption trace). Exit times beyond the horizon are clamped.
+class TraceExitDistribution final : public TimeDistribution {
+ public:
+  TraceExitDistribution(std::vector<double> exit_times_ms, double horizon_ms);
+  [[nodiscard]] double cdf(double t_ms) const override;
+  [[nodiscard]] double sample(util::Rng& rng) const override;
+  [[nodiscard]] double horizon_ms() const override { return horizon_; }
+  [[nodiscard]] std::string name() const override { return "trace"; }
+
+  [[nodiscard]] std::size_t trace_size() const { return times_.size(); }
+
+ private:
+  std::vector<double> times_;  // sorted, clamped to [0, horizon]
+  double horizon_;
+};
+
+/// Arbitrary-curve distribution given as CDF knots (paper ref. [34]: "the
+/// preemption can be modeled using arbitrary curves"). Knots are (time,
+/// cumulative probability) pairs; the CDF is linearly interpolated between
+/// them. Knots must be monotone in both coordinates; the distribution is
+/// normalised so cdf(0) = 0 and cdf(horizon) = 1.
+class PiecewiseLinearExitDistribution final : public TimeDistribution {
+ public:
+  struct Knot {
+    double t_ms;
+    double cum;
+  };
+
+  PiecewiseLinearExitDistribution(std::vector<Knot> knots, double horizon_ms);
+  [[nodiscard]] double cdf(double t_ms) const override;
+  [[nodiscard]] double sample(util::Rng& rng) const override;
+  [[nodiscard]] double horizon_ms() const override { return horizon_; }
+  [[nodiscard]] std::string name() const override { return "piecewise"; }
+
+ private:
+  std::vector<Knot> knots_;  // normalised, covering [0, horizon]
+  double horizon_;
+};
+
+/// Factory used by benches: "uniform", "gauss0.5", "gauss1.0".
+[[nodiscard]] std::unique_ptr<TimeDistribution> make_distribution(
+    const std::string& kind, double horizon_ms);
+
+}  // namespace einet::core

@@ -1,0 +1,81 @@
+#include "data/dataset.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace einet::data {
+
+InMemoryDataset::InMemoryDataset(std::string name, std::vector<Sample> samples,
+                                 std::size_t num_classes)
+    : name_(std::move(name)),
+      samples_(std::move(samples)),
+      classes_(num_classes) {
+  if (classes_ == 0)
+    throw std::invalid_argument{"InMemoryDataset: num_classes == 0"};
+  for (const auto& s : samples_) {
+    if (s.label >= classes_)
+      throw std::invalid_argument{"InMemoryDataset: label out of range"};
+    if (s.image.rank() != 3)
+      throw std::invalid_argument{"InMemoryDataset: images must be CHW"};
+  }
+}
+
+const Sample& InMemoryDataset::sample(std::size_t i) const {
+  if (i >= samples_.size())
+    throw std::out_of_range{"InMemoryDataset::sample"};
+  return samples_[i];
+}
+
+nn::Shape InMemoryDataset::input_shape() const {
+  if (samples_.empty())
+    throw std::logic_error{"InMemoryDataset::input_shape: empty dataset"};
+  return samples_.front().image.shape();
+}
+
+Batch make_batch(const Dataset& ds, std::span<const std::size_t> indices) {
+  if (indices.empty()) return {};
+  const nn::Shape img = ds.input_shape();
+  const std::size_t per_image = nn::shape_numel(img);
+  Batch batch;
+  batch.images = nn::Tensor{{indices.size(), img[0], img[1], img[2]}};
+  batch.labels.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const Sample& s = ds.sample(indices[i]);
+    if (s.image.shape() != img)
+      throw std::invalid_argument{"make_batch: inconsistent image shapes"};
+    std::copy(s.image.raw(), s.image.raw() + per_image,
+              batch.images.raw() + i * per_image);
+    batch.labels.push_back(s.label);
+  }
+  return batch;
+}
+
+BatchIterator::BatchIterator(const Dataset& ds, std::size_t batch_size,
+                             util::Rng& rng, bool shuffle)
+    : ds_(ds), batch_size_(batch_size), rng_(rng.split()), shuffle_(shuffle) {
+  if (batch_size_ == 0)
+    throw std::invalid_argument{"BatchIterator: batch_size == 0"};
+  order_.resize(ds.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  reset();
+}
+
+void BatchIterator::reset() {
+  cursor_ = 0;
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+std::size_t BatchIterator::batches_per_epoch() const {
+  return (ds_.size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch BatchIterator::next() {
+  if (cursor_ >= order_.size()) return {};
+  const std::size_t end = std::min(cursor_ + batch_size_, order_.size());
+  const std::span<const std::size_t> idx{order_.data() + cursor_,
+                                         end - cursor_};
+  cursor_ = end;
+  return make_batch(ds_, idx);
+}
+
+}  // namespace einet::data

@@ -1,0 +1,91 @@
+// Dataset abstractions for the training / profiling pipelines.
+//
+// The paper evaluates on MNIST / CIFAR-10 / CIFAR-100; this repo substitutes
+// procedurally generated datasets with the same interface (see synthetic.hpp
+// and DESIGN.md for why the substitution preserves the planner behaviour).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace einet::data {
+
+/// One labelled example; image is CHW.
+struct Sample {
+  nn::Tensor image;
+  std::size_t label = 0;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual const Sample& sample(std::size_t i) const = 0;
+  [[nodiscard]] virtual std::size_t num_classes() const = 0;
+  /// Shape of one image (C, H, W).
+  [[nodiscard]] virtual nn::Shape input_shape() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Simple owning dataset.
+class InMemoryDataset final : public Dataset {
+ public:
+  InMemoryDataset(std::string name, std::vector<Sample> samples,
+                  std::size_t num_classes);
+
+  [[nodiscard]] std::size_t size() const override { return samples_.size(); }
+  [[nodiscard]] const Sample& sample(std::size_t i) const override;
+  [[nodiscard]] std::size_t num_classes() const override { return classes_; }
+  [[nodiscard]] nn::Shape input_shape() const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void push_back(Sample s) { samples_.push_back(std::move(s)); }
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+  std::size_t classes_;
+};
+
+/// A stacked minibatch: images (N, C, H, W) plus labels.
+struct Batch {
+  nn::Tensor images;
+  std::vector<std::size_t> labels;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+};
+
+/// Stack the given dataset rows into one NCHW batch.
+[[nodiscard]] Batch make_batch(const Dataset& ds,
+                               std::span<const std::size_t> indices);
+
+/// Shuffled minibatch iterator over a dataset.
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& ds, std::size_t batch_size, util::Rng& rng,
+                bool shuffle = true);
+
+  /// Next minibatch, or an empty batch when the epoch is exhausted.
+  [[nodiscard]] Batch next();
+
+  /// Restart (reshuffles when shuffling is on).
+  void reset();
+
+  [[nodiscard]] std::size_t batches_per_epoch() const;
+
+ private:
+  const Dataset& ds_;
+  std::size_t batch_size_;
+  util::Rng rng_;
+  bool shuffle_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace einet::data

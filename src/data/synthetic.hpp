@@ -1,0 +1,73 @@
+// Procedural stand-ins for MNIST / CIFAR-10 / CIFAR-100.
+//
+// Each class owns a procedurally generated prototype pattern (a mixture of
+// Gaussian blobs, an oriented grating, and per-channel colour weights).
+// Samples are rendered from their class prototype with *graded difficulty*:
+// random translation, contrast scaling, additive Gaussian noise and an
+// optional occluding patch. Easy samples (high contrast / low noise) are
+// separable by a shallow network while hard ones need depth — exactly the
+// per-sample confidence-vs-depth structure EINet's CS-Predictors exploit.
+//
+// Determinism: one seed fully determines both splits; the test split uses a
+// disjoint sub-stream so it is never a subset of training data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.hpp"
+
+namespace einet::data {
+
+struct SyntheticSpec {
+  std::string name = "synth";
+  std::size_t channels = 3;
+  std::size_t height = 16;
+  std::size_t width = 16;
+  std::size_t num_classes = 10;
+  std::size_t train_count = 2000;
+  std::size_t test_count = 500;
+  std::uint64_t seed = 1;
+
+  // Difficulty knobs (per-sample values are drawn uniformly from the range).
+  double contrast_min = 0.45;
+  double contrast_max = 1.0;
+  double noise_min = 0.02;
+  double noise_max = 0.35;
+  /// Probability that a sample gets an occluding patch (hard sample).
+  double occlusion_prob = 0.25;
+  /// Max translation in pixels.
+  std::size_t max_shift = 2;
+
+  /// Compositional mode: the image is a 2x2 grid of oriented gratings and
+  /// the label is a modular combination of the four orientations. No single
+  /// local cue determines the class, so shallow exits plateau well below
+  /// deep ones — reproducing the accuracy-vs-depth profile of CIFAR-style
+  /// data that EINet's planner exploits. Non-compositional mode (blobs +
+  /// grating prototypes) yields an easier, MNIST-like profile.
+  bool compositional = true;
+  /// Orientations per quadrant in compositional mode (>= 2).
+  std::size_t orientations = 4;
+};
+
+/// Train + test splits from one spec.
+struct SyntheticDataset {
+  std::shared_ptr<InMemoryDataset> train;
+  std::shared_ptr<InMemoryDataset> test;
+};
+
+/// Render the full dataset described by `spec`.
+[[nodiscard]] SyntheticDataset make_synthetic(const SyntheticSpec& spec);
+
+/// Paper-dataset presets (sizes are scaled; see DESIGN.md substitutions).
+[[nodiscard]] SyntheticSpec synth_mnist_spec(std::size_t train_count = 2000,
+                                             std::size_t test_count = 500,
+                                             std::uint64_t seed = 7);
+[[nodiscard]] SyntheticSpec synth_cifar10_spec(std::size_t train_count = 2000,
+                                               std::size_t test_count = 500,
+                                               std::uint64_t seed = 11);
+[[nodiscard]] SyntheticSpec synth_cifar100_spec(std::size_t train_count = 3000,
+                                                std::size_t test_count = 600,
+                                                std::uint64_t seed = 13);
+
+}  // namespace einet::data

@@ -1,0 +1,338 @@
+#include "models/backbones.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/dense.hpp"
+#include "nn/pooling.hpp"
+
+namespace einet::models {
+
+namespace {
+
+/// Conv + BN + ReLU (+ optional 2x2 max-pool), the standard conv unit.
+nn::LayerPtr conv_unit(std::size_t in_c, std::size_t out_c, util::Rng& rng,
+                       bool pool = false, std::size_t stride = 1) {
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = in_c,
+                     .out_channels = out_c,
+                     .kernel = 3,
+                     .stride = stride,
+                     .padding = 1},
+      rng);
+  seq->emplace<nn::BatchNorm2d>(out_c);
+  seq->emplace<nn::ReLU>();
+  if (pool) seq->emplace<nn::MaxPool2d>(2);
+  return seq;
+}
+
+/// A residual unit: two conv+BN in the body, projection shortcut when the
+/// channel count or stride changes.
+nn::LayerPtr residual_unit(std::size_t in_c, std::size_t out_c,
+                           std::size_t stride, util::Rng& rng);
+
+/// Single-conv residual unit (identity skip): conv+BN inside a Residual.
+/// Used for the deep constant-width MSDNet-like trunks, which do not train
+/// as a plain conv chain at 20-40+ layers.
+nn::LayerPtr residual_conv_unit(std::size_t channels, util::Rng& rng,
+                                bool pool = false) {
+  auto body = std::make_unique<nn::Sequential>();
+  body->emplace<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = channels,
+                     .out_channels = channels,
+                     .kernel = 3,
+                     .stride = 1,
+                     .padding = 1},
+      rng);
+  body->emplace<nn::BatchNorm2d>(channels);
+  auto unit = std::make_unique<nn::Residual>(std::move(body), nullptr);
+  if (!pool) return unit;
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->add(std::move(unit));
+  seq->emplace<nn::MaxPool2d>(2);
+  return seq;
+}
+
+nn::LayerPtr residual_unit(std::size_t in_c, std::size_t out_c,
+                           std::size_t stride, util::Rng& rng) {
+  auto body = std::make_unique<nn::Sequential>();
+  body->emplace<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = in_c,
+                     .out_channels = out_c,
+                     .kernel = 3,
+                     .stride = stride,
+                     .padding = 1},
+      rng);
+  body->emplace<nn::BatchNorm2d>(out_c);
+  body->emplace<nn::ReLU>();
+  body->emplace<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = out_c,
+                     .out_channels = out_c,
+                     .kernel = 3,
+                     .stride = 1,
+                     .padding = 1},
+      rng);
+  body->emplace<nn::BatchNorm2d>(out_c);
+
+  nn::LayerPtr shortcut;
+  if (in_c != out_c || stride != 1) {
+    auto proj = std::make_unique<nn::Sequential>();
+    proj->emplace<nn::Conv2d>(
+        nn::Conv2dSpec{.in_channels = in_c,
+                       .out_channels = out_c,
+                       .kernel = 1,
+                       .stride = stride,
+                       .padding = 0},
+        rng);
+    proj->emplace<nn::BatchNorm2d>(out_c);
+    shortcut = std::move(proj);
+  }
+  return std::make_unique<nn::Residual>(std::move(body), std::move(shortcut));
+}
+
+std::size_t channels_of(const nn::Shape& input) {
+  if (input.size() != 3)
+    throw std::invalid_argument{"backbone: input shape must be (C,H,W)"};
+  return input[0];
+}
+
+}  // namespace
+
+MultiExitNetwork make_b_alexnet(const nn::Shape& input, std::size_t classes,
+                                util::Rng& rng, const BranchSpec& branch) {
+  MultiExitNetwork net{"B-AlexNet", input, classes};
+  const std::size_t c = channels_of(input);
+  net.add_block(conv_unit(c, 12, rng, /*pool=*/true), branch, rng);
+  net.add_block(conv_unit(12, 24, rng, /*pool=*/true), branch, rng);
+  net.add_block(conv_unit(24, 32, rng), branch, rng);
+  return net;
+}
+
+MultiExitNetwork make_flex_vgg16(const nn::Shape& input, std::size_t classes,
+                                 util::Rng& rng, const BranchSpec& branch) {
+  // VGG-16's five conv groups ([2,2,3,3,3] conv layers), one exit per group.
+  MultiExitNetwork net{"FlexVGG-16", input, classes};
+  const std::size_t widths[5] = {8, 16, 24, 32, 32};
+  const std::size_t group_sizes[5] = {2, 2, 3, 3, 3};
+  std::size_t in_c = channels_of(input);
+  for (std::size_t g = 0; g < 5; ++g) {
+    auto group = std::make_unique<nn::Sequential>();
+    for (std::size_t l = 0; l < group_sizes[g]; ++l) {
+      const bool last = (l + 1 == group_sizes[g]);
+      const bool pool = last && g < 3;  // 16 -> 8 -> 4 -> 2
+      group->add(conv_unit(in_c, widths[g], rng, pool));
+      in_c = widths[g];
+    }
+    net.add_block(std::move(group), branch, rng);
+  }
+  return net;
+}
+
+MultiExitNetwork make_vgg16_finegrained(const nn::Shape& input,
+                                        std::size_t classes, util::Rng& rng,
+                                        const BranchSpec& branch) {
+  // Each of VGG-16's 13 conv layers becomes its own block (paper Fig. 3),
+  // plus a final aggregation block -> 14 exits.
+  MultiExitNetwork net{"VGG-16", input, classes};
+  const std::size_t widths[13] = {8, 8, 16, 16, 24, 24, 24, 32, 32, 32, 32, 32, 32};
+  std::size_t in_c = channels_of(input);
+  for (std::size_t l = 0; l < 13; ++l) {
+    const bool pool = (l == 1 || l == 3 || l == 6);  // 16 -> 8 -> 4 -> 2
+    net.add_block(conv_unit(in_c, widths[l], rng, pool), branch, rng);
+    in_c = widths[l];
+  }
+  net.add_block(conv_unit(in_c, 32, rng), branch, rng);  // exit 14
+  return net;
+}
+
+MultiExitNetwork make_resnet50_finegrained(const nn::Shape& input,
+                                           std::size_t classes, util::Rng& rng,
+                                           const BranchSpec& branch) {
+  // Stem conv + five residual units, one exit per unit boundary -> 6 exits
+  // (the paper treats each residual unit as a conv part).
+  MultiExitNetwork net{"ResNet-50", input, classes};
+  const std::size_t c = channels_of(input);
+  net.add_block(conv_unit(c, 8, rng), branch, rng);
+  net.add_block(residual_unit(8, 16, /*stride=*/2, rng), branch, rng);
+  net.add_block(residual_unit(16, 16, 1, rng), branch, rng);
+  net.add_block(residual_unit(16, 24, 2, rng), branch, rng);
+  net.add_block(residual_unit(24, 32, 1, rng), branch, rng);
+  net.add_block(residual_unit(32, 32, 1, rng), branch, rng);
+  return net;
+}
+
+MultiExitNetwork make_msdnet(const MsdnetSpec& spec, const nn::Shape& input,
+                             std::size_t classes, util::Rng& rng,
+                             const BranchSpec& branch) {
+  if (spec.blocks == 0) throw std::invalid_argument{"make_msdnet: 0 blocks"};
+  if (spec.step == 0 || spec.base == 0 || spec.channel == 0)
+    throw std::invalid_argument{"make_msdnet: zero step/base/channel"};
+  MultiExitNetwork net{"MSDNet" + std::to_string(spec.blocks), input, classes};
+  std::size_t in_c = channels_of(input);
+
+  // Down-sample twice, a third of the way through each time, so deep
+  // variants stay affordable (stands in for MSDNet's multi-scale grid).
+  const std::size_t pool_at_1 = std::max<std::size_t>(1, spec.blocks / 3);
+  const std::size_t pool_at_2 = std::max<std::size_t>(2, 2 * spec.blocks / 3);
+
+  for (std::size_t b = 0; b < spec.blocks; ++b) {
+    const std::size_t layers = (b == 0) ? spec.base : spec.step;
+    auto part = std::make_unique<nn::Sequential>();
+    for (std::size_t l = 0; l < layers; ++l) {
+      const bool last = (l + 1 == layers);
+      const bool pool =
+          last && spec.blocks > 2 && (b == pool_at_1 || b == pool_at_2);
+      if (in_c == spec.channel) {
+        // Constant-width deep trunk: identity-skip residual conv so 20-40+
+        // layer variants remain trainable.
+        part->add(residual_conv_unit(spec.channel, rng, pool));
+      } else {
+        part->add(conv_unit(in_c, spec.channel, rng, pool));
+        in_c = spec.channel;
+      }
+    }
+    net.add_block(std::move(part), branch, rng);
+  }
+  return net;
+}
+
+MultiExitNetwork make_msdnet_dense(const MsdnetSpec& spec,
+                                   const nn::Shape& input,
+                                   std::size_t classes, util::Rng& rng,
+                                   std::size_t growth,
+                                   const BranchSpec& branch) {
+  if (spec.blocks == 0)
+    throw std::invalid_argument{"make_msdnet_dense: 0 blocks"};
+  if (spec.step == 0 || spec.base == 0 || spec.channel == 0 || growth == 0)
+    throw std::invalid_argument{"make_msdnet_dense: zero parameter"};
+  MultiExitNetwork net{"MSDNetDense" + std::to_string(spec.blocks), input,
+                       classes};
+  std::size_t in_c = channels_of(input);
+  const std::size_t pool_at_1 = std::max<std::size_t>(1, spec.blocks / 3);
+  const std::size_t pool_at_2 = std::max<std::size_t>(2, 2 * spec.blocks / 3);
+
+  auto dense_layer = [&](std::size_t channels) {
+    auto body = std::make_unique<nn::Sequential>();
+    body->emplace<nn::Conv2d>(
+        nn::Conv2dSpec{.in_channels = channels,
+                       .out_channels = growth,
+                       .kernel = 3,
+                       .stride = 1,
+                       .padding = 1},
+        rng);
+    body->emplace<nn::BatchNorm2d>(growth);
+    body->emplace<nn::ReLU>();
+    return std::make_unique<nn::DenseUnit>(std::move(body));
+  };
+
+  for (std::size_t b = 0; b < spec.blocks; ++b) {
+    const std::size_t layers = (b == 0) ? spec.base : spec.step;
+    auto part = std::make_unique<nn::Sequential>();
+    if (b == 0) {
+      // Stem conv to the base width.
+      part->add(conv_unit(in_c, spec.channel, rng));
+      in_c = spec.channel;
+    }
+    for (std::size_t l = 0; l < layers; ++l) {
+      part->add(dense_layer(in_c));
+      in_c += growth;
+    }
+    if (spec.blocks > 2 && (b == pool_at_1 || b == pool_at_2)) {
+      // Transition: 1x1 conv back to the base width, then pool.
+      auto trans = std::make_unique<nn::Sequential>();
+      trans->emplace<nn::Conv2d>(
+          nn::Conv2dSpec{.in_channels = in_c,
+                         .out_channels = spec.channel,
+                         .kernel = 1,
+                         .stride = 1,
+                         .padding = 0},
+          rng);
+      trans->emplace<nn::BatchNorm2d>(spec.channel);
+      trans->emplace<nn::ReLU>();
+      trans->emplace<nn::MaxPool2d>(2);
+      part->add(std::move(trans));
+      in_c = spec.channel;
+    }
+    net.add_block(std::move(part), branch, rng);
+  }
+  return net;
+}
+
+namespace {
+
+/// Single-exit variant: the whole trunk is one conv part with a classifier
+/// branch at the end.
+MultiExitNetwork make_single_exit_trunk(const std::string& name,
+                                        const MsdnetSpec& spec,
+                                        const nn::Shape& input,
+                                        std::size_t classes, util::Rng& rng) {
+  MultiExitNetwork net{name, input, classes};
+  std::size_t in_c = channels_of(input);
+  const std::size_t pool_at_1 = std::max<std::size_t>(1, spec.blocks / 3);
+  const std::size_t pool_at_2 = std::max<std::size_t>(2, 2 * spec.blocks / 3);
+  auto trunk = std::make_unique<nn::Sequential>();
+  for (std::size_t b = 0; b < spec.blocks; ++b) {
+    const std::size_t layers = (b == 0) ? spec.base : spec.step;
+    for (std::size_t l = 0; l < layers; ++l) {
+      const bool last = (l + 1 == layers);
+      const bool pool =
+          last && spec.blocks > 2 && (b == pool_at_1 || b == pool_at_2);
+      if (in_c == spec.channel) {
+        trunk->add(residual_conv_unit(spec.channel, rng, pool));
+      } else {
+        trunk->add(conv_unit(in_c, spec.channel, rng, pool));
+        in_c = spec.channel;
+      }
+    }
+  }
+  net.add_block(std::move(trunk), BranchSpec{}, rng);
+  return net;
+}
+
+}  // namespace
+
+MultiExitNetwork make_classic_msdnet(const MsdnetSpec& spec,
+                                     const nn::Shape& input,
+                                     std::size_t classes, util::Rng& rng) {
+  return make_single_exit_trunk("Classic", spec, input, classes, rng);
+}
+
+MultiExitNetwork make_compressed_msdnet(const MsdnetSpec& spec,
+                                        const nn::Shape& input,
+                                        std::size_t classes, util::Rng& rng) {
+  MsdnetSpec half = spec;
+  half.channel = std::max<std::size_t>(2, spec.channel / 2);
+  return make_single_exit_trunk("Compressed", half, input, classes, rng);
+}
+
+std::vector<std::string> evaluation_model_names() {
+  return {"B-AlexNet", "FlexVGG-16", "VGG-16",
+          "ResNet-50", "MSDNet21",   "MSDNet40"};
+}
+
+MultiExitNetwork make_model(const std::string& name, const nn::Shape& input,
+                            std::size_t classes, util::Rng& rng,
+                            const BranchSpec& branch) {
+  if (name == "B-AlexNet") return make_b_alexnet(input, classes, rng, branch);
+  if (name == "FlexVGG-16")
+    return make_flex_vgg16(input, classes, rng, branch);
+  if (name == "VGG-16")
+    return make_vgg16_finegrained(input, classes, rng, branch);
+  if (name == "ResNet-50")
+    return make_resnet50_finegrained(input, classes, rng, branch);
+  if (name == "MSDNet21")
+    return make_msdnet(MsdnetSpec{.blocks = 21, .step = 1, .base = 2,
+                                  .channel = 8},
+                       input, classes, rng, branch);
+  if (name == "MSDNet40")
+    return make_msdnet(MsdnetSpec{.blocks = 40, .step = 1, .base = 2,
+                                  .channel = 8},
+                       input, classes, rng, branch);
+  throw std::invalid_argument{"make_model: unknown model '" + name + "'"};
+}
+
+}  // namespace einet::models

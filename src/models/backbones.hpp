@@ -1,0 +1,77 @@
+// Backbone builders — the paper's evaluation models, width-scaled (see
+// DESIGN.md): B-AlexNet (3 exits), FlexVGG-16 (5), fine-grained VGG-16 (14),
+// fine-grained ResNet-50 (6), and MSDNet-like models parameterised by
+// (blocks, step, base, channel) including the paper's 21- and 40-block
+// variants. Also the Figure-10 baselines: a classic single-exit model and a
+// compressed single-exit model built from the same trunk family.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/multiexit.hpp"
+
+namespace einet::models {
+
+/// MSDNet structural parameters (paper Section IV-A1 / Figure 14a).
+struct MsdnetSpec {
+  std::size_t blocks = 21;
+  std::size_t step = 2;    // conv layers per block after the first
+  std::size_t base = 4;    // conv layers in the first block
+  std::size_t channel = 16;
+};
+
+[[nodiscard]] MultiExitNetwork make_b_alexnet(const nn::Shape& input,
+                                              std::size_t classes,
+                                              util::Rng& rng,
+                                              const BranchSpec& branch = {});
+
+[[nodiscard]] MultiExitNetwork make_flex_vgg16(const nn::Shape& input,
+                                               std::size_t classes,
+                                               util::Rng& rng,
+                                               const BranchSpec& branch = {});
+
+[[nodiscard]] MultiExitNetwork make_vgg16_finegrained(
+    const nn::Shape& input, std::size_t classes, util::Rng& rng,
+    const BranchSpec& branch = {});
+
+[[nodiscard]] MultiExitNetwork make_resnet50_finegrained(
+    const nn::Shape& input, std::size_t classes, util::Rng& rng,
+    const BranchSpec& branch = {});
+
+[[nodiscard]] MultiExitNetwork make_msdnet(const MsdnetSpec& spec,
+                                           const nn::Shape& input,
+                                           std::size_t classes, util::Rng& rng,
+                                           const BranchSpec& branch = {});
+
+/// Dense-connectivity MSDNet variant: each step layer's features are
+/// concatenated onto the running feature map (DenseNet-style feature reuse,
+/// closer to the real MSDNet than the residual chain); 1x1 transition convs
+/// at the pooling points reset the width. `growth` is the per-layer channel
+/// growth rate.
+[[nodiscard]] MultiExitNetwork make_msdnet_dense(
+    const MsdnetSpec& spec, const nn::Shape& input, std::size_t classes,
+    util::Rng& rng, std::size_t growth = 4, const BranchSpec& branch = {});
+
+/// Classic single-exit CNN: the MSDNet trunk with one exit at the very end.
+[[nodiscard]] MultiExitNetwork make_classic_msdnet(const MsdnetSpec& spec,
+                                                   const nn::Shape& input,
+                                                   std::size_t classes,
+                                                   util::Rng& rng);
+
+/// Compressed single-exit CNN: same depth, half the channels (so roughly a
+/// quarter of the MACs) — the Figure-10 "Compressed" baseline.
+[[nodiscard]] MultiExitNetwork make_compressed_msdnet(const MsdnetSpec& spec,
+                                                      const nn::Shape& input,
+                                                      std::size_t classes,
+                                                      util::Rng& rng);
+
+/// Evaluation-model registry keyed by the paper's names:
+/// "B-AlexNet", "FlexVGG-16", "VGG-16", "ResNet-50", "MSDNet21", "MSDNet40".
+[[nodiscard]] std::vector<std::string> evaluation_model_names();
+[[nodiscard]] MultiExitNetwork make_model(const std::string& name,
+                                          const nn::Shape& input,
+                                          std::size_t classes, util::Rng& rng,
+                                          const BranchSpec& branch = {});
+
+}  // namespace einet::models

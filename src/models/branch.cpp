@@ -1,0 +1,59 @@
+#include "models/branch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+
+namespace einet::models {
+
+nn::LayerPtr make_branch(const nn::Shape& feature_shape,
+                         std::size_t num_classes, const BranchSpec& spec,
+                         util::Rng& rng) {
+  if (feature_shape.size() != 3)
+    throw std::invalid_argument{"make_branch: feature shape must be (C,H,W)"};
+  if (num_classes == 0)
+    throw std::invalid_argument{"make_branch: num_classes == 0"};
+  if (spec.fcs == 0)
+    throw std::invalid_argument{"make_branch: need at least one FC layer"};
+
+  auto seq = std::make_unique<nn::Sequential>();
+  std::size_t channels = feature_shape[0];
+  const std::size_t h = feature_shape[1];
+  const std::size_t w = feature_shape[2];
+
+  for (std::size_t i = 0; i < spec.convs; ++i) {
+    const std::size_t out_c = spec.conv_channels == 0
+                                  ? std::max<std::size_t>(channels, 16)
+                                  : spec.conv_channels;
+    seq->emplace<nn::Conv2d>(
+        nn::Conv2dSpec{.in_channels = channels,
+                       .out_channels = out_c,
+                       .kernel = 3,
+                       .stride = 1,
+                       .padding = 1},
+        rng);
+    seq->emplace<nn::ReLU>();
+    channels = out_c;
+  }
+  std::size_t features = 0;
+  if (spec.global_pool) {
+    seq->emplace<nn::GlobalAvgPool>();
+    features = channels;
+  } else {
+    seq->emplace<nn::Flatten>();
+    features = channels * h * w;
+  }
+  for (std::size_t i = 0; i + 1 < spec.fcs; ++i) {
+    seq->emplace<nn::Linear>(features, spec.fc_hidden, rng);
+    seq->emplace<nn::ReLU>();
+    features = spec.fc_hidden;
+  }
+  seq->emplace<nn::Linear>(features, num_classes, rng);
+  return seq;
+}
+
+}  // namespace einet::models

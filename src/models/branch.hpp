@@ -1,0 +1,42 @@
+// Exit-branch construction (paper Section IV-A2).
+//
+// A *branch* is the classifier head inserted at an insertion point. The paper
+// settles on one convolutional layer followed by two fully connected layers;
+// the counts are configurable here because Figure 14(b) ablates them.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/sequential.hpp"
+
+namespace einet::models {
+
+struct BranchSpec {
+  /// Number of 3x3 convolutions at the head of the branch.
+  std::size_t convs = 1;
+  /// Number of fully connected layers (the last one emits class logits).
+  std::size_t fcs = 2;
+  /// Channel count of the branch convolutions; 0 = same as the feature map
+  /// but at least 16 (thin trunks are widened before pooling so the GAP
+  /// head is not an information bottleneck).
+  std::size_t conv_channels = 0;
+  /// Hidden width of the intermediate FC layers.
+  std::size_t fc_hidden = 32;
+  /// Pool the feature map to (C) with global average pooling before the FC
+  /// stack (true, default) instead of flattening it (false). With GAP the
+  /// branch can only use information that is already encoded *locally* in
+  /// the feature map, so an exit's accuracy is limited by the trunk depth's
+  /// receptive field — the accuracy-vs-depth profile multi-exit planners
+  /// rely on. Flatten gives every exit a global view regardless of depth.
+  bool global_pool = true;
+};
+
+/// Build a branch for a feature map of shape (C, H, W) producing
+/// `num_classes` logits. The result is a Sequential:
+///   [Conv3x3 + ReLU] * convs -> Flatten -> [FC + ReLU] * (fcs-1) -> FC.
+/// Throws std::invalid_argument for degenerate specs (fcs == 0).
+[[nodiscard]] nn::LayerPtr make_branch(const nn::Shape& feature_shape,
+                                       std::size_t num_classes,
+                                       const BranchSpec& spec, util::Rng& rng);
+
+}  // namespace einet::models

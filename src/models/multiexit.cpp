@@ -1,0 +1,164 @@
+#include "models/multiexit.hpp"
+
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace einet::models {
+
+namespace {
+/// (C,H,W) -> (1,C,H,W) for the layer cost model, and back.
+nn::Shape with_batch(const nn::Shape& chw) {
+  nn::Shape s{1};
+  s.insert(s.end(), chw.begin(), chw.end());
+  return s;
+}
+
+nn::Shape drop_batch(const nn::Shape& nchw) {
+  return nn::Shape(nchw.begin() + 1, nchw.end());
+}
+}  // namespace
+
+MultiExitNetwork::MultiExitNetwork(std::string name, nn::Shape input_shape,
+                                   std::size_t num_classes)
+    : name_(std::move(name)),
+      input_shape_(std::move(input_shape)),
+      num_classes_(num_classes) {
+  if (input_shape_.size() != 3)
+    throw std::invalid_argument{"MultiExitNetwork: input shape must be CHW"};
+  if (num_classes_ == 0)
+    throw std::invalid_argument{"MultiExitNetwork: num_classes == 0"};
+  feature_shapes_.push_back(input_shape_);
+}
+
+void MultiExitNetwork::add_block(nn::LayerPtr conv_part,
+                                 const BranchSpec& branch_spec,
+                                 util::Rng& rng) {
+  if (!conv_part)
+    throw std::invalid_argument{"MultiExitNetwork::add_block: null conv part"};
+  const nn::Shape feat =
+      drop_batch(conv_part->out_shape(with_batch(feature_shapes_.back())));
+  nn::LayerPtr branch = make_branch(feat, num_classes_, branch_spec, rng);
+  add_block(std::move(conv_part), std::move(branch));
+}
+
+void MultiExitNetwork::add_block(nn::LayerPtr conv_part, nn::LayerPtr branch) {
+  if (!conv_part || !branch)
+    throw std::invalid_argument{"MultiExitNetwork::add_block: null layer"};
+  const nn::Shape in_batch = with_batch(feature_shapes_.back());
+  const nn::Shape feat_batch = conv_part->out_shape(in_batch);
+  const nn::Shape logits = branch->out_shape(feat_batch);
+  if (logits.size() != 2 || logits[1] != num_classes_)
+    throw std::invalid_argument{
+        "MultiExitNetwork::add_block: branch must emit (N," +
+        std::to_string(num_classes_) + ") logits, got " +
+        nn::shape_str(logits)};
+  conv_part_flops_.push_back(conv_part->flops(in_batch));
+  branch_flops_.push_back(branch->flops(feat_batch));
+  feature_shapes_.push_back(drop_batch(feat_batch));
+  blocks_.push_back(Block{std::move(conv_part), std::move(branch)});
+}
+
+void MultiExitNetwork::check_block_index(std::size_t i) const {
+  if (i >= blocks_.size())
+    throw std::out_of_range{"MultiExitNetwork: block index " +
+                            std::to_string(i) + " out of range (" +
+                            std::to_string(blocks_.size()) + " blocks)"};
+}
+
+const nn::Shape& MultiExitNetwork::feature_shape(std::size_t i) const {
+  if (i >= feature_shapes_.size())
+    throw std::out_of_range{"MultiExitNetwork::feature_shape"};
+  return feature_shapes_[i];
+}
+
+std::size_t MultiExitNetwork::conv_part_flops(std::size_t i) const {
+  check_block_index(i);
+  return conv_part_flops_[i];
+}
+
+std::size_t MultiExitNetwork::branch_flops(std::size_t i) const {
+  check_block_index(i);
+  return branch_flops_[i];
+}
+
+std::size_t MultiExitNetwork::total_flops_all_branches() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    total += conv_part_flops_[i] + branch_flops_[i];
+  return total;
+}
+
+std::size_t MultiExitNetwork::trunk_flops() const {
+  std::size_t total = 0;
+  for (auto f : conv_part_flops_) total += f;
+  return total;
+}
+
+std::vector<nn::Param*> MultiExitNetwork::params() {
+  std::vector<nn::Param*> out;
+  for (auto& block : blocks_) {
+    for (auto* p : block.conv_part->params()) out.push_back(p);
+    for (auto* p : block.branch->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t MultiExitNetwork::num_params() {
+  std::size_t total = 0;
+  for (auto* p : params()) total += p->value.numel();
+  return total;
+}
+
+void MultiExitNetwork::save_weights(const std::string& path) {
+  nn::save_params_file(path, params());
+}
+
+void MultiExitNetwork::load_weights(const std::string& path) {
+  nn::load_params_file(path, params());
+}
+
+std::vector<nn::Tensor> MultiExitNetwork::forward_all(const nn::Tensor& x,
+                                                      bool train) {
+  if (blocks_.empty())
+    throw std::logic_error{"MultiExitNetwork::forward_all: no blocks"};
+  std::vector<nn::Tensor> logits;
+  logits.reserve(blocks_.size());
+  nn::Tensor features = x;
+  for (auto& block : blocks_) {
+    features = block.conv_part->forward(features, train);
+    logits.push_back(block.branch->forward(features, train));
+  }
+  return logits;
+}
+
+void MultiExitNetwork::backward_all(
+    const std::vector<nn::Tensor>& grad_logits) {
+  if (grad_logits.size() != blocks_.size())
+    throw std::invalid_argument{
+        "MultiExitNetwork::backward_all: need one gradient per exit"};
+  nn::Tensor grad_features;  // empty until the deepest block seeds it
+  for (std::size_t k = blocks_.size(); k-- > 0;) {
+    nn::Tensor g = blocks_[k].branch->backward(grad_logits[k]);
+    if (grad_features.empty()) {
+      grad_features = std::move(g);
+    } else {
+      grad_features += g;
+    }
+    grad_features = blocks_[k].conv_part->backward(grad_features);
+  }
+}
+
+nn::Tensor MultiExitNetwork::run_conv_part(std::size_t i,
+                                           const nn::Tensor& features) {
+  check_block_index(i);
+  return blocks_[i].conv_part->forward(features, /*train=*/false);
+}
+
+nn::Tensor MultiExitNetwork::run_branch(std::size_t i,
+                                        const nn::Tensor& features) {
+  check_block_index(i);
+  return blocks_[i].branch->forward(features, /*train=*/false);
+}
+
+}  // namespace einet::models

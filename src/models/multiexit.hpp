@@ -1,0 +1,98 @@
+// Multi-exit network: an ordered chain of *blocks*, each a conv part with an
+// exit branch at its end (paper Section IV-A). The network exposes
+//
+//   * a whole-network training path (forward_all / backward_all) used by the
+//     joint multi-exit trainer, and
+//   * a *stepwise* inference path (run_conv_part / run_branch) used by the
+//     online elastic-inference engine, which executes conv parts one at a
+//     time and consults the exit plan before paying for a branch.
+//
+// The analytical cost model (conv_part_flops / branch_flops) is precomputed
+// from the layer cost models and drives the simulated Platform's ET-profiles.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/branch.hpp"
+#include "nn/layer.hpp"
+
+namespace einet::models {
+
+/// One block: a conv part whose output feeds both the next block and the
+/// block's own exit branch.
+struct Block {
+  nn::LayerPtr conv_part;
+  nn::LayerPtr branch;
+};
+
+class MultiExitNetwork {
+ public:
+  /// `input_shape` is a single image (C, H, W).
+  MultiExitNetwork(std::string name, nn::Shape input_shape,
+                   std::size_t num_classes);
+
+  MultiExitNetwork(const MultiExitNetwork&) = delete;
+  MultiExitNetwork& operator=(const MultiExitNetwork&) = delete;
+  MultiExitNetwork(MultiExitNetwork&&) = default;
+  MultiExitNetwork& operator=(MultiExitNetwork&&) = default;
+
+  /// Append a block. The branch is constructed automatically from the conv
+  /// part's output shape using `branch_spec`.
+  void add_block(nn::LayerPtr conv_part, const BranchSpec& branch_spec,
+                 util::Rng& rng);
+
+  /// Append a block with an explicitly built branch (must emit logits of
+  /// shape (N, num_classes) given the conv part's output).
+  void add_block(nn::LayerPtr conv_part, nn::LayerPtr branch);
+
+  // -- Introspection ---------------------------------------------------------
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_exits() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] const nn::Shape& input_shape() const { return input_shape_; }
+  /// Feature-map shape entering block `i` (i == num_exits() -> final shape).
+  [[nodiscard]] const nn::Shape& feature_shape(std::size_t i) const;
+  /// Analytical MAC count of block i's conv part / branch for batch size 1.
+  [[nodiscard]] std::size_t conv_part_flops(std::size_t i) const;
+  [[nodiscard]] std::size_t branch_flops(std::size_t i) const;
+  [[nodiscard]] std::size_t total_flops_all_branches() const;
+  [[nodiscard]] std::size_t trunk_flops() const;
+  /// All learnable parameters (trunk + branches).
+  [[nodiscard]] std::vector<nn::Param*> params();
+  [[nodiscard]] std::size_t num_params();
+  /// Persist / restore all weights (see nn/serialize.hpp for the format).
+  void save_weights(const std::string& path);
+  void load_weights(const std::string& path);
+
+  // -- Whole-network training path ---------------------------------------------
+  /// Forward through every block, returning logits at every exit.
+  /// `train` enables gradient caching; exactly one backward_all() may follow.
+  [[nodiscard]] std::vector<nn::Tensor> forward_all(const nn::Tensor& x,
+                                                    bool train);
+
+  /// Backprop the per-exit logit gradients produced by forward_all(train=true).
+  void backward_all(const std::vector<nn::Tensor>& grad_logits);
+
+  // -- Stepwise inference path (no gradients) ----------------------------------
+  /// Run block i's conv part on the given features (batch layout NCHW).
+  [[nodiscard]] nn::Tensor run_conv_part(std::size_t i,
+                                         const nn::Tensor& features);
+  /// Run block i's branch on the conv part's output; returns logits.
+  [[nodiscard]] nn::Tensor run_branch(std::size_t i,
+                                      const nn::Tensor& features);
+
+ private:
+  void check_block_index(std::size_t i) const;
+
+  std::string name_;
+  nn::Shape input_shape_;   // (C, H, W)
+  std::size_t num_classes_;
+  std::vector<Block> blocks_;
+  std::vector<nn::Shape> feature_shapes_;      // size num_exits()+1, batch-1 CHW
+  std::vector<std::size_t> conv_part_flops_;   // per block
+  std::vector<std::size_t> branch_flops_;      // per block
+};
+
+}  // namespace einet::models

@@ -1,0 +1,102 @@
+#include "models/trainer.hpp"
+
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace einet::models {
+
+template <typename Optimizer>
+float MultiExitTrainer::train_step(const data::Batch& batch, Optimizer& opt,
+                                   const std::vector<float>& weights) {
+  if (batch.size() == 0)
+    throw std::invalid_argument{"train_step: empty batch"};
+  if (weights.size() != net_.num_exits())
+    throw std::invalid_argument{"train_step: weight count mismatch"};
+
+  opt.zero_grad();
+  const auto logits = net_.forward_all(batch.images, /*train=*/true);
+  float total_loss = 0.0f;
+  std::vector<nn::Tensor> grads;
+  grads.reserve(logits.size());
+  for (std::size_t k = 0; k < logits.size(); ++k) {
+    auto res = nn::softmax_cross_entropy(logits[k], batch.labels);
+    total_loss += weights[k] * res.loss;
+    res.grad *= weights[k];
+    grads.push_back(std::move(res.grad));
+  }
+  net_.backward_all(grads);
+  opt.step();
+  return total_loss;
+}
+
+float MultiExitTrainer::train(const data::Dataset& train,
+                              const TrainConfig& config) {
+  std::vector<float> weights = config.exit_weights;
+  if (weights.empty()) {
+    weights.assign(net_.num_exits(), 1.0f);
+  } else if (weights.size() != net_.num_exits()) {
+    throw std::invalid_argument{"train: exit_weights size mismatch"};
+  }
+
+  util::Rng rng{config.seed};
+  float epoch_loss = 0.0f;
+  auto run_epochs = [&](auto& opt) {
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      data::BatchIterator it{train, config.batch_size, rng};
+      double loss_acc = 0.0;
+      std::size_t batches = 0;
+      for (auto batch = it.next(); batch.size() != 0; batch = it.next()) {
+        loss_acc += train_step(batch, opt, weights);
+        ++batches;
+      }
+      epoch_loss =
+          batches ? static_cast<float>(loss_acc / static_cast<double>(batches))
+                  : 0.0f;
+      if (config.on_epoch) config.on_epoch(epoch, epoch_loss);
+    }
+  };
+  if (config.use_adam) {
+    nn::Adam opt{net_.params(), config.adam};
+    run_epochs(opt);
+  } else {
+    nn::Sgd opt{net_.params(), config.sgd};
+    run_epochs(opt);
+  }
+  return epoch_loss;
+}
+
+// Explicit instantiations for the public template.
+template float MultiExitTrainer::train_step<nn::Sgd>(
+    const data::Batch&, nn::Sgd&, const std::vector<float>&);
+template float MultiExitTrainer::train_step<nn::Adam>(
+    const data::Batch&, nn::Adam&, const std::vector<float>&);
+
+EvalResult MultiExitTrainer::evaluate(const data::Dataset& ds,
+                                      std::size_t batch_size) {
+  if (ds.size() == 0) throw std::invalid_argument{"evaluate: empty dataset"};
+  std::vector<std::size_t> correct(net_.num_exits(), 0);
+  std::vector<std::size_t> indices(batch_size);
+  for (std::size_t start = 0; start < ds.size(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, ds.size());
+    indices.resize(end - start);
+    for (std::size_t i = start; i < end; ++i) indices[i - start] = i;
+    const data::Batch batch = data::make_batch(ds, indices);
+    const auto logits = net_.forward_all(batch.images, /*train=*/false);
+    for (std::size_t k = 0; k < logits.size(); ++k) {
+      const std::size_t classes = logits[k].dim(1);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        std::span<const float> row{logits[k].raw() + i * classes, classes};
+        if (nn::span_argmax(row) == batch.labels[i]) ++correct[k];
+      }
+    }
+  }
+  EvalResult res;
+  res.exit_accuracy.reserve(net_.num_exits());
+  for (auto c : correct)
+    res.exit_accuracy.push_back(static_cast<double>(c) /
+                                static_cast<double>(ds.size()));
+  return res;
+}
+
+}  // namespace einet::models

@@ -1,0 +1,64 @@
+// Joint multi-exit training (weighted sum of per-exit cross-entropies) and
+// per-exit evaluation.
+//
+// The paper trains multi-exit models "from back to front while
+// backpropagating" with an unfrozen backbone; the standard equivalent — and
+// what BranchyNet/MSDNet do — is a single joint objective over all exits,
+// which is what we implement (documented substitution in DESIGN.md).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/multiexit.hpp"
+#include "nn/optimizer.hpp"
+
+namespace einet::models {
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  /// Optimiser choice. The paper uses SGD; Adam is the default here because
+  /// the scaled-down training budgets need its convergence speed (DESIGN.md).
+  bool use_adam = true;
+  nn::AdamConfig adam{.lr = 3e-3f, .weight_decay = 1e-4f, .clip_norm = 0.0f};
+  nn::SgdConfig sgd{.lr = 0.01f, .momentum = 0.9f, .weight_decay = 1e-4f,
+                    .clip_norm = 5.0f};
+  /// Per-exit loss weights; empty = uniform.
+  std::vector<float> exit_weights;
+  std::uint64_t seed = 42;
+  /// Optional per-epoch callback (epoch index, mean training loss).
+  std::function<void(std::size_t, float)> on_epoch;
+};
+
+struct EvalResult {
+  /// Top-1 accuracy at each exit over the evaluation set.
+  std::vector<double> exit_accuracy;
+  /// Accuracy of the deepest exit (the model's "final accuracy").
+  [[nodiscard]] double final_accuracy() const {
+    return exit_accuracy.empty() ? 0.0 : exit_accuracy.back();
+  }
+};
+
+class MultiExitTrainer {
+ public:
+  explicit MultiExitTrainer(MultiExitNetwork& net) : net_(net) {}
+
+  /// Train on `train` for config.epochs; returns the last epoch's mean loss.
+  float train(const data::Dataset& train, const TrainConfig& config);
+
+  /// One optimisation step on a minibatch; returns the summed exit loss.
+  template <typename Optimizer>
+  float train_step(const data::Batch& batch, Optimizer& opt,
+                   const std::vector<float>& weights);
+
+  /// Per-exit accuracy over a dataset (evaluation mode, batched).
+  [[nodiscard]] EvalResult evaluate(const data::Dataset& ds,
+                                    std::size_t batch_size = 64);
+
+ private:
+  MultiExitNetwork& net_;
+};
+
+}  // namespace einet::models

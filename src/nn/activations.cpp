@@ -1,0 +1,85 @@
+#include "nn/activations.hpp"
+
+#include <stdexcept>
+
+namespace einet::nn {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  if (train) mask_ = Tensor{x.shape()};
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] > 0.0f) {
+      if (train) mask_[i] = 1.0f;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (mask_.empty())
+    throw std::logic_error{"ReLU::backward without forward(train=true)"};
+  if (grad_out.shape() != mask_.shape())
+    throw std::invalid_argument{"ReLU::backward: bad grad shape"};
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.numel(); ++i) grad_in[i] *= mask_[i];
+  return grad_in;
+}
+
+Dropout::Dropout(double p, util::Rng& rng) : p_(p), rng_(rng.split()) {
+  if (p < 0.0 || p >= 1.0)
+    throw std::invalid_argument{"Dropout: p must be in [0, 1)"};
+}
+
+std::string Dropout::name() const {
+  return "Dropout(p=" + std::to_string(p_) + ")";
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ == 0.0) return x;
+  const auto scale = static_cast<float>(1.0 / (1.0 - p_));
+  mask_ = Tensor{x.shape()};
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (rng_.bernoulli(p_)) {
+      y[i] = 0.0f;
+    } else {
+      mask_[i] = scale;
+      y[i] *= scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (p_ == 0.0) return grad_out;
+  if (mask_.empty())
+    throw std::logic_error{"Dropout::backward without forward(train=true)"};
+  if (grad_out.shape() != mask_.shape())
+    throw std::invalid_argument{"Dropout::backward: bad grad shape"};
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.numel(); ++i) grad_in[i] *= mask_[i];
+  return grad_in;
+}
+
+Shape Flatten::out_shape(const Shape& in) const {
+  if (in.size() < 2)
+    throw std::invalid_argument{"Flatten::out_shape: rank must be >= 2"};
+  std::size_t tail = 1;
+  for (std::size_t i = 1; i < in.size(); ++i) tail *= in[i];
+  return {in[0], tail};
+}
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  if (train) cached_shape_ = x.shape();
+  return x.reshaped(out_shape(x.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  if (cached_shape_.empty())
+    throw std::logic_error{"Flatten::backward without forward(train=true)"};
+  return grad_out.reshaped(cached_shape_);
+}
+
+}  // namespace einet::nn

@@ -1,0 +1,58 @@
+// Stateless / mask-based layers: ReLU, Dropout, Flatten.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace einet::nn {
+
+class ReLU final : public Layer {
+ public:
+  ReLU() = default;
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
+  [[nodiscard]] std::size_t flops(const Shape& in) const override {
+    return shape_numel(in);
+  }
+
+ private:
+  Tensor mask_;  // 1.0 where input > 0
+};
+
+/// Inverted dropout: activations are scaled by 1/(1-p) at train time so that
+/// inference needs no rescaling. Each forward(train=true) draws a new mask.
+class Dropout final : public Layer {
+ public:
+  Dropout(double p, util::Rng& rng);
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
+  [[nodiscard]] std::size_t flops(const Shape& in) const override {
+    return shape_numel(in);
+  }
+
+  [[nodiscard]] double p() const { return p_; }
+
+ private:
+  double p_;
+  util::Rng rng_;
+  Tensor mask_;
+};
+
+/// (N, C, H, W) -> (N, C*H*W). Any rank >= 2 is flattened after axis 0.
+class Flatten final : public Layer {
+ public:
+  Flatten() = default;
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] std::size_t flops(const Shape&) const override { return 0; }
+
+ private:
+  Shape cached_shape_;
+};
+
+}  // namespace einet::nn

@@ -1,0 +1,141 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace einet::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("gamma", Tensor::ones({channels})),
+      beta_("beta", Tensor::zeros({channels})),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::ones({channels})) {
+  if (channels == 0) throw std::invalid_argument{"BatchNorm2d: channels == 0"};
+}
+
+std::string BatchNorm2d::name() const {
+  return "BatchNorm2d(" + std::to_string(channels_) + ")";
+}
+
+Shape BatchNorm2d::out_shape(const Shape& in) const {
+  if (in.size() != 4 || in[1] != channels_)
+    throw std::invalid_argument{"BatchNorm2d::out_shape: expected (N," +
+                                std::to_string(channels_) + ",H,W), got " +
+                                shape_str(in)};
+  return in;
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  (void)out_shape(x.shape());
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t plane = h * w;
+  const auto count = static_cast<float>(n * plane);
+  Tensor y{x.shape()};
+
+  if (train) {
+    cached_in_shape_ = x.shape();
+    cached_xhat_ = Tensor{x.shape()};
+    cached_inv_std_ = Tensor{{c}};
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      // Batch mean / variance for this channel.
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* p = x.raw() + (i * c + ch) * plane;
+        for (std::size_t s = 0; s < plane; ++s) mean += p[s];
+      }
+      mean /= count;
+      double var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* p = x.raw() + (i * c + ch) * plane;
+        for (std::size_t s = 0; s < plane; ++s) {
+          const double d = p[s] - mean;
+          var += d * d;
+        }
+      }
+      var /= count;
+
+      const auto inv_std =
+          static_cast<float>(1.0 / std::sqrt(var + eps_));
+      cached_inv_std_[ch] = inv_std;
+      const float g = gamma_.value[ch];
+      const float b = beta_.value[ch];
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* p = x.raw() + (i * c + ch) * plane;
+        float* xh = cached_xhat_.raw() + (i * c + ch) * plane;
+        float* yo = y.raw() + (i * c + ch) * plane;
+        for (std::size_t s = 0; s < plane; ++s) {
+          const float v = (p[s] - static_cast<float>(mean)) * inv_std;
+          xh[s] = v;
+          yo[s] = g * v + b;
+        }
+      }
+      running_mean_[ch] = (1.0f - momentum_) * running_mean_[ch] +
+                          momentum_ * static_cast<float>(mean);
+      running_var_[ch] = (1.0f - momentum_) * running_var_[ch] +
+                         momentum_ * static_cast<float>(var);
+    }
+  } else {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float inv_std =
+          1.0f / std::sqrt(running_var_[ch] + eps_);
+      const float mean = running_mean_[ch];
+      const float g = gamma_.value[ch];
+      const float b = beta_.value[ch];
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* p = x.raw() + (i * c + ch) * plane;
+        float* yo = y.raw() + (i * c + ch) * plane;
+        for (std::size_t s = 0; s < plane; ++s)
+          yo[s] = g * (p[s] - mean) * inv_std + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  if (cached_in_shape_.empty())
+    throw std::logic_error{"BatchNorm2d::backward without forward(train=true)"};
+  if (grad_out.shape() != cached_in_shape_)
+    throw std::invalid_argument{"BatchNorm2d::backward: bad grad shape"};
+  const std::size_t n = cached_in_shape_[0], c = cached_in_shape_[1],
+                    h = cached_in_shape_[2], w = cached_in_shape_[3];
+  const std::size_t plane = h * w;
+  const auto count = static_cast<float>(n * plane);
+  Tensor grad_in{cached_in_shape_};
+
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    // Standard BN backward:
+    //   dxhat = dy * gamma
+    //   dx = inv_std/count * (count*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* gy = grad_out.raw() + (i * c + ch) * plane;
+      const float* xh = cached_xhat_.raw() + (i * c + ch) * plane;
+      for (std::size_t s = 0; s < plane; ++s) {
+        sum_dy += gy[s];
+        sum_dy_xhat += static_cast<double>(gy[s]) * xh[s];
+      }
+    }
+    gamma_.grad[ch] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[ch] += static_cast<float>(sum_dy);
+
+    const float g = gamma_.value[ch];
+    const float inv_std = cached_inv_std_[ch];
+    const auto mean_dy = static_cast<float>(sum_dy / count);
+    const auto mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* gy = grad_out.raw() + (i * c + ch) * plane;
+      const float* xh = cached_xhat_.raw() + (i * c + ch) * plane;
+      float* gx = grad_in.raw() + (i * c + ch) * plane;
+      for (std::size_t s = 0; s < plane; ++s) {
+        gx[s] = g * inv_std * (gy[s] - mean_dy - xh[s] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace einet::nn

@@ -1,0 +1,43 @@
+// Batch normalisation over the channel axis of an NCHW tensor.
+// Training uses batch statistics and updates running estimates; evaluation
+// uses the running estimates (standard BN semantics).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace einet::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] std::size_t flops(const Shape& in) const override {
+    return 2 * shape_numel(in);
+  }
+
+  [[nodiscard]] std::size_t channels() const { return channels_; }
+  /// Running estimates (exposed for serialization).
+  [[nodiscard]] Tensor& running_mean() { return running_mean_; }
+  [[nodiscard]] Tensor& running_var() { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float momentum_;
+  float eps_;
+  Param gamma_;
+  Param beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Cached for backward.
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // per channel
+  Shape cached_in_shape_;
+};
+
+}  // namespace einet::nn

@@ -1,0 +1,196 @@
+#include "nn/conv2d.hpp"
+
+#include <stdexcept>
+
+namespace einet::nn {
+
+namespace {
+
+/// Unfold one image (C,H,W) into columns of shape (C*k*k, out_h*out_w).
+void im2col(const float* img, std::size_t channels, std::size_t h,
+            std::size_t w, std::size_t k, std::size_t stride, std::size_t pad,
+            std::size_t out_h, std::size_t out_w, float* col) {
+  const std::size_t patch = channels * k * k;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < k; ++ki) {
+      for (std::size_t kj = 0; kj < k; ++kj) {
+        const std::size_t row = (c * k + ki) * k + kj;
+        float* dst = col + row * out_h * out_w;
+        for (std::size_t oi = 0; oi < out_h; ++oi) {
+          const long ii = static_cast<long>(oi * stride + ki) -
+                          static_cast<long>(pad);
+          for (std::size_t oj = 0; oj < out_w; ++oj) {
+            const long jj = static_cast<long>(oj * stride + kj) -
+                            static_cast<long>(pad);
+            float v = 0.0f;
+            if (ii >= 0 && jj >= 0 && ii < static_cast<long>(h) &&
+                jj < static_cast<long>(w)) {
+              v = img[(c * h + static_cast<std::size_t>(ii)) * w +
+                      static_cast<std::size_t>(jj)];
+            }
+            dst[oi * out_w + oj] = v;
+          }
+        }
+      }
+    }
+  }
+  (void)patch;
+}
+
+/// Scatter-add columns back into an image (inverse of im2col).
+void col2im(const float* col, std::size_t channels, std::size_t h,
+            std::size_t w, std::size_t k, std::size_t stride, std::size_t pad,
+            std::size_t out_h, std::size_t out_w, float* img) {
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < k; ++ki) {
+      for (std::size_t kj = 0; kj < k; ++kj) {
+        const std::size_t row = (c * k + ki) * k + kj;
+        const float* src = col + row * out_h * out_w;
+        for (std::size_t oi = 0; oi < out_h; ++oi) {
+          const long ii = static_cast<long>(oi * stride + ki) -
+                          static_cast<long>(pad);
+          if (ii < 0 || ii >= static_cast<long>(h)) continue;
+          for (std::size_t oj = 0; oj < out_w; ++oj) {
+            const long jj = static_cast<long>(oj * stride + kj) -
+                            static_cast<long>(pad);
+            if (jj < 0 || jj >= static_cast<long>(w)) continue;
+            img[(c * h + static_cast<std::size_t>(ii)) * w +
+                static_cast<std::size_t>(jj)] += src[oi * out_w + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Conv2d::Conv2d(const Conv2dSpec& spec, util::Rng& rng)
+    : spec_(spec),
+      weight_("weight",
+              Tensor::kaiming(
+                  {spec.out_channels, spec.in_channels * spec.kernel * spec.kernel},
+                  spec.in_channels * spec.kernel * spec.kernel, rng)),
+      bias_("bias", Tensor::zeros({spec.out_channels})) {
+  if (spec_.in_channels == 0 || spec_.out_channels == 0 || spec_.kernel == 0 ||
+      spec_.stride == 0) {
+    throw std::invalid_argument{"Conv2d: zero-sized spec field"};
+  }
+}
+
+std::size_t Conv2d::out_size(std::size_t in) const {
+  const std::size_t padded = in + 2 * spec_.padding;
+  if (padded < spec_.kernel)
+    throw std::invalid_argument{"Conv2d: input smaller than kernel"};
+  return (padded - spec_.kernel) / spec_.stride + 1;
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(spec_.in_channels) + "->" +
+         std::to_string(spec_.out_channels) + ",k" +
+         std::to_string(spec_.kernel) + ",s" + std::to_string(spec_.stride) +
+         ",p" + std::to_string(spec_.padding) + ")";
+}
+
+Shape Conv2d::out_shape(const Shape& in) const {
+  if (in.size() != 4 || in[1] != spec_.in_channels)
+    throw std::invalid_argument{"Conv2d::out_shape: expected (N," +
+                                std::to_string(spec_.in_channels) +
+                                ",H,W), got " + shape_str(in)};
+  return {in[0], spec_.out_channels, out_size(in[2]), out_size(in[3])};
+}
+
+std::size_t Conv2d::flops(const Shape& in) const {
+  const Shape out = out_shape(in);
+  return shape_numel(out) * spec_.in_channels * spec_.kernel * spec_.kernel;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  const Shape os = out_shape(x.shape());
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t out_h = os[2], out_w = os[3];
+  const std::size_t patch = spec_.in_channels * spec_.kernel * spec_.kernel;
+  const std::size_t spatial = out_h * out_w;
+
+  Tensor y{os};
+  std::vector<float> col(patch * spatial);
+  const float* wgt = weight_.value.raw();
+  const float* b = bias_.value.raw();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* img = x.raw() + i * spec_.in_channels * h * w;
+    im2col(img, spec_.in_channels, h, w, spec_.kernel, spec_.stride,
+           spec_.padding, out_h, out_w, col.data());
+    float* yi = y.raw() + i * spec_.out_channels * spatial;
+    // GEMM: (out_c x patch) * (patch x spatial)
+    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+      float* yrow = yi + oc * spatial;
+      for (std::size_t s = 0; s < spatial; ++s) yrow[s] = b[oc];
+      const float* wrow = wgt + oc * patch;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const float wv = wrow[p];
+        if (wv == 0.0f) continue;
+        const float* crow = col.data() + p * spatial;
+        for (std::size_t s = 0; s < spatial; ++s) yrow[s] += wv * crow[s];
+      }
+    }
+  }
+  if (train) cached_input_ = x;
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (cached_input_.empty())
+    throw std::logic_error{"Conv2d::backward without forward(train=true)"};
+  const Tensor& x = cached_input_;
+  const Shape os = out_shape(x.shape());
+  if (grad_out.shape() != os)
+    throw std::invalid_argument{"Conv2d::backward: bad grad shape " +
+                                shape_str(grad_out.shape())};
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t out_h = os[2], out_w = os[3];
+  const std::size_t patch = spec_.in_channels * spec_.kernel * spec_.kernel;
+  const std::size_t spatial = out_h * out_w;
+
+  Tensor grad_in{x.shape()};
+  std::vector<float> col(patch * spatial);
+  std::vector<float> gcol(patch * spatial);
+  float* gw = weight_.grad.raw();
+  float* gb = bias_.grad.raw();
+  const float* wgt = weight_.value.raw();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* img = x.raw() + i * spec_.in_channels * h * w;
+    im2col(img, spec_.in_channels, h, w, spec_.kernel, spec_.stride,
+           spec_.padding, out_h, out_w, col.data());
+    const float* gy = grad_out.raw() + i * spec_.out_channels * spatial;
+
+    // dW += gy * col^T ; db += sum(gy) ; gcol = W^T * gy
+    std::fill(gcol.begin(), gcol.end(), 0.0f);
+    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+      const float* gyrow = gy + oc * spatial;
+      float* gwrow = gw + oc * patch;
+      const float* wrow = wgt + oc * patch;
+      float bacc = 0.0f;
+      for (std::size_t s = 0; s < spatial; ++s) bacc += gyrow[s];
+      gb[oc] += bacc;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const float* crow = col.data() + p * spatial;
+        float* gcrow = gcol.data() + p * spatial;
+        const float wv = wrow[p];
+        float acc = 0.0f;
+        for (std::size_t s = 0; s < spatial; ++s) {
+          acc += gyrow[s] * crow[s];
+          gcrow[s] += wv * gyrow[s];
+        }
+        gwrow[p] += acc;
+      }
+    }
+    col2im(gcol.data(), spec_.in_channels, h, w, spec_.kernel, spec_.stride,
+           spec_.padding, out_h, out_w,
+           grad_in.raw() + i * spec_.in_channels * h * w);
+  }
+  return grad_in;
+}
+
+}  // namespace einet::nn

@@ -1,0 +1,41 @@
+// 2-d convolution over NCHW tensors, implemented as im2col + GEMM.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace einet::nn {
+
+struct Conv2dSpec {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 1;
+};
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(const Conv2dSpec& spec, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] std::size_t flops(const Shape& in) const override;
+
+  [[nodiscard]] const Conv2dSpec& spec() const { return spec_; }
+  [[nodiscard]] Param& weight() { return weight_; }
+  [[nodiscard]] Param& bias() { return bias_; }
+
+ private:
+  /// Spatial output size along one axis for input size `in`.
+  [[nodiscard]] std::size_t out_size(std::size_t in) const;
+
+  Conv2dSpec spec_;
+  Param weight_;  // (out_c, in_c * k * k)
+  Param bias_;    // (out_c)
+  Tensor cached_input_;
+};
+
+}  // namespace einet::nn

@@ -1,0 +1,74 @@
+#include "nn/dense.hpp"
+
+#include <stdexcept>
+
+namespace einet::nn {
+
+DenseUnit::DenseUnit(LayerPtr body) : body_(std::move(body)) {
+  if (!body_) throw std::invalid_argument{"DenseUnit: null body"};
+}
+
+std::string DenseUnit::name() const {
+  return "DenseUnit{" + body_->name() + "}";
+}
+
+Shape DenseUnit::out_shape(const Shape& in) const {
+  if (in.size() != 4)
+    throw std::invalid_argument{"DenseUnit::out_shape: rank must be 4"};
+  const Shape body_out = body_->out_shape(in);
+  if (body_out.size() != 4 || body_out[0] != in[0] || body_out[2] != in[2] ||
+      body_out[3] != in[3])
+    throw std::invalid_argument{
+        "DenseUnit: body must preserve batch and spatial dims (got " +
+        shape_str(body_out) + " for input " + shape_str(in) + ")"};
+  return {in[0], in[1] + body_out[1], in[2], in[3]};
+}
+
+std::size_t DenseUnit::flops(const Shape& in) const {
+  return body_->flops(in) + shape_numel(in);  // body + copy
+}
+
+Tensor DenseUnit::forward(const Tensor& x, bool train) {
+  const Shape os = out_shape(x.shape());
+  const Tensor g = body_->forward(x, train);
+  const std::size_t n = x.dim(0);
+  const std::size_t c_in = x.dim(1), c_body = g.dim(1);
+  const std::size_t plane = x.dim(2) * x.dim(3);
+  Tensor y{os};
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(x.raw() + i * c_in * plane, x.raw() + (i + 1) * c_in * plane,
+              y.raw() + i * (c_in + c_body) * plane);
+    std::copy(g.raw() + i * c_body * plane, g.raw() + (i + 1) * c_body * plane,
+              y.raw() + (i * (c_in + c_body) + c_in) * plane);
+  }
+  if (train) cached_in_shape_ = x.shape();
+  return y;
+}
+
+Tensor DenseUnit::backward(const Tensor& grad_out) {
+  if (cached_in_shape_.empty())
+    throw std::logic_error{"DenseUnit::backward without forward(train=true)"};
+  const Shape os = out_shape(cached_in_shape_);
+  if (grad_out.shape() != os)
+    throw std::invalid_argument{"DenseUnit::backward: bad grad shape"};
+  const std::size_t n = cached_in_shape_[0];
+  const std::size_t c_in = cached_in_shape_[1];
+  const std::size_t c_body = os[1] - c_in;
+  const std::size_t plane = cached_in_shape_[2] * cached_in_shape_[3];
+
+  // Split the incoming gradient into the passthrough part and the body part.
+  Tensor grad_body{{n, c_body, cached_in_shape_[2], cached_in_shape_[3]}};
+  Tensor grad_in{cached_in_shape_};
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(grad_out.raw() + i * (c_in + c_body) * plane,
+              grad_out.raw() + (i * (c_in + c_body) + c_in) * plane,
+              grad_in.raw() + i * c_in * plane);
+    std::copy(grad_out.raw() + (i * (c_in + c_body) + c_in) * plane,
+              grad_out.raw() + (i + 1) * (c_in + c_body) * plane,
+              grad_body.raw() + i * c_body * plane);
+  }
+  grad_in += body_->backward(grad_body);
+  return grad_in;
+}
+
+}  // namespace einet::nn

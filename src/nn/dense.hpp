@@ -1,0 +1,31 @@
+// Dense (concatenative) connectivity — the defining feature of MSDNet's
+// DenseNet-style trunks. A DenseUnit wraps a body whose output is
+// concatenated with its input along the channel axis:
+//
+//   y = concat(x, body(x))     (N, C_in + C_body, H, W)
+//
+// so later blocks see the features of every earlier block (feature reuse).
+// The spatial dimensions of x and body(x) must match.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace einet::nn {
+
+class DenseUnit final : public Layer {
+ public:
+  explicit DenseUnit(LayerPtr body);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return body_->params(); }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] std::size_t flops(const Shape& in) const override;
+
+ private:
+  LayerPtr body_;
+  Shape cached_in_shape_;
+};
+
+}  // namespace einet::nn

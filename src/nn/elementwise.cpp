@@ -1,0 +1,81 @@
+#include "nn/elementwise.hpp"
+
+#include <stdexcept>
+
+namespace einet::nn {
+
+LeakyReLU::LeakyReLU(float alpha) : alpha_(alpha) {
+  if (alpha < 0.0f || alpha >= 1.0f)
+    throw std::invalid_argument{"LeakyReLU: alpha must be in [0, 1)"};
+}
+
+std::string LeakyReLU::name() const {
+  return "LeakyReLU(" + std::to_string(alpha_) + ")";
+}
+
+Tensor LeakyReLU::forward(const Tensor& x, bool train) {
+  Tensor y = x;
+  if (train) slope_ = Tensor{x.shape()};
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] > 0.0f) {
+      if (train) slope_[i] = 1.0f;
+    } else {
+      y[i] *= alpha_;
+      if (train) slope_[i] = alpha_;
+    }
+  }
+  return y;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_out) {
+  if (slope_.empty())
+    throw std::logic_error{"LeakyReLU::backward without forward(train=true)"};
+  if (grad_out.shape() != slope_.shape())
+    throw std::invalid_argument{"LeakyReLU::backward: bad grad shape"};
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.numel(); ++i) grad_in[i] *= slope_[i];
+  return grad_in;
+}
+
+Tensor Sigmoid::forward(const Tensor& x, bool train) {
+  Tensor y{x.shape()};
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  if (train) cached_output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  if (cached_output_.empty())
+    throw std::logic_error{"Sigmoid::backward without forward(train=true)"};
+  if (grad_out.shape() != cached_output_.shape())
+    throw std::invalid_argument{"Sigmoid::backward: bad grad shape"};
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.numel(); ++i) {
+    const float s = cached_output_[i];
+    grad_in[i] *= s * (1.0f - s);
+  }
+  return grad_in;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool train) {
+  Tensor y{x.shape()};
+  for (std::size_t i = 0; i < x.numel(); ++i) y[i] = std::tanh(x[i]);
+  if (train) cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  if (cached_output_.empty())
+    throw std::logic_error{"Tanh::backward without forward(train=true)"};
+  if (grad_out.shape() != cached_output_.shape())
+    throw std::invalid_argument{"Tanh::backward: bad grad shape"};
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.numel(); ++i) {
+    const float t = cached_output_[i];
+    grad_in[i] *= 1.0f - t * t;
+  }
+  return grad_in;
+}
+
+}  // namespace einet::nn

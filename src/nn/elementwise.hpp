@@ -1,0 +1,61 @@
+// Additional element-wise activation layers (LeakyReLU / Sigmoid / Tanh).
+// ReLU stays a dedicated layer in activations.hpp (its mask-based backward
+// is cheaper and it dominates usage in the backbones).
+#pragma once
+
+#include <cmath>
+
+#include "nn/layer.hpp"
+
+namespace einet::nn {
+
+/// y = x for x > 0, alpha * x otherwise.
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float alpha = 0.01f);
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
+  [[nodiscard]] std::size_t flops(const Shape& in) const override {
+    return shape_numel(in);
+  }
+
+ private:
+  float alpha_;
+  Tensor slope_;  // per-element derivative recorded at forward time
+};
+
+/// Logistic sigmoid.
+class Sigmoid final : public Layer {
+ public:
+  Sigmoid() = default;
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Sigmoid"; }
+  [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
+  [[nodiscard]] std::size_t flops(const Shape& in) const override {
+    return 4 * shape_numel(in);
+  }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Hyperbolic tangent.
+class Tanh final : public Layer {
+ public:
+  Tanh() = default;
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+  [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
+  [[nodiscard]] std::size_t flops(const Shape& in) const override {
+    return 4 * shape_numel(in);
+  }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace einet::nn

@@ -1,0 +1,67 @@
+// Layer interface for the NN substrate.
+//
+// Layers are stateful training units: forward() caches whatever backward()
+// needs, and backward() must be called at most once per forward(). Besides
+// forward/backward each layer exposes an *analytical cost model*
+// (out_shape / flops) — this is what the deterministic Platform simulator in
+// src/profiling uses to produce ET-profiles without depending on host timing
+// noise.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace einet::nn {
+
+/// A learnable parameter: value plus its gradient accumulator. The optimiser
+/// attaches per-parameter state (momentum) keyed by pointer identity.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+  Layer(Layer&&) = default;
+  Layer& operator=(Layer&&) = default;
+
+  /// Run the layer. `train` enables training-only behaviour (dropout masks,
+  /// batch-norm batch statistics) and caching for backward().
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Propagate gradients: given dL/d(output) return dL/d(input), and
+  /// accumulate dL/d(param) into each Param::grad. Requires a preceding
+  /// forward(x, /*train=*/true).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Human-readable layer name for debugging / serialization.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Output shape for a given input shape (throws on incompatible input).
+  [[nodiscard]] virtual Shape out_shape(const Shape& in) const = 0;
+
+  /// Approximate multiply-accumulate count of one forward pass over the
+  /// given input shape. Drives the simulated Platform cost model.
+  [[nodiscard]] virtual std::size_t flops(const Shape& in) const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace einet::nn

@@ -1,0 +1,88 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+namespace einet::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               util::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_("weight", Tensor::kaiming({out_features, in_features},
+                                        in_features, rng)),
+      bias_("bias", Tensor::zeros({out_features})) {
+  if (in_ == 0 || out_ == 0)
+    throw std::invalid_argument{"Linear: zero-sized dimension"};
+}
+
+std::string Linear::name() const {
+  return "Linear(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+Shape Linear::out_shape(const Shape& in) const {
+  if (in.size() != 2 || in[1] != in_)
+    throw std::invalid_argument{"Linear::out_shape: expected (N," +
+                                std::to_string(in_) + "), got " +
+                                shape_str(in)};
+  return {in[0], out_};
+}
+
+std::size_t Linear::flops(const Shape& in) const {
+  return shape_numel(out_shape(in)) * in_;
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  if (x.rank() != 2 || x.dim(1) != in_)
+    throw std::invalid_argument{"Linear::forward: expected (N," +
+                                std::to_string(in_) + "), got " +
+                                shape_str(x.shape())};
+  const std::size_t n = x.dim(0);
+  Tensor y{{n, out_}};
+  const float* w = weight_.value.raw();
+  const float* b = bias_.value.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.raw() + i * in_;
+    float* yi = y.raw() + i * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* wo = w + o * in_;
+      float acc = b[o];
+      for (std::size_t k = 0; k < in_; ++k) acc += wo[k] * xi[k];
+      yi[o] = acc;
+    }
+  }
+  if (train) cached_input_ = x;
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  if (cached_input_.empty())
+    throw std::logic_error{"Linear::backward without forward(train=true)"};
+  const std::size_t n = cached_input_.dim(0);
+  if (grad_out.rank() != 2 || grad_out.dim(0) != n || grad_out.dim(1) != out_)
+    throw std::invalid_argument{"Linear::backward: bad grad shape " +
+                                shape_str(grad_out.shape())};
+
+  Tensor grad_in{{n, in_}};
+  float* gw = weight_.grad.raw();
+  float* gb = bias_.grad.raw();
+  const float* w = weight_.value.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* gi = grad_out.raw() + i * out_;
+    const float* xi = cached_input_.raw() + i * in_;
+    float* dxi = grad_in.raw() + i * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float g = gi[o];
+      if (g == 0.0f) continue;
+      gb[o] += g;
+      float* gwo = gw + o * in_;
+      const float* wo = w + o * in_;
+      for (std::size_t k = 0; k < in_; ++k) {
+        gwo[k] += g * xi[k];
+        dxi[k] += g * wo[k];
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace einet::nn

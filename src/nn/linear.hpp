@@ -1,0 +1,34 @@
+// Fully connected layer: y = x W^T + b with x of shape (N, in_features).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace einet::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] std::size_t flops(const Shape& in) const override;
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+  [[nodiscard]] Param& weight() { return weight_; }
+  [[nodiscard]] Param& bias() { return bias_; }
+  [[nodiscard]] const Param& weight() const { return weight_; }
+  [[nodiscard]] const Param& bias() const { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Param weight_;  // (out, in)
+  Param bias_;    // (out)
+  Tensor cached_input_;
+};
+
+}  // namespace einet::nn

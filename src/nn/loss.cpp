@@ -1,0 +1,94 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace einet::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::size_t> labels) {
+  if (logits.rank() != 2)
+    throw std::invalid_argument{"softmax_cross_entropy: logits must be 2-d"};
+  const std::size_t n = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  if (labels.size() != n)
+    throw std::invalid_argument{"softmax_cross_entropy: label count mismatch"};
+
+  LossResult out;
+  out.grad = Tensor{logits.shape()};
+  double loss = 0.0;
+  std::vector<float> probs(classes);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.raw() + i * classes;
+    std::copy(row, row + classes, probs.begin());
+    softmax_inplace(probs);
+    const std::size_t label = labels[i];
+    if (label >= classes)
+      throw std::invalid_argument{"softmax_cross_entropy: label out of range"};
+    loss -= std::log(std::max(probs[label], 1e-12f));
+    float* grow = out.grad.raw() + i * classes;
+    for (std::size_t c = 0; c < classes; ++c)
+      grow[c] = probs[c] / static_cast<float>(n);
+    grow[label] -= 1.0f / static_cast<float>(n);
+  }
+  out.loss = static_cast<float>(loss / static_cast<double>(n));
+  return out;
+}
+
+LossResult mse(const Tensor& pred, const Tensor& target) {
+  if (pred.shape() != target.shape())
+    throw std::invalid_argument{"mse: shape mismatch"};
+  LossResult out;
+  out.grad = Tensor{pred.shape()};
+  const auto n = static_cast<float>(pred.numel());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += static_cast<double>(d) * d;
+    out.grad[i] = 2.0f * d / n;
+  }
+  out.loss = static_cast<float>(loss / n);
+  return out;
+}
+
+LossResult masked_mse(const Tensor& pred, const Tensor& target,
+                      const Tensor& mask) {
+  if (pred.shape() != target.shape() || pred.shape() != mask.shape())
+    throw std::invalid_argument{"masked_mse: shape mismatch"};
+  LossResult out;
+  out.grad = Tensor{pred.shape()};
+  double loss = 0.0;
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    if (mask[i] == 0.0f) continue;
+    ++active;
+    const float d = pred[i] - target[i];
+    loss += static_cast<double>(d) * d;
+  }
+  if (active == 0) return out;  // loss 0, zero grad
+  const auto n = static_cast<float>(active);
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    if (mask[i] == 0.0f) continue;
+    out.grad[i] = 2.0f * (pred[i] - target[i]) / n;
+  }
+  out.loss = static_cast<float>(loss / n);
+  return out;
+}
+
+double accuracy(const Tensor& logits, std::span<const std::size_t> labels) {
+  if (logits.rank() != 2)
+    throw std::invalid_argument{"accuracy: logits must be 2-d"};
+  const std::size_t n = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  if (labels.size() != n)
+    throw std::invalid_argument{"accuracy: label count mismatch"};
+  if (n == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::span<const float> row{logits.raw() + i * classes, classes};
+    if (span_argmax(row) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace einet::nn

@@ -1,0 +1,39 @@
+// Loss functions. Each returns the scalar loss and the gradient w.r.t. the
+// network output, ready to feed into Layer::backward.
+//
+// masked_mse is the paper's Equation (3): when training a CS-Predictor, only
+// the not-yet-executed exits (mask == 1) contribute to the loss.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace einet::nn {
+
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;  // same shape as the prediction
+};
+
+/// Softmax cross-entropy over logits of shape (N, classes); labels.size()==N.
+/// Loss is averaged over the batch; grad is (softmax - onehot) / N.
+[[nodiscard]] LossResult softmax_cross_entropy(
+    const Tensor& logits, std::span<const std::size_t> labels);
+
+/// Mean-square error, averaged over all elements.
+[[nodiscard]] LossResult mse(const Tensor& pred, const Tensor& target);
+
+/// Masked MSE (paper Eq. 3): only elements with mask==1 contribute; the loss
+/// is averaged over the number of unmasked elements (0 unmasked -> loss 0).
+/// pred / target / mask must share a shape.
+[[nodiscard]] LossResult masked_mse(const Tensor& pred, const Tensor& target,
+                                    const Tensor& mask);
+
+/// Top-1 accuracy of logits (N, classes) against labels.
+[[nodiscard]] double accuracy(const Tensor& logits,
+                              std::span<const std::size_t> labels);
+
+}  // namespace einet::nn

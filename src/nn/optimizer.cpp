@@ -1,0 +1,100 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace einet::nn {
+
+Sgd::Sgd(std::vector<Param*> params, const SgdConfig& config)
+    : params_(std::move(params)), config_(config) {
+  if (config_.lr <= 0.0f) throw std::invalid_argument{"Sgd: lr must be > 0"};
+  if (config_.momentum < 0.0f || config_.momentum >= 1.0f)
+    throw std::invalid_argument{"Sgd: momentum must be in [0, 1)"};
+  velocity_.reserve(params_.size());
+  for (auto* p : params_) {
+    if (p == nullptr) throw std::invalid_argument{"Sgd: null parameter"};
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::zero_grad() {
+  for (auto* p : params_) p->zero_grad();
+}
+
+float Sgd::grad_norm() const {
+  double acc = 0.0;
+  for (const auto* p : params_)
+    for (float g : p->grad.data()) acc += static_cast<double>(g) * g;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void Sgd::step() {
+  float scale = 1.0f;
+  if (config_.clip_norm > 0.0f) {
+    const float norm = grad_norm();
+    if (norm > config_.clip_norm) scale = config_.clip_norm / norm;
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    for (std::size_t k = 0; k < p.value.numel(); ++k) {
+      float g = p.grad[k] * scale;
+      if (config_.weight_decay > 0.0f) g += config_.weight_decay * p.value[k];
+      v[k] = config_.momentum * v[k] + g;
+      p.value[k] -= config_.lr * v[k];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  if (config_.lr <= 0.0f) throw std::invalid_argument{"Adam: lr must be > 0"};
+  if (config_.beta1 < 0.0f || config_.beta1 >= 1.0f ||
+      config_.beta2 < 0.0f || config_.beta2 >= 1.0f)
+    throw std::invalid_argument{"Adam: betas must be in [0, 1)"};
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto* p : params_) {
+    if (p == nullptr) throw std::invalid_argument{"Adam: null parameter"};
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto* p : params_) p->zero_grad();
+}
+
+float Adam::grad_norm() const {
+  double acc = 0.0;
+  for (const auto* p : params_)
+    for (float g : p->grad.data()) acc += static_cast<double>(g) * g;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void Adam::step() {
+  float scale = 1.0f;
+  if (config_.clip_norm > 0.0f) {
+    const float norm = grad_norm();
+    if (norm > config_.clip_norm) scale = config_.clip_norm / norm;
+  }
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    for (std::size_t k = 0; k < p.value.numel(); ++k) {
+      float g = p.grad[k] * scale;
+      if (config_.weight_decay > 0.0f) g += config_.weight_decay * p.value[k];
+      m_[i][k] = config_.beta1 * m_[i][k] + (1.0f - config_.beta1) * g;
+      v_[i][k] = config_.beta2 * v_[i][k] + (1.0f - config_.beta2) * g * g;
+      const float mhat = m_[i][k] / bc1;
+      const float vhat = v_[i][k] / bc2;
+      p.value[k] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace einet::nn

@@ -1,0 +1,73 @@
+// SGD with momentum, weight decay and global-norm gradient clipping — the
+// training recipe the paper uses (SGD, momentum 0.9, lr 1e-3, gradient
+// clipping for the CS-Predictors).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace einet::nn {
+
+struct SgdConfig {
+  float lr = 1e-3f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  /// 0 disables clipping; otherwise gradients are rescaled so their global
+  /// L2 norm does not exceed this value.
+  float clip_norm = 0.0f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, const SgdConfig& config);
+
+  /// Zero all parameter gradients.
+  void zero_grad();
+
+  /// Apply one update step from the accumulated gradients.
+  void step();
+
+  /// Global L2 norm of all gradients (useful for debugging/clipping tests).
+  [[nodiscard]] float grad_norm() const;
+
+  [[nodiscard]] const SgdConfig& config() const { return config_; }
+  void set_lr(float lr) { config_.lr = lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+};
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  /// 0 disables clipping (global L2 norm, as in Sgd).
+  float clip_norm = 0.0f;
+};
+
+/// Adam optimiser. The paper trains with SGD; Adam exists because the
+/// scaled-down reproduction budgets need its faster convergence (see
+/// DESIGN.md substitutions).
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, const AdamConfig& config);
+
+  void zero_grad();
+  void step();
+  [[nodiscard]] float grad_norm() const;
+  [[nodiscard]] const AdamConfig& config() const { return config_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  AdamConfig config_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace einet::nn

@@ -1,0 +1,203 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace einet::nn {
+
+namespace {
+std::size_t pooled_size(std::size_t in, std::size_t kernel,
+                        std::size_t stride) {
+  if (in < kernel)
+    throw std::invalid_argument{"pooling: input smaller than kernel"};
+  return (in - kernel) / stride + 1;
+}
+}  // namespace
+
+MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  if (kernel_ == 0) throw std::invalid_argument{"MaxPool2d: kernel == 0"};
+}
+
+std::string MaxPool2d::name() const {
+  return "MaxPool2d(k" + std::to_string(kernel_) + ",s" +
+         std::to_string(stride_) + ")";
+}
+
+Shape MaxPool2d::out_shape(const Shape& in) const {
+  if (in.size() != 4)
+    throw std::invalid_argument{"MaxPool2d::out_shape: rank must be 4"};
+  return {in[0], in[1], pooled_size(in[2], kernel_, stride_),
+          pooled_size(in[3], kernel_, stride_)};
+}
+
+std::size_t MaxPool2d::flops(const Shape& in) const {
+  return shape_numel(out_shape(in)) * kernel_ * kernel_;
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  const Shape os = out_shape(x.shape());
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = os[2], ow = os[3];
+  Tensor y{os};
+  if (train) {
+    cached_in_shape_ = x.shape();
+    argmax_.assign(y.numel(), 0);
+  }
+  std::size_t out_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.raw() + (i * c + ch) * h * w;
+      for (std::size_t oi = 0; oi < oh; ++oi) {
+        for (std::size_t oj = 0; oj < ow; ++oj, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ki = 0; ki < kernel_; ++ki) {
+            for (std::size_t kj = 0; kj < kernel_; ++kj) {
+              const std::size_t ii = oi * stride_ + ki;
+              const std::size_t jj = oj * stride_ + kj;
+              const float v = plane[ii * w + jj];
+              if (v > best) {
+                best = v;
+                best_idx = (i * c + ch) * h * w + ii * w + jj;
+              }
+            }
+          }
+          y[out_idx] = best;
+          if (train) argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  if (cached_in_shape_.empty())
+    throw std::logic_error{"MaxPool2d::backward without forward(train=true)"};
+  if (grad_out.numel() != argmax_.size())
+    throw std::invalid_argument{"MaxPool2d::backward: bad grad shape"};
+  Tensor grad_in{cached_in_shape_};
+  for (std::size_t i = 0; i < argmax_.size(); ++i)
+    grad_in[argmax_[i]] += grad_out[i];
+  return grad_in;
+}
+
+AvgPool2d::AvgPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  if (kernel_ == 0) throw std::invalid_argument{"AvgPool2d: kernel == 0"};
+}
+
+std::string AvgPool2d::name() const {
+  return "AvgPool2d(k" + std::to_string(kernel_) + ",s" +
+         std::to_string(stride_) + ")";
+}
+
+Shape AvgPool2d::out_shape(const Shape& in) const {
+  if (in.size() != 4)
+    throw std::invalid_argument{"AvgPool2d::out_shape: rank must be 4"};
+  return {in[0], in[1], pooled_size(in[2], kernel_, stride_),
+          pooled_size(in[3], kernel_, stride_)};
+}
+
+std::size_t AvgPool2d::flops(const Shape& in) const {
+  return shape_numel(out_shape(in)) * kernel_ * kernel_;
+}
+
+Tensor AvgPool2d::forward(const Tensor& x, bool train) {
+  const Shape os = out_shape(x.shape());
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = os[2], ow = os[3];
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  Tensor y{os};
+  if (train) cached_in_shape_ = x.shape();
+  std::size_t out_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.raw() + (i * c + ch) * h * w;
+      for (std::size_t oi = 0; oi < oh; ++oi) {
+        for (std::size_t oj = 0; oj < ow; ++oj, ++out_idx) {
+          float acc = 0.0f;
+          for (std::size_t ki = 0; ki < kernel_; ++ki)
+            for (std::size_t kj = 0; kj < kernel_; ++kj)
+              acc += plane[(oi * stride_ + ki) * w + (oj * stride_ + kj)];
+          y[out_idx] = acc * inv;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  if (cached_in_shape_.empty())
+    throw std::logic_error{"AvgPool2d::backward without forward(train=true)"};
+  const Shape os = out_shape(cached_in_shape_);
+  if (grad_out.shape() != os)
+    throw std::invalid_argument{"AvgPool2d::backward: bad grad shape"};
+  const std::size_t n = cached_in_shape_[0], c = cached_in_shape_[1],
+                    h = cached_in_shape_[2], w = cached_in_shape_[3];
+  const std::size_t oh = os[2], ow = os[3];
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  Tensor grad_in{cached_in_shape_};
+  std::size_t out_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      float* plane = grad_in.raw() + (i * c + ch) * h * w;
+      for (std::size_t oi = 0; oi < oh; ++oi) {
+        for (std::size_t oj = 0; oj < ow; ++oj, ++out_idx) {
+          const float g = grad_out[out_idx] * inv;
+          for (std::size_t ki = 0; ki < kernel_; ++ki)
+            for (std::size_t kj = 0; kj < kernel_; ++kj)
+              plane[(oi * stride_ + ki) * w + (oj * stride_ + kj)] += g;
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Shape GlobalAvgPool::out_shape(const Shape& in) const {
+  if (in.size() != 4)
+    throw std::invalid_argument{"GlobalAvgPool::out_shape: rank must be 4"};
+  return {in[0], in[1]};
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  const Shape os = out_shape(x.shape());
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const float inv = 1.0f / static_cast<float>(h * w);
+  Tensor y{os};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.raw() + (i * c + ch) * h * w;
+      float acc = 0.0f;
+      for (std::size_t s = 0; s < h * w; ++s) acc += plane[s];
+      y[i * c + ch] = acc * inv;
+    }
+  }
+  if (train) cached_in_shape_ = x.shape();
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  if (cached_in_shape_.empty())
+    throw std::logic_error{
+        "GlobalAvgPool::backward without forward(train=true)"};
+  const std::size_t n = cached_in_shape_[0], c = cached_in_shape_[1],
+                    h = cached_in_shape_[2], w = cached_in_shape_[3];
+  if (grad_out.rank() != 2 || grad_out.dim(0) != n || grad_out.dim(1) != c)
+    throw std::invalid_argument{"GlobalAvgPool::backward: bad grad shape"};
+  const float inv = 1.0f / static_cast<float>(h * w);
+  Tensor grad_in{cached_in_shape_};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out[i * c + ch] * inv;
+      float* plane = grad_in.raw() + (i * c + ch) * h * w;
+      for (std::size_t s = 0; s < h * w; ++s) plane[s] = g;
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace einet::nn

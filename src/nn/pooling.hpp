@@ -1,0 +1,59 @@
+// Spatial pooling layers over NCHW tensors.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace einet::nn {
+
+/// Max pooling with square kernel; stride defaults to kernel (non-overlapping).
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t kernel, std::size_t stride = 0);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] std::size_t flops(const Shape& in) const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  Shape cached_in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+/// Average pooling with square kernel; stride defaults to kernel.
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::size_t kernel, std::size_t stride = 0);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] std::size_t flops(const Shape& in) const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  Shape cached_in_shape_;
+};
+
+/// Global average pool: (N, C, H, W) -> (N, C).
+class GlobalAvgPool final : public Layer {
+ public:
+  GlobalAvgPool() = default;
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] std::size_t flops(const Shape& in) const override {
+    return shape_numel(in);
+  }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace einet::nn

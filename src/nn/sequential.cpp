@@ -1,0 +1,124 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace einet::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument{"Sequential::add: null layer"};
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur, train);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_)
+    for (auto* p : layer->params()) out.push_back(p);
+  return out;
+}
+
+std::string Sequential::name() const {
+  std::string out = "Sequential[";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i) out += ", ";
+    out += layers_[i]->name();
+  }
+  return out + "]";
+}
+
+Shape Sequential::out_shape(const Shape& in) const {
+  Shape cur = in;
+  for (const auto& layer : layers_) cur = layer->out_shape(cur);
+  return cur;
+}
+
+std::size_t Sequential::flops(const Shape& in) const {
+  Shape cur = in;
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    total += layer->flops(cur);
+    cur = layer->out_shape(cur);
+  }
+  return total;
+}
+
+Residual::Residual(LayerPtr body, LayerPtr shortcut)
+    : body_(std::move(body)), shortcut_(std::move(shortcut)) {
+  if (!body_) throw std::invalid_argument{"Residual: null body"};
+}
+
+std::string Residual::name() const {
+  return "Residual{" + body_->name() +
+         (shortcut_ ? ", proj=" + shortcut_->name() : "") + "}";
+}
+
+Shape Residual::out_shape(const Shape& in) const {
+  const Shape body_out = body_->out_shape(in);
+  const Shape skip_out = shortcut_ ? shortcut_->out_shape(in) : in;
+  if (body_out != skip_out)
+    throw std::invalid_argument{"Residual: body output " +
+                                shape_str(body_out) +
+                                " does not match shortcut output " +
+                                shape_str(skip_out)};
+  return body_out;
+}
+
+std::size_t Residual::flops(const Shape& in) const {
+  std::size_t total = body_->flops(in);
+  if (shortcut_) total += shortcut_->flops(in);
+  total += shape_numel(out_shape(in));  // add + relu
+  return total;
+}
+
+Tensor Residual::forward(const Tensor& x, bool train) {
+  Tensor y = body_->forward(x, train);
+  const Tensor skip = shortcut_ ? shortcut_->forward(x, train) : x;
+  y += skip;
+  if (train) relu_mask_ = Tensor{y.shape()};
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] > 0.0f) {
+      if (train) relu_mask_[i] = 1.0f;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  if (relu_mask_.empty())
+    throw std::logic_error{"Residual::backward without forward(train=true)"};
+  if (grad_out.shape() != relu_mask_.shape())
+    throw std::invalid_argument{"Residual::backward: bad grad shape"};
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) g[i] *= relu_mask_[i];
+  Tensor grad_in = body_->backward(g);
+  if (shortcut_) {
+    grad_in += shortcut_->backward(g);
+  } else {
+    grad_in += g;
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Residual::params() {
+  std::vector<Param*> out = body_->params();
+  if (shortcut_)
+    for (auto* p : shortcut_->params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace einet::nn

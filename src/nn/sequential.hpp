@@ -1,0 +1,61 @@
+// Sequential container and the residual unit used by the ResNet backbone.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace einet::nn {
+
+/// Owns an ordered list of layers; forward chains, backward runs in reverse.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer (builder style: seq.add(std::make_unique<ReLU>())).
+  Sequential& add(LayerPtr layer);
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] std::size_t flops(const Shape& in) const override;
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] bool empty() const { return layers_.empty(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// Residual unit: y = ReLU(body(x) + shortcut(x)).
+/// The shortcut is identity when shapes match, otherwise a provided
+/// projection (typically a 1x1 strided convolution).
+class Residual final : public Layer {
+ public:
+  /// `shortcut` may be null for an identity skip connection.
+  Residual(LayerPtr body, LayerPtr shortcut);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] std::size_t flops(const Shape& in) const override;
+
+ private:
+  LayerPtr body_;
+  LayerPtr shortcut_;  // nullable -> identity
+  Tensor relu_mask_;
+};
+
+}  // namespace einet::nn

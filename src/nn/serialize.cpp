@@ -1,0 +1,96 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace einet::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'I', 'N', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error{"load_params: truncated stream"};
+  return v;
+}
+
+}  // namespace
+
+void save_params(std::ostream& out, const std::vector<Param*>& params) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(params.size()));
+  for (const auto* p : params) {
+    if (p == nullptr) throw std::invalid_argument{"save_params: null param"};
+    write_pod(out, static_cast<std::uint32_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_pod(out, static_cast<std::uint64_t>(p->value.rank()));
+    for (auto d : p->value.shape())
+      write_pod(out, static_cast<std::uint64_t>(d));
+    out.write(reinterpret_cast<const char*>(p->value.raw()),
+              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error{"save_params: write failed"};
+}
+
+void load_params(std::istream& in, const std::vector<Param*>& params) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string_view{magic, 4} != std::string_view{kMagic, 4})
+    throw std::runtime_error{"load_params: bad magic"};
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion)
+    throw std::runtime_error{"load_params: unsupported version " +
+                             std::to_string(version)};
+  const auto count = read_pod<std::uint64_t>(in);
+  if (count != params.size())
+    throw std::runtime_error{"load_params: parameter count mismatch (file " +
+                             std::to_string(count) + ", model " +
+                             std::to_string(params.size()) + ")"};
+  for (auto* p : params) {
+    if (p == nullptr) throw std::invalid_argument{"load_params: null param"};
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in) throw std::runtime_error{"load_params: truncated name"};
+    if (name != p->name)
+      throw std::runtime_error{"load_params: parameter name mismatch: file '" +
+                               name + "' vs model '" + p->name + "'"};
+    const auto rank = read_pod<std::uint64_t>(in);
+    Shape shape(rank);
+    for (auto& d : shape) d = read_pod<std::uint64_t>(in);
+    if (shape != p->value.shape())
+      throw std::runtime_error{"load_params: shape mismatch for '" + name +
+                               "': file " + shape_str(shape) + " vs model " +
+                               shape_str(p->value.shape())};
+    in.read(reinterpret_cast<char*>(p->value.raw()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error{"load_params: truncated data"};
+  }
+}
+
+void save_params_file(const std::string& path,
+                      const std::vector<Param*>& params) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"save_params_file: cannot open " + path};
+  save_params(out, params);
+}
+
+void load_params_file(const std::string& path,
+                      const std::vector<Param*>& params) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"load_params_file: cannot open " + path};
+  load_params(in, params);
+}
+
+}  // namespace einet::nn

@@ -1,0 +1,29 @@
+// Binary weight (de)serialization so benches can cache trained models across
+// runs instead of retraining. The format is a simple tagged stream:
+//   magic "EINW" | u32 version | u64 param count |
+//   per param: u32 name_len | name bytes | u64 rank | u64 dims... | f32 data
+// Loading validates names and shapes against the live parameter list.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace einet::nn {
+
+/// Write all parameters to a stream. Throws std::runtime_error on I/O error.
+void save_params(std::ostream& out, const std::vector<Param*>& params);
+
+/// Read parameters from a stream into `params` (same order/shape required).
+/// Throws std::runtime_error on mismatch or I/O error.
+void load_params(std::istream& in, const std::vector<Param*>& params);
+
+/// File-path conveniences.
+void save_params_file(const std::string& path,
+                      const std::vector<Param*>& params);
+void load_params_file(const std::string& path,
+                      const std::vector<Param*>& params);
+
+}  // namespace einet::nn

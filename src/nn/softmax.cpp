@@ -1,0 +1,43 @@
+#include "nn/softmax.hpp"
+
+#include <stdexcept>
+
+namespace einet::nn {
+
+Shape Softmax::out_shape(const Shape& in) const {
+  if (in.size() != 2)
+    throw std::invalid_argument{"Softmax::out_shape: rank must be 2"};
+  return in;
+}
+
+Tensor Softmax::forward(const Tensor& x, bool train) {
+  (void)out_shape(x.shape());
+  Tensor y = x;
+  const std::size_t rows = x.dim(0), cols = x.dim(1);
+  for (std::size_t r = 0; r < rows; ++r)
+    softmax_inplace({y.raw() + r * cols, cols});
+  if (train) cached_output_ = y;
+  return y;
+}
+
+Tensor Softmax::backward(const Tensor& grad_out) {
+  if (cached_output_.empty())
+    throw std::logic_error{"Softmax::backward without forward(train=true)"};
+  if (grad_out.shape() != cached_output_.shape())
+    throw std::invalid_argument{"Softmax::backward: bad grad shape"};
+  // dL/dx_i = s_i * (dL/ds_i - sum_j dL/ds_j * s_j) per row.
+  const std::size_t rows = cached_output_.dim(0);
+  const std::size_t cols = cached_output_.dim(1);
+  Tensor grad_in{cached_output_.shape()};
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* s = cached_output_.raw() + r * cols;
+    const float* g = grad_out.raw() + r * cols;
+    float dot = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c) dot += g[c] * s[c];
+    float* out = grad_in.raw() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) out[c] = s[c] * (g[c] - dot);
+  }
+  return grad_in;
+}
+
+}  // namespace einet::nn

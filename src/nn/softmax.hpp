@@ -1,0 +1,25 @@
+// Softmax layer over the last axis of a 2-d tensor. Training normally uses
+// the fused softmax_cross_entropy loss; this standalone layer exists for
+// models that need probabilities mid-graph (e.g. attention-style heads).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace einet::nn {
+
+class Softmax final : public Layer {
+ public:
+  Softmax() = default;
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Softmax"; }
+  [[nodiscard]] Shape out_shape(const Shape& in) const override;
+  [[nodiscard]] std::size_t flops(const Shape& in) const override {
+    return 4 * shape_numel(in);
+  }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace einet::nn

@@ -1,0 +1,224 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace einet::nn {
+
+std::size_t shape_numel(const Shape& shape) {
+  if (shape.empty()) return 0;
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) out << 'x';
+    out << shape[i];
+  }
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument{"Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " + shape_str(shape_)};
+  }
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  if (i >= shape_.size())
+    throw std::out_of_range{"Tensor::dim: axis " + std::to_string(i) +
+                            " out of range for shape " + shape_str(shape_)};
+  return shape_[i];
+}
+
+float& Tensor::at(std::size_t i) {
+  if (i >= data_.size()) throw std::out_of_range{"Tensor::at: flat index"};
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  if (i >= data_.size()) throw std::out_of_range{"Tensor::at: flat index"};
+  return data_[i];
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  if (rank() != 2) throw std::logic_error{"Tensor::at(i,j): rank != 2"};
+  if (i >= shape_[0] || j >= shape_[1])
+    throw std::out_of_range{"Tensor::at(i,j)"};
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at(std::size_t i, std::size_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(std::size_t c, std::size_t h, std::size_t w) {
+  if (rank() != 3) throw std::logic_error{"Tensor::at(c,h,w): rank != 3"};
+  if (c >= shape_[0] || h >= shape_[1] || w >= shape_[2])
+    throw std::out_of_range{"Tensor::at(c,h,w)"};
+  return data_[(c * shape_[1] + h) * shape_[2] + w];
+}
+
+float Tensor::at(std::size_t c, std::size_t h, std::size_t w) const {
+  return const_cast<Tensor*>(this)->at(c, h, w);
+}
+
+float& Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  if (rank() != 4) throw std::logic_error{"Tensor::at(n,c,h,w): rank != 4"};
+  if (n >= shape_[0] || c >= shape_[1] || h >= shape_[2] || w >= shape_[3])
+    throw std::out_of_range{"Tensor::at(n,c,h,w)"};
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                 std::size_t w) const {
+  return const_cast<Tensor*>(this)->at(n, c, h, w);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  if (shape_numel(new_shape) != data_.size()) {
+    throw std::invalid_argument{"Tensor::reshape: cannot reshape " +
+                                shape_str(shape_) + " (" +
+                                std::to_string(data_.size()) + " elems) to " +
+                                shape_str(new_shape)};
+  }
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* op) const {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument{std::string{"Tensor::"} + op +
+                                ": shape mismatch " + shape_str(shape_) +
+                                " vs " + shape_str(other.shape_)};
+  }
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_same_shape(other, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  check_same_shape(other, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Tensor Tensor::operator+(const Tensor& other) const {
+  Tensor out = *this;
+  out += other;
+  return out;
+}
+
+Tensor Tensor::operator-(const Tensor& other) const {
+  Tensor out = *this;
+  out -= other;
+  return out;
+}
+
+Tensor Tensor::operator*(float s) const {
+  Tensor out = *this;
+  out *= s;
+  return out;
+}
+
+void Tensor::add_scaled(const Tensor& other, float alpha) {
+  check_same_shape(other, "add_scaled");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+float Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error{"Tensor::max: empty tensor"};
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const {
+  if (data_.empty()) throw std::logic_error{"Tensor::argmax: empty tensor"};
+  return static_cast<std::size_t>(
+      std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+}
+
+float Tensor::norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Tensor Tensor::uniform(Shape shape, float lo, float hi, util::Rng& rng) {
+  Tensor t{std::move(shape)};
+  for (auto& v : t.data_) v = rng.uniform_f(lo, hi);
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, float mean, float stddev, util::Rng& rng) {
+  Tensor t{std::move(shape)};
+  for (auto& v : t.data_)
+    v = static_cast<float>(rng.gaussian(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::kaiming(Shape shape, std::size_t fan_in, util::Rng& rng) {
+  if (fan_in == 0) throw std::invalid_argument{"Tensor::kaiming: fan_in == 0"};
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(fan_in));
+  return normal(std::move(shape), 0.0f, stddev, rng);
+}
+
+std::size_t span_argmax(std::span<const float> xs) {
+  if (xs.empty()) throw std::invalid_argument{"span_argmax: empty span"};
+  return static_cast<std::size_t>(
+      std::distance(xs.begin(), std::max_element(xs.begin(), xs.end())));
+}
+
+void softmax_inplace(std::span<float> xs) {
+  if (xs.empty()) return;
+  const float m = *std::max_element(xs.begin(), xs.end());
+  float sum = 0.0f;
+  for (auto& v : xs) {
+    v = std::exp(v - m);
+    sum += v;
+  }
+  for (auto& v : xs) v /= sum;
+}
+
+std::vector<float> softmax(std::span<const float> logits) {
+  std::vector<float> probs(logits.begin(), logits.end());
+  softmax_inplace(probs);
+  return probs;
+}
+
+}  // namespace einet::nn

@@ -1,0 +1,135 @@
+// Dense row-major float tensor — the value type for the whole NN substrate.
+//
+// The paper's models run in PyTorch; this repo re-implements the minimal
+// tensor machinery those models need: N-d shapes (in practice up to 4-d
+// NCHW), element access, broadcast-free arithmetic, and initialisers.
+// Tensors have value semantics (copy = deep copy) so layers can hand them
+// around without ownership puzzles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace einet::nn {
+
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements a shape describes (empty shape -> 0 elements).
+[[nodiscard]] std::size_t shape_numel(const Shape& shape);
+
+/// "1x3x32x32"-style rendering for error messages.
+[[nodiscard]] std::string shape_str(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape filled with `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor with explicit contents; data.size() must equal shape_numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  // -- Introspection ---------------------------------------------------------
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const;
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+  [[nodiscard]] float* raw() { return data_.data(); }
+  [[nodiscard]] const float* raw() const { return data_.data(); }
+
+  // -- Element access (bounds-checked in debug via at()) ---------------------
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked flat access.
+  [[nodiscard]] float& at(std::size_t i);
+  [[nodiscard]] float at(std::size_t i) const;
+
+  /// 2-d access (rank must be 2).
+  [[nodiscard]] float& at(std::size_t i, std::size_t j);
+  [[nodiscard]] float at(std::size_t i, std::size_t j) const;
+
+  /// 3-d CHW access (rank must be 3).
+  [[nodiscard]] float& at(std::size_t c, std::size_t h, std::size_t w);
+  [[nodiscard]] float at(std::size_t c, std::size_t h, std::size_t w) const;
+
+  /// 4-d NCHW access (rank must be 4).
+  [[nodiscard]] float& at(std::size_t n, std::size_t c, std::size_t h,
+                          std::size_t w);
+  [[nodiscard]] float at(std::size_t n, std::size_t c, std::size_t h,
+                         std::size_t w) const;
+
+  // -- Mutation --------------------------------------------------------------
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Reinterpret the same data with a new shape (numel must match).
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// In-place reshape (numel must match).
+  void reshape(Shape new_shape);
+
+  // -- Arithmetic (element-wise; shapes must match exactly) -------------------
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float s);
+  [[nodiscard]] Tensor operator+(const Tensor& other) const;
+  [[nodiscard]] Tensor operator-(const Tensor& other) const;
+  [[nodiscard]] Tensor operator*(float s) const;
+
+  /// this += alpha * other (axpy). Shapes must match.
+  void add_scaled(const Tensor& other, float alpha);
+
+  // -- Reductions -------------------------------------------------------------
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float max() const;
+  [[nodiscard]] std::size_t argmax() const;
+  /// L2 norm of all elements.
+  [[nodiscard]] float norm() const;
+
+  // -- Factories ---------------------------------------------------------------
+  [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor{std::move(shape)}; }
+  [[nodiscard]] static Tensor ones(Shape shape) {
+    return Tensor{std::move(shape), 1.0f};
+  }
+  /// Uniform in [lo, hi).
+  [[nodiscard]] static Tensor uniform(Shape shape, float lo, float hi,
+                                      util::Rng& rng);
+  /// Normal(mean, stddev).
+  [[nodiscard]] static Tensor normal(Shape shape, float mean, float stddev,
+                                     util::Rng& rng);
+  /// Kaiming-He normal init for a weight tensor with the given fan-in.
+  [[nodiscard]] static Tensor kaiming(Shape shape, std::size_t fan_in,
+                                      util::Rng& rng);
+
+ private:
+  void check_same_shape(const Tensor& other, const char* op) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// argmax over a span (used for predicted class / confidence extraction).
+[[nodiscard]] std::size_t span_argmax(std::span<const float> xs);
+
+/// In-place numerically-stable softmax over a span.
+void softmax_inplace(std::span<float> xs);
+
+/// Softmax of a logits vector; returns probabilities.
+[[nodiscard]] std::vector<float> softmax(std::span<const float> logits);
+
+}  // namespace einet::nn

@@ -1,0 +1,70 @@
+#include "predictor/activation_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace einet::predictor {
+
+ActivationCacheSession::ActivationCacheSession(CSPredictor& predictor)
+    : predictor_(&predictor) {
+  reset();
+}
+
+void ActivationCacheSession::reset() {
+  const nn::Linear& l1 = predictor_->input_layer();
+  const auto& bias = l1.bias();
+  // Cache starts at the input-layer bias (the all-zeros-input pre-activation).
+  preact_.assign(bias.value.raw(), bias.value.raw() + bias.value.numel());
+  input_.assign(predictor_->num_exits(), 0.0f);
+}
+
+void ActivationCacheSession::push(std::size_t index, float value) {
+  if (index >= input_.size())
+    throw std::out_of_range{"ActivationCacheSession::push: bad exit index"};
+  const float delta = value - input_[index];
+  if (delta == 0.0f) return;
+  input_[index] = value;
+  const nn::Linear& l1 = predictor_->input_layer();
+  const float* w = l1.weight().value.raw();  // (hidden, n), row-major
+  const std::size_t n = predictor_->num_exits();
+  for (std::size_t h = 0; h < preact_.size(); ++h)
+    preact_[h] += delta * w[h * n + index];
+}
+
+std::vector<float> ActivationCacheSession::forward_raw() const {
+  const nn::Linear& l2 = predictor_->output_layer();
+  const std::size_t hidden = preact_.size();
+  const std::size_t n = predictor_->num_exits();
+  const float* w2 = l2.weight().value.raw();  // (n, hidden)
+  const float* b2 = l2.bias().value.raw();
+  std::vector<float> out(n);
+  // ReLU(preact) then the output-layer matvec. (Dropout is identity at
+  // inference time because the substrate uses inverted dropout.)
+  for (std::size_t o = 0; o < n; ++o) {
+    float acc = b2[o];
+    const float* row = w2 + o * hidden;
+    for (std::size_t h = 0; h < hidden; ++h) {
+      const float a = preact_[h];
+      if (a > 0.0f) acc += row[h] * a;
+    }
+    out[o] = acc;
+  }
+  return out;
+}
+
+std::vector<float> ActivationCacheSession::predict(std::size_t executed) const {
+  if (executed > input_.size())
+    throw std::invalid_argument{
+        "ActivationCacheSession::predict: executed > num_exits"};
+  std::vector<float> out = forward_raw();
+  for (std::size_t i = 0; i < executed; ++i) out[i] = input_[i];
+  for (std::size_t i = executed; i < out.size(); ++i)
+    out[i] = std::clamp(out[i], 0.0f, 1.0f);
+  return out;
+}
+
+std::size_t ActivationCacheSession::cache_bytes() const {
+  return preact_.size() * sizeof(float) + input_.size() * sizeof(float);
+}
+
+}  // namespace einet::predictor

@@ -1,0 +1,55 @@
+// Activation Cache (paper Section IV-C4).
+//
+// During one sample's elastic inference the CS-Predictor is queried after
+// every executed branch, and its input only ever *gains* one non-zero entry
+// per query. The input-layer matvec W1*x is therefore incremental: we cache
+// the pre-activation vector (initialised to the input bias) and, when exit i
+// produces confidence c, add c * W1[:, i] to the cache. A prediction then
+// only costs the ReLU over the hidden layer plus the output-layer matvec —
+// the input layer is never recomputed. Table III measures the speedup and
+// the cache's memory cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "predictor/cs_predictor.hpp"
+
+namespace einet::predictor {
+
+class ActivationCacheSession {
+ public:
+  /// Binds to the predictor's current weights. The predictor must outlive
+  /// the session and must not be retrained while a session is active.
+  explicit ActivationCacheSession(CSPredictor& predictor);
+
+  /// Record that exit `index` produced confidence `value` (or replace a
+  /// previously pushed value for the same index).
+  void push(std::size_t index, float value);
+
+  /// Reset to the empty-input state (new sample).
+  void reset();
+
+  /// Raw MLP output using the cached input-layer pre-activation; equivalent
+  /// to predictor.forward_raw(current input vector).
+  [[nodiscard]] std::vector<float> forward_raw() const;
+
+  /// Equation-(1) prediction using the cached state; `executed` entries of
+  /// the logical input are the pushed scores.
+  [[nodiscard]] std::vector<float> predict(std::size_t executed) const;
+
+  /// Bytes of extra memory this cache holds (the Table-III column).
+  [[nodiscard]] std::size_t cache_bytes() const;
+
+  /// The logical input vector implied by the pushes so far.
+  [[nodiscard]] const std::vector<float>& logical_input() const {
+    return input_;
+  }
+
+ private:
+  CSPredictor* predictor_;
+  std::vector<float> preact_;  // b1 + sum_i W1[:, i] * input_[i]
+  std::vector<float> input_;
+};
+
+}  // namespace einet::predictor

@@ -1,0 +1,150 @@
+#include "predictor/cs_predictor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+#include "nn/optimizer.hpp"
+
+namespace einet::predictor {
+
+PredictorDataset build_predictor_dataset(
+    const profiling::CSProfile& profile) {
+  profile.validate();
+  const std::size_t n = profile.num_exits;
+  if (n < 2)
+    throw std::invalid_argument{
+        "build_predictor_dataset: need at least two exits"};
+  PredictorDataset ds;
+  ds.num_exits = n;
+  ds.inputs.reserve(profile.size() * (n - 1));
+  for (const auto& rec : profile.records) {
+    std::vector<float> label{rec.confidence.begin(), rec.confidence.end()};
+    // Empty-prefix row (beyond Figure 5): the online planner queries the
+    // predictor before any branch has run, so the all-zeros input must be
+    // in-distribution. Its prediction acts as the per-model prior.
+    ds.inputs.emplace_back(n, 0.0f);
+    ds.labels.push_back(label);
+    ds.masks.emplace_back(n, 1.0f);
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      std::vector<float> input(n, 0.0f);
+      std::copy(label.begin(), label.begin() + static_cast<long>(k) + 1,
+                input.begin());
+      std::vector<float> mask(n, 0.0f);
+      std::fill(mask.begin() + static_cast<long>(k) + 1, mask.end(), 1.0f);
+      ds.inputs.push_back(std::move(input));
+      ds.labels.push_back(label);
+      ds.masks.push_back(std::move(mask));
+    }
+  }
+  return ds;
+}
+
+CSPredictor::CSPredictor(std::size_t num_exits,
+                         const CSPredictorConfig& config)
+    : num_exits_(num_exits), config_(config) {
+  if (num_exits_ < 2)
+    throw std::invalid_argument{"CSPredictor: need at least two exits"};
+  if (config_.hidden == 0)
+    throw std::invalid_argument{"CSPredictor: hidden == 0"};
+  util::Rng rng{config_.seed};
+  auto l1 = std::make_unique<nn::Linear>(num_exits_, config_.hidden, rng);
+  auto l2 = std::make_unique<nn::Linear>(config_.hidden, num_exits_, rng);
+  l1_ = l1.get();
+  l2_ = l2.get();
+  net_.add(std::move(l1));
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Dropout>(config_.dropout, rng);
+  net_.add(std::move(l2));
+}
+
+float CSPredictor::train(const profiling::CSProfile& profile) {
+  return train(build_predictor_dataset(profile));
+}
+
+float CSPredictor::train(const PredictorDataset& dataset) {
+  if (dataset.num_exits != num_exits_)
+    throw std::invalid_argument{"CSPredictor::train: exit count mismatch"};
+  if (dataset.size() == 0)
+    throw std::invalid_argument{"CSPredictor::train: empty dataset"};
+
+  nn::Sgd opt{net_.params(),
+              nn::SgdConfig{.lr = config_.lr,
+                            .momentum = config_.momentum,
+                            .weight_decay = 0.0f,
+                            .clip_norm = config_.clip_norm}};
+  util::Rng rng{config_.seed ^ 0xDEADBEEFULL};
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  float epoch_loss = 0.0f;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double loss_acc = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(start + config_.batch_size, order.size());
+      const std::size_t bsz = end - start;
+      nn::Tensor x{{bsz, num_exits_}};
+      nn::Tensor y{{bsz, num_exits_}};
+      nn::Tensor m{{bsz, num_exits_}};
+      for (std::size_t b = 0; b < bsz; ++b) {
+        const auto row = order[start + b];
+        std::copy(dataset.inputs[row].begin(), dataset.inputs[row].end(),
+                  x.raw() + b * num_exits_);
+        std::copy(dataset.labels[row].begin(), dataset.labels[row].end(),
+                  y.raw() + b * num_exits_);
+        std::copy(dataset.masks[row].begin(), dataset.masks[row].end(),
+                  m.raw() + b * num_exits_);
+      }
+      opt.zero_grad();
+      const nn::Tensor pred = net_.forward(x, /*train=*/true);
+      const auto res = nn::masked_mse(pred, y, m);
+      net_.backward(res.grad);
+      opt.step();
+      loss_acc += res.loss;
+      ++batches;
+    }
+    epoch_loss =
+        batches ? static_cast<float>(loss_acc / static_cast<double>(batches))
+                : 0.0f;
+  }
+  return epoch_loss;
+}
+
+void CSPredictor::save_weights(const std::string& path) {
+  nn::save_params_file(path, params());
+}
+
+void CSPredictor::load_weights(const std::string& path) {
+  nn::load_params_file(path, params());
+}
+
+std::vector<float> CSPredictor::forward_raw(std::span<const float> input) {
+  if (input.size() != num_exits_)
+    throw std::invalid_argument{"CSPredictor::forward_raw: bad input size"};
+  nn::Tensor x{{std::size_t{1}, num_exits_},
+               std::vector<float>{input.begin(), input.end()}};
+  const nn::Tensor out = net_.forward(x, /*train=*/false);
+  return {out.raw(), out.raw() + num_exits_};
+}
+
+std::vector<float> CSPredictor::predict(std::span<const float> observed,
+                                        std::size_t executed) {
+  if (observed.size() != num_exits_)
+    throw std::invalid_argument{"CSPredictor::predict: bad input size"};
+  if (executed > num_exits_)
+    throw std::invalid_argument{"CSPredictor::predict: executed > num_exits"};
+  std::vector<float> out = forward_raw(observed);
+  // Equation (1): keep observed scores, use predictions only for the rest.
+  for (std::size_t i = 0; i < executed; ++i) out[i] = observed[i];
+  for (std::size_t i = executed; i < num_exits_; ++i)
+    out[i] = std::clamp(out[i], 0.0f, 1.0f);
+  return out;
+}
+
+}  // namespace einet::predictor

@@ -1,0 +1,93 @@
+// Confidence Score Predictors (paper Section IV-C).
+//
+// A CS-Predictor is a lightweight MLP (input -> hidden -> output, all sizes
+// equal to the number of exits except the hidden layer) trained on data
+// derived from CS-profiles: for every profiled sample and every prefix
+// length k, the input is the confidence list with everything after exit k
+// zeroed and the label is the full list (Figure 5). The loss is the masked
+// MSE of Equation (3): only not-yet-executed exits contribute. At inference
+// time the raw output O is combined with the already-observed scores L via
+// the binary mask of Equation (1): O' = O*M + L*~M.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "profiling/profiles.hpp"
+
+namespace einet::predictor {
+
+struct CSPredictorConfig {
+  /// Hidden width. The paper uses 2048/1024 for ~30-exit models and 256/128
+  /// for smaller ones.
+  std::size_t hidden = 256;
+  double dropout = 0.1;
+  std::size_t epochs = 40;
+  std::size_t batch_size = 64;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  /// Gradient clipping (paper: "we employ gradient clipping ... to solve the
+  /// possible gradient explosion").
+  float clip_norm = 1.0f;
+  std::uint64_t seed = 123;
+};
+
+/// Flattened training set built from a CS-profile (exposed for tests and the
+/// Figure-5 illustration).
+struct PredictorDataset {
+  std::size_t num_exits = 0;
+  std::vector<std::vector<float>> inputs;  // prefix lists, zeros after k
+  std::vector<std::vector<float>> labels;  // full confidence lists
+  std::vector<std::vector<float>> masks;   // 1 after k, 0 up to k
+
+  [[nodiscard]] std::size_t size() const { return inputs.size(); }
+};
+
+/// Construct the Figure-5 training set: one row per (sample, prefix length k)
+/// for k in [0, num_exits - 2].
+[[nodiscard]] PredictorDataset build_predictor_dataset(
+    const profiling::CSProfile& profile);
+
+class CSPredictor {
+ public:
+  CSPredictor(std::size_t num_exits, const CSPredictorConfig& config);
+
+  /// Train on the dataset derived from `profile`; returns final epoch loss.
+  float train(const profiling::CSProfile& profile);
+  float train(const PredictorDataset& dataset);
+
+  /// Raw MLP output for a full-length input vector (no masking).
+  [[nodiscard]] std::vector<float> forward_raw(std::span<const float> input);
+
+  /// Equation-(1) prediction: `observed` is the full-length list whose first
+  /// `executed` entries hold real (or nearest-previous-filled) scores and
+  /// whose remainder is zero. Returns O' — observed entries passed through,
+  /// predicted entries for the rest, clamped to [0, 1].
+  [[nodiscard]] std::vector<float> predict(std::span<const float> observed,
+                                           std::size_t executed);
+
+  [[nodiscard]] std::size_t num_exits() const { return num_exits_; }
+  [[nodiscard]] std::size_t hidden() const { return config_.hidden; }
+  [[nodiscard]] const CSPredictorConfig& config() const { return config_; }
+  [[nodiscard]] std::vector<nn::Param*> params() { return net_.params(); }
+  /// Persist / restore the MLP weights (nn/serialize.hpp format).
+  void save_weights(const std::string& path);
+  void load_weights(const std::string& path);
+
+  /// Weight access for the Activation-Cache incremental session.
+  [[nodiscard]] const nn::Linear& input_layer() const { return *l1_; }
+  [[nodiscard]] const nn::Linear& output_layer() const { return *l2_; }
+
+ private:
+  std::size_t num_exits_;
+  CSPredictorConfig config_;
+  nn::Sequential net_;
+  nn::Linear* l1_ = nullptr;  // owned by net_
+  nn::Linear* l2_ = nullptr;  // owned by net_
+};
+
+}  // namespace einet::predictor

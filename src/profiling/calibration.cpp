@@ -1,0 +1,77 @@
+#include "profiling/calibration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace einet::profiling {
+
+ConfidenceCalibrator ConfidenceCalibrator::fit(const CSProfile& profile,
+                                               std::size_t bins) {
+  profile.validate();
+  if (bins < 2)
+    throw std::invalid_argument{"ConfidenceCalibrator: need >= 2 bins"};
+  if (profile.size() < bins)
+    throw std::invalid_argument{
+        "ConfidenceCalibrator: fewer samples than bins"};
+
+  ConfidenceCalibrator cal;
+  cal.curves_.resize(profile.num_exits);
+  std::vector<std::pair<float, float>> pairs(profile.size());
+  for (std::size_t e = 0; e < profile.num_exits; ++e) {
+    for (std::size_t s = 0; s < profile.size(); ++s) {
+      pairs[s] = {profile.records[s].confidence[e],
+                  static_cast<float>(profile.records[s].correct[e])};
+    }
+    std::sort(pairs.begin(), pairs.end());
+    auto& curve = cal.curves_[e];
+    curve.reserve(bins);
+    const std::size_t per_bin = pairs.size() / bins;
+    for (std::size_t b = 0; b < bins; ++b) {
+      const std::size_t lo = b * per_bin;
+      const std::size_t hi = (b + 1 == bins) ? pairs.size() : lo + per_bin;
+      float conf_sum = 0.0f, acc_sum = 0.0f;
+      for (std::size_t i = lo; i < hi; ++i) {
+        conf_sum += pairs[i].first;
+        acc_sum += pairs[i].second;
+      }
+      const auto count = static_cast<float>(hi - lo);
+      curve.push_back({conf_sum / count, acc_sum / count});
+    }
+    // Knots can have duplicate conf values when confidences tie; make the
+    // sequence strictly usable for interpolation.
+    std::sort(curve.begin(), curve.end(),
+              [](const Point& a, const Point& b) { return a.conf < b.conf; });
+  }
+  return cal;
+}
+
+float ConfidenceCalibrator::calibrate(std::size_t exit,
+                                      float confidence) const {
+  if (exit >= curves_.size())
+    throw std::out_of_range{"ConfidenceCalibrator::calibrate: exit index"};
+  const auto& curve = curves_[exit];
+  if (curve.empty()) return confidence;
+  if (confidence <= curve.front().conf) return curve.front().acc;
+  if (confidence >= curve.back().conf) return curve.back().acc;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (confidence <= curve[i].conf) {
+      const auto& a = curve[i - 1];
+      const auto& b = curve[i];
+      const float span = b.conf - a.conf;
+      if (span <= 0.0f) return b.acc;
+      const float t = (confidence - a.conf) / span;
+      return a.acc + t * (b.acc - a.acc);
+    }
+  }
+  return curve.back().acc;
+}
+
+void ConfidenceCalibrator::apply(std::span<float> confidences) const {
+  if (confidences.size() != curves_.size())
+    throw std::invalid_argument{
+        "ConfidenceCalibrator::apply: size mismatch"};
+  for (std::size_t e = 0; e < confidences.size(); ++e)
+    confidences[e] = std::clamp(calibrate(e, confidences[e]), 0.0f, 1.0f);
+}
+
+}  // namespace einet::profiling

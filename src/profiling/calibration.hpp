@@ -1,0 +1,44 @@
+// Per-exit confidence calibration (extension; see DESIGN.md).
+//
+// The accuracy-expectation planner treats a confidence score as "probability
+// this exit's answer is correct". Max-softmax is a biased estimator of that
+// probability — small models are typically overconfident at deep exits —
+// which tilts the planner toward depth. A ConfidenceCalibrator fits, per
+// exit, a piecewise-linear map from confidence to empirical accuracy using
+// equal-count bins over the CS-profile, and the elastic engine can apply it
+// to the predictor's output before planning. The paper plans on raw
+// confidences; benches ablate both settings.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "profiling/profiles.hpp"
+
+namespace einet::profiling {
+
+class ConfidenceCalibrator {
+ public:
+  /// Fit from a CS-profile with `bins` equal-count bins per exit (>= 2).
+  [[nodiscard]] static ConfidenceCalibrator fit(const CSProfile& profile,
+                                                std::size_t bins = 10);
+
+  /// Map one exit's confidence to estimated correctness probability.
+  [[nodiscard]] float calibrate(std::size_t exit, float confidence) const;
+
+  /// Calibrate a full-length confidence vector in place.
+  void apply(std::span<float> confidences) const;
+
+  [[nodiscard]] std::size_t num_exits() const { return curves_.size(); }
+
+ private:
+  struct Point {
+    float conf;
+    float acc;
+  };
+  // Per exit: knots sorted by conf; evaluation is linear interpolation with
+  // flat extrapolation beyond the outermost knots.
+  std::vector<std::vector<Point>> curves_;
+};
+
+}  // namespace einet::profiling

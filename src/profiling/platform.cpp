@@ -1,0 +1,45 @@
+#include "profiling/platform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace einet::profiling {
+
+double Platform::time_ms(std::size_t flops, double overhead_ms) const {
+  if (flops_per_ms <= 0.0)
+    throw std::logic_error{"Platform: flops_per_ms must be > 0"};
+  return overhead_ms + static_cast<double>(flops) / flops_per_ms;
+}
+
+double Platform::measure_ms(std::size_t flops, double overhead_ms,
+                            util::Rng& rng) const {
+  const double base = time_ms(flops, overhead_ms);
+  const double noisy = base * (1.0 + rng.gaussian(0.0, jitter_rel));
+  return std::max(noisy, 0.0);
+}
+
+Platform server_platform() {
+  return Platform{.name = "server",
+                  .flops_per_ms = 5.0e7,
+                  .conv_overhead_ms = 0.002,
+                  .branch_overhead_ms = 0.003,
+                  .jitter_rel = 0.02};
+}
+
+Platform edge_fast_platform() {
+  return Platform{.name = "edge-fast",
+                  .flops_per_ms = 5.0e6,
+                  .conv_overhead_ms = 0.010,
+                  .branch_overhead_ms = 0.015,
+                  .jitter_rel = 0.03};
+}
+
+Platform edge_slow_platform() {
+  return Platform{.name = "edge-slow",
+                  .flops_per_ms = 5.0e5,
+                  .conv_overhead_ms = 0.050,
+                  .branch_overhead_ms = 0.080,
+                  .jitter_rel = 0.05};
+}
+
+}  // namespace einet::profiling

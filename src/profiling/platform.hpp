@@ -1,0 +1,45 @@
+// Simulated edge platforms.
+//
+// The paper profiles models on physical devices and regenerates ET-profiles
+// per platform ("EINet regenerates ET-profiles for each edge platform even
+// with the same test samples and multi-exit models"). We model a platform as
+// a throughput (MACs per millisecond) plus fixed per-launch overheads for
+// conv parts and branches, and optional relative timing jitter for
+// wall-clock-style measurement noise. ET-profiles are then derived
+// deterministically from the layer cost models, which keeps every experiment
+// reproducible on any host.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace einet::profiling {
+
+struct Platform {
+  std::string name = "edge";
+  /// Multiply-accumulate throughput, MACs per millisecond.
+  double flops_per_ms = 5.0e6;
+  /// Fixed cost of launching one conv part (kernel dispatch, cache warmup).
+  double conv_overhead_ms = 0.010;
+  /// Fixed cost of launching one branch (the exit head is a separate kernel).
+  double branch_overhead_ms = 0.015;
+  /// Relative per-measurement jitter (stddev as a fraction of the value)
+  /// used when simulating noisy wall-clock profiling runs.
+  double jitter_rel = 0.03;
+
+  /// Deterministic time for `flops` MACs plus the given launch overhead.
+  [[nodiscard]] double time_ms(std::size_t flops, double overhead_ms) const;
+
+  /// One noisy measurement of the same quantity (never below 0).
+  [[nodiscard]] double measure_ms(std::size_t flops, double overhead_ms,
+                                  util::Rng& rng) const;
+};
+
+/// Presets spanning the heterogeneity the paper targets.
+[[nodiscard]] Platform server_platform();     // RTX-3090-class
+[[nodiscard]] Platform edge_fast_platform();  // Jetson-class
+[[nodiscard]] Platform edge_slow_platform();  // MCU-class
+
+}  // namespace einet::profiling

@@ -1,0 +1,127 @@
+#include "profiling/profiler.hpp"
+
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace einet::profiling {
+
+ETProfile profile_execution_time(const models::MultiExitNetwork& net,
+                                 const Platform& platform) {
+  ETProfile p;
+  p.model_name = net.name();
+  p.platform_name = platform.name;
+  p.conv_ms.reserve(net.num_exits());
+  p.branch_ms.reserve(net.num_exits());
+  for (std::size_t i = 0; i < net.num_exits(); ++i) {
+    p.conv_ms.push_back(
+        platform.time_ms(net.conv_part_flops(i), platform.conv_overhead_ms));
+    p.branch_ms.push_back(
+        platform.time_ms(net.branch_flops(i), platform.branch_overhead_ms));
+  }
+  p.validate();
+  return p;
+}
+
+ETProfile profile_execution_time_measured(const models::MultiExitNetwork& net,
+                                          const Platform& platform,
+                                          std::size_t runs, util::Rng& rng) {
+  if (runs == 0)
+    throw std::invalid_argument{"profile_execution_time_measured: runs == 0"};
+  ETProfile p;
+  p.model_name = net.name();
+  p.platform_name = platform.name;
+  p.conv_ms.assign(net.num_exits(), 0.0);
+  p.branch_ms.assign(net.num_exits(), 0.0);
+  for (std::size_t r = 0; r < runs; ++r) {
+    for (std::size_t i = 0; i < net.num_exits(); ++i) {
+      p.conv_ms[i] += platform.measure_ms(net.conv_part_flops(i),
+                                          platform.conv_overhead_ms, rng);
+      p.branch_ms[i] += platform.measure_ms(net.branch_flops(i),
+                                            platform.branch_overhead_ms, rng);
+    }
+  }
+  for (auto& v : p.conv_ms) v /= static_cast<double>(runs);
+  for (auto& v : p.branch_ms) v /= static_cast<double>(runs);
+  p.validate();
+  return p;
+}
+
+std::vector<std::vector<double>> measure_block_times(
+    const models::MultiExitNetwork& net, const Platform& platform,
+    std::size_t samples, util::Rng& rng) {
+  std::vector<std::vector<double>> out(net.num_exits());
+  for (auto& block : out) block.reserve(samples);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < net.num_exits(); ++i) {
+      const double conv = platform.measure_ms(net.conv_part_flops(i),
+                                              platform.conv_overhead_ms, rng);
+      const double branch = platform.measure_ms(
+          net.branch_flops(i), platform.branch_overhead_ms, rng);
+      out[i].push_back(conv + branch);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> measure_block_times_wallclock(
+    models::MultiExitNetwork& net, const data::Dataset& ds,
+    std::size_t samples) {
+  samples = std::min(samples, ds.size());
+  std::vector<std::vector<double>> out(net.num_exits());
+  for (auto& block : out) block.reserve(samples);
+  const nn::Shape img = ds.input_shape();
+  for (std::size_t s = 0; s < samples; ++s) {
+    nn::Tensor features =
+        ds.sample(s).image.reshaped({1, img[0], img[1], img[2]});
+    for (std::size_t i = 0; i < net.num_exits(); ++i) {
+      util::Timer timer;
+      features = net.run_conv_part(i, features);
+      const nn::Tensor logits = net.run_branch(i, features);
+      out[i].push_back(timer.elapsed_ms());
+      (void)logits;
+    }
+  }
+  return out;
+}
+
+CSProfile profile_confidence(models::MultiExitNetwork& net,
+                             const data::Dataset& ds,
+                             std::size_t batch_size) {
+  if (ds.size() == 0)
+    throw std::invalid_argument{"profile_confidence: empty dataset"};
+  CSProfile p;
+  p.model_name = net.name();
+  p.dataset_name = ds.name();
+  p.num_exits = net.num_exits();
+  p.records.reserve(ds.size());
+
+  std::vector<std::size_t> indices;
+  for (std::size_t start = 0; start < ds.size(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, ds.size());
+    indices.resize(end - start);
+    for (std::size_t i = start; i < end; ++i) indices[i - start] = i;
+    const data::Batch batch = data::make_batch(ds, indices);
+    const auto logits = net.forward_all(batch.images, /*train=*/false);
+
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      CSRecord r;
+      r.label = batch.labels[b];
+      r.confidence.reserve(p.num_exits);
+      r.correct.reserve(p.num_exits);
+      for (std::size_t k = 0; k < p.num_exits; ++k) {
+        const std::size_t classes = logits[k].dim(1);
+        const auto probs = nn::softmax(
+            std::span<const float>{logits[k].raw() + b * classes, classes});
+        const std::size_t pred = nn::span_argmax(probs);
+        r.confidence.push_back(probs[pred]);
+        r.correct.push_back(static_cast<std::uint8_t>(pred == r.label));
+      }
+      p.records.push_back(std::move(r));
+    }
+  }
+  p.validate();
+  return p;
+}
+
+}  // namespace einet::profiling

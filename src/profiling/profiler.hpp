@@ -1,0 +1,43 @@
+// Offline Block-wise Model Profiling (paper Section IV): executes a trained
+// multi-exit network to produce its ET-profile (per-platform) and CS-profile
+// (platform-independent).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "models/multiexit.hpp"
+#include "profiling/platform.hpp"
+#include "profiling/profiles.hpp"
+
+namespace einet::profiling {
+
+/// Deterministic ET-profile from the analytical layer cost model.
+[[nodiscard]] ETProfile profile_execution_time(
+    const models::MultiExitNetwork& net, const Platform& platform);
+
+/// ET-profile from simulated noisy measurements averaged over `runs` passes
+/// — reproduces the paper's "average execution time of all testing samples"
+/// procedure including measurement jitter.
+[[nodiscard]] ETProfile profile_execution_time_measured(
+    const models::MultiExitNetwork& net, const Platform& platform,
+    std::size_t runs, util::Rng& rng);
+
+/// Per-sample per-block *noisy* conv+branch execution times (ms) for
+/// `samples` simulated runs; used by the Figure-4 distribution bench.
+/// Result: [block][sample].
+[[nodiscard]] std::vector<std::vector<double>> measure_block_times(
+    const models::MultiExitNetwork& net, const Platform& platform,
+    std::size_t samples, util::Rng& rng);
+
+/// Per-sample per-block *wall-clock* block times (ms) measured by actually
+/// running the network on dataset images (first `samples` of `ds`).
+[[nodiscard]] std::vector<std::vector<double>> measure_block_times_wallclock(
+    models::MultiExitNetwork& net, const data::Dataset& ds,
+    std::size_t samples);
+
+/// CS-profile: run every sample of `ds` through every exit, recording the
+/// max-softmax confidence and correctness per exit.
+[[nodiscard]] CSProfile profile_confidence(models::MultiExitNetwork& net,
+                                           const data::Dataset& ds,
+                                           std::size_t batch_size = 64);
+
+}  // namespace einet::profiling

@@ -1,0 +1,192 @@
+#include "profiling/profiles.hpp"
+
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace einet::profiling {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char sep = ',') {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream in{line};
+  while (std::getline(in, field, sep)) out.push_back(field);
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"cannot open for write: " + path};
+  out << content;
+  if (!out) throw std::runtime_error{"write failed: " + path};
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open for read: " + path};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+double ETProfile::total_ms() const {
+  return std::accumulate(conv_ms.begin(), conv_ms.end(), 0.0) +
+         std::accumulate(branch_ms.begin(), branch_ms.end(), 0.0);
+}
+
+double ETProfile::trunk_ms() const {
+  return std::accumulate(conv_ms.begin(), conv_ms.end(), 0.0);
+}
+
+void ETProfile::validate() const {
+  if (conv_ms.size() != branch_ms.size())
+    throw std::invalid_argument{"ETProfile: conv/branch size mismatch"};
+  if (conv_ms.empty()) throw std::invalid_argument{"ETProfile: empty"};
+  for (std::size_t i = 0; i < conv_ms.size(); ++i) {
+    if (conv_ms[i] < 0.0 || branch_ms[i] < 0.0)
+      throw std::invalid_argument{"ETProfile: negative time at block " +
+                                  std::to_string(i)};
+  }
+}
+
+std::string ETProfile::to_csv() const {
+  std::ostringstream out;
+  out.precision(12);
+  out << "model," << model_name << "\n";
+  out << "platform," << platform_name << "\n";
+  out << "block,conv_ms,branch_ms\n";
+  for (std::size_t i = 0; i < conv_ms.size(); ++i)
+    out << i << ',' << conv_ms[i] << ',' << branch_ms[i] << "\n";
+  return out.str();
+}
+
+ETProfile ETProfile::from_csv(const std::string& csv) {
+  std::istringstream in{csv};
+  std::string line;
+  ETProfile p;
+  if (!std::getline(in, line) || !line.starts_with("model,"))
+    throw std::runtime_error{"ETProfile::from_csv: missing model header"};
+  p.model_name = line.substr(6);
+  if (!std::getline(in, line) || !line.starts_with("platform,"))
+    throw std::runtime_error{"ETProfile::from_csv: missing platform header"};
+  p.platform_name = line.substr(9);
+  if (!std::getline(in, line) || line != "block,conv_ms,branch_ms")
+    throw std::runtime_error{"ETProfile::from_csv: missing column header"};
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_line(line);
+    if (fields.size() != 3)
+      throw std::runtime_error{"ETProfile::from_csv: malformed row: " + line};
+    p.conv_ms.push_back(std::stod(fields[1]));
+    p.branch_ms.push_back(std::stod(fields[2]));
+  }
+  p.validate();
+  return p;
+}
+
+void ETProfile::save(const std::string& path) const {
+  write_file(path, to_csv());
+}
+
+ETProfile ETProfile::load(const std::string& path) {
+  return from_csv(read_file(path));
+}
+
+std::vector<double> CSProfile::mean_confidence() const {
+  std::vector<double> out(num_exits, 0.0);
+  if (records.empty()) return out;
+  for (const auto& r : records)
+    for (std::size_t i = 0; i < num_exits; ++i) out[i] += r.confidence[i];
+  for (auto& v : out) v /= static_cast<double>(records.size());
+  return out;
+}
+
+std::vector<double> CSProfile::exit_accuracy() const {
+  std::vector<double> out(num_exits, 0.0);
+  if (records.empty()) return out;
+  for (const auto& r : records)
+    for (std::size_t i = 0; i < num_exits; ++i) out[i] += r.correct[i];
+  for (auto& v : out) v /= static_cast<double>(records.size());
+  return out;
+}
+
+void CSProfile::validate() const {
+  if (num_exits == 0) throw std::invalid_argument{"CSProfile: num_exits == 0"};
+  for (const auto& r : records) {
+    if (r.confidence.size() != num_exits || r.correct.size() != num_exits)
+      throw std::invalid_argument{"CSProfile: record size mismatch"};
+    for (float c : r.confidence) {
+      if (c < 0.0f || c > 1.0f)
+        throw std::invalid_argument{"CSProfile: confidence outside [0, 1]"};
+    }
+  }
+}
+
+std::string CSProfile::to_csv() const {
+  std::ostringstream out;
+  out.precision(9);
+  out << "model," << model_name << "\n";
+  out << "dataset," << dataset_name << "\n";
+  out << "exits," << num_exits << "\n";
+  out << "label";
+  for (std::size_t i = 0; i < num_exits; ++i) out << ",conf" << i;
+  for (std::size_t i = 0; i < num_exits; ++i) out << ",correct" << i;
+  out << "\n";
+  for (const auto& r : records) {
+    out << r.label;
+    for (float c : r.confidence) out << ',' << c;
+    for (auto c : r.correct) out << ',' << static_cast<int>(c);
+    out << "\n";
+  }
+  return out.str();
+}
+
+CSProfile CSProfile::from_csv(const std::string& csv) {
+  std::istringstream in{csv};
+  std::string line;
+  CSProfile p;
+  if (!std::getline(in, line) || !line.starts_with("model,"))
+    throw std::runtime_error{"CSProfile::from_csv: missing model header"};
+  p.model_name = line.substr(6);
+  if (!std::getline(in, line) || !line.starts_with("dataset,"))
+    throw std::runtime_error{"CSProfile::from_csv: missing dataset header"};
+  p.dataset_name = line.substr(8);
+  if (!std::getline(in, line) || !line.starts_with("exits,"))
+    throw std::runtime_error{"CSProfile::from_csv: missing exits header"};
+  p.num_exits = std::stoul(line.substr(6));
+  if (!std::getline(in, line))
+    throw std::runtime_error{"CSProfile::from_csv: missing column header"};
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_line(line);
+    if (fields.size() != 1 + 2 * p.num_exits)
+      throw std::runtime_error{"CSProfile::from_csv: malformed row: " + line};
+    CSRecord r;
+    r.label = std::stoul(fields[0]);
+    r.confidence.reserve(p.num_exits);
+    r.correct.reserve(p.num_exits);
+    for (std::size_t i = 0; i < p.num_exits; ++i)
+      r.confidence.push_back(std::stof(fields[1 + i]));
+    for (std::size_t i = 0; i < p.num_exits; ++i)
+      r.correct.push_back(
+          static_cast<std::uint8_t>(std::stoi(fields[1 + p.num_exits + i])));
+    p.records.push_back(std::move(r));
+  }
+  p.validate();
+  return p;
+}
+
+void CSProfile::save(const std::string& path) const {
+  write_file(path, to_csv());
+}
+
+CSProfile CSProfile::load(const std::string& path) {
+  return from_csv(read_file(path));
+}
+
+}  // namespace einet::profiling

@@ -1,0 +1,65 @@
+// Block-wise model profiles (paper Section IV-B).
+//
+// ET-profiles record the average time to execute each conv part (Tc) and
+// each branch (Tb) of a multi-exit model on a specific platform; they are
+// platform-dependent. CS-profiles record, for every profiling sample, the
+// confidence score (max softmax) produced at every exit plus whether that
+// exit's prediction was correct; they are platform-independent. Both have a
+// CSV round-trip so offline profiling artefacts can be cached on disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace einet::profiling {
+
+struct ETProfile {
+  std::string model_name;
+  std::string platform_name;
+  std::vector<double> conv_ms;    // Tc per block
+  std::vector<double> branch_ms;  // Tb per block
+
+  [[nodiscard]] std::size_t num_blocks() const { return conv_ms.size(); }
+  /// Total time of a full run that executes every branch.
+  [[nodiscard]] double total_ms() const;
+  /// Total time of the trunk alone (no branches).
+  [[nodiscard]] double trunk_ms() const;
+
+  /// Validates internal consistency (same sizes, non-negative times).
+  void validate() const;
+
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] static ETProfile from_csv(const std::string& csv);
+  void save(const std::string& path) const;
+  [[nodiscard]] static ETProfile load(const std::string& path);
+};
+
+struct CSRecord {
+  std::vector<float> confidence;  // max softmax per exit, in [0, 1]
+  std::vector<std::uint8_t> correct;  // 1 if exit's argmax == label
+  std::size_t label = 0;
+};
+
+struct CSProfile {
+  std::string model_name;
+  std::string dataset_name;
+  std::size_t num_exits = 0;
+  std::vector<CSRecord> records;
+
+  [[nodiscard]] std::size_t size() const { return records.size(); }
+
+  /// Mean confidence at each exit across all records.
+  [[nodiscard]] std::vector<double> mean_confidence() const;
+  /// Accuracy at each exit across all records.
+  [[nodiscard]] std::vector<double> exit_accuracy() const;
+
+  void validate() const;
+
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] static CSProfile from_csv(const std::string& csv);
+  void save(const std::string& path) const;
+  [[nodiscard]] static CSProfile load(const std::string& path);
+};
+
+}  // namespace einet::profiling

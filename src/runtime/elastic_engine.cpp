@@ -1,0 +1,194 @@
+#include "runtime/elastic_engine.hpp"
+
+#include <stdexcept>
+
+namespace einet::runtime {
+
+ElasticEngine::ElasticEngine(const profiling::ETProfile& et,
+                             predictor::CSPredictor* predictor,
+                             const ElasticConfig& config,
+                             std::vector<float> fallback_confidence)
+    : et_(et),
+      predictor_(predictor),
+      config_(config),
+      fallback_confidence_(std::move(fallback_confidence)),
+      search_engine_(config.search) {
+  et_.validate();
+  if (predictor_ != nullptr && predictor_->num_exits() != et_.num_blocks())
+    throw std::invalid_argument{"ElasticEngine: predictor exit count "
+                                "does not match ET-profile"};
+  if (predictor_ == nullptr && !config_.oracle_predictor) {
+    if (fallback_confidence_.size() != et_.num_blocks())
+      throw std::invalid_argument{
+          "ElasticEngine: need fallback confidences when no predictor"};
+  }
+}
+
+std::vector<float> ElasticEngine::build_observed(
+    const std::vector<float>& executed_conf,
+    const std::vector<std::uint8_t>& executed_mask, std::size_t upto) const {
+  std::vector<float> observed(et_.num_blocks(), 0.0f);
+  float last = 0.0f;
+  for (std::size_t i = 0; i < upto; ++i) {
+    if (executed_mask[i]) last = executed_conf[i];
+    observed[i] = last;  // skipped exits inherit the nearest previous score
+  }
+  return observed;
+}
+
+InferenceOutcome ElasticEngine::run(const profiling::CSRecord& record,
+                                    double deadline_ms,
+                                    const core::TimeDistribution& dist) {
+  const std::size_t n = et_.num_blocks();
+  if (record.confidence.size() != n)
+    throw std::invalid_argument{"ElasticEngine::run: record size mismatch"};
+
+  InferenceOutcome out;
+  out.deadline_ms = deadline_ms;
+
+  std::vector<float> executed_conf(n, 0.0f);
+  std::vector<std::uint8_t> executed_mask(n, 0);
+
+  // Initial plan: nothing observed yet.
+  std::vector<float> predicted =
+      config_.oracle_predictor
+          ? std::vector<float>{record.confidence.begin(),
+                               record.confidence.end()}
+          : (predictor_ != nullptr
+                 ? predictor_->predict(std::vector<float>(n, 0.0f), 0)
+                 : fallback_confidence_);
+  if (config_.calibrator != nullptr) config_.calibrator->apply(predicted);
+  core::ExitPlan plan{n};
+  {
+    core::PlanProblem problem{.conv_ms = et_.conv_ms,
+                              .branch_ms = et_.branch_ms,
+                              .confidence = predicted,
+                              .dist = &dist,
+                              .fixed_prefix = 0,
+                              .base = core::ExitPlan{n}};
+    const auto res = search_engine_.search(problem);
+    plan = res.plan;
+    out.planner_ms += res.search_ms;
+    ++out.searches_run;
+  }
+
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += et_.conv_ms[i];
+    if (t > deadline_ms) return out;  // killed mid conv part
+    if (!plan.executes(i)) continue;
+    t += et_.branch_ms[i];
+    if (t > deadline_ms) return out;  // killed mid branch
+
+    // Branch i produced an output.
+    executed_conf[i] = record.confidence[i];
+    executed_mask[i] = 1;
+    ++out.branches_executed;
+    out.has_result = true;
+    out.exit_index = i;
+    out.correct = record.correct[i] != 0;
+    out.result_time_ms = t;
+
+    // Re-plan the remaining suffix.
+    if (config_.replan_after_each_output && i + 1 < n) {
+      const auto observed = build_observed(executed_conf, executed_mask, i + 1);
+      if (config_.oracle_predictor) {
+        predicted.assign(record.confidence.begin(), record.confidence.end());
+      } else {
+        predicted = predictor_ != nullptr
+                        ? predictor_->predict(observed, i + 1)
+                        : [&] {
+                            std::vector<float> fb = fallback_confidence_;
+                            for (std::size_t k = 0; k <= i; ++k)
+                              fb[k] = observed[k];
+                            return fb;
+                          }();
+      }
+      if (config_.calibrator != nullptr) config_.calibrator->apply(predicted);
+      core::PlanProblem problem{.conv_ms = et_.conv_ms,
+                                .branch_ms = et_.branch_ms,
+                                .confidence = predicted,
+                                .dist = &dist,
+                                .fixed_prefix = i + 1,
+                                .base = plan};
+      const auto res = search_engine_.search(problem);
+      plan = res.plan;
+      out.planner_ms += res.search_ms;
+      ++out.searches_run;
+    }
+  }
+  out.completed = true;
+  return out;
+}
+
+InferenceOutcome ElasticEngine::run_static(const profiling::CSRecord& record,
+                                           const core::ExitPlan& plan,
+                                           double deadline_ms) const {
+  const std::size_t n = et_.num_blocks();
+  if (record.confidence.size() != n || plan.size() != n)
+    throw std::invalid_argument{
+        "ElasticEngine::run_static: size mismatch"};
+  InferenceOutcome out;
+  out.deadline_ms = deadline_ms;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += et_.conv_ms[i];
+    if (t > deadline_ms) return out;
+    if (!plan.executes(i)) continue;
+    t += et_.branch_ms[i];
+    if (t > deadline_ms) return out;
+    ++out.branches_executed;
+    out.has_result = true;
+    out.exit_index = i;
+    out.correct = record.correct[i] != 0;
+    out.result_time_ms = t;
+  }
+  out.completed = true;
+  return out;
+}
+
+InferenceOutcome ElasticEngine::run_threshold(
+    const profiling::CSRecord& record, double threshold,
+    double deadline_ms) const {
+  const std::size_t n = et_.num_blocks();
+  if (record.confidence.size() != n)
+    throw std::invalid_argument{
+        "ElasticEngine::run_threshold: record size mismatch"};
+  InferenceOutcome out;
+  out.deadline_ms = deadline_ms;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += et_.conv_ms[i];
+    if (t > deadline_ms) return out;
+    t += et_.branch_ms[i];
+    if (t > deadline_ms) return out;
+    ++out.branches_executed;
+    out.has_result = true;
+    out.exit_index = i;
+    out.correct = record.correct[i] != 0;
+    out.result_time_ms = t;
+    if (record.confidence[i] >= threshold) {
+      out.completed = true;  // confident early exit: task finishes here
+      return out;
+    }
+  }
+  out.completed = true;
+  return out;
+}
+
+InferenceOutcome ElasticEngine::run_single_exit(double total_ms, bool correct,
+                                                double deadline_ms) {
+  InferenceOutcome out;
+  out.deadline_ms = deadline_ms;
+  if (total_ms <= deadline_ms) {
+    out.has_result = true;
+    out.exit_index = 0;
+    out.correct = correct;
+    out.result_time_ms = total_ms;
+    out.completed = true;
+    out.branches_executed = 1;
+  }
+  return out;
+}
+
+}  // namespace einet::runtime

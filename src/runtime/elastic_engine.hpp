@@ -1,0 +1,106 @@
+// Online Elastic Inference (paper Section V, Figure 2 right half).
+//
+// The engine simulates one real-time inference under an unpredictable forced
+// exit: a deterministic clock advances by the ET-profile's block times; the
+// sample's per-exit confidences/correctness come either from a CS-profile
+// record (replay mode — exact, cheap, used for large-scale evaluation) or
+// from actually running the network (live mode, live_engine.hpp). After each
+// executed branch EINet queries the CS-Predictor for the remaining exits'
+// scores and re-runs the Search Engine over the not-yet-reached suffix of
+// the plan; the chosen plan supersedes the previous one. When the simulated
+// clock passes the sampled deadline the inference is killed and the last
+// produced result (if any) is the task's output.
+//
+// Replay is exact because the planner consumes only (confidence trajectory,
+// per-exit correctness, block times) — precisely what a CS-profile records.
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "core/search.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "profiling/calibration.hpp"
+#include "profiling/profiles.hpp"
+
+namespace einet::runtime {
+
+struct InferenceOutcome {
+  /// True if at least one branch completed before the forced exit.
+  bool has_result = false;
+  /// Exit whose result the task ends with (valid when has_result).
+  std::size_t exit_index = std::numeric_limits<std::size_t>::max();
+  bool correct = false;
+  /// Simulated time at which that result was produced.
+  double result_time_ms = 0.0;
+  double deadline_ms = 0.0;
+  std::size_t branches_executed = 0;
+  std::size_t searches_run = 0;
+  /// True if the whole plan finished before the deadline.
+  bool completed = false;
+  /// Total planner time spent on this sample (search only).
+  double planner_ms = 0.0;
+};
+
+struct ElasticConfig {
+  core::SearchEngineConfig search;
+  /// Re-run the Search Engine after every produced output (the paper's
+  /// behaviour). When false, the initial plan is kept for the whole run.
+  bool replan_after_each_output = true;
+  /// Optional per-exit confidence calibration applied to O' before planning
+  /// (extension; nullptr reproduces the paper's raw-confidence planner).
+  const profiling::ConfidenceCalibrator* calibrator = nullptr;
+  /// Oracle mode (ablation upper bound): the planner sees the sample's true
+  /// future confidences instead of CS-Predictor estimates.
+  bool oracle_predictor = false;
+};
+
+class ElasticEngine {
+ public:
+  /// `predictor` supplies O' during planning; pass nullptr to plan from
+  /// `fallback_confidence` (e.g. the profile's mean confidences) instead.
+  ElasticEngine(const profiling::ETProfile& et,
+                predictor::CSPredictor* predictor, const ElasticConfig& config,
+                std::vector<float> fallback_confidence = {});
+
+  /// EINet inference for one sample (replay mode).
+  [[nodiscard]] InferenceOutcome run(const profiling::CSRecord& record,
+                                     double deadline_ms,
+                                     const core::TimeDistribution& dist);
+
+  /// Fixed-plan inference (static baselines / ME-NN without planner).
+  [[nodiscard]] InferenceOutcome run_static(const profiling::CSRecord& record,
+                                            const core::ExitPlan& plan,
+                                            double deadline_ms) const;
+
+  /// Confidence-threshold dynamic baseline: every branch executes; once the
+  /// confidence reaches `threshold` the task finishes early with that result.
+  [[nodiscard]] InferenceOutcome run_threshold(
+      const profiling::CSRecord& record, double threshold,
+      double deadline_ms) const;
+
+  /// Single-exit baseline (classic / compressed models): a result exists
+  /// only if the whole network finished before the deadline. `total_ms` and
+  /// `correct` describe the single-exit model's run on this sample.
+  [[nodiscard]] static InferenceOutcome run_single_exit(double total_ms,
+                                                        bool correct,
+                                                        double deadline_ms);
+
+  [[nodiscard]] const profiling::ETProfile& et_profile() const { return et_; }
+
+ private:
+  /// Fill skipped past exits with the nearest previous executed confidence
+  /// (paper Section IV-C2) and return the predictor input vector.
+  [[nodiscard]] std::vector<float> build_observed(
+      const std::vector<float>& executed_conf,
+      const std::vector<std::uint8_t>& executed_mask,
+      std::size_t upto) const;
+
+  profiling::ETProfile et_;
+  predictor::CSPredictor* predictor_;
+  ElasticConfig config_;
+  std::vector<float> fallback_confidence_;
+  core::SearchEngine search_engine_;
+};
+
+}  // namespace einet::runtime

@@ -1,0 +1,141 @@
+#include "runtime/evaluator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace einet::runtime {
+
+Evaluator::Evaluator(const profiling::ETProfile& et,
+                     const profiling::CSProfile& cs,
+                     const core::TimeDistribution& dist, std::uint64_t seed)
+    : et_(et), cs_(cs), dist_(dist), seed_(seed) {
+  et_.validate();
+  cs_.validate();
+  if (et_.num_blocks() != cs_.num_exits)
+    throw std::invalid_argument{"Evaluator: ET/CS profile exit mismatch"};
+  if (cs_.size() == 0) throw std::invalid_argument{"Evaluator: empty profile"};
+}
+
+template <typename RunFn>
+StrategyStats Evaluator::run_trials(const std::string& name,
+                                    std::size_t repeats,
+                                    std::size_t max_samples, RunFn&& run) {
+  if (repeats == 0) throw std::invalid_argument{"Evaluator: repeats == 0"};
+  const std::size_t samples = std::min(max_samples, cs_.size());
+  if (samples == 0) throw std::invalid_argument{"Evaluator: zero samples"};
+
+  util::Rng rng{seed_};  // all strategies share the deadline sequence
+  StrategyStats stats;
+  stats.name = name;
+  std::size_t correct = 0, no_result = 0, completed = 0, with_result = 0;
+  double branches = 0.0, depth = 0.0, planner = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    for (std::size_t s = 0; s < samples; ++s) {
+      const double deadline = dist_.sample(rng);
+      const InferenceOutcome out = run(s, deadline);
+      ++stats.trials;
+      if (out.has_result) {
+        ++with_result;
+        depth += static_cast<double>(out.exit_index);
+        if (out.correct) ++correct;
+      } else {
+        ++no_result;
+      }
+      if (out.completed) ++completed;
+      branches += static_cast<double>(out.branches_executed);
+      planner += out.planner_ms;
+    }
+  }
+  const auto trials = static_cast<double>(stats.trials);
+  stats.accuracy = static_cast<double>(correct) / trials;
+  stats.no_result_rate = static_cast<double>(no_result) / trials;
+  stats.completion_rate = static_cast<double>(completed) / trials;
+  stats.avg_branches = branches / trials;
+  stats.avg_exit_depth =
+      with_result ? depth / static_cast<double>(with_result) : 0.0;
+  stats.avg_planner_ms = planner / trials;
+  return stats;
+}
+
+StrategyStats Evaluator::eval_einet(predictor::CSPredictor* predictor,
+                                    const ElasticConfig& config,
+                                    std::size_t repeats,
+                                    std::size_t max_samples) {
+  std::vector<float> fallback;
+  if (predictor == nullptr && !config.oracle_predictor) {
+    const auto means = cs_.mean_confidence();
+    fallback.assign(means.begin(), means.end());
+  }
+  ElasticEngine engine{et_, predictor, config, std::move(fallback)};
+  std::string name =
+      "EINet(" + core::search_method_name(config.search.method) + ")";
+  if (config.oracle_predictor) name += "[oracle]";
+  else if (predictor == nullptr) name += "[mean]";
+  if (config.calibrator != nullptr) name += "[cal]";
+  return run_trials(name, repeats, max_samples,
+                    [&](std::size_t s, double deadline) {
+                      return engine.run(cs_.records[s], deadline, dist_);
+                    });
+}
+
+StrategyStats Evaluator::eval_static(const core::ExitPlan& plan,
+                                     const std::string& name,
+                                     std::size_t repeats,
+                                     std::size_t max_samples) {
+  ElasticEngine engine{et_, nullptr, ElasticConfig{},
+                       std::vector<float>(et_.num_blocks(), 0.0f)};
+  return run_trials(name, repeats, max_samples,
+                    [&](std::size_t s, double deadline) {
+                      return engine.run_static(cs_.records[s], plan, deadline);
+                    });
+}
+
+StrategyStats Evaluator::eval_threshold(double threshold, std::size_t repeats,
+                                        std::size_t max_samples) {
+  ElasticEngine engine{et_, nullptr, ElasticConfig{},
+                       std::vector<float>(et_.num_blocks(), 0.0f)};
+  return run_trials("threshold(" + std::to_string(threshold) + ")", repeats,
+                    max_samples, [&](std::size_t s, double deadline) {
+                      return engine.run_threshold(cs_.records[s], threshold,
+                                                  deadline);
+                    });
+}
+
+StrategyStats Evaluator::eval_single_exit(const profiling::CSProfile& single_cs,
+                                          double total_ms,
+                                          const std::string& name,
+                                          std::size_t repeats,
+                                          std::size_t max_samples) {
+  single_cs.validate();
+  if (single_cs.num_exits != 1)
+    throw std::invalid_argument{
+        "eval_single_exit: profile must have exactly one exit"};
+  const std::size_t usable = std::min(
+      {max_samples, cs_.size(), single_cs.size()});
+  return run_trials(name, repeats, usable,
+                    [&](std::size_t s, double deadline) {
+                      const auto& rec = single_cs.records[s];
+                      return ElasticEngine::run_single_exit(
+                          total_ms, rec.correct[0] != 0, deadline);
+                    });
+}
+
+core::ExitPlan find_static_optimal_plan(const profiling::ETProfile& et,
+                                        const profiling::CSProfile& cs,
+                                        const core::TimeDistribution& dist) {
+  // Paper Table II: "a static optimal exit plan based on average time and
+  // accuracy profiles" — the plan quality signal is per-exit mean accuracy.
+  const auto means = cs.exit_accuracy();
+  const std::vector<float> conf{means.begin(), means.end()};
+  core::PlanProblem problem{.conv_ms = et.conv_ms,
+                            .branch_ms = et.branch_ms,
+                            .confidence = conf,
+                            .dist = &dist,
+                            .fixed_prefix = 0,
+                            .base = core::ExitPlan{et.num_blocks()}};
+  const auto res = et.num_blocks() <= 20 ? core::enumeration_search(problem)
+                                         : core::hybrid_search(problem, 5);
+  return res.plan;
+}
+
+}  // namespace einet::runtime

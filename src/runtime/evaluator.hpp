@@ -1,0 +1,81 @@
+// Unpredictable-exit evaluation harness (paper Section VI).
+//
+// Evaluates a strategy over every record of a CS-profile, sampling one
+// forced-exit deadline per (record, repeat) from the exit-time distribution.
+// All strategies evaluated with the same seed see the *same* deadline
+// sequence, so comparisons are paired. The headline metric is overall
+// accuracy: the fraction of trials whose task ends with a correct result
+// (no result counts as incorrect, matching the paper's treatment of killed
+// single-exit models).
+#pragma once
+
+#include <string>
+
+#include "runtime/elastic_engine.hpp"
+
+namespace einet::runtime {
+
+struct StrategyStats {
+  std::string name;
+  std::size_t trials = 0;
+  double accuracy = 0.0;         // correct / trials
+  double no_result_rate = 0.0;   // trials ending with no output at all
+  double completion_rate = 0.0;  // trials whose plan finished pre-deadline
+  double avg_branches = 0.0;
+  double avg_exit_depth = 0.0;   // mean kept-exit index among result trials
+  double avg_planner_ms = 0.0;   // mean planner (search) time per trial
+};
+
+class Evaluator {
+ public:
+  Evaluator(const profiling::ETProfile& et, const profiling::CSProfile& cs,
+            const core::TimeDistribution& dist, std::uint64_t seed = 2024);
+
+  /// EINet with the given predictor / search configuration.
+  [[nodiscard]] StrategyStats eval_einet(predictor::CSPredictor* predictor,
+                                         const ElasticConfig& config,
+                                         std::size_t repeats = 1,
+                                         std::size_t max_samples = SIZE_MAX);
+
+  /// Fixed exit plan (static baselines and the no-skip ME-NN).
+  [[nodiscard]] StrategyStats eval_static(const core::ExitPlan& plan,
+                                          const std::string& name,
+                                          std::size_t repeats = 1,
+                                          std::size_t max_samples = SIZE_MAX);
+
+  /// Confidence-threshold dynamic baseline.
+  [[nodiscard]] StrategyStats eval_threshold(double threshold,
+                                             std::size_t repeats = 1,
+                                             std::size_t max_samples = SIZE_MAX);
+
+  /// Single-exit model (classic / compressed): `single_cs` must be a 1-exit
+  /// CS-profile of that model and `total_ms` its end-to-end time. The
+  /// deadline sequence still comes from this evaluator's distribution.
+  [[nodiscard]] StrategyStats eval_single_exit(
+      const profiling::CSProfile& single_cs, double total_ms,
+      const std::string& name, std::size_t repeats = 1,
+      std::size_t max_samples = SIZE_MAX);
+
+  [[nodiscard]] const profiling::ETProfile& et() const { return et_; }
+  [[nodiscard]] const profiling::CSProfile& cs() const { return cs_; }
+
+ private:
+  template <typename RunFn>
+  StrategyStats run_trials(const std::string& name, std::size_t repeats,
+                           std::size_t max_samples, RunFn&& run);
+
+  const profiling::ETProfile& et_;
+  const profiling::CSProfile& cs_;
+  const core::TimeDistribution& dist_;
+  std::uint64_t seed_;
+};
+
+/// The Table-II "theoretically optimal" static plan: maximise the accuracy
+/// expectation computed from the profile's per-exit *mean accuracies* (the
+/// paper's "average time and accuracy profiles"). Uses full enumeration up
+/// to 20 exits, hybrid search (m = 5) beyond that.
+[[nodiscard]] core::ExitPlan find_static_optimal_plan(
+    const profiling::ETProfile& et, const profiling::CSProfile& cs,
+    const core::TimeDistribution& dist);
+
+}  // namespace einet::runtime

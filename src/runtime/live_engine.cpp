@@ -1,0 +1,106 @@
+#include "runtime/live_engine.hpp"
+
+#include <stdexcept>
+
+namespace einet::runtime {
+
+LiveElasticEngine::LiveElasticEngine(models::MultiExitNetwork& net,
+                                     const profiling::ETProfile& et,
+                                     predictor::CSPredictor* predictor,
+                                     const ElasticConfig& config)
+    : net_(net),
+      et_(et),
+      predictor_(predictor),
+      config_(config),
+      search_engine_(config.search) {
+  et_.validate();
+  if (et_.num_blocks() != net_.num_exits())
+    throw std::invalid_argument{
+        "LiveElasticEngine: ET-profile does not match network"};
+  if (predictor_ == nullptr)
+    throw std::invalid_argument{"LiveElasticEngine: predictor required"};
+  if (predictor_->num_exits() != net_.num_exits())
+    throw std::invalid_argument{
+        "LiveElasticEngine: predictor exit count mismatch"};
+}
+
+InferenceOutcome LiveElasticEngine::run(const nn::Tensor& image,
+                                        std::size_t label, double deadline_ms,
+                                        const core::TimeDistribution& dist) {
+  if (image.rank() != 3)
+    throw std::invalid_argument{"LiveElasticEngine::run: image must be CHW"};
+  const std::size_t n = net_.num_exits();
+
+  InferenceOutcome out;
+  out.deadline_ms = deadline_ms;
+
+  predictor::ActivationCacheSession session{*predictor_};
+
+  // Initial plan from the all-zeros predictor input.
+  std::vector<float> predicted = session.predict(0);
+  if (config_.calibrator != nullptr) config_.calibrator->apply(predicted);
+  core::ExitPlan plan{n};
+  {
+    core::PlanProblem problem{.conv_ms = et_.conv_ms,
+                              .branch_ms = et_.branch_ms,
+                              .confidence = predicted,
+                              .dist = &dist,
+                              .fixed_prefix = 0,
+                              .base = core::ExitPlan{n}};
+    const auto res = search_engine_.search(problem);
+    plan = res.plan;
+    out.planner_ms += res.search_ms;
+    ++out.searches_run;
+  }
+
+  nn::Tensor features = image.reshaped(
+      {1, image.dim(0), image.dim(1), image.dim(2)});
+  double t = 0.0;
+  float last_conf = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += et_.conv_ms[i];
+    if (t > deadline_ms) return out;
+    features = net_.run_conv_part(i, features);
+
+    if (!plan.executes(i)) {
+      // Skipped exits inherit the nearest previous score in the predictor's
+      // logical input (paper Section IV-C2).
+      session.push(i, last_conf);
+      continue;
+    }
+
+    t += et_.branch_ms[i];
+    if (t > deadline_ms) return out;
+    const nn::Tensor logits = net_.run_branch(i, features);
+    const auto probs = nn::softmax(
+        std::span<const float>{logits.raw(), logits.numel()});
+    const std::size_t pred_class = nn::span_argmax(probs);
+    last_conf = probs[pred_class];
+    session.push(i, last_conf);
+
+    ++out.branches_executed;
+    out.has_result = true;
+    out.exit_index = i;
+    out.correct = (pred_class == label);
+    out.result_time_ms = t;
+
+    if (config_.replan_after_each_output && i + 1 < n) {
+      predicted = session.predict(i + 1);
+      if (config_.calibrator != nullptr) config_.calibrator->apply(predicted);
+      core::PlanProblem problem{.conv_ms = et_.conv_ms,
+                                .branch_ms = et_.branch_ms,
+                                .confidence = predicted,
+                                .dist = &dist,
+                                .fixed_prefix = i + 1,
+                                .base = plan};
+      const auto res = search_engine_.search(problem);
+      plan = res.plan;
+      out.planner_ms += res.search_ms;
+      ++out.searches_run;
+    }
+  }
+  out.completed = true;
+  return out;
+}
+
+}  // namespace einet::runtime

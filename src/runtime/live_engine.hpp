@@ -1,0 +1,35 @@
+// Live elastic inference: the same control loop as ElasticEngine but driving
+// a real MultiExitNetwork forward pass block by block, with CS-Predictor
+// queries served through the Activation-Cache incremental session. The
+// clock is still the deterministic ET-profile clock (the paper also
+// randomises exit times in software), which makes live and replay runs
+// bit-for-bit comparable — a property the integration tests assert.
+#pragma once
+
+#include "models/multiexit.hpp"
+#include "predictor/activation_cache.hpp"
+#include "runtime/elastic_engine.hpp"
+
+namespace einet::runtime {
+
+class LiveElasticEngine {
+ public:
+  LiveElasticEngine(models::MultiExitNetwork& net,
+                    const profiling::ETProfile& et,
+                    predictor::CSPredictor* predictor,
+                    const ElasticConfig& config);
+
+  /// Run one sample (CHW image + label) to its forced exit.
+  [[nodiscard]] InferenceOutcome run(const nn::Tensor& image,
+                                     std::size_t label, double deadline_ms,
+                                     const core::TimeDistribution& dist);
+
+ private:
+  models::MultiExitNetwork& net_;
+  profiling::ETProfile et_;
+  predictor::CSPredictor* predictor_;
+  ElasticConfig config_;
+  core::SearchEngine search_engine_;
+};
+
+}  // namespace einet::runtime

@@ -1,0 +1,41 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+
+namespace einet::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  std::lock_guard lock{g_mutex};
+  auto& out = (level >= LogLevel::kWarn) ? std::cerr : std::cout;
+  out << "[" << level_name(level) << "] " << msg << "\n";
+}
+}  // namespace detail
+
+}  // namespace einet::util

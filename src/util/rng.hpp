@@ -1,0 +1,133 @@
+// Deterministic, fast pseudo-random number generation for the whole project.
+//
+// Everything that involves randomness (weight init, dataset synthesis,
+// dropout, unpredictable-exit sampling) goes through einet::util::Rng so that
+// experiments are reproducible from a single seed. The generator is
+// xoshiro256**, seeded via splitmix64 per the reference implementation.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace einet::util {
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-seed the generator deterministically (splitmix64 expansion).
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform float in [lo, hi).
+  float uniform_f(float lo, float hi) {
+    return static_cast<float>(uniform(lo, hi));
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument{"Rng::uniform_int: n must be > 0"};
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (cached pair).
+  double gaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean / stddev.
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_int(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A fresh, independent generator derived from this one (for sub-streams).
+  Rng split() { return Rng{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool has_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+}  // namespace einet::util

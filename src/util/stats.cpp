@@ -1,0 +1,87 @@
+#include "util/stats.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace einet::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument{"percentile: empty sample"};
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument{"percentile: p outside [0, 100]"};
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument{"Histogram: bins must be > 0"};
+  if (!(lo < hi)) throw std::invalid_argument{"Histogram: need lo < hi"};
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+  samples_.push_back(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::central_spread(double fraction) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  const auto n = s.size();
+  const auto window =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::ceil(fraction * static_cast<double>(n))));
+  if (window >= n) return s.back() - s.front();
+  double best = s.back() - s.front();
+  for (std::size_t i = 0; i + window <= n; ++i) {
+    best = std::min(best, s[i + window - 1] - s[i]);
+  }
+  return best;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t max_count = 1;
+  for (auto c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        counts_[b] * width / max_count;
+    out << "[";
+    out.precision(4);
+    out << bin_lo(b) << ", " << bin_hi(b) << ") ";
+    out << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace einet::util

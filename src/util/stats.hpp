@@ -1,0 +1,85 @@
+// Small statistics helpers shared by the profiler and the benches:
+// mean / stddev / percentile over a sample vector, plus a streaming
+// accumulator and a fixed-bin histogram (used for Figure 4).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace einet::util {
+
+/// Arithmetic mean. Empty input -> 0.
+[[nodiscard]] double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator). Fewer than 2 samples -> 0.
+[[nodiscard]] double stddev(const std::vector<double>& xs);
+
+/// p-th percentile (0..100) by linear interpolation of the sorted sample.
+/// Throws std::invalid_argument on an empty input or p outside [0, 100].
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Streaming accumulator (Welford) for mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = (n_ == 1) ? x : std::min(min_, x);
+    max_ = (n_ == 1) ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Equal-width histogram over [lo, hi]; values outside are clamped to the
+/// edge bins. Used to reproduce the Figure-4 execution-time distribution.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Smallest central interval width that contains at least `fraction`
+  /// of all samples (reports the "90% of samples within 0.07 ms" metric).
+  [[nodiscard]] double central_spread(double fraction) const;
+
+  /// Render an ASCII bar chart (one row per bin).
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> samples_;  // kept for exact spread computation
+  std::size_t total_ = 0;
+};
+
+}  // namespace einet::util

@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace einet::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') i = 1;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '%' && c != 'e' && c != '-' && c != '+' &&
+               c != 'x') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument{"Table: need at least one column"};
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument{"Table::add_row: cell count mismatch"};
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string Table::pct(double v, int precision) {
+  return num(v, precision) + "%";
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ';
+      const auto pad = widths[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+      out << " |";
+    }
+    out << "\n";
+  };
+
+  emit_row(headers_);
+  out << "|";
+  for (auto w : widths) out << std::string(w + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace einet::util

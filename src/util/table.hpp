@@ -1,0 +1,38 @@
+// ASCII table renderer used by every bench binary to print paper-style rows
+// (Figure 8's accuracy grid, Table II's gains, ...). Columns are sized to the
+// widest cell; numeric cells are right-aligned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace einet::util {
+
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Convenience: format a percentage ("12.34%").
+  static std::string pct(double v, int precision = 2);
+
+  /// Render the table (headers, separator, rows).
+  [[nodiscard]] std::string str() const;
+
+  /// Render as CSV (for downstream plotting).
+  [[nodiscard]] std::string csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace einet::util

@@ -1,0 +1,39 @@
+// Wall-clock timing helpers used by the offline profiler (Section IV-B of the
+// paper) and by the timing benches (Table I / Table III).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace einet::util {
+
+/// Monotonic stopwatch with millisecond / microsecond readouts.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in milliseconds since construction or last reset().
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace einet::util

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.hpp"
+
+namespace einet::data {
+namespace {
+
+SyntheticSpec tiny_spec() {
+  SyntheticSpec s;
+  s.name = "tiny";
+  s.channels = 1;
+  s.height = 8;
+  s.width = 8;
+  s.num_classes = 4;
+  s.train_count = 40;
+  s.test_count = 20;
+  s.seed = 5;
+  return s;
+}
+
+TEST(InMemoryDataset, ValidatesLabelsAndShapes) {
+  std::vector<Sample> good;
+  good.push_back({nn::Tensor{{1, 2, 2}}, 0});
+  EXPECT_NO_THROW((InMemoryDataset{"x", std::move(good), 2}));
+
+  std::vector<Sample> bad_label;
+  bad_label.push_back({nn::Tensor{{1, 2, 2}}, 5});
+  EXPECT_THROW((InMemoryDataset{"x", std::move(bad_label), 2}),
+               std::invalid_argument);
+
+  std::vector<Sample> bad_rank;
+  bad_rank.push_back({nn::Tensor{{4}}, 0});
+  EXPECT_THROW((InMemoryDataset{"x", std::move(bad_rank), 2}),
+               std::invalid_argument);
+}
+
+TEST(Synthetic, DeterministicFromSeed) {
+  const auto a = make_synthetic(tiny_spec());
+  const auto b = make_synthetic(tiny_spec());
+  ASSERT_EQ(a.train->size(), b.train->size());
+  for (std::size_t i = 0; i < a.train->size(); ++i) {
+    EXPECT_EQ(a.train->sample(i).label, b.train->sample(i).label);
+    for (std::size_t k = 0; k < a.train->sample(i).image.numel(); ++k)
+      EXPECT_EQ(a.train->sample(i).image[k], b.train->sample(i).image[k]);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  auto s1 = tiny_spec();
+  auto s2 = tiny_spec();
+  s2.seed = 99;
+  const auto a = make_synthetic(s1);
+  const auto b = make_synthetic(s2);
+  bool any_diff = false;
+  for (std::size_t k = 0; k < a.train->sample(0).image.numel(); ++k)
+    if (a.train->sample(0).image[k] != b.train->sample(0).image[k])
+      any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, SplitsHaveRequestedSizes) {
+  const auto ds = make_synthetic(tiny_spec());
+  EXPECT_EQ(ds.train->size(), 40u);
+  EXPECT_EQ(ds.test->size(), 20u);
+  EXPECT_EQ(ds.train->num_classes(), 4u);
+  EXPECT_EQ(ds.train->input_shape(), (nn::Shape{1, 8, 8}));
+}
+
+TEST(Synthetic, ClassesAreBalanced) {
+  const auto ds = make_synthetic(tiny_spec());
+  std::vector<int> counts(4, 0);
+  for (std::size_t i = 0; i < ds.train->size(); ++i)
+    ++counts[ds.train->sample(i).label];
+  for (int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Synthetic, TrainAndTestAreDisjointStreams) {
+  const auto ds = make_synthetic(tiny_spec());
+  // No test image should be bit-identical to a train image.
+  for (std::size_t t = 0; t < ds.test->size(); ++t) {
+    for (std::size_t r = 0; r < ds.train->size(); ++r) {
+      bool identical = true;
+      for (std::size_t k = 0; k < ds.test->sample(t).image.numel(); ++k) {
+        if (ds.test->sample(t).image[k] != ds.train->sample(r).image[k]) {
+          identical = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(identical) << "test " << t << " == train " << r;
+    }
+  }
+}
+
+TEST(Synthetic, RejectsInvalidSpecs) {
+  auto s = tiny_spec();
+  s.num_classes = 0;
+  EXPECT_THROW(make_synthetic(s), std::invalid_argument);
+  s = tiny_spec();
+  s.noise_min = 0.9;
+  s.noise_max = 0.1;
+  EXPECT_THROW(make_synthetic(s), std::invalid_argument);
+  s = tiny_spec();
+  s.compositional = true;
+  s.orientations = 2;
+  s.num_classes = 10;  // > orientations^2
+  EXPECT_THROW(make_synthetic(s), std::invalid_argument);
+}
+
+TEST(Synthetic, PresetsProduceExpectedShapes) {
+  const auto mnist = make_synthetic(synth_mnist_spec(20, 10));
+  EXPECT_EQ(mnist.train->input_shape()[0], 1u);
+  EXPECT_EQ(mnist.train->num_classes(), 10u);
+
+  const auto c10 = make_synthetic(synth_cifar10_spec(20, 10));
+  EXPECT_EQ(c10.train->input_shape()[0], 3u);
+  EXPECT_EQ(c10.train->num_classes(), 10u);
+
+  const auto c100 = make_synthetic(synth_cifar100_spec(200, 100));
+  EXPECT_EQ(c100.train->num_classes(), 20u);  // CIFAR-100 superclasses
+}
+
+TEST(Batch, MakeBatchStacksImages) {
+  const auto ds = make_synthetic(tiny_spec());
+  const std::size_t idx[] = {0, 3, 5};
+  const Batch b = make_batch(*ds.train, idx);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.images.shape(), (nn::Shape{3, 1, 8, 8}));
+  EXPECT_EQ(b.labels[1], ds.train->sample(3).label);
+  // Row 2 of the batch equals sample 5's image.
+  for (std::size_t k = 0; k < 64; ++k)
+    EXPECT_EQ(b.images[2 * 64 + k], ds.train->sample(5).image[k]);
+}
+
+TEST(BatchIterator, CoversEverySampleOncePerEpoch) {
+  const auto ds = make_synthetic(tiny_spec());
+  util::Rng rng{1};
+  BatchIterator it{*ds.train, 7, rng};
+  EXPECT_EQ(it.batches_per_epoch(), (40u + 6) / 7);
+  std::size_t seen = 0;
+  for (auto b = it.next(); b.size() != 0; b = it.next()) seen += b.size();
+  EXPECT_EQ(seen, 40u);
+  // Exhausted epoch returns empty batches until reset.
+  EXPECT_EQ(it.next().size(), 0u);
+  it.reset();
+  EXPECT_GT(it.next().size(), 0u);
+}
+
+TEST(BatchIterator, UnshuffledPreservesOrder) {
+  const auto ds = make_synthetic(tiny_spec());
+  util::Rng rng{1};
+  BatchIterator it{*ds.train, 4, rng, /*shuffle=*/false};
+  const Batch b = it.next();
+  for (std::size_t i = 0; i < b.size(); ++i)
+    EXPECT_EQ(b.labels[i], ds.train->sample(i).label);
+}
+
+TEST(BatchIterator, RejectsZeroBatchSize) {
+  const auto ds = make_synthetic(tiny_spec());
+  util::Rng rng{1};
+  EXPECT_THROW((BatchIterator{*ds.train, 0, rng}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace einet::data

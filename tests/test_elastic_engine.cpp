@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "runtime/elastic_engine.hpp"
+
+namespace einet::runtime {
+namespace {
+
+/// 3-block profile: conv 1 ms each, branch 0.5 ms each; horizon 4.5 ms.
+profiling::ETProfile toy_et() {
+  profiling::ETProfile et;
+  et.model_name = "toy";
+  et.platform_name = "sim";
+  et.conv_ms = {1.0, 1.0, 1.0};
+  et.branch_ms = {0.5, 0.5, 0.5};
+  return et;
+}
+
+profiling::CSRecord toy_record() {
+  return profiling::CSRecord{{0.5f, 0.7f, 0.9f}, {0, 1, 1}, 1};
+}
+
+ElasticEngine fallback_engine(const ElasticConfig& config = {}) {
+  return ElasticEngine{toy_et(), nullptr, config,
+                       std::vector<float>{0.5f, 0.7f, 0.9f}};
+}
+
+TEST(ElasticEngine, ConstructionValidates) {
+  EXPECT_THROW((ElasticEngine{toy_et(), nullptr, ElasticConfig{}, {}}),
+               std::invalid_argument);
+  profiling::ETProfile bad = toy_et();
+  bad.branch_ms.pop_back();
+  EXPECT_THROW(
+      (ElasticEngine{bad, nullptr, ElasticConfig{}, {0.1f, 0.2f, 0.3f}}),
+      std::invalid_argument);
+}
+
+TEST(ElasticEngine, StaticPlanBeforeFirstOutputHasNoResult) {
+  auto engine = fallback_engine();
+  // Plan 111: first output completes at 1.5 ms.
+  const auto out =
+      engine.run_static(toy_record(), core::ExitPlan{3, true}, 1.2);
+  EXPECT_FALSE(out.has_result);
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.branches_executed, 0u);
+}
+
+TEST(ElasticEngine, StaticPlanKeepsLastCompletedOutput) {
+  auto engine = fallback_engine();
+  // Plan 111: outputs at 1.5, 3.0, 4.5. Deadline 3.2 -> exit 1 result.
+  const auto out =
+      engine.run_static(toy_record(), core::ExitPlan{3, true}, 3.2);
+  EXPECT_TRUE(out.has_result);
+  EXPECT_EQ(out.exit_index, 1u);
+  EXPECT_TRUE(out.correct);
+  EXPECT_DOUBLE_EQ(out.result_time_ms, 3.0);
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.branches_executed, 2u);
+}
+
+TEST(ElasticEngine, StaticPlanCompletesBeforeGenerousDeadline) {
+  auto engine = fallback_engine();
+  const auto out =
+      engine.run_static(toy_record(), core::ExitPlan{3, true}, 100.0);
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.exit_index, 2u);
+  EXPECT_EQ(out.branches_executed, 3u);
+}
+
+TEST(ElasticEngine, SkippedBranchesSaveTime) {
+  auto engine = fallback_engine();
+  // Plan 001: only exit 2 outputs, at 3 convs + 1 branch = 3.5 ms.
+  core::ExitPlan p{3};
+  p.set(2, true);
+  const auto out = engine.run_static(toy_record(), p, 3.6);
+  EXPECT_TRUE(out.has_result);
+  EXPECT_EQ(out.exit_index, 2u);
+  EXPECT_DOUBLE_EQ(out.result_time_ms, 3.5);
+}
+
+TEST(ElasticEngine, DeadlineExactlyAtOutputCompletionCounts) {
+  auto engine = fallback_engine();
+  const auto out =
+      engine.run_static(toy_record(), core::ExitPlan{3, true}, 1.5);
+  EXPECT_TRUE(out.has_result);
+  EXPECT_EQ(out.exit_index, 0u);
+}
+
+TEST(ElasticEngine, ThresholdStopsAtConfidentExit) {
+  auto engine = fallback_engine();
+  // Threshold 0.65: exit 1 (conf 0.7) triggers completion at 3.0 ms.
+  const auto out = engine.run_threshold(toy_record(), 0.65, 100.0);
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.exit_index, 1u);
+  EXPECT_EQ(out.branches_executed, 2u);
+}
+
+TEST(ElasticEngine, ThresholdRespectsDeadline) {
+  auto engine = fallback_engine();
+  const auto out = engine.run_threshold(toy_record(), 0.99, 3.2);
+  EXPECT_TRUE(out.has_result);
+  EXPECT_EQ(out.exit_index, 1u);  // killed before exit 2's branch finished
+  EXPECT_FALSE(out.completed);
+}
+
+TEST(ElasticEngine, SingleExitAllOrNothing) {
+  const auto miss = ElasticEngine::run_single_exit(4.0, true, 3.9);
+  EXPECT_FALSE(miss.has_result);
+  const auto hit = ElasticEngine::run_single_exit(4.0, true, 4.0);
+  EXPECT_TRUE(hit.has_result);
+  EXPECT_TRUE(hit.correct);
+  EXPECT_TRUE(hit.completed);
+}
+
+TEST(ElasticEngine, EinetRunProducesResultUnderGenerousDeadline) {
+  auto engine = fallback_engine();
+  core::UniformExitDistribution dist{4.5};
+  const auto out = engine.run(toy_record(), 100.0, dist);
+  EXPECT_TRUE(out.completed);
+  EXPECT_TRUE(out.has_result);
+  EXPECT_GE(out.searches_run, 1u);  // at least the initial plan search
+}
+
+TEST(ElasticEngine, EinetRunRespectsDeadline) {
+  auto engine = fallback_engine();
+  core::UniformExitDistribution dist{4.5};
+  const auto out = engine.run(toy_record(), 0.9, dist);
+  EXPECT_FALSE(out.has_result);  // first conv alone takes 1 ms
+  EXPECT_FALSE(out.completed);
+}
+
+TEST(ElasticEngine, OracleModeNeedsNoFallback) {
+  ElasticConfig cfg;
+  cfg.oracle_predictor = true;
+  ElasticEngine engine{toy_et(), nullptr, cfg, {}};
+  core::UniformExitDistribution dist{4.5};
+  const auto out = engine.run(toy_record(), 4.5, dist);
+  EXPECT_TRUE(out.has_result);
+}
+
+TEST(ElasticEngine, ReplanningCanOnlyTouchFutureExits) {
+  // With replanning on, every produced output triggers a search whose frozen
+  // prefix matches history; observable effect: searches_run == outputs + 1
+  // (unless the last output is the final exit).
+  auto engine = fallback_engine();
+  core::UniformExitDistribution dist{4.5};
+  const auto out = engine.run(toy_record(), 100.0, dist);
+  std::size_t expected = 1;  // initial search
+  expected += out.branches_executed;
+  if (out.exit_index == 2) expected -= 1;  // no replan after the last exit
+  EXPECT_EQ(out.searches_run, expected);
+}
+
+TEST(ElasticEngine, NoReplanKeepsInitialPlan) {
+  ElasticConfig cfg;
+  cfg.replan_after_each_output = false;
+  auto engine = fallback_engine(cfg);
+  core::UniformExitDistribution dist{4.5};
+  const auto out = engine.run(toy_record(), 100.0, dist);
+  EXPECT_EQ(out.searches_run, 1u);
+}
+
+TEST(ElasticEngine, RunValidatesRecordSize) {
+  auto engine = fallback_engine();
+  core::UniformExitDistribution dist{4.5};
+  profiling::CSRecord bad{{0.5f}, {1}, 0};
+  EXPECT_THROW(engine.run(bad, 1.0, dist), std::invalid_argument);
+  EXPECT_THROW(engine.run_static(bad, core::ExitPlan{3, true}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(engine.run_threshold(bad, 0.5, 1.0), std::invalid_argument);
+}
+
+TEST(ElasticEngine, SearchMethodNoneExecutesEverything) {
+  ElasticConfig cfg;
+  cfg.search.method = core::SearchMethod::kNone;
+  auto engine = fallback_engine(cfg);
+  core::UniformExitDistribution dist{4.5};
+  const auto out = engine.run(toy_record(), 100.0, dist);
+  EXPECT_EQ(out.branches_executed, 3u);
+}
+
+}  // namespace
+}  // namespace einet::runtime

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "runtime/evaluator.hpp"
+
+namespace einet::runtime {
+namespace {
+
+profiling::ETProfile toy_et(std::size_t n = 4) {
+  profiling::ETProfile et;
+  et.model_name = "toy";
+  et.platform_name = "sim";
+  et.conv_ms.assign(n, 1.0);
+  et.branch_ms.assign(n, 0.5);
+  return et;
+}
+
+/// Synthetic profile where confidence tracks correctness probability and
+/// both improve with depth.
+profiling::CSProfile toy_cs(std::size_t n = 4, std::size_t samples = 120,
+                            std::uint64_t seed = 3) {
+  profiling::CSProfile cs;
+  cs.model_name = "toy";
+  cs.dataset_name = "synth";
+  cs.num_exits = n;
+  util::Rng rng{seed};
+  for (std::size_t s = 0; s < samples; ++s) {
+    profiling::CSRecord r;
+    r.label = 0;
+    const float base = rng.uniform_f(0.25f, 0.55f);
+    for (std::size_t e = 0; e < n; ++e) {
+      const float conf = std::clamp(
+          base + 0.4f * static_cast<float>(e) / static_cast<float>(n), 0.0f,
+          0.99f);
+      r.confidence.push_back(conf);
+      r.correct.push_back(static_cast<std::uint8_t>(rng.bernoulli(conf)));
+    }
+    cs.records.push_back(std::move(r));
+  }
+  return cs;
+}
+
+TEST(Evaluator, ConstructionValidates) {
+  const auto et = toy_et();
+  const auto cs = toy_cs();
+  core::UniformExitDistribution dist{et.total_ms()};
+  EXPECT_NO_THROW((Evaluator{et, cs, dist}));
+  const auto cs3 = toy_cs(3);
+  EXPECT_THROW((Evaluator{et, cs3, dist}), std::invalid_argument);
+}
+
+TEST(Evaluator, StatsAreInternallyConsistent) {
+  const auto et = toy_et();
+  const auto cs = toy_cs();
+  core::UniformExitDistribution dist{et.total_ms()};
+  Evaluator ev{et, cs, dist};
+  const auto s = ev.eval_static(core::ExitPlan{4, true}, "all", 2);
+  EXPECT_EQ(s.trials, 2 * cs.size());
+  EXPECT_GE(s.accuracy, 0.0);
+  EXPECT_LE(s.accuracy, 1.0);
+  EXPECT_LE(s.accuracy, 1.0 - s.no_result_rate + 1e-12);
+  EXPECT_GE(s.avg_branches, 0.0);
+  EXPECT_LE(s.avg_branches, 4.0);
+}
+
+TEST(Evaluator, PairedDeadlinesAcrossStrategies) {
+  // The no-result rate of the all-branches static plan and of the threshold
+  // runner with an unreachable threshold must be identical: same deadline
+  // sequence, same execution timeline.
+  const auto et = toy_et();
+  const auto cs = toy_cs();
+  core::UniformExitDistribution dist{et.total_ms()};
+  Evaluator ev{et, cs, dist};
+  const auto a = ev.eval_static(core::ExitPlan{4, true}, "all", 3);
+  const auto b = ev.eval_threshold(2.0, 3);  // threshold never reached
+  EXPECT_DOUBLE_EQ(a.no_result_rate, b.no_result_rate);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(Evaluator, EinetBeatsSparseStaticPlans) {
+  const auto et = toy_et();
+  const auto cs = toy_cs(4, 200);
+  core::UniformExitDistribution dist{et.total_ms()};
+  Evaluator ev{et, cs, dist};
+  ElasticConfig cfg;
+  const auto einet = ev.eval_einet(nullptr, cfg, 3);
+  const auto s25 =
+      ev.eval_static(core::ExitPlan::static_fraction(4, 0.25), "s25", 3);
+  EXPECT_GT(einet.accuracy, s25.accuracy - 0.02);
+}
+
+TEST(Evaluator, OracleIsAtLeastAsGoodAsMeanFallback) {
+  const auto et = toy_et();
+  const auto cs = toy_cs(4, 200);
+  core::UniformExitDistribution dist{et.total_ms()};
+  Evaluator ev{et, cs, dist};
+  ElasticConfig mean_cfg;
+  ElasticConfig oracle_cfg;
+  oracle_cfg.oracle_predictor = true;
+  const auto mean = ev.eval_einet(nullptr, mean_cfg, 3);
+  const auto oracle = ev.eval_einet(nullptr, oracle_cfg, 3);
+  // In this synthetic profile per-sample confidences carry real signal.
+  EXPECT_GE(oracle.accuracy, mean.accuracy - 0.03);
+}
+
+TEST(Evaluator, SingleExitRequiresOneExitProfile) {
+  const auto et = toy_et();
+  const auto cs = toy_cs();
+  core::UniformExitDistribution dist{et.total_ms()};
+  Evaluator ev{et, cs, dist};
+  EXPECT_THROW(ev.eval_single_exit(cs, 1.0, "classic"),
+               std::invalid_argument);
+  const auto single = toy_cs(1, 120);
+  const auto s = ev.eval_single_exit(single, et.total_ms() * 0.5, "classic");
+  // Uniform deadline over [0, T]: the single-exit model finishes for about
+  // half the trials.
+  EXPECT_NEAR(s.no_result_rate, 0.5, 0.1);
+}
+
+TEST(Evaluator, MaxSamplesLimitsTrials) {
+  const auto et = toy_et();
+  const auto cs = toy_cs();
+  core::UniformExitDistribution dist{et.total_ms()};
+  Evaluator ev{et, cs, dist};
+  const auto s = ev.eval_static(core::ExitPlan{4, true}, "all", 1, 10);
+  EXPECT_EQ(s.trials, 10u);
+}
+
+TEST(Evaluator, RejectsZeroRepeats) {
+  const auto et = toy_et();
+  const auto cs = toy_cs();
+  core::UniformExitDistribution dist{et.total_ms()};
+  Evaluator ev{et, cs, dist};
+  EXPECT_THROW(ev.eval_static(core::ExitPlan{4, true}, "all", 0),
+               std::invalid_argument);
+}
+
+TEST(StaticOptimalPlan, BeatsNaiveStaticPlansInExpectation) {
+  const auto et = toy_et();
+  const auto cs = toy_cs(4, 300);
+  core::UniformExitDistribution dist{et.total_ms()};
+  const auto opt = find_static_optimal_plan(et, cs, dist);
+
+  const auto acc = cs.exit_accuracy();
+  const std::vector<float> conf{acc.begin(), acc.end()};
+  const double e_opt =
+      core::accuracy_expectation(opt, et.conv_ms, et.branch_ms, conf, dist);
+  for (double f : {0.25, 0.5, 1.0}) {
+    const double e = core::accuracy_expectation(
+        core::ExitPlan::static_fraction(4, f), et.conv_ms, et.branch_ms, conf,
+        dist);
+    EXPECT_GE(e_opt, e - 1e-12) << "fraction " << f;
+  }
+}
+
+TEST(StaticOptimalPlan, WorksForLargeExitCounts) {
+  // > 20 exits takes the hybrid-search path.
+  const auto et = toy_et(25);
+  const auto cs = toy_cs(25, 60);
+  core::UniformExitDistribution dist{et.total_ms()};
+  const auto opt = find_static_optimal_plan(et, cs, dist);
+  EXPECT_EQ(opt.size(), 25u);
+  EXPECT_GT(opt.num_outputs(), 0u);
+}
+
+}  // namespace
+}  // namespace einet::runtime

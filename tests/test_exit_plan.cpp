@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/exit_plan.hpp"
+
+namespace einet::core {
+namespace {
+
+TEST(ExitPlan, ConstructionAndBits) {
+  ExitPlan p{5};
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.num_outputs(), 0u);
+  p.set(2, true);
+  EXPECT_TRUE(p.executes(2));
+  EXPECT_EQ(p.num_outputs(), 1u);
+  EXPECT_EQ(p.deepest_output(), 2u);
+  EXPECT_EQ(p.str(), "00100");
+}
+
+TEST(ExitPlan, ExecuteAllConstructor) {
+  ExitPlan p{4, true};
+  EXPECT_EQ(p.num_outputs(), 4u);
+  EXPECT_EQ(p.deepest_output(), 3u);
+}
+
+TEST(ExitPlan, FromBitsValidates) {
+  EXPECT_EQ(ExitPlan::from_bits({1, 0, 1}).str(), "101");
+  EXPECT_THROW(ExitPlan::from_bits({0, 2}), std::invalid_argument);
+}
+
+TEST(ExitPlan, DeepestOutputOfEmptyPlanIsSize) {
+  ExitPlan p{3};
+  EXPECT_EQ(p.deepest_output(), 3u);
+}
+
+TEST(ExitPlan, BoundsChecked) {
+  ExitPlan p{3};
+  EXPECT_THROW(p.executes(3), std::out_of_range);
+  EXPECT_THROW(p.set(3, true), std::out_of_range);
+}
+
+TEST(ExitPlan, StaticFractionFullExecutesAll) {
+  const auto p = ExitPlan::static_fraction(8, 1.0);
+  EXPECT_EQ(p.num_outputs(), 8u);
+}
+
+TEST(ExitPlan, StaticFractionAlwaysIncludesDeepest) {
+  for (std::size_t n : {1u, 3u, 5u, 8u, 14u, 21u, 40u}) {
+    for (double f : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+      const auto p = ExitPlan::static_fraction(n, f);
+      EXPECT_TRUE(p.executes(n - 1)) << "n=" << n << " f=" << f;
+    }
+  }
+}
+
+TEST(ExitPlan, StaticFractionCountRoughlyMatches) {
+  const auto p = ExitPlan::static_fraction(40, 0.25);
+  EXPECT_EQ(p.num_outputs(), 10u);
+  const auto h = ExitPlan::static_fraction(40, 0.5);
+  EXPECT_EQ(h.num_outputs(), 20u);
+}
+
+TEST(ExitPlan, StaticFractionRejectsBadInput) {
+  EXPECT_THROW(ExitPlan::static_fraction(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ExitPlan::static_fraction(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(ExitPlan::static_fraction(4, 1.5), std::invalid_argument);
+}
+
+TEST(ExitPlan, UniformSkipKeepsDeepestAndCount) {
+  for (std::size_t n : {2u, 5u, 11u, 40u}) {
+    for (std::size_t skip = 0; skip < n; ++skip) {
+      const auto p = ExitPlan::uniform_skip(n, skip);
+      EXPECT_TRUE(p.executes(n - 1)) << "n=" << n << " skip=" << skip;
+      EXPECT_LE(p.num_outputs(), n - (skip > 0 ? 1 : 0) * 0);
+      EXPECT_GE(p.num_outputs(), n - skip);  // duplicates can only reduce skips
+    }
+  }
+}
+
+TEST(ExitPlan, UniformSkipZeroIsAllOnes) {
+  EXPECT_EQ(ExitPlan::uniform_skip(6, 0), (ExitPlan{6, true}));
+}
+
+TEST(ExitPlan, UniformSkipRejectsSkippingEverything) {
+  EXPECT_THROW(ExitPlan::uniform_skip(4, 4), std::invalid_argument);
+  EXPECT_THROW(ExitPlan::uniform_skip(0, 0), std::invalid_argument);
+}
+
+TEST(ExitPlan, EqualityComparesBits) {
+  ExitPlan a{3}, b{3};
+  EXPECT_EQ(a, b);
+  a.set(1, true);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace einet::core

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/expectation.hpp"
+
+namespace einet::core {
+namespace {
+
+// A simple 3-block profile: each conv part takes 1 ms, each branch 0.5 ms.
+struct Fixture {
+  std::vector<double> conv{1.0, 1.0, 1.0};
+  std::vector<double> branch{0.5, 0.5, 0.5};
+  std::vector<float> conf{0.6f, 0.8f, 0.9f};
+};
+
+TEST(Expectation, AllSkipIsZero) {
+  Fixture f;
+  UniformExitDistribution dist{4.5};
+  EXPECT_DOUBLE_EQ(
+      accuracy_expectation(ExitPlan{3}, f.conv, f.branch, f.conf, dist), 0.0);
+}
+
+TEST(Expectation, SingleOutputHandComputed) {
+  Fixture f;
+  // Full-execution horizon: 3*1 + 3*0.5 = 4.5 ms.
+  UniformExitDistribution dist{4.5};
+  // Plan 100: output at t = 1 + 0.5 = 1.5, confidence 0.6 persists after.
+  ExitPlan p{3};
+  p.set(0, true);
+  const double e = accuracy_expectation(p, f.conv, f.branch, f.conf, dist);
+  EXPECT_NEAR(e, 0.6 * (1.0 - 1.5 / 4.5), 1e-6);
+}
+
+TEST(Expectation, TwoOutputsHandComputed) {
+  Fixture f;
+  UniformExitDistribution dist{4.5};
+  // Plan 101: outputs at t=1.5 (conf .6) and t=1.5+1+0.5=3.0... wait:
+  // block1 conv (skip branch) -> t=2.5; block2 conv+branch -> t=4.0.
+  ExitPlan p{3};
+  p.set(0, true);
+  p.set(2, true);
+  const double e = accuracy_expectation(p, f.conv, f.branch, f.conf, dist);
+  const double expected =
+      0.6 * ((4.0 - 1.5) / 4.5) + 0.9 * (1.0 - 4.0 / 4.5);
+  EXPECT_NEAR(e, expected, 1e-6);
+}
+
+TEST(Expectation, AllOutputsHandComputed) {
+  Fixture f;
+  UniformExitDistribution dist{4.5};
+  ExitPlan p{3, true};
+  // Outputs at 1.5, 3.0, 4.5.
+  const double expected = 0.6 * (3.0 - 1.5) / 4.5 +
+                          0.8 * (4.5 - 3.0) / 4.5 + 0.9 * (1.0 - 4.5 / 4.5);
+  EXPECT_NEAR(accuracy_expectation(p, f.conv, f.branch, f.conf, dist),
+              expected, 1e-6);
+}
+
+TEST(Expectation, ResultPersistsAfterEarlyFinish) {
+  // A plan that ends well before the horizon keeps its deepest result for
+  // the remaining probability mass.
+  Fixture f;
+  UniformExitDistribution dist{100.0};
+  ExitPlan p{3};
+  p.set(0, true);
+  const double e = accuracy_expectation(p, f.conv, f.branch, f.conf, dist);
+  EXPECT_NEAR(e, 0.6 * (1.0 - 1.5 / 100.0), 1e-6);
+}
+
+TEST(Expectation, HigherConfidenceNeverLowersExpectation) {
+  Fixture f;
+  UniformExitDistribution dist{4.5};
+  ExitPlan p{3, true};
+  const double base = accuracy_expectation(p, f.conv, f.branch, f.conf, dist);
+  std::vector<float> boosted = f.conf;
+  boosted[1] = 0.95f;
+  EXPECT_GT(accuracy_expectation(p, f.conv, f.branch, boosted, dist), base);
+}
+
+TEST(Expectation, ValidatesSizes) {
+  Fixture f;
+  UniformExitDistribution dist{4.5};
+  EXPECT_THROW(
+      accuracy_expectation(ExitPlan{2}, f.conv, f.branch, f.conf, dist),
+      std::invalid_argument);
+  EXPECT_THROW(accuracy_expectation(ExitPlan{}, {}, {}, {}, dist),
+               std::invalid_argument);
+}
+
+TEST(Expectation, BoundedByMaxConfidence) {
+  Fixture f;
+  UniformExitDistribution dist{4.5};
+  ExitPlan p{3, true};
+  const double e = accuracy_expectation(p, f.conv, f.branch, f.conf, dist);
+  EXPECT_LE(e, 0.9);
+  EXPECT_GE(e, 0.0);
+}
+
+// ---- Differential test: fast implementation == reference oracle -----------
+
+struct DiffCase {
+  std::string label;
+  std::size_t n;
+  std::string dist_kind;
+  std::uint64_t seed;
+};
+
+class ExpectationDifferential : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(ExpectationDifferential, FastMatchesReference) {
+  const auto& param = GetParam();
+  util::Rng rng{param.seed};
+  std::vector<double> conv(param.n), branch(param.n);
+  std::vector<float> conf(param.n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < param.n; ++i) {
+    conv[i] = rng.uniform(0.05, 2.0);
+    branch[i] = rng.uniform(0.02, 1.0);
+    conf[i] = rng.uniform_f(0.0f, 1.0f);
+    total += conv[i] + branch[i];
+  }
+  const auto dist = make_distribution(param.dist_kind, total);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    ExitPlan plan{param.n};
+    for (std::size_t i = 0; i < param.n; ++i) plan.set(i, rng.bernoulli(0.5));
+    const double fast =
+        accuracy_expectation(plan, conv, branch, conf, *dist);
+    const double ref = accuracy_expectation_reference(plan, conv, branch,
+                                                      conf, *dist, 512);
+    EXPECT_NEAR(fast, ref, 1e-6) << "plan " << plan.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExpectationDifferential,
+    ::testing::Values(DiffCase{"n3_uniform", 3, "uniform", 1},
+                      DiffCase{"n8_uniform", 8, "uniform", 2},
+                      DiffCase{"n8_gauss05", 8, "gauss0.5", 3},
+                      DiffCase{"n21_gauss10", 21, "gauss1.0", 4},
+                      DiffCase{"n40_uniform", 40, "uniform", 5}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace einet::core

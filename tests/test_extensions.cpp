@@ -1,0 +1,279 @@
+// Tests for the extension layers (LeakyReLU / Sigmoid / Tanh / DenseUnit),
+// the dense-connectivity MSDNet variant, and the piecewise-linear
+// arbitrary-curve exit distribution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/expectation.hpp"
+#include "core/time_distribution.hpp"
+#include "models/backbones.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/elementwise.hpp"
+#include "nn/softmax.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "test_util.hpp"
+
+namespace einet {
+namespace {
+
+using nn::Shape;
+using nn::Tensor;
+
+TEST(LeakyReLU, ForwardScalesNegatives) {
+  nn::LeakyReLU l{0.1f};
+  Tensor x{{3}, {-2.0f, 0.0f, 4.0f}};
+  const Tensor y = l.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], -0.2f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 4.0f);
+}
+
+TEST(LeakyReLU, GradientMatchesNumeric) {
+  util::Rng rng{1};
+  nn::LeakyReLU l{0.2f};
+  Tensor x = Tensor::uniform({2, 8}, -1, 1, rng);
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] += (x[i] >= 0.0f ? 0.05f : -0.05f);
+  testing::check_input_gradient(l, x, rng);
+}
+
+TEST(LeakyReLU, RejectsBadAlpha) {
+  EXPECT_THROW(nn::LeakyReLU{-0.5f}, std::invalid_argument);
+  EXPECT_THROW(nn::LeakyReLU{1.0f}, std::invalid_argument);
+}
+
+TEST(Sigmoid, ForwardRangeAndMidpoint) {
+  nn::Sigmoid s;
+  Tensor x{{3}, {-100.0f, 0.0f, 100.0f}};
+  const Tensor y = s.forward(x, false);
+  EXPECT_NEAR(y[0], 0.0f, 1e-6);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_NEAR(y[2], 1.0f, 1e-6);
+}
+
+TEST(Sigmoid, GradientMatchesNumeric) {
+  util::Rng rng{2};
+  nn::Sigmoid s;
+  testing::check_input_gradient(s, Tensor::uniform({2, 10}, -2, 2, rng), rng);
+}
+
+TEST(Tanh, ForwardOddSymmetry) {
+  nn::Tanh t;
+  Tensor x{{2}, {1.3f, -1.3f}};
+  const Tensor y = t.forward(x, false);
+  EXPECT_NEAR(y[0], -y[1], 1e-6);
+  EXPECT_NEAR(y[0], std::tanh(1.3f), 1e-6);
+}
+
+TEST(Tanh, GradientMatchesNumeric) {
+  util::Rng rng{3};
+  nn::Tanh t;
+  testing::check_input_gradient(t, Tensor::uniform({2, 10}, -2, 2, rng), rng);
+}
+
+// ---- DenseUnit -------------------------------------------------------------
+
+nn::LayerPtr small_conv(std::size_t in_c, std::size_t out_c, util::Rng& rng) {
+  return std::make_unique<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = in_c,
+                     .out_channels = out_c,
+                     .kernel = 3,
+                     .stride = 1,
+                     .padding = 1},
+      rng);
+}
+
+TEST(DenseUnit, ConcatenatesChannels) {
+  util::Rng rng{4};
+  nn::DenseUnit d{small_conv(2, 3, rng)};
+  EXPECT_EQ(d.out_shape({1, 2, 4, 4}), (Shape{1, 5, 4, 4}));
+  const Tensor x = Tensor::uniform({1, 2, 4, 4}, -1, 1, rng);
+  const Tensor y = d.forward(x, false);
+  // The first two channels are the input, verbatim.
+  for (std::size_t i = 0; i < 2 * 16; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(DenseUnit, RejectsSpatialMismatch) {
+  util::Rng rng{5};
+  nn::DenseUnit d{std::make_unique<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = 2,
+                     .out_channels = 2,
+                     .kernel = 3,
+                     .stride = 2,
+                     .padding = 1},
+      rng)};
+  EXPECT_THROW(d.out_shape({1, 2, 8, 8}), std::invalid_argument);
+}
+
+TEST(DenseUnit, GradientsMatchNumeric) {
+  util::Rng rng{6};
+  nn::DenseUnit d{small_conv(2, 2, rng)};
+  const Tensor x = Tensor::uniform({2, 2, 4, 4}, -1, 1, rng);
+  testing::check_input_gradient(d, x, rng);
+  testing::check_param_gradients(d, x, rng);
+}
+
+TEST(DenseUnit, StacksLikeDenseNet) {
+  util::Rng rng{7};
+  nn::Sequential seq;
+  seq.emplace<nn::DenseUnit>(small_conv(2, 3, rng));  // 2 -> 5
+  seq.emplace<nn::DenseUnit>(small_conv(5, 3, rng));  // 5 -> 8
+  EXPECT_EQ(seq.out_shape({1, 2, 4, 4}), (Shape{1, 8, 4, 4}));
+  const Tensor x = Tensor::uniform({1, 2, 4, 4}, -1, 1, rng);
+  testing::check_input_gradient(seq, x, rng);
+}
+
+TEST(MsdnetDense, BuildsRunsAndGrowsChannels) {
+  util::Rng rng{8};
+  auto net = models::make_msdnet_dense(
+      models::MsdnetSpec{.blocks = 6, .step = 1, .base = 2, .channel = 8},
+      {3, 16, 16}, 10, rng, /*growth=*/4);
+  EXPECT_EQ(net.num_exits(), 6u);
+  const auto logits = net.forward_all(Tensor{{1, 3, 16, 16}}, false);
+  EXPECT_EQ(logits.size(), 6u);
+  // Feature width grows inside a stage (dense concat) and resets at the
+  // transition points.
+  EXPECT_GT(net.feature_shape(2)[0], net.feature_shape(1)[0]);
+}
+
+TEST(MsdnetDense, RejectsZeroGrowth) {
+  util::Rng rng{9};
+  EXPECT_THROW(models::make_msdnet_dense(
+                   models::MsdnetSpec{.blocks = 3, .step = 1, .base = 1,
+                                      .channel = 4},
+                   {3, 16, 16}, 10, rng, /*growth=*/0),
+               std::invalid_argument);
+}
+
+TEST(SoftmaxLayer, RowsSumToOne) {
+  util::Rng rng{20};
+  nn::Softmax sm;
+  const Tensor x = Tensor::uniform({3, 5}, -2, 2, rng);
+  const Tensor y = sm.forward(x, false);
+  for (std::size_t r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 5; ++c) sum += y[r * 5 + c];
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(SoftmaxLayer, GradientMatchesNumeric) {
+  util::Rng rng{21};
+  nn::Softmax sm;
+  testing::check_input_gradient(sm, Tensor::uniform({2, 6}, -2, 2, rng), rng,
+                                /*tol=*/0.08);
+}
+
+TEST(SoftmaxLayer, RejectsNon2dInput) {
+  nn::Softmax sm;
+  EXPECT_THROW(sm.out_shape({2, 3, 4}), std::invalid_argument);
+}
+
+TEST(ModelSerialization, MultiExitNetworkRoundTrip) {
+  util::Rng rng_a{30}, rng_b{31};
+  auto a = models::make_msdnet(
+      models::MsdnetSpec{.blocks = 3, .step = 1, .base = 1, .channel = 4},
+      {3, 8, 8}, 5, rng_a);
+  auto b = models::make_msdnet(
+      models::MsdnetSpec{.blocks = 3, .step = 1, .base = 1, .channel = 4},
+      {3, 8, 8}, 5, rng_b);
+  const std::string path = ::testing::TempDir() + "/einet_net.bin";
+  a.save_weights(path);
+  b.load_weights(path);
+  util::Rng rng_x{32};
+  const Tensor x = Tensor::uniform({1, 3, 8, 8}, -1, 1, rng_x);
+  const auto la = a.forward_all(x, false);
+  const auto lb = b.forward_all(x, false);
+  for (std::size_t k = 0; k < la.size(); ++k)
+    for (std::size_t i = 0; i < la[k].numel(); ++i)
+      EXPECT_FLOAT_EQ(la[k][i], lb[k][i]);
+}
+
+TEST(ModelSerialization, PredictorRoundTrip) {
+  predictor::CSPredictorConfig cfg;
+  cfg.hidden = 16;
+  cfg.seed = 1;
+  predictor::CSPredictor a{4, cfg};
+  cfg.seed = 2;
+  predictor::CSPredictor b{4, cfg};
+  const std::string path = ::testing::TempDir() + "/einet_pred.bin";
+  a.save_weights(path);
+  b.load_weights(path);
+  const std::vector<float> in{0.3f, 0.0f, 0.0f, 0.0f};
+  const auto oa = a.forward_raw(in);
+  const auto ob = b.forward_raw(in);
+  for (std::size_t i = 0; i < oa.size(); ++i) EXPECT_FLOAT_EQ(oa[i], ob[i]);
+}
+
+// ---- PiecewiseLinearExitDistribution ---------------------------------------
+
+TEST(PiecewiseLinear, InterpolatesBetweenKnots) {
+  core::PiecewiseLinearExitDistribution d{
+      {{0.0, 0.0}, {5.0, 0.2}, {10.0, 1.0}}, 10.0};
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(5.0), 0.2);
+  EXPECT_DOUBLE_EQ(d.cdf(2.5), 0.1);
+  EXPECT_DOUBLE_EQ(d.cdf(7.5), 0.6);
+  EXPECT_DOUBLE_EQ(d.cdf(10.0), 1.0);
+}
+
+TEST(PiecewiseLinear, NormalisesUnnormalisedKnots) {
+  // Cumulative axis in arbitrary units; the constructor rescales.
+  core::PiecewiseLinearExitDistribution d{{{0.0, 0.0}, {4.0, 30.0},
+                                           {8.0, 60.0}},
+                                          8.0};
+  EXPECT_DOUBLE_EQ(d.cdf(4.0), 0.5);
+}
+
+TEST(PiecewiseLinear, AnchorsMissingEndpoints) {
+  // Knots starting after 0 / ending before the horizon are extended.
+  core::PiecewiseLinearExitDistribution d{{{2.0, 0.0}, {4.0, 1.0}}, 10.0};
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(6.0), 1.0);  // flat after the last knot
+}
+
+TEST(PiecewiseLinear, InverseCdfSamplingMatchesCdf) {
+  core::PiecewiseLinearExitDistribution d{
+      {{0.0, 0.0}, {3.0, 0.7}, {10.0, 1.0}}, 10.0};
+  util::Rng rng{10};
+  const int n = 40000;
+  int below3 = 0;
+  for (int i = 0; i < n; ++i)
+    if (d.sample(rng) <= 3.0) ++below3;
+  EXPECT_NEAR(static_cast<double>(below3) / n, 0.7, 0.01);
+}
+
+TEST(PiecewiseLinear, RejectsBadKnots) {
+  using D = core::PiecewiseLinearExitDistribution;
+  EXPECT_THROW((D{{{0.0, 0.0}}, 5.0}), std::invalid_argument);
+  EXPECT_THROW((D{{{0.0, 0.5}, {2.0, 0.2}}, 5.0}), std::invalid_argument);
+  EXPECT_THROW((D{{{3.0, 0.1}, {2.0, 0.2}}, 5.0}), std::invalid_argument);
+  EXPECT_THROW((D{{{0.0, 0.3}, {5.0, 0.3}}, 5.0}), std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, WorksInsideAccuracyExpectation) {
+  // A front-loaded exit curve should value early outputs more than a
+  // back-loaded one.
+  std::vector<double> conv{1.0, 1.0, 1.0};
+  std::vector<double> branch{0.5, 0.5, 0.5};
+  std::vector<float> conf{0.6f, 0.8f, 0.9f};
+  core::ExitPlan early{3};
+  early.set(0, true);
+  core::PiecewiseLinearExitDistribution front{
+      {{0.0, 0.0}, {1.0, 0.8}, {4.5, 1.0}}, 4.5};
+  core::PiecewiseLinearExitDistribution back{
+      {{0.0, 0.0}, {3.5, 0.2}, {4.5, 1.0}}, 4.5};
+  const double e_front = core::accuracy_expectation(early, conv, branch,
+                                                    conf, front);
+  const double e_back =
+      core::accuracy_expectation(early, conv, branch, conf, back);
+  // Under the front-loaded curve most exits land before the first output,
+  // so the early plan is worth much less.
+  EXPECT_LT(e_front, e_back);
+}
+
+}  // namespace
+}  // namespace einet

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "test_util.hpp"
+
+namespace einet::nn {
+namespace {
+
+using einet::testing::check_input_gradient;
+using einet::testing::check_param_gradients;
+
+/// Random input with entries bounded away from 0 so ReLU/MaxPool kinks do not
+/// flip under finite-difference perturbation.
+Tensor safe_input(const Shape& shape, util::Rng& rng) {
+  Tensor x = Tensor::uniform(shape, -1.0f, 1.0f, rng);
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] += (x[i] >= 0.0f ? 0.05f : -0.05f);
+  return x;
+}
+
+TEST(Linear, ForwardMatchesManualMatvec) {
+  util::Rng rng{1};
+  Linear l{2, 3, rng};
+  l.weight().value = Tensor{{3, 2}, {1, 2, 3, 4, 5, 6}};
+  l.bias().value = Tensor{{3}, {0.5f, -0.5f, 0.0f}};
+  Tensor x{{1, 2}, {10, 20}};
+  const Tensor y = l.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 1 * 10 + 2 * 20 + 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 3 * 10 + 4 * 20 - 0.5f);
+  EXPECT_FLOAT_EQ(y[2], 5 * 10 + 6 * 20);
+}
+
+TEST(Linear, GradientsMatchNumeric) {
+  util::Rng rng{2};
+  Linear l{5, 4, rng};
+  check_input_gradient(l, Tensor::uniform({3, 5}, -1, 1, rng), rng);
+  check_param_gradients(l, Tensor::uniform({3, 5}, -1, 1, rng), rng);
+}
+
+TEST(Linear, RejectsBadShapes) {
+  util::Rng rng{3};
+  Linear l{4, 2, rng};
+  EXPECT_THROW(l.forward(Tensor{{2, 3}}, false), std::invalid_argument);
+  EXPECT_THROW((Linear{0, 2, rng}), std::invalid_argument);
+  EXPECT_THROW(l.backward(Tensor{{2, 2}}), std::logic_error);
+}
+
+TEST(Conv2d, OutShapeAndFlops) {
+  util::Rng rng{4};
+  Conv2d c{{.in_channels = 3, .out_channels = 8, .kernel = 3, .stride = 1,
+            .padding = 1},
+           rng};
+  EXPECT_EQ(c.out_shape({2, 3, 16, 16}), (Shape{2, 8, 16, 16}));
+  EXPECT_EQ(c.flops({1, 3, 16, 16}), 8u * 16 * 16 * 3 * 9);
+  Conv2d s{{.in_channels = 3, .out_channels = 4, .kernel = 3, .stride = 2,
+            .padding = 1},
+           rng};
+  EXPECT_EQ(s.out_shape({1, 3, 16, 16}), (Shape{1, 4, 8, 8}));
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  util::Rng rng{5};
+  Conv2d c{{.in_channels = 1, .out_channels = 1, .kernel = 3, .stride = 1,
+            .padding = 1},
+           rng};
+  c.weight().value.zero();
+  c.weight().value[4] = 1.0f;  // centre tap
+  c.bias().value.zero();
+  Tensor x = Tensor::uniform({1, 1, 5, 5}, -1, 1, rng);
+  const Tensor y = c.forward(x, false);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, GradientsMatchNumeric) {
+  util::Rng rng{6};
+  Conv2d c{{.in_channels = 2, .out_channels = 3, .kernel = 3, .stride = 1,
+            .padding = 1},
+           rng};
+  const Tensor x = Tensor::uniform({2, 2, 5, 5}, -1, 1, rng);
+  check_input_gradient(c, x, rng);
+  check_param_gradients(c, x, rng);
+}
+
+TEST(Conv2d, StridedGradientsMatchNumeric) {
+  util::Rng rng{7};
+  Conv2d c{{.in_channels = 2, .out_channels = 2, .kernel = 3, .stride = 2,
+            .padding = 1},
+           rng};
+  const Tensor x = Tensor::uniform({1, 2, 6, 6}, -1, 1, rng);
+  check_input_gradient(c, x, rng);
+  check_param_gradients(c, x, rng);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU r;
+  Tensor x{{4}, {-1, 0, 2, -3}};
+  const Tensor y = r.forward(x, false);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  EXPECT_EQ(y[3], 0.0f);
+}
+
+TEST(ReLU, GradientMatchesNumeric) {
+  util::Rng rng{8};
+  ReLU r;
+  check_input_gradient(r, safe_input({2, 10}, rng), rng);
+}
+
+TEST(Dropout, IdentityAtEval) {
+  util::Rng rng{9};
+  Dropout d{0.5, rng};
+  const Tensor x = Tensor::uniform({100}, -1, 1, rng);
+  const Tensor y = d.forward(x, /*train=*/false);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Dropout, TrainPreservesExpectedValue) {
+  util::Rng rng{10};
+  Dropout d{0.3, rng};
+  Tensor x{{20000}, 1.0f};
+  const Tensor y = d.forward(x, /*train=*/true);
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    sum += y[i];
+    if (y[i] == 0.0f) ++zeros;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(y.numel()), 1.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.numel()), 0.3,
+              0.02);
+}
+
+TEST(Dropout, RejectsInvalidProbability) {
+  util::Rng rng{11};
+  EXPECT_THROW((Dropout{1.0, rng}), std::invalid_argument);
+  EXPECT_THROW((Dropout{-0.1, rng}), std::invalid_argument);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  util::Rng rng{12};
+  Flatten f;
+  Tensor x = Tensor::uniform({2, 3, 4, 5}, -1, 1, rng);
+  Tensor y = f.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 60}));
+  const Tensor back = f.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(MaxPool2d, ForwardPicksMaxima) {
+  MaxPool2d p{2};
+  Tensor x{{1, 1, 2, 2}, {1, 2, 3, 4}};
+  const Tensor y = p.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_EQ(y[0], 4.0f);
+}
+
+TEST(MaxPool2d, GradientRoutesToArgmax) {
+  MaxPool2d p{2};
+  Tensor x{{1, 1, 2, 2}, {1, 2, 3, 4}};
+  (void)p.forward(x, true);
+  const Tensor g = p.backward(Tensor{{1, 1, 1, 1}, {5.0f}});
+  EXPECT_EQ(g[3], 5.0f);
+  EXPECT_EQ(g[0], 0.0f);
+}
+
+TEST(MaxPool2d, GradientMatchesNumeric) {
+  util::Rng rng{13};
+  MaxPool2d p{2};
+  check_input_gradient(p, safe_input({2, 2, 4, 4}, rng), rng);
+}
+
+TEST(AvgPool2d, ForwardAverages) {
+  AvgPool2d p{2};
+  Tensor x{{1, 1, 2, 2}, {1, 2, 3, 4}};
+  EXPECT_FLOAT_EQ(p.forward(x, false)[0], 2.5f);
+}
+
+TEST(AvgPool2d, GradientMatchesNumeric) {
+  util::Rng rng{14};
+  AvgPool2d p{2};
+  check_input_gradient(p, Tensor::uniform({2, 2, 4, 4}, -1, 1, rng), rng);
+}
+
+TEST(GlobalAvgPool, ReducesSpatialDims) {
+  GlobalAvgPool p;
+  Tensor x{{1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40}};
+  const Tensor y = p.forward(x, false);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 25.0f);
+}
+
+TEST(GlobalAvgPool, GradientMatchesNumeric) {
+  util::Rng rng{15};
+  GlobalAvgPool p;
+  check_input_gradient(p, Tensor::uniform({2, 3, 4, 4}, -1, 1, rng), rng);
+}
+
+TEST(BatchNorm2d, NormalisesBatchStatistics) {
+  util::Rng rng{16};
+  BatchNorm2d bn{3};
+  const Tensor x = Tensor::uniform({4, 3, 5, 5}, -2, 5, rng);
+  const Tensor y = bn.forward(x, /*train=*/true);
+  // Per channel the normalised output has ~zero mean and ~unit variance.
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t n = 0; n < 4; ++n)
+      for (std::size_t i = 0; i < 25; ++i)
+        mean += y[(n * 3 + c) * 25 + i];
+    mean /= 100.0;
+    for (std::size_t n = 0; n < 4; ++n)
+      for (std::size_t i = 0; i < 25; ++i) {
+        const double d = y[(n * 3 + c) * 25 + i] - mean;
+        var += d * d;
+      }
+    var /= 100.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, GradientsMatchNumeric) {
+  util::Rng rng{17};
+  BatchNorm2d bn{2};
+  const Tensor x = Tensor::uniform({3, 2, 4, 4}, -1, 1, rng);
+  check_input_gradient(bn, x, rng, /*tol=*/0.08);
+  check_param_gradients(bn, x, rng, /*tol=*/0.08);
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  util::Rng rng{18};
+  BatchNorm2d bn{1};
+  // Train on many batches so the running estimates converge.
+  for (int i = 0; i < 200; ++i)
+    (void)bn.forward(Tensor::uniform({8, 1, 3, 3}, 2.0f, 4.0f, rng), true);
+  // Eval on a very different input: output should be normalised by the
+  // *running* statistics (mean ~3), not the eval batch's.
+  const Tensor y = bn.forward(Tensor{{1, 1, 3, 3}, 3.0f}, false);
+  for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], 0.0f, 0.15f);
+}
+
+TEST(Sequential, ChainsForwardAndBackward) {
+  util::Rng rng{19};
+  Sequential seq;
+  seq.emplace<Linear>(6, 8, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Linear>(8, 3, rng);
+  EXPECT_EQ(seq.out_shape({2, 6}), (Shape{2, 3}));
+  EXPECT_EQ(seq.params().size(), 4u);
+  const Tensor x = safe_input({2, 6}, rng);
+  check_input_gradient(seq, x, rng);
+  check_param_gradients(seq, x, rng);
+}
+
+TEST(Sequential, FlopsAccumulate) {
+  util::Rng rng{20};
+  Sequential seq;
+  seq.emplace<Linear>(4, 5, rng);
+  seq.emplace<Linear>(5, 2, rng);
+  EXPECT_EQ(seq.flops({1, 4}), 1u * 5 * 4 + 1u * 2 * 5);
+}
+
+TEST(Residual, IdentitySkipAddsInput) {
+  util::Rng rng{21};
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(
+      Conv2dSpec{.in_channels = 2, .out_channels = 2, .kernel = 3,
+                 .stride = 1, .padding = 1},
+      rng);
+  Residual res{std::move(body), nullptr};
+  EXPECT_EQ(res.out_shape({1, 2, 4, 4}), (Shape{1, 2, 4, 4}));
+  const Tensor x = Tensor::uniform({1, 2, 4, 4}, -1, 1, rng);
+  check_input_gradient(res, x, rng);
+}
+
+TEST(Residual, ProjectionHandlesChannelChange) {
+  util::Rng rng{22};
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(
+      Conv2dSpec{.in_channels = 2, .out_channels = 4, .kernel = 3,
+                 .stride = 2, .padding = 1},
+      rng);
+  auto proj = std::make_unique<Conv2d>(
+      Conv2dSpec{.in_channels = 2, .out_channels = 4, .kernel = 1, .stride = 2,
+                 .padding = 0},
+      rng);
+  Residual res{std::move(body), std::move(proj)};
+  EXPECT_EQ(res.out_shape({1, 2, 8, 8}), (Shape{1, 4, 4, 4}));
+  // Bias the units away from zero so the output ReLU's kink does not flip
+  // under finite-difference perturbation.
+  for (auto* prm : res.params())
+    if (prm->name == "bias")
+      for (std::size_t i = 0; i < prm->value.numel(); ++i)
+        prm->value[i] = 0.4f;
+  const Tensor x = Tensor::uniform({1, 2, 8, 8}, -1, 1, rng);
+  check_input_gradient(res, x, rng, /*tol=*/0.08, /*eps=*/5e-3f);
+  check_param_gradients(res, x, rng, /*tol=*/0.08, /*eps=*/5e-3f);
+}
+
+TEST(Residual, MismatchedShortcutShapeThrows) {
+  util::Rng rng{23};
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(
+      Conv2dSpec{.in_channels = 2, .out_channels = 4, .kernel = 3,
+                 .stride = 1, .padding = 1},
+      rng);
+  Residual res{std::move(body), nullptr};  // identity skip: 2 != 4 channels
+  EXPECT_THROW(res.out_shape({1, 2, 4, 4}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace einet::nn

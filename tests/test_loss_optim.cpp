@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "test_util.hpp"
+
+namespace einet::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits{{2, 4}};  // all zeros -> uniform softmax
+  const std::size_t labels[] = {0, 3};
+  const auto res = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(res.loss, std::log(4.0f), 1e-5);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesNumeric) {
+  util::Rng rng{1};
+  Tensor logits = Tensor::uniform({3, 5}, -2, 2, rng);
+  const std::size_t labels[] = {1, 4, 0};
+  const auto res = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float num = (softmax_cross_entropy(lp, labels).loss -
+                       softmax_cross_entropy(lm, labels).loss) /
+                      (2 * eps);
+    EXPECT_LT(einet::testing::rel_err(res.grad[i], num), 0.05) << "at " << i;
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  util::Rng rng{2};
+  Tensor logits = Tensor::uniform({2, 6}, -1, 1, rng);
+  const std::size_t labels[] = {3, 5};
+  const auto res = softmax_cross_entropy(logits, labels);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float row = 0.0f;
+    for (std::size_t c = 0; c < 6; ++c) row += res.grad[r * 6 + c];
+    EXPECT_NEAR(row, 0.0f, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, ValidatesInputs) {
+  Tensor logits{{2, 3}};
+  const std::size_t bad_count[] = {0};
+  EXPECT_THROW(softmax_cross_entropy(logits, bad_count),
+               std::invalid_argument);
+  const std::size_t bad_label[] = {0, 7};
+  EXPECT_THROW(softmax_cross_entropy(logits, bad_label),
+               std::invalid_argument);
+}
+
+TEST(Mse, ZeroForIdenticalInputs) {
+  Tensor a{{3}, {1, 2, 3}};
+  EXPECT_EQ(mse(a, a).loss, 0.0f);
+}
+
+TEST(Mse, KnownValueAndGrad) {
+  Tensor pred{{2}, {1.0f, 3.0f}};
+  Tensor target{{2}, {0.0f, 1.0f}};
+  const auto res = mse(pred, target);
+  EXPECT_FLOAT_EQ(res.loss, (1.0f + 4.0f) / 2.0f);
+  EXPECT_FLOAT_EQ(res.grad[0], 2.0f * 1.0f / 2.0f);
+  EXPECT_FLOAT_EQ(res.grad[1], 2.0f * 2.0f / 2.0f);
+}
+
+TEST(MaskedMse, OnlyMaskedElementsContribute) {
+  // Paper Eq. 3: executed exits (mask 0) must not contribute.
+  Tensor pred{{4}, {1, 2, 3, 4}};
+  Tensor target{{4}, {0, 0, 0, 0}};
+  Tensor mask{{4}, {0, 0, 1, 1}};
+  const auto res = masked_mse(pred, target, mask);
+  EXPECT_FLOAT_EQ(res.loss, (9.0f + 16.0f) / 2.0f);
+  EXPECT_EQ(res.grad[0], 0.0f);
+  EXPECT_EQ(res.grad[1], 0.0f);
+  EXPECT_FLOAT_EQ(res.grad[2], 2.0f * 3.0f / 2.0f);
+}
+
+TEST(MaskedMse, AllMaskedOffGivesZero) {
+  Tensor pred{{3}, {1, 2, 3}};
+  Tensor target{{3}};
+  Tensor mask{{3}};
+  const auto res = masked_mse(pred, target, mask);
+  EXPECT_EQ(res.loss, 0.0f);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(res.grad[i], 0.0f);
+}
+
+TEST(Accuracy, CountsTop1Matches) {
+  Tensor logits{{2, 3}, {0.1f, 0.9f, 0.0f, 0.8f, 0.1f, 0.1f}};
+  const std::size_t labels[] = {1, 2};
+  EXPECT_DOUBLE_EQ(accuracy(logits, labels), 0.5);
+}
+
+TEST(Sgd, SimpleStepWithoutMomentum) {
+  Param p{"w", Tensor{{1}, {1.0f}}};
+  p.grad[0] = 2.0f;
+  Sgd opt{{&p}, SgdConfig{.lr = 0.1f, .momentum = 0.0f}};
+  opt.step();
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 2.0f, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p{"w", Tensor{{1}, {0.0f}}};
+  Sgd opt{{&p}, SgdConfig{.lr = 1.0f, .momentum = 0.5f}};
+  p.grad[0] = 1.0f;
+  opt.step();  // v = 1, w = -1
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-6);
+  opt.step();  // v = 0.5 + 1 = 1.5, w = -2.5
+  EXPECT_NEAR(p.value[0], -2.5f, 1e-6);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Param p{"w", Tensor{{1}, {10.0f}}};
+  Sgd opt{{&p}, SgdConfig{.lr = 0.1f, .momentum = 0.0f, .weight_decay = 1.0f}};
+  p.grad[0] = 0.0f;
+  opt.step();
+  EXPECT_NEAR(p.value[0], 10.0f - 0.1f * 10.0f, 1e-5);
+}
+
+TEST(Sgd, ClipNormBoundsUpdate) {
+  Param p{"w", Tensor{{2}, {0.0f, 0.0f}}};
+  Sgd opt{{&p},
+          SgdConfig{.lr = 1.0f, .momentum = 0.0f, .clip_norm = 1.0f}};
+  p.grad[0] = 3.0f;
+  p.grad[1] = 4.0f;  // norm 5 -> scaled by 1/5
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.6f, 1e-5);
+  EXPECT_NEAR(p.value[1], -0.8f, 1e-5);
+}
+
+TEST(Sgd, GradNormComputed) {
+  Param p{"w", Tensor{{2}, {0.0f, 0.0f}}};
+  p.grad[0] = 3.0f;
+  p.grad[1] = 4.0f;
+  Sgd opt{{&p}, SgdConfig{}};
+  EXPECT_NEAR(opt.grad_norm(), 5.0f, 1e-5);
+}
+
+TEST(Sgd, RejectsBadConfig) {
+  Param p{"w", Tensor{{1}}};
+  EXPECT_THROW((Sgd{{&p}, SgdConfig{.lr = 0.0f}}), std::invalid_argument);
+  EXPECT_THROW((Sgd{{&p}, SgdConfig{.lr = 0.1f, .momentum = 1.0f}}),
+               std::invalid_argument);
+  EXPECT_THROW((Sgd{{nullptr}, SgdConfig{}}), std::invalid_argument);
+}
+
+TEST(Sgd, TrainsLinearRegressionToConvergence) {
+  // y = 2x - 1 learned by a 1x1 Linear layer.
+  util::Rng rng{5};
+  Linear model{1, 1, rng};
+  Sgd opt{model.params(), SgdConfig{.lr = 0.05f, .momentum = 0.9f}};
+  for (int step = 0; step < 500; ++step) {
+    Tensor x = Tensor::uniform({8, 1}, -1, 1, rng);
+    Tensor target{{8, 1}};
+    for (std::size_t i = 0; i < 8; ++i) target[i] = 2.0f * x[i] - 1.0f;
+    opt.zero_grad();
+    const Tensor pred = model.forward(x, true);
+    const auto res = mse(pred, target);
+    model.backward(res.grad);
+    opt.step();
+  }
+  EXPECT_NEAR(model.weight().value[0], 2.0f, 0.05f);
+  EXPECT_NEAR(model.bias().value[0], -1.0f, 0.05f);
+}
+
+TEST(Adam, SimpleQuadraticConverges) {
+  // Minimise (w - 3)^2 by gradient descent on w.
+  Param p{"w", Tensor{{1}, {0.0f}}};
+  Adam opt{{&p}, AdamConfig{.lr = 0.05f}};
+  for (int i = 0; i < 400; ++i) {
+    opt.zero_grad();
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.05f);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  // With bias correction the very first Adam update is ~lr * sign(grad).
+  Param p{"w", Tensor{{1}, {0.0f}}};
+  Adam opt{{&p}, AdamConfig{.lr = 0.1f}};
+  p.grad[0] = 42.0f;
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.1f, 1e-3f);
+}
+
+TEST(Adam, RejectsBadConfig) {
+  Param p{"w", Tensor{{1}}};
+  EXPECT_THROW((Adam{{&p}, AdamConfig{.lr = 0.0f}}), std::invalid_argument);
+  EXPECT_THROW((Adam{{&p}, AdamConfig{.lr = 0.1f, .beta1 = 1.0f}}),
+               std::invalid_argument);
+  EXPECT_THROW((Adam{{nullptr}, AdamConfig{}}), std::invalid_argument);
+}
+
+TEST(Adam, ClipNormBoundsUpdateDirection) {
+  Param p{"w", Tensor{{2}, {0.0f, 0.0f}}};
+  Adam opt{{&p}, AdamConfig{.lr = 1.0f, .clip_norm = 1.0f}};
+  p.grad[0] = 300.0f;
+  p.grad[1] = 400.0f;
+  opt.step();
+  // Clipping rescales the gradient before the moment updates; both entries
+  // move, and per-coordinate Adam steps stay ~lr-sized.
+  EXPECT_LT(p.value[0], 0.0f);
+  EXPECT_LT(p.value[1], 0.0f);
+  EXPECT_NEAR(p.value[0], -1.0f, 0.05f);
+}
+
+TEST(Adam, TrainsLinearRegressionToConvergence) {
+  util::Rng rng{7};
+  Linear model{1, 1, rng};
+  Adam opt{model.params(), AdamConfig{.lr = 0.05f}};
+  for (int step = 0; step < 400; ++step) {
+    Tensor x = Tensor::uniform({8, 1}, -1, 1, rng);
+    Tensor target{{8, 1}};
+    for (std::size_t i = 0; i < 8; ++i) target[i] = 2.0f * x[i] - 1.0f;
+    opt.zero_grad();
+    const Tensor pred = model.forward(x, true);
+    const auto res = mse(pred, target);
+    model.backward(res.grad);
+    opt.step();
+  }
+  EXPECT_NEAR(model.weight().value[0], 2.0f, 0.05f);
+  EXPECT_NEAR(model.bias().value[0], -1.0f, 0.05f);
+}
+
+}  // namespace
+}  // namespace einet::nn

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "models/backbones.hpp"
+#include "models/trainer.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/sequential.hpp"
+#include "profiling/profiler.hpp"
+
+namespace einet::models {
+namespace {
+
+const nn::Shape kInput{3, 16, 16};
+constexpr std::size_t kClasses = 10;
+
+MultiExitNetwork tiny_net(util::Rng& rng, std::size_t blocks = 3) {
+  return make_msdnet(
+      MsdnetSpec{.blocks = blocks, .step = 1, .base = 1, .channel = 4},
+      kInput, kClasses, rng);
+}
+
+TEST(Branch, StructureFollowsSpec) {
+  util::Rng rng{1};
+  // 1 conv + 2 FC with GAP: output must be (N, classes).
+  auto b = make_branch({8, 4, 4}, 10, BranchSpec{}, rng);
+  EXPECT_EQ(b->out_shape({2, 8, 4, 4}), (nn::Shape{2, 10}));
+  // Flatten variant.
+  auto f = make_branch({8, 4, 4}, 10,
+                       BranchSpec{.convs = 2, .fcs = 3, .global_pool = false},
+                       rng);
+  EXPECT_EQ(f->out_shape({1, 8, 4, 4}), (nn::Shape{1, 10}));
+  EXPECT_THROW(make_branch({8, 4, 4}, 10, BranchSpec{.fcs = 0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(make_branch({8, 4}, 10, BranchSpec{}, rng),
+               std::invalid_argument);
+}
+
+TEST(MultiExitNetwork, ConstructionValidates) {
+  util::Rng rng{2};
+  EXPECT_THROW((MultiExitNetwork{"x", {3, 16}, 10}), std::invalid_argument);
+  EXPECT_THROW((MultiExitNetwork{"x", kInput, 0}), std::invalid_argument);
+  MultiExitNetwork net{"x", kInput, kClasses};
+  EXPECT_THROW(net.forward_all(nn::Tensor{{1, 3, 16, 16}}, false),
+               std::logic_error);
+}
+
+TEST(MultiExitNetwork, BranchMustEmitLogits) {
+  util::Rng rng{3};
+  MultiExitNetwork net{"x", kInput, kClasses};
+  auto conv = std::make_unique<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = 3, .out_channels = 4}, rng);
+  auto bad_branch = std::make_unique<nn::Conv2d>(
+      nn::Conv2dSpec{.in_channels = 4, .out_channels = 4}, rng);
+  EXPECT_THROW(net.add_block(std::move(conv), std::move(bad_branch)),
+               std::invalid_argument);
+}
+
+TEST(MultiExitNetwork, ForwardAllShapes) {
+  util::Rng rng{4};
+  auto net = tiny_net(rng);
+  const auto logits = net.forward_all(nn::Tensor{{2, 3, 16, 16}}, false);
+  ASSERT_EQ(logits.size(), 3u);
+  for (const auto& l : logits) EXPECT_EQ(l.shape(), (nn::Shape{2, kClasses}));
+}
+
+TEST(MultiExitNetwork, StepwiseMatchesForwardAll) {
+  util::Rng rng{5};
+  auto net = tiny_net(rng);
+  const nn::Tensor x = nn::Tensor::uniform({1, 3, 16, 16}, -1, 1, rng);
+  const auto all = net.forward_all(x, false);
+  nn::Tensor features = x;
+  for (std::size_t i = 0; i < net.num_exits(); ++i) {
+    features = net.run_conv_part(i, features);
+    const nn::Tensor logits = net.run_branch(i, features);
+    for (std::size_t k = 0; k < logits.numel(); ++k)
+      EXPECT_FLOAT_EQ(logits[k], all[i][k]) << "exit " << i;
+  }
+}
+
+TEST(MultiExitNetwork, FlopsArePositiveAndConsistent) {
+  util::Rng rng{6};
+  auto net = tiny_net(rng);
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < net.num_exits(); ++i) {
+    EXPECT_GT(net.conv_part_flops(i), 0u);
+    EXPECT_GT(net.branch_flops(i), 0u);
+    sum += net.conv_part_flops(i) + net.branch_flops(i);
+  }
+  EXPECT_EQ(net.total_flops_all_branches(), sum);
+  EXPECT_LT(net.trunk_flops(), sum);
+  EXPECT_THROW(net.conv_part_flops(99), std::out_of_range);
+}
+
+TEST(MultiExitNetwork, FeatureShapesChain) {
+  util::Rng rng{7};
+  auto net = tiny_net(rng);
+  EXPECT_EQ(net.feature_shape(0), kInput);
+  for (std::size_t i = 0; i <= net.num_exits(); ++i)
+    EXPECT_EQ(net.feature_shape(i).size(), 3u);
+}
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  util::Rng rng{8};
+  auto ds = data::make_synthetic([] {
+    auto s = data::synth_cifar10_spec(120, 40);
+    return s;
+  }());
+  auto net = tiny_net(rng);
+  MultiExitTrainer trainer{net};
+  std::vector<float> losses;
+  TrainConfig tc;
+  tc.epochs = 6;
+  tc.batch_size = 16;
+  tc.on_epoch = [&](std::size_t, float loss) { losses.push_back(loss); };
+  trainer.train(*ds.train, tc);
+  ASSERT_EQ(losses.size(), 6u);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(Trainer, EvaluateReportsPerExitAccuracy) {
+  util::Rng rng{9};
+  auto ds = data::make_synthetic([] {
+    auto s = data::synth_cifar10_spec(60, 30);
+    return s;
+  }());
+  auto net = tiny_net(rng);
+  MultiExitTrainer trainer{net};
+  const auto res = trainer.evaluate(*ds.test);
+  ASSERT_EQ(res.exit_accuracy.size(), net.num_exits());
+  for (double a : res.exit_accuracy) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(res.final_accuracy(), res.exit_accuracy.back());
+}
+
+TEST(Trainer, RejectsBadWeights) {
+  util::Rng rng{10};
+  auto ds = data::make_synthetic([] {
+    auto s = data::synth_cifar10_spec(20, 10);
+    return s;
+  }());
+  auto net = tiny_net(rng);
+  MultiExitTrainer trainer{net};
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.exit_weights = {1.0f};  // wrong size for 3 exits
+  EXPECT_THROW(trainer.train(*ds.train, tc), std::invalid_argument);
+}
+
+// ---- Backbone registry, parameterised over the paper's models. ------------
+
+struct BackboneCase {
+  std::string name;
+  std::size_t expected_exits;
+};
+
+class BackboneSuite : public ::testing::TestWithParam<BackboneCase> {};
+
+TEST_P(BackboneSuite, HasPaperExitCountAndRuns) {
+  util::Rng rng{11};
+  auto net = make_model(GetParam().name, kInput, kClasses, rng);
+  EXPECT_EQ(net.num_exits(), GetParam().expected_exits);
+  const auto logits = net.forward_all(nn::Tensor{{1, 3, 16, 16}}, false);
+  EXPECT_EQ(logits.size(), GetParam().expected_exits);
+  EXPECT_GT(net.num_params(), 0u);
+}
+
+TEST_P(BackboneSuite, ConvPartCostsAreProfileable) {
+  util::Rng rng{12};
+  auto net = make_model(GetParam().name, kInput, kClasses, rng);
+  const auto et = profiling::profile_execution_time(
+      net, profiling::edge_fast_platform());
+  EXPECT_EQ(et.num_blocks(), net.num_exits());
+  EXPECT_GT(et.total_ms(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperModels, BackboneSuite,
+    ::testing::Values(BackboneCase{"B-AlexNet", 3},
+                      BackboneCase{"FlexVGG-16", 5},
+                      BackboneCase{"ResNet-50", 6}, BackboneCase{"VGG-16", 14},
+                      BackboneCase{"MSDNet21", 21},
+                      BackboneCase{"MSDNet40", 40}),
+    [](const auto& info) {
+      std::string n = info.param.name;
+      for (auto& c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+TEST(Backbones, RegistryRejectsUnknownName) {
+  util::Rng rng{13};
+  EXPECT_THROW(make_model("LeNet", kInput, kClasses, rng),
+               std::invalid_argument);
+  EXPECT_EQ(evaluation_model_names().size(), 6u);
+}
+
+TEST(Backbones, ClassicAndCompressedAreSingleExit) {
+  util::Rng rng{14};
+  const MsdnetSpec spec{.blocks = 6, .step = 1, .base = 2, .channel = 8};
+  auto classic = make_classic_msdnet(spec, kInput, kClasses, rng);
+  auto compressed = make_compressed_msdnet(spec, kInput, kClasses, rng);
+  EXPECT_EQ(classic.num_exits(), 1u);
+  EXPECT_EQ(compressed.num_exits(), 1u);
+  // Compressed halves the channels, so it must be much cheaper.
+  EXPECT_LT(compressed.trunk_flops(), classic.trunk_flops() / 2);
+}
+
+TEST(Backbones, MsdnetSpecControlsDepthAndCost) {
+  util::Rng rng{15};
+  auto small = make_msdnet({.blocks = 4, .step = 1, .base = 1, .channel = 4},
+                           kInput, kClasses, rng);
+  auto big = make_msdnet({.blocks = 4, .step = 2, .base = 4, .channel = 8},
+                         kInput, kClasses, rng);
+  EXPECT_EQ(small.num_exits(), big.num_exits());
+  EXPECT_LT(small.trunk_flops(), big.trunk_flops());
+  EXPECT_THROW(
+      make_msdnet({.blocks = 0, .step = 1, .base = 1, .channel = 4}, kInput,
+                  kClasses, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace einet::models

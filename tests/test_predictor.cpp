@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "predictor/activation_cache.hpp"
+#include "predictor/cs_predictor.hpp"
+
+namespace einet::predictor {
+namespace {
+
+/// A CS-profile with learnable structure: confidences rise with depth, and
+/// a sample's level is visible from its first-exit confidence.
+profiling::CSProfile structured_profile(std::size_t exits,
+                                        std::size_t samples,
+                                        std::uint64_t seed = 7) {
+  profiling::CSProfile p;
+  p.model_name = "toy";
+  p.dataset_name = "synth";
+  p.num_exits = exits;
+  util::Rng rng{seed};
+  for (std::size_t s = 0; s < samples; ++s) {
+    const float base = rng.uniform_f(0.2f, 0.6f);
+    profiling::CSRecord r;
+    r.label = 0;
+    for (std::size_t e = 0; e < exits; ++e) {
+      const float c = std::clamp(
+          base + 0.4f * static_cast<float>(e) / static_cast<float>(exits) +
+              rng.uniform_f(-0.03f, 0.03f),
+          0.0f, 1.0f);
+      r.confidence.push_back(c);
+      r.correct.push_back(static_cast<std::uint8_t>(rng.bernoulli(c)));
+    }
+    p.records.push_back(std::move(r));
+  }
+  return p;
+}
+
+TEST(PredictorDataset, Figure5Construction) {
+  // Reproduce the paper's Figure-5 example: a three-exit model gives each
+  // sample two prefix rows (plus our empty-prefix extension).
+  profiling::CSProfile p;
+  p.model_name = "fig5";
+  p.dataset_name = "d";
+  p.num_exits = 3;
+  p.records.push_back({{0.5126f, 0.8602f, 0.9999f}, {1, 1, 1}, 0});
+  const auto ds = build_predictor_dataset(p);
+  ASSERT_EQ(ds.size(), 3u);  // empty prefix + k=0 + k=1
+
+  // Row 0: the empty-prefix prior.
+  EXPECT_EQ(ds.inputs[0], (std::vector<float>{0, 0, 0}));
+  EXPECT_EQ(ds.masks[0], (std::vector<float>{1, 1, 1}));
+
+  // Row 1: input [c0, 0, 0], mask selects the two future exits.
+  EXPECT_FLOAT_EQ(ds.inputs[1][0], 0.5126f);
+  EXPECT_EQ(ds.inputs[1][1], 0.0f);
+  EXPECT_EQ(ds.masks[1], (std::vector<float>{0, 1, 1}));
+
+  // Row 2: input [c0, c1, 0].
+  EXPECT_FLOAT_EQ(ds.inputs[2][1], 0.8602f);
+  EXPECT_EQ(ds.masks[2], (std::vector<float>{0, 0, 1}));
+
+  // All rows share the full label list.
+  for (const auto& label : ds.labels)
+    EXPECT_FLOAT_EQ(label[2], 0.9999f);
+}
+
+TEST(PredictorDataset, RejectsDegenerateProfiles) {
+  profiling::CSProfile p;
+  p.model_name = "x";
+  p.dataset_name = "d";
+  p.num_exits = 1;
+  p.records.push_back({{0.5f}, {1}, 0});
+  EXPECT_THROW(build_predictor_dataset(p), std::invalid_argument);
+}
+
+TEST(CSPredictor, ConstructionValidates) {
+  EXPECT_THROW((CSPredictor{1, CSPredictorConfig{}}), std::invalid_argument);
+  EXPECT_THROW((CSPredictor{4, CSPredictorConfig{.hidden = 0}}),
+               std::invalid_argument);
+}
+
+TEST(CSPredictor, TrainingReducesMaskedLoss) {
+  const auto profile = structured_profile(5, 200);
+  CSPredictorConfig cfg;
+  cfg.hidden = 32;
+  cfg.epochs = 1;
+  CSPredictor one_epoch{5, cfg};
+  const float early = one_epoch.train(profile);
+  cfg.epochs = 40;
+  CSPredictor many_epochs{5, cfg};
+  const float late = many_epochs.train(profile);
+  EXPECT_LT(late, early);
+  EXPECT_LT(late, 0.01f);
+}
+
+TEST(CSPredictor, LearnsDepthTrend) {
+  const auto profile = structured_profile(5, 300);
+  CSPredictorConfig cfg;
+  cfg.hidden = 32;
+  cfg.epochs = 60;
+  CSPredictor pred{5, cfg};
+  pred.train(profile);
+  // Given a low first-exit confidence, later exits should be predicted to
+  // improve (the structural property the planner relies on).
+  std::vector<float> observed{0.3f, 0, 0, 0, 0};
+  const auto out = pred.predict(observed, 1);
+  EXPECT_FLOAT_EQ(out[0], 0.3f);  // observed passes through (Eq. 1)
+  EXPECT_GT(out[4], out[0]);
+  for (float v : out) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(CSPredictor, PredictValidatesArguments) {
+  CSPredictor pred{4, CSPredictorConfig{.hidden = 8}};
+  std::vector<float> bad(3, 0.0f);
+  EXPECT_THROW(pred.predict(bad, 0), std::invalid_argument);
+  std::vector<float> ok(4, 0.0f);
+  EXPECT_THROW(pred.predict(ok, 5), std::invalid_argument);
+}
+
+TEST(CSPredictor, TrainRejectsMismatchedDataset) {
+  CSPredictor pred{4, CSPredictorConfig{.hidden = 8}};
+  const auto profile = structured_profile(5, 50);
+  EXPECT_THROW(pred.train(profile), std::invalid_argument);
+}
+
+// ---- Activation Cache (paper Section IV-C4 / Table III) -------------------
+
+TEST(ActivationCache, MatchesFullForwardAfterEachPush) {
+  const auto profile = structured_profile(6, 150);
+  CSPredictorConfig cfg;
+  cfg.hidden = 48;
+  cfg.epochs = 10;
+  CSPredictor pred{6, cfg};
+  pred.train(profile);
+
+  ActivationCacheSession session{pred};
+  std::vector<float> observed(6, 0.0f);
+
+  // Empty-input equivalence.
+  {
+    const auto cached = session.forward_raw();
+    const auto full = pred.forward_raw(observed);
+    for (std::size_t i = 0; i < 6; ++i)
+      EXPECT_NEAR(cached[i], full[i], 1e-4f) << "empty input, out " << i;
+  }
+  // Incremental equivalence after every push.
+  util::Rng rng{5};
+  for (std::size_t k = 0; k < 6; ++k) {
+    const float conf = rng.uniform_f(0.1f, 0.9f);
+    observed[k] = conf;
+    session.push(k, conf);
+    const auto cached = session.forward_raw();
+    const auto full = pred.forward_raw(observed);
+    for (std::size_t i = 0; i < 6; ++i)
+      EXPECT_NEAR(cached[i], full[i], 1e-3f) << "push " << k << ", out " << i;
+  }
+}
+
+TEST(ActivationCache, PredictAppliesEquationOne) {
+  CSPredictor pred{4, CSPredictorConfig{.hidden = 16}};
+  ActivationCacheSession session{pred};
+  session.push(0, 0.42f);
+  const auto out = session.predict(1);
+  EXPECT_FLOAT_EQ(out[0], 0.42f);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GE(out[i], 0.0f);
+    EXPECT_LE(out[i], 1.0f);
+  }
+}
+
+TEST(ActivationCache, PushReplacesPreviousValue) {
+  CSPredictor pred{4, CSPredictorConfig{.hidden = 16}};
+  ActivationCacheSession session{pred};
+  session.push(1, 0.3f);
+  session.push(1, 0.8f);  // replace
+  std::vector<float> observed{0.0f, 0.8f, 0.0f, 0.0f};
+  const auto cached = session.forward_raw();
+  const auto full = pred.forward_raw(observed);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(cached[i], full[i], 1e-4f);
+}
+
+TEST(ActivationCache, ResetClearsState) {
+  CSPredictor pred{4, CSPredictorConfig{.hidden = 16}};
+  ActivationCacheSession session{pred};
+  session.push(0, 0.9f);
+  session.reset();
+  const auto cached = session.forward_raw();
+  const auto full = pred.forward_raw(std::vector<float>(4, 0.0f));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(cached[i], full[i], 1e-5f);
+  EXPECT_EQ(session.logical_input(), std::vector<float>(4, 0.0f));
+}
+
+TEST(ActivationCache, CacheBytesScaleWithHidden) {
+  CSPredictor small{4, CSPredictorConfig{.hidden = 128}};
+  CSPredictor large{4, CSPredictorConfig{.hidden = 2048}};
+  ActivationCacheSession s1{small}, s2{large};
+  EXPECT_LT(s1.cache_bytes(), s2.cache_bytes());
+  // Table III reports "a few dozen KB at most": 2048 floats ~ 8 KB.
+  EXPECT_LE(s2.cache_bytes(), 64u * 1024u);
+}
+
+TEST(ActivationCache, PushRejectsBadIndex) {
+  CSPredictor pred{4, CSPredictorConfig{.hidden = 16}};
+  ActivationCacheSession session{pred};
+  EXPECT_THROW(session.push(4, 0.5f), std::out_of_range);
+  EXPECT_THROW(session.predict(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace einet::predictor

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "profiling/calibration.hpp"
+#include "profiling/platform.hpp"
+#include "profiling/profiles.hpp"
+
+namespace einet::profiling {
+namespace {
+
+ETProfile sample_et() {
+  ETProfile p;
+  p.model_name = "toy";
+  p.platform_name = "edge";
+  p.conv_ms = {1.0, 2.0, 3.0};
+  p.branch_ms = {0.5, 0.5, 0.5};
+  return p;
+}
+
+CSProfile sample_cs() {
+  CSProfile p;
+  p.model_name = "toy";
+  p.dataset_name = "synth";
+  p.num_exits = 3;
+  p.records.push_back({{0.3f, 0.6f, 0.9f}, {0, 1, 1}, 2});
+  p.records.push_back({{0.5f, 0.5f, 0.7f}, {1, 0, 1}, 0});
+  return p;
+}
+
+TEST(ETProfile, Totals) {
+  const auto p = sample_et();
+  EXPECT_DOUBLE_EQ(p.total_ms(), 7.5);
+  EXPECT_DOUBLE_EQ(p.trunk_ms(), 6.0);
+  EXPECT_EQ(p.num_blocks(), 3u);
+}
+
+TEST(ETProfile, ValidateCatchesErrors) {
+  auto p = sample_et();
+  p.branch_ms.pop_back();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = sample_et();
+  p.conv_ms[1] = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = ETProfile{};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(ETProfile, CsvRoundTrip) {
+  const auto p = sample_et();
+  const auto q = ETProfile::from_csv(p.to_csv());
+  EXPECT_EQ(q.model_name, "toy");
+  EXPECT_EQ(q.platform_name, "edge");
+  EXPECT_EQ(q.conv_ms, p.conv_ms);
+  EXPECT_EQ(q.branch_ms, p.branch_ms);
+}
+
+TEST(ETProfile, FromCsvRejectsGarbage) {
+  EXPECT_THROW(ETProfile::from_csv("nonsense"), std::runtime_error);
+  EXPECT_THROW(ETProfile::from_csv("model,x\nwrong"), std::runtime_error);
+}
+
+TEST(ETProfile, FileRoundTrip) {
+  const auto p = sample_et();
+  const std::string path = ::testing::TempDir() + "/et.csv";
+  p.save(path);
+  const auto q = ETProfile::load(path);
+  EXPECT_EQ(q.conv_ms, p.conv_ms);
+}
+
+TEST(CSProfile, Aggregates) {
+  const auto p = sample_cs();
+  const auto conf = p.mean_confidence();
+  EXPECT_NEAR(conf[0], 0.4, 1e-6);
+  EXPECT_NEAR(conf[2], 0.8, 1e-6);
+  const auto acc = p.exit_accuracy();
+  EXPECT_NEAR(acc[0], 0.5, 1e-6);
+  EXPECT_NEAR(acc[1], 0.5, 1e-6);
+  EXPECT_NEAR(acc[2], 1.0, 1e-6);
+}
+
+TEST(CSProfile, ValidateCatchesErrors) {
+  auto p = sample_cs();
+  p.records[0].confidence.pop_back();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = sample_cs();
+  p.records[1].confidence[0] = 1.5f;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = sample_cs();
+  p.num_exits = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(CSProfile, CsvRoundTrip) {
+  const auto p = sample_cs();
+  const auto q = CSProfile::from_csv(p.to_csv());
+  EXPECT_EQ(q.num_exits, 3u);
+  ASSERT_EQ(q.records.size(), 2u);
+  EXPECT_EQ(q.records[0].label, 2u);
+  EXPECT_NEAR(q.records[0].confidence[1], 0.6f, 1e-6);
+  EXPECT_EQ(q.records[1].correct[1], 0);
+}
+
+TEST(Platform, TimeScalesWithFlops) {
+  Platform p{.name = "t", .flops_per_ms = 1000.0, .conv_overhead_ms = 0.5};
+  EXPECT_DOUBLE_EQ(p.time_ms(2000, p.conv_overhead_ms), 0.5 + 2.0);
+}
+
+TEST(Platform, MeasureJittersAroundTruth) {
+  Platform p = edge_fast_platform();
+  util::Rng rng{1};
+  const double truth = p.time_ms(1000000, p.conv_overhead_ms);
+  double acc = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i)
+    acc += p.measure_ms(1000000, p.conv_overhead_ms, rng);
+  EXPECT_NEAR(acc / n, truth, truth * 0.01);
+}
+
+TEST(Platform, PresetsAreOrderedBySpeed) {
+  EXPECT_GT(server_platform().flops_per_ms,
+            edge_fast_platform().flops_per_ms);
+  EXPECT_GT(edge_fast_platform().flops_per_ms,
+            edge_slow_platform().flops_per_ms);
+}
+
+TEST(Calibrator, MapsConfidenceTowardAccuracy) {
+  // Overconfident profile: conf 0.9 but only 50% correct.
+  CSProfile p;
+  p.model_name = "toy";
+  p.dataset_name = "d";
+  p.num_exits = 1;
+  util::Rng rng{3};
+  for (int i = 0; i < 400; ++i) {
+    const float conf = 0.85f + 0.1f * rng.uniform_f(0.0f, 1.0f);
+    p.records.push_back({{conf}, {static_cast<std::uint8_t>(i % 2)}, 0});
+  }
+  const auto cal = ConfidenceCalibrator::fit(p, 8);
+  EXPECT_NEAR(cal.calibrate(0, 0.9f), 0.5f, 0.1f);
+}
+
+TEST(Calibrator, WellCalibratedProfileIsNearIdentity) {
+  CSProfile p;
+  p.model_name = "toy";
+  p.dataset_name = "d";
+  p.num_exits = 1;
+  util::Rng rng{4};
+  for (int i = 0; i < 4000; ++i) {
+    const float conf = rng.uniform_f(0.05f, 0.95f);
+    p.records.push_back(
+        {{conf}, {static_cast<std::uint8_t>(rng.bernoulli(conf))}, 0});
+  }
+  const auto cal = ConfidenceCalibrator::fit(p, 10);
+  for (float c : {0.2f, 0.5f, 0.8f})
+    EXPECT_NEAR(cal.calibrate(0, c), c, 0.08f);
+}
+
+TEST(Calibrator, ApplyCalibratesWholeVector) {
+  const auto cs = sample_cs();
+  // Too few samples for the default 10 bins.
+  EXPECT_THROW(ConfidenceCalibrator::fit(cs, 10), std::invalid_argument);
+  const auto cal = ConfidenceCalibrator::fit(cs, 2);
+  std::vector<float> conf{0.4f, 0.5f, 0.8f};
+  cal.apply(conf);
+  for (float c : conf) {
+    EXPECT_GE(c, 0.0f);
+    EXPECT_LE(c, 1.0f);
+  }
+  std::vector<float> wrong_size{0.4f};
+  EXPECT_THROW(cal.apply(wrong_size), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace einet::profiling

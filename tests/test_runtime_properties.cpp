@@ -1,0 +1,131 @@
+// Property-style sweeps over the elastic runtime: invariants that must hold
+// for ANY profile, plan, deadline and search configuration.
+#include <gtest/gtest.h>
+
+#include "runtime/elastic_engine.hpp"
+
+namespace einet::runtime {
+namespace {
+
+struct SweepCase {
+  std::string label;
+  std::size_t exits;
+  std::uint64_t seed;
+  core::SearchMethod method;
+};
+
+class RuntimeSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  void SetUp() override {
+    const auto& param = GetParam();
+    util::Rng rng{param.seed};
+    et_.model_name = "sweep";
+    et_.platform_name = "sim";
+    for (std::size_t i = 0; i < param.exits; ++i) {
+      et_.conv_ms.push_back(rng.uniform(0.1, 1.5));
+      et_.branch_ms.push_back(rng.uniform(0.05, 0.9));
+    }
+    for (int s = 0; s < 40; ++s) {
+      profiling::CSRecord r;
+      r.label = 0;
+      for (std::size_t e = 0; e < param.exits; ++e) {
+        const float c = rng.uniform_f(0.05f, 0.99f);
+        r.confidence.push_back(c);
+        r.correct.push_back(static_cast<std::uint8_t>(rng.bernoulli(c)));
+      }
+      records_.push_back(std::move(r));
+    }
+    fallback_.assign(param.exits, 0.5f);
+  }
+
+  profiling::ETProfile et_;
+  std::vector<profiling::CSRecord> records_;
+  std::vector<float> fallback_;
+};
+
+TEST_P(RuntimeSweep, OutcomeInvariantsHoldForRandomDeadlines) {
+  ElasticConfig cfg;
+  cfg.search.method = GetParam().method;
+  cfg.search.random_plans = 64;
+  ElasticEngine engine{et_, nullptr, cfg, fallback_};
+  core::UniformExitDistribution dist{et_.total_ms()};
+  util::Rng rng{GetParam().seed ^ 0xABCDEF};
+
+  for (const auto& rec : records_) {
+    const double deadline = dist.sample(rng);
+    const auto out = engine.run(rec, deadline, dist);
+
+    // A result can only exist if something executed, and it must have been
+    // produced before the deadline.
+    EXPECT_EQ(out.has_result, out.branches_executed > 0);
+    if (out.has_result) {
+      EXPECT_LE(out.result_time_ms, deadline + 1e-9);
+      EXPECT_LT(out.exit_index, et_.num_blocks());
+      // The kept result's correctness must match the record.
+      EXPECT_EQ(out.correct, rec.correct[out.exit_index] != 0);
+    }
+    // Execution can never outrun the full-execution horizon.
+    EXPECT_LE(out.branches_executed, et_.num_blocks());
+    // A completed plan's deepest output is the kept result.
+    if (out.completed && out.has_result)
+      EXPECT_GE(deadline, out.result_time_ms);
+  }
+}
+
+TEST_P(RuntimeSweep, ZeroDeadlineNeverProducesResults) {
+  ElasticConfig cfg;
+  cfg.search.method = GetParam().method;
+  cfg.search.random_plans = 64;
+  ElasticEngine engine{et_, nullptr, cfg, fallback_};
+  core::UniformExitDistribution dist{et_.total_ms()};
+  const auto out = engine.run(records_.front(), 0.0, dist);
+  EXPECT_FALSE(out.has_result);
+  EXPECT_EQ(out.branches_executed, 0u);
+}
+
+TEST_P(RuntimeSweep, InfiniteDeadlineAlwaysCompletes) {
+  ElasticConfig cfg;
+  cfg.search.method = GetParam().method;
+  cfg.search.random_plans = 64;
+  ElasticEngine engine{et_, nullptr, cfg, fallback_};
+  core::UniformExitDistribution dist{et_.total_ms()};
+  for (const auto& rec : records_) {
+    const auto out = engine.run(rec, 1e12, dist);
+    EXPECT_TRUE(out.completed);
+    // The search always keeps at least the deepest exit reachable, so a
+    // completed run holds a result unless the plan executed nothing at all;
+    // EINet plans always execute >= 1 branch when time is unbounded.
+    EXPECT_TRUE(out.has_result);
+  }
+}
+
+TEST_P(RuntimeSweep, StaticPlanOutcomeIsDeadlineMonotone) {
+  // Growing the deadline can only improve a static plan's kept exit.
+  ElasticEngine engine{et_, nullptr, ElasticConfig{}, fallback_};
+  util::Rng rng{GetParam().seed + 1};
+  core::ExitPlan plan{et_.num_blocks()};
+  for (std::size_t i = 0; i < plan.size(); ++i) plan.set(i, rng.bernoulli(0.6));
+  if (plan.num_outputs() == 0) plan.set(plan.size() - 1, true);
+
+  const auto& rec = records_.front();
+  long prev_exit = -1;
+  for (double d = 0.0; d <= et_.total_ms() + 0.5; d += et_.total_ms() / 37.0) {
+    const auto out = engine.run_static(rec, plan, d);
+    const long cur = out.has_result ? static_cast<long>(out.exit_index) : -1;
+    EXPECT_GE(cur, prev_exit) << "deadline " << d;
+    prev_exit = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RuntimeSweep,
+    ::testing::Values(
+        SweepCase{"hybrid_n6", 6, 1, core::SearchMethod::kHybrid},
+        SweepCase{"hybrid_n21", 21, 2, core::SearchMethod::kHybrid},
+        SweepCase{"greedy_n13", 13, 3, core::SearchMethod::kGreedy},
+        SweepCase{"random_n9", 9, 4, core::SearchMethod::kRandom},
+        SweepCase{"none_n7", 7, 5, core::SearchMethod::kNone}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace einet::runtime

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "core/search.hpp"
+
+namespace einet::core {
+namespace {
+
+/// Random planning problem over n exits.
+struct ProblemFixture {
+  std::vector<double> conv;
+  std::vector<double> branch;
+  std::vector<float> conf;
+  std::unique_ptr<TimeDistribution> dist;
+
+  explicit ProblemFixture(std::size_t n, std::uint64_t seed,
+                          const std::string& kind = "uniform") {
+    util::Rng rng{seed};
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      conv.push_back(rng.uniform(0.1, 1.0));
+      branch.push_back(rng.uniform(0.05, 0.8));
+      // Confidence loosely rises with depth, like a trained model's.
+      conf.push_back(static_cast<float>(
+          std::clamp(0.2 + 0.7 * static_cast<double>(i) /
+                               static_cast<double>(n) +
+                         rng.uniform(-0.1, 0.1),
+                     0.0, 1.0)));
+      total += conv.back() + branch.back();
+    }
+    dist = make_distribution(kind, total);
+  }
+
+  [[nodiscard]] PlanProblem problem(std::size_t fixed_prefix = 0,
+                                    ExitPlan base = {}) const {
+    if (base.empty()) base = ExitPlan{conv.size()};
+    return PlanProblem{.conv_ms = conv,
+                       .branch_ms = branch,
+                       .confidence = conf,
+                       .dist = dist.get(),
+                       .fixed_prefix = fixed_prefix,
+                       .base = std::move(base)};
+  }
+};
+
+TEST(EnumerationSearch, FindsTheGlobalOptimum) {
+  ProblemFixture f{8, 42};
+  const auto best = enumeration_search(f.problem());
+  EXPECT_EQ(best.plans_evaluated, 256u);
+  // Cross-check against a manual scan.
+  double manual_best = -1.0;
+  for (std::size_t mask = 0; mask < 256; ++mask) {
+    ExitPlan p{8};
+    for (std::size_t b = 0; b < 8; ++b) p.set(b, (mask >> b) & 1);
+    manual_best = std::max(
+        manual_best,
+        accuracy_expectation(p, f.conv, f.branch, f.conf, *f.dist));
+  }
+  EXPECT_DOUBLE_EQ(best.expectation, manual_best);
+}
+
+TEST(EnumerationSearch, ThrowsOnHugeSuffix) {
+  ProblemFixture f{30, 1};
+  EXPECT_THROW(enumeration_search(f.problem()), std::invalid_argument);
+}
+
+TEST(GreedySearch, NeverWorseThanAllOnesOrAllZeros) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    ProblemFixture f{12, seed};
+    const auto res = greedy_search(f.problem());
+    const double all_ones = accuracy_expectation(
+        ExitPlan{12, true}, f.conv, f.branch, f.conf, *f.dist);
+    EXPECT_GE(res.expectation, all_ones - 1e-12);
+    EXPECT_GE(res.expectation, 0.0);
+  }
+}
+
+TEST(HybridSearch, MatchesEnumerationOnSmallModels) {
+  // With m >= n the enumeration stage covers the entire space.
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    ProblemFixture f{6, seed};
+    const auto enumed = enumeration_search(f.problem());
+    const auto hybrid = hybrid_search(f.problem(), 6);
+    EXPECT_NEAR(hybrid.expectation, enumed.expectation, 1e-12);
+  }
+}
+
+TEST(HybridSearch, AtLeastAsGoodAsGreedy) {
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    ProblemFixture f{16, seed};
+    const auto greedy = greedy_search(f.problem());
+    const auto hybrid = hybrid_search(f.problem(), 4);
+    // Hybrid grows both the enumeration winner and the pure-greedy
+    // trajectory, so it can never do worse than greedy.
+    EXPECT_GE(hybrid.expectation, greedy.expectation - 1e-12);
+  }
+}
+
+TEST(HybridSearch, MoreEnumerationNeverHurtsMuch) {
+  ProblemFixture f{20, 21};
+  double prev = -1.0;
+  for (std::size_t m : {0u, 2u, 4u, 6u}) {
+    const auto res = hybrid_search(f.problem(), m);
+    EXPECT_GE(res.expectation, 0.0);
+    // Larger m explores a superset of prefix assignments; allow small
+    // non-monotonicity because the greedy trajectories differ.
+    EXPECT_GE(res.expectation, prev - 5e-2);
+    prev = res.expectation;
+  }
+}
+
+TEST(HybridSearch, RejectsOversizedEnumStage) {
+  ProblemFixture f{30, 2};
+  EXPECT_THROW(hybrid_search(f.problem(), 25), std::invalid_argument);
+}
+
+TEST(RandomSearch, ImprovesWithBudget) {
+  ProblemFixture f{20, 31};
+  util::Rng rng{1};
+  const auto small = random_search(f.problem(), 10, rng);
+  util::Rng rng2{1};
+  const auto big = random_search(f.problem(), 2000, rng2);
+  EXPECT_GE(big.expectation, small.expectation);
+  EXPECT_EQ(big.plans_evaluated, 2000u);
+}
+
+TEST(RandomSearch, RejectsZeroBudget) {
+  ProblemFixture f{4, 1};
+  util::Rng rng{1};
+  EXPECT_THROW(random_search(f.problem(), 0, rng), std::invalid_argument);
+}
+
+TEST(Search, FrozenPrefixIsRespected) {
+  ProblemFixture f{10, 51};
+  ExitPlan base{10};
+  base.set(0, true);
+  base.set(2, true);  // history: executed exits 0 and 2, skipped 1 and 3
+  const std::size_t prefix = 4;
+  for (auto searcher : {+[](const PlanProblem& p) { return greedy_search(p); },
+                        +[](const PlanProblem& p) {
+                          return hybrid_search(p, 3);
+                        },
+                        +[](const PlanProblem& p) {
+                          return enumeration_search(p);
+                        }}) {
+    const auto res = searcher(f.problem(prefix, base));
+    for (std::size_t i = 0; i < prefix; ++i)
+      EXPECT_EQ(res.plan.executes(i), base.executes(i))
+          << "prefix bit " << i << " was mutated";
+  }
+}
+
+TEST(Search, FullyFrozenProblemReturnsBase) {
+  ProblemFixture f{6, 61};
+  ExitPlan base{6};
+  base.set(1, true);
+  base.set(5, true);
+  const auto res = greedy_search(f.problem(6, base));
+  EXPECT_EQ(res.plan, base);
+}
+
+TEST(PlanProblem, ValidateCatchesErrors) {
+  ProblemFixture f{4, 71};
+  PlanProblem p = f.problem();
+  p.dist = nullptr;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  PlanProblem q = f.problem();
+  q.fixed_prefix = 10;
+  EXPECT_THROW(q.validate(), std::invalid_argument);
+
+  PlanProblem r = f.problem(2, ExitPlan{2});  // base size != n
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(SearchEngine, DispatchesEveryMethod) {
+  ProblemFixture f{8, 81};
+  for (auto method :
+       {SearchMethod::kHybrid, SearchMethod::kGreedy,
+        SearchMethod::kEnumeration, SearchMethod::kRandom,
+        SearchMethod::kNone}) {
+    SearchEngine engine{SearchEngineConfig{.method = method,
+                                           .enum_outputs = 3,
+                                           .random_plans = 100}};
+    const auto res = engine.search(f.problem());
+    EXPECT_GE(res.expectation, 0.0) << search_method_name(method);
+    if (method == SearchMethod::kNone)
+      EXPECT_EQ(res.plan, (ExitPlan{8, true}));
+  }
+}
+
+TEST(SearchEngine, NoneKeepsFrozenPrefix) {
+  ProblemFixture f{6, 91};
+  ExitPlan base{6};  // history: everything skipped so far
+  SearchEngine engine{SearchEngineConfig{.method = SearchMethod::kNone}};
+  const auto res = engine.search(f.problem(3, base));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FALSE(res.plan.executes(i));
+  for (std::size_t i = 3; i < 6; ++i) EXPECT_TRUE(res.plan.executes(i));
+}
+
+TEST(SearchMethodName, CoversAllMethods) {
+  EXPECT_EQ(search_method_name(SearchMethod::kHybrid), "hybrid");
+  EXPECT_EQ(search_method_name(SearchMethod::kGreedy), "greedy");
+  EXPECT_EQ(search_method_name(SearchMethod::kEnumeration), "enumeration");
+  EXPECT_EQ(search_method_name(SearchMethod::kRandom), "random");
+  EXPECT_EQ(search_method_name(SearchMethod::kNone), "baseline");
+}
+
+}  // namespace
+}  // namespace einet::core

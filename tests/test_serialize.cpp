@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/linear.hpp"
+#include "nn/serialize.hpp"
+
+namespace einet::nn {
+namespace {
+
+TEST(Serialize, RoundTripRestoresValues) {
+  util::Rng rng{1};
+  Linear a{4, 3, rng};
+  Linear b{4, 3, rng};  // different random init
+
+  std::stringstream buf;
+  save_params(buf, a.params());
+  load_params(buf, b.params());
+
+  for (std::size_t i = 0; i < a.weight().value.numel(); ++i)
+    EXPECT_EQ(a.weight().value[i], b.weight().value[i]);
+  for (std::size_t i = 0; i < a.bias().value.numel(); ++i)
+    EXPECT_EQ(a.bias().value[i], b.bias().value[i]);
+}
+
+TEST(Serialize, RejectsWrongParameterCount) {
+  util::Rng rng{2};
+  Linear a{4, 3, rng};
+  std::stringstream buf;
+  save_params(buf, a.params());
+  std::vector<Param*> partial{a.params()[0]};
+  EXPECT_THROW(load_params(buf, partial), std::runtime_error);
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  util::Rng rng{3};
+  Linear a{4, 3, rng};
+  Linear b{5, 3, rng};
+  std::stringstream buf;
+  save_params(buf, a.params());
+  EXPECT_THROW(load_params(buf, b.params()), std::runtime_error);
+}
+
+TEST(Serialize, RejectsGarbageMagic) {
+  util::Rng rng{4};
+  Linear a{2, 2, rng};
+  std::stringstream buf{"not a weights file"};
+  EXPECT_THROW(load_params(buf, a.params()), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  util::Rng rng{5};
+  Linear a{4, 3, rng};
+  std::stringstream buf;
+  save_params(buf, a.params());
+  const std::string full = buf.str();
+  std::stringstream cut{full.substr(0, full.size() / 2)};
+  EXPECT_THROW(load_params(cut, a.params()), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  util::Rng rng{6};
+  Linear a{3, 2, rng};
+  Linear b{3, 2, rng};
+  const std::string path = ::testing::TempDir() + "/einet_weights.bin";
+  save_params_file(path, a.params());
+  load_params_file(path, b.params());
+  for (std::size_t i = 0; i < a.weight().value.numel(); ++i)
+    EXPECT_EQ(a.weight().value[i], b.weight().value[i]);
+  EXPECT_THROW(load_params_file("/nonexistent/x.bin", a.params()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace einet::nn

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace einet::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t{{"name", "value"}};
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"beta", "22.50"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.50"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table{{}}, std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(12.345, 1), "12.3%");
+}
+
+TEST(Table, CsvOutput) {
+  Table t{{"x", "y"}};
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumericCellsRightAligned) {
+  Table t{{"col"}};
+  t.add_row({"1.5"});
+  t.add_row({"lefty"});
+  const std::string s = t.str();
+  // "1.5" padded on the left, "lefty" padded on the right.
+  EXPECT_NE(s.find("   1.5 |"), std::string::npos);
+  EXPECT_NE(s.find(" lefty |"), std::string::npos);
+}
+
+TEST(Logging, LevelFilteringRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold messages are dropped silently (no crash, no output
+  // assertion possible without capturing streams; exercised for coverage).
+  EINET_LOG(Debug) << "dropped " << 42;
+  set_log_level(before);
+  EXPECT_EQ(log_level(), before);
+}
+
+}  // namespace
+}  // namespace einet::util

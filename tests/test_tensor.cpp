@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hpp"
+
+namespace einet::nn {
+namespace {
+
+TEST(Shape, NumelAndStr) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 0u);
+  EXPECT_EQ(shape_str({1, 3, 32, 32}), "1x3x32x32");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+}
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t{{2, 3}};
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t{{4}, 2.5f};
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_NO_THROW((Tensor{{2, 2}, {1, 2, 3, 4}}));
+  EXPECT_THROW((Tensor{{2, 2}, {1, 2, 3}}), std::invalid_argument);
+}
+
+TEST(Tensor, MultiDimAccess) {
+  Tensor t2{{2, 3}};
+  t2.at(1, 2) = 7.0f;
+  EXPECT_EQ(t2[1 * 3 + 2], 7.0f);
+
+  Tensor t3{{2, 3, 4}};
+  t3.at(1, 2, 3) = 5.0f;
+  EXPECT_EQ(t3[(1 * 3 + 2) * 4 + 3], 5.0f);
+
+  Tensor t4{{2, 3, 4, 5}};
+  t4.at(1, 2, 3, 4) = 9.0f;
+  EXPECT_EQ(t4[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, AccessThrowsOnWrongRankOrBounds) {
+  Tensor t{{2, 3}};
+  EXPECT_THROW(t.at(0, 0, 0), std::logic_error);
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(99), std::out_of_range);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t{{2, 3}, {1, 2, 3, 4, 5, 6}};
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_EQ(r[4], 5.0f);
+  EXPECT_THROW(t.reshaped({5}), std::invalid_argument);
+}
+
+TEST(Tensor, ArithmeticElementwise) {
+  Tensor a{{3}, {1, 2, 3}};
+  Tensor b{{3}, {10, 20, 30}};
+  EXPECT_EQ((a + b)[2], 33.0f);
+  EXPECT_EQ((b - a)[0], 9.0f);
+  EXPECT_EQ((a * 2.0f)[1], 4.0f);
+  a.add_scaled(b, 0.5f);
+  EXPECT_EQ(a[1], 12.0f);
+}
+
+TEST(Tensor, ArithmeticShapeMismatchThrows) {
+  Tensor a{{3}};
+  Tensor b{{4}};
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a.add_scaled(b, 1.0f), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t{{4}, {1, -5, 3, 2}};
+  EXPECT_EQ(t.sum(), 1.0f);
+  EXPECT_EQ(t.max(), 3.0f);
+  EXPECT_EQ(t.argmax(), 2u);
+  EXPECT_NEAR(t.norm(), std::sqrt(1 + 25 + 9 + 4), 1e-5);
+}
+
+TEST(Tensor, FactoriesRespectShapes) {
+  util::Rng rng{1};
+  const Tensor u = Tensor::uniform({100}, -2.0f, 3.0f, rng);
+  for (std::size_t i = 0; i < u.numel(); ++i) {
+    EXPECT_GE(u[i], -2.0f);
+    EXPECT_LT(u[i], 3.0f);
+  }
+  const Tensor n = Tensor::normal({1000}, 1.0f, 0.5f, rng);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n.numel(); ++i) mean += n[i];
+  EXPECT_NEAR(mean / 1000.0, 1.0, 0.1);
+  EXPECT_THROW(Tensor::kaiming({4}, 0, rng), std::invalid_argument);
+}
+
+TEST(Softmax, SumsToOneAndPreservesArgmax) {
+  std::vector<float> logits{1.0f, 3.0f, 2.0f};
+  const auto p = softmax(logits);
+  float sum = 0.0f;
+  for (float v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+  EXPECT_EQ(span_argmax(p), 1u);
+  EXPECT_GT(p[1], p[2]);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  std::vector<float> logits{1000.0f, 1001.0f};
+  const auto p = softmax(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-5);
+}
+
+TEST(Softmax, EmptySpanArgmaxThrows) {
+  EXPECT_THROW(span_argmax({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace einet::nn

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/time_distribution.hpp"
+
+namespace einet::core {
+namespace {
+
+// ---- Shared properties, parameterised over every distribution kind. -------
+
+struct DistCase {
+  std::string label;
+  std::function<std::unique_ptr<TimeDistribution>(double)> make;
+};
+
+class TimeDistributionProperties
+    : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(TimeDistributionProperties, CdfIsMonotoneWithCorrectEndpoints) {
+  const double horizon = 10.0;
+  const auto dist = GetParam().make(horizon);
+  EXPECT_DOUBLE_EQ(dist->cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist->cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist->cdf(horizon), 1.0);
+  EXPECT_DOUBLE_EQ(dist->cdf(horizon + 5.0), 1.0);
+  double prev = 0.0;
+  for (double t = 0.0; t <= horizon; t += 0.1) {
+    const double c = dist->cdf(t);
+    EXPECT_GE(c, prev - 1e-12) << "at t=" << t;
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+}
+
+TEST_P(TimeDistributionProperties, SamplesStayInSupport) {
+  const double horizon = 7.0;
+  const auto dist = GetParam().make(horizon);
+  util::Rng rng{11};
+  for (int i = 0; i < 5000; ++i) {
+    const double t = dist->sample(rng);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, horizon);
+  }
+}
+
+TEST_P(TimeDistributionProperties, EmpiricalCdfMatchesAnalytic) {
+  const double horizon = 5.0;
+  const auto dist = GetParam().make(horizon);
+  util::Rng rng{13};
+  const int n = 40000;
+  for (double t : {1.0, 2.5, 4.0}) {
+    int below = 0;
+    util::Rng r2{13};
+    for (int i = 0; i < n; ++i)
+      if (dist->sample(r2) <= t) ++below;
+    EXPECT_NEAR(static_cast<double>(below) / n, dist->cdf(t), 0.02)
+        << GetParam().label << " at t=" << t;
+  }
+  (void)rng;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, TimeDistributionProperties,
+    ::testing::Values(
+        DistCase{"uniform",
+                 [](double h) { return make_distribution("uniform", h); }},
+        DistCase{"gauss05",
+                 [](double h) { return make_distribution("gauss0.5", h); }},
+        DistCase{"gauss10",
+                 [](double h) { return make_distribution("gauss1.0", h); }},
+        DistCase{"piecewise",
+                 [](double h) -> std::unique_ptr<TimeDistribution> {
+                   return std::make_unique<PiecewiseLinearExitDistribution>(
+                       std::vector<PiecewiseLinearExitDistribution::Knot>{
+                           {0.0, 0.0}, {h * 0.3, 0.6}, {h, 1.0}},
+                       h);
+                 }},
+        DistCase{"trace",
+                 [](double h) -> std::unique_ptr<TimeDistribution> {
+                   std::vector<double> times;
+                   for (int i = 0; i < 200; ++i)
+                     times.push_back(h * (i % 17 + 1) / 18.0);
+                   return std::make_unique<TraceExitDistribution>(times, h);
+                 }}),
+    [](const auto& info) { return info.param.label; });
+
+// ---- Kind-specific behaviour. ---------------------------------------------
+
+TEST(UniformExit, CdfIsLinear) {
+  UniformExitDistribution d{4.0};
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(3.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.horizon_ms(), 4.0);
+}
+
+TEST(UniformExit, RejectsNonPositiveHorizon) {
+  EXPECT_THROW(UniformExitDistribution{0.0}, std::invalid_argument);
+  EXPECT_THROW(UniformExitDistribution{-1.0}, std::invalid_argument);
+}
+
+TEST(TruncatedGaussian, MassConcentratesAroundMean) {
+  TruncatedGaussianExitDistribution d{5.0, 1.0, 10.0};
+  // Central mass is larger than the tails.
+  EXPECT_GT(d.cdf(6.0) - d.cdf(4.0), d.cdf(2.0) - d.cdf(0.0));
+  EXPECT_GT(d.cdf(6.0) - d.cdf(4.0), d.cdf(10.0) - d.cdf(8.0));
+}
+
+TEST(TruncatedGaussian, WiderSigmaIsFlatter) {
+  TruncatedGaussianExitDistribution narrow{5.0, 1.0, 10.0};
+  TruncatedGaussianExitDistribution wide{5.0, 10.0, 10.0};
+  const double mass_narrow = narrow.cdf(6.0) - narrow.cdf(4.0);
+  const double mass_wide = wide.cdf(6.0) - wide.cdf(4.0);
+  EXPECT_GT(mass_narrow, mass_wide);
+}
+
+TEST(TruncatedGaussian, RejectsBadParameters) {
+  EXPECT_THROW((TruncatedGaussianExitDistribution{1.0, 0.0, 5.0}),
+               std::invalid_argument);
+  // Mean far outside the horizon with a tiny sigma leaves no usable mass.
+  EXPECT_THROW((TruncatedGaussianExitDistribution{1e9, 1e-3, 5.0}),
+               std::invalid_argument);
+}
+
+TEST(TraceExit, EmpiricalCdfSteps) {
+  TraceExitDistribution d{{1.0, 2.0, 3.0, 4.0}, 10.0};
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(4.0), 1.0);
+  EXPECT_EQ(d.trace_size(), 4u);
+}
+
+TEST(TraceExit, ClampsToHorizonAndSamplesFromTrace) {
+  TraceExitDistribution d{{50.0, 2.0}, 10.0};
+  util::Rng rng{3};
+  for (int i = 0; i < 100; ++i) {
+    const double t = d.sample(rng);
+    EXPECT_TRUE(t == 2.0 || t == 10.0);
+  }
+}
+
+TEST(TraceExit, RejectsEmptyTrace) {
+  EXPECT_THROW((TraceExitDistribution{{}, 5.0}), std::invalid_argument);
+}
+
+TEST(Factory, RejectsUnknownKind) {
+  EXPECT_THROW(make_distribution("weibull", 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace einet::core

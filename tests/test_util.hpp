@@ -1,0 +1,90 @@
+// Shared test helpers: numerical gradient checking for layers and small
+// fixture builders used across suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layer.hpp"
+
+namespace einet::testing {
+
+/// Scalar objective used by gradient checks: L = sum(forward(x) .* weights).
+inline float weighted_sum(const nn::Tensor& y, const nn::Tensor& weights) {
+  EXPECT_EQ(y.shape(), weights.shape());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < y.numel(); ++i) acc += y[i] * weights[i];
+  return acc;
+}
+
+/// Relative error robust to near-zero magnitudes.
+inline double rel_err(double a, double b) {
+  const double scale = std::max({1e-3, std::abs(a), std::abs(b)});
+  return std::abs(a - b) / scale;
+}
+
+/// Check dL/dx of `layer` against central finite differences.
+/// L = sum(layer(x) .* w) with w fixed random. Perturbed evaluations run in
+/// train mode so batch-statistics layers (BatchNorm) match the analytic
+/// path; stochastic layers (dropout with p > 0) must not be checked.
+inline void check_input_gradient(nn::Layer& layer, nn::Tensor x,
+                                 util::Rng& rng, double tol = 0.05,
+                                 float eps = 1e-2f) {
+  const nn::Shape out_shape = layer.out_shape(x.shape());
+  nn::Tensor w = nn::Tensor::uniform(out_shape, -1.0f, 1.0f, rng);
+
+  nn::Tensor y = layer.forward(x, /*train=*/true);
+  nn::Tensor analytic = layer.backward(w);
+
+  std::size_t checked = 0;
+  // Check a bounded number of coordinates to keep tests fast.
+  const std::size_t stride = std::max<std::size_t>(1, x.numel() / 64);
+  for (std::size_t i = 0; i < x.numel(); i += stride) {
+    const float orig = x[i];
+    x[i] = orig + eps;
+    const float lp = weighted_sum(layer.forward(x, /*train=*/true), w);
+    x[i] = orig - eps;
+    const float lm = weighted_sum(layer.forward(x, /*train=*/true), w);
+    x[i] = orig;
+    const double numeric = static_cast<double>(lp - lm) / (2.0 * eps);
+    EXPECT_LT(rel_err(analytic[i], numeric), tol)
+        << "input grad mismatch at " << i << ": analytic " << analytic[i]
+        << " numeric " << numeric << " (" << layer.name() << ")";
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+/// Check dL/dparam for every parameter of `layer` against central
+/// finite differences.
+inline void check_param_gradients(nn::Layer& layer, const nn::Tensor& x,
+                                  util::Rng& rng, double tol = 0.05,
+                                  float eps = 1e-2f) {
+  const nn::Shape out_shape = layer.out_shape(x.shape());
+  nn::Tensor w = nn::Tensor::uniform(out_shape, -1.0f, 1.0f, rng);
+
+  for (auto* p : layer.params()) p->zero_grad();
+  (void)layer.forward(x, /*train=*/true);
+  (void)layer.backward(w);
+
+  for (auto* p : layer.params()) {
+    const std::size_t stride = std::max<std::size_t>(1, p->value.numel() / 32);
+    for (std::size_t i = 0; i < p->value.numel(); i += stride) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const float lp = weighted_sum(layer.forward(x, /*train=*/true), w);
+      p->value[i] = orig - eps;
+      const float lm = weighted_sum(layer.forward(x, /*train=*/true), w);
+      p->value[i] = orig;
+      const double numeric = static_cast<double>(lp - lm) / (2.0 * eps);
+      EXPECT_LT(rel_err(p->grad[i], numeric), tol)
+          << "param '" << p->name << "' grad mismatch at " << i
+          << ": analytic " << p->grad[i] << " numeric " << numeric << " ("
+          << layer.name() << ")";
+    }
+  }
+}
+
+}  // namespace einet::testing
