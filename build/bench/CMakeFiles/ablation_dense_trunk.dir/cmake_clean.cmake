@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dense_trunk.dir/ablation_dense_trunk.cpp.o"
+  "CMakeFiles/ablation_dense_trunk.dir/ablation_dense_trunk.cpp.o.d"
+  "ablation_dense_trunk"
+  "ablation_dense_trunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dense_trunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einet_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/einet_bench_common.dir/bench_common.cpp.o.d"
+  "libeinet_bench_common.a"
+  "libeinet_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einet_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

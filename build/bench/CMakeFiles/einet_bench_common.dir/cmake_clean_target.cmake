@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeinet_bench_common.a"
+)

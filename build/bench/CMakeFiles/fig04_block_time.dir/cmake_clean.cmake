@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_block_time.dir/fig04_block_time.cpp.o"
+  "CMakeFiles/fig04_block_time.dir/fig04_block_time.cpp.o.d"
+  "fig04_block_time"
+  "fig04_block_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_block_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

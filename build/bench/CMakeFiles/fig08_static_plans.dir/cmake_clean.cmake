@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_static_plans.dir/fig08_static_plans.cpp.o"
+  "CMakeFiles/fig08_static_plans.dir/fig08_static_plans.cpp.o.d"
+  "fig08_static_plans"
+  "fig08_static_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_static_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dynamic_plans.dir/fig09_dynamic_plans.cpp.o"
+  "CMakeFiles/fig09_dynamic_plans.dir/fig09_dynamic_plans.cpp.o.d"
+  "fig09_dynamic_plans"
+  "fig09_dynamic_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dynamic_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_common_nns.dir/fig10_common_nns.cpp.o"
+  "CMakeFiles/fig10_common_nns.dir/fig10_common_nns.cpp.o.d"
+  "fig10_common_nns"
+  "fig10_common_nns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_common_nns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_expectation_truth.dir/fig11_expectation_truth.cpp.o"
+  "CMakeFiles/fig11_expectation_truth.dir/fig11_expectation_truth.cpp.o.d"
+  "fig11_expectation_truth"
+  "fig11_expectation_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_expectation_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14a_model_structures.dir/fig14a_model_structures.cpp.o"
+  "CMakeFiles/fig14a_model_structures.dir/fig14a_model_structures.cpp.o.d"
+  "fig14a_model_structures"
+  "fig14a_model_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14a_model_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

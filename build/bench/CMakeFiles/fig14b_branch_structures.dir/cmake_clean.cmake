@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14b_branch_structures.dir/fig14b_branch_structures.cpp.o"
+  "CMakeFiles/fig14b_branch_structures.dir/fig14b_branch_structures.cpp.o.d"
+  "fig14b_branch_structures"
+  "fig14b_branch_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14b_branch_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14b_branch_structures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_search_timing.dir/table1_search_timing.cpp.o"
+  "CMakeFiles/table1_search_timing.dir/table1_search_timing.cpp.o.d"
+  "table1_search_timing"
+  "table1_search_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_search_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_static_optimal.dir/table2_static_optimal.cpp.o"
+  "CMakeFiles/table2_static_optimal.dir/table2_static_optimal.cpp.o.d"
+  "table2_static_optimal"
+  "table2_static_optimal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_static_optimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_activation_cache.dir/table3_activation_cache.cpp.o"
+  "CMakeFiles/table3_activation_cache.dir/table3_activation_cache.cpp.o.d"
+  "table3_activation_cache"
+  "table3_activation_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_activation_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_edge.dir/heterogeneous_edge.cpp.o"
+  "CMakeFiles/heterogeneous_edge.dir/heterogeneous_edge.cpp.o.d"
+  "heterogeneous_edge"
+  "heterogeneous_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/einet_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/einet_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/einet_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/einet_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/einet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/einet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/einet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/einet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

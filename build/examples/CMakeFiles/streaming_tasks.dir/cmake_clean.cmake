@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_tasks.dir/streaming_tasks.cpp.o"
+  "CMakeFiles/streaming_tasks.dir/streaming_tasks.cpp.o.d"
+  "streaming_tasks"
+  "streaming_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vran_preemption.dir/vran_preemption.cpp.o"
+  "CMakeFiles/vran_preemption.dir/vran_preemption.cpp.o.d"
+  "vran_preemption"
+  "vran_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vran_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

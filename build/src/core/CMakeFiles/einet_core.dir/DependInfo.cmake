@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/exit_plan.cpp" "src/core/CMakeFiles/einet_core.dir/exit_plan.cpp.o" "gcc" "src/core/CMakeFiles/einet_core.dir/exit_plan.cpp.o.d"
+  "/root/repo/src/core/expectation.cpp" "src/core/CMakeFiles/einet_core.dir/expectation.cpp.o" "gcc" "src/core/CMakeFiles/einet_core.dir/expectation.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/einet_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/einet_core.dir/search.cpp.o.d"
+  "/root/repo/src/core/time_distribution.cpp" "src/core/CMakeFiles/einet_core.dir/time_distribution.cpp.o" "gcc" "src/core/CMakeFiles/einet_core.dir/time_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/einet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

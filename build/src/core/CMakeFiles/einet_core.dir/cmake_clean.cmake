@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einet_core.dir/exit_plan.cpp.o"
+  "CMakeFiles/einet_core.dir/exit_plan.cpp.o.d"
+  "CMakeFiles/einet_core.dir/expectation.cpp.o"
+  "CMakeFiles/einet_core.dir/expectation.cpp.o.d"
+  "CMakeFiles/einet_core.dir/search.cpp.o"
+  "CMakeFiles/einet_core.dir/search.cpp.o.d"
+  "CMakeFiles/einet_core.dir/time_distribution.cpp.o"
+  "CMakeFiles/einet_core.dir/time_distribution.cpp.o.d"
+  "libeinet_core.a"
+  "libeinet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

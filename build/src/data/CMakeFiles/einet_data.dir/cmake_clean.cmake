@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einet_data.dir/dataset.cpp.o"
+  "CMakeFiles/einet_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/einet_data.dir/synthetic.cpp.o"
+  "CMakeFiles/einet_data.dir/synthetic.cpp.o.d"
+  "libeinet_data.a"
+  "libeinet_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einet_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/backbones.cpp" "src/models/CMakeFiles/einet_models.dir/backbones.cpp.o" "gcc" "src/models/CMakeFiles/einet_models.dir/backbones.cpp.o.d"
+  "/root/repo/src/models/branch.cpp" "src/models/CMakeFiles/einet_models.dir/branch.cpp.o" "gcc" "src/models/CMakeFiles/einet_models.dir/branch.cpp.o.d"
+  "/root/repo/src/models/multiexit.cpp" "src/models/CMakeFiles/einet_models.dir/multiexit.cpp.o" "gcc" "src/models/CMakeFiles/einet_models.dir/multiexit.cpp.o.d"
+  "/root/repo/src/models/trainer.cpp" "src/models/CMakeFiles/einet_models.dir/trainer.cpp.o" "gcc" "src/models/CMakeFiles/einet_models.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/einet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/einet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/einet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

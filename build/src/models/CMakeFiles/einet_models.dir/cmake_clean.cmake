@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einet_models.dir/backbones.cpp.o"
+  "CMakeFiles/einet_models.dir/backbones.cpp.o.d"
+  "CMakeFiles/einet_models.dir/branch.cpp.o"
+  "CMakeFiles/einet_models.dir/branch.cpp.o.d"
+  "CMakeFiles/einet_models.dir/multiexit.cpp.o"
+  "CMakeFiles/einet_models.dir/multiexit.cpp.o.d"
+  "CMakeFiles/einet_models.dir/trainer.cpp.o"
+  "CMakeFiles/einet_models.dir/trainer.cpp.o.d"
+  "libeinet_models.a"
+  "libeinet_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einet_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

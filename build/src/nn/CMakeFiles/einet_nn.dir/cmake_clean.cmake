@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einet_nn.dir/activations.cpp.o"
+  "CMakeFiles/einet_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/einet_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/einet_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/dense.cpp.o"
+  "CMakeFiles/einet_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/elementwise.cpp.o"
+  "CMakeFiles/einet_nn.dir/elementwise.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/linear.cpp.o"
+  "CMakeFiles/einet_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/loss.cpp.o"
+  "CMakeFiles/einet_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/einet_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/pooling.cpp.o"
+  "CMakeFiles/einet_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/sequential.cpp.o"
+  "CMakeFiles/einet_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/serialize.cpp.o"
+  "CMakeFiles/einet_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/softmax.cpp.o"
+  "CMakeFiles/einet_nn.dir/softmax.cpp.o.d"
+  "CMakeFiles/einet_nn.dir/tensor.cpp.o"
+  "CMakeFiles/einet_nn.dir/tensor.cpp.o.d"
+  "libeinet_nn.a"
+  "libeinet_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einet_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

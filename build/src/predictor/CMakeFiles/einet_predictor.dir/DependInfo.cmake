@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/activation_cache.cpp" "src/predictor/CMakeFiles/einet_predictor.dir/activation_cache.cpp.o" "gcc" "src/predictor/CMakeFiles/einet_predictor.dir/activation_cache.cpp.o.d"
+  "/root/repo/src/predictor/cs_predictor.cpp" "src/predictor/CMakeFiles/einet_predictor.dir/cs_predictor.cpp.o" "gcc" "src/predictor/CMakeFiles/einet_predictor.dir/cs_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiling/CMakeFiles/einet_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/einet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/einet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/einet_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/einet_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einet_predictor.dir/activation_cache.cpp.o"
+  "CMakeFiles/einet_predictor.dir/activation_cache.cpp.o.d"
+  "CMakeFiles/einet_predictor.dir/cs_predictor.cpp.o"
+  "CMakeFiles/einet_predictor.dir/cs_predictor.cpp.o.d"
+  "libeinet_predictor.a"
+  "libeinet_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einet_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

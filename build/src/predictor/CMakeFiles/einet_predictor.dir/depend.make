@@ -1,0 +1,2 @@
+# Empty dependencies file for einet_predictor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/calibration.cpp" "src/profiling/CMakeFiles/einet_profiling.dir/calibration.cpp.o" "gcc" "src/profiling/CMakeFiles/einet_profiling.dir/calibration.cpp.o.d"
+  "/root/repo/src/profiling/platform.cpp" "src/profiling/CMakeFiles/einet_profiling.dir/platform.cpp.o" "gcc" "src/profiling/CMakeFiles/einet_profiling.dir/platform.cpp.o.d"
+  "/root/repo/src/profiling/profiler.cpp" "src/profiling/CMakeFiles/einet_profiling.dir/profiler.cpp.o" "gcc" "src/profiling/CMakeFiles/einet_profiling.dir/profiler.cpp.o.d"
+  "/root/repo/src/profiling/profiles.cpp" "src/profiling/CMakeFiles/einet_profiling.dir/profiles.cpp.o" "gcc" "src/profiling/CMakeFiles/einet_profiling.dir/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/einet_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/einet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/einet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/einet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

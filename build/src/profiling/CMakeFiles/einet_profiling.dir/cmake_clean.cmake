@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einet_profiling.dir/calibration.cpp.o"
+  "CMakeFiles/einet_profiling.dir/calibration.cpp.o.d"
+  "CMakeFiles/einet_profiling.dir/platform.cpp.o"
+  "CMakeFiles/einet_profiling.dir/platform.cpp.o.d"
+  "CMakeFiles/einet_profiling.dir/profiler.cpp.o"
+  "CMakeFiles/einet_profiling.dir/profiler.cpp.o.d"
+  "CMakeFiles/einet_profiling.dir/profiles.cpp.o"
+  "CMakeFiles/einet_profiling.dir/profiles.cpp.o.d"
+  "libeinet_profiling.a"
+  "libeinet_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einet_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

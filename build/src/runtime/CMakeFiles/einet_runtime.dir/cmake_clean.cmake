@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einet_runtime.dir/elastic_engine.cpp.o"
+  "CMakeFiles/einet_runtime.dir/elastic_engine.cpp.o.d"
+  "CMakeFiles/einet_runtime.dir/evaluator.cpp.o"
+  "CMakeFiles/einet_runtime.dir/evaluator.cpp.o.d"
+  "CMakeFiles/einet_runtime.dir/live_engine.cpp.o"
+  "CMakeFiles/einet_runtime.dir/live_engine.cpp.o.d"
+  "libeinet_runtime.a"
+  "libeinet_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einet_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/einet_util.dir/logging.cpp.o"
+  "CMakeFiles/einet_util.dir/logging.cpp.o.d"
+  "CMakeFiles/einet_util.dir/stats.cpp.o"
+  "CMakeFiles/einet_util.dir/stats.cpp.o.d"
+  "CMakeFiles/einet_util.dir/table.cpp.o"
+  "CMakeFiles/einet_util.dir/table.cpp.o.d"
+  "libeinet_util.a"
+  "libeinet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/einet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

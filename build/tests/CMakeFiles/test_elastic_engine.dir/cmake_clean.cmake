@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elastic_engine.dir/test_elastic_engine.cpp.o"
+  "CMakeFiles/test_elastic_engine.dir/test_elastic_engine.cpp.o.d"
+  "test_elastic_engine"
+  "test_elastic_engine.pdb"
+  "test_elastic_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elastic_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

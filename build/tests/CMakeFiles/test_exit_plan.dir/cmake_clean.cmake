@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exit_plan.dir/test_exit_plan.cpp.o"
+  "CMakeFiles/test_exit_plan.dir/test_exit_plan.cpp.o.d"
+  "test_exit_plan"
+  "test_exit_plan.pdb"
+  "test_exit_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exit_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiexit.dir/test_multiexit.cpp.o"
+  "CMakeFiles/test_multiexit.dir/test_multiexit.cpp.o.d"
+  "test_multiexit"
+  "test_multiexit.pdb"
+  "test_multiexit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiexit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

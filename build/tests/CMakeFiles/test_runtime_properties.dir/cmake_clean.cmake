@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_properties.dir/test_runtime_properties.cpp.o"
+  "CMakeFiles/test_runtime_properties.dir/test_runtime_properties.cpp.o.d"
+  "test_runtime_properties"
+  "test_runtime_properties.pdb"
+  "test_runtime_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_loss_optim[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_exit_plan[1]_include.cmake")
+include("/root/repo/build/tests/test_time_distribution[1]_include.cmake")
+include("/root/repo/build/tests/test_expectation[1]_include.cmake")
+include("/root/repo/build/tests/test_search[1]_include.cmake")
+include("/root/repo/build/tests/test_profiles[1]_include.cmake")
+include("/root/repo/build/tests/test_multiexit[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_elastic_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_evaluator[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
