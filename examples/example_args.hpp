@@ -1,0 +1,37 @@
+// Shared argv parsing for the example binaries: positional size_t arguments
+// with defaults, strict validation (no strtoul silently mapping garbage or
+// "0" to a degenerate run), and a uniform usage message on bad input.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace einet::examples {
+
+struct ArgParser {
+  int argc;
+  char** argv;
+  std::string usage;  // e.g. "streaming_tasks [num_tasks] [train] [epochs]"
+
+  /// Positional argument `index` (1-based) as a positive integer; falls back
+  /// to `def` when absent. Rejects non-numeric input, trailing garbage,
+  /// overflow and zero with the usage message and exits.
+  [[nodiscard]] std::size_t positive(int index, std::size_t def,
+                                     const char* name) const {
+    if (index >= argc) return def;
+    const char* text = argv[index];
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || value == 0) {
+      std::cerr << "error: <" << name << "> must be a positive integer, got '"
+                << text << "'\nusage: " << usage << "\n";
+      std::exit(EXIT_FAILURE);
+    }
+    return static_cast<std::size_t>(value);
+  }
+};
+
+}  // namespace einet::examples

@@ -7,17 +7,19 @@
 // Usage: plan_explorer [n_exits] [plan_bits ...]
 //   plan_explorer 8                 -> searches only
 //   plan_explorer 8 10101010 11111111 -> also scores the given plans
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "core/search.hpp"
+#include "example_args.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace einet;
-  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
-  if (n == 0 || n > 64) {
+  const examples::ArgParser args{argc, argv,
+                                 "plan_explorer [n_exits] [plan_bits ...]"};
+  const std::size_t n = args.positive(1, 12, "n_exits");
+  if (n > 64) {
     std::cerr << "n_exits must be in [1, 64]\n";
     return 1;
   }

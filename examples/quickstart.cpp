@@ -7,10 +7,10 @@
 //      EINet's hybrid-search planner against the paper's static baselines.
 //
 // Usage: quickstart [train_samples] [epochs]
-#include <cstdlib>
 #include <iostream>
 
 #include "data/synthetic.hpp"
+#include "example_args.hpp"
 #include "models/backbones.hpp"
 #include "models/trainer.hpp"
 #include "predictor/cs_predictor.hpp"
@@ -22,9 +22,10 @@
 
 int main(int argc, char** argv) {
   using namespace einet;
-  const std::size_t train_samples =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 600;
-  const std::size_t epochs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  const examples::ArgParser args{argc, argv,
+                                 "quickstart [train_samples] [epochs]"};
+  const std::size_t train_samples = args.positive(1, 600, "train_samples");
+  const std::size_t epochs = args.positive(2, 8, "epochs");
 
   std::cout << "== EINet quickstart ==\n";
   util::Timer total;

@@ -6,10 +6,10 @@
 // metric an edge operator cares about.
 //
 // Usage: streaming_tasks [num_tasks] [train_samples] [epochs]
-#include <cstdlib>
 #include <iostream>
 
 #include "data/synthetic.hpp"
+#include "example_args.hpp"
 #include "models/backbones.hpp"
 #include "models/trainer.hpp"
 #include "predictor/cs_predictor.hpp"
@@ -21,12 +21,11 @@
 
 int main(int argc, char** argv) {
   using namespace einet;
-  const std::size_t num_tasks =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3000;
-  const std::size_t train_samples =
-      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 800;
-  const std::size_t epochs =
-      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 10;
+  const examples::ArgParser args{
+      argc, argv, "streaming_tasks [num_tasks] [train_samples] [epochs]"};
+  const std::size_t num_tasks = args.positive(1, 3000, "num_tasks");
+  const std::size_t train_samples = args.positive(2, 800, "train_samples");
+  const std::size_t epochs = args.positive(3, 10, "epochs");
 
   std::cout << "== streaming task queue under bursty preemption ==\n";
 

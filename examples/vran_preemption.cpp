@@ -10,10 +10,10 @@
 //   * EINet planning against the measured preemption trace.
 //
 // Usage: vran_preemption [train_samples] [epochs]
-#include <cstdlib>
 #include <iostream>
 
 #include "data/synthetic.hpp"
+#include "example_args.hpp"
 #include "models/backbones.hpp"
 #include "models/trainer.hpp"
 #include "predictor/cs_predictor.hpp"
@@ -49,10 +49,10 @@ std::vector<double> synth_vran_trace(double horizon_ms, std::size_t events,
 
 int main(int argc, char** argv) {
   using namespace einet;
-  const std::size_t train_samples =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 800;
-  const std::size_t epochs =
-      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10;
+  const examples::ArgParser args{argc, argv,
+                                 "vran_preemption [train_samples] [epochs]"};
+  const std::size_t train_samples = args.positive(1, 800, "train_samples");
+  const std::size_t epochs = args.positive(2, 10, "epochs");
 
   std::cout << "== 5G vRAN preemption scenario ==\n";
 

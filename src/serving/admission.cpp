@@ -1,0 +1,22 @@
+#include "serving/admission.hpp"
+
+#include <stdexcept>
+
+namespace einet::serving {
+
+AdmissionController::AdmissionController(const profiling::ETProfile& et,
+                                         AdmissionConfig config) {
+  et.validate();
+  if (et.num_blocks() == 0)
+    throw std::invalid_argument{"AdmissionController: empty ET-profile"};
+  if (config.slack < 1.0)
+    throw std::invalid_argument{"AdmissionController: slack must be >= 1"};
+  first_exit_ms_ = et.conv_ms.front() + et.branch_ms.front();
+  threshold_ms_ = first_exit_ms_ * config.slack;
+}
+
+bool AdmissionController::admit(double deadline_ms) const {
+  return deadline_ms >= threshold_ms_;
+}
+
+}  // namespace einet::serving

@@ -1,0 +1,40 @@
+// Deadline-feasibility admission control.
+//
+// A task whose sampled preemption budget is shorter than the time to reach
+// the model's *first* exit can never produce a result — running it only
+// burns a worker slot that a feasible task could have used. The controller
+// derives that floor from the ET-profile (first conv part + first branch)
+// and sheds infeasible tasks before they are queued. `slack` scales the
+// floor: > 1 sheds more aggressively (reserving headroom for queue wait),
+// < 1 is not meaningful and is rejected.
+#pragma once
+
+#include "profiling/profiles.hpp"
+
+namespace einet::serving {
+
+struct AdmissionConfig {
+  /// Multiplier on the first-exit latency floor (>= 1).
+  double slack = 1.0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const profiling::ETProfile& et,
+                               AdmissionConfig config = {});
+
+  /// True if a task with this budget can possibly produce a result.
+  [[nodiscard]] bool admit(double deadline_ms) const;
+
+  /// Simulated latency of the soonest possible result (Tc[0] + Tb[0]).
+  [[nodiscard]] double first_exit_ms() const { return first_exit_ms_; }
+
+  /// The effective threshold deadlines are compared against.
+  [[nodiscard]] double threshold_ms() const { return threshold_ms_; }
+
+ private:
+  double first_exit_ms_;
+  double threshold_ms_;
+};
+
+}  // namespace einet::serving

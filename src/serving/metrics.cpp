@@ -1,0 +1,89 @@
+#include "serving/metrics.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace einet::serving {
+
+double MetricsSnapshot::valid_rate() const {
+  return completed == 0 ? 0.0
+                        : static_cast<double>(valid) /
+                              static_cast<double>(completed);
+}
+
+double MetricsSnapshot::accuracy() const {
+  return completed == 0 ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(completed);
+}
+
+std::string MetricsSnapshot::to_string() const {
+  std::ostringstream out;
+  util::Table counters{{"submitted", "admitted", "shed", "rejected",
+                        "completed", "valid rate", "accuracy"}};
+  counters.add_row({std::to_string(submitted), std::to_string(admitted),
+                    std::to_string(shed), std::to_string(rejected),
+                    std::to_string(completed),
+                    util::Table::pct(100.0 * valid_rate()),
+                    util::Table::pct(100.0 * accuracy())});
+  out << counters.str();
+
+  util::Table lat{{"latency", "count", "mean ms", "p50 ms", "p95 ms",
+                   "p99 ms", "max ms"}};
+  const auto row = [&](const char* name, const LatencySummary& s) {
+    lat.add_row({name, std::to_string(s.stats.count()),
+                 util::Table::num(s.stats.mean(), 3),
+                 util::Table::num(s.p50_ms, 3), util::Table::num(s.p95_ms, 3),
+                 util::Table::num(s.p99_ms, 3),
+                 util::Table::num(s.stats.max(), 3)});
+  };
+  row("queue wait", queue_wait);
+  row("end-to-end", end_to_end);
+  out << lat.str();
+  return out.str();
+}
+
+MetricsRegistry::MetricsRegistry(MetricsConfig config)
+    : config_(config), queue_wait_(config_), end_to_end_(config_) {}
+
+void MetricsRegistry::on_completed(const TaskResult& result) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (result.outcome.has_result) {
+    valid_.fetch_add(1, std::memory_order_relaxed);
+    if (result.outcome.correct)
+      correct_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard lock{latency_mu_};
+  queue_wait_.add(result.queue_wait_ms);
+  end_to_end_.add(result.end_to_end_ms);
+}
+
+LatencySummary MetricsRegistry::summarize(
+    const LatencyTrack& track) {
+  LatencySummary s;
+  s.stats = track.stats;
+  if (!track.samples.empty()) {
+    s.p50_ms = util::percentile(track.samples, 50.0);
+    s.p95_ms = util::percentile(track.samples, 95.0);
+    s.p99_ms = util::percentile(track.samples, 99.0);
+  }
+  return s;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.admitted = admitted_.load(std::memory_order_relaxed);
+  snap.shed = shed_.load(std::memory_order_relaxed);
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.completed = completed_.load(std::memory_order_relaxed);
+  snap.valid = valid_.load(std::memory_order_relaxed);
+  snap.correct = correct_.load(std::memory_order_relaxed);
+  std::lock_guard lock{latency_mu_};
+  snap.queue_wait = summarize(queue_wait_);
+  snap.end_to_end = summarize(end_to_end_);
+  return snap;
+}
+
+}  // namespace einet::serving

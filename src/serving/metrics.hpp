@@ -1,0 +1,105 @@
+// Serving-side observability: lock-free counters for the task lifecycle and
+// mutex-guarded latency accumulators (util::RunningStats + util::Histogram +
+// raw samples for exact percentiles).
+//
+// Lifecycle accounting invariants (asserted by tests):
+//   submitted == admitted + shed + rejected        (every submit is decided)
+//   admitted  == completed                          (after a graceful drain)
+//   valid <= completed, correct <= valid            (result quality funnel)
+// Counters are relaxed atomics — each event touches exactly one counter, and
+// cross-counter invariants are only read after the pool has quiesced.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serving/task.hpp"
+#include "util/stats.hpp"
+
+namespace einet::serving {
+
+struct MetricsConfig {
+  /// Upper edge of the latency histograms (ms); samples beyond are clamped
+  /// into the last bin per util::Histogram semantics.
+  double latency_hist_hi_ms = 50.0;
+  std::size_t latency_hist_bins = 32;
+};
+
+/// One latency dimension (queue wait, end-to-end, ...) frozen at snapshot
+/// time: summary stats plus exact interpolated percentiles.
+struct LatencySummary {
+  util::RunningStats stats;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;      // dropped by admission control
+  std::uint64_t rejected = 0;  // dropped on queue overflow
+  std::uint64_t completed = 0;
+  std::uint64_t valid = 0;    // completed with at least one result
+  std::uint64_t correct = 0;  // completed with a correct result
+
+  /// valid / completed (0 when nothing completed).
+  [[nodiscard]] double valid_rate() const;
+  /// correct / completed — the serving-level aggregate accuracy.
+  [[nodiscard]] double accuracy() const;
+
+  LatencySummary queue_wait;
+  LatencySummary end_to_end;
+
+  /// Human-readable dump (counter table + latency rows).
+  [[nodiscard]] std::string to_string() const;
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(MetricsConfig config = {});
+
+  void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_admitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Record a finished task (counters + latency accumulators).
+  void on_completed(const TaskResult& result);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  MetricsConfig config_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> valid_{0};
+  std::atomic<std::uint64_t> correct_{0};
+
+  struct LatencyTrack {
+    util::RunningStats stats;
+    util::Histogram hist;
+    std::vector<double> samples;  // kept for exact percentiles
+
+    explicit LatencyTrack(const MetricsConfig& c)
+        : hist(0.0, c.latency_hist_hi_ms, c.latency_hist_bins) {}
+    void add(double x) {
+      stats.add(x);
+      hist.add(x);
+      samples.push_back(x);
+    }
+  };
+  [[nodiscard]] static LatencySummary summarize(const LatencyTrack& track);
+
+  mutable std::mutex latency_mu_;
+  LatencyTrack queue_wait_;
+  LatencyTrack end_to_end_;
+};
+
+}  // namespace einet::serving

@@ -1,0 +1,41 @@
+#include "serving/replicate.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "nn/serialize.hpp"
+
+namespace einet::serving {
+
+std::unique_ptr<predictor::CSPredictor> clone_predictor(
+    predictor::CSPredictor& source) {
+  auto clone = std::make_unique<predictor::CSPredictor>(source.num_exits(),
+                                                        source.config());
+  std::stringstream buffer;
+  nn::save_params(buffer, source.params());
+  nn::load_params(buffer, clone->params());
+  return clone;
+}
+
+EngineFactory make_replicated_engine_factory(
+    const profiling::ETProfile& et, predictor::CSPredictor* predictor,
+    const runtime::ElasticConfig& config,
+    std::vector<float> fallback_confidence) {
+  // The clones must outlive the engines that point at them; parking them in
+  // a shared_ptr owned by the factory closure ties their lifetime to the
+  // WorkerPool that copied the factory.
+  auto clones =
+      std::make_shared<std::vector<std::unique_ptr<predictor::CSPredictor>>>();
+  return [&et, predictor, config, clones,
+          fallback = std::move(fallback_confidence)](std::size_t) {
+    predictor::CSPredictor* replica = nullptr;
+    if (predictor != nullptr) {
+      clones->push_back(clone_predictor(*predictor));
+      replica = clones->back().get();
+    }
+    return std::make_unique<runtime::ElasticEngine>(et, replica, config,
+                                                    fallback);
+  };
+}
+
+}  // namespace einet::serving

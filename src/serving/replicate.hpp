@@ -1,0 +1,38 @@
+// Per-worker engine replication.
+//
+// The serving determinism contract requires every worker to plan with
+// identical predictor weights while no two workers share mutable nn state
+// (forward passes cache activations inside the layers). clone_predictor
+// deep-copies a trained CS-Predictor through an in-memory weight
+// round-trip; make_replicated_engine_factory packages that into the
+// WorkerPool's EngineFactory, keeping each clone alive for as long as the
+// factory (and therefore the pool that copied it) lives.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "predictor/cs_predictor.hpp"
+#include "serving/worker_pool.hpp"
+
+namespace einet::serving {
+
+/// Deep-copy a trained CS-Predictor (same architecture, identical weights).
+/// `source` is non-const only because parameter access is non-const; it is
+/// not modified.
+[[nodiscard]] std::unique_ptr<predictor::CSPredictor> clone_predictor(
+    predictor::CSPredictor& source);
+
+/// EngineFactory producing one ElasticEngine replica per worker, each backed
+/// by a private clone of `predictor`. Pass predictor == nullptr for
+/// predictor-less strategies (static plans, threshold, fallback planning) —
+/// then `fallback_confidence` is forwarded to every replica. `config` may
+/// reference a shared ConfidenceCalibrator; calibration is const and
+/// thread-safe. `et` and `predictor` must outlive the factory's last call;
+/// the clones outlive the engines automatically.
+[[nodiscard]] EngineFactory make_replicated_engine_factory(
+    const profiling::ETProfile& et, predictor::CSPredictor* predictor,
+    const runtime::ElasticConfig& config,
+    std::vector<float> fallback_confidence = {});
+
+}  // namespace einet::serving

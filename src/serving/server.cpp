@@ -1,0 +1,54 @@
+#include "serving/server.hpp"
+
+namespace einet::serving {
+
+EdgeServer::EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
+                       TaskRunner runner, ServerConfig config)
+    : metrics_(config.metrics),
+      admission_(et, config.admission),
+      queue_(config.queue_capacity, config.overflow),
+      pool_(queue_, metrics_, clock_, std::move(factory), std::move(runner),
+            config.pool) {
+  pool_.start();
+}
+
+EdgeServer::~EdgeServer() { shutdown(); }
+
+SubmitStatus EdgeServer::submit(const profiling::CSRecord& record,
+                                double deadline_ms) {
+  metrics_.on_submitted();
+  if (!admission_.admit(deadline_ms)) {
+    metrics_.on_shed();
+    return SubmitStatus::kShed;
+  }
+  Task task;
+  task.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  task.record = &record;
+  task.deadline_ms = deadline_ms;
+  task.submit_ms = clock_.elapsed_ms();
+  switch (queue_.push(task)) {
+    case PushResult::kAccepted:
+      metrics_.on_admitted();
+      return SubmitStatus::kQueued;
+    case PushResult::kRejected:
+      metrics_.on_rejected();
+      return SubmitStatus::kRejected;
+    case PushResult::kClosed:
+      // Post-shutdown submits count as rejected so the lifecycle identity
+      // submitted == admitted + shed + rejected keeps holding.
+      metrics_.on_rejected();
+      return SubmitStatus::kClosed;
+  }
+  return SubmitStatus::kClosed;  // unreachable
+}
+
+void EdgeServer::shutdown() {
+  if (shut_down_.exchange(true)) {
+    pool_.join();  // idempotent; a concurrent first call may still be joining
+    return;
+  }
+  queue_.close();
+  pool_.join();
+}
+
+}  // namespace einet::serving

@@ -1,0 +1,79 @@
+// EdgeServer — the facade wiring the serving pipeline together:
+//
+//   submit() ── AdmissionController ──> TaskQueue ──> WorkerPool ──┐
+//        │            │ shed                │ reject      │        │
+//        └────────────┴─────────────────────┴──> MetricsRegistry <─┘
+//
+// Producers call submit() with a replay record and a sampled preemption
+// budget; infeasible tasks are shed up front, feasible ones are queued
+// (rejected on overflow under OverflowPolicy::kReject) and executed by the
+// worker pool. shutdown() closes the queue and joins the workers, draining
+// every accepted task — after it returns, metrics satisfy
+// admitted == completed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "serving/admission.hpp"
+#include "serving/metrics.hpp"
+#include "serving/task_queue.hpp"
+#include "serving/worker_pool.hpp"
+
+namespace einet::serving {
+
+struct ServerConfig {
+  std::size_t queue_capacity = 256;
+  /// kReject sheds load on overflow (open-loop serving, the default);
+  /// kBlock applies backpressure to the producer instead.
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+  AdmissionConfig admission;
+  WorkerPoolConfig pool;
+  MetricsConfig metrics;
+};
+
+enum class SubmitStatus {
+  kQueued,    // accepted, will be executed
+  kShed,      // dropped by admission control (infeasible deadline)
+  kRejected,  // dropped on queue overflow
+  kClosed,    // server already shut down
+};
+
+class EdgeServer {
+ public:
+  EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
+             TaskRunner runner, ServerConfig config = {});
+  ~EdgeServer();
+
+  EdgeServer(const EdgeServer&) = delete;
+  EdgeServer& operator=(const EdgeServer&) = delete;
+
+  /// Offer one task. `record` must outlive the server's shutdown.
+  SubmitStatus submit(const profiling::CSRecord& record, double deadline_ms);
+
+  /// Close the queue and join the workers (idempotent). Every task accepted
+  /// before the call is executed.
+  void shutdown();
+
+  [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  [[nodiscard]] const AdmissionController& admission() const {
+    return admission_;
+  }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t num_workers() const {
+    return pool_.num_workers();
+  }
+  /// Wall-clock ms since server construction (the latency epoch).
+  [[nodiscard]] double uptime_ms() const { return clock_.elapsed_ms(); }
+
+ private:
+  util::Timer clock_;
+  MetricsRegistry metrics_;
+  AdmissionController admission_;
+  BoundedQueue<Task> queue_;
+  WorkerPool pool_;
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace einet::serving

@@ -1,0 +1,37 @@
+// Units of work flowing through the serving runtime (see DESIGN.md §5).
+//
+// A Task is one inference request: a pointer into the CS-profile being
+// replayed (the profile outlives the server) plus the simulated preemption
+// budget the request must beat. Wall-clock stamps are attached at submit /
+// dequeue / completion so the MetricsRegistry can report queue-wait and
+// end-to-end latency separately from the simulated inference clock.
+#pragma once
+
+#include <cstdint>
+
+#include "profiling/profiles.hpp"
+#include "runtime/elastic_engine.hpp"
+
+namespace einet::serving {
+
+struct Task {
+  std::uint64_t id = 0;
+  /// Replay record driving the inference; not owned, must outlive the server.
+  const profiling::CSRecord* record = nullptr;
+  /// Simulated time budget until the unpredictable forced exit.
+  double deadline_ms = 0.0;
+  /// Wall-clock submit instant (ms since server start), for queue-wait.
+  double submit_ms = 0.0;
+};
+
+struct TaskResult {
+  std::uint64_t id = 0;
+  std::size_t worker_id = 0;
+  runtime::InferenceOutcome outcome;
+  /// Wall-clock time the task spent queued before a worker picked it up.
+  double queue_wait_ms = 0.0;
+  /// Wall-clock time from submit to completion (queue wait + processing).
+  double end_to_end_ms = 0.0;
+};
+
+}  // namespace einet::serving

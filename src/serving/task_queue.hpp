@@ -1,0 +1,110 @@
+// Bounded lock-based MPMC queue with shutdown semantics — the admission
+// buffer between the open-loop arrival process and the worker pool.
+//
+// Push behaviour on a full queue is configurable: kBlock parks the producer
+// until a consumer frees a slot (closed-loop backpressure), kReject returns
+// immediately so the caller can count a load-shed (open-loop serving, the
+// edge-server default). close() wakes everyone: blocked producers give up
+// with kClosed, consumers drain the remaining items and then see nullopt —
+// so a graceful shutdown never drops accepted work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace einet::serving {
+
+enum class OverflowPolicy {
+  kBlock,   // push waits for space
+  kReject,  // push returns kRejected when full
+};
+
+enum class PushResult {
+  kAccepted,
+  kRejected,  // queue full under OverflowPolicy::kReject
+  kClosed,    // queue closed before the item could be accepted
+};
+
+/// Bounded FIFO shared by producers and the worker pool. All operations are
+/// thread-safe; ordering is FIFO per the underlying deque (hand-off order
+/// between concurrent consumers is scheduler-dependent, as usual).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity,
+                        OverflowPolicy policy = OverflowPolicy::kBlock)
+      : capacity_(capacity), policy_(policy) {
+    if (capacity_ == 0)
+      throw std::invalid_argument{"BoundedQueue: capacity must be > 0"};
+  }
+
+  /// Enqueue one item (see OverflowPolicy for the full-queue behaviour).
+  PushResult push(T item) {
+    std::unique_lock lock{mu_};
+    if (policy_ == OverflowPolicy::kReject) {
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kRejected;
+    } else {
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return PushResult::kClosed;
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  /// Dequeue one item; blocks while the queue is empty and open. Returns
+  /// nullopt only once the queue is closed *and* fully drained.
+  std::optional<T> pop() {
+    std::unique_lock lock{mu_};
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Close the queue: subsequent pushes fail with kClosed, blocked producers
+  /// and consumers wake up, already-accepted items remain poppable.
+  void close() {
+    {
+      std::lock_guard lock{mu_};
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock{mu_};
+    return items_.size();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock{mu_};
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] OverflowPolicy policy() const { return policy_; }
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace einet::serving

@@ -1,0 +1,75 @@
+#include "serving/worker_pool.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace einet::serving {
+
+WorkerPool::WorkerPool(BoundedQueue<Task>& queue, MetricsRegistry& metrics,
+                       const util::Timer& clock, EngineFactory factory,
+                       TaskRunner runner, WorkerPoolConfig config)
+    : queue_(queue),
+      metrics_(metrics),
+      clock_(clock),
+      factory_(std::move(factory)),
+      runner_(std::move(runner)),
+      config_(config) {
+  if (config_.num_workers == 0)
+    throw std::invalid_argument{"WorkerPool: num_workers must be > 0"};
+  if (!factory_ || !runner_)
+    throw std::invalid_argument{"WorkerPool: factory and runner required"};
+}
+
+WorkerPool::~WorkerPool() {
+  if (!threads_.empty()) {
+    queue_.close();
+    join();
+  }
+}
+
+void WorkerPool::start() {
+  if (!threads_.empty()) throw std::logic_error{"WorkerPool: already started"};
+  engines_.reserve(config_.num_workers);
+  rngs_.reserve(config_.num_workers);
+  util::Rng seeder{config_.seed};
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    engines_.push_back(factory_(w));
+    if (engines_.back() == nullptr)
+      throw std::runtime_error{"WorkerPool: factory returned null engine"};
+    rngs_.push_back(seeder.split());
+  }
+  threads_.reserve(config_.num_workers);
+  for (std::size_t w = 0; w < config_.num_workers; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+void WorkerPool::join() {
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+}
+
+void WorkerPool::worker_loop(std::size_t worker_id) {
+  auto& engine = *engines_[worker_id];
+  auto& rng = rngs_[worker_id];
+  while (auto task = queue_.pop()) {
+    TaskResult result;
+    result.id = task->id;
+    result.worker_id = worker_id;
+    result.queue_wait_ms = clock_.elapsed_ms() - task->submit_ms;
+    try {
+      result.outcome = runner_(engine, *task, rng);
+    } catch (const std::exception& e) {
+      // A failed task still completes (with no result) so the lifecycle
+      // accounting stays consistent: admitted == completed after drain.
+      EINET_LOG(Warn) << "worker " << worker_id << ": task " << task->id
+                      << " failed: " << e.what();
+      result.outcome = runtime::InferenceOutcome{};
+    }
+    result.end_to_end_ms = clock_.elapsed_ms() - task->submit_ms;
+    metrics_.on_completed(result);
+  }
+}
+
+}  // namespace einet::serving

@@ -1,0 +1,83 @@
+// Concurrent task execution: N worker threads drain the shared TaskQueue,
+// each through its *own* runtime::ElasticEngine replica.
+//
+// Why replicas instead of one shared engine: ElasticEngine::run drives a
+// CS-Predictor forward pass, and the nn substrate caches activations inside
+// the layers during forward — a shared engine would race. Replicating the
+// (small) predictor MLP per worker makes every task's outcome a pure
+// function of (record, deadline, engine config), so the *aggregate* results
+// of a task stream are identical for any worker count and any interleaving;
+// only wall-clock throughput changes. Each worker also owns a deterministic
+// util::Rng stream (split off the pool seed in worker order) so any
+// stochastic policy a TaskRunner adds stays reproducible for a fixed worker
+// count.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/elastic_engine.hpp"
+#include "serving/metrics.hpp"
+#include "serving/task.hpp"
+#include "serving/task_queue.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace einet::serving {
+
+/// Builds one worker's private engine replica. Called sequentially from
+/// start(), once per worker, before any worker thread launches.
+using EngineFactory =
+    std::function<std::unique_ptr<runtime::ElasticEngine>(std::size_t)>;
+
+/// Strategy hook: execute one task on the worker's engine (e.g. engine.run
+/// with a planning distribution, or run_static with a fixed plan). The Rng
+/// is the worker's private stream.
+using TaskRunner = std::function<runtime::InferenceOutcome(
+    runtime::ElasticEngine&, const Task&, util::Rng&)>;
+
+struct WorkerPoolConfig {
+  std::size_t num_workers = 1;
+  /// Base seed; per-worker streams are split off it in worker order.
+  std::uint64_t seed = 0x5EED;
+};
+
+class WorkerPool {
+ public:
+  /// `queue`, `metrics` and `clock` must outlive the pool. `clock` is the
+  /// server's epoch timer used to stamp queue-wait / end-to-end latencies.
+  WorkerPool(BoundedQueue<Task>& queue, MetricsRegistry& metrics,
+             const util::Timer& clock, EngineFactory factory,
+             TaskRunner runner, WorkerPoolConfig config);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Build every worker's engine and launch the worker threads.
+  void start();
+
+  /// Wait for all workers to finish. Returns only after the queue has been
+  /// closed *and* drained — close the queue first for a graceful shutdown.
+  void join();
+
+  [[nodiscard]] std::size_t num_workers() const { return config_.num_workers; }
+  [[nodiscard]] bool started() const { return !threads_.empty(); }
+
+ private:
+  void worker_loop(std::size_t worker_id);
+
+  BoundedQueue<Task>& queue_;
+  MetricsRegistry& metrics_;
+  const util::Timer& clock_;
+  EngineFactory factory_;
+  TaskRunner runner_;
+  WorkerPoolConfig config_;
+  std::vector<std::unique_ptr<runtime::ElasticEngine>> engines_;
+  std::vector<util::Rng> rngs_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace einet::serving

@@ -34,6 +34,24 @@ class RunningStats {
     max_ = (n_ == 1) ? x : std::max(max_, x);
   }
 
+  /// Fold another accumulator into this one (Chan et al. parallel update);
+  /// the result matches feeding both sample streams into one accumulator.
+  void merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+  }
+
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return mean_; }
   [[nodiscard]] double variance() const {

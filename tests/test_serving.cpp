@@ -1,0 +1,394 @@
+// Serving-subsystem suite: queue semantics under contention, admission
+// decisions, metrics lifecycle consistency, graceful shutdown with in-flight
+// tasks, predictor replication, and worker-count invariance of aggregate
+// results (the determinism contract from DESIGN.md §5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/time_distribution.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "serving/admission.hpp"
+#include "serving/metrics.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "serving/task_queue.hpp"
+#include "util/rng.hpp"
+
+namespace einet::serving {
+namespace {
+
+// ---------------------------------------------------------------- fixtures
+
+profiling::ETProfile tiny_et() {
+  profiling::ETProfile et;
+  et.model_name = "tiny";
+  et.platform_name = "test";
+  et.conv_ms = {1.0, 1.0, 1.0, 1.0};
+  et.branch_ms = {0.5, 0.5, 0.5, 0.5};
+  return et;
+}
+
+profiling::CSProfile tiny_cs(std::size_t records, std::uint64_t seed = 7) {
+  profiling::CSProfile cs;
+  cs.model_name = "tiny";
+  cs.dataset_name = "synthetic";
+  cs.num_exits = 4;
+  util::Rng rng{seed};
+  for (std::size_t r = 0; r < records; ++r) {
+    profiling::CSRecord rec;
+    float conf = rng.uniform_f(0.2f, 0.5f);
+    for (std::size_t e = 0; e < cs.num_exits; ++e) {
+      conf = std::min(1.0f, conf + rng.uniform_f(0.0f, 0.2f));
+      rec.confidence.push_back(conf);
+      rec.correct.push_back(rng.bernoulli(conf) ? 1 : 0);
+    }
+    rec.label = r % 10;
+    cs.records.push_back(std::move(rec));
+  }
+  cs.validate();
+  return cs;
+}
+
+/// A predictor-less EINet runner planning from fallback confidences.
+TaskRunner einet_runner(const core::TimeDistribution& dist) {
+  return [&dist](runtime::ElasticEngine& engine, const Task& task,
+                 util::Rng&) {
+    return engine.run(*task.record, task.deadline_ms, dist);
+  };
+}
+
+// -------------------------------------------------------------- TaskQueue
+
+TEST(TaskQueue, FifoSingleThread) {
+  BoundedQueue<int> q{8};
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.push(i), PushResult::kAccepted);
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop(), i);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(TaskQueue, RejectsWhenFullUnderRejectPolicy) {
+  BoundedQueue<int> q{2, OverflowPolicy::kReject};
+  EXPECT_EQ(q.push(1), PushResult::kAccepted);
+  EXPECT_EQ(q.push(2), PushResult::kAccepted);
+  EXPECT_EQ(q.push(3), PushResult::kRejected);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.push(3), PushResult::kAccepted);
+}
+
+TEST(TaskQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+TEST(TaskQueue, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> q{1, OverflowPolicy::kBlock};
+  EXPECT_EQ(q.push(1), PushResult::kAccepted);
+  std::thread producer{[&] { EXPECT_EQ(q.push(2), PushResult::kAccepted); }};
+  // The producer is blocked until this pop frees the slot.
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  producer.join();
+}
+
+TEST(TaskQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q{4};
+  std::thread consumer{[&] { EXPECT_EQ(q.pop(), std::nullopt); }};
+  q.close();
+  consumer.join();
+}
+
+TEST(TaskQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q{1, OverflowPolicy::kBlock};
+  EXPECT_EQ(q.push(1), PushResult::kAccepted);
+  std::thread producer{[&] { EXPECT_EQ(q.push(2), PushResult::kClosed); }};
+  q.close();
+  producer.join();
+}
+
+TEST(TaskQueue, CloseDrainsAcceptedItemsThenEnds) {
+  BoundedQueue<int> q{8};
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(q.push(i), PushResult::kAccepted);
+  q.close();
+  EXPECT_EQ(q.push(9), PushResult::kClosed);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(q.pop(), i);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(TaskQueue, MpmcContentionDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q{8, OverflowPolicy::kBlock};
+
+  std::vector<std::vector<int>> received(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&, c] {
+      while (auto v = q.pop()) received[c].push_back(*v);
+    });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        ASSERT_EQ(q.push(p * kPerProducer + i), PushResult::kAccepted);
+    });
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  std::vector<int> all;
+  for (const auto& r : received) all.insert(all.end(), r.begin(), r.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) EXPECT_EQ(all[i], i);
+}
+
+// -------------------------------------------------------------- Admission
+
+TEST(Admission, FirstExitFloorFromProfile) {
+  const AdmissionController adm{tiny_et()};
+  EXPECT_DOUBLE_EQ(adm.first_exit_ms(), 1.5);
+  EXPECT_TRUE(adm.admit(1.5));
+  EXPECT_TRUE(adm.admit(10.0));
+  EXPECT_FALSE(adm.admit(1.49));
+  EXPECT_FALSE(adm.admit(0.0));
+}
+
+TEST(Admission, SlackScalesTheThreshold) {
+  const AdmissionController adm{tiny_et(), {.slack = 2.0}};
+  EXPECT_DOUBLE_EQ(adm.threshold_ms(), 3.0);
+  EXPECT_FALSE(adm.admit(2.9));
+  EXPECT_TRUE(adm.admit(3.0));
+}
+
+TEST(Admission, RejectsSubUnitSlack) {
+  EXPECT_THROW(AdmissionController(tiny_et(), {.slack = 0.5}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(Metrics, LifecycleCountersAndRates) {
+  MetricsRegistry m;
+  for (int i = 0; i < 10; ++i) m.on_submitted();
+  for (int i = 0; i < 6; ++i) m.on_admitted();
+  for (int i = 0; i < 3; ++i) m.on_shed();
+  m.on_rejected();
+
+  TaskResult ok;
+  ok.outcome.has_result = true;
+  ok.outcome.correct = true;
+  ok.queue_wait_ms = 1.0;
+  ok.end_to_end_ms = 2.0;
+  TaskResult wrong;
+  wrong.outcome.has_result = true;
+  wrong.outcome.correct = false;
+  TaskResult empty;  // no result before the deadline
+  m.on_completed(ok);
+  m.on_completed(wrong);
+  m.on_completed(empty);
+
+  const auto snap = m.snapshot();
+  EXPECT_EQ(snap.submitted, 10u);
+  EXPECT_EQ(snap.admitted, 6u);
+  EXPECT_EQ(snap.shed, 3u);
+  EXPECT_EQ(snap.rejected, 1u);
+  EXPECT_EQ(snap.completed, 3u);
+  EXPECT_EQ(snap.valid, 2u);
+  EXPECT_EQ(snap.correct, 1u);
+  EXPECT_DOUBLE_EQ(snap.valid_rate(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(snap.accuracy(), 1.0 / 3.0);
+  EXPECT_EQ(snap.queue_wait.stats.count(), 3u);
+  EXPECT_EQ(snap.end_to_end.stats.count(), 3u);
+  EXPECT_GT(snap.end_to_end.p95_ms, 0.0);
+  EXPECT_NE(snap.to_string().find("accuracy"), std::string::npos);
+}
+
+TEST(Metrics, EmptySnapshotIsAllZero) {
+  const auto snap = MetricsRegistry{}.snapshot();
+  EXPECT_EQ(snap.submitted, 0u);
+  EXPECT_DOUBLE_EQ(snap.valid_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.queue_wait.p99_ms, 0.0);
+}
+
+// -------------------------------------------------------------- Replicate
+
+TEST(Replicate, CloneMatchesSourcePredictions) {
+  const auto cs = tiny_cs(40);
+  predictor::CSPredictorConfig pc;
+  pc.hidden = 8;
+  pc.epochs = 4;
+  predictor::CSPredictor source{cs.num_exits, pc};
+  source.train(cs);
+
+  const auto clone = clone_predictor(source);
+  util::Rng rng{11};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> observed(cs.num_exits, 0.0f);
+    const auto executed = 1 + rng.uniform_int(cs.num_exits - 1);
+    for (std::size_t e = 0; e < executed; ++e)
+      observed[e] = rng.uniform_f(0.0f, 1.0f);
+    EXPECT_EQ(source.predict(observed, executed),
+              clone->predict(observed, executed));
+  }
+}
+
+// ------------------------------------------------------------- EdgeServer
+
+TEST(EdgeServer, GracefulShutdownDrainsInFlightTasks) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(32);
+  const core::UniformExitDistribution dist{et.total_ms()};
+
+  ServerConfig config;
+  config.queue_capacity = 512;
+  config.pool.num_workers = 3;
+  EdgeServer server{
+      et,
+      make_replicated_engine_factory(et, nullptr, {},
+                                     std::vector<float>(4, 0.5f)),
+      einet_runner(dist), config};
+
+  util::Rng rng{3};
+  std::size_t queued = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto& rec = cs.records[rng.uniform_int(cs.size())];
+    if (server.submit(rec, rng.uniform(0.0, 1.5 * et.total_ms())) ==
+        SubmitStatus::kQueued)
+      ++queued;
+  }
+  server.shutdown();  // must drain everything accepted above
+
+  const auto snap = server.metrics();
+  EXPECT_EQ(snap.submitted, 200u);
+  EXPECT_EQ(snap.admitted, queued);
+  EXPECT_EQ(snap.submitted, snap.admitted + snap.shed + snap.rejected);
+  EXPECT_EQ(snap.completed, snap.admitted);  // nothing accepted was dropped
+  EXPECT_LE(snap.valid, snap.completed);
+  EXPECT_LE(snap.correct, snap.valid);
+  EXPECT_GT(snap.shed, 0u);  // budgets below 1.5 ms exist in this stream
+  EXPECT_EQ(server.submit(cs.records[0], 10.0), SubmitStatus::kClosed);
+}
+
+TEST(EdgeServer, ShedsInfeasibleDeadlinesBeforeQueueing) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(4);
+  const core::UniformExitDistribution dist{et.total_ms()};
+  EdgeServer server{
+      et,
+      make_replicated_engine_factory(et, nullptr, {},
+                                     std::vector<float>(4, 0.5f)),
+      einet_runner(dist)};
+  EXPECT_EQ(server.submit(cs.records[0], 0.3), SubmitStatus::kShed);
+  EXPECT_EQ(server.submit(cs.records[0], 5.0), SubmitStatus::kQueued);
+  server.shutdown();
+  const auto snap = server.metrics();
+  EXPECT_EQ(snap.shed, 1u);
+  EXPECT_EQ(snap.completed, 1u);
+}
+
+TEST(EdgeServer, OverflowRejectsWhenQueueIsFull) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(4);
+
+  // Gate the single worker inside its first task so the queue fills
+  // deterministically: 1 task in flight + 2 queued, everything else rejected.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+  const TaskRunner gated = [&](runtime::ElasticEngine& engine,
+                               const Task& task, util::Rng&) {
+    {
+      std::unique_lock lock{mu};
+      started = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    return engine.run_static(*task.record, core::ExitPlan{4, true},
+                             task.deadline_ms);
+  };
+
+  ServerConfig config;
+  config.queue_capacity = 2;
+  config.pool.num_workers = 1;
+  EdgeServer server{
+      et,
+      make_replicated_engine_factory(et, nullptr, {},
+                                     std::vector<float>(4, 0.5f)),
+      gated, config};
+
+  ASSERT_EQ(server.submit(cs.records[0], 10.0), SubmitStatus::kQueued);
+  {
+    std::unique_lock lock{mu};
+    cv.wait(lock, [&] { return started; });  // worker holds task 0
+  }
+  EXPECT_EQ(server.submit(cs.records[1], 10.0), SubmitStatus::kQueued);
+  EXPECT_EQ(server.submit(cs.records[2], 10.0), SubmitStatus::kQueued);
+  EXPECT_EQ(server.submit(cs.records[3], 10.0), SubmitStatus::kRejected);
+  EXPECT_EQ(server.submit(cs.records[3], 10.0), SubmitStatus::kRejected);
+  {
+    std::lock_guard lock{mu};
+    release = true;
+  }
+  cv.notify_all();
+  server.shutdown();
+
+  const auto snap = server.metrics();
+  EXPECT_EQ(snap.admitted, 3u);
+  EXPECT_EQ(snap.rejected, 2u);
+  EXPECT_EQ(snap.completed, 3u);
+}
+
+// The determinism contract: aggregate results of a fixed task stream are a
+// pure function of the stream, independent of worker count and scheduling.
+TEST(EdgeServer, AggregateResultsInvariantAcrossWorkerCounts) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(64);
+  const core::UniformExitDistribution dist{et.total_ms()};
+
+  predictor::CSPredictorConfig pc;
+  pc.hidden = 8;
+  pc.epochs = 4;
+  predictor::CSPredictor pred{cs.num_exits, pc};
+  pred.train(cs);
+
+  // Precompute the stream so every server sees the identical workload.
+  util::Rng rng{2024};
+  std::vector<std::pair<std::size_t, double>> stream;
+  for (int i = 0; i < 300; ++i)
+    stream.emplace_back(rng.uniform_int(cs.size()),
+                        rng.uniform(0.0, 1.4 * et.total_ms()));
+
+  const auto run_with = [&](std::size_t workers) {
+    ServerConfig config;
+    config.queue_capacity = 1024;
+    config.pool.num_workers = workers;
+    EdgeServer server{et, make_replicated_engine_factory(et, &pred, {}),
+                      einet_runner(dist), config};
+    for (const auto& [idx, deadline] : stream)
+      server.submit(cs.records[idx], deadline);
+    server.shutdown();
+    return server.metrics();
+  };
+
+  const auto one = run_with(1);
+  const auto four = run_with(4);
+  EXPECT_EQ(one.completed, four.completed);
+  EXPECT_EQ(one.valid, four.valid);
+  EXPECT_EQ(one.correct, four.correct);
+  EXPECT_EQ(one.shed, four.shed);
+  EXPECT_DOUBLE_EQ(one.accuracy(), four.accuracy());
+}
+
+}  // namespace
+}  // namespace einet::serving

@@ -51,6 +51,68 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
 }
 
+TEST(Stats, PercentileSingleSample) {
+  // Any p collapses to the only sample.
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 100), 42.0);
+}
+
+TEST(Stats, PercentileExtremesAreMinAndMax) {
+  Rng rng{5};
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.uniform(-100, 100));
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(percentile(xs, 100),
+                   *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.5);
+}
+
+TEST(RunningStats, MergeEmptyIsIdentityBothWays) {
+  RunningStats filled;
+  for (double x : {1.0, 2.0, 4.0}) filled.add(x);
+
+  RunningStats lhs = filled;
+  lhs.merge(RunningStats{});  // empty rhs: no-op
+  EXPECT_EQ(lhs.count(), 3u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(lhs.variance(), filled.variance());
+
+  RunningStats empty;
+  empty.merge(filled);  // empty lhs: adopt rhs wholesale
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(empty.mean(), filled.mean());
+  EXPECT_DOUBLE_EQ(empty.variance(), filled.variance());
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 4.0);
+}
+
+TEST(RunningStats, MergeMatchesSingleAccumulator) {
+  Rng rng{9};
+  RunningStats whole, left, right;
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.gaussian(2.0, 3.0);
+    whole.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
 TEST(Histogram, CountsFallInBins) {
   Histogram h{0.0, 10.0, 10};
   for (int i = 0; i < 10; ++i) h.add(i + 0.5);
