@@ -15,6 +15,7 @@
 // Usage: edge_server [num_tasks] [workers] [train_samples] [epochs]
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -178,6 +179,15 @@ int main(int argc, char** argv) {
   std::cout << table.str() << "\n== EINet serving metrics ("
             << std::to_string(workers) << " workers) ==\n"
             << einet_snap.to_string();
+
+  // Machine-readable twin of the table above (seed for bench trajectories).
+  const char* metrics_path = "edge_server_metrics.json";
+  if (std::ofstream out{metrics_path}; out) {
+    out << einet_snap.to_json() << "\n";
+    std::cout << "\nwrote " << metrics_path << "\n";
+  } else {
+    std::cerr << "warning: could not write " << metrics_path << "\n";
+  }
 
   const double speedup =
       (static_cast<double>(w_snap.valid) / w_secs) /

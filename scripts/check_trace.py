@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by obs/export.hpp.
+
+Checks (stdlib only, no third-party deps):
+  1. The file parses as JSON and is the object format: {"traceEvents": [...]}.
+  2. Every event has the required fields for its phase ("ph"):
+       X  -> name, cat, pid, tid, ts (number), dur (number >= 0)
+       i  -> name, cat, pid, tid, ts
+       C  -> name, cat, pid, tid, ts, args with a numeric value
+       b/e-> name, cat, pid, tid, ts, id   (async pairs, matched by cat+id)
+  3. Thread-scoped "X" events nest properly per (pid, tid): sorted by start
+     time, every span either contains or is disjoint from its neighbours —
+     partial overlap means the emitter attached a cross-thread interval to a
+     thread track (bug).
+  4. Async "b"/"e" events pair up per (cat, id, name) with begin <= end.
+  5. Optional subsystem coverage: --require-categories a,b,c fails unless
+     every named category appears.
+
+Exit code 0 on success, 1 on any violation (violations are listed).
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+KNOWN_PHASES = {"X", "i", "C", "b", "e", "M"}
+# Tolerance (us) for float jitter when testing span containment.
+EPS = 1e-6
+
+
+def err(errors, index, event, message):
+    name = event.get("name", "?") if isinstance(event, dict) else "?"
+    errors.append(f"event[{index}] ({name}): {message}")
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_common_fields(errors, i, e):
+    if not isinstance(e, dict):
+        errors.append(f"event[{i}]: not a JSON object")
+        return False
+    ok = True
+    for field in ("name", "cat", "ph"):
+        if not isinstance(e.get(field), str) or not e.get(field):
+            err(errors, i, e, f'missing or non-string "{field}"')
+            ok = False
+    for field in ("pid", "tid"):
+        if field not in e:
+            err(errors, i, e, f'missing "{field}"')
+            ok = False
+    if not is_num(e.get("ts")):
+        err(errors, i, e, 'missing or non-numeric "ts"')
+        ok = False
+    return ok
+
+
+def check_phase_fields(errors, i, e):
+    ph = e["ph"]
+    if ph not in KNOWN_PHASES:
+        err(errors, i, e, f'unknown phase "{ph}"')
+        return
+    if ph == "X":
+        if not is_num(e.get("dur")):
+            err(errors, i, e, 'X event missing numeric "dur"')
+        elif e["dur"] < 0:
+            err(errors, i, e, f'negative dur {e["dur"]}')
+    elif ph == "C":
+        args = e.get("args")
+        if not isinstance(args, dict) or not any(
+            is_num(v) for v in args.values()
+        ):
+            err(errors, i, e, "C event needs a numeric series in args")
+    elif ph in ("b", "e"):
+        if "id" not in e:
+            err(errors, i, e, f'async "{ph}" event missing "id"')
+
+
+def check_nesting(errors, events):
+    """X events on one thread track must form a proper span tree."""
+    tracks = defaultdict(list)
+    for i, e in events:
+        tracks[(e["pid"], e["tid"])].append((e["ts"], e["ts"] + e["dur"], i, e))
+    for (pid, tid), spans in sorted(tracks.items(), key=lambda kv: repr(kv[0])):
+        # Sort by start asc, end desc so a parent precedes its children.
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []  # (start, end) of open ancestors
+        for start, end, i, e in spans:
+            while stack and start >= stack[-1][1] - EPS:
+                stack.pop()
+            if stack and end > stack[-1][1] + EPS:
+                err(
+                    errors, i, e,
+                    f"span [{start:.3f}, {end:.3f}] partially overlaps "
+                    f"enclosing span [{stack[-1][0]:.3f}, {stack[-1][1]:.3f}] "
+                    f"on pid {pid} tid {tid}",
+                )
+                continue
+            stack.append((start, end))
+
+
+def check_async_pairs(errors, events):
+    counts = defaultdict(lambda: {"b": [], "e": []})
+    for i, e in events:
+        counts[(e["cat"], e.get("id"), e["name"])][e["ph"]].append((e["ts"], i))
+    for (cat, aid, name), sides in sorted(counts.items(), key=repr):
+        nb, ne = len(sides["b"]), len(sides["e"])
+        if nb != ne:
+            errors.append(
+                f"async {name} (cat={cat}, id={aid}): {nb} begin vs {ne} end"
+            )
+            continue
+        if nb and min(t for t, _ in sides["e"]) < min(
+            t for t, _ in sides["b"]
+        ) - EPS:
+            errors.append(
+                f"async {name} (cat={cat}, id={aid}): end precedes every begin"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to trace.json")
+    parser.add_argument(
+        "--require-categories",
+        default="",
+        help="comma-separated categories that must appear (e.g. "
+        "runtime,search,predictor,serving)",
+    )
+    opts = parser.parse_args()
+
+    try:
+        with open(opts.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: cannot load {opts.trace}: {exc}")
+        return 1
+
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        print('FAIL: top level must be an object with a "traceEvents" list')
+        return 1
+    raw = doc["traceEvents"]
+    if not raw:
+        print("FAIL: traceEvents is empty")
+        return 1
+
+    errors = []
+    valid = []
+    for i, e in enumerate(raw):
+        if check_common_fields(errors, i, e):
+            check_phase_fields(errors, i, e)
+            valid.append((i, e))
+
+    check_nesting(
+        errors,
+        [(i, e) for i, e in valid if e["ph"] == "X" and is_num(e.get("dur"))],
+    )
+    check_async_pairs(errors, [(i, e) for i, e in valid if e["ph"] in "be"])
+
+    cats = {e["cat"] for _, e in valid}
+    required = [c for c in opts.require_categories.split(",") if c]
+    for c in required:
+        if c not in cats:
+            errors.append(f'required category "{c}" has no events')
+
+    by_phase = defaultdict(int)
+    for _, e in valid:
+        by_phase[e["ph"]] += 1
+    phases = ", ".join(f"{p}:{n}" for p, n in sorted(by_phase.items()))
+    print(
+        f"{opts.trace}: {len(raw)} events ({phases}); "
+        f"categories: {', '.join(sorted(cats))}"
+    )
+
+    if errors:
+        shown = errors[:20]
+        print(f"FAIL: {len(errors)} violation(s):")
+        for msg in shown:
+            print(f"  - {msg}")
+        if len(errors) > len(shown):
+            print(f"  ... and {len(errors) - len(shown)} more")
+        return 1
+    print("OK: structure, nesting and async pairing valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

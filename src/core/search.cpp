@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace einet::core {
@@ -202,30 +203,38 @@ SearchEngine::SearchEngine(const SearchEngineConfig& config)
     : config_(config), rng_(config.seed) {}
 
 SearchResult SearchEngine::search(const PlanProblem& problem) {
-  switch (config_.method) {
-    case SearchMethod::kHybrid:
-      return hybrid_search(problem, config_.enum_outputs);
-    case SearchMethod::kGreedy:
-      return greedy_search(problem);
-    case SearchMethod::kEnumeration:
-      return enumeration_search(problem);
-    case SearchMethod::kRandom:
-      return random_search(problem, config_.random_plans, rng_);
-    case SearchMethod::kNone: {
-      problem.validate();
-      SearchResult res;
-      ExitPlan plan{problem.n(), /*execute_all=*/true};
-      for (std::size_t i = 0; i < problem.fixed_prefix; ++i)
-        plan.set(i, problem.base.executes(i));
-      res.expectation = accuracy_expectation(
-          plan, problem.conv_ms, problem.branch_ms, problem.confidence,
-          *problem.dist);
-      res.plan = std::move(plan);
-      res.plans_evaluated = 1;
-      return res;
+  EINET_SPAN(span, "search", kSearch);
+  SearchResult res = [&] {
+    switch (config_.method) {
+      case SearchMethod::kHybrid:
+        return hybrid_search(problem, config_.enum_outputs);
+      case SearchMethod::kGreedy:
+        return greedy_search(problem);
+      case SearchMethod::kEnumeration:
+        return enumeration_search(problem);
+      case SearchMethod::kRandom:
+        return random_search(problem, config_.random_plans, rng_);
+      case SearchMethod::kNone: {
+        problem.validate();
+        SearchResult none;
+        ExitPlan plan{problem.n(), /*execute_all=*/true};
+        for (std::size_t i = 0; i < problem.fixed_prefix; ++i)
+          plan.set(i, problem.base.executes(i));
+        none.expectation = accuracy_expectation(
+            plan, problem.conv_ms, problem.branch_ms, problem.confidence,
+            *problem.dist);
+        none.plan = std::move(plan);
+        none.plans_evaluated = 1;
+        return none;
+      }
     }
-  }
-  throw std::logic_error{"SearchEngine: unknown method"};
+    throw std::logic_error{"SearchEngine: unknown method"};
+  }();
+  if (span.active())
+    span.exit(static_cast<std::int64_t>(problem.fixed_prefix))
+        .plan(obs::plan_mask_from_bits(res.plan.bits()))
+        .value(static_cast<double>(res.plans_evaluated));
+  return res;
 }
 
 }  // namespace einet::core

@@ -1,0 +1,136 @@
+#include "obs/export.hpp"
+
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace einet::obs {
+
+namespace {
+
+/// "10110..." rendering of a plan bitmask, exit 0 first.
+std::string plan_bits_string(std::int64_t mask) {
+  std::string s;
+  auto bits = static_cast<std::uint64_t>(mask);
+  // Trim to the highest set bit but always show at least one digit.
+  int top = 0;
+  for (int i = 0; i < 64; ++i)
+    if ((bits >> i) & 1u) top = i;
+  for (int i = 0; i <= top; ++i) s += ((bits >> i) & 1u) ? '1' : '0';
+  return s;
+}
+
+void write_args(util::JsonWriter& json, const TraceEvent& e) {
+  json.key("args");
+  json.begin_object();
+  if (e.args.task_id != kNoArg) json.kv("task", e.args.task_id);
+  if (e.args.exit_index != kNoArg) json.kv("exit", e.args.exit_index);
+  if (e.args.plan_mask != kNoArg) {
+    json.kv("plan_mask", e.args.plan_mask);
+    json.kv("plan_bits", plan_bits_string(e.args.plan_mask));
+  }
+  if (std::isfinite(e.args.slack_ms)) json.kv("slack_ms", e.args.slack_ms);
+  if (std::isfinite(e.args.value)) {
+    // Counter tracks expect their series inside args under a stable key.
+    json.kv(e.kind == EventKind::kCounter ? "value" : "v", e.args.value);
+  }
+  json.end_object();
+}
+
+void write_event(util::JsonWriter& json, const TraceEvent& e) {
+  json.begin_object();
+  json.kv("name", e.name != nullptr ? e.name : "?");
+  json.kv("cat", category_name(e.category));
+  json.kv("pid", std::int64_t{1});
+  json.kv("tid", static_cast<std::int64_t>(e.tid));
+  json.kv("ts", e.ts_us);
+  switch (e.kind) {
+    case EventKind::kSpan:
+      json.kv("ph", "X");
+      json.kv("dur", e.dur_us >= 0.0 ? e.dur_us : 0.0);
+      break;
+    case EventKind::kInstant:
+      json.kv("ph", "i");
+      json.kv("s", "t");  // thread-scoped instant
+      break;
+    case EventKind::kCounter:
+      json.kv("ph", "C");
+      break;
+    case EventKind::kAsyncBegin:
+    case EventKind::kAsyncEnd:
+      json.kv("ph", e.kind == EventKind::kAsyncBegin ? "b" : "e");
+      // Async begin/end pairs are matched by (cat, id).
+      json.kv("id", e.args.task_id != kNoArg ? e.args.task_id
+                                             : std::int64_t{0});
+      break;
+  }
+  write_args(json, e);
+  json.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceReport& report, std::ostream& out) {
+  util::JsonWriter json{out};
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+  for (const auto& e : report.events) write_event(json, e);
+  json.end_array();
+  json.kv("displayTimeUnit", "ms");
+  json.key("otherData");
+  json.begin_object();
+  json.kv("emitted", report.total_emitted);
+  json.kv("dropped", report.total_dropped);
+  json.kv("threads", report.num_threads);
+  json.end_object();
+  json.end_object();
+  out << "\n";
+}
+
+std::string chrome_trace_json(const TraceReport& report) {
+  std::ostringstream out;
+  write_chrome_trace(report, out);
+  return out.str();
+}
+
+bool write_chrome_trace_file(const TraceReport& report,
+                             const std::string& path) {
+  std::ofstream out{path};
+  if (!out) return false;
+  write_chrome_trace(report, out);
+  return static_cast<bool>(out);
+}
+
+void write_trace_summary(const TraceReport& report, std::ostream& out) {
+  std::array<std::size_t, kNumCategories> events{};
+  std::array<double, kNumCategories> span_ms{};
+  for (const auto& e : report.events) {
+    const auto c = static_cast<std::size_t>(e.category) % kNumCategories;
+    ++events[c];
+    if (e.kind == EventKind::kSpan) span_ms[c] += e.dur_us / 1000.0;
+  }
+  util::JsonWriter json{out};
+  json.begin_object();
+  json.kv("events", static_cast<std::uint64_t>(report.events.size()));
+  json.kv("emitted", report.total_emitted);
+  json.kv("dropped", report.total_dropped);
+  json.kv("threads", report.num_threads);
+  json.key("categories");
+  json.begin_object();
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    json.key(category_name(static_cast<Category>(c)));
+    json.begin_object();
+    json.kv("events", static_cast<std::uint64_t>(events[c]));
+    json.kv("span_ms", span_ms[c]);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  out << "\n";
+}
+
+}  // namespace einet::obs

@@ -1,0 +1,33 @@
+// Exporters for collected traces (obs/trace.hpp):
+//  - Chrome trace-event JSON ("JSON object format": {"traceEvents": [...]}),
+//    loadable in chrome://tracing and https://ui.perfetto.dev. Spans map to
+//    ph "X" complete events, instants to ph "i", counters to ph "C"; typed
+//    args (task, exit, plan bitmask, deadline slack) land in each event's
+//    "args" object and the plan mask is additionally rendered as a bit
+//    string so it is readable in the Perfetto side panel.
+//  - A structured per-category trace summary (event/drop accounting, span
+//    time totals) for machine-readable artifacts next to the trace.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace einet::obs {
+
+/// Write `report` as Chrome trace-event JSON to `out`.
+void write_chrome_trace(const TraceReport& report, std::ostream& out);
+
+/// Chrome trace-event JSON as a string.
+[[nodiscard]] std::string chrome_trace_json(const TraceReport& report);
+
+/// Write Chrome trace-event JSON to `path`; returns false on I/O failure.
+bool write_chrome_trace_file(const TraceReport& report,
+                             const std::string& path);
+
+/// Per-category accounting: {"events": N, "dropped": N, "threads": N,
+/// "categories": {"runtime": {"events": n, "span_ms": t}, ...}}.
+void write_trace_summary(const TraceReport& report, std::ostream& out);
+
+}  // namespace einet::obs

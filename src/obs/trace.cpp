@@ -1,0 +1,252 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace einet::obs {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kRuntime:
+      return "runtime";
+    case Category::kSearch:
+      return "search";
+    case Category::kPredictor:
+      return "predictor";
+    case Category::kServing:
+      return "serving";
+    case Category::kApp:
+      return "app";
+  }
+  return "unknown";
+}
+
+std::int64_t plan_mask_from_bits(const std::vector<std::uint8_t>& bits) {
+  std::int64_t mask = 0;
+  const std::size_t n = std::min<std::size_t>(bits.size(), 63);
+  for (std::size_t i = 0; i < n; ++i)
+    if (bits[i]) mask |= std::int64_t{1} << i;
+  return mask;
+}
+
+// ---------------------------------------------------------------- ThreadSink
+
+ThreadSink::ThreadSink(std::uint32_t tid, std::size_t capacity)
+    : tid_(tid), capacity_(capacity),
+      slots_(std::make_unique<detail::Slot[]>(capacity)) {
+  if (capacity_ == 0)
+    throw std::invalid_argument{"ThreadSink: capacity must be > 0"};
+}
+
+void ThreadSink::emit(const char* name, Category category, EventKind kind,
+                      double ts_us, double dur_us, const Args& args) {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  detail::Slot& s = slots_[h % capacity_];
+  constexpr auto relaxed = std::memory_order_relaxed;
+  s.name.store(name, relaxed);
+  s.category.store(static_cast<std::uint8_t>(category), relaxed);
+  s.kind.store(static_cast<std::uint8_t>(kind), relaxed);
+  s.ts_us.store(ts_us, relaxed);
+  s.dur_us.store(dur_us, relaxed);
+  s.task_id.store(args.task_id, relaxed);
+  s.exit_index.store(args.exit_index, relaxed);
+  s.plan_mask.store(args.plan_mask, relaxed);
+  s.slack_ms.store(args.slack_ms, relaxed);
+  s.value.store(args.value, relaxed);
+  // Publish: a reader that acquires head >= h+1 sees this slot's stores.
+  head_.store(h + 1, std::memory_order_release);
+}
+
+void ThreadSink::drain_into(std::vector<TraceEvent>& out) const {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  const std::uint64_t kept = std::min<std::uint64_t>(h, capacity_);
+  out.reserve(out.size() + kept);
+  // Oldest retained event first. When h > capacity the ring has wrapped and
+  // the oldest retained event lives at h % capacity.
+  for (std::uint64_t k = 0; k < kept; ++k) {
+    const std::uint64_t index = (h - kept + k) % capacity_;
+    const detail::Slot& s = slots_[index];
+    constexpr auto relaxed = std::memory_order_relaxed;
+    TraceEvent e;
+    e.name = s.name.load(relaxed);
+    if (e.name == nullptr) continue;  // torn slot mid-write; skip
+    e.category = static_cast<Category>(s.category.load(relaxed));
+    e.kind = static_cast<EventKind>(s.kind.load(relaxed));
+    e.tid = tid_;
+    e.ts_us = s.ts_us.load(relaxed);
+    e.dur_us = s.dur_us.load(relaxed);
+    e.args.task_id = s.task_id.load(relaxed);
+    e.args.exit_index = s.exit_index.load(relaxed);
+    e.args.plan_mask = s.plan_mask.load(relaxed);
+    e.args.slack_ms = s.slack_ms.load(relaxed);
+    e.args.value = s.value.load(relaxed);
+    out.push_back(e);
+  }
+}
+
+// --------------------------------------------------------------- TraceReport
+
+std::size_t TraceReport::count(Category c) const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [c](const TraceEvent& e) { return e.category == c; }));
+}
+
+std::size_t TraceReport::categories_present() const {
+  bool seen[kNumCategories] = {};
+  for (const auto& e : events)
+    seen[static_cast<std::size_t>(e.category) % kNumCategories] = true;
+  return static_cast<std::size_t>(std::count(seen, seen + kNumCategories,
+                                             true));
+}
+
+// -------------------------------------------------------------------- Tracer
+
+namespace {
+
+bool env_trace_enabled() {
+  const char* env = std::getenv("EINET_TRACE");
+  return env != nullptr && *env != '\0' && std::string_view{env} != "0";
+}
+
+/// Per-thread cache of the sink registered with a particular tracer
+/// generation; re-registers after set_ring_capacity() or when the calling
+/// thread switches to a different Tracer instance.
+struct SinkCache {
+  std::uint64_t tracer_id = 0;  // 0 = empty (real ids start at 1)
+  std::uint64_t generation = 0;
+  ThreadSink* sink = nullptr;
+};
+thread_local SinkCache t_sink_cache;
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+thread_local std::int64_t t_current_task = kNoArg;
+
+}  // namespace
+
+Tracer::Tracer(TracerConfig config)
+    : enabled_(config.enabled), ring_capacity_(config.ring_capacity),
+      tracer_id_(next_tracer_id()),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (config.ring_capacity == 0)
+    throw std::invalid_argument{"Tracer: ring_capacity must be > 0"};
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer{};  // intentionally leaked: outlives every thread
+    if (env_trace_enabled()) t->set_enabled(true);
+    return t;
+  }();
+  return *tracer;
+}
+
+void Tracer::set_ring_capacity(std::size_t capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument{"Tracer: ring_capacity must be > 0"};
+  std::lock_guard lock{registry_mu_};
+  ring_capacity_.store(capacity, std::memory_order_relaxed);
+  for (auto& s : sinks_) retired_.push_back(std::move(s));
+  sinks_.clear();
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ThreadSink& Tracer::sink() {
+  SinkCache& cache = t_sink_cache;
+  const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+  if (cache.tracer_id == tracer_id_ && cache.generation == gen)
+    return *cache.sink;
+  std::lock_guard lock{registry_mu_};
+  // Re-read under the lock: set_ring_capacity may have bumped it meanwhile.
+  const std::uint64_t locked_gen =
+      generation_.load(std::memory_order_relaxed);
+  sinks_.push_back(std::make_unique<ThreadSink>(
+      util::thread_tag(), ring_capacity_.load(std::memory_order_relaxed)));
+  cache = SinkCache{tracer_id_, locked_gen, sinks_.back().get()};
+  return *cache.sink;
+}
+
+TraceReport Tracer::collect() const {
+  TraceReport report;
+  std::lock_guard lock{registry_mu_};
+  report.num_threads = sinks_.size();
+  for (const auto& s : sinks_) {
+    report.total_emitted += s->emitted();
+    report.total_dropped += s->dropped();
+    s->drain_into(report.events);
+  }
+  std::stable_sort(report.events.begin(), report.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return report;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock{registry_mu_};
+  for (auto& s : sinks_) s->clear();
+}
+
+// -------------------------------------------------------------- task context
+
+std::int64_t current_task() { return t_current_task; }
+
+TaskScope::TaskScope(std::int64_t task_id) : previous_(t_current_task) {
+  t_current_task = task_id;
+}
+
+TaskScope::~TaskScope() { t_current_task = previous_; }
+
+// ------------------------------------------------------------------ emitters
+
+void Span::finish() {
+  const double end_us = tracer_.now_us();
+  if (args_.task_id == kNoArg) args_.task_id = t_current_task;
+  tracer_.sink().emit(name_, category_, EventKind::kSpan, start_us_,
+                      end_us - start_us_, args_);
+}
+
+void instant(const char* name, Category category, const Args& args,
+             Tracer& tracer) {
+  if (!tracer.enabled()) return;
+  Args a = args;
+  if (a.task_id == kNoArg) a.task_id = t_current_task;
+  tracer.sink().emit(name, category, EventKind::kInstant, tracer.now_us(),
+                     0.0, a);
+}
+
+void counter(const char* name, Category category, double value,
+             Tracer& tracer) {
+  if (!tracer.enabled()) return;
+  Args a;
+  a.value = value;
+  tracer.sink().emit(name, category, EventKind::kCounter, tracer.now_us(),
+                     0.0, a);
+}
+
+void complete(const char* name, Category category, double start_us,
+              double dur_us, const Args& args, Tracer& tracer) {
+  if (!tracer.enabled()) return;
+  Args a = args;
+  if (a.task_id == kNoArg) a.task_id = t_current_task;
+  tracer.sink().emit(name, category, EventKind::kSpan, start_us, dur_us, a);
+}
+
+void async_complete(const char* name, Category category, double start_us,
+                    double dur_us, const Args& args, Tracer& tracer) {
+  if (!tracer.enabled()) return;
+  Args a = args;
+  if (a.task_id == kNoArg) a.task_id = t_current_task;
+  ThreadSink& sink = tracer.sink();
+  sink.emit(name, category, EventKind::kAsyncBegin, start_us, 0.0, a);
+  sink.emit(name, category, EventKind::kAsyncEnd, start_us + dur_us, 0.0, a);
+}
+
+}  // namespace einet::obs

@@ -1,0 +1,349 @@
+// Process-wide, low-overhead tracing for the elastic inference pipeline.
+//
+// Design (DESIGN.md §6):
+//  - Every thread owns a private ring-buffer sink (`ThreadSink`); the hot
+//    path (Span destructor / instant()) writes only to the calling thread's
+//    sink — no lock, no allocation, no contention. When the ring is full the
+//    oldest events are overwritten and counted as dropped.
+//  - Slot fields are relaxed atomics, so a concurrent `Tracer::collect()`
+//    reading a ring that is still being written is a benign race (a torn
+//    *event*, never torn *fields*, never UB) and the whole subsystem is
+//    ThreadSanitizer-clean. Collect after quiescence (e.g. server shutdown)
+//    for an exact snapshot.
+//  - Disabled cost: each Span / instant checks one relaxed atomic flag and
+//    does nothing else. Compiling with -DEINET_TRACE_OFF removes even that
+//    (EINET_SPAN / EINET_INSTANT expand to inert objects).
+//  - Event names must be string literals (or otherwise outlive the tracer):
+//    the ring stores the pointer, never a copy.
+//  - Spans carry typed args (task id, exit index, plan bitmask, deadline
+//    slack, a free numeric value) so a dropped-deadline task can be
+//    root-caused from the trace alone. The current task id is a thread-local
+//    ambient value (`TaskScope`) set by the serving layer and inherited by
+//    every nested runtime/search/predictor span automatically.
+//
+// Export: obs/export.hpp writes the collected report as Chrome trace-event
+// JSON (chrome://tracing, https://ui.perfetto.dev) and as a metrics summary.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace einet::obs {
+
+/// Span taxonomy: which subsystem emitted the event. Exported as the Chrome
+/// trace "cat" field, one timeline row colour per category.
+enum class Category : std::uint8_t {
+  kRuntime = 0,    // per-block forward / branch evaluation / deadline kills
+  kSearch = 1,     // planner (SearchEngine) invocations
+  kPredictor = 2,  // CS-Predictor training / prediction
+  kServing = 3,    // task lifecycle: submit/admit/shed/queue/execute/complete
+  kApp = 4,        // examples, benches, tests
+};
+inline constexpr std::size_t kNumCategories = 5;
+[[nodiscard]] const char* category_name(Category c);
+
+enum class EventKind : std::uint8_t {
+  kSpan = 0,        // has ts + dur (Chrome "X")
+  kInstant = 1,     // point event (Chrome "i")
+  kCounter = 2,     // numeric series (Chrome "C"), value in `value`
+  kAsyncBegin = 3,  // Chrome "b": cross-thread operation start, id = task
+  kAsyncEnd = 4,    // Chrome "e": cross-thread operation end, id = task
+};
+
+/// Sentinel for unset integer args.
+inline constexpr std::int64_t kNoArg = std::numeric_limits<std::int64_t>::min();
+
+/// Optional typed arguments attached to an event.
+struct Args {
+  std::int64_t task_id = kNoArg;
+  std::int64_t exit_index = kNoArg;
+  /// Exit-plan bitmask (bit i = branch i executes); kNoArg when unset.
+  std::int64_t plan_mask = kNoArg;
+  /// Deadline slack (budget minus elapsed) at emit time; NaN when unset.
+  double slack_ms = std::numeric_limits<double>::quiet_NaN();
+  /// Free numeric payload (counter value, plans evaluated, ...).
+  double value = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// One decoded event, as returned by Tracer::collect().
+struct TraceEvent {
+  const char* name = nullptr;
+  Category category = Category::kApp;
+  EventKind kind = EventKind::kInstant;
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;   // microseconds since the tracer epoch
+  double dur_us = 0.0;  // spans only
+  Args args;
+};
+
+/// Pack an exit-plan bit vector (core::ExitPlan::bits()) into an Args-ready
+/// mask; exits beyond 63 are dropped (the paper's largest model has 40).
+[[nodiscard]] std::int64_t plan_mask_from_bits(
+    const std::vector<std::uint8_t>& bits);
+
+namespace detail {
+
+/// One ring slot. Fields are relaxed atomics purely so a concurrent reader
+/// is race-free; on x86-64 these compile to plain loads/stores.
+struct Slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint8_t> category{0};
+  std::atomic<std::uint8_t> kind{0};
+  std::atomic<double> ts_us{0.0};
+  std::atomic<double> dur_us{0.0};
+  std::atomic<std::int64_t> task_id{kNoArg};
+  std::atomic<std::int64_t> exit_index{kNoArg};
+  std::atomic<std::int64_t> plan_mask{kNoArg};
+  std::atomic<double> slack_ms{0.0};
+  std::atomic<double> value{0.0};
+};
+
+}  // namespace detail
+
+/// Per-thread ring buffer of trace events. emit() is wait-free and only ever
+/// called from the owning thread; drain_into() may run on any thread.
+class ThreadSink {
+ public:
+  ThreadSink(std::uint32_t tid, std::size_t capacity);
+
+  ThreadSink(const ThreadSink&) = delete;
+  ThreadSink& operator=(const ThreadSink&) = delete;
+
+  void emit(const char* name, Category category, EventKind kind, double ts_us,
+            double dur_us, const Args& args);
+
+  [[nodiscard]] std::uint32_t tid() const { return tid_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Total events ever emitted (including overwritten ones).
+  [[nodiscard]] std::uint64_t emitted() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  /// Events lost to ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::uint64_t h = emitted();
+    return h > capacity_ ? h - capacity_ : 0;
+  }
+
+  /// Append the retained events, oldest first, to `out`.
+  void drain_into(std::vector<TraceEvent>& out) const;
+
+  /// Forget all events. Only meaningful at quiescence (no concurrent emit).
+  void clear() { head_.store(0, std::memory_order_release); }
+
+ private:
+  std::uint32_t tid_;
+  std::size_t capacity_;
+  std::unique_ptr<detail::Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Everything collect() knows: the merged event list plus loss accounting,
+/// so an exporter can state "N events dropped" instead of lying by omission.
+struct TraceReport {
+  std::vector<TraceEvent> events;  // sorted by ts_us
+  std::uint64_t total_emitted = 0;
+  std::uint64_t total_dropped = 0;
+  std::size_t num_threads = 0;
+
+  [[nodiscard]] std::size_t count(Category c) const;
+  /// Number of distinct categories present in `events`.
+  [[nodiscard]] std::size_t categories_present() const;
+};
+
+struct TracerConfig {
+  /// Per-thread ring capacity (events). ~88 bytes per slot.
+  std::size_t ring_capacity = std::size_t{1} << 14;
+  /// Initial enabled state. The process-global tracer additionally enables
+  /// itself when the EINET_TRACE environment variable is a non-zero value.
+  bool enabled = false;
+};
+
+/// Owns the per-thread sinks and the trace clock. Use Tracer::instance() for
+/// the process-global tracer that Span / instant() / macros write to; local
+/// instances exist for tests.
+class Tracer {
+ public:
+  explicit Tracer(TracerConfig config = {});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-global tracer (EINET_TRACE=1 enables it at startup).
+  static Tracer& instance();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Ring capacity for sinks created *after* the call; existing sinks are
+  /// retired (their events discarded). Call at quiescence.
+  void set_ring_capacity(std::size_t capacity);
+
+  /// Microseconds since this tracer's construction (the trace epoch).
+  [[nodiscard]] double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// The calling thread's sink (created and registered on first use).
+  ThreadSink& sink();
+
+  /// Snapshot every live sink, merged and sorted by timestamp. Exact after
+  /// quiescence; during concurrent emission events may be torn (see header
+  /// comment) but the call is always race-free.
+  [[nodiscard]] TraceReport collect() const;
+
+  /// Drop all recorded events and loss counters. Call at quiescence.
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> ring_capacity_;
+  std::atomic<std::uint64_t> generation_{0};
+  /// Process-unique, never reused — thread-local sink caches key on this
+  /// rather than the address, so a new Tracer at a recycled address can
+  /// never alias a destroyed one's cached sinks.
+  std::uint64_t tracer_id_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadSink>> sinks_;
+  /// Sinks invalidated by set_ring_capacity; kept alive so cached
+  /// thread-local pointers can never dangle.
+  std::vector<std::unique_ptr<ThreadSink>> retired_;
+};
+
+/// Ambient task id for the calling thread (kNoArg when outside a TaskScope).
+[[nodiscard]] std::int64_t current_task();
+
+/// RAII: set the calling thread's ambient task id for the scope's lifetime.
+/// The serving worker wraps task execution in one of these so every span
+/// emitted underneath (runtime blocks, planner searches, predictor queries)
+/// is attributed to the task without plumbing ids through call signatures.
+class TaskScope {
+ public:
+  explicit TaskScope(std::int64_t task_id);
+  ~TaskScope();
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+ private:
+  std::int64_t previous_;
+};
+
+/// RAII span: records [construction, destruction) as one Chrome "X" event on
+/// the calling thread's timeline. When the tracer is disabled, construction
+/// is one relaxed atomic load and everything else is a no-op.
+class Span {
+ public:
+  Span(const char* name, Category category, Tracer& tracer = Tracer::instance())
+      : tracer_(tracer), name_(name), category_(category),
+        active_(tracer.enabled()) {
+    if (active_) start_us_ = tracer_.now_us();
+  }
+  ~Span() {
+    if (active_) finish();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Builder-style typed args; all no-ops when the tracer is disabled.
+  Span& task(std::int64_t id) {
+    if (active_) args_.task_id = id;
+    return *this;
+  }
+  Span& exit(std::int64_t index) {
+    if (active_) args_.exit_index = index;
+    return *this;
+  }
+  Span& plan(std::int64_t mask) {
+    if (active_) args_.plan_mask = mask;
+    return *this;
+  }
+  Span& slack(double ms) {
+    if (active_) args_.slack_ms = ms;
+    return *this;
+  }
+  Span& value(double v) {
+    if (active_) args_.value = v;
+    return *this;
+  }
+
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  void finish();
+
+  Tracer& tracer_;
+  const char* name_;
+  Category category_;
+  bool active_;
+  double start_us_ = 0.0;
+  Args args_;
+};
+
+/// Inert stand-in used when tracing is compiled out (-DEINET_TRACE_OFF).
+struct NullSpan {
+  NullSpan& task(std::int64_t) { return *this; }
+  NullSpan& exit(std::int64_t) { return *this; }
+  NullSpan& plan(std::int64_t) { return *this; }
+  NullSpan& slack(double) { return *this; }
+  NullSpan& value(double) { return *this; }
+  [[nodiscard]] bool active() const { return false; }
+};
+
+/// Point event on the calling thread's timeline.
+void instant(const char* name, Category category, const Args& args = {},
+             Tracer& tracer = Tracer::instance());
+
+/// Numeric series sample (Chrome "C" counter track).
+void counter(const char* name, Category category, double value,
+             Tracer& tracer = Tracer::instance());
+
+/// Span with explicit timestamps, for durations measured outside a scope.
+/// Emitted as a thread-scoped "X" event — the interval must nest properly
+/// within the calling thread's other spans; use async_complete for
+/// cross-thread intervals.
+void complete(const char* name, Category category, double start_us,
+              double dur_us, const Args& args = {},
+              Tracer& tracer = Tracer::instance());
+
+/// Cross-thread interval (e.g. queue wait: starts at submit on the producer
+/// thread, ends at dequeue on a worker). Emits a Chrome async begin/end pair
+/// keyed by args.task_id (or the ambient TaskScope id), which renders on its
+/// own track and is exempt from thread-nesting rules.
+void async_complete(const char* name, Category category, double start_us,
+                    double dur_us, const Args& args = {},
+                    Tracer& tracer = Tracer::instance());
+
+}  // namespace einet::obs
+
+// Instrumentation macros. EINET_SPAN declares a scoped span variable `var`
+// usable for arg chaining; compile with -DEINET_TRACE_OFF to reduce every
+// site to a no-op object (zero runtime cost, call sites still type-check).
+#if defined(EINET_TRACE_OFF)
+#define EINET_SPAN(var, name, category) ::einet::obs::NullSpan var
+#define EINET_INSTANT(name, category, ...) \
+  do {                                     \
+  } while (false)
+#define EINET_COUNTER(name, category, value) \
+  do {                                       \
+  } while (false)
+#else
+#define EINET_SPAN(var, name, category) \
+  ::einet::obs::Span var { name, ::einet::obs::Category::category }
+#define EINET_INSTANT(name, category, ...)                          \
+  ::einet::obs::instant(name, ::einet::obs::Category::category,     \
+                        ::einet::obs::Args{__VA_ARGS__})
+#define EINET_COUNTER(name, category, value) \
+  ::einet::obs::counter(name, ::einet::obs::Category::category, value)
+#endif

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace einet::predictor {
 
 ActivationCacheSession::ActivationCacheSession(CSPredictor& predictor)
@@ -56,6 +58,8 @@ std::vector<float> ActivationCacheSession::predict(std::size_t executed) const {
   if (executed > input_.size())
     throw std::invalid_argument{
         "ActivationCacheSession::predict: executed > num_exits"};
+  EINET_SPAN(span, "predictor.cache_predict", kPredictor);
+  span.exit(static_cast<std::int64_t>(executed));
   std::vector<float> out = forward_raw();
   for (std::size_t i = 0; i < executed; ++i) out[i] = input_[i];
   for (std::size_t i = executed; i < out.size(); ++i)

@@ -7,6 +7,7 @@
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/trace.hpp"
 
 namespace einet::predictor {
 
@@ -69,6 +70,8 @@ float CSPredictor::train(const PredictorDataset& dataset) {
     throw std::invalid_argument{"CSPredictor::train: exit count mismatch"};
   if (dataset.size() == 0)
     throw std::invalid_argument{"CSPredictor::train: empty dataset"};
+  EINET_SPAN(train_span, "predictor.train", kPredictor);
+  train_span.value(static_cast<double>(dataset.size()));
 
   nn::Sgd opt{net_.params(),
               nn::SgdConfig{.lr = config_.lr,
@@ -139,6 +142,8 @@ std::vector<float> CSPredictor::predict(std::span<const float> observed,
     throw std::invalid_argument{"CSPredictor::predict: bad input size"};
   if (executed > num_exits_)
     throw std::invalid_argument{"CSPredictor::predict: executed > num_exits"};
+  EINET_SPAN(span, "predictor.predict", kPredictor);
+  span.exit(static_cast<std::int64_t>(executed));
   std::vector<float> out = forward_raw(observed);
   // Equation (1): keep observed scores, use predictions only for the rest.
   for (std::size_t i = 0; i < executed; ++i) out[i] = observed[i];

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace einet::runtime {
 
 ElasticEngine::ElasticEngine(const profiling::ETProfile& et,
@@ -46,6 +48,9 @@ InferenceOutcome ElasticEngine::run(const profiling::CSRecord& record,
   InferenceOutcome out;
   out.deadline_ms = deadline_ms;
 
+  EINET_SPAN(run_span, "runtime.run", kRuntime);
+  run_span.slack(deadline_ms);
+
   std::vector<float> executed_conf(n, 0.0f);
   std::vector<std::uint8_t> executed_mask(n, 0);
 
@@ -71,14 +76,28 @@ InferenceOutcome ElasticEngine::run(const profiling::CSRecord& record,
     out.planner_ms += res.search_ms;
     ++out.searches_run;
   }
+  if (run_span.active()) run_span.plan(obs::plan_mask_from_bits(plan.bits()));
 
   double t = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     t += et_.conv_ms[i];
-    if (t > deadline_ms) return out;  // killed mid conv part
+    if (t > deadline_ms) {  // killed mid conv part
+      EINET_INSTANT("runtime.deadline_kill", kRuntime,
+                    .exit_index = static_cast<std::int64_t>(i),
+                    .slack_ms = deadline_ms - t);
+      return out;
+    }
+    EINET_INSTANT("runtime.block", kRuntime,
+                  .exit_index = static_cast<std::int64_t>(i),
+                  .slack_ms = deadline_ms - t);
     if (!plan.executes(i)) continue;
     t += et_.branch_ms[i];
-    if (t > deadline_ms) return out;  // killed mid branch
+    if (t > deadline_ms) {  // killed mid branch
+      EINET_INSTANT("runtime.deadline_kill", kRuntime,
+                    .exit_index = static_cast<std::int64_t>(i),
+                    .slack_ms = deadline_ms - t);
+      return out;
+    }
 
     // Branch i produced an output.
     executed_conf[i] = record.confidence[i];
@@ -88,6 +107,10 @@ InferenceOutcome ElasticEngine::run(const profiling::CSRecord& record,
     out.exit_index = i;
     out.correct = record.correct[i] != 0;
     out.result_time_ms = t;
+    EINET_INSTANT("runtime.exit", kRuntime,
+                  .exit_index = static_cast<std::int64_t>(i),
+                  .slack_ms = deadline_ms - t,
+                  .value = out.correct ? 1.0 : 0.0);
 
     // Re-plan the remaining suffix.
     if (config_.replan_after_each_output && i + 1 < n) {

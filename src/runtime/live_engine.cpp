@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace einet::runtime {
 
 LiveElasticEngine::LiveElasticEngine(models::MultiExitNetwork& net,
@@ -34,6 +36,9 @@ InferenceOutcome LiveElasticEngine::run(const nn::Tensor& image,
   InferenceOutcome out;
   out.deadline_ms = deadline_ms;
 
+  EINET_SPAN(run_span, "runtime.live_run", kRuntime);
+  run_span.slack(deadline_ms);
+
   predictor::ActivationCacheSession session{*predictor_};
 
   // Initial plan from the all-zeros predictor input.
@@ -59,8 +64,17 @@ InferenceOutcome LiveElasticEngine::run(const nn::Tensor& image,
   float last_conf = 0.0f;
   for (std::size_t i = 0; i < n; ++i) {
     t += et_.conv_ms[i];
-    if (t > deadline_ms) return out;
-    features = net_.run_conv_part(i, features);
+    if (t > deadline_ms) {
+      EINET_INSTANT("runtime.deadline_kill", kRuntime,
+                    .exit_index = static_cast<std::int64_t>(i),
+                    .slack_ms = deadline_ms - t);
+      return out;
+    }
+    {
+      EINET_SPAN(conv_span, "runtime.conv", kRuntime);
+      conv_span.exit(static_cast<std::int64_t>(i)).slack(deadline_ms - t);
+      features = net_.run_conv_part(i, features);
+    }
 
     if (!plan.executes(i)) {
       // Skipped exits inherit the nearest previous score in the predictor's
@@ -70,19 +84,29 @@ InferenceOutcome LiveElasticEngine::run(const nn::Tensor& image,
     }
 
     t += et_.branch_ms[i];
-    if (t > deadline_ms) return out;
-    const nn::Tensor logits = net_.run_branch(i, features);
-    const auto probs = nn::softmax(
-        std::span<const float>{logits.raw(), logits.numel()});
-    const std::size_t pred_class = nn::span_argmax(probs);
-    last_conf = probs[pred_class];
-    session.push(i, last_conf);
+    if (t > deadline_ms) {
+      EINET_INSTANT("runtime.deadline_kill", kRuntime,
+                    .exit_index = static_cast<std::int64_t>(i),
+                    .slack_ms = deadline_ms - t);
+      return out;
+    }
+    {
+      EINET_SPAN(branch_span, "runtime.branch", kRuntime);
+      branch_span.exit(static_cast<std::int64_t>(i)).slack(deadline_ms - t);
+      const nn::Tensor logits = net_.run_branch(i, features);
+      const auto probs = nn::softmax(
+          std::span<const float>{logits.raw(), logits.numel()});
+      const std::size_t pred_class = nn::span_argmax(probs);
+      last_conf = probs[pred_class];
+      session.push(i, last_conf);
 
-    ++out.branches_executed;
-    out.has_result = true;
-    out.exit_index = i;
-    out.correct = (pred_class == label);
-    out.result_time_ms = t;
+      ++out.branches_executed;
+      out.has_result = true;
+      out.exit_index = i;
+      out.correct = (pred_class == label);
+      out.result_time_ms = t;
+      branch_span.value(out.correct ? 1.0 : 0.0);
+    }
 
     if (config_.replan_after_each_output && i + 1 < n) {
       predicted = session.predict(i + 1);

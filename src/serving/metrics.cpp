@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace einet::serving {
@@ -44,8 +45,51 @@ std::string MetricsSnapshot::to_string() const {
   return out.str();
 }
 
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  util::JsonWriter json{out};
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  json.kv("submitted", submitted);
+  json.kv("admitted", admitted);
+  json.kv("shed", shed);
+  json.kv("rejected", rejected);
+  json.kv("completed", completed);
+  json.kv("valid", valid);
+  json.kv("correct", correct);
+  json.end_object();
+  json.kv("valid_rate", valid_rate());
+  json.kv("accuracy", accuracy());
+  json.key("latency_ms");
+  json.begin_object();
+  const auto dimension = [&](const char* name, const LatencySummary& s) {
+    json.key(name);
+    json.begin_object();
+    json.kv("count", static_cast<std::uint64_t>(s.stats.count()));
+    json.kv("mean", s.stats.mean());
+    json.kv("stddev", s.stats.stddev());
+    json.kv("min", s.stats.min());
+    json.kv("max", s.stats.max());
+    json.kv("p50", s.p50_ms);
+    json.kv("p95", s.p95_ms);
+    json.kv("p99", s.p99_ms);
+    json.kv("percentile_samples",
+            static_cast<std::uint64_t>(s.percentile_samples));
+    json.kv("percentiles_exact", s.percentile_samples == s.stats.count());
+    json.end_object();
+  };
+  dimension("queue_wait", queue_wait);
+  dimension("end_to_end", end_to_end);
+  json.end_object();
+  json.end_object();
+  return out.str();
+}
+
 MetricsRegistry::MetricsRegistry(MetricsConfig config)
-    : config_(config), queue_wait_(config_), end_to_end_(config_) {}
+    : config_(config),
+      queue_wait_(config_, /*seed=*/0x9E37C0DE),
+      end_to_end_(config_, /*seed=*/0xE2E5EED5) {}
 
 void MetricsRegistry::on_completed(const TaskResult& result) {
   completed_.fetch_add(1, std::memory_order_relaxed);
@@ -63,10 +107,11 @@ LatencySummary MetricsRegistry::summarize(
     const LatencyTrack& track) {
   LatencySummary s;
   s.stats = track.stats;
-  if (!track.samples.empty()) {
-    s.p50_ms = util::percentile(track.samples, 50.0);
-    s.p95_ms = util::percentile(track.samples, 95.0);
-    s.p99_ms = util::percentile(track.samples, 99.0);
+  s.percentile_samples = track.reservoir.size();
+  if (!track.reservoir.empty()) {
+    s.p50_ms = util::percentile(track.reservoir, 50.0);
+    s.p95_ms = util::percentile(track.reservoir, 95.0);
+    s.p99_ms = util::percentile(track.reservoir, 99.0);
   }
   return s;
 }

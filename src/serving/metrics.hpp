@@ -1,6 +1,7 @@
 // Serving-side observability: lock-free counters for the task lifecycle and
 // mutex-guarded latency accumulators (util::RunningStats + util::Histogram +
-// raw samples for exact percentiles).
+// a bounded sample reservoir for percentiles — exact below the reservoir
+// size, unbiased estimates above it).
 //
 // Lifecycle accounting invariants (asserted by tests):
 //   submitted == admitted + shed + rejected        (every submit is decided)
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "serving/task.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace einet::serving {
@@ -26,15 +28,25 @@ struct MetricsConfig {
   /// into the last bin per util::Histogram semantics.
   double latency_hist_hi_ms = 50.0;
   std::size_t latency_hist_bins = 32;
+  /// Per-dimension cap on retained latency samples. Up to this many samples
+  /// the percentiles are exact; beyond it the track switches to reservoir
+  /// sampling (Vitter's algorithm R: each of the N seen samples survives
+  /// with probability cap/N), so memory stays bounded on a long-running
+  /// server and percentiles become unbiased estimates. 0 is clamped to 1.
+  std::size_t latency_reservoir = 4096;
 };
 
 /// One latency dimension (queue wait, end-to-end, ...) frozen at snapshot
-/// time: summary stats plus exact interpolated percentiles.
+/// time: summary stats plus interpolated percentiles (exact below the
+/// reservoir bound, reservoir-estimated above it).
 struct LatencySummary {
   util::RunningStats stats;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  /// Samples backing the percentiles; < stats.count() means the reservoir
+  /// bound was hit and the percentiles are estimates.
+  std::size_t percentile_samples = 0;
 };
 
 struct MetricsSnapshot {
@@ -56,6 +68,9 @@ struct MetricsSnapshot {
 
   /// Human-readable dump (counter table + latency rows).
   [[nodiscard]] std::string to_string() const;
+  /// Machine-readable dump (counters, rates, latency summaries) for bench
+  /// trajectories and artifact files.
+  [[nodiscard]] std::string to_json() const;
 };
 
 class MetricsRegistry {
@@ -85,14 +100,28 @@ class MetricsRegistry {
   struct LatencyTrack {
     util::RunningStats stats;
     util::Histogram hist;
-    std::vector<double> samples;  // kept for exact percentiles
+    /// Bounded sample store: exact up to `cap` samples, then a uniform
+    /// reservoir (algorithm R) over everything seen — no unbounded growth.
+    std::vector<double> reservoir;
+    std::size_t cap;
+    util::Rng rng;
 
-    explicit LatencyTrack(const MetricsConfig& c)
-        : hist(0.0, c.latency_hist_hi_ms, c.latency_hist_bins) {}
+    LatencyTrack(const MetricsConfig& c, std::uint64_t seed)
+        : hist(0.0, c.latency_hist_hi_ms, c.latency_hist_bins),
+          cap(c.latency_reservoir == 0 ? 1 : c.latency_reservoir),
+          rng(seed) {
+      reservoir.reserve(cap);
+    }
     void add(double x) {
       stats.add(x);
       hist.add(x);
-      samples.push_back(x);
+      if (reservoir.size() < cap) {
+        reservoir.push_back(x);
+      } else {
+        // Keep x with probability cap/seen; evict a uniform victim.
+        const std::uint64_t j = rng.uniform_int(stats.count());
+        if (j < cap) reservoir[j] = x;
+      }
     }
   };
   [[nodiscard]] static LatencySummary summarize(const LatencyTrack& track);

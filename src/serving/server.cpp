@@ -1,5 +1,7 @@
 #include "serving/server.hpp"
 
+#include "obs/trace.hpp"
+
 namespace einet::serving {
 
 EdgeServer::EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
@@ -19,6 +21,7 @@ SubmitStatus EdgeServer::submit(const profiling::CSRecord& record,
   metrics_.on_submitted();
   if (!admission_.admit(deadline_ms)) {
     metrics_.on_shed();
+    EINET_INSTANT("serve.shed", kServing, .slack_ms = deadline_ms);
     return SubmitStatus::kShed;
   }
   Task task;
@@ -29,9 +32,15 @@ SubmitStatus EdgeServer::submit(const profiling::CSRecord& record,
   switch (queue_.push(task)) {
     case PushResult::kAccepted:
       metrics_.on_admitted();
+      EINET_INSTANT("serve.admit", kServing,
+                    .task_id = static_cast<std::int64_t>(task.id),
+                    .slack_ms = deadline_ms);
       return SubmitStatus::kQueued;
     case PushResult::kRejected:
       metrics_.on_rejected();
+      EINET_INSTANT("serve.reject", kServing,
+                    .task_id = static_cast<std::int64_t>(task.id),
+                    .slack_ms = deadline_ms);
       return SubmitStatus::kRejected;
     case PushResult::kClosed:
       // Post-shutdown submits count as rejected so the lifecycle identity

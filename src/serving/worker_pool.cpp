@@ -3,6 +3,7 @@
 #include <exception>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace einet::serving {
@@ -58,16 +59,44 @@ void WorkerPool::worker_loop(std::size_t worker_id) {
     result.id = task->id;
     result.worker_id = worker_id;
     result.queue_wait_ms = clock_.elapsed_ms() - task->submit_ms;
-    try {
-      result.outcome = runner_(engine, *task, rng);
-    } catch (const std::exception& e) {
-      // A failed task still completes (with no result) so the lifecycle
-      // accounting stays consistent: admitted == completed after drain.
-      EINET_LOG(Warn) << "worker " << worker_id << ": task " << task->id
-                      << " failed: " << e.what();
-      result.outcome = runtime::InferenceOutcome{};
+    const auto task_id = static_cast<std::int64_t>(task->id);
+    // Attribute every span emitted during execution (runtime blocks, planner
+    // searches, predictor queries) to this task, and render the queue wait
+    // as a span that started at the submit instant.
+    obs::TaskScope task_scope{task_id};
+    {
+      auto& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) {
+        const double wait_us = result.queue_wait_ms * 1000.0;
+        obs::async_complete("serve.queue_wait", obs::Category::kServing,
+                            tracer.now_us() - wait_us, wait_us,
+                            obs::Args{.task_id = task_id,
+                                      .slack_ms = task->deadline_ms});
+      }
+    }
+    {
+      EINET_SPAN(exec_span, "serve.execute", kServing);
+      exec_span.task(task_id).slack(task->deadline_ms).value(
+          static_cast<double>(worker_id));
+      try {
+        result.outcome = runner_(engine, *task, rng);
+      } catch (const std::exception& e) {
+        // A failed task still completes (with no result) so the lifecycle
+        // accounting stays consistent: admitted == completed after drain.
+        EINET_LOG(Warn) << "worker " << worker_id << ": task " << task->id
+                        << " failed: " << e.what();
+        result.outcome = runtime::InferenceOutcome{};
+      }
     }
     result.end_to_end_ms = clock_.elapsed_ms() - task->submit_ms;
+    EINET_INSTANT(
+        "serve.complete", kServing, .task_id = task_id,
+        .exit_index = result.outcome.has_result
+                          ? static_cast<std::int64_t>(result.outcome.exit_index)
+                          : obs::kNoArg,
+        .slack_ms = task->deadline_ms - result.outcome.result_time_ms,
+        .value = result.outcome.has_result && result.outcome.correct ? 1.0
+                                                                     : 0.0);
     metrics_.on_completed(result);
   }
 }

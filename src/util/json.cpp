@@ -1,0 +1,137 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace einet::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value(bool is_key) {
+  if (expecting_value_) {
+    if (is_key) throw std::logic_error{"JsonWriter: key after key"};
+    expecting_value_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back() == Scope::kObject && !is_key)
+      throw std::logic_error{"JsonWriter: value without key inside object"};
+    if (!first_.back()) out_ << ',';
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value(/*is_key=*/false);
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || expecting_value_)
+    throw std::logic_error{"JsonWriter: unbalanced end_object"};
+  out_ << '}';
+  stack_.pop_back();
+  first_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  before_value(/*is_key=*/false);
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray || expecting_value_)
+    throw std::logic_error{"JsonWriter: unbalanced end_array"};
+  out_ << ']';
+  stack_.pop_back();
+  first_.pop_back();
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Scope::kObject)
+    throw std::logic_error{"JsonWriter: key outside object"};
+  before_value(/*is_key=*/true);
+  out_ << '"' << json_escape(k) << "\":";
+  expecting_value_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  before_value(/*is_key=*/false);
+  out_ << '"' << json_escape(v) << '"';
+}
+
+void JsonWriter::value(double v) {
+  before_value(/*is_key=*/false);
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ << buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value(/*is_key=*/false);
+  out_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value(/*is_key=*/false);
+  out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_value(/*is_key=*/false);
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value(/*is_key=*/false);
+  out_ << "null";
+}
+
+}  // namespace einet::util

@@ -1,0 +1,62 @@
+// Minimal streaming JSON writer shared by the observability exporters
+// (obs/export.hpp) and the serving metrics snapshot (metrics.hpp). Emits
+// compact, valid JSON with correct string escaping; non-finite doubles are
+// written as null so the output always parses.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace einet::util {
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes excluded).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Streaming writer: push objects/arrays, emit key/value pairs; commas and
+/// nesting are tracked internally. Misuse (value without key inside an
+/// object, unbalanced end_*) throws std::logic_error.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member key; must be followed by a value or container begin.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view{v}); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// True once every opened container has been closed.
+  [[nodiscard]] bool balanced() const { return stack_.empty(); }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void before_value(bool is_key);
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_;      // per-scope: no element emitted yet
+  bool expecting_value_ = false;  // a key was just written
+};
+
+}  // namespace einet::util

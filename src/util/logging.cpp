@@ -1,11 +1,36 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <string_view>
 
 namespace einet::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// EINET_LOG_LEVEL: debug|info|warn|error (any case) or 0..3.
+LogLevel initial_level() {
+  const char* env = std::getenv("EINET_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kInfo;
+  std::string v{env};
+  for (auto& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "0" || v == "debug") return LogLevel::kDebug;
+  if (v == "1" || v == "info") return LogLevel::kInfo;
+  if (v == "2" || v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "3" || v == "error") return LogLevel::kError;
+  return LogLevel::kInfo;  // unrecognised value: keep the default
+}
+
+std::atomic<LogLevel>& level_store() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -21,20 +46,43 @@ const char* level_name(LogLevel level) {
   }
   return "?????";
 }
+
+/// "YYYY-MM-DD HH:MM:SS.mmm" local wall-clock time.
+std::string wall_clock_stamp() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto ms = duration_cast<milliseconds>(now.time_since_epoch()) % 1000;
+  const std::time_t t = system_clock::to_time_t(now);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  char buf[40];
+  const std::size_t len = std::strftime(buf, sizeof(buf), "%F %T", &tm);
+  std::snprintf(buf + len, sizeof(buf) - len, ".%03d",
+                static_cast<int>(ms.count()));
+  return buf;
+}
+
 }  // namespace
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() { return level_store().load(std::memory_order_relaxed); }
 
 void set_log_level(LogLevel level) {
-  g_level.store(level, std::memory_order_relaxed);
+  level_store().store(level, std::memory_order_relaxed);
+}
+
+std::uint32_t thread_tag() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tag =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
 }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
   std::lock_guard lock{g_mutex};
-  auto& out = (level >= LogLevel::kWarn) ? std::cerr : std::cout;
-  out << "[" << level_name(level) << "] " << msg << "\n";
+  std::cerr << "[" << wall_clock_stamp() << "] [" << level_name(level)
+            << "] [t" << thread_tag() << "] " << msg << "\n";
 }
 }  // namespace detail
 

@@ -1,9 +1,17 @@
 // Minimal leveled logger. Examples and benches log progress at Info; the
 // libraries themselves only log at Debug so library users stay in control of
-// their stdout.
+// their output.
+//
+// Every line goes to *stderr* with a wall-clock timestamp and a small
+// per-thread tag, so stdout stays parseable (tables, JSON) even when a
+// worker pool logs concurrently:
+//   [2026-08-05 14:03:07.512] [WARN ] [t3] worker 3: task 17 failed: ...
+// The initial minimum level comes from the EINET_LOG_LEVEL environment
+// variable (debug|info|warn|error or 0..3, case-insensitive); set_log_level
+// overrides it at runtime.
 #pragma once
 
-#include <iostream>
+#include <cstdint>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -12,9 +20,15 @@ namespace einet::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global minimum level; messages below it are dropped.
+/// Global minimum level; messages below it are dropped. Defaults to Info,
+/// or to the EINET_LOG_LEVEL environment variable when set.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Small sequential id for the calling thread (0 = first thread that asked).
+/// Stable for the thread's lifetime; shared by the logger ("[t3]") and the
+/// tracer (trace event tid) so log lines and trace rows correlate.
+std::uint32_t thread_tag();
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);

@@ -1,0 +1,304 @@
+// Tracer contract tests (DESIGN.md §6): disabled-mode zero-event guarantee,
+// span timing/args, TaskScope attribution, ring wraparound accounting,
+// concurrent emission + concurrent collection (ThreadSanitizer-clean), and
+// the Chrome trace-event JSON shape the exporter guarantees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "serving/metrics.hpp"
+
+namespace {
+
+using namespace einet;
+using obs::Category;
+using obs::EventKind;
+
+/// Count events with a given name in a report.
+std::size_t count_named(const obs::TraceReport& report, const char* name) {
+  std::size_t n = 0;
+  for (const auto& e : report.events)
+    if (std::string_view{e.name} == name) ++n;
+  return n;
+}
+
+TEST(Tracer, DisabledModeEmitsNothing) {
+  obs::Tracer tracer{{.ring_capacity = 64, .enabled = false}};
+  {
+    obs::Span span{"noop", Category::kApp, tracer};
+    span.task(1).exit(2).plan(3).slack(4.0).value(5.0);
+    EXPECT_FALSE(span.active());
+  }
+  obs::instant("noop", Category::kApp, {}, tracer);
+  obs::counter("noop", Category::kApp, 1.0, tracer);
+  obs::complete("noop", Category::kApp, 0.0, 1.0, {}, tracer);
+  obs::async_complete("noop", Category::kApp, 0.0, 1.0, {}, tracer);
+  const auto report = tracer.collect();
+  EXPECT_TRUE(report.events.empty());
+  EXPECT_EQ(report.total_emitted, 0u);
+  EXPECT_EQ(report.total_dropped, 0u);
+}
+
+TEST(Tracer, SpanRecordsDurationAndTypedArgs) {
+  obs::Tracer tracer{{.ring_capacity = 64, .enabled = true}};
+  {
+    obs::Span span{"work", Category::kSearch, tracer};
+    span.task(42).exit(3).plan(0b1011).slack(7.5).value(99.0);
+  }
+  const auto report = tracer.collect();
+  ASSERT_EQ(report.events.size(), 1u);
+  const auto& e = report.events.front();
+  EXPECT_STREQ(e.name, "work");
+  EXPECT_EQ(e.category, Category::kSearch);
+  EXPECT_EQ(e.kind, EventKind::kSpan);
+  EXPECT_GE(e.ts_us, 0.0);
+  EXPECT_GE(e.dur_us, 0.0);
+  EXPECT_EQ(e.args.task_id, 42);
+  EXPECT_EQ(e.args.exit_index, 3);
+  EXPECT_EQ(e.args.plan_mask, 0b1011);
+  EXPECT_DOUBLE_EQ(e.args.slack_ms, 7.5);
+  EXPECT_DOUBLE_EQ(e.args.value, 99.0);
+}
+
+TEST(Tracer, TaskScopeAttributesNestedEvents) {
+  obs::Tracer tracer{{.ring_capacity = 64, .enabled = true}};
+  {
+    obs::TaskScope scope{1234};
+    obs::Span span{"nested", Category::kRuntime, tracer};
+    obs::instant("point", Category::kRuntime, {}, tracer);
+  }
+  // Outside the scope the ambient id is gone again.
+  obs::instant("outside", Category::kRuntime, {}, tracer);
+  const auto report = tracer.collect();
+  ASSERT_EQ(report.events.size(), 3u);
+  for (const auto& e : report.events) {
+    if (std::string_view{e.name} == "outside")
+      EXPECT_EQ(e.args.task_id, obs::kNoArg);
+    else
+      EXPECT_EQ(e.args.task_id, 1234);
+  }
+}
+
+TEST(Tracer, ExplicitTaskArgBeatsAmbientScope) {
+  obs::Tracer tracer{{.ring_capacity = 64, .enabled = true}};
+  obs::TaskScope scope{1};
+  {
+    obs::Span span{"explicit", Category::kServing, tracer};
+    span.task(2);
+  }
+  const auto report = tracer.collect();
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_EQ(report.events.front().args.task_id, 2);
+}
+
+TEST(ThreadSink, WraparoundKeepsNewestAndCountsDropped) {
+  obs::ThreadSink sink{/*tid=*/7, /*capacity=*/8};
+  for (int i = 0; i < 20; ++i) {
+    obs::Args args;
+    args.value = static_cast<double>(i);
+    sink.emit("e", Category::kApp, EventKind::kInstant,
+              static_cast<double>(i), 0.0, args);
+  }
+  EXPECT_EQ(sink.emitted(), 20u);
+  EXPECT_EQ(sink.dropped(), 12u);
+  std::vector<obs::TraceEvent> events;
+  sink.drain_into(events);
+  ASSERT_EQ(events.size(), 8u);
+  // Newest 8 events, oldest first.
+  for (std::size_t k = 0; k < events.size(); ++k)
+    EXPECT_DOUBLE_EQ(events[k].args.value, static_cast<double>(12 + k));
+}
+
+TEST(Tracer, WraparoundAccountingThroughCollect) {
+  obs::Tracer tracer{{.ring_capacity = 4, .enabled = true}};
+  std::thread emitter{[&] {
+    for (int i = 0; i < 10; ++i)
+      obs::instant("burst", Category::kApp, {}, tracer);
+  }};
+  emitter.join();
+  const auto report = tracer.collect();
+  EXPECT_EQ(report.total_emitted, 10u);
+  EXPECT_EQ(report.total_dropped, 6u);
+  EXPECT_EQ(report.events.size(), 4u);
+}
+
+TEST(Tracer, ConcurrentEmissionAndCollection) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 1000;
+  obs::Tracer tracer{{.ring_capacity = 4 * kPerThread, .enabled = true}};
+  std::atomic<bool> stop{false};
+
+  // A reader hammering collect() while writers emit: must be race-free
+  // (relaxed-atomic slots), even though torn events are permitted mid-flight.
+  std::thread reader{[&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto report = tracer.collect();
+      ASSERT_LE(report.events.size(), kThreads * kPerThread);
+    }
+  }};
+
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&tracer, w] {
+      obs::TaskScope scope{static_cast<std::int64_t>(w)};
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        obs::Span span{"span", Category::kRuntime, tracer};
+        span.exit(static_cast<std::int64_t>(i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  // Quiesced: the final snapshot is exact.
+  const auto report = tracer.collect();
+  EXPECT_EQ(report.total_emitted, kThreads * kPerThread);
+  EXPECT_EQ(report.total_dropped, 0u);
+  ASSERT_EQ(report.events.size(), kThreads * kPerThread);
+  EXPECT_EQ(report.num_threads, kThreads);
+  // Per-writer: every span attributed to that writer's task scope.
+  for (const auto& e : report.events) {
+    EXPECT_EQ(e.kind, EventKind::kSpan);
+    EXPECT_GE(e.args.task_id, 0);
+    EXPECT_LT(e.args.task_id, static_cast<std::int64_t>(kThreads));
+  }
+  // Sorted by timestamp as promised.
+  for (std::size_t i = 1; i < report.events.size(); ++i)
+    EXPECT_LE(report.events[i - 1].ts_us, report.events[i].ts_us);
+}
+
+TEST(Tracer, SetRingCapacityRetiresOldSinks) {
+  obs::Tracer tracer{{.ring_capacity = 16, .enabled = true}};
+  obs::instant("before", Category::kApp, {}, tracer);
+  tracer.set_ring_capacity(4);
+  obs::instant("after", Category::kApp, {}, tracer);
+  const auto report = tracer.collect();
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_STREQ(report.events.front().name, "after");
+}
+
+TEST(PlanMask, PacksBitsLowFirst) {
+  EXPECT_EQ(obs::plan_mask_from_bits({1, 0, 1, 1}), 0b1101);
+  EXPECT_EQ(obs::plan_mask_from_bits({}), 0);
+  // Exits beyond 63 are dropped, not UB.
+  std::vector<std::uint8_t> wide(70, 1);
+  EXPECT_GT(obs::plan_mask_from_bits(wide), 0);
+}
+
+TEST(ChromeExport, EmitsValidObjectFormat) {
+  obs::Tracer tracer{{.ring_capacity = 64, .enabled = true}};
+  {
+    obs::Span outer{"outer \"quoted\"\\", Category::kServing, tracer};
+    outer.task(5).plan(0b101).slack(3.25);
+    obs::Span inner{"inner", Category::kRuntime, tracer};
+    inner.exit(2);
+  }
+  obs::instant("mark", Category::kPredictor, {}, tracer);
+  obs::counter("queue_depth", Category::kServing, 17.0, tracer);
+  obs::async_complete("wait", Category::kServing, 1.0, 2.0,
+                      obs::Args{.task_id = 5}, tracer);
+  const std::string json = obs::chrome_trace_json(tracer.collect());
+
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"runtime\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"serving\""), std::string::npos);
+  EXPECT_NE(json.find("\"plan_bits\":\"101\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+  // The quoted/backslashed span name survives escaping.
+  EXPECT_NE(json.find("outer \\\"quoted\\\"\\\\"), std::string::npos);
+
+  // Golden structural check: braces/brackets balance outside strings, so the
+  // output is parseable JSON (scripts/check_trace.py re-validates in CI).
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = in_string;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      ASSERT_GT(depth, 0);
+      --depth;
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ChromeExport, SummaryAccountsPerCategory) {
+  obs::Tracer tracer{{.ring_capacity = 64, .enabled = true}};
+  { obs::Span s{"a", Category::kSearch, tracer}; }
+  obs::instant("b", Category::kSearch, {}, tracer);
+  const auto report = tracer.collect();
+  EXPECT_EQ(report.count(Category::kSearch), 2u);
+  EXPECT_EQ(report.categories_present(), 1u);
+  std::ostringstream out;
+  obs::write_trace_summary(report, out);
+  EXPECT_NE(out.str().find("\"search\":{\"events\":2"), std::string::npos);
+}
+
+TEST(MetricsJson, SnapshotSerializesCountersAndLatency) {
+  serving::MetricsRegistry registry;
+  registry.on_submitted();
+  registry.on_submitted();
+  registry.on_admitted();
+  registry.on_shed();
+  serving::TaskResult r;
+  r.outcome.has_result = true;
+  r.outcome.correct = true;
+  r.queue_wait_ms = 1.0;
+  r.end_to_end_ms = 2.5;
+  registry.on_completed(r);
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_NE(json.find("\"submitted\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"shed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"accuracy\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"percentiles_exact\":true"), std::string::npos);
+}
+
+TEST(MetricsReservoir, BoundsSampleMemoryAndKeepsPercentilesSane) {
+  serving::MetricsConfig config;
+  config.latency_reservoir = 64;
+  serving::MetricsRegistry registry{config};
+  // 10k samples uniform-ish over [0, 100): far beyond the reservoir bound.
+  for (int i = 0; i < 10000; ++i) {
+    serving::TaskResult r;
+    r.queue_wait_ms = static_cast<double>(i % 100);
+    r.end_to_end_ms = static_cast<double>(i % 100);
+    registry.on_completed(r);
+  }
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.end_to_end.stats.count(), 10000u);
+  // Bounded: the percentile estimator holds exactly the reservoir cap.
+  EXPECT_EQ(snap.end_to_end.percentile_samples, 64u);
+  // Estimates stay inside the data range and ordered.
+  EXPECT_GE(snap.end_to_end.p50_ms, 0.0);
+  EXPECT_LE(snap.end_to_end.p99_ms, 99.0);
+  EXPECT_LE(snap.end_to_end.p50_ms, snap.end_to_end.p95_ms);
+  EXPECT_LE(snap.end_to_end.p95_ms, snap.end_to_end.p99_ms);
+  // Exact mode below the bound is flagged as such.
+  serving::MetricsRegistry small{config};
+  serving::TaskResult r;
+  r.end_to_end_ms = 5.0;
+  small.on_completed(r);
+  EXPECT_EQ(small.snapshot().end_to_end.percentile_samples, 1u);
+}
+
+}  // namespace
