@@ -1,0 +1,255 @@
+// Chaos lab (DESIGN.md §7): an end-to-end regime-switching unpredictable-exit
+// scenario driven by the scenario engine.
+//
+// Stage A (virtual profile clock, bit-reproducible): a three-regime
+// ScenarioScript (uniform background → bursty vRAN traffic → late-horizon
+// outage window) kills tasks through the PreemptionInjector while the
+// OnlineExitEstimator learns the exit distribution from the kill ledger.
+// After a short warm-up the planner plans against the *estimated*
+// distribution; the lab prints, per phase, the estimator's convergence (sup
+// CDF gap against the phase's ground truth), the drift events that fired at
+// the regime switches, and how much true accuracy-expectation the
+// estimated-distribution plan gives up versus planning with the truth. The
+// canonical kill ledger is saved to a JSON file; running the lab twice
+// produces byte-identical ledgers (the chaos_lab_replay CTest fixture diffs
+// them with cmake -E compare_files).
+//
+// Stage B (wall clock): the same script drives a real injector thread
+// against concurrent EdgeServer workers — kills land mid-inference at
+// genuinely asynchronous instants; the metrics snapshot reports how many
+// tasks were preempted.
+//
+// Usage: chaos_lab [tasks_per_phase] [ledger_path]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/expectation.hpp"
+#include "core/search.hpp"
+#include "core/time_distribution.hpp"
+#include "example_args.hpp"
+#include "profiling/profiles.hpp"
+#include "runtime/elastic_engine.hpp"
+#include "scenario/estimator.hpp"
+#include "scenario/injector.hpp"
+#include "scenario/scenario_script.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace einet;
+
+/// An 8-exit device profile: growing conv cost, cheap early branches.
+profiling::ETProfile lab_et() {
+  profiling::ETProfile et;
+  et.model_name = "chaos-lab-8";
+  et.platform_name = "edge-sim";
+  for (std::size_t i = 0; i < 8; ++i) {
+    et.conv_ms.push_back(0.6 + 0.1 * static_cast<double>(i));
+    et.branch_ms.push_back(0.35);
+  }
+  return et;
+}
+
+/// Synthetic confidence trajectories standing in for a trained model: later
+/// exits are more confident and more often correct.
+profiling::CSProfile lab_cs(std::size_t records, std::uint64_t seed) {
+  profiling::CSProfile cs;
+  cs.model_name = "chaos-lab-8";
+  cs.dataset_name = "synthetic";
+  cs.num_exits = 8;
+  util::Rng rng{seed};
+  for (std::size_t r = 0; r < records; ++r) {
+    profiling::CSRecord rec;
+    float conf = rng.uniform_f(0.15f, 0.4f);
+    for (std::size_t e = 0; e < cs.num_exits; ++e) {
+      conf = std::min(1.0f, conf + rng.uniform_f(0.02f, 0.12f));
+      rec.confidence.push_back(conf);
+      rec.correct.push_back(rng.bernoulli(conf) ? 1 : 0);
+    }
+    rec.label = r % 10;
+    cs.records.push_back(std::move(rec));
+  }
+  cs.validate();
+  return cs;
+}
+
+double sup_cdf_gap(const core::TimeDistribution& a,
+                   const core::TimeDistribution& b, double horizon) {
+  double gap = 0.0;
+  for (int i = 0; i <= 256; ++i) {
+    const double t = horizon * static_cast<double>(i) / 256.0;
+    gap = std::max(gap, std::abs(a.cdf(t) - b.cdf(t)));
+  }
+  return gap;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const examples::ArgParser args{argc, argv,
+                                 "chaos_lab [tasks_per_phase] [ledger_path]"};
+  const std::size_t tasks_per_phase = args.positive(1, 400, "tasks_per_phase");
+  const std::string ledger_path =
+      argc > 2 ? argv[2] : std::string{"chaos_ledger.json"};
+
+  const auto et = lab_et();
+  const auto cs = lab_cs(256, /*seed=*/91);
+  const double horizon = et.total_ms();
+  const std::size_t n = et.num_blocks();
+
+  // Regime-switching script: every phase is a different exit-time law.
+  auto script = scenario::ScenarioScript{horizon, /*seed=*/4242}
+                    .uniform_phase(tasks_per_phase, "background")
+                    .bursty_phase(tasks_per_phase, {0.25, 0.55, 0.85}, 0.05,
+                                  0.8, "vran-bursts")
+                    .gaussian_phase(tasks_per_phase, 0.8 * horizon,
+                                    0.08 * horizon, "late-outage");
+
+  std::cout << "== chaos lab: regime-switching unpredictable exits ==\n"
+            << "script: " << script.num_phases() << " phases x "
+            << tasks_per_phase << " tasks, horizon "
+            << util::Table::num(horizon, 3) << " ms, seed "
+            << script.seed() << "\n\n";
+
+  // ---- Stage A: virtual clock, estimator in the planning loop ------------
+  scenario::OnlineExitEstimator estimator{horizon};
+  scenario::InjectorConfig icfg;  // virtual clock
+  icfg.estimator = &estimator;
+  scenario::PreemptionInjector injector{script, icfg};
+
+  runtime::ElasticEngine engine{et, nullptr, runtime::ElasticConfig{},
+                                std::vector<float>(n, 0.5f)};
+  const core::UniformExitDistribution prior{horizon};
+  constexpr std::size_t kWarmup = 64;  // kills before trusting the estimator
+
+  std::uint64_t last_generation = estimator.plan_generation();
+  std::size_t forced_replans = 0;
+  std::size_t correct = 0, no_result = 0;
+  std::size_t phase_start_task = 0;
+
+  util::Table phase_table{{"phase", "kills", "drift events", "est sup-gap",
+                           "E[acc] truth", "E[acc] estimated"}};
+  const std::vector<float> plan_conf(n, 0.6f);
+  core::SearchEngine search{{}};
+  const auto plan_expectation = [&](const core::TimeDistribution& plan_dist,
+                                    const core::TimeDistribution& eval_dist) {
+    core::PlanProblem p{.conv_ms = et.conv_ms,
+                        .branch_ms = et.branch_ms,
+                        .confidence = plan_conf,
+                        .dist = &plan_dist,
+                        .fixed_prefix = 0,
+                        .base = core::ExitPlan{n}};
+    return core::accuracy_expectation(search.search(p).plan, et.conv_ms,
+                                      et.branch_ms, plan_conf, eval_dist);
+  };
+
+  for (std::size_t p = 0; p < script.num_phases(); ++p) {
+    for (std::size_t i = 0; i < script.phases()[p].num_tasks; ++i) {
+      const std::size_t task = phase_start_task + i;
+      // Drift invalidates cached plans: the engine replans from scratch the
+      // moment the estimator bumps its generation.
+      const std::uint64_t generation = estimator.plan_generation();
+      if (generation != last_generation) {
+        last_generation = generation;
+        ++forced_replans;
+      }
+      auto token = std::make_shared<core::CancelToken>();
+      injector.subscribe(task, token);
+      const bool trust_estimator = estimator.count() >= kWarmup;
+      const auto snapshot = trust_estimator
+                                ? std::make_unique<
+                                      core::EmpiricalExitDistribution>(
+                                      estimator.snapshot())
+                                : nullptr;
+      const core::TimeDistribution& plan_dist =
+          snapshot ? static_cast<const core::TimeDistribution&>(*snapshot)
+                   : prior;
+      const auto outcome = engine.run_cancellable(
+          cs.records[task % cs.size()], *token, plan_dist);
+      injector.complete(task, outcome);
+      if (!outcome.has_result)
+        ++no_result;
+      else if (outcome.correct)
+        ++correct;
+    }
+    phase_start_task += script.phases()[p].num_tasks;
+
+    const auto truth = script.true_distribution(p);
+    const auto est = estimator.snapshot();
+    phase_table.add_row(
+        {script.phases()[p].label, std::to_string(estimator.count()),
+         std::to_string(estimator.drift_events()),
+         util::Table::num(sup_cdf_gap(est, *truth, horizon), 4),
+         util::Table::num(plan_expectation(*truth, *truth), 4),
+         util::Table::num(plan_expectation(est, *truth), 4)});
+  }
+
+  std::cout << phase_table.str() << "\n"
+            << "stage A (virtual clock): " << script.total_tasks()
+            << " tasks, " << correct << " correct, " << no_result
+            << " killed with no result, " << estimator.drift_events()
+            << " drift events, " << forced_replans
+            << " plan-cache invalidations\n";
+
+  injector.ledger().save(ledger_path);
+  std::cout << "kill ledger (" << injector.ledger().size()
+            << " entries) -> " << ledger_path
+            << "  [byte-identical across reruns]\n\n";
+
+  // ---- Stage B: wall clock, injector thread vs serving workers -----------
+  scenario::OnlineExitEstimator wall_estimator{horizon};
+  scenario::InjectorConfig wcfg;
+  wcfg.mode = scenario::ClockMode::kWall;
+  wcfg.time_scale = 0.4;  // stretch sim ms into real ms so kills land mid-run
+  wcfg.estimator = &wall_estimator;
+  scenario::PreemptionInjector wall_injector{script, wcfg};
+
+  serving::ServerConfig scfg;
+  scfg.queue_capacity = 1024;
+  scfg.pool.num_workers = 4;
+  scfg.pool.injector = &wall_injector;
+  serving::TaskRunner runner = [&prior, time_scale = wcfg.time_scale](
+                                   runtime::ElasticEngine& worker_engine,
+                                   const serving::Task& task, util::Rng&) {
+    // Replay simulation is instantaneous; pace the simulated clock against
+    // wall time (same scale as the injector) so fired kills land mid-run.
+    const auto start = std::chrono::steady_clock::now();
+    const runtime::BlockHook pace = [start, time_scale](std::size_t,
+                                                        double sim_t_ms) {
+      std::this_thread::sleep_until(
+          start +
+          std::chrono::duration<double, std::milli>(sim_t_ms * time_scale));
+    };
+    return worker_engine.run_cancellable(*task.record, *task.cancel, prior,
+                                         pace);
+  };
+  serving::EdgeServer server{
+      et,
+      serving::make_replicated_engine_factory(et, nullptr, {},
+                                              std::vector<float>(n, 0.5f)),
+      runner, scfg};
+
+  util::Rng stream_rng{7};
+  const std::size_t wall_tasks = std::min<std::size_t>(200, 2 * tasks_per_phase);
+  for (std::size_t i = 0; i < wall_tasks; ++i)
+    server.submit(cs.records[stream_rng.uniform_int(cs.size())],
+                  1.5 * horizon);
+  server.shutdown();
+
+  const auto snap = server.metrics();
+  std::cout << "stage B (wall clock, " << scfg.pool.num_workers
+            << " workers): " << snap.completed << " completed, "
+            << snap.preempted << " preempted by the injector thread, "
+            << wall_injector.wall_kills_fired() << " kills fired\n"
+            << snap.to_string();
+  return 0;
+}

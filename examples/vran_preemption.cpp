@@ -20,32 +20,8 @@
 #include "profiling/platform.hpp"
 #include "profiling/profiler.hpp"
 #include "runtime/evaluator.hpp"
+#include "scenario/scenario_script.hpp"
 #include "util/table.hpp"
-
-namespace {
-
-/// Synthesise a bursty vRAN preemption trace over [0, horizon]: most
-/// preemptions cluster in short high-traffic windows.
-std::vector<double> synth_vran_trace(double horizon_ms, std::size_t events,
-                                     einet::util::Rng& rng) {
-  std::vector<double> trace;
-  trace.reserve(events);
-  // Three traffic bursts at 20%, 45% and 80% of the horizon plus a sparse
-  // background of isolated preemptions.
-  const double bursts[] = {0.20, 0.45, 0.80};
-  while (trace.size() < events) {
-    if (rng.bernoulli(0.75)) {
-      const double centre = bursts[rng.uniform_int(3)] * horizon_ms;
-      trace.push_back(std::clamp(rng.gaussian(centre, 0.04 * horizon_ms), 0.0,
-                                 horizon_ms));
-    } else {
-      trace.push_back(rng.uniform(0.0, horizon_ms));
-    }
-  }
-  return trace;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace einet;
@@ -77,8 +53,14 @@ int main(int argc, char** argv) {
   auto cs = profiling::profile_confidence(net, *ds.test);
   auto cs_classic = profiling::profile_confidence(classic, *ds.test);
 
-  // The preemption trace measured on this deployment.
-  const auto trace = synth_vran_trace(et.total_ms(), 4000, rng);
+  // The preemption trace measured on this deployment: a bursty scenario
+  // regime (three traffic bursts at 20%, 45% and 80% of the horizon plus a
+  // sparse uniform background) sampled through the caller's generator — the
+  // same draw law the hand-rolled trace used before the scenario engine.
+  const auto scenario =
+      scenario::ScenarioScript{et.total_ms(), /*seed=*/21}.bursty_phase(
+          4000, {0.20, 0.45, 0.80}, 0.04, 0.75, "vran-bursts");
+  const auto trace = scenario.sample_trace(0, 4000, rng);
   core::TraceExitDistribution dist{trace, et.total_ms()};
   std::cout << "preemption trace: " << dist.trace_size()
             << " events over a " << util::Table::num(et.total_ms(), 3)

@@ -1,13 +1,27 @@
 #!/usr/bin/env bash
 # Run every reproduction bench in order, teeing the combined output.
+# Fails fast: the first bench that exits non-zero aborts the sweep and its
+# name is reported on stderr (with `set -o pipefail` the tee no longer
+# swallows the bench's exit status).
 # Usage: scripts/run_all_benches.sh [output-file]
-set -u
+set -euo pipefail
 out="${1:-bench_output.txt}"
 : > "$out"
+shopt -s nullglob
+ran=0
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo ">>> $b" | tee -a "$out"
-  "$b" 2>&1 | tee -a "$out"
-  echo "exit=$? ($b)" >> "$out"
+  if "$b" 2>&1 | tee -a "$out"; then
+    ran=$((ran + 1))
+  else
+    status=$?
+    echo "FAILED: $b (exit $status)" | tee -a "$out" >&2
+    exit "$status"
+  fi
 done
-echo "all benches done -> $out"
+if [ "$ran" -eq 0 ]; then
+  echo "error: no bench binaries found under build/bench/ (build first)" >&2
+  exit 1
+fi
+echo "all $ran benches done -> $out"

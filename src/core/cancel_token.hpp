@@ -1,0 +1,71 @@
+// Asynchronous-preemption primitive shared by the runtime engines and the
+// scenario injector (DESIGN.md §7).
+//
+// The paper's premise is that a task is killed at an instant the device
+// cannot predict. The engines' original API simulates that away by taking
+// the kill instant as a pre-sampled `deadline_ms` argument; the cancel-token
+// path keeps the kill *outside* the engine: the engine polls a CancelToken
+// at block boundaries and learns about the kill only when it lands.
+//
+// Two delivery modes, matching the scenario engine's two clocks:
+//  - virtual (profile-clock): arm_virtual(kill_ms) pre-arms the token at a
+//    simulated instant; cancelled(t) compares the engine's deterministic
+//    simulated clock against it. Bit-reproducible, used by tests / benches /
+//    replay.
+//  - wall-clock: a real injector thread calls fire() at some real instant;
+//    cancelled() observes the flag at the next poll. Used by serving; all
+//    accesses are atomic, so concurrent fire/poll is ThreadSanitizer-clean.
+//
+// A token armed virtually at `d` makes the cancel path behave identically
+// to the deadline path with `deadline_ms == d` (both kill when t > d), which
+// is what test_scenario's equivalence check asserts.
+#pragma once
+
+#include <atomic>
+#include <limits>
+
+namespace einet::core {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Pre-arm a kill at a simulated instant (virtual-clock mode).
+  void arm_virtual(double kill_at_ms) {
+    kill_at_ms_.store(kill_at_ms, std::memory_order_relaxed);
+  }
+
+  /// Deliver an asynchronous kill now (wall-clock mode; any thread).
+  void fire() { fired_.store(true, std::memory_order_release); }
+
+  /// Re-usable for a fresh task. Only call when no task is polling it.
+  void reset() {
+    kill_at_ms_.store(std::numeric_limits<double>::infinity(),
+                      std::memory_order_relaxed);
+    fired_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Poll at a block boundary: has the kill landed by simulated time `t`?
+  [[nodiscard]] bool cancelled(double sim_t_ms) const {
+    if (sim_t_ms > kill_at_ms_.load(std::memory_order_relaxed)) return true;
+    return fired_.load(std::memory_order_acquire);
+  }
+
+  /// True once fire() was called (wall-clock delivery only).
+  [[nodiscard]] bool fired() const {
+    return fired_.load(std::memory_order_acquire);
+  }
+
+  /// The virtual kill instant; +inf when not virtually armed.
+  [[nodiscard]] double virtual_kill_ms() const {
+    return kill_at_ms_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> kill_at_ms_{std::numeric_limits<double>::infinity()};
+  std::atomic<bool> fired_{false};
+};
+
+}  // namespace einet::core

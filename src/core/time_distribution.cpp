@@ -149,6 +149,54 @@ double PiecewiseLinearExitDistribution::sample(util::Rng& rng) const {
   return a.t_ms + frac * (b.t_ms - a.t_ms);
 }
 
+EmpiricalExitDistribution::EmpiricalExitDistribution(
+    std::vector<double> bin_weights, double horizon_ms)
+    : cum_(std::move(bin_weights)), horizon_(horizon_ms) {
+  check_horizon(horizon_);
+  if (cum_.empty())
+    throw std::invalid_argument{"EmpiricalExitDistribution: no bins"};
+  double total = 0.0;
+  for (const double w : cum_) {
+    if (!(w >= 0.0))
+      throw std::invalid_argument{
+          "EmpiricalExitDistribution: bin weights must be >= 0"};
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument{
+        "EmpiricalExitDistribution: zero total mass"};
+  double acc = 0.0;
+  for (auto& w : cum_) {
+    acc += w / total;
+    w = acc;
+  }
+  cum_.back() = 1.0;  // guard against rounding drift
+}
+
+double EmpiricalExitDistribution::cdf(double t_ms) const {
+  if (t_ms <= 0.0) return 0.0;
+  if (t_ms >= horizon_) return 1.0;
+  const double pos =
+      t_ms / horizon_ * static_cast<double>(cum_.size());
+  auto bin = static_cast<std::size_t>(pos);
+  bin = std::min(bin, cum_.size() - 1);
+  const double frac = pos - static_cast<double>(bin);
+  const double lo = bin == 0 ? 0.0 : cum_[bin - 1];
+  return lo + frac * (cum_[bin] - lo);
+}
+
+double EmpiricalExitDistribution::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+  const auto bin = static_cast<std::size_t>(
+      std::distance(cum_.begin(), it == cum_.end() ? cum_.end() - 1 : it));
+  const double lo = bin == 0 ? 0.0 : cum_[bin - 1];
+  const double mass = cum_[bin] - lo;
+  const double frac = mass > 0.0 ? (u - lo) / mass : 0.5;
+  const double bin_w = horizon_ / static_cast<double>(cum_.size());
+  return std::clamp((static_cast<double>(bin) + frac) * bin_w, 0.0, horizon_);
+}
+
 std::unique_ptr<TimeDistribution> make_distribution(const std::string& kind,
                                                     double horizon_ms) {
   if (kind == "uniform")

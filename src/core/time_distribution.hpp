@@ -107,6 +107,28 @@ class PiecewiseLinearExitDistribution final : public TimeDistribution {
   double horizon_;
 };
 
+/// Histogram-backed distribution over [0, horizon] built from observed kill
+/// instants (scenario::OnlineExitEstimator's snapshot type). `bin_weights`
+/// are non-negative relative masses per equal-width bin; the CDF is the
+/// normalised cumulative mass, linearly interpolated inside each bin, so it
+/// is continuous and strictly monotone wherever mass is present. Sampling is
+/// inverse-CDF (uniform within a bin).
+class EmpiricalExitDistribution final : public TimeDistribution {
+ public:
+  EmpiricalExitDistribution(std::vector<double> bin_weights,
+                            double horizon_ms);
+  [[nodiscard]] double cdf(double t_ms) const override;
+  [[nodiscard]] double sample(util::Rng& rng) const override;
+  [[nodiscard]] double horizon_ms() const override { return horizon_; }
+  [[nodiscard]] std::string name() const override { return "empirical"; }
+
+  [[nodiscard]] std::size_t num_bins() const { return cum_.size(); }
+
+ private:
+  std::vector<double> cum_;  // cum_[i] = P(T <= edge of bin i+1), ends at 1
+  double horizon_;
+};
+
 /// Factory used by benches: "uniform", "gauss0.5", "gauss1.0".
 [[nodiscard]] std::unique_ptr<TimeDistribution> make_distribution(
     const std::string& kind, double horizon_ms);

@@ -20,6 +20,8 @@ const char* category_name(Category c) {
       return "serving";
     case Category::kApp:
       return "app";
+    case Category::kScenario:
+      return "scenario";
   }
   return "unknown";
 }

@@ -43,8 +43,9 @@ enum class Category : std::uint8_t {
   kPredictor = 2,  // CS-Predictor training / prediction
   kServing = 3,    // task lifecycle: submit/admit/shed/queue/execute/complete
   kApp = 4,        // examples, benches, tests
+  kScenario = 5,   // injected kills, estimator drift, forced replans
 };
-inline constexpr std::size_t kNumCategories = 5;
+inline constexpr std::size_t kNumCategories = 6;
 [[nodiscard]] const char* category_name(Category c);
 
 enum class EventKind : std::uint8_t {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "runtime/kill_policy.hpp"
 
 namespace einet::runtime {
 
@@ -38,18 +39,20 @@ std::vector<float> ElasticEngine::build_observed(
   return observed;
 }
 
-InferenceOutcome ElasticEngine::run(const profiling::CSRecord& record,
-                                    double deadline_ms,
-                                    const core::TimeDistribution& dist) {
+template <typename KillPolicy>
+InferenceOutcome ElasticEngine::run_impl(const profiling::CSRecord& record,
+                                         KillPolicy& kill,
+                                         const core::TimeDistribution& dist,
+                                         const BlockHook* hook) {
   const std::size_t n = et_.num_blocks();
   if (record.confidence.size() != n)
     throw std::invalid_argument{"ElasticEngine::run: record size mismatch"};
 
   InferenceOutcome out;
-  out.deadline_ms = deadline_ms;
+  out.deadline_ms = kill.outcome_deadline(0.0);
 
   EINET_SPAN(run_span, "runtime.run", kRuntime);
-  run_span.slack(deadline_ms);
+  run_span.slack(kill.slack(0.0));
 
   std::vector<float> executed_conf(n, 0.0f);
   std::vector<std::uint8_t> executed_mask(n, 0);
@@ -81,21 +84,25 @@ InferenceOutcome ElasticEngine::run(const profiling::CSRecord& record,
   double t = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     t += et_.conv_ms[i];
-    if (t > deadline_ms) {  // killed mid conv part
-      EINET_INSTANT("runtime.deadline_kill", kRuntime,
+    if (hook != nullptr && *hook) (*hook)(i, t);
+    if (kill.killed(t)) {  // killed mid conv part
+      out.deadline_ms = kill.outcome_deadline(t);
+      EINET_INSTANT(KillPolicy::kill_event(), kRuntime,
                     .exit_index = static_cast<std::int64_t>(i),
-                    .slack_ms = deadline_ms - t);
+                    .slack_ms = kill.slack(t));
       return out;
     }
     EINET_INSTANT("runtime.block", kRuntime,
                   .exit_index = static_cast<std::int64_t>(i),
-                  .slack_ms = deadline_ms - t);
+                  .slack_ms = kill.slack(t));
     if (!plan.executes(i)) continue;
     t += et_.branch_ms[i];
-    if (t > deadline_ms) {  // killed mid branch
-      EINET_INSTANT("runtime.deadline_kill", kRuntime,
+    if (hook != nullptr && *hook) (*hook)(i, t);
+    if (kill.killed(t)) {  // killed mid branch
+      out.deadline_ms = kill.outcome_deadline(t);
+      EINET_INSTANT(KillPolicy::kill_event(), kRuntime,
                     .exit_index = static_cast<std::int64_t>(i),
-                    .slack_ms = deadline_ms - t);
+                    .slack_ms = kill.slack(t));
       return out;
     }
 
@@ -109,7 +116,7 @@ InferenceOutcome ElasticEngine::run(const profiling::CSRecord& record,
     out.result_time_ms = t;
     EINET_INSTANT("runtime.exit", kRuntime,
                   .exit_index = static_cast<std::int64_t>(i),
-                  .slack_ms = deadline_ms - t,
+                  .slack_ms = kill.slack(t),
                   .value = out.correct ? 1.0 : 0.0);
 
     // Re-plan the remaining suffix.
@@ -140,8 +147,23 @@ InferenceOutcome ElasticEngine::run(const profiling::CSRecord& record,
       ++out.searches_run;
     }
   }
+  out.deadline_ms = kill.outcome_deadline(t);
   out.completed = true;
   return out;
+}
+
+InferenceOutcome ElasticEngine::run(const profiling::CSRecord& record,
+                                    double deadline_ms,
+                                    const core::TimeDistribution& dist) {
+  detail::DeadlineKill kill{deadline_ms};
+  return run_impl(record, kill, dist, /*hook=*/nullptr);
+}
+
+InferenceOutcome ElasticEngine::run_cancellable(
+    const profiling::CSRecord& record, const core::CancelToken& cancel,
+    const core::TimeDistribution& dist, const BlockHook& hook) {
+  detail::TokenKill kill{&cancel};
+  return run_impl(record, kill, dist, &hook);
 }
 
 InferenceOutcome ElasticEngine::run_static(const profiling::CSRecord& record,

@@ -15,15 +15,23 @@
 // per-exit correctness, block times) — precisely what a CS-profile records.
 #pragma once
 
+#include <functional>
 #include <limits>
 #include <optional>
 
+#include "core/cancel_token.hpp"
 #include "core/search.hpp"
 #include "predictor/cs_predictor.hpp"
 #include "profiling/calibration.hpp"
 #include "profiling/profiles.hpp"
 
 namespace einet::runtime {
+
+/// Optional block-boundary hook for the cancellable path: invoked every time
+/// the simulated clock advances past a conv part or an executed branch,
+/// *before* the cancel poll. Wall-clock serving uses it to pace the engine
+/// against real time so asynchronous kills can land mid-inference.
+using BlockHook = std::function<void(std::size_t block, double sim_t_ms)>;
 
 struct InferenceOutcome {
   /// True if at least one branch completed before the forced exit.
@@ -68,6 +76,20 @@ class ElasticEngine {
                                      double deadline_ms,
                                      const core::TimeDistribution& dist);
 
+  /// EINet inference under a genuinely asynchronous forced exit: instead of
+  /// receiving the kill instant up front, the engine polls `cancel` at every
+  /// block boundary and stops when the kill has landed. With a virtually
+  /// armed token this is bit-identical to run(record, kill_ms, dist); with a
+  /// wall-clock token the kill may land at any poll. `dist` is the planning
+  /// distribution only — the engine never learns the actual kill time from
+  /// it. On a kill, `deadline_ms` in the outcome is the token's virtual kill
+  /// instant when armed, else the simulated time at which the poll observed
+  /// the kill; when the plan completes first it is the virtual kill instant
+  /// (+inf for a wall-clock token that never fired).
+  [[nodiscard]] InferenceOutcome run_cancellable(
+      const profiling::CSRecord& record, const core::CancelToken& cancel,
+      const core::TimeDistribution& dist, const BlockHook& hook = {});
+
   /// Fixed-plan inference (static baselines / ME-NN without planner).
   [[nodiscard]] InferenceOutcome run_static(const profiling::CSRecord& record,
                                             const core::ExitPlan& plan,
@@ -89,6 +111,14 @@ class ElasticEngine {
   [[nodiscard]] const profiling::ETProfile& et_profile() const { return et_; }
 
  private:
+  /// Shared control loop behind run() and run_cancellable(): `kill` decides
+  /// when the forced exit lands (pre-sampled deadline vs polled token).
+  template <typename KillPolicy>
+  [[nodiscard]] InferenceOutcome run_impl(const profiling::CSRecord& record,
+                                          KillPolicy& kill,
+                                          const core::TimeDistribution& dist,
+                                          const BlockHook* hook);
+
   /// Fill skipped past exits with the nearest previous executed confidence
   /// (paper Section IV-C2) and return the predictor input vector.
   [[nodiscard]] std::vector<float> build_observed(

@@ -1,0 +1,42 @@
+// Internal kill policies shared by ElasticEngine and LiveElasticEngine
+// (DESIGN.md §7). A policy decides, at each block boundary, whether the
+// forced exit has landed by simulated time `t`.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "core/cancel_token.hpp"
+
+namespace einet::runtime::detail {
+
+/// The forced-exit instant is known up front (classic deadline path).
+struct DeadlineKill {
+  double deadline;
+  [[nodiscard]] bool killed(double t) const { return t > deadline; }
+  [[nodiscard]] double slack(double t) const { return deadline - t; }
+  [[nodiscard]] double outcome_deadline(double /*t*/) const {
+    return deadline;
+  }
+  static constexpr const char* kill_event() { return "runtime.deadline_kill"; }
+};
+
+/// The engine only learns about the kill by polling a CancelToken. Slack
+/// (and therefore the slack trace args) is known only for virtually armed
+/// tokens; wall-clock tokens report NaN slack.
+struct TokenKill {
+  const core::CancelToken* token;
+  [[nodiscard]] bool killed(double t) const { return token->cancelled(t); }
+  [[nodiscard]] double slack(double t) const {
+    const double k = token->virtual_kill_ms();
+    return std::isfinite(k) ? k - t
+                            : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double outcome_deadline(double t) const {
+    const double k = token->virtual_kill_ms();
+    return std::isfinite(k) ? k : t;
+  }
+  static constexpr const char* kill_event() { return "runtime.cancel_kill"; }
+};
+
+}  // namespace einet::runtime::detail

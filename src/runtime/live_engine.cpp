@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "runtime/kill_policy.hpp"
 
 namespace einet::runtime {
 
@@ -26,18 +27,21 @@ LiveElasticEngine::LiveElasticEngine(models::MultiExitNetwork& net,
         "LiveElasticEngine: predictor exit count mismatch"};
 }
 
-InferenceOutcome LiveElasticEngine::run(const nn::Tensor& image,
-                                        std::size_t label, double deadline_ms,
-                                        const core::TimeDistribution& dist) {
+template <typename KillPolicy>
+InferenceOutcome LiveElasticEngine::run_impl(const nn::Tensor& image,
+                                             std::size_t label,
+                                             KillPolicy& kill,
+                                             const core::TimeDistribution& dist,
+                                             const BlockHook* hook) {
   if (image.rank() != 3)
     throw std::invalid_argument{"LiveElasticEngine::run: image must be CHW"};
   const std::size_t n = net_.num_exits();
 
   InferenceOutcome out;
-  out.deadline_ms = deadline_ms;
+  out.deadline_ms = kill.outcome_deadline(0.0);
 
   EINET_SPAN(run_span, "runtime.live_run", kRuntime);
-  run_span.slack(deadline_ms);
+  run_span.slack(kill.slack(0.0));
 
   predictor::ActivationCacheSession session{*predictor_};
 
@@ -64,15 +68,17 @@ InferenceOutcome LiveElasticEngine::run(const nn::Tensor& image,
   float last_conf = 0.0f;
   for (std::size_t i = 0; i < n; ++i) {
     t += et_.conv_ms[i];
-    if (t > deadline_ms) {
-      EINET_INSTANT("runtime.deadline_kill", kRuntime,
+    if (hook != nullptr && *hook) (*hook)(i, t);
+    if (kill.killed(t)) {
+      out.deadline_ms = kill.outcome_deadline(t);
+      EINET_INSTANT(KillPolicy::kill_event(), kRuntime,
                     .exit_index = static_cast<std::int64_t>(i),
-                    .slack_ms = deadline_ms - t);
+                    .slack_ms = kill.slack(t));
       return out;
     }
     {
       EINET_SPAN(conv_span, "runtime.conv", kRuntime);
-      conv_span.exit(static_cast<std::int64_t>(i)).slack(deadline_ms - t);
+      conv_span.exit(static_cast<std::int64_t>(i)).slack(kill.slack(t));
       features = net_.run_conv_part(i, features);
     }
 
@@ -84,15 +90,17 @@ InferenceOutcome LiveElasticEngine::run(const nn::Tensor& image,
     }
 
     t += et_.branch_ms[i];
-    if (t > deadline_ms) {
-      EINET_INSTANT("runtime.deadline_kill", kRuntime,
+    if (hook != nullptr && *hook) (*hook)(i, t);
+    if (kill.killed(t)) {
+      out.deadline_ms = kill.outcome_deadline(t);
+      EINET_INSTANT(KillPolicy::kill_event(), kRuntime,
                     .exit_index = static_cast<std::int64_t>(i),
-                    .slack_ms = deadline_ms - t);
+                    .slack_ms = kill.slack(t));
       return out;
     }
     {
       EINET_SPAN(branch_span, "runtime.branch", kRuntime);
-      branch_span.exit(static_cast<std::int64_t>(i)).slack(deadline_ms - t);
+      branch_span.exit(static_cast<std::int64_t>(i)).slack(kill.slack(t));
       const nn::Tensor logits = net_.run_branch(i, features);
       const auto probs = nn::softmax(
           std::span<const float>{logits.raw(), logits.numel()});
@@ -123,8 +131,24 @@ InferenceOutcome LiveElasticEngine::run(const nn::Tensor& image,
       ++out.searches_run;
     }
   }
+  out.deadline_ms = kill.outcome_deadline(t);
   out.completed = true;
   return out;
+}
+
+InferenceOutcome LiveElasticEngine::run(const nn::Tensor& image,
+                                        std::size_t label, double deadline_ms,
+                                        const core::TimeDistribution& dist) {
+  detail::DeadlineKill kill{deadline_ms};
+  return run_impl(image, label, kill, dist, /*hook=*/nullptr);
+}
+
+InferenceOutcome LiveElasticEngine::run_cancellable(
+    const nn::Tensor& image, std::size_t label,
+    const core::CancelToken& cancel, const core::TimeDistribution& dist,
+    const BlockHook& hook) {
+  detail::TokenKill kill{&cancel};
+  return run_impl(image, label, kill, dist, &hook);
 }
 
 }  // namespace einet::runtime

@@ -24,7 +24,21 @@ class LiveElasticEngine {
                                      std::size_t label, double deadline_ms,
                                      const core::TimeDistribution& dist);
 
+  /// Same control loop, but the forced exit arrives through `cancel` polled
+  /// at block boundaries (see ElasticEngine::run_cancellable for the exact
+  /// semantics — a virtually armed token is bit-identical to run()).
+  [[nodiscard]] InferenceOutcome run_cancellable(
+      const nn::Tensor& image, std::size_t label,
+      const core::CancelToken& cancel, const core::TimeDistribution& dist,
+      const BlockHook& hook = {});
+
  private:
+  template <typename KillPolicy>
+  [[nodiscard]] InferenceOutcome run_impl(const nn::Tensor& image,
+                                          std::size_t label, KillPolicy& kill,
+                                          const core::TimeDistribution& dist,
+                                          const BlockHook* hook);
+
   models::MultiExitNetwork& net_;
   profiling::ETProfile et_;
   predictor::CSPredictor* predictor_;

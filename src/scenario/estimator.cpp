@@ -1,0 +1,113 @@
+#include "scenario/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace einet::scenario {
+
+OnlineExitEstimator::OnlineExitEstimator(double horizon_ms,
+                                         EstimatorConfig cfg)
+    : horizon_(horizon_ms), cfg_(cfg) {
+  if (!(horizon_ > 0.0))
+    throw std::invalid_argument{"OnlineExitEstimator: horizon must be > 0"};
+  if (cfg_.bins == 0)
+    throw std::invalid_argument{"OnlineExitEstimator: bins must be > 0"};
+  if (!(cfg_.decay > 0.0 && cfg_.decay <= 1.0))
+    throw std::invalid_argument{"OnlineExitEstimator: decay in (0, 1]"};
+  if (cfg_.window == 0)
+    throw std::invalid_argument{"OnlineExitEstimator: window must be > 0"};
+  if (!(cfg_.drift_threshold > 0.0))
+    throw std::invalid_argument{
+        "OnlineExitEstimator: drift_threshold must be > 0"};
+  cfg_.min_window = std::min(cfg_.min_window, cfg_.window);
+  longrun_.assign(cfg_.bins, 0.0);
+  window_.resize(cfg_.window);
+}
+
+std::size_t OnlineExitEstimator::bin_of(double t) const {
+  const double clamped = std::clamp(t, 0.0, horizon_);
+  auto bin = static_cast<std::size_t>(clamped / horizon_ *
+                                      static_cast<double>(cfg_.bins));
+  return std::min(bin, cfg_.bins - 1);
+}
+
+double OnlineExitEstimator::compute_ks_locked() const {
+  // Window histogram, then max |F_window - F_longrun| over bin edges.
+  std::vector<double> wh(cfg_.bins, 0.0);
+  for (std::size_t i = 0; i < window_fill_; ++i) wh[bin_of(window_[i])] += 1.0;
+  double lr_total = 0.0;
+  for (const double w : longrun_) lr_total += w;
+  if (lr_total <= 0.0 || window_fill_ == 0) return 0.0;
+  double ks = 0.0, fw = 0.0, fl = 0.0;
+  for (std::size_t b = 0; b < cfg_.bins; ++b) {
+    fw += wh[b] / static_cast<double>(window_fill_);
+    fl += longrun_[b] / lr_total;
+    ks = std::max(ks, std::abs(fw - fl));
+  }
+  return ks;
+}
+
+void OnlineExitEstimator::observe(double kill_ms) {
+  std::lock_guard lock{mu_};
+  const double t = std::clamp(kill_ms, 0.0, horizon_);
+  if (cfg_.decay < 1.0)
+    for (auto& w : longrun_) w *= cfg_.decay;
+  longrun_[bin_of(t)] += 1.0;
+  window_[window_next_] = t;
+  window_next_ = (window_next_ + 1) % cfg_.window;
+  window_fill_ = std::min(window_fill_ + 1, cfg_.window);
+  ++count_;
+
+  if (window_fill_ >= cfg_.min_window) {
+    last_ks_ = compute_ks_locked();
+    if (last_ks_ > cfg_.drift_threshold) {
+      // Regime switch: the recent window no longer looks like the long-run
+      // state. Restart the long-run histogram from the window so plans built
+      // after this instant reflect the new regime, and tell consumers their
+      // cached plans are stale.
+      ++drift_events_;
+      longrun_.assign(cfg_.bins, 0.0);
+      for (std::size_t i = 0; i < window_fill_; ++i)
+        longrun_[bin_of(window_[i])] += 1.0;
+      plan_generation_.fetch_add(1, std::memory_order_acq_rel);
+      EINET_INSTANT("scenario.drift", kScenario, .value = last_ks_);
+    }
+  }
+}
+
+std::uint64_t OnlineExitEstimator::count() const {
+  std::lock_guard lock{mu_};
+  return count_;
+}
+
+std::uint64_t OnlineExitEstimator::drift_events() const {
+  std::lock_guard lock{mu_};
+  return drift_events_;
+}
+
+double OnlineExitEstimator::ks_statistic() const {
+  std::lock_guard lock{mu_};
+  return last_ks_;
+}
+
+core::EmpiricalExitDistribution OnlineExitEstimator::snapshot() const {
+  std::lock_guard lock{mu_};
+  if (count_ == 0)
+    throw std::logic_error{
+        "OnlineExitEstimator: snapshot before any observation"};
+  double total = 0.0;
+  for (const double w : longrun_) total += w;
+  // Laplace-style smoothing: 1% of the observed mass spread uniformly, so
+  // the planner never sees a zero-probability region just because no kill
+  // has landed there yet.
+  const double alpha = std::max(total, 1.0) * 0.01 /
+                       static_cast<double>(cfg_.bins);
+  std::vector<double> weights(longrun_);
+  for (auto& w : weights) w += alpha;
+  return core::EmpiricalExitDistribution{std::move(weights), horizon_};
+}
+
+}  // namespace einet::scenario

@@ -1,0 +1,85 @@
+// Online exit-time distribution estimation + drift detection (DESIGN.md §7).
+//
+// The paper assumes the device knows the exit-time distribution it plans
+// against. In deployment it has to be *learned from the kills themselves*:
+// every observed kill instant updates an exponentially-decayed histogram
+// whose smoothed CDF is exported as a core::EmpiricalExitDistribution and
+// handed to the planner. A sliding window of the most recent kills is
+// compared against the long-run histogram with a Kolmogorov–Smirnov-style
+// statistic (max CDF gap at bin edges); when the gap exceeds the threshold
+// the estimator declares drift, rebuilds the long-run state from the window
+// and bumps `plan_generation()` — the signal consumers use to invalidate
+// cached plans and replan.
+//
+// Thread safety: observe() and snapshot() are mutex-protected (kills arrive
+// from concurrent serving workers); plan_generation() is a lock-free atomic
+// read so engines can poll it per task at no cost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/time_distribution.hpp"
+
+namespace einet::scenario {
+
+struct EstimatorConfig {
+  /// Histogram resolution over [0, horizon].
+  std::size_t bins = 64;
+  /// Per-observation decay of the long-run histogram; 1.0 = never forget.
+  double decay = 0.998;
+  /// Sliding-window size for drift detection.
+  std::size_t window = 256;
+  /// KS statistic (max CDF gap) above which drift is declared.
+  double drift_threshold = 0.12;
+  /// Minimum window fill before drift checks run (avoids noise firing).
+  std::size_t min_window = 64;
+};
+
+class OnlineExitEstimator {
+ public:
+  explicit OnlineExitEstimator(double horizon_ms, EstimatorConfig cfg = {});
+
+  /// Feed one observed kill instant (clamped into [0, horizon]).
+  void observe(double kill_ms);
+
+  /// Total kills observed.
+  [[nodiscard]] std::uint64_t count() const;
+  /// How many times drift was declared.
+  [[nodiscard]] std::uint64_t drift_events() const;
+  /// Monotone generation counter; bumps on every drift event. Consumers
+  /// cache it next to a plan and replan when it moves. Lock-free.
+  [[nodiscard]] std::uint64_t plan_generation() const {
+    return plan_generation_.load(std::memory_order_acquire);
+  }
+  /// Most recent window-vs-longrun KS statistic (0 until min_window kills).
+  [[nodiscard]] double ks_statistic() const;
+
+  /// Smoothed CDF of the long-run histogram as a planning distribution.
+  /// Throws std::logic_error before the first observation.
+  [[nodiscard]] core::EmpiricalExitDistribution snapshot() const;
+
+  [[nodiscard]] double horizon_ms() const { return horizon_; }
+  [[nodiscard]] const EstimatorConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] std::size_t bin_of(double t) const;
+  [[nodiscard]] double compute_ks_locked() const;
+
+  double horizon_;
+  EstimatorConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::vector<double> longrun_;   // decayed bin weights
+  std::vector<double> window_;    // ring buffer of raw kill instants
+  std::size_t window_next_ = 0;
+  std::size_t window_fill_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t drift_events_ = 0;
+  double last_ks_ = 0.0;
+  std::atomic<std::uint64_t> plan_generation_{1};
+};
+
+}  // namespace einet::scenario

@@ -1,0 +1,203 @@
+#include "scenario/injector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace einet::scenario {
+
+// ----------------------------------------------------------------- KillLedger
+
+void KillLedger::record(const KillRecord& r) {
+  std::lock_guard lock{mu_};
+  records_.push_back(r);
+}
+
+std::size_t KillLedger::size() const {
+  std::lock_guard lock{mu_};
+  return records_.size();
+}
+
+std::vector<KillRecord> KillLedger::snapshot() const {
+  std::vector<KillRecord> out;
+  {
+    std::lock_guard lock{mu_};
+    out = records_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KillRecord& a, const KillRecord& b) {
+              return a.task_index < b.task_index;
+            });
+  return out;
+}
+
+void KillLedger::to_json(util::JsonWriter& w) const {
+  const auto records = snapshot();
+  w.begin_object();
+  w.kv("kills", static_cast<std::uint64_t>(records.size()));
+  w.key("ledger");
+  w.begin_array();
+  for (const auto& r : records) {
+    w.begin_object();
+    w.kv("task", r.task_index);
+    w.kv("phase", static_cast<std::uint64_t>(r.phase));
+    w.kv("kill_ms", r.kill_ms);
+    w.kv("exit", r.exit_index);
+    w.kv("result_ms", r.result_time_ms);
+    w.kv("correct", r.correct);
+    w.kv("completed", r.completed);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string KillLedger::to_json_text() const {
+  std::ostringstream oss;
+  util::JsonWriter w{oss};
+  to_json(w);
+  return oss.str();
+}
+
+void KillLedger::save(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"KillLedger: cannot write " + path};
+  out << to_json_text() << '\n';
+  if (!out) throw std::runtime_error{"KillLedger: write failed for " + path};
+}
+
+// --------------------------------------------------------- PreemptionInjector
+
+PreemptionInjector::PreemptionInjector(const ScenarioScript& script,
+                                       InjectorConfig config)
+    : script_(script), config_(config) {
+  if (config_.mode == ClockMode::kWall) {
+    if (!(config_.time_scale > 0.0))
+      throw std::invalid_argument{
+          "PreemptionInjector: time_scale must be > 0"};
+    wall_thread_ = std::thread{[this] { wall_loop(); }};
+  }
+}
+
+PreemptionInjector::~PreemptionInjector() {
+  if (wall_thread_.joinable()) {
+    {
+      std::lock_guard lock{mu_};
+      stop_ = true;
+    }
+    cv_.notify_all();
+    wall_thread_.join();
+  }
+}
+
+double PreemptionInjector::subscribe(
+    std::uint64_t task_index, std::shared_ptr<core::CancelToken> token) {
+  if (token == nullptr)
+    throw std::invalid_argument{"PreemptionInjector: null token"};
+  const double kill_ms = script_.kill_for_task(task_index);
+  {
+    std::lock_guard lock{mu_};
+    if (!scheduled_.emplace(task_index, kill_ms).second)
+      throw std::logic_error{
+          "PreemptionInjector: task already subscribed"};
+    if (config_.mode == ClockMode::kWall) {
+      const auto delay = std::chrono::duration<double, std::milli>{
+          kill_ms * config_.time_scale};
+      pending_.push_back(
+          Pending{std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(delay),
+                  task_index, token});
+      std::push_heap(pending_.begin(), pending_.end(),
+                     [](const Pending& a, const Pending& b) {
+                       return a.due > b.due;
+                     });
+    }
+  }
+  if (config_.mode == ClockMode::kVirtual) {
+    token->arm_virtual(kill_ms);
+  } else {
+    cv_.notify_one();
+  }
+  EINET_INSTANT("scenario.kill_scheduled", kScenario,
+                .task_id = static_cast<std::int64_t>(task_index),
+                .value = kill_ms);
+  return kill_ms;
+}
+
+void PreemptionInjector::complete(std::uint64_t task_index,
+                                  const runtime::InferenceOutcome& outcome) {
+  double kill_ms = 0.0;
+  {
+    std::lock_guard lock{mu_};
+    const auto it = scheduled_.find(task_index);
+    if (it == scheduled_.end())
+      throw std::logic_error{
+          "PreemptionInjector: complete() without subscribe()"};
+    kill_ms = it->second;
+    scheduled_.erase(it);
+    // Wall mode: any still-pending fire for this task is left in the heap;
+    // the weak_ptr expires with the caller's token, so the wall thread
+    // skips it. Nothing to clean up eagerly.
+  }
+  KillRecord r;
+  r.task_index = task_index;
+  r.phase = script_.phase_of_task(task_index);
+  r.kill_ms = kill_ms;
+  r.exit_index = outcome.has_result
+                     ? static_cast<std::int64_t>(outcome.exit_index)
+                     : -1;
+  r.result_time_ms = outcome.result_time_ms;
+  r.correct = outcome.has_result && outcome.correct;
+  r.completed = outcome.completed;
+  ledger_.record(r);
+  if (config_.estimator != nullptr) config_.estimator->observe(kill_ms);
+  EINET_INSTANT("scenario.task_journaled", kScenario,
+                .task_id = static_cast<std::int64_t>(task_index),
+                .exit_index = r.exit_index,
+                .value = outcome.completed ? 0.0 : 1.0);
+}
+
+std::uint64_t PreemptionInjector::wall_kills_fired() const {
+  std::lock_guard lock{mu_};
+  return wall_fired_;
+}
+
+void PreemptionInjector::wall_loop() {
+  const auto later = [](const Pending& a, const Pending& b) {
+    return a.due > b.due;
+  };
+  std::unique_lock lock{mu_};
+  while (true) {
+    if (stop_) return;
+    if (pending_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      continue;
+    }
+    const auto due = pending_.front().due;
+    if (std::chrono::steady_clock::now() < due) {
+      // Woken early by a new subscription with an earlier due time, by
+      // stop, or spuriously — re-evaluate from the top either way.
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    std::pop_heap(pending_.begin(), pending_.end(), later);
+    Pending p = std::move(pending_.back());
+    pending_.pop_back();
+    if (auto token = p.token.lock()) {
+      ++wall_fired_;
+      const auto task_index = p.task_index;
+      lock.unlock();
+      token->fire();
+      EINET_INSTANT("scenario.kill_fired", kScenario,
+                    .task_id = static_cast<std::int64_t>(task_index));
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace einet::scenario

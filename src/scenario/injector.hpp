@@ -1,0 +1,140 @@
+// Asynchronous preemption delivery + the journaled kill ledger (DESIGN.md §7).
+//
+// The PreemptionInjector turns a ScenarioScript into actual kills delivered
+// through core::CancelToken, under one of two clocks:
+//
+//  - kVirtual (profile clock): subscribe() arms the token at the script's
+//    scheduled kill instant; the engine's deterministic simulated clock
+//    trips it. Bit-reproducible — the mode used by tests, benches and the
+//    replay fixture.
+//  - kWall: subscribe() registers the token with a real injector thread
+//    that calls CancelToken::fire() after kill_ms * time_scale real
+//    milliseconds. Kills land at genuinely unpredictable instants relative
+//    to the engine's progress; all cross-thread state is either
+//    mutex-protected or atomic (ThreadSanitizer-clean).
+//
+// Every kill is journaled: complete() records the scheduled kill plus the
+// task's outcome in the KillLedger, whose canonical JSON form (sorted by
+// task index) is byte-identical across runs of the same virtual-clock
+// scenario — the record/replay contract the chaos_lab CTest fixture diffs.
+// complete() also feeds the *scheduled* kill instant to an optional
+// OnlineExitEstimator: scenario kills are environment events (vRAN slots,
+// outages) observable independently of how far the task got, so the
+// estimator sees an uncensored sample of the true distribution.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cancel_token.hpp"
+#include "runtime/elastic_engine.hpp"
+#include "scenario/estimator.hpp"
+#include "scenario/scenario_script.hpp"
+#include "util/json.hpp"
+
+namespace einet::scenario {
+
+/// One journaled kill: what the scenario scheduled and what the task made
+/// of it. Everything here is deterministic under the virtual clock.
+struct KillRecord {
+  std::uint64_t task_index = 0;
+  std::size_t phase = 0;
+  /// Scheduled kill instant on the simulated clock (pure function of the
+  /// script seed and task index).
+  double kill_ms = 0.0;
+  /// Exit the task ended with; -1 when it produced no result.
+  std::int64_t exit_index = -1;
+  double result_time_ms = 0.0;
+  bool correct = false;
+  /// True if the whole plan finished before the kill landed.
+  bool completed = false;
+};
+
+/// Append-only journal of kills. Thread-safe; the JSON export sorts by task
+/// index so the bytes are independent of completion order.
+class KillLedger {
+ public:
+  void record(const KillRecord& r);
+  [[nodiscard]] std::size_t size() const;
+  /// Snapshot sorted by task_index (canonical order).
+  [[nodiscard]] std::vector<KillRecord> snapshot() const;
+  void to_json(util::JsonWriter& w) const;
+  [[nodiscard]] std::string to_json_text() const;
+  /// Write the canonical JSON to `path` (throws on I/O failure).
+  void save(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<KillRecord> records_;
+};
+
+enum class ClockMode : std::uint8_t { kVirtual, kWall };
+
+struct InjectorConfig {
+  ClockMode mode = ClockMode::kVirtual;
+  /// Wall milliseconds per simulated millisecond (wall mode only). The
+  /// simulated horizon is typically a few ms of profile time; scale it up
+  /// so real threads have time to race.
+  double time_scale = 1.0;
+  /// Optional online estimator fed the scheduled kill of every completed
+  /// task. Not owned; must outlive the injector.
+  OnlineExitEstimator* estimator = nullptr;
+};
+
+class PreemptionInjector {
+ public:
+  PreemptionInjector(const ScenarioScript& script, InjectorConfig config = {});
+  ~PreemptionInjector();
+
+  PreemptionInjector(const PreemptionInjector&) = delete;
+  PreemptionInjector& operator=(const PreemptionInjector&) = delete;
+
+  /// Register `token` for task `task_index`'s scheduled kill and return the
+  /// scheduled instant (simulated clock). Virtual mode arms the token
+  /// immediately; wall mode schedules a fire() on the injector thread.
+  double subscribe(std::uint64_t task_index,
+                   std::shared_ptr<core::CancelToken> token);
+
+  /// Journal the task's outcome, release its pending kill and feed the
+  /// estimator. Every subscribe() must be paired with one complete().
+  void complete(std::uint64_t task_index,
+                const runtime::InferenceOutcome& outcome);
+
+  [[nodiscard]] const ScenarioScript& script() const { return script_; }
+  [[nodiscard]] ClockMode mode() const { return config_.mode; }
+  [[nodiscard]] const KillLedger& ledger() const { return ledger_; }
+  [[nodiscard]] OnlineExitEstimator* estimator() const {
+    return config_.estimator;
+  }
+  /// Kills fired by the wall-clock thread so far (0 in virtual mode).
+  [[nodiscard]] std::uint64_t wall_kills_fired() const;
+
+ private:
+  struct Pending {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t task_index = 0;
+    std::weak_ptr<core::CancelToken> token;
+  };
+
+  void wall_loop();
+
+  ScenarioScript script_;
+  InjectorConfig config_;
+  KillLedger ledger_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Pending> pending_;  // min-heap by due (wall mode)
+  std::unordered_map<std::uint64_t, double> scheduled_;
+  std::uint64_t wall_fired_ = 0;
+  bool stop_ = false;
+  std::thread wall_thread_;  // joinable only in wall mode
+};
+
+}  // namespace einet::scenario

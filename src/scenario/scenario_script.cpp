@@ -1,0 +1,367 @@
+#include "scenario/scenario_script.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace einet::scenario {
+
+const char* regime_kind_name(RegimeKind k) {
+  switch (k) {
+    case RegimeKind::kUniform:
+      return "uniform";
+    case RegimeKind::kGaussian:
+      return "gaussian";
+    case RegimeKind::kBursty:
+      return "bursty";
+    case RegimeKind::kVranSlots:
+      return "vran_slots";
+    case RegimeKind::kTrace:
+      return "trace";
+  }
+  return "unknown";
+}
+
+RegimeKind regime_kind_from_name(std::string_view name) {
+  if (name == "uniform") return RegimeKind::kUniform;
+  if (name == "gaussian") return RegimeKind::kGaussian;
+  if (name == "bursty") return RegimeKind::kBursty;
+  if (name == "vran_slots") return RegimeKind::kVranSlots;
+  if (name == "trace") return RegimeKind::kTrace;
+  throw std::invalid_argument{"ScenarioScript: unknown regime kind '" +
+                              std::string{name} + "'"};
+}
+
+ScenarioScript::ScenarioScript(double horizon_ms, std::uint64_t seed)
+    : horizon_(horizon_ms), seed_(seed) {
+  if (!(horizon_ > 0.0))
+    throw std::invalid_argument{"ScenarioScript: horizon must be > 0"};
+}
+
+ScenarioScript& ScenarioScript::uniform_phase(std::size_t tasks,
+                                              std::string label) {
+  if (tasks == 0)
+    throw std::invalid_argument{"ScenarioScript: phase needs tasks > 0"};
+  Regime r;
+  r.kind = RegimeKind::kUniform;
+  phases_.push_back(Phase{std::move(r), tasks, std::move(label)});
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::gaussian_phase(std::size_t tasks, double mu_ms,
+                                               double sigma_ms,
+                                               std::string label) {
+  if (tasks == 0)
+    throw std::invalid_argument{"ScenarioScript: phase needs tasks > 0"};
+  if (!(sigma_ms > 0.0))
+    throw std::invalid_argument{"ScenarioScript: gaussian sigma must be > 0"};
+  Regime r;
+  r.kind = RegimeKind::kGaussian;
+  r.mu_ms = mu_ms;
+  r.sigma_ms = sigma_ms;
+  phases_.push_back(Phase{std::move(r), tasks, std::move(label)});
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::bursty_phase(std::size_t tasks,
+                                             std::vector<double> centres,
+                                             double sigma_frac, double prob,
+                                             std::string label) {
+  if (tasks == 0)
+    throw std::invalid_argument{"ScenarioScript: phase needs tasks > 0"};
+  if (centres.empty())
+    throw std::invalid_argument{"ScenarioScript: bursty needs centres"};
+  for (const double c : centres)
+    if (!(c >= 0.0 && c <= 1.0))
+      throw std::invalid_argument{
+          "ScenarioScript: burst centres are horizon fractions in [0, 1]"};
+  if (!(prob >= 0.0 && prob <= 1.0))
+    throw std::invalid_argument{"ScenarioScript: burst prob in [0, 1]"};
+  if (!(sigma_frac > 0.0))
+    throw std::invalid_argument{"ScenarioScript: burst sigma_frac must be > 0"};
+  Regime r;
+  r.kind = RegimeKind::kBursty;
+  r.burst_centres = std::move(centres);
+  r.burst_sigma_frac = sigma_frac;
+  r.burst_prob = prob;
+  phases_.push_back(Phase{std::move(r), tasks, std::move(label)});
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::vran_slots_phase(std::size_t tasks,
+                                                 double period_ms,
+                                                 double jitter_ms,
+                                                 std::string label) {
+  if (tasks == 0)
+    throw std::invalid_argument{"ScenarioScript: phase needs tasks > 0"};
+  if (!(period_ms > 0.0 && period_ms <= horizon_))
+    throw std::invalid_argument{
+        "ScenarioScript: slot period must be in (0, horizon]"};
+  if (!(jitter_ms >= 0.0))
+    throw std::invalid_argument{"ScenarioScript: slot jitter must be >= 0"};
+  Regime r;
+  r.kind = RegimeKind::kVranSlots;
+  r.slot_period_ms = period_ms;
+  r.slot_jitter_ms = jitter_ms;
+  phases_.push_back(Phase{std::move(r), tasks, std::move(label)});
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::trace_phase(std::size_t tasks,
+                                            std::vector<double> times_ms,
+                                            std::string label) {
+  if (tasks == 0)
+    throw std::invalid_argument{"ScenarioScript: phase needs tasks > 0"};
+  if (times_ms.empty())
+    throw std::invalid_argument{"ScenarioScript: trace phase needs events"};
+  Regime r;
+  r.kind = RegimeKind::kTrace;
+  r.trace_ms = std::move(times_ms);
+  for (auto& t : r.trace_ms) t = std::clamp(t, 0.0, horizon_);
+  phases_.push_back(Phase{std::move(r), tasks, std::move(label)});
+  return *this;
+}
+
+ScenarioScript ScenarioScript::from_seed(double horizon_ms, std::uint64_t seed,
+                                         std::size_t num_phases,
+                                         std::size_t tasks_per_phase) {
+  if (num_phases == 0 || tasks_per_phase == 0)
+    throw std::invalid_argument{
+        "ScenarioScript::from_seed: need phases and tasks > 0"};
+  ScenarioScript script{horizon_ms, seed};
+  util::Rng rng{mix_seed(seed, 0x5C41A110ULL)};
+  for (std::size_t p = 0; p < num_phases; ++p) {
+    switch (rng.uniform_int(4)) {
+      case 0:
+        script.uniform_phase(tasks_per_phase);
+        break;
+      case 1:
+        script.gaussian_phase(tasks_per_phase,
+                              rng.uniform(0.3, 0.8) * horizon_ms,
+                              rng.uniform(0.05, 0.3) * horizon_ms);
+        break;
+      case 2: {
+        const std::size_t n_bursts = 2 + rng.uniform_int(3);
+        std::vector<double> centres(n_bursts);
+        for (auto& c : centres) c = rng.uniform(0.1, 0.9);
+        std::sort(centres.begin(), centres.end());
+        script.bursty_phase(tasks_per_phase, std::move(centres),
+                            rng.uniform(0.02, 0.08),
+                            rng.uniform(0.6, 0.9));
+        break;
+      }
+      default:
+        script.vran_slots_phase(tasks_per_phase,
+                                rng.uniform(0.1, 0.35) * horizon_ms,
+                                rng.uniform(0.0, 0.03) * horizon_ms);
+        break;
+    }
+  }
+  return script;
+}
+
+std::size_t ScenarioScript::total_tasks() const {
+  std::size_t n = 0;
+  for (const auto& p : phases_) n += p.num_tasks;
+  return n;
+}
+
+std::size_t ScenarioScript::phase_of_task(std::size_t task_index) const {
+  if (phases_.empty())
+    throw std::logic_error{"ScenarioScript: no phases defined"};
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < phases_.size(); ++p) {
+    cursor += phases_[p].num_tasks;
+    if (task_index < cursor) return p;
+  }
+  return phases_.size() - 1;  // steady state: final phase persists
+}
+
+double ScenarioScript::kill_for_task(std::size_t task_index) const {
+  util::Rng rng{mix_seed(seed_, task_index)};
+  return sample_phase(phase_of_task(task_index), rng);
+}
+
+void ScenarioScript::check_phase(std::size_t p) const {
+  if (p >= phases_.size())
+    throw std::out_of_range{"ScenarioScript: phase index out of range"};
+}
+
+double ScenarioScript::sample_phase(std::size_t p, util::Rng& rng) const {
+  check_phase(p);
+  const Regime& r = phases_[p].regime;
+  switch (r.kind) {
+    case RegimeKind::kUniform:
+      return rng.uniform(0.0, horizon_);
+    case RegimeKind::kGaussian: {
+      for (int attempt = 0; attempt < 10000; ++attempt) {
+        const double t = rng.gaussian(r.mu_ms, r.sigma_ms);
+        if (t >= 0.0 && t <= horizon_) return t;
+      }
+      return std::clamp(r.mu_ms, 0.0, horizon_);
+    }
+    case RegimeKind::kBursty: {
+      // Consumption order matches the hand-rolled synth_vran_trace the
+      // vran_preemption example used before the scenario engine existed:
+      // bernoulli, then (centre pick, gaussian) or uniform.
+      if (rng.bernoulli(r.burst_prob)) {
+        const double centre =
+            r.burst_centres[rng.uniform_int(r.burst_centres.size())] *
+            horizon_;
+        return std::clamp(rng.gaussian(centre, r.burst_sigma_frac * horizon_),
+                          0.0, horizon_);
+      }
+      return rng.uniform(0.0, horizon_);
+    }
+    case RegimeKind::kVranSlots: {
+      const auto num_slots = static_cast<std::uint64_t>(
+          std::max(1.0, std::floor(horizon_ / r.slot_period_ms)));
+      const double slot =
+          static_cast<double>(1 + rng.uniform_int(num_slots)) *
+          r.slot_period_ms;
+      const double jitter =
+          r.slot_jitter_ms > 0.0 ? rng.gaussian(0.0, r.slot_jitter_ms) : 0.0;
+      return std::clamp(slot + jitter, 0.0, horizon_);
+    }
+    case RegimeKind::kTrace:
+      return r.trace_ms[rng.uniform_int(r.trace_ms.size())];
+  }
+  throw std::logic_error{"ScenarioScript: unreachable regime kind"};
+}
+
+std::vector<double> ScenarioScript::sample_trace(std::size_t p,
+                                                 std::size_t events,
+                                                 util::Rng& rng) const {
+  check_phase(p);
+  std::vector<double> trace;
+  trace.reserve(events);
+  while (trace.size() < events) trace.push_back(sample_phase(p, rng));
+  return trace;
+}
+
+std::unique_ptr<core::TimeDistribution> ScenarioScript::true_distribution(
+    std::size_t p, std::size_t mc_samples) const {
+  check_phase(p);
+  const Regime& r = phases_[p].regime;
+  switch (r.kind) {
+    case RegimeKind::kUniform:
+      return std::make_unique<core::UniformExitDistribution>(horizon_);
+    case RegimeKind::kGaussian:
+      return std::make_unique<core::TruncatedGaussianExitDistribution>(
+          r.mu_ms, r.sigma_ms, horizon_);
+    case RegimeKind::kTrace:
+      return std::make_unique<core::TraceExitDistribution>(r.trace_ms,
+                                                           horizon_);
+    default: {
+      // No closed form: Monte-Carlo with a seed derived from the script so
+      // the "true" distribution is itself reproducible.
+      util::Rng rng{mix_seed(seed_, 0xD157000000000000ULL + p)};
+      return std::make_unique<core::TraceExitDistribution>(
+          sample_trace(p, mc_samples, rng), horizon_);
+    }
+  }
+}
+
+void ScenarioScript::to_json(util::JsonWriter& w) const {
+  w.begin_object();
+  w.kv("horizon_ms", horizon_);
+  w.kv("seed", static_cast<std::uint64_t>(seed_));
+  w.key("phases");
+  w.begin_array();
+  for (const auto& phase : phases_) {
+    const Regime& r = phase.regime;
+    w.begin_object();
+    w.kv("kind", regime_kind_name(r.kind));
+    w.kv("tasks", static_cast<std::uint64_t>(phase.num_tasks));
+    w.kv("label", phase.label);
+    switch (r.kind) {
+      case RegimeKind::kGaussian:
+        w.kv("mu_ms", r.mu_ms);
+        w.kv("sigma_ms", r.sigma_ms);
+        break;
+      case RegimeKind::kBursty:
+        w.key("centres");
+        w.begin_array();
+        for (const double c : r.burst_centres) w.value(c);
+        w.end_array();
+        w.kv("sigma_frac", r.burst_sigma_frac);
+        w.kv("prob", r.burst_prob);
+        break;
+      case RegimeKind::kVranSlots:
+        w.kv("period_ms", r.slot_period_ms);
+        w.kv("jitter_ms", r.slot_jitter_ms);
+        break;
+      case RegimeKind::kTrace:
+        w.key("times_ms");
+        w.begin_array();
+        for (const double t : r.trace_ms) w.value(t);
+        w.end_array();
+        break;
+      case RegimeKind::kUniform:
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string ScenarioScript::to_json_text() const {
+  std::ostringstream oss;
+  util::JsonWriter w{oss};
+  to_json(w);
+  return oss.str();
+}
+
+ScenarioScript ScenarioScript::from_json(const util::JsonValue& v) {
+  const double horizon = v.at("horizon_ms").as_number();
+  const auto seed = static_cast<std::uint64_t>(v.number_or("seed", 0.0));
+  ScenarioScript script{horizon, seed};
+  for (const auto& pv : v.at("phases").as_array()) {
+    const RegimeKind kind = regime_kind_from_name(pv.at("kind").as_string());
+    const auto tasks = static_cast<std::size_t>(pv.at("tasks").as_number());
+    std::string label =
+        pv.has("label") ? pv.at("label").as_string() : regime_kind_name(kind);
+    switch (kind) {
+      case RegimeKind::kUniform:
+        script.uniform_phase(tasks, std::move(label));
+        break;
+      case RegimeKind::kGaussian:
+        script.gaussian_phase(tasks, pv.at("mu_ms").as_number(),
+                              pv.at("sigma_ms").as_number(),
+                              std::move(label));
+        break;
+      case RegimeKind::kBursty: {
+        std::vector<double> centres;
+        for (const auto& c : pv.at("centres").as_array())
+          centres.push_back(c.as_number());
+        script.bursty_phase(tasks, std::move(centres),
+                            pv.number_or("sigma_frac", 0.04),
+                            pv.number_or("prob", 0.75), std::move(label));
+        break;
+      }
+      case RegimeKind::kVranSlots:
+        script.vran_slots_phase(tasks, pv.at("period_ms").as_number(),
+                                pv.number_or("jitter_ms", 0.0),
+                                std::move(label));
+        break;
+      case RegimeKind::kTrace: {
+        std::vector<double> times;
+        for (const auto& t : pv.at("times_ms").as_array())
+          times.push_back(t.as_number());
+        script.trace_phase(tasks, std::move(times), std::move(label));
+        break;
+      }
+    }
+  }
+  if (script.phases_.empty())
+    throw std::runtime_error{"ScenarioScript: JSON has no phases"};
+  return script;
+}
+
+ScenarioScript ScenarioScript::from_json_text(std::string_view text) {
+  return from_json(util::json_parse(text));
+}
+
+}  // namespace einet::scenario

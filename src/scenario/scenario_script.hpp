@@ -1,0 +1,151 @@
+// Declarative unpredictable-exit scenarios (DESIGN.md §7).
+//
+// A ScenarioScript describes *when the environment kills tasks*: a schedule
+// of regimes (uniform background load, Gaussian-concentrated outages,
+// bursty user aborts, periodic 5G vRAN preemption slots with jitter, or a
+// measured trace), each governing a contiguous range of task indices. The
+// script is the single source of truth for a chaos experiment: the same
+// script drives the PreemptionInjector (which delivers the kills), the
+// analytic "true" distribution the planner is graded against, and the JSON
+// file the experiment is archived as.
+//
+// Determinism contract: the kill instant of task i is a pure function of
+// (script, task index) — each task draws from its own Rng seeded by
+// mix(seed, i). Worker interleaving, concurrency and replay order therefore
+// cannot change any kill, which is what makes the kill ledger byte-identical
+// across runs (ISSUE: record/replay).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/time_distribution.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace einet::scenario {
+
+/// splitmix64-style finaliser used to derive per-task seeds. Exposed so
+/// tests can predict kill draws independently of ScenarioScript internals.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t a,
+                                               std::uint64_t b) {
+  std::uint64_t z = a + 0x9E3779B97F4A7C15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+enum class RegimeKind : std::uint8_t {
+  kUniform,    // memoryless background: kill ~ U[0, horizon)
+  kGaussian,   // outage window concentrated around mu_ms
+  kBursty,     // clustered bursts + sparse background (vRAN traffic shape)
+  kVranSlots,  // periodic preemption slots with Gaussian jitter
+  kTrace,      // replay of a measured kill-time list
+};
+
+[[nodiscard]] const char* regime_kind_name(RegimeKind k);
+[[nodiscard]] RegimeKind regime_kind_from_name(std::string_view name);
+
+/// One stochastic kill-time law. Only the fields for `kind` are meaningful.
+struct Regime {
+  RegimeKind kind = RegimeKind::kUniform;
+  // kGaussian
+  double mu_ms = 0.0;
+  double sigma_ms = 0.0;
+  // kBursty: burst centres as fractions of the horizon; with probability
+  // `burst_prob` a kill lands near a random centre, else uniformly.
+  std::vector<double> burst_centres;
+  double burst_sigma_frac = 0.04;
+  double burst_prob = 0.75;
+  // kVranSlots
+  double slot_period_ms = 0.0;
+  double slot_jitter_ms = 0.0;
+  // kTrace
+  std::vector<double> trace_ms;
+};
+
+/// A regime plus the number of consecutive tasks it governs.
+struct Phase {
+  Regime regime;
+  std::size_t num_tasks = 0;
+  std::string label;
+};
+
+class ScenarioScript {
+ public:
+  ScenarioScript(double horizon_ms, std::uint64_t seed);
+
+  // ---- builders (chainable) -----------------------------------------------
+  ScenarioScript& uniform_phase(std::size_t tasks,
+                                std::string label = "uniform");
+  ScenarioScript& gaussian_phase(std::size_t tasks, double mu_ms,
+                                 double sigma_ms,
+                                 std::string label = "gaussian");
+  ScenarioScript& bursty_phase(std::size_t tasks,
+                               std::vector<double> centres = {0.20, 0.45,
+                                                              0.80},
+                               double sigma_frac = 0.04, double prob = 0.75,
+                               std::string label = "bursty");
+  ScenarioScript& vran_slots_phase(std::size_t tasks, double period_ms,
+                                   double jitter_ms,
+                                   std::string label = "vran_slots");
+  ScenarioScript& trace_phase(std::size_t tasks, std::vector<double> times_ms,
+                              std::string label = "trace");
+
+  /// Procedural scenario: a regime-switching schedule drawn from `seed`
+  /// alone (every parameter — regime kinds included — is derived from it).
+  [[nodiscard]] static ScenarioScript from_seed(double horizon_ms,
+                                                std::uint64_t seed,
+                                                std::size_t num_phases,
+                                                std::size_t tasks_per_phase);
+
+  // ---- queries ------------------------------------------------------------
+  [[nodiscard]] double horizon_ms() const { return horizon_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::size_t num_phases() const { return phases_.size(); }
+  [[nodiscard]] std::size_t total_tasks() const;
+  [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+
+  /// Which phase governs task `task_index`; indices past the schedule stay
+  /// in the final phase (the scenario's steady state).
+  [[nodiscard]] std::size_t phase_of_task(std::size_t task_index) const;
+
+  /// The kill instant for task `task_index` — deterministic, order-free.
+  [[nodiscard]] double kill_for_task(std::size_t task_index) const;
+
+  /// One draw from phase `p`'s regime using the caller's generator. The
+  /// draw consumes `rng` in a fixed documented order per kind, so callers
+  /// that previously hand-rolled the same law (examples/vran_preemption)
+  /// reproduce their numbers exactly.
+  [[nodiscard]] double sample_phase(std::size_t p, util::Rng& rng) const;
+
+  /// `events` consecutive draws from phase `p` (trace synthesis helper).
+  [[nodiscard]] std::vector<double> sample_trace(std::size_t p,
+                                                 std::size_t events,
+                                                 util::Rng& rng) const;
+
+  /// The ground-truth planning distribution of phase `p`: analytic where a
+  /// closed form exists (uniform, Gaussian), otherwise an empirical
+  /// distribution built from `mc_samples` internal Monte-Carlo draws
+  /// (deterministic in the script seed).
+  [[nodiscard]] std::unique_ptr<core::TimeDistribution> true_distribution(
+      std::size_t p, std::size_t mc_samples = 100000) const;
+
+  // ---- serialisation ------------------------------------------------------
+  void to_json(util::JsonWriter& w) const;
+  [[nodiscard]] std::string to_json_text() const;
+  [[nodiscard]] static ScenarioScript from_json(const util::JsonValue& v);
+  [[nodiscard]] static ScenarioScript from_json_text(std::string_view text);
+
+ private:
+  void check_phase(std::size_t p) const;
+
+  double horizon_;
+  std::uint64_t seed_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace einet::scenario

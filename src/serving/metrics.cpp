@@ -22,10 +22,10 @@ double MetricsSnapshot::accuracy() const {
 std::string MetricsSnapshot::to_string() const {
   std::ostringstream out;
   util::Table counters{{"submitted", "admitted", "shed", "rejected",
-                        "completed", "valid rate", "accuracy"}};
+                        "completed", "preempted", "valid rate", "accuracy"}};
   counters.add_row({std::to_string(submitted), std::to_string(admitted),
                     std::to_string(shed), std::to_string(rejected),
-                    std::to_string(completed),
+                    std::to_string(completed), std::to_string(preempted),
                     util::Table::pct(100.0 * valid_rate()),
                     util::Table::pct(100.0 * accuracy())});
   out << counters.str();
@@ -58,6 +58,7 @@ std::string MetricsSnapshot::to_json() const {
   json.kv("completed", completed);
   json.kv("valid", valid);
   json.kv("correct", correct);
+  json.kv("preempted", preempted);
   json.end_object();
   json.kv("valid_rate", valid_rate());
   json.kv("accuracy", accuracy());
@@ -93,6 +94,7 @@ MetricsRegistry::MetricsRegistry(MetricsConfig config)
 
 void MetricsRegistry::on_completed(const TaskResult& result) {
   completed_.fetch_add(1, std::memory_order_relaxed);
+  if (result.preempted) preempted_.fetch_add(1, std::memory_order_relaxed);
   if (result.outcome.has_result) {
     valid_.fetch_add(1, std::memory_order_relaxed);
     if (result.outcome.correct)
@@ -107,11 +109,11 @@ LatencySummary MetricsRegistry::summarize(
     const LatencyTrack& track) {
   LatencySummary s;
   s.stats = track.stats;
-  s.percentile_samples = track.reservoir.size();
-  if (!track.reservoir.empty()) {
-    s.p50_ms = util::percentile(track.reservoir, 50.0);
-    s.p95_ms = util::percentile(track.reservoir, 95.0);
-    s.p99_ms = util::percentile(track.reservoir, 99.0);
+  s.percentile_samples = track.reservoir.samples().size();
+  if (!track.reservoir.samples().empty()) {
+    s.p50_ms = track.reservoir.percentile(50.0);
+    s.p95_ms = track.reservoir.percentile(95.0);
+    s.p99_ms = track.reservoir.percentile(99.0);
   }
   return s;
 }
@@ -125,6 +127,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.completed = completed_.load(std::memory_order_relaxed);
   snap.valid = valid_.load(std::memory_order_relaxed);
   snap.correct = correct_.load(std::memory_order_relaxed);
+  snap.preempted = preempted_.load(std::memory_order_relaxed);
   std::lock_guard lock{latency_mu_};
   snap.queue_wait = summarize(queue_wait_);
   snap.end_to_end = summarize(end_to_end_);

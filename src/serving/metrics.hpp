@@ -57,6 +57,9 @@ struct MetricsSnapshot {
   std::uint64_t completed = 0;
   std::uint64_t valid = 0;    // completed with at least one result
   std::uint64_t correct = 0;  // completed with a correct result
+  /// Completed tasks that a scenario kill cut short (subset of completed;
+  /// 0 unless a PreemptionInjector is attached to the pool).
+  std::uint64_t preempted = 0;
 
   /// valid / completed (0 when nothing completed).
   [[nodiscard]] double valid_rate() const;
@@ -96,32 +99,22 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> valid_{0};
   std::atomic<std::uint64_t> correct_{0};
+  std::atomic<std::uint64_t> preempted_{0};
 
   struct LatencyTrack {
     util::RunningStats stats;
     util::Histogram hist;
-    /// Bounded sample store: exact up to `cap` samples, then a uniform
+    /// Bounded sample store: exact up to the configured cap, then a uniform
     /// reservoir (algorithm R) over everything seen — no unbounded growth.
-    std::vector<double> reservoir;
-    std::size_t cap;
-    util::Rng rng;
+    util::Reservoir reservoir;
 
     LatencyTrack(const MetricsConfig& c, std::uint64_t seed)
         : hist(0.0, c.latency_hist_hi_ms, c.latency_hist_bins),
-          cap(c.latency_reservoir == 0 ? 1 : c.latency_reservoir),
-          rng(seed) {
-      reservoir.reserve(cap);
-    }
+          reservoir(c.latency_reservoir, seed) {}
     void add(double x) {
       stats.add(x);
       hist.add(x);
-      if (reservoir.size() < cap) {
-        reservoir.push_back(x);
-      } else {
-        // Keep x with probability cap/seen; evict a uniform victim.
-        const std::uint64_t j = rng.uniform_int(stats.count());
-        if (j < cap) reservoir[j] = x;
-      }
+      reservoir.add(x);
     }
   };
   [[nodiscard]] static LatencySummary summarize(const LatencyTrack& track);

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "core/cancel_token.hpp"
 #include "profiling/profiles.hpp"
 #include "runtime/elastic_engine.hpp"
 
@@ -22,6 +24,10 @@ struct Task {
   double deadline_ms = 0.0;
   /// Wall-clock submit instant (ms since server start), for queue-wait.
   double submit_ms = 0.0;
+  /// Set by the worker when a scenario::PreemptionInjector is attached to
+  /// the pool: the runner should execute through run_cancellable() against
+  /// this token instead of the pre-sampled deadline_ms.
+  std::shared_ptr<core::CancelToken> cancel;
 };
 
 struct TaskResult {
@@ -32,6 +38,8 @@ struct TaskResult {
   double queue_wait_ms = 0.0;
   /// Wall-clock time from submit to completion (queue wait + processing).
   double end_to_end_ms = 0.0;
+  /// True when a scenario kill ended the task before its plan completed.
+  bool preempted = false;
 };
 
 }  // namespace einet::serving

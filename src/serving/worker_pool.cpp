@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "scenario/injector.hpp"
 #include "util/logging.hpp"
 
 namespace einet::serving {
@@ -74,6 +75,10 @@ void WorkerPool::worker_loop(std::size_t worker_id) {
                                       .slack_ms = task->deadline_ms});
       }
     }
+    if (config_.injector != nullptr) {
+      task->cancel = std::make_shared<core::CancelToken>();
+      config_.injector->subscribe(task->id, task->cancel);
+    }
     {
       EINET_SPAN(exec_span, "serve.execute", kServing);
       exec_span.task(task_id).slack(task->deadline_ms).value(
@@ -87,6 +92,12 @@ void WorkerPool::worker_loop(std::size_t worker_id) {
                         << " failed: " << e.what();
         result.outcome = runtime::InferenceOutcome{};
       }
+    }
+    if (config_.injector != nullptr) {
+      // Journal even a failed task: subscribe/complete must stay paired so
+      // the ledger covers every admitted task exactly once.
+      config_.injector->complete(task->id, result.outcome);
+      result.preempted = !result.outcome.completed;
     }
     result.end_to_end_ms = clock_.elapsed_ms() - task->submit_ms;
     EINET_INSTANT(

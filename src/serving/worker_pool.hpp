@@ -25,6 +25,10 @@
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
+namespace einet::scenario {
+class PreemptionInjector;
+}
+
 namespace einet::serving {
 
 /// Builds one worker's private engine replica. Called sequentially from
@@ -42,6 +46,10 @@ struct WorkerPoolConfig {
   std::size_t num_workers = 1;
   /// Base seed; per-worker streams are split off it in worker order.
   std::uint64_t seed = 0x5EED;
+  /// Optional chaos hookup: when set, every task is subscribed to the
+  /// injector before execution (Task::cancel carries the token into the
+  /// runner) and journaled after it. Not owned; must outlive the pool.
+  scenario::PreemptionInjector* injector = nullptr;
 };
 
 class WorkerPool {

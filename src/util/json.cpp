@@ -1,7 +1,9 @@
 #include "util/json.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace einet::util {
@@ -132,6 +134,251 @@ void JsonWriter::value(bool v) {
 void JsonWriter::null() {
   before_value(/*is_key=*/false);
   out_ << "null";
+}
+
+// ---------------------------------------------------------------- reader
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::runtime_error{"JsonValue: not a bool"};
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber)
+    throw std::runtime_error{"JsonValue: not a number"};
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString)
+    throw std::runtime_error{"JsonValue: not a string"};
+  return str_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) throw std::runtime_error{"JsonValue: not an array"};
+  return arr_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject)
+    throw std::runtime_error{"JsonValue: not an object"};
+  return obj_;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end())
+    throw std::runtime_error{"JsonValue: missing key '" + std::string{key} +
+                             "'"};
+  return it->second;
+}
+
+bool JsonValue::has(std::string_view key) const {
+  return kind_ == Kind::kObject && obj_.find(key) != obj_.end();
+}
+
+double JsonValue::number_or(std::string_view key, double def) const {
+  return has(key) ? at(key).as_number() : def;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error{"json_parse: " + what + " at offset " +
+                             std::to_string(pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue{parse_string()};
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue{true};
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue{false};
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(obj)};
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(obj)};
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(arr)};
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(arr)};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                fail("bad \\u escape");
+            }
+            pos_ += 4;
+            // The writer only emits \u00xx for control bytes; encode the
+            // general case as UTF-8 so round trips never lose data.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      out += c;
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string token{text_.substr(start, pos_ - start)};
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return JsonValue{v};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) {
+  Parser parser{text};
+  return parser.parse_document();
 }
 
 }  // namespace einet::util

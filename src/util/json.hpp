@@ -1,10 +1,14 @@
-// Minimal streaming JSON writer shared by the observability exporters
-// (obs/export.hpp) and the serving metrics snapshot (metrics.hpp). Emits
-// compact, valid JSON with correct string escaping; non-finite doubles are
-// written as null so the output always parses.
+// Minimal JSON support shared by the observability exporters (obs/export.hpp),
+// the serving metrics snapshot (metrics.hpp) and the scenario scripts
+// (scenario/scenario_script.hpp): a streaming writer that emits compact,
+// valid JSON with correct string escaping (non-finite doubles are written as
+// null so the output always parses), and a small recursive-descent reader
+// producing a JsonValue tree.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -58,5 +62,58 @@ class JsonWriter {
   std::vector<bool> first_;      // per-scope: no element emitted yet
   bool expecting_value_ = false;  // a key was just written
 };
+
+/// Parsed JSON tree. Numbers are stored as double (sufficient for the
+/// scenario-script and metrics payloads this repo produces); object member
+/// order is not preserved (std::map, deterministic iteration by key).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue, std::less<>>;
+
+  JsonValue() = default;
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  JsonValue(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  JsonValue(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; throws if not an object or the key is absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  /// True if this is an object containing `key`.
+  [[nodiscard]] bool has(std::string_view key) const;
+  /// Member value when present, `def` otherwise.
+  [[nodiscard]] double number_or(std::string_view key, double def) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected). Throws std::runtime_error with an offset on malformed input.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
 
 }  // namespace einet::util

@@ -31,6 +31,10 @@ double percentile(std::vector<double> xs, double p) {
   return xs[lo] + frac * (xs[hi] - xs[lo]);
 }
 
+double Reservoir::percentile(double p) const {
+  return util::percentile(samples_, p);
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   if (bins == 0) throw std::invalid_argument{"Histogram: bins must be > 0"};

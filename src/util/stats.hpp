@@ -1,6 +1,7 @@
-// Small statistics helpers shared by the profiler and the benches:
-// mean / stddev / percentile over a sample vector, plus a streaming
-// accumulator and a fixed-bin histogram (used for Figure 4).
+// Small statistics helpers shared by the profiler, the serving metrics and
+// the benches: mean / stddev / percentile over a sample vector, a streaming
+// accumulator, a fixed-bin histogram (used for Figure 4), and a bounded
+// uniform sample reservoir for percentile estimation on unbounded streams.
 #pragma once
 
 #include <algorithm>
@@ -9,6 +10,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace einet::util {
 
@@ -67,6 +70,47 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Bounded uniform sample store (Vitter's algorithm R): the first `cap`
+/// samples are kept verbatim, after which each of the N samples seen so far
+/// survives with probability cap/N. Percentiles computed from the retained
+/// samples are exact while seen() <= capacity() and unbiased estimates
+/// beyond it — memory stays bounded on an unbounded stream.
+class Reservoir {
+ public:
+  /// `cap == 0` is clamped to 1 so percentile() always has a sample.
+  explicit Reservoir(std::size_t cap, std::uint64_t seed = 0x5EEDF00D)
+      : cap_(cap == 0 ? 1 : cap), rng_(seed) {
+    samples_.reserve(cap_);
+  }
+
+  void add(double x) {
+    ++seen_;
+    if (samples_.size() < cap_) {
+      samples_.push_back(x);
+      return;
+    }
+    // Keep x with probability cap/seen; evict a uniform victim.
+    const std::uint64_t j = rng_.uniform_int(seen_);
+    if (j < cap_) samples_[j] = x;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  /// Total samples ever offered (including evicted ones).
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+  /// True while the retained set is the full stream (exact percentiles).
+  [[nodiscard]] bool exact() const { return seen_ <= cap_; }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  /// p-th percentile of the retained samples; throws on an empty reservoir.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  std::size_t cap_;
+  std::uint64_t seen_ = 0;
+  std::vector<double> samples_;
+  Rng rng_;
 };
 
 /// Equal-width histogram over [lo, hi]; values outside are clamped to the

@@ -1,0 +1,393 @@
+// Scenario-engine suite (DESIGN.md §7): CancelToken semantics, script
+// determinism and JSON round-trips, cancellable-run equivalence with the
+// deadline path, online estimator convergence (the 2% closed-loop criterion)
+// and drift detection, byte-identical replay of the kill ledger, and the
+// wall-clock injector racing real serving workers (the TSan target).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/cancel_token.hpp"
+#include "core/expectation.hpp"
+#include "core/search.hpp"
+#include "core/time_distribution.hpp"
+#include "profiling/profiles.hpp"
+#include "runtime/elastic_engine.hpp"
+#include "scenario/estimator.hpp"
+#include "scenario/injector.hpp"
+#include "scenario/scenario_script.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "util/rng.hpp"
+
+namespace einet::scenario {
+namespace {
+
+// ---------------------------------------------------------------- fixtures
+
+profiling::ETProfile tiny_et() {
+  profiling::ETProfile et;
+  et.model_name = "tiny";
+  et.platform_name = "test";
+  et.conv_ms = {1.0, 1.0, 1.0, 1.0};
+  et.branch_ms = {0.5, 0.5, 0.5, 0.5};
+  return et;
+}
+
+profiling::CSProfile tiny_cs(std::size_t records, std::uint64_t seed = 7) {
+  profiling::CSProfile cs;
+  cs.model_name = "tiny";
+  cs.dataset_name = "synthetic";
+  cs.num_exits = 4;
+  util::Rng rng{seed};
+  for (std::size_t r = 0; r < records; ++r) {
+    profiling::CSRecord rec;
+    float conf = rng.uniform_f(0.2f, 0.5f);
+    for (std::size_t e = 0; e < cs.num_exits; ++e) {
+      conf = std::min(1.0f, conf + rng.uniform_f(0.0f, 0.2f));
+      rec.confidence.push_back(conf);
+      rec.correct.push_back(rng.bernoulli(conf) ? 1 : 0);
+    }
+    rec.label = r % 10;
+    cs.records.push_back(std::move(rec));
+  }
+  cs.validate();
+  return cs;
+}
+
+runtime::ElasticEngine fallback_engine(const profiling::ETProfile& et) {
+  return runtime::ElasticEngine{et, nullptr, runtime::ElasticConfig{},
+                                std::vector<float>(et.num_blocks(), 0.5f)};
+}
+
+bool same_outcome(const runtime::InferenceOutcome& a,
+                  const runtime::InferenceOutcome& b) {
+  return a.has_result == b.has_result && a.exit_index == b.exit_index &&
+         a.correct == b.correct && a.result_time_ms == b.result_time_ms &&
+         a.branches_executed == b.branches_executed &&
+         a.searches_run == b.searches_run && a.completed == b.completed;
+}
+
+// -------------------------------------------------------------- CancelToken
+
+TEST(CancelToken, VirtualArmTripsOnSimClock) {
+  core::CancelToken token;
+  EXPECT_FALSE(token.cancelled(1e9));
+  token.arm_virtual(3.0);
+  EXPECT_FALSE(token.cancelled(3.0));  // kill at t > d, matching deadline path
+  EXPECT_TRUE(token.cancelled(3.0 + 1e-9));
+  EXPECT_EQ(token.virtual_kill_ms(), 3.0);
+}
+
+TEST(CancelToken, FireDeliversRegardlessOfSimTime) {
+  core::CancelToken token;
+  EXPECT_FALSE(token.cancelled(0.0));
+  token.fire();
+  EXPECT_TRUE(token.cancelled(0.0));
+  EXPECT_TRUE(token.fired());
+  token.reset();
+  EXPECT_FALSE(token.cancelled(1e9));
+  EXPECT_FALSE(token.fired());
+}
+
+// ----------------------------------------------------------- ScenarioScript
+
+TEST(ScenarioScript, KillsAreDeterministicAndOrderFree) {
+  const auto script = ScenarioScript{6.0, 42}
+                          .uniform_phase(50)
+                          .gaussian_phase(50, 3.0, 1.0);
+  std::vector<double> forward, backward;
+  for (std::size_t i = 0; i < 100; ++i)
+    forward.push_back(script.kill_for_task(i));
+  for (std::size_t i = 100; i-- > 0;)
+    backward.push_back(script.kill_for_task(i));
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(forward, backward);
+  for (const double k : forward) {
+    EXPECT_GE(k, 0.0);
+    EXPECT_LE(k, 6.0);
+  }
+  // Tasks beyond the schedule stay in the final phase.
+  EXPECT_EQ(script.phase_of_task(99), 1u);
+  EXPECT_EQ(script.phase_of_task(1000), 1u);
+}
+
+TEST(ScenarioScript, JsonRoundTripPreservesEveryKill) {
+  auto script = ScenarioScript{8.0, 7}
+                    .bursty_phase(30, {0.2, 0.45, 0.8}, 0.04, 0.75)
+                    .vran_slots_phase(30, 2.0, 0.1)
+                    .trace_phase(30, {1.0, 2.5, 7.0});
+  const auto round = ScenarioScript::from_json_text(script.to_json_text());
+  EXPECT_EQ(round.to_json_text(), script.to_json_text());
+  EXPECT_EQ(round.num_phases(), 3u);
+  EXPECT_EQ(round.total_tasks(), 90u);
+  for (std::size_t i = 0; i < 90; ++i)
+    EXPECT_EQ(round.kill_for_task(i), script.kill_for_task(i)) << i;
+}
+
+TEST(ScenarioScript, FromSeedIsReproducibleAndValid) {
+  const auto a = ScenarioScript::from_seed(5.0, 123, 4, 25);
+  const auto b = ScenarioScript::from_seed(5.0, 123, 4, 25);
+  EXPECT_EQ(a.to_json_text(), b.to_json_text());
+  EXPECT_EQ(a.num_phases(), 4u);
+  EXPECT_EQ(a.total_tasks(), 100u);
+  const auto c = ScenarioScript::from_seed(5.0, 124, 4, 25);
+  EXPECT_NE(a.to_json_text(), c.to_json_text());  // seed actually matters
+}
+
+TEST(ScenarioScript, BurstySamplingMatchesHandRolledVranTrace) {
+  // The exact law examples/vran_preemption.cpp used before the scenario
+  // engine existed; the migration relies on this consumption order.
+  const double h = 10.0;
+  const auto script = ScenarioScript{h, 0}.bursty_phase(1);
+  util::Rng a{99}, b{99};
+  const auto trace = script.sample_trace(0, 500, a);
+  const double bursts[] = {0.20, 0.45, 0.80};
+  for (const double got : trace) {
+    double want = 0.0;
+    if (b.bernoulli(0.75)) {
+      const double centre = bursts[b.uniform_int(3)] * h;
+      want = std::clamp(b.gaussian(centre, 0.04 * h), 0.0, h);
+    } else {
+      want = b.uniform(0.0, h);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(ScenarioScript, TrueDistributionMatchesEmpiricalKills) {
+  // A continuous regime (bursty) so the KS-at-sample-points comparison is
+  // meaningful; slot regimes concentrate mass in atoms where two step CDFs
+  // legitimately disagree at the tie points.
+  const auto script = ScenarioScript{6.0, 11}.bursty_phase(1);
+  const auto dist = script.true_distribution(0);
+  // The per-task kills must look like draws from the claimed distribution.
+  std::vector<double> kills;
+  for (std::size_t i = 0; i < 4000; ++i)
+    kills.push_back(script.kill_for_task(i));
+  std::sort(kills.begin(), kills.end());
+  double max_gap = 0.0;
+  for (std::size_t i = 0; i < kills.size(); ++i) {
+    const double emp = static_cast<double>(i + 1) /
+                       static_cast<double>(kills.size());
+    max_gap = std::max(max_gap, std::abs(emp - dist->cdf(kills[i])));
+  }
+  EXPECT_LT(max_gap, 0.05);
+}
+
+// -------------------------------------------- run_cancellable ≡ run (virtual)
+
+TEST(RunCancellable, VirtualTokenBitIdenticalToDeadlinePath) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(40);
+  const core::UniformExitDistribution dist{et.total_ms()};
+  auto eng_a = fallback_engine(et);
+  auto eng_b = fallback_engine(et);
+  util::Rng rng{5};
+  for (const auto& rec : cs.records) {
+    const double kill = rng.uniform(0.0, 1.2 * et.total_ms());
+    const auto want = eng_a.run(rec, kill, dist);
+    core::CancelToken token;
+    token.arm_virtual(kill);
+    const auto got = eng_b.run_cancellable(rec, token, dist);
+    EXPECT_TRUE(same_outcome(want, got)) << "kill=" << kill;
+    EXPECT_EQ(want.deadline_ms, got.deadline_ms);
+  }
+}
+
+TEST(RunCancellable, BlockHookSeesMonotoneClockAndFiredTokenStops) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(1);
+  const core::UniformExitDistribution dist{et.total_ms()};
+  auto engine = fallback_engine(et);
+  core::CancelToken token;  // never armed, never fired: plan completes
+  std::vector<double> ticks;
+  const auto outcome = engine.run_cancellable(
+      *&cs.records[0], token, dist,
+      [&ticks](std::size_t, double t) { ticks.push_back(t); });
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_TRUE(std::is_sorted(ticks.begin(), ticks.end()));
+  ASSERT_FALSE(ticks.empty());
+
+  // Fire mid-flight: stop after the second hook call.
+  core::CancelToken kill_token;
+  std::size_t calls = 0;
+  const auto killed = engine.run_cancellable(
+      cs.records[0], kill_token, dist,
+      [&](std::size_t, double) {
+        if (++calls == 2) kill_token.fire();
+      });
+  EXPECT_FALSE(killed.completed);
+  EXPECT_LT(killed.branches_executed, outcome.branches_executed);
+}
+
+// -------------------------------------------------------- OnlineExitEstimator
+
+TEST(Estimator, ConvergesWithinTwoPercentAccuracyExpectation) {
+  // Closed loop on a stationary scenario: after >= 500 observed kills the
+  // plan searched under the estimated distribution must be worth within 2%
+  // (in true accuracy expectation) of the plan searched under the truth.
+  const auto et = tiny_et();
+  const auto script =
+      ScenarioScript{et.total_ms(), 77}.gaussian_phase(1, 3.5, 1.2);
+  const auto truth = script.true_distribution(0);
+
+  OnlineExitEstimator est{et.total_ms()};
+  for (std::size_t i = 0; i < 600; ++i) est.observe(script.kill_for_task(i));
+  ASSERT_GE(est.count(), 500u);
+  const auto estimated = est.snapshot();
+
+  const std::vector<float> conf{0.4f, 0.55f, 0.7f, 0.85f};
+  core::SearchEngine search{{}};
+  const auto plan_under = [&](const core::TimeDistribution& d) {
+    core::PlanProblem p{.conv_ms = et.conv_ms,
+                        .branch_ms = et.branch_ms,
+                        .confidence = conf,
+                        .dist = &d,
+                        .fixed_prefix = 0,
+                        .base = core::ExitPlan{4}};
+    return search.search(p).plan;
+  };
+  const double e_true = core::accuracy_expectation(
+      plan_under(*truth), et.conv_ms, et.branch_ms, conf, *truth);
+  const double e_est = core::accuracy_expectation(
+      plan_under(estimated), et.conv_ms, et.branch_ms, conf, *truth);
+  ASSERT_GT(e_true, 0.0);
+  EXPECT_GE(e_est, 0.98 * e_true)
+      << "estimated-dist plan loses more than 2% true expectation";
+}
+
+TEST(Estimator, DriftFiresOnRegimeSwitchAndBumpsGeneration) {
+  const double h = 6.0;
+  OnlineExitEstimator est{h};
+  const auto gen0 = est.plan_generation();
+  // Long stationary uniform stretch: no drift.
+  const auto script = ScenarioScript{h, 3}
+                          .uniform_phase(800)
+                          .gaussian_phase(800, 5.0, 0.3);
+  std::size_t i = 0;
+  for (; i < 800; ++i) est.observe(script.kill_for_task(i));
+  EXPECT_EQ(est.drift_events(), 0u);
+  EXPECT_EQ(est.plan_generation(), gen0);
+  // Regime switch to a tight late-horizon Gaussian: drift must fire.
+  for (; i < 1600; ++i) est.observe(script.kill_for_task(i));
+  EXPECT_GE(est.drift_events(), 1u);
+  EXPECT_GT(est.plan_generation(), gen0);
+  // After the rebuild the estimator tracks the *new* regime.
+  const auto snap = est.snapshot();
+  EXPECT_LT(snap.cdf(3.0), 0.3);  // most mass is now near t=5
+  EXPECT_GT(snap.cdf(5.8), 0.7);
+}
+
+TEST(Estimator, SnapshotBeforeObservationThrows) {
+  OnlineExitEstimator est{5.0};
+  EXPECT_THROW((void)est.snapshot(), std::logic_error);
+  est.observe(2.5);
+  EXPECT_NO_THROW((void)est.snapshot());
+}
+
+// ------------------------------------------------------------ record/replay
+
+/// Run the whole scenario sequentially under the virtual clock and return
+/// the canonical ledger JSON.
+std::string run_virtual_scenario(const ScenarioScript& script,
+                                 const profiling::ETProfile& et,
+                                 const profiling::CSProfile& cs) {
+  PreemptionInjector injector{script};
+  auto engine = fallback_engine(et);
+  const core::UniformExitDistribution plan_dist{et.total_ms()};
+  for (std::size_t i = 0; i < script.total_tasks(); ++i) {
+    auto token = std::make_shared<core::CancelToken>();
+    injector.subscribe(i, token);
+    const auto outcome = engine.run_cancellable(
+        cs.records[i % cs.size()], *token, plan_dist);
+    injector.complete(i, outcome);
+  }
+  return injector.ledger().to_json_text();
+}
+
+TEST(Replay, VirtualScenarioLedgersAreByteIdentical) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(32);
+  const auto script = ScenarioScript::from_seed(et.total_ms(), 2024, 3, 40);
+  const std::string first = run_virtual_scenario(script, et, cs);
+  const std::string second = run_virtual_scenario(script, et, cs);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(PreemptionInjector{script}.ledger().size(), 0u);
+  // And through a JSON round-trip of the script itself.
+  const std::string third = run_virtual_scenario(
+      ScenarioScript::from_json_text(script.to_json_text()), et, cs);
+  EXPECT_EQ(first, third);
+}
+
+TEST(Replay, LedgerIsCanonicalRegardlessOfCompletionOrder) {
+  KillLedger ledger;
+  for (const std::uint64_t task : {5u, 1u, 3u, 0u, 4u, 2u}) {
+    KillRecord r;
+    r.task_index = task;
+    r.kill_ms = static_cast<double>(task);
+    ledger.record(r);
+  }
+  const auto snap = ledger.snapshot();
+  for (std::size_t i = 0; i < snap.size(); ++i)
+    EXPECT_EQ(snap[i].task_index, i);
+}
+
+// ------------------------------------------- wall-clock injector + serving
+
+TEST(WallClock, InjectorRacesServingWorkersCleanly) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(64);
+  const core::UniformExitDistribution plan_dist{et.total_ms()};
+  // One long uniform phase; time_scale stretches the ~6ms horizon so kills
+  // land while workers are genuinely mid-task.
+  const auto script = ScenarioScript{et.total_ms(), 9}.uniform_phase(1);
+
+  OnlineExitEstimator est{et.total_ms()};
+  InjectorConfig icfg;
+  icfg.mode = ClockMode::kWall;
+  icfg.time_scale = 0.5;
+  icfg.estimator = &est;
+  PreemptionInjector injector{script, icfg};
+
+  serving::ServerConfig config;
+  config.queue_capacity = 512;
+  config.pool.num_workers = 4;
+  config.pool.injector = &injector;
+  serving::TaskRunner runner = [&plan_dist](runtime::ElasticEngine& engine,
+                                            const serving::Task& task,
+                                            util::Rng&) {
+    EXPECT_NE(task.cancel, nullptr);
+    return engine.run_cancellable(*task.record, *task.cancel, plan_dist);
+  };
+  serving::EdgeServer server{
+      et,
+      serving::make_replicated_engine_factory(et, nullptr, {},
+                                              std::vector<float>(4, 0.5f)),
+      runner, config};
+
+  util::Rng rng{31};
+  std::size_t queued = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (server.submit(cs.records[rng.uniform_int(cs.size())],
+                      1.5 * et.total_ms()) == serving::SubmitStatus::kQueued)
+      ++queued;
+  }
+  server.shutdown();
+
+  const auto snap = server.metrics();
+  EXPECT_EQ(snap.completed, queued);
+  EXPECT_EQ(injector.ledger().size(), queued);
+  EXPECT_EQ(est.count(), queued);
+  // The metrics preempted counter and the ledger must tell the same story.
+  std::uint64_t ledger_preempted = 0;
+  for (const auto& r : injector.ledger().snapshot())
+    if (!r.completed) ++ledger_preempted;
+  EXPECT_EQ(snap.preempted, ledger_preempted);
+}
+
+}  // namespace
+}  // namespace einet::scenario

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <numbers>
 
 #include "core/time_distribution.hpp"
 
@@ -83,6 +85,12 @@ INSTANTIATE_TEST_SUITE_P(
                    for (int i = 0; i < 200; ++i)
                      times.push_back(h * (i % 17 + 1) / 18.0);
                    return std::make_unique<TraceExitDistribution>(times, h);
+                 }},
+        DistCase{"empirical",
+                 [](double h) -> std::unique_ptr<TimeDistribution> {
+                   // Ramp-shaped histogram incl. an interior zero bin.
+                   return std::make_unique<EmpiricalExitDistribution>(
+                       std::vector<double>{1.0, 2.0, 0.0, 4.0, 3.0}, h);
                  }}),
     [](const auto& info) { return info.param.label; });
 
@@ -143,6 +151,80 @@ TEST(TraceExit, ClampsToHorizonAndSamplesFromTrace) {
 
 TEST(TraceExit, RejectsEmptyTrace) {
   EXPECT_THROW((TraceExitDistribution{{}, 5.0}), std::invalid_argument);
+}
+
+TEST(TraceExit, AllEventsBeyondHorizonCollapseToHorizonAtom) {
+  // Every raw event clamps to the horizon: the trace degenerates to a point
+  // mass at t = horizon, with zero mass strictly inside.
+  TraceExitDistribution d{{12.0, 99.0, 1e6}, 10.0};
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(9.999), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(10.0), 1.0);
+  util::Rng rng{17};
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 10.0);
+}
+
+TEST(TraceExit, DuplicateEventsWeightTheStep) {
+  // Three copies of t=2 next to one t=8: the CDF steps by 3/4 at 2.
+  TraceExitDistribution d{{2.0, 2.0, 2.0, 8.0}, 10.0};
+  EXPECT_DOUBLE_EQ(d.cdf(1.999), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(7.999), 0.75);
+  EXPECT_DOUBLE_EQ(d.cdf(8.0), 1.0);
+}
+
+TEST(TraceExit, NegativeEventsClampToZero) {
+  TraceExitDistribution d{{-5.0, -1.0, 4.0}, 10.0};
+  // Two events clamp to an atom at 0; the step is visible just above 0.
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(d.cdf(4.0), 1.0);
+}
+
+TEST(TruncatedGaussian, TailMassNormalisationMatchesAnalytic) {
+  // cdf must equal (Phi((t-mu)/sigma) - Phi((0-mu)/sigma)) / (Phi((h-mu)/
+  // sigma) - Phi((0-mu)/sigma)); with mu outside the window the truncation
+  // renormalises a thin tail, where an implementation that forgot the
+  // lo/hi-mass division would be badly wrong.
+  const double mu = -2.0, sigma = 3.0, h = 6.0;
+  TruncatedGaussianExitDistribution d{mu, sigma, h};
+  const auto phi = [](double z) {
+    return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+  };
+  const double lo = phi((0.0 - mu) / sigma);
+  const double hi = phi((h - mu) / sigma);
+  for (double t : {0.5, 1.0, 2.0, 3.0, 4.5, 5.5}) {
+    const double want = (phi((t - mu) / sigma) - lo) / (hi - lo);
+    EXPECT_NEAR(d.cdf(t), want, 1e-12) << "t=" << t;
+  }
+}
+
+TEST(EmpiricalExit, InterpolatesWithinBinsAndHandlesZeroBins) {
+  // Bins over [0,10): weights 1,0,1 -> cum 0.5, 0.5, 1.0. The CDF is flat
+  // across the empty middle bin and linear inside the others.
+  EmpiricalExitDistribution d{{1.0, 0.0, 1.0}, 9.0};
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.5), 0.25);   // halfway through bin 0
+  EXPECT_DOUBLE_EQ(d.cdf(3.0), 0.5);    // bin 0 complete
+  EXPECT_DOUBLE_EQ(d.cdf(4.5), 0.5);    // flat across the zero bin
+  EXPECT_DOUBLE_EQ(d.cdf(7.5), 0.75);   // halfway through bin 2
+  EXPECT_DOUBLE_EQ(d.cdf(9.0), 1.0);
+  EXPECT_EQ(d.num_bins(), 3u);
+  // Samples never land inside the zero-mass bin's interior.
+  util::Rng rng{23};
+  for (int i = 0; i < 2000; ++i) {
+    const double t = d.sample(rng);
+    EXPECT_FALSE(t > 3.0 + 1e-9 && t < 6.0 - 1e-9) << t;
+  }
+}
+
+TEST(EmpiricalExit, RejectsDegenerateInputs) {
+  EXPECT_THROW((EmpiricalExitDistribution{{}, 5.0}), std::invalid_argument);
+  EXPECT_THROW((EmpiricalExitDistribution{{0.0, 0.0}, 5.0}),
+               std::invalid_argument);
+  EXPECT_THROW((EmpiricalExitDistribution{{1.0, -0.5}, 5.0}),
+               std::invalid_argument);
+  EXPECT_THROW((EmpiricalExitDistribution{{1.0}, 0.0}),
+               std::invalid_argument);
 }
 
 TEST(Factory, RejectsUnknownKind) {
