@@ -1,0 +1,385 @@
+// NN compute-backend bench (DESIGN.md §8): throughput of the GEMM-backed
+// Conv2d/Linear kernels against the seed (naive triple-loop, zero-skipping)
+// kernel, at 1 and 4 GEMM threads, plus a serving-shaped end-to-end stepwise
+// inference latency measurement on a multi-exit backbone.
+//
+// Emits BENCH_nn.json and enforces two criteria:
+//   * multi-thread inference output is BIT-IDENTICAL to single-thread
+//     (checked in every mode — this is the backend's determinism contract;
+//     a violation makes the offline profile + 1-vs-N accuracy guarantees
+//     meaningless, so the bench fails hard), and
+//   * conv forward throughput of the new backend at 4 threads is >= 3x the
+//     seed kernel at 1 thread (skipped with --smoke, where timings are too
+//     short and the run may share a loaded CI machine).
+//
+// Usage: bench_nn [--smoke]
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "models/backbones.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/linear.hpp"
+#include "nn/tensor.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace einet;
+using nn::Tensor;
+
+// ---------------------------------------------------------------------------
+// The seed kernel, reproduced verbatim (im2col + per-channel axpy loop with
+// the data-dependent `w == 0` skip) as the throughput baseline.
+// ---------------------------------------------------------------------------
+
+void seed_im2col(const float* img, std::size_t channels, std::size_t h,
+                 std::size_t w, std::size_t k, std::size_t stride,
+                 std::size_t pad, std::size_t out_h, std::size_t out_w,
+                 float* col) {
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < k; ++ki) {
+      for (std::size_t kj = 0; kj < k; ++kj) {
+        const std::size_t row = (c * k + ki) * k + kj;
+        float* dst = col + row * out_h * out_w;
+        for (std::size_t oi = 0; oi < out_h; ++oi) {
+          const long ii =
+              static_cast<long>(oi * stride + ki) - static_cast<long>(pad);
+          for (std::size_t oj = 0; oj < out_w; ++oj) {
+            const long jj =
+                static_cast<long>(oj * stride + kj) - static_cast<long>(pad);
+            float v = 0.0f;
+            if (ii >= 0 && jj >= 0 && ii < static_cast<long>(h) &&
+                jj < static_cast<long>(w)) {
+              v = img[(c * h + static_cast<std::size_t>(ii)) * w +
+                      static_cast<std::size_t>(jj)];
+            }
+            dst[oi * out_w + oj] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void seed_conv_forward(const Tensor& x, const nn::Conv2dSpec& spec,
+                       const Tensor& weight, const Tensor& bias,
+                       std::size_t out_h, std::size_t out_w, Tensor& y,
+                       std::vector<float>& col) {
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t spatial = out_h * out_w;
+  const float* wgt = weight.raw();
+  const float* b = bias.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* img = x.raw() + i * spec.in_channels * h * w;
+    seed_im2col(img, spec.in_channels, h, w, spec.kernel, spec.stride,
+                spec.padding, out_h, out_w, col.data());
+    float* yi = y.raw() + i * spec.out_channels * spatial;
+    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+      float* yrow = yi + oc * spatial;
+      for (std::size_t s = 0; s < spatial; ++s) yrow[s] = b[oc];
+      const float* wrow = wgt + oc * patch;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const float wv = wrow[p];
+        if (wv == 0.0f) continue;
+        const float* crow = col.data() + p * spatial;
+        for (std::size_t s = 0; s < spatial; ++s) yrow[s] += wv * crow[s];
+      }
+    }
+  }
+}
+
+void seed_linear_forward(const Tensor& x, const Tensor& weight,
+                         const Tensor& bias, Tensor& y) {
+  const std::size_t n = x.dim(0), in = x.dim(1), out = y.dim(1);
+  const float* w = weight.raw();
+  const float* b = bias.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.raw() + i * in;
+    float* yi = y.raw() + i * out;
+    for (std::size_t o = 0; o < out; ++o) {
+      const float* wo = w + o * in;
+      float acc = b[o];
+      for (std::size_t k = 0; k < in; ++k) acc += wo[k] * xi[k];
+      yi[o] = acc;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Run `fn` repeatedly until both bounds are met; return GFLOP/s.
+template <typename Fn>
+double measure_gflops(Fn&& fn, double flops_per_call, std::size_t min_iters,
+                      double min_ms) {
+  fn();  // warm-up (first call may allocate scratch / fault pages)
+  util::Timer t;
+  std::size_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (iters < min_iters || t.elapsed_ms() < min_ms);
+  return flops_per_call * static_cast<double>(iters) / t.elapsed_ms() / 1e6;
+}
+
+struct E2eResult {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  std::vector<unsigned char> logits_bytes;  // all exit logits, all tasks
+};
+
+/// Serving-shaped workload: batch-1 stepwise inference (conv part + branch at
+/// every exit) over a fixed task stream — the same call pattern the elastic
+/// engine issues online.
+E2eResult run_e2e(models::MultiExitNetwork& net,
+                  const std::vector<Tensor>& inputs) {
+  E2eResult r;
+  util::Reservoir lat{4096};
+  for (const auto& input : inputs) {
+    util::Timer t;
+    Tensor features = input;
+    for (std::size_t b = 0; b < net.num_exits(); ++b) {
+      features = net.run_conv_part(b, features);
+      const Tensor logits = net.run_branch(b, features);
+      const auto* bytes = reinterpret_cast<const unsigned char*>(logits.raw());
+      r.logits_bytes.insert(r.logits_bytes.end(), bytes,
+                            bytes + logits.numel() * sizeof(float));
+    }
+    lat.add(t.elapsed_ms());
+  }
+  r.p50_ms = lat.percentile(50);
+  r.p95_ms = lat.percentile(95);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: bench_nn [--smoke]\n";
+      return EXIT_FAILURE;
+    }
+  }
+  bench::print_bench_header(
+      "BENCH nn", "GEMM backend vs seed kernel + 1-vs-N bit-identity");
+
+  const std::size_t saved_threads = nn::gemm_threads();
+  util::Rng rng{0x5EED};
+
+  // ---- Conv2d ------------------------------------------------------------
+  const nn::Conv2dSpec cspec{.in_channels = smoke ? 4u : 32u,
+                             .out_channels = smoke ? 8u : 64u,
+                             .kernel = 3,
+                             .stride = 1,
+                             .padding = 1};
+  const std::size_t img = smoke ? 8 : 32;
+  const std::size_t batch = smoke ? 2 : 8;
+  nn::Conv2d conv{cspec, rng};
+  const Tensor cx =
+      Tensor::uniform({batch, cspec.in_channels, img, img}, -1, 1, rng);
+  const nn::Shape cos = conv.out_shape(cx.shape());
+  const std::size_t patch = cspec.in_channels * cspec.kernel * cspec.kernel;
+  const std::size_t spatial = cos[2] * cos[3];
+  const double conv_fwd_flops =
+      2.0 * static_cast<double>(batch * cspec.out_channels * spatial * patch);
+  const double conv_train_flops = 3.0 * conv_fwd_flops;  // fwd + two bwd GEMMs
+
+  const std::size_t min_iters = smoke ? 2 : 5;
+  const double min_ms = smoke ? 5.0 : 300.0;
+
+  Tensor seed_y{cos};
+  std::vector<float> seed_col(patch * spatial);
+  nn::set_gemm_threads(1);
+  const double conv_seed_1t = measure_gflops(
+      [&] {
+        seed_conv_forward(cx, cspec, conv.weight().value, conv.bias().value,
+                          cos[2], cos[3], seed_y, seed_col);
+      },
+      conv_fwd_flops, min_iters, min_ms);
+  const double conv_new_1t = measure_gflops(
+      [&] { (void)conv.forward(cx, false); }, conv_fwd_flops, min_iters,
+      min_ms);
+  const Tensor conv_y_1t = conv.forward(cx, false);
+  const double conv_train_1t = measure_gflops(
+      [&] {
+        (void)conv.forward(cx, true);
+        (void)conv.backward(seed_y);
+      },
+      conv_train_flops, min_iters, min_ms);
+  nn::set_gemm_threads(4);
+  const double conv_new_4t = measure_gflops(
+      [&] { (void)conv.forward(cx, false); }, conv_fwd_flops, min_iters,
+      min_ms);
+  const Tensor conv_y_4t = conv.forward(cx, false);
+  const double conv_train_4t = measure_gflops(
+      [&] {
+        (void)conv.forward(cx, true);
+        (void)conv.backward(seed_y);
+      },
+      conv_train_flops, min_iters, min_ms);
+  const bool conv_bits_equal =
+      std::memcmp(conv_y_1t.raw(), conv_y_4t.raw(),
+                  conv_y_1t.numel() * sizeof(float)) == 0;
+
+  // ---- Linear ------------------------------------------------------------
+  const std::size_t lin_in = smoke ? 32 : 512, lin_out = smoke ? 32 : 512;
+  const std::size_t lin_batch = smoke ? 4 : 64;
+  nn::Linear lin{lin_in, lin_out, rng};
+  const Tensor lx = Tensor::uniform({lin_batch, lin_in}, -1, 1, rng);
+  Tensor lin_seed_y{{lin_batch, lin_out}};
+  const double lin_fwd_flops =
+      2.0 * static_cast<double>(lin_batch * lin_in * lin_out);
+  const double lin_train_flops = 3.0 * lin_fwd_flops;
+
+  nn::set_gemm_threads(1);
+  const double lin_seed_1t = measure_gflops(
+      [&] {
+        seed_linear_forward(lx, lin.weight().value, lin.bias().value,
+                            lin_seed_y);
+      },
+      lin_fwd_flops, min_iters, min_ms);
+  const double lin_new_1t = measure_gflops(
+      [&] { (void)lin.forward(lx, false); }, lin_fwd_flops, min_iters, min_ms);
+  const Tensor lin_y_1t = lin.forward(lx, false);
+  const double lin_train_1t = measure_gflops(
+      [&] {
+        (void)lin.forward(lx, true);
+        (void)lin.backward(lin_seed_y);
+      },
+      lin_train_flops, min_iters, min_ms);
+  nn::set_gemm_threads(4);
+  const double lin_new_4t = measure_gflops(
+      [&] { (void)lin.forward(lx, false); }, lin_fwd_flops, min_iters, min_ms);
+  const Tensor lin_y_4t = lin.forward(lx, false);
+  const double lin_train_4t = measure_gflops(
+      [&] {
+        (void)lin.forward(lx, true);
+        (void)lin.backward(lin_seed_y);
+      },
+      lin_train_flops, min_iters, min_ms);
+  const bool lin_bits_equal =
+      std::memcmp(lin_y_1t.raw(), lin_y_4t.raw(),
+                  lin_y_1t.numel() * sizeof(float)) == 0;
+
+  // ---- Serving-shaped end-to-end stepwise inference ----------------------
+  util::Rng mrng{21};
+  auto net = models::make_b_alexnet({3, 32, 32}, 10, mrng);
+  const std::size_t tasks = smoke ? 4 : 32;
+  std::vector<Tensor> inputs;
+  inputs.reserve(tasks);
+  util::Rng irng{97};
+  for (std::size_t i = 0; i < tasks; ++i)
+    inputs.push_back(Tensor::uniform({1, 3, 32, 32}, -1, 1, irng));
+  nn::set_gemm_threads(1);
+  const E2eResult e2e_1t = run_e2e(net, inputs);
+  nn::set_gemm_threads(4);
+  const E2eResult e2e_4t = run_e2e(net, inputs);
+  const bool e2e_bits_equal =
+      e2e_1t.logits_bytes.size() == e2e_4t.logits_bytes.size() &&
+      std::memcmp(e2e_1t.logits_bytes.data(), e2e_4t.logits_bytes.data(),
+                  e2e_1t.logits_bytes.size()) == 0;
+  nn::set_gemm_threads(saved_threads);
+
+  // ---- Report ------------------------------------------------------------
+  const double speedup = conv_new_4t / conv_seed_1t;
+  const bool bit_identical = conv_bits_equal && lin_bits_equal && e2e_bits_equal;
+  const bool perf_pass = smoke || speedup >= 3.0;
+
+  util::Table t{{"kernel", "seed 1t GF/s", "new 1t GF/s", "new 4t GF/s",
+                 "train 1t GF/s", "train 4t GF/s"}};
+  t.add_row({"conv2d", util::Table::num(conv_seed_1t, 2),
+             util::Table::num(conv_new_1t, 2), util::Table::num(conv_new_4t, 2),
+             util::Table::num(conv_train_1t, 2),
+             util::Table::num(conv_train_4t, 2)});
+  t.add_row({"linear", util::Table::num(lin_seed_1t, 2),
+             util::Table::num(lin_new_1t, 2), util::Table::num(lin_new_4t, 2),
+             util::Table::num(lin_train_1t, 2),
+             util::Table::num(lin_train_4t, 2)});
+  std::cout << t.str() << "\n";
+  util::Table e{{"stepwise e2e (B-AlexNet, batch 1)", "p50 ms", "p95 ms"}};
+  e.add_row({"1 thread", util::Table::num(e2e_1t.p50_ms, 3),
+             util::Table::num(e2e_1t.p95_ms, 3)});
+  e.add_row({"4 threads", util::Table::num(e2e_4t.p50_ms, 3),
+             util::Table::num(e2e_4t.p95_ms, 3)});
+  std::cout << e.str() << "\n"
+            << "conv fwd speedup (new@4t vs seed@1t): "
+            << util::Table::num(speedup, 2)
+            << (smoke ? " (criterion skipped in --smoke)"
+                      : (perf_pass ? " >= 3.0 -> PASS" : " < 3.0 -> FAIL"))
+            << "\n"
+            << "1t-vs-4t outputs bit-identical: "
+            << (bit_identical ? "yes -> PASS" : "NO -> FAIL") << "\n";
+
+  std::ostringstream json;
+  util::JsonWriter jw{json};
+  jw.begin_object();
+  jw.kv("bench", "nn");
+  jw.kv("mode", smoke ? "smoke" : "full");
+  jw.key("conv2d");
+  jw.begin_object();
+  jw.kv("in_channels", static_cast<std::uint64_t>(cspec.in_channels));
+  jw.kv("out_channels", static_cast<std::uint64_t>(cspec.out_channels));
+  jw.kv("image", static_cast<std::uint64_t>(img));
+  jw.kv("batch", static_cast<std::uint64_t>(batch));
+  jw.kv("seed_fwd_1t_gflops", conv_seed_1t);
+  jw.kv("new_fwd_1t_gflops", conv_new_1t);
+  jw.kv("new_fwd_4t_gflops", conv_new_4t);
+  jw.kv("new_train_1t_gflops", conv_train_1t);
+  jw.kv("new_train_4t_gflops", conv_train_4t);
+  jw.kv("bit_identical_1t_vs_4t", conv_bits_equal);
+  jw.end_object();
+  jw.key("linear");
+  jw.begin_object();
+  jw.kv("in", static_cast<std::uint64_t>(lin_in));
+  jw.kv("out", static_cast<std::uint64_t>(lin_out));
+  jw.kv("batch", static_cast<std::uint64_t>(lin_batch));
+  jw.kv("seed_fwd_1t_gflops", lin_seed_1t);
+  jw.kv("new_fwd_1t_gflops", lin_new_1t);
+  jw.kv("new_fwd_4t_gflops", lin_new_4t);
+  jw.kv("new_train_1t_gflops", lin_train_1t);
+  jw.kv("new_train_4t_gflops", lin_train_4t);
+  jw.kv("bit_identical_1t_vs_4t", lin_bits_equal);
+  jw.end_object();
+  jw.key("e2e_stepwise");
+  jw.begin_object();
+  jw.kv("model", "B-AlexNet");
+  jw.kv("tasks", static_cast<std::uint64_t>(tasks));
+  jw.kv("p50_ms_1t", e2e_1t.p50_ms);
+  jw.kv("p95_ms_1t", e2e_1t.p95_ms);
+  jw.kv("p50_ms_4t", e2e_4t.p50_ms);
+  jw.kv("p95_ms_4t", e2e_4t.p95_ms);
+  jw.kv("bit_identical_1t_vs_4t", e2e_bits_equal);
+  jw.end_object();
+  jw.key("criterion");
+  jw.begin_object();
+  jw.kv("conv_fwd_speedup_new4t_vs_seed1t", speedup);
+  jw.kv("speedup_threshold", 3.0);
+  jw.kv("speedup_checked", !smoke);
+  jw.kv("bit_identical", bit_identical);
+  jw.kv("pass", perf_pass && bit_identical);
+  jw.end_object();
+  jw.end_object();
+  std::ofstream out{"BENCH_nn.json"};
+  out << json.str() << "\n";
+  if (!out) {
+    std::cerr << "error: could not write BENCH_nn.json\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "-> BENCH_nn.json\n";
+  return (perf_pass && bit_identical) ? EXIT_SUCCESS : EXIT_FAILURE;
+}

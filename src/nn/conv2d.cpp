@@ -1,6 +1,9 @@
 #include "nn/conv2d.hpp"
 
 #include <stdexcept>
+#include <vector>
+
+#include "nn/gemm.hpp"
 
 namespace einet::nn {
 
@@ -10,7 +13,6 @@ namespace {
 void im2col(const float* img, std::size_t channels, std::size_t h,
             std::size_t w, std::size_t k, std::size_t stride, std::size_t pad,
             std::size_t out_h, std::size_t out_w, float* col) {
-  const std::size_t patch = channels * k * k;
   for (std::size_t c = 0; c < channels; ++c) {
     for (std::size_t ki = 0; ki < k; ++ki) {
       for (std::size_t kj = 0; kj < k; ++kj) {
@@ -34,7 +36,6 @@ void im2col(const float* img, std::size_t channels, std::size_t h,
       }
     }
   }
-  (void)patch;
 }
 
 /// Scatter-add columns back into an image (inverse of im2col).
@@ -113,28 +114,35 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const std::size_t spatial = out_h * out_w;
 
   Tensor y{os};
-  std::vector<float> col(patch * spatial);
   const float* wgt = weight_.value.raw();
   const float* b = bias_.value.raw();
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* img = x.raw() + i * spec_.in_channels * h * w;
-    im2col(img, spec_.in_channels, h, w, spec_.kernel, spec_.stride,
-           spec_.padding, out_h, out_w, col.data());
-    float* yi = y.raw() + i * spec_.out_channels * spatial;
-    // GEMM: (out_c x patch) * (patch x spatial)
-    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
-      float* yrow = yi + oc * spatial;
-      for (std::size_t s = 0; s < spatial; ++s) yrow[s] = b[oc];
-      const float* wrow = wgt + oc * patch;
-      for (std::size_t p = 0; p < patch; ++p) {
-        const float wv = wrow[p];
-        if (wv == 0.0f) continue;
-        const float* crow = col.data() + p * spatial;
-        for (std::size_t s = 0; s < spatial; ++s) yrow[s] += wv * crow[s];
+  if (train) col_cache_.resize(n * patch * spatial);
+
+  // One im2col + GEMM per sample; samples write disjoint slices of y (and of
+  // the training-mode column cache), so the batch loop parallelises cleanly.
+  // The GEMM applies its own row-panel parallelism exactly when the batch
+  // loop does not (single-sample inference — the serving hot path).
+  parallel_for(n, [&](std::size_t sb, std::size_t se) {
+    std::vector<float> scratch;
+    if (!train) scratch.resize(patch * spatial);
+    for (std::size_t i = sb; i < se; ++i) {
+      float* col =
+          train ? col_cache_.data() + i * patch * spatial : scratch.data();
+      const float* img = x.raw() + i * spec_.in_channels * h * w;
+      im2col(img, spec_.in_channels, h, w, spec_.kernel, spec_.stride,
+             spec_.padding, out_h, out_w, col);
+      float* yi = y.raw() + i * spec_.out_channels * spatial;
+      // y_i (out_c x spatial) = W (out_c x patch) * col (patch x spatial)
+      sgemm(Trans::kN, Trans::kN, spec_.out_channels, spatial, patch, wgt,
+            patch, col, spatial, 0.0f, yi, spatial);
+      for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+        float* yrow = yi + oc * spatial;
+        const float bv = b[oc];
+        for (std::size_t s = 0; s < spatial; ++s) yrow[s] += bv;
       }
     }
-  }
+  });
   if (train) cached_input_ = x;
   return y;
 }
@@ -153,43 +161,49 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const std::size_t spatial = out_h * out_w;
 
   Tensor grad_in{x.shape()};
-  std::vector<float> col(patch * spatial);
   std::vector<float> gcol(patch * spatial);
+  std::vector<float> scratch;
   float* gw = weight_.grad.raw();
   float* gb = bias_.grad.raw();
   const float* wgt = weight_.value.raw();
+  // forward(train=true) left its im2col columns behind; reuse them instead of
+  // re-unfolding every sample.
+  const bool has_cache = col_cache_.size() == n * patch * spatial;
+  if (!has_cache) scratch.resize(patch * spatial);
 
+  // The sample loop stays serial: dW and db are reductions over samples and
+  // their accumulation order is part of the determinism contract. The three
+  // per-sample GEMMs parallelise internally over row panels.
   for (std::size_t i = 0; i < n; ++i) {
-    const float* img = x.raw() + i * spec_.in_channels * h * w;
-    im2col(img, spec_.in_channels, h, w, spec_.kernel, spec_.stride,
-           spec_.padding, out_h, out_w, col.data());
+    const float* col;
+    if (has_cache) {
+      col = col_cache_.data() + i * patch * spatial;
+    } else {
+      im2col(x.raw() + i * spec_.in_channels * h * w, spec_.in_channels, h, w,
+             spec_.kernel, spec_.stride, spec_.padding, out_h, out_w,
+             scratch.data());
+      col = scratch.data();
+    }
     const float* gy = grad_out.raw() + i * spec_.out_channels * spatial;
 
-    // dW += gy * col^T ; db += sum(gy) ; gcol = W^T * gy
-    std::fill(gcol.begin(), gcol.end(), 0.0f);
     for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
       const float* gyrow = gy + oc * spatial;
-      float* gwrow = gw + oc * patch;
-      const float* wrow = wgt + oc * patch;
       float bacc = 0.0f;
       for (std::size_t s = 0; s < spatial; ++s) bacc += gyrow[s];
       gb[oc] += bacc;
-      for (std::size_t p = 0; p < patch; ++p) {
-        const float* crow = col.data() + p * spatial;
-        float* gcrow = gcol.data() + p * spatial;
-        const float wv = wrow[p];
-        float acc = 0.0f;
-        for (std::size_t s = 0; s < spatial; ++s) {
-          acc += gyrow[s] * crow[s];
-          gcrow[s] += wv * gyrow[s];
-        }
-        gwrow[p] += acc;
-      }
     }
+    // dW (out_c x patch) += gy (out_c x spatial) * col^T
+    sgemm(Trans::kN, Trans::kT, spec_.out_channels, patch, spatial, gy,
+          spatial, col, spatial, 1.0f, gw, patch);
+    // gcol (patch x spatial) = W^T * gy
+    sgemm(Trans::kT, Trans::kN, patch, spatial, spec_.out_channels, wgt, patch,
+          gy, spatial, 0.0f, gcol.data(), spatial);
     col2im(gcol.data(), spec_.in_channels, h, w, spec_.kernel, spec_.stride,
            spec_.padding, out_h, out_w,
            grad_in.raw() + i * spec_.in_channels * h * w);
   }
+  col_cache_.clear();
+  col_cache_.shrink_to_fit();
   return grad_in;
 }
 

@@ -36,6 +36,9 @@ class Conv2d final : public Layer {
   Param weight_;  // (out_c, in_c * k * k)
   Param bias_;    // (out_c)
   Tensor cached_input_;
+  // Per-sample im2col columns built by forward(train=true) and reused by the
+  // backward GEMMs instead of re-unfolding the input; freed on backward.
+  std::vector<float> col_cache_;
 };
 
 }  // namespace einet::nn

@@ -1,0 +1,393 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define EINET_RESTRICT __restrict__
+#else
+#define EINET_RESTRICT
+#endif
+
+#if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
+#include <immintrin.h>
+#endif
+
+namespace einet::nn {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kMaxThreads = 256;
+
+std::atomic<std::size_t> g_threads{0};  // 0 = not yet initialised
+
+std::size_t default_threads() {
+  if (const char* env = std::getenv("EINET_NUM_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1)
+      return std::min<std::size_t>(v, kMaxThreads);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : std::min<std::size_t>(hc, kMaxThreads);
+}
+
+// > 0 while this thread is executing a parallel_for chunk; nested calls (and
+// anything the layers run inside a batched sample loop) then execute inline.
+thread_local int tl_depth = 0;
+
+class Pool {
+ public:
+  using Body = std::function<void(std::size_t, std::size_t)>;
+
+  /// One caller at a time may dispatch; concurrent callers (e.g. serving
+  /// workers sharing the process-wide pool) fall back to inline execution.
+  [[nodiscard]] bool try_acquire() { return dispatch_mu_.try_lock(); }
+  void release() { dispatch_mu_.unlock(); }
+
+  /// Run `body` over `chunks` static contiguous chunks of [0, n); the caller
+  /// executes chunk 0, workers 1..chunks-1 the rest. Requires try_acquire().
+  void run(const Body& body, std::size_t n, std::size_t chunks) {
+    ensure_workers(chunks - 1);
+    {
+      std::lock_guard lk{mu_};
+      body_ = &body;
+      n_ = n;
+      chunks_ = chunks;
+      remaining_ = chunks - 1;
+      error_ = nullptr;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    run_chunk(body, n, chunks, 0);
+    std::unique_lock lk{mu_};
+    done_cv_.wait(lk, [&] { return remaining_ == 0; });
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      lk.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void ensure_workers(std::size_t want) {
+    std::lock_guard lk{mu_};
+    while (workers_.size() < want) {
+      const std::size_t idx = workers_.size() + 1;  // chunk index of this worker
+      workers_.emplace_back(
+          [this, idx, gen = generation_] { worker_loop(idx, gen); });
+    }
+  }
+
+  void worker_loop(std::size_t idx, std::uint64_t seen) {
+    for (;;) {
+      const Body* body;
+      std::size_t n, chunks;
+      {
+        std::unique_lock lk{mu_};
+        work_cv_.wait(lk, [&] { return generation_ != seen; });
+        seen = generation_;
+        if (idx >= chunks_) continue;  // this job uses fewer chunks
+        body = body_;
+        n = n_;
+        chunks = chunks_;
+      }
+      run_chunk(*body, n, chunks, idx);
+      std::lock_guard lk{mu_};
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+
+  void run_chunk(const Body& body, std::size_t n, std::size_t chunks,
+                 std::size_t idx) {
+    const std::size_t begin = n * idx / chunks;
+    const std::size_t end = n * (idx + 1) / chunks;
+    ++tl_depth;
+    try {
+      body(begin, end);
+    } catch (...) {
+      std::lock_guard lk{mu_};
+      if (!error_) error_ = std::current_exception();
+    }
+    --tl_depth;
+  }
+
+  std::mutex dispatch_mu_;  // serialises dispatching callers
+
+  std::mutex mu_;  // guards all job state below
+  std::condition_variable work_cv_, done_cv_;
+  std::vector<std::thread> workers_;
+  const Body* body_ = nullptr;
+  std::size_t n_ = 0, chunks_ = 0, remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+};
+
+Pool& pool_instance() {
+  // Intentionally leaked: workers block on work_cv_ for the whole process
+  // lifetime, so the pool's synchronisation state must never be destroyed.
+  static Pool* pool = new Pool;
+  return *pool;
+}
+
+// ---------------------------------------------------------------------------
+// Packed-panel blocked GEMM
+// ---------------------------------------------------------------------------
+
+// Register-tile dimensions. The microkernel keeps an kMr x kNr accumulator
+// block live across the whole k reduction, so each output element is reduced
+// in exactly one fixed order no matter how panels are scheduled. The SIMD
+// paths use explicit intrinsics: GCC's auto-vectorizer turns the equivalent
+// scalar loop nest into a permute-heavy mess that runs several times slower
+// than the seed kernel (verified on the objdump of the -march=native build).
+#if defined(__AVX512F__)
+constexpr std::size_t kMr = 8, kNr = 16;
+
+// 8 zmm accumulators + 1 zmm B row; A values are broadcast from the packed
+// panel. One FMA per accumulator per k step, fixed order p = 0..k-1.
+inline void micro_kernel(std::size_t k, const float* EINET_RESTRICT ap,
+                         const float* EINET_RESTRICT bp,
+                         float* EINET_RESTRICT acc) {
+  __m512 c0 = _mm512_load_ps(acc + 0 * kNr), c1 = _mm512_load_ps(acc + 1 * kNr);
+  __m512 c2 = _mm512_load_ps(acc + 2 * kNr), c3 = _mm512_load_ps(acc + 3 * kNr);
+  __m512 c4 = _mm512_load_ps(acc + 4 * kNr), c5 = _mm512_load_ps(acc + 5 * kNr);
+  __m512 c6 = _mm512_load_ps(acc + 6 * kNr), c7 = _mm512_load_ps(acc + 7 * kNr);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* EINET_RESTRICT arow = ap + p * kMr;
+    const __m512 b0 = _mm512_loadu_ps(bp + p * kNr);
+    c0 = _mm512_fmadd_ps(_mm512_set1_ps(arow[0]), b0, c0);
+    c1 = _mm512_fmadd_ps(_mm512_set1_ps(arow[1]), b0, c1);
+    c2 = _mm512_fmadd_ps(_mm512_set1_ps(arow[2]), b0, c2);
+    c3 = _mm512_fmadd_ps(_mm512_set1_ps(arow[3]), b0, c3);
+    c4 = _mm512_fmadd_ps(_mm512_set1_ps(arow[4]), b0, c4);
+    c5 = _mm512_fmadd_ps(_mm512_set1_ps(arow[5]), b0, c5);
+    c6 = _mm512_fmadd_ps(_mm512_set1_ps(arow[6]), b0, c6);
+    c7 = _mm512_fmadd_ps(_mm512_set1_ps(arow[7]), b0, c7);
+  }
+  _mm512_store_ps(acc + 0 * kNr, c0);
+  _mm512_store_ps(acc + 1 * kNr, c1);
+  _mm512_store_ps(acc + 2 * kNr, c2);
+  _mm512_store_ps(acc + 3 * kNr, c3);
+  _mm512_store_ps(acc + 4 * kNr, c4);
+  _mm512_store_ps(acc + 5 * kNr, c5);
+  _mm512_store_ps(acc + 6 * kNr, c6);
+  _mm512_store_ps(acc + 7 * kNr, c7);
+}
+#elif defined(__AVX2__) && defined(__FMA__)
+constexpr std::size_t kMr = 6, kNr = 16;
+
+// 6x2 ymm accumulators + 2 ymm B halves + 1 broadcast = 15 of 16 ymm regs.
+inline void micro_kernel(std::size_t k, const float* EINET_RESTRICT ap,
+                         const float* EINET_RESTRICT bp,
+                         float* EINET_RESTRICT acc) {
+  __m256 c00 = _mm256_load_ps(acc + 0 * kNr), c01 = _mm256_load_ps(acc + 0 * kNr + 8);
+  __m256 c10 = _mm256_load_ps(acc + 1 * kNr), c11 = _mm256_load_ps(acc + 1 * kNr + 8);
+  __m256 c20 = _mm256_load_ps(acc + 2 * kNr), c21 = _mm256_load_ps(acc + 2 * kNr + 8);
+  __m256 c30 = _mm256_load_ps(acc + 3 * kNr), c31 = _mm256_load_ps(acc + 3 * kNr + 8);
+  __m256 c40 = _mm256_load_ps(acc + 4 * kNr), c41 = _mm256_load_ps(acc + 4 * kNr + 8);
+  __m256 c50 = _mm256_load_ps(acc + 5 * kNr), c51 = _mm256_load_ps(acc + 5 * kNr + 8);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* EINET_RESTRICT arow = ap + p * kMr;
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNr + 8);
+    __m256 a = _mm256_set1_ps(arow[0]);
+    c00 = _mm256_fmadd_ps(a, b0, c00);
+    c01 = _mm256_fmadd_ps(a, b1, c01);
+    a = _mm256_set1_ps(arow[1]);
+    c10 = _mm256_fmadd_ps(a, b0, c10);
+    c11 = _mm256_fmadd_ps(a, b1, c11);
+    a = _mm256_set1_ps(arow[2]);
+    c20 = _mm256_fmadd_ps(a, b0, c20);
+    c21 = _mm256_fmadd_ps(a, b1, c21);
+    a = _mm256_set1_ps(arow[3]);
+    c30 = _mm256_fmadd_ps(a, b0, c30);
+    c31 = _mm256_fmadd_ps(a, b1, c31);
+    a = _mm256_set1_ps(arow[4]);
+    c40 = _mm256_fmadd_ps(a, b0, c40);
+    c41 = _mm256_fmadd_ps(a, b1, c41);
+    a = _mm256_set1_ps(arow[5]);
+    c50 = _mm256_fmadd_ps(a, b0, c50);
+    c51 = _mm256_fmadd_ps(a, b1, c51);
+  }
+  _mm256_store_ps(acc + 0 * kNr, c00);
+  _mm256_store_ps(acc + 0 * kNr + 8, c01);
+  _mm256_store_ps(acc + 1 * kNr, c10);
+  _mm256_store_ps(acc + 1 * kNr + 8, c11);
+  _mm256_store_ps(acc + 2 * kNr, c20);
+  _mm256_store_ps(acc + 2 * kNr + 8, c21);
+  _mm256_store_ps(acc + 3 * kNr, c30);
+  _mm256_store_ps(acc + 3 * kNr + 8, c31);
+  _mm256_store_ps(acc + 4 * kNr, c40);
+  _mm256_store_ps(acc + 4 * kNr + 8, c41);
+  _mm256_store_ps(acc + 5 * kNr, c50);
+  _mm256_store_ps(acc + 5 * kNr + 8, c51);
+}
+#else
+constexpr std::size_t kMr = 4, kNr = 8;
+
+inline void micro_kernel(std::size_t k, const float* EINET_RESTRICT ap,
+                         const float* EINET_RESTRICT bp,
+                         float* EINET_RESTRICT acc) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* EINET_RESTRICT arow = ap + p * kMr;
+    const float* EINET_RESTRICT brow = bp + p * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      float* EINET_RESTRICT accrow = acc + r * kNr;
+      for (std::size_t c = 0; c < kNr; ++c) accrow[c] += av * brow[c];
+    }
+  }
+}
+#endif
+
+inline std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+std::size_t gemm_threads() {
+  std::size_t v = g_threads.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = default_threads();
+    std::size_t expected = 0;
+    if (!g_threads.compare_exchange_strong(expected, v)) v = expected;
+  }
+  return v;
+}
+
+void set_gemm_threads(std::size_t n) {
+  g_threads.store(std::clamp<std::size_t>(n, 1, kMaxThreads));
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t nt = gemm_threads();
+  if (nt <= 1 || n == 1 || tl_depth > 0) {
+    body(0, n);
+    return;
+  }
+  Pool& pool = pool_instance();
+  if (!pool.try_acquire()) {  // another thread is dispatching: run inline
+    body(0, n);
+    return;
+  }
+  struct Release {
+    Pool& p;
+    ~Release() { p.release(); }
+  } release{pool};
+  pool.run(body, n, std::min(nt, n));
+}
+
+void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+           const float* a, std::size_t lda, const float* b, std::size_t ldb,
+           float beta, float* c, std::size_t ldc) {
+  if (beta != 0.0f && beta != 1.0f)
+    throw std::invalid_argument{"sgemm: beta must be 0 or 1"};
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (beta == 0.0f)
+      for (std::size_t i = 0; i < m; ++i)
+        std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    return;
+  }
+
+  const std::size_t m_panels = ceil_div(m, kMr);
+  const std::size_t n_panels = ceil_div(n, kNr);
+
+  // Pack op(B) once into kNr-wide column panels (p-major inside a panel,
+  // zero-padded to full width) so the microkernel streams it sequentially.
+  thread_local std::vector<float> b_pack_tl;
+  std::vector<float>& b_pack = b_pack_tl;
+  b_pack.resize(n_panels * kNr * k);
+  for (std::size_t jp = 0; jp < n_panels; ++jp) {
+    float* dst = b_pack.data() + jp * kNr * k;
+    const std::size_t j0 = jp * kNr;
+    const std::size_t nv = std::min(kNr, n - j0);
+    for (std::size_t p = 0; p < k; ++p) {
+      float* d = dst + p * kNr;
+      if (tb == Trans::kN) {
+        const float* src = b + p * ldb + j0;
+        for (std::size_t cc = 0; cc < nv; ++cc) d[cc] = src[cc];
+      } else {
+        for (std::size_t cc = 0; cc < nv; ++cc) d[cc] = b[(j0 + cc) * ldb + p];
+      }
+      for (std::size_t cc = nv; cc < kNr; ++cc) d[cc] = 0.0f;
+    }
+  }
+  const float* bpk = b_pack.data();
+
+  // Row panels are the unit of (deterministic) parallel scheduling: panels
+  // write disjoint rows of C, and which thread computes a panel cannot change
+  // its arithmetic.
+  parallel_for(m_panels, [&](std::size_t pb, std::size_t pe) {
+    thread_local std::vector<float> a_pack_tl;
+    std::vector<float>& a_pack = a_pack_tl;
+    a_pack.resize(kMr * k);
+    alignas(64) float acc[kMr * kNr];
+    for (std::size_t ip = pb; ip < pe; ++ip) {
+      const std::size_t i0 = ip * kMr;
+      const std::size_t mv = std::min(kMr, m - i0);
+      for (std::size_t p = 0; p < k; ++p) {  // pack op(A) row panel
+        float* d = a_pack.data() + p * kMr;
+        if (ta == Trans::kN) {
+          for (std::size_t r = 0; r < mv; ++r) d[r] = a[(i0 + r) * lda + p];
+        } else {
+          const float* src = a + p * lda + i0;
+          for (std::size_t r = 0; r < mv; ++r) d[r] = src[r];
+        }
+        for (std::size_t r = mv; r < kMr; ++r) d[r] = 0.0f;
+      }
+      for (std::size_t jp = 0; jp < n_panels; ++jp) {
+        const std::size_t j0 = jp * kNr;
+        const std::size_t nv = std::min(kNr, n - j0);
+        std::fill(acc, acc + kMr * kNr, 0.0f);
+        micro_kernel(k, a_pack.data(), bpk + jp * kNr * k, acc);
+        for (std::size_t r = 0; r < mv; ++r) {
+          float* crow = c + (i0 + r) * ldc + j0;
+          const float* arow = acc + r * kNr;
+          if (beta == 0.0f) {
+            for (std::size_t cc = 0; cc < nv; ++cc) crow[cc] = arow[cc];
+          } else {
+            for (std::size_t cc = 0; cc < nv; ++cc) crow[cc] += arow[cc];
+          }
+        }
+      }
+    }
+  });
+}
+
+void sgemm_reference(Trans ta, Trans tb, std::size_t m, std::size_t n,
+                     std::size_t k, const float* a, std::size_t lda,
+                     const float* b, std::size_t ldb, float beta, float* c,
+                     std::size_t ldc) {
+  if (beta != 0.0f && beta != 1.0f)
+    throw std::invalid_argument{"sgemm_reference: beta must be 0 or 1"};
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = beta == 0.0f ? 0.0f : c[i * ldc + j];
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ta == Trans::kN ? a[i * lda + p] : a[p * lda + i];
+        const float bv = tb == Trans::kN ? b[p * ldb + j] : b[j * ldb + p];
+        acc += av * bv;
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+}  // namespace einet::nn

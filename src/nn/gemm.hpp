@@ -1,0 +1,67 @@
+// Shared deterministic GEMM backend for the NN hot path (DESIGN.md §8).
+//
+// Every matrix product in Conv2d / Linear forward+backward routes through
+// sgemm(): a cache-blocked single-precision GEMM with packed A/B panels and a
+// register-tiled microkernel, parallelised over *row panels* of the output
+// through a lazily-initialised worker pool.
+//
+// Determinism contract: every output element C[i][j] is reduced over k in one
+// fixed order (k = 0..K-1 inside the microkernel's accumulator), and threads
+// partition disjoint row panels — so results are **bit-identical across
+// thread counts**. This matches the repo-wide discipline (byte-identical
+// KillLedger replay, bit-equal 1-vs-N serving accuracy) and keeps block
+// latency independent of weight values: no data-dependent skips, the offline
+// ET-profile stays trustworthy online (paper §IV).
+//
+// Thread count: EINET_NUM_THREADS env (default: hardware_concurrency), read
+// once at first use; set_gemm_threads() overrides at runtime (used by the
+// 1-vs-N bench and the bit-identity tests). Nested parallel_for calls run
+// inline on the calling thread, so batching over samples and parallelising
+// inside a single GEMM compose without oversubscription.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace einet::nn {
+
+/// Operand orientation for sgemm: kN uses the matrix as stored (row-major),
+/// kT uses its transpose.
+enum class Trans : unsigned char { kN, kT };
+
+/// C (m x n, row-major, leading dim ldc) = op(A) * op(B) + beta * C with
+/// op(A) m x k and op(B) k x n. `lda` / `ldb` are the leading dimensions of
+/// the matrices *as stored* (before transposition). `beta` must be 0 (C is
+/// overwritten) or 1 (the product is accumulated into C); anything else
+/// throws std::invalid_argument.
+void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+           const float* a, std::size_t lda, const float* b, std::size_t ldb,
+           float beta, float* c, std::size_t ldc);
+
+/// Naive triple-loop reference (the seed kernel's arithmetic, minus its
+/// data-dependent zero skip). Used by the parity tests and bench_nn; never
+/// called from the layers.
+void sgemm_reference(Trans ta, Trans tb, std::size_t m, std::size_t n,
+                     std::size_t k, const float* a, std::size_t lda,
+                     const float* b, std::size_t ldb, float beta, float* c,
+                     std::size_t ldc);
+
+/// Current GEMM thread count (>= 1). First call initialises the setting from
+/// EINET_NUM_THREADS (falling back to std::thread::hardware_concurrency).
+[[nodiscard]] std::size_t gemm_threads();
+
+/// Override the GEMM thread count at runtime (clamped to >= 1). Grows the
+/// worker pool on demand; outputs are bit-identical for every setting.
+void set_gemm_threads(std::size_t n);
+
+/// Run body(begin, end) over a static contiguous partition of [0, n) across
+/// the worker pool (the caller executes the first chunk). Chunks are
+/// disjoint, so bodies writing disjoint outputs are race-free. Calls nested
+/// inside a running parallel_for — and calls issued while another thread
+/// holds the pool — execute the whole range inline on the calling thread;
+/// either way every index is visited exactly once. Exceptions thrown by
+/// `body` are rethrown on the calling thread.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace einet::nn

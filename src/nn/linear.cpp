@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/gemm.hpp"
+
 namespace einet::nn {
 
 Linear::Linear(std::size_t in_features, std::size_t out_features,
@@ -40,16 +42,15 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   Tensor y{{n, out_}};
   const float* w = weight_.value.raw();
   const float* b = bias_.value.raw();
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* xi = x.raw() + i * in_;
-    float* yi = y.raw() + i * out_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float* wo = w + o * in_;
-      float acc = b[o];
-      for (std::size_t k = 0; k < in_; ++k) acc += wo[k] * xi[k];
-      yi[o] = acc;
+  // y (n x out) = x (n x in) * W^T, then the bias broadcast over rows.
+  sgemm(Trans::kN, Trans::kT, n, out_, in_, x.raw(), in_, w, in_, 0.0f,
+        y.raw(), out_);
+  parallel_for(n, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      float* yi = y.raw() + i * out_;
+      for (std::size_t o = 0; o < out_; ++o) yi[o] += b[o];
     }
-  }
+  });
   if (train) cached_input_ = x;
   return y;
 }
@@ -66,22 +67,18 @@ Tensor Linear::backward(const Tensor& grad_out) {
   float* gw = weight_.grad.raw();
   float* gb = bias_.grad.raw();
   const float* w = weight_.value.raw();
+  const float* gy = grad_out.raw();
+  // db (out) += column sums of gy, reduced sample-major in a fixed order.
   for (std::size_t i = 0; i < n; ++i) {
-    const float* gi = grad_out.raw() + i * out_;
-    const float* xi = cached_input_.raw() + i * in_;
-    float* dxi = grad_in.raw() + i * in_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float g = gi[o];
-      if (g == 0.0f) continue;
-      gb[o] += g;
-      float* gwo = gw + o * in_;
-      const float* wo = w + o * in_;
-      for (std::size_t k = 0; k < in_; ++k) {
-        gwo[k] += g * xi[k];
-        dxi[k] += g * wo[k];
-      }
-    }
+    const float* gi = gy + i * out_;
+    for (std::size_t o = 0; o < out_; ++o) gb[o] += gi[o];
   }
+  // dW (out x in) += gy^T (out x n) * x (n x in)
+  sgemm(Trans::kT, Trans::kN, out_, in_, n, gy, out_, cached_input_.raw(),
+        in_, 1.0f, gw, in_);
+  // dx (n x in) = gy (n x out) * W (out x in)
+  sgemm(Trans::kN, Trans::kN, n, in_, out_, gy, out_, w, in_, 0.0f,
+        grad_in.raw(), in_);
   return grad_in;
 }
 

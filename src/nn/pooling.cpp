@@ -1,6 +1,5 @@
 #include "nn/pooling.hpp"
 
-#include <limits>
 #include <stdexcept>
 
 namespace einet::nn {
@@ -48,18 +47,25 @@ Tensor MaxPool2d::forward(const Tensor& x, bool train) {
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       const float* plane = x.raw() + (i * c + ch) * h * w;
+      const std::size_t base = (i * c + ch) * h * w;
       for (std::size_t oi = 0; oi < oh; ++oi) {
         for (std::size_t oj = 0; oj < ow; ++oj, ++out_idx) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::size_t best_idx = 0;
+          // Seed best with the window's own first element — not a sentinel
+          // plus global index 0, which made an all-NaN / all--inf window
+          // scatter its gradient into element 0 of the whole input tensor.
+          // The !(v <= best) comparison is NaN-safe: NaN never wins against
+          // itself via the self-compare below, and the selected index always
+          // stays inside the window.
+          float best = plane[oi * stride_ * w + oj * stride_];
+          std::size_t best_idx = base + oi * stride_ * w + oj * stride_;
           for (std::size_t ki = 0; ki < kernel_; ++ki) {
             for (std::size_t kj = 0; kj < kernel_; ++kj) {
               const std::size_t ii = oi * stride_ + ki;
               const std::size_t jj = oj * stride_ + kj;
               const float v = plane[ii * w + jj];
-              if (v > best) {
+              if (!(v <= best)) {
                 best = v;
-                best_idx = (i * c + ch) * h * w + ii * w + jj;
+                best_idx = base + ii * w + jj;
               }
             }
           }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <sstream>
 #include <stdexcept>
 
@@ -158,7 +157,11 @@ void Tensor::add_scaled(const Tensor& other, float alpha) {
 }
 
 float Tensor::sum() const {
-  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+  // Accumulate in double like norm(): float accumulation drifts visibly on
+  // large activation tensors (ulp(acc) swamps small addends).
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v);
+  return static_cast<float>(acc);
 }
 
 float Tensor::max() const {

@@ -30,6 +30,11 @@ namespace einet::profiling {
 
 /// Per-sample per-block *wall-clock* block times (ms) measured by actually
 /// running the network on dataset images (first `samples` of `ds`).
+///
+/// Wall-clock profiles are a property of the deployed compute backend, not
+/// just the model: they depend on the nn GEMM kernels (DESIGN.md §8) and on
+/// `EINET_NUM_THREADS`. Re-run profiling whenever either changes — an
+/// ET-profile captured against older kernels misprices every block online.
 [[nodiscard]] std::vector<std::vector<double>> measure_block_times_wallclock(
     models::MultiExitNetwork& net, const data::Dataset& ds,
     std::size_t samples);

@@ -1,0 +1,226 @@
+// GEMM backend (nn/gemm.hpp): reference parity for all operand orientations,
+// accumulate mode, the bit-identity-across-thread-counts contract, and the
+// parallel_for scheduling semantics (coverage, nesting, exceptions).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/gemm.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace einet::nn {
+namespace {
+
+/// Restore the process-wide GEMM thread setting on scope exit so suites do
+/// not leak configuration into each other.
+struct ThreadGuard {
+  std::size_t saved = gemm_threads();
+  ~ThreadGuard() { set_gemm_threads(saved); }
+};
+
+std::vector<float> random_matrix(std::size_t elems, util::Rng& rng) {
+  std::vector<float> m(elems);
+  for (auto& v : m) v = rng.uniform_f(-1.0f, 1.0f);
+  return m;
+}
+
+// Relative error with a unit magnitude floor: entries are reductions of up
+// to k ~ 1e2 products of U(-1,1) values, so near-cancelled outputs carry
+// absolute rounding noise of order k * eps regardless of implementation. The
+// blocked kernel may contract multiply+add into FMAs while the reference
+// rounds twice — a few-e-5 *absolute* wobble on cancelled entries is float
+// arithmetic, not a kernel bug (indexing bugs show up as O(1) errors, and
+// the bit-identity test pins the blocked kernel's own arithmetic exactly).
+double rel_err(float a, float b) {
+  const double scale =
+      std::max({1.0, std::abs(static_cast<double>(a)), std::abs(static_cast<double>(b))});
+  return std::abs(static_cast<double>(a) - static_cast<double>(b)) / scale;
+}
+
+void expect_close(const std::vector<float>& got, const std::vector<float>& want,
+                  double tol = 1e-4) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_LT(rel_err(got[i], want[i]), tol) << "element " << i;
+}
+
+struct Dims {
+  std::size_t m, n, k;
+};
+
+// Includes sizes that are not multiples of any register tile, single
+// rows/columns, and k == 1 (no reduction to reorder).
+const Dims kDims[] = {{1, 1, 1},   {1, 10, 128}, {3, 5, 7},  {8, 16, 32},
+                      {17, 23, 9}, {64, 100, 33}, {5, 1, 64}, {61, 77, 53}};
+
+TEST(Sgemm, MatchesReferenceNoTrans) {
+  util::Rng rng{41};
+  for (const auto& d : kDims) {
+    const auto a = random_matrix(d.m * d.k, rng);
+    const auto b = random_matrix(d.k * d.n, rng);
+    std::vector<float> got(d.m * d.n, -7.0f), want(d.m * d.n, -7.0f);
+    sgemm(Trans::kN, Trans::kN, d.m, d.n, d.k, a.data(), d.k, b.data(), d.n,
+          0.0f, got.data(), d.n);
+    sgemm_reference(Trans::kN, Trans::kN, d.m, d.n, d.k, a.data(), d.k,
+                    b.data(), d.n, 0.0f, want.data(), d.n);
+    expect_close(got, want);
+  }
+}
+
+TEST(Sgemm, MatchesReferenceTransB) {
+  util::Rng rng{42};
+  for (const auto& d : kDims) {
+    const auto a = random_matrix(d.m * d.k, rng);
+    const auto b = random_matrix(d.n * d.k, rng);  // stored (n x k)
+    std::vector<float> got(d.m * d.n), want(d.m * d.n);
+    sgemm(Trans::kN, Trans::kT, d.m, d.n, d.k, a.data(), d.k, b.data(), d.k,
+          0.0f, got.data(), d.n);
+    sgemm_reference(Trans::kN, Trans::kT, d.m, d.n, d.k, a.data(), d.k,
+                    b.data(), d.k, 0.0f, want.data(), d.n);
+    expect_close(got, want);
+  }
+}
+
+TEST(Sgemm, MatchesReferenceTransA) {
+  util::Rng rng{43};
+  for (const auto& d : kDims) {
+    const auto a = random_matrix(d.k * d.m, rng);  // stored (k x m)
+    const auto b = random_matrix(d.k * d.n, rng);
+    std::vector<float> got(d.m * d.n), want(d.m * d.n);
+    sgemm(Trans::kT, Trans::kN, d.m, d.n, d.k, a.data(), d.m, b.data(), d.n,
+          0.0f, got.data(), d.n);
+    sgemm_reference(Trans::kT, Trans::kN, d.m, d.n, d.k, a.data(), d.m,
+                    b.data(), d.n, 0.0f, want.data(), d.n);
+    expect_close(got, want);
+  }
+}
+
+TEST(Sgemm, BetaOneAccumulates) {
+  util::Rng rng{44};
+  const Dims d{19, 31, 27};
+  const auto a = random_matrix(d.m * d.k, rng);
+  const auto b = random_matrix(d.k * d.n, rng);
+  const auto c0 = random_matrix(d.m * d.n, rng);
+  std::vector<float> got = c0, want = c0;
+  sgemm(Trans::kN, Trans::kN, d.m, d.n, d.k, a.data(), d.k, b.data(), d.n,
+        1.0f, got.data(), d.n);
+  sgemm_reference(Trans::kN, Trans::kN, d.m, d.n, d.k, a.data(), d.k, b.data(),
+                  d.n, 1.0f, want.data(), d.n);
+  expect_close(got, want);
+}
+
+TEST(Sgemm, RespectsLeadingDimensions) {
+  // C is a 3x4 window inside a 3x10 row-major buffer; columns outside the
+  // window must stay untouched.
+  util::Rng rng{45};
+  const std::size_t m = 3, n = 4, k = 5, ldc = 10;
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> got(m * ldc, 9.5f), want(m * ldc, 9.5f);
+  sgemm(Trans::kN, Trans::kN, m, n, k, a.data(), k, b.data(), n, 0.0f,
+        got.data(), ldc);
+  sgemm_reference(Trans::kN, Trans::kN, m, n, k, a.data(), k, b.data(), n,
+                  0.0f, want.data(), ldc);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = n; j < ldc; ++j)
+      ASSERT_EQ(got[i * ldc + j], 9.5f) << "padding clobbered at " << i << "," << j;
+  expect_close(got, want, 1e-5);
+}
+
+TEST(Sgemm, RejectsUnsupportedBeta) {
+  float a = 1.0f, b = 1.0f, c = 0.0f;
+  EXPECT_THROW(sgemm(Trans::kN, Trans::kN, 1, 1, 1, &a, 1, &b, 1, 0.5f, &c, 1),
+               std::invalid_argument);
+}
+
+TEST(Sgemm, ZeroKWithBetaZeroClearsOutput) {
+  std::vector<float> c(6, 3.0f);
+  sgemm(Trans::kN, Trans::kN, 2, 3, 0, nullptr, 1, nullptr, 1, 0.0f, c.data(),
+        3);
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+}
+
+// The determinism contract: identical bits for every thread-count setting.
+TEST(Sgemm, BitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  util::Rng rng{46};
+  const Dims shapes[] = {{61, 77, 53}, {8, 1024, 288}, {128, 33, 7}};
+  for (const auto& d : shapes) {
+    const auto a = random_matrix(d.m * d.k, rng);
+    const auto b = random_matrix(d.k * d.n, rng);
+    std::vector<float> c1(d.m * d.n), c4(d.m * d.n), c7(d.m * d.n);
+    set_gemm_threads(1);
+    sgemm(Trans::kN, Trans::kN, d.m, d.n, d.k, a.data(), d.k, b.data(), d.n,
+          0.0f, c1.data(), d.n);
+    set_gemm_threads(4);
+    sgemm(Trans::kN, Trans::kN, d.m, d.n, d.k, a.data(), d.k, b.data(), d.n,
+          0.0f, c4.data(), d.n);
+    set_gemm_threads(7);
+    sgemm(Trans::kN, Trans::kN, d.m, d.n, d.k, a.data(), d.k, b.data(), d.n,
+          0.0f, c7.data(), d.n);
+    EXPECT_EQ(0, std::memcmp(c1.data(), c4.data(), c1.size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(c1.data(), c7.data(), c1.size() * sizeof(float)));
+  }
+}
+
+TEST(GemmThreads, DefaultIsAtLeastOneAndSetterClamps) {
+  ThreadGuard guard;
+  EXPECT_GE(gemm_threads(), 1u);
+  set_gemm_threads(0);
+  EXPECT_EQ(gemm_threads(), 1u);
+  set_gemm_threads(3);
+  EXPECT_EQ(gemm_threads(), 3u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  for (std::size_t nt : {1u, 4u}) {
+    set_gemm_threads(nt);
+    for (std::size_t n : {0u, 1u, 3u, 64u, 1000u}) {
+      std::vector<int> hits(n, 0);
+      parallel_for(n, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      });
+      for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << i;
+    }
+  }
+}
+
+TEST(ParallelFor, NestedCallsRunInlineAndStillCover) {
+  ThreadGuard guard;
+  set_gemm_threads(4);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t outer = b; outer < e; ++outer) {
+      parallel_for(8, [&](std::size_t ib, std::size_t ie) {
+        for (std::size_t inner = ib; inner < ie; ++inner)
+          hits[outer * 8 + inner].fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadGuard guard;
+  set_gemm_threads(4);
+  EXPECT_THROW(
+      parallel_for(16,
+                   [&](std::size_t b, std::size_t) {
+                     if (b == 0) throw std::runtime_error{"chunk failure"};
+                   }),
+      std::runtime_error);
+  // The pool must still be usable afterwards.
+  std::vector<int> hits(16, 0);
+  parallel_for(16, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace einet::nn

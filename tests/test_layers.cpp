@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
 #include "nn/linear.hpp"
 #include "nn/pooling.hpp"
 #include "nn/sequential.hpp"
@@ -74,6 +79,98 @@ TEST(Conv2d, IdentityKernelPassesThrough) {
   Tensor x = Tensor::uniform({1, 1, 5, 5}, -1, 1, rng);
   const Tensor y = c.forward(x, false);
   for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+/// Direct (non-im2col) convolution oracle for forward-parity checks against
+/// the GEMM-backed kernel.
+Tensor direct_conv(const Tensor& x, const Conv2dSpec& spec, const Tensor& wgt,
+                   const Tensor& bias, const Shape& out_shape) {
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = out_shape[2], ow = out_shape[3];
+  Tensor y{out_shape};
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t oc = 0; oc < spec.out_channels; ++oc)
+      for (std::size_t oi = 0; oi < oh; ++oi)
+        for (std::size_t oj = 0; oj < ow; ++oj) {
+          double acc = bias[oc];
+          for (std::size_t c = 0; c < spec.in_channels; ++c)
+            for (std::size_t ki = 0; ki < spec.kernel; ++ki)
+              for (std::size_t kj = 0; kj < spec.kernel; ++kj) {
+                const long ii = static_cast<long>(oi * spec.stride + ki) -
+                                static_cast<long>(spec.padding);
+                const long jj = static_cast<long>(oj * spec.stride + kj) -
+                                static_cast<long>(spec.padding);
+                if (ii < 0 || jj < 0 || ii >= static_cast<long>(h) ||
+                    jj >= static_cast<long>(w))
+                  continue;
+                const float xv = x.at(i, c, static_cast<std::size_t>(ii),
+                                      static_cast<std::size_t>(jj));
+                const float wv =
+                    wgt.at(oc, (c * spec.kernel + ki) * spec.kernel + kj);
+                acc += static_cast<double>(xv) * wv;
+              }
+          y.at(i, oc, oi, oj) = static_cast<float>(acc);
+        }
+  return y;
+}
+
+TEST(Conv2d, ForwardMatchesDirectConvolution) {
+  util::Rng rng{30};
+  const Conv2dSpec specs[] = {
+      {.in_channels = 3, .out_channels = 7, .kernel = 3, .stride = 1,
+       .padding = 1},
+      {.in_channels = 2, .out_channels = 5, .kernel = 3, .stride = 2,
+       .padding = 0},
+      {.in_channels = 4, .out_channels = 6, .kernel = 1, .stride = 1,
+       .padding = 0},
+  };
+  for (const auto& spec : specs) {
+    Conv2d conv{spec, rng};
+    const Tensor x = Tensor::uniform({2, spec.in_channels, 9, 9}, -1, 1, rng);
+    const Tensor got = conv.forward(x, false);
+    const Tensor want = direct_conv(x, spec, conv.weight().value,
+                                    conv.bias().value, got.shape());
+    ASSERT_EQ(got.shape(), want.shape());
+    // <= 1e-5 relative with a unit magnitude floor: the oracle accumulates
+    // in double, so near-cancelled outputs differ by float rounding of the
+    // ~patch-length reduction, not by kernel behaviour.
+    for (std::size_t i = 0; i < got.numel(); ++i) {
+      const double scale = std::max(
+          {1.0, std::abs(static_cast<double>(got[i])),
+           std::abs(static_cast<double>(want[i]))});
+      ASSERT_LT(std::abs(static_cast<double>(got[i]) - want[i]) / scale, 1e-5)
+          << "mismatch at " << i << " for " << conv.name();
+    }
+  }
+}
+
+TEST(Conv2d, ForwardBitIdenticalAcrossThreadCounts) {
+  const std::size_t saved = gemm_threads();
+  util::Rng rng{31};
+  Conv2d conv{{.in_channels = 3, .out_channels = 16, .kernel = 3, .stride = 1,
+               .padding = 1},
+              rng};
+  const Tensor x = Tensor::uniform({3, 3, 16, 16}, -1, 1, rng);
+  set_gemm_threads(1);
+  const Tensor y1 = conv.forward(x, false);
+  set_gemm_threads(4);
+  const Tensor y4 = conv.forward(x, false);
+  set_gemm_threads(saved);
+  ASSERT_EQ(y1.shape(), y4.shape());
+  EXPECT_EQ(0, std::memcmp(y1.raw(), y4.raw(), y1.numel() * sizeof(float)));
+}
+
+TEST(Linear, ForwardBitIdenticalAcrossThreadCounts) {
+  const std::size_t saved = gemm_threads();
+  util::Rng rng{32};
+  Linear l{96, 64, rng};
+  const Tensor x = Tensor::uniform({5, 96}, -1, 1, rng);
+  set_gemm_threads(1);
+  const Tensor y1 = l.forward(x, false);
+  set_gemm_threads(4);
+  const Tensor y4 = l.forward(x, false);
+  set_gemm_threads(saved);
+  EXPECT_EQ(0, std::memcmp(y1.raw(), y4.raw(), y1.numel() * sizeof(float)));
 }
 
 TEST(Conv2d, GradientsMatchNumeric) {
@@ -165,6 +262,60 @@ TEST(MaxPool2d, GradientRoutesToArgmax) {
   (void)p.forward(x, true);
   const Tensor g = p.backward(Tensor{{1, 1, 1, 1}, {5.0f}});
   EXPECT_EQ(g[3], 5.0f);
+  EXPECT_EQ(g[0], 0.0f);
+}
+
+// Regression: best_idx was seeded with *global* flat index 0, so an all-NaN
+// (or all--inf) window scattered its gradient into element 0 of the whole
+// input tensor. The window-seeded NaN-safe comparison keeps every window's
+// gradient inside that window.
+TEST(MaxPool2d, NaNPlaneRoutesEachGradientInsideItsWindow) {
+  MaxPool2d p{2};
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor x{{1, 1, 4, 4}, nan};
+  const Tensor y = p.forward(x, true);
+  for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_TRUE(std::isnan(y[i]));
+  const Tensor g = p.backward(Tensor{{1, 1, 2, 2}, 1.0f});
+  float total = 0.0f;
+  for (std::size_t i = 0; i < g.numel(); ++i) total += g[i];
+  EXPECT_FLOAT_EQ(total, 4.0f);  // nothing lost, nothing duplicated
+  // The seed bug piled all four window gradients onto element 0.
+  EXPECT_LT(g[0], 4.0f);
+  // Each window's unit gradient lands inside that window's 2x2 block.
+  const std::size_t windows[4][4] = {{0, 1, 4, 5},   {2, 3, 6, 7},
+                                     {8, 9, 12, 13}, {10, 11, 14, 15}};
+  for (const auto& win : windows) {
+    float in_window = 0.0f;
+    for (std::size_t idx : win) in_window += g[idx];
+    EXPECT_FLOAT_EQ(in_window, 1.0f);
+  }
+}
+
+TEST(MaxPool2d, AllNegativeInfinityWindowStaysLocal) {
+  MaxPool2d p{2};
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor x{{1, 1, 2, 4}, -inf};
+  x[2] = 3.0f;  // second window has one finite max
+  const Tensor y = p.forward(x, true);
+  EXPECT_EQ(y[0], -inf);
+  EXPECT_FLOAT_EQ(y[1], 3.0f);
+  const Tensor g = p.backward(Tensor{{1, 1, 1, 2}, {1.0f, 1.0f}});
+  // Window 0's gradient stays in {0, 1, 4, 5}; the seed sent it to index 0
+  // only by accident of the sentinel. Window 1 routes to the finite max.
+  float w0 = g[0] + g[1] + g[4] + g[5];
+  EXPECT_FLOAT_EQ(w0, 1.0f);
+  EXPECT_FLOAT_EQ(g[2], 1.0f);
+}
+
+TEST(MaxPool2d, PartialNaNWindowKeepsFiniteCandidates) {
+  MaxPool2d p{2};
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor x{{1, 1, 2, 2}, {nan, 2.0f, 1.0f, -3.0f}};
+  const Tensor y = p.forward(x, true);
+  // A leading NaN must not poison the whole window: later finite values win.
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  const Tensor g = p.backward(Tensor{{1, 1, 1, 1}, {5.0f}});
+  EXPECT_FLOAT_EQ(g[1], 5.0f);
   EXPECT_EQ(g[0], 0.0f);
 }
 

@@ -87,6 +87,24 @@ TEST(Tensor, Reductions) {
   EXPECT_NEAR(t.norm(), std::sqrt(1 + 25 + 9 + 4), 1e-5);
 }
 
+// Regression: sum() used to accumulate in float, drifting on large tensors
+// (once the accumulator dwarfs the addends, low bits are rounded away every
+// step); norm() already accumulated in double. One million small values must
+// sum to the exact double total within float rounding of the result.
+TEST(Tensor, SumAccumulatesInDouble) {
+  const float v = 0.001f;
+  Tensor t{{1000, 1000}, v};
+  const double expected = 1e6 * static_cast<double>(v);
+  EXPECT_NEAR(static_cast<double>(t.sum()), expected, 1e-4 * expected);
+  // Alternating large/small entries: a float accumulator loses the small
+  // addends entirely once the running sum is large.
+  Tensor mix{{100000}};
+  for (std::size_t i = 0; i < mix.numel(); ++i)
+    mix[i] = (i % 2 == 0) ? 1000.0f : 1e-4f;
+  const double want = 50000.0 * 1000.0 + 50000.0 * static_cast<double>(1e-4f);
+  EXPECT_NEAR(static_cast<double>(mix.sum()), want, 1.0);
+}
+
 TEST(Tensor, FactoriesRespectShapes) {
   util::Rng rng{1};
   const Tensor u = Tensor::uniform({100}, -2.0f, 3.0f, rng);
