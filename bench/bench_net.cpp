@@ -1,0 +1,233 @@
+// TCP front-end micro-bench (perf trajectory seed): loopback round-trip
+// latency and pipelined frame throughput against a live EdgeTcpServer.
+//
+// Part 1 is closed-loop: C client threads, one connection each, issue
+// sequential request()s and record per-request wall RTT; median/p95/max are
+// reported across all requests. Part 2 is open-window: one client keeps W
+// pipelined requests in flight and measures sustained frames/s (request +
+// response frames both count — that is what the event loop actually moves).
+//
+// The run fails (non-zero exit) on any protocol error or missing response —
+// transport correctness is a criterion, not just a statistic. Results go to
+// BENCH_net.json for mechanical commit-over-commit comparison.
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/time_distribution.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace einet;
+
+profiling::ETProfile tiny_et() {
+  profiling::ETProfile et;
+  et.model_name = "tiny";
+  et.platform_name = "loopback";
+  et.conv_ms = {1.0, 1.0, 1.0, 1.0};
+  et.branch_ms = {0.5, 0.5, 0.5, 0.5};
+  return et;
+}
+
+profiling::CSProfile tiny_cs(std::size_t records) {
+  profiling::CSProfile cs;
+  cs.model_name = "tiny";
+  cs.dataset_name = "synthetic";
+  cs.num_exits = 4;
+  util::Rng rng{7};
+  for (std::size_t r = 0; r < records; ++r) {
+    profiling::CSRecord rec;
+    float conf = rng.uniform_f(0.2f, 0.5f);
+    for (std::size_t e = 0; e < cs.num_exits; ++e) {
+      conf = std::min(1.0f, conf + rng.uniform_f(0.0f, 0.2f));
+      rec.confidence.push_back(conf);
+      rec.correct.push_back(rng.bernoulli(conf) ? 1 : 0);
+    }
+    rec.label = r % 10;
+    cs.records.push_back(std::move(rec));
+  }
+  cs.validate();
+  return cs;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_bench_header(
+      "BENCH net", "Loopback round-trip latency (p50/p95) + frames/s");
+
+  constexpr std::size_t kConnections = 8;
+  constexpr std::size_t kRequestsPerConn = 250;
+  constexpr std::size_t kPipelineWindow = 64;
+  constexpr std::size_t kPipelinedTotal = 2000;
+  constexpr std::size_t kWorkers = 4;
+
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(32);
+  const core::UniformExitDistribution dist{et.total_ms()};
+
+  serving::ServerConfig config;
+  config.queue_capacity = 4096;
+  config.pool.num_workers = kWorkers;
+  serving::EdgeServer edge{
+      et,
+      serving::make_replicated_engine_factory(
+          et, nullptr, {}, std::vector<float>(cs.num_exits, 0.5f)),
+      [&dist](runtime::ElasticEngine& engine, const serving::Task& task,
+              util::Rng&) {
+        return engine.run(*task.record, task.deadline_ms, dist);
+      },
+      config};
+  net::EdgeTcpServer tcp{edge};
+  tcp.start();
+
+  bool transport_ok = true;
+
+  // ---- Part 1: closed-loop RTT across concurrent connections ------------
+  std::mutex merge_mu;
+  std::vector<double> rtts;
+  rtts.reserve(kConnections * kRequestsPerConn);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kConnections; ++t) {
+      threads.emplace_back([&, t] {
+        std::vector<double> local;
+        local.reserve(kRequestsPerConn);
+        try {
+          net::TcpClientConfig cc;
+          cc.port = tcp.port();
+          net::EdgeClient client{cc};
+          util::Rng rng{100 + t};
+          for (std::size_t i = 0; i < kRequestsPerConn; ++i) {
+            const auto& rec = cs.records[rng.uniform_int(cs.size())];
+            const double budget = rng.uniform(2.0, 1.4 * et.total_ms());
+            util::Timer rtt;
+            (void)client.request(rec, budget);
+            local.push_back(rtt.elapsed_ms());
+          }
+        } catch (const std::exception& e) {
+          std::cerr << "closed-loop client " << t << " failed: " << e.what()
+                    << "\n";
+        }
+        const std::lock_guard lock{merge_mu};
+        rtts.insert(rtts.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  if (rtts.size() != kConnections * kRequestsPerConn) transport_ok = false;
+
+  util::RunningStats rtt_stats;
+  for (const double ms : rtts) rtt_stats.add(ms);
+  const double p50 = util::percentile(rtts, 50);
+  const double p95 = util::percentile(rtts, 95);
+
+  // ---- Part 2: pipelined frame throughput, one connection ---------------
+  double pipelined_s = 0.0;
+  std::size_t pipelined_done = 0;
+  try {
+    net::TcpClientConfig cc;
+    cc.port = tcp.port();
+    net::EdgeClient client{cc};
+    client.connect();
+    util::Rng rng{999};
+    std::vector<std::uint64_t> window;
+    util::Timer wall;
+    for (std::size_t i = 0; i < kPipelinedTotal; ++i) {
+      window.push_back(client.send(cs.records[rng.uniform_int(cs.size())],
+                                   rng.uniform(2.0, 1.4 * et.total_ms())));
+      if (window.size() == kPipelineWindow) {
+        for (const auto id : window) {
+          (void)client.wait(id);
+          ++pipelined_done;
+        }
+        window.clear();
+      }
+    }
+    for (const auto id : window) {
+      (void)client.wait(id);
+      ++pipelined_done;
+    }
+    pipelined_s = wall.elapsed_s();
+  } catch (const std::exception& e) {
+    std::cerr << "pipelined client failed: " << e.what() << "\n";
+  }
+  if (pipelined_done != kPipelinedTotal) transport_ok = false;
+
+  tcp.stop();
+  edge.shutdown();
+
+  const auto nm = tcp.net_metrics();
+  if (nm.protocol_errors != 0 || nm.dropped_responses != 0)
+    transport_ok = false;
+
+  const double round_trips_per_s =
+      pipelined_s > 0.0 ? static_cast<double>(pipelined_done) / pipelined_s
+                        : 0.0;
+  const double frames_per_s = 2.0 * round_trips_per_s;  // request + response
+
+  util::Table table{{"metric", "value"}};
+  table.add_row({"closed-loop RTT p50 ms", util::Table::num(p50, 4)});
+  table.add_row({"closed-loop RTT p95 ms", util::Table::num(p95, 4)});
+  table.add_row({"closed-loop RTT max ms", util::Table::num(rtt_stats.max(), 4)});
+  table.add_row({"pipelined round-trips/s", util::Table::num(round_trips_per_s, 0)});
+  table.add_row({"pipelined frames/s", util::Table::num(frames_per_s, 0)});
+  table.add_row({"protocol errors", std::to_string(nm.protocol_errors)});
+  std::cout << table.str() << "\ncriterion: all responses received, zero "
+            << "protocol errors -> " << (transport_ok ? "PASS" : "FAIL")
+            << "\n";
+
+  // ---- BENCH_net.json ---------------------------------------------------
+  std::ostringstream json;
+  util::JsonWriter jw{json};
+  jw.begin_object();
+  jw.kv("bench", "net");
+  jw.kv("connections", static_cast<std::uint64_t>(kConnections));
+  jw.kv("requests_per_connection",
+        static_cast<std::uint64_t>(kRequestsPerConn));
+  jw.key("round_trip_ms");
+  jw.begin_object();
+  jw.kv("mean", rtt_stats.mean());
+  jw.kv("p50", p50);
+  jw.kv("p95", p95);
+  jw.kv("max", rtt_stats.max());
+  jw.end_object();
+  jw.key("pipelined");
+  jw.begin_object();
+  jw.kv("window", static_cast<std::uint64_t>(kPipelineWindow));
+  jw.kv("total_requests", static_cast<std::uint64_t>(kPipelinedTotal));
+  jw.kv("round_trips_per_s", round_trips_per_s);
+  jw.kv("frames_per_s", frames_per_s);
+  jw.end_object();
+  jw.key("transport");
+  jw.begin_object();
+  jw.kv("frames_in", nm.frames_in);
+  jw.kv("frames_out", nm.frames_out);
+  jw.kv("protocol_errors", nm.protocol_errors);
+  jw.kv("dropped_responses", nm.dropped_responses);
+  jw.end_object();
+  jw.kv("pass", transport_ok);
+  jw.end_object();
+  std::ofstream out{"BENCH_net.json"};
+  out << json.str() << "\n";
+  if (!out) {
+    std::cerr << "error: could not write BENCH_net.json\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "-> BENCH_net.json\n";
+  return transport_ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

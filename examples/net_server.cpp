@@ -1,0 +1,265 @@
+// Networking front-end demo + acceptance harness (DESIGN.md §9): serves a
+// deterministic replay stream twice — once in-process through
+// EdgeServer::submit(), once over loopback TCP through EdgeTcpServer with a
+// fleet of concurrent EdgeClient threads — and verifies the client-observed
+// outcomes are bit-identical to the in-process reference. The wire adds
+// transport, not semantics: the inference outcome is a pure function of
+// (record, deadline), so any divergence is a protocol or plumbing bug.
+//
+// Also acts as a load generator: all `connections` clients connect up front
+// and drive the server concurrently, so the run demonstrates the event loop
+// sustaining that many simultaneous connections with zero protocol errors.
+//
+// Usage: net_server [num_tasks] [connections] [workers] [records]
+#include <atomic>
+#include <bit>
+#include <condition_variable>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/time_distribution.hpp"
+#include "example_args.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "profiling/profiles.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace einet;
+
+// Tiny synthetic profiles (same shape as the serving test fixtures): fast to
+// build, deterministic, and rich enough that plans differ across deadlines.
+profiling::ETProfile tiny_et() {
+  profiling::ETProfile et;
+  et.model_name = "tiny";
+  et.platform_name = "loopback";
+  et.conv_ms = {1.0, 1.0, 1.0, 1.0};
+  et.branch_ms = {0.5, 0.5, 0.5, 0.5};
+  return et;
+}
+
+profiling::CSProfile tiny_cs(std::size_t records, std::uint64_t seed = 7) {
+  profiling::CSProfile cs;
+  cs.model_name = "tiny";
+  cs.dataset_name = "synthetic";
+  cs.num_exits = 4;
+  util::Rng rng{seed};
+  for (std::size_t r = 0; r < records; ++r) {
+    profiling::CSRecord rec;
+    float conf = rng.uniform_f(0.2f, 0.5f);
+    for (std::size_t e = 0; e < cs.num_exits; ++e) {
+      conf = std::min(1.0f, conf + rng.uniform_f(0.0f, 0.2f));
+      rec.confidence.push_back(conf);
+      rec.correct.push_back(rng.bernoulli(conf) ? 1 : 0);
+    }
+    rec.label = r % 10;
+    cs.records.push_back(std::move(rec));
+  }
+  cs.validate();
+  return cs;
+}
+
+/// One observed answer, from either path.
+struct Observed {
+  serving::SubmitStatus status = serving::SubmitStatus::kClosed;
+  runtime::InferenceOutcome outcome;
+};
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Every semantic outcome field must match bit-for-bit. planner_ms is
+/// excluded: it is measured wall-clock search time (telemetry), not part of
+/// the deterministic (record, deadline) -> outcome contract.
+bool identical(const Observed& a, const Observed& b) {
+  const auto& x = a.outcome;
+  const auto& y = b.outcome;
+  return a.status == b.status && x.has_result == y.has_result &&
+         x.exit_index == y.exit_index && x.correct == y.correct &&
+         x.completed == y.completed &&
+         x.branches_executed == y.branches_executed &&
+         x.searches_run == y.searches_run &&
+         same_bits(x.result_time_ms, y.result_time_ms) &&
+         same_bits(x.deadline_ms, y.deadline_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const examples::ArgParser args{
+      argc, argv, "net_server [num_tasks] [connections] [workers] [records]"};
+  const std::size_t num_tasks = args.positive(1, 512, "num_tasks");
+  const std::size_t connections = args.positive(2, 64, "connections");
+  const std::size_t workers = args.positive(3, 4, "workers");
+  const std::size_t records = args.positive(4, 64, "records");
+
+  std::cout << "== TCP serving front-end: loopback vs in-process ==\n";
+
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(records);
+  const std::size_t n = cs.num_exits;
+  const core::UniformExitDistribution dist{et.total_ms()};
+
+  // Predictor-less replicas planning from flat 0.5 fallback confidences:
+  // cheap, and still exercises the full elastic planning path per task.
+  const auto factory = serving::make_replicated_engine_factory(
+      et, nullptr, {}, std::vector<float>(n, 0.5f));
+  const serving::TaskRunner runner =
+      [&dist](runtime::ElasticEngine& engine, const serving::Task& task,
+              util::Rng&) {
+        return engine.run(*task.record, task.deadline_ms, dist);
+      };
+
+  // Deterministic replay stream; budgets span infeasible (admission sheds)
+  // through comfortable, so every SubmitStatus path crosses the wire.
+  util::Rng stream_rng{2025};
+  std::vector<std::pair<std::size_t, double>> stream;
+  stream.reserve(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i)
+    stream.emplace_back(stream_rng.uniform_int(cs.size()),
+                        stream_rng.uniform(0.2, 1.5 * et.total_ms()));
+
+  const auto make_config = [&] {
+    serving::ServerConfig config;
+    config.queue_capacity = num_tasks;  // no timing-dependent overflow drops
+    config.pool.num_workers = workers;
+    return config;
+  };
+
+  // ---- phase 1: in-process reference through the owned-payload submit ----
+  std::vector<Observed> reference(num_tasks);
+  {
+    serving::EdgeServer server{et, factory, runner, make_config()};
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      const auto& [idx, budget] = stream[i];
+      auto rec = std::make_shared<const profiling::CSRecord>(cs.records[idx]);
+      const auto status = server.submit(
+          std::move(rec), budget,
+          [&reference, i](const serving::TaskResult& result) {
+            reference[i].outcome = result.outcome;  // distinct slot per task
+          });
+      reference[i].status = status;
+    }
+    server.shutdown();  // joins workers: all callbacks happened-before here
+  }
+
+  // ---- phase 2: the same stream through loopback TCP -------------------
+  serving::EdgeServer edge{et, factory, runner, make_config()};
+  net::TcpServerConfig net_config;
+  net_config.max_connections = connections + 8;
+  net::EdgeTcpServer tcp{edge, net_config};
+  tcp.start();
+  std::cout << "serving on 127.0.0.1:" << tcp.port() << " with " << workers
+            << " workers, " << connections << " client connections\n";
+
+  std::vector<Observed> observed(num_tasks);
+  std::atomic<std::size_t> failures{0};
+
+  // Barrier: every client dials before any sends, so the server holds all
+  // `connections` sockets concurrently for the whole measured run.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  std::size_t ready = 0;
+  bool go = false;
+
+  util::Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(connections);
+  for (std::size_t t = 0; t < connections; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        net::TcpClientConfig cc;
+        cc.port = tcp.port();
+        net::EdgeClient client{cc};
+        client.connect();
+        {
+          std::unique_lock lock{gate_mu};
+          if (++ready == connections) gate_cv.notify_all();
+          gate_cv.wait(lock, [&] { return go; });
+        }
+        for (std::size_t i = t; i < num_tasks; i += connections) {
+          const auto& [idx, budget] = stream[i];
+          const auto resp = client.request(cs.records[idx], budget);
+          observed[i].status = resp.status;
+          observed[i].outcome = resp.outcome;
+        }
+      } catch (const std::exception& e) {
+        failures.fetch_add(1);
+        std::cerr << "client " << t << " failed: " << e.what() << "\n";
+      }
+    });
+  }
+  {
+    std::unique_lock lock{gate_mu};
+    gate_cv.wait(lock, [&] { return ready == connections; });
+    go = true;
+  }
+  gate_cv.notify_all();
+  for (auto& c : clients) c.join();
+  const double secs = wall.elapsed_s();
+  tcp.stop();
+  edge.shutdown();
+
+  const auto nm = tcp.net_metrics();
+  std::cout << "\n== net metrics ==\n" << nm.to_string();
+
+  // ---- verdicts ---------------------------------------------------------
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    if (identical(reference[i], observed[i])) continue;
+    if (++mismatches <= 5)
+      std::cerr << "MISMATCH task " << i << ": status "
+                << static_cast<int>(reference[i].status) << " vs "
+                << static_cast<int>(observed[i].status) << ", exit "
+                << reference[i].outcome.exit_index << " vs "
+                << observed[i].outcome.exit_index << ", t "
+                << reference[i].outcome.result_time_ms << " vs "
+                << observed[i].outcome.result_time_ms << "\n";
+  }
+
+  util::Table table{{"check", "value", "verdict"}};
+  const auto row = [&](const std::string& name, const std::string& value,
+                       bool ok) {
+    table.add_row({name, value, ok ? "ok" : "FAIL"});
+    return ok;
+  };
+  bool ok = true;
+  ok &= row("client threads failed", std::to_string(failures.load()),
+            failures.load() == 0);
+  ok &= row("concurrent connections",
+            std::to_string(nm.connections_accepted) + " accepted",
+            nm.connections_accepted >= connections);
+  ok &= row("protocol errors", std::to_string(nm.protocol_errors),
+            nm.protocol_errors == 0);
+  ok &= row("responses", std::to_string(nm.responses) + "/" +
+                             std::to_string(num_tasks),
+            nm.responses == num_tasks);
+  ok &= row("bit-identical outcomes",
+            std::to_string(num_tasks - mismatches) + "/" +
+                std::to_string(num_tasks),
+            mismatches == 0);
+  std::cout << "\n" << table.str();
+  std::cout << "\nloopback throughput: "
+            << util::Table::num(static_cast<double>(num_tasks) / secs, 0)
+            << " round-trips/s across " << connections << " connections\n";
+
+  if (!ok) {
+    std::cerr << "\nERROR: loopback serving diverged from the in-process "
+                 "reference\n";
+    return 1;
+  }
+  std::cout << "loopback outcomes bit-identical to in-process submit\n";
+  return 0;
+}

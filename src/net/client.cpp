@@ -1,0 +1,257 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace einet::net {
+
+namespace {
+
+/// poll() one fd for `events`; returns true when ready, false on timeout.
+/// deadline_ms <= 0 waits forever.
+bool poll_fd(int fd, short events, double remaining_ms) {
+  pollfd p{fd, events, 0};
+  const int timeout =
+      remaining_ms <= 0.0
+          ? -1
+          : std::max(1, static_cast<int>(remaining_ms));
+  while (true) {
+    const int rc = ::poll(&p, 1, timeout);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+EdgeClient::EdgeClient(TcpClientConfig config)
+    : config_(std::move(config)), decoder_(config_.max_frame_bytes) {
+  if (config_.port == 0)
+    throw std::invalid_argument{"EdgeClient: port must be set"};
+  if (config_.max_connect_attempts == 0)
+    throw std::invalid_argument{"EdgeClient: max_connect_attempts must be > 0"};
+}
+
+EdgeClient::~EdgeClient() { close(); }
+
+void EdgeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // Unanswered ids die with the connection; received responses stay
+  // claimable through wait().
+  in_flight_ = 0;
+  decoder_ = FrameDecoder{config_.max_frame_bytes};
+}
+
+void EdgeClient::dial_once() {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw NetError{std::string{"socket: "} + std::strerror(errno)};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw NetError{"bad address '" + config_.host + "'"};
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw NetError{"connect: " + why};
+    }
+    if (!poll_fd(fd, POLLOUT, config_.connect_timeout_ms)) {
+      ::close(fd);
+      throw NetError{"connect timed out after " +
+                     std::to_string(config_.connect_timeout_ms) + " ms"};
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      throw NetError{std::string{"connect: "} +
+                     std::strerror(err != 0 ? err : errno)};
+    }
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  decoder_ = FrameDecoder{config_.max_frame_bytes};
+  in_flight_ = 0;
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  EINET_INSTANT("net.client_connect", kNet,
+                .value = static_cast<double>(reconnects_));
+}
+
+void EdgeClient::connect() {
+  if (connected()) return;
+  double backoff_ms = config_.backoff_initial_ms;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      dial_once();
+      return;
+    } catch (const NetError& e) {
+      if (attempt >= config_.max_connect_attempts)
+        throw NetError{"connect to " + config_.host + ":" +
+                       std::to_string(config_.port) + " failed after " +
+                       std::to_string(attempt) + " attempts: " + e.what()};
+      EINET_LOG(Debug) << "net: dial attempt " << attempt
+                       << " failed, backing off " << backoff_ms
+                       << " ms: " << e.what();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2.0, config_.backoff_max_ms);
+    }
+  }
+}
+
+void EdgeClient::fail_connection(const std::string& why) {
+  close();
+  throw NetError{why};
+}
+
+void EdgeClient::write_all(const std::uint8_t* data, std::size_t n) {
+  util::Timer timer;
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const double remaining =
+          config_.request_timeout_ms <= 0.0
+              ? -1.0
+              : config_.request_timeout_ms - timer.elapsed_ms();
+      if (config_.request_timeout_ms > 0.0 && remaining <= 0.0)
+        fail_connection("send timed out");
+      if (!poll_fd(fd_, POLLOUT, remaining) &&
+          config_.request_timeout_ms > 0.0)
+        fail_connection("send timed out");
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    fail_connection(std::string{"send: "} + std::strerror(errno));
+  }
+}
+
+std::uint64_t EdgeClient::send(const profiling::CSRecord& record,
+                               double deadline_ms) {
+  connect();
+  RequestFrame req;
+  req.request_id = next_id_++;
+  req.deadline_ms = deadline_ms;
+  req.record = record;
+  const auto bytes = encode_request(req);
+  write_all(bytes.data(), bytes.size());
+  ++in_flight_;
+  return req.request_id;
+}
+
+void EdgeClient::read_some(double remaining_ms) {
+  if (!connected()) throw NetError{"not connected"};
+  if (!poll_fd(fd_, POLLIN, remaining_ms) && remaining_ms > 0.0)
+    fail_connection("wait timed out after " +
+                    std::to_string(config_.request_timeout_ms) + " ms");
+  std::uint8_t buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      return;
+    }
+    if (n == 0) fail_connection("server closed the connection");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // spurious poll
+    if (errno == EINTR) continue;
+    fail_connection(std::string{"recv: "} + std::strerror(errno));
+  }
+}
+
+ResponseFrame EdgeClient::wait(std::uint64_t request_id) {
+  util::Timer timer;
+  while (true) {
+    const auto it = ready_.find(request_id);
+    if (it != ready_.end()) {
+      ResponseFrame resp = std::move(it->second);
+      ready_.erase(it);
+      return resp;
+    }
+    if (!connected())
+      throw NetError{"request " + std::to_string(request_id) +
+                     " was lost with its connection"};
+    // Drain whole frames already buffered before touching the socket.
+    bool progressed = false;
+    while (auto frame = decoder_.next()) {
+      progressed = true;
+      switch (frame->type) {
+        case FrameType::kResponse: {
+          ResponseFrame resp = decode_response(frame->body);
+          if (in_flight_ > 0) --in_flight_;
+          ready_.insert_or_assign(resp.request_id, std::move(resp));
+          break;
+        }
+        case FrameType::kError: {
+          const ErrorFrame err = decode_error(frame->body);
+          // The server closes after an error frame; surface it typed.
+          close();
+          throw ProtocolError{"server error (" +
+                                  std::string{error_code_name(err.code)} +
+                                  "): " + err.message,
+                              err.code};
+        }
+        case FrameType::kRequest:
+          close();
+          throw ProtocolError{"server sent a request frame",
+                              ErrorCode::kBadType};
+      }
+    }
+    if (progressed) continue;
+    const double remaining =
+        config_.request_timeout_ms <= 0.0
+            ? -1.0
+            : config_.request_timeout_ms - timer.elapsed_ms();
+    if (config_.request_timeout_ms > 0.0 && remaining <= 0.0)
+      fail_connection("wait timed out after " +
+                      std::to_string(config_.request_timeout_ms) + " ms");
+    read_some(remaining);
+  }
+}
+
+ResponseFrame EdgeClient::request(const profiling::CSRecord& record,
+                                  double deadline_ms) {
+  for (std::size_t retry = 0;; ++retry) {
+    try {
+      const auto id = send(record, deadline_ms);
+      return wait(id);
+    } catch (const NetError& e) {
+      if (retry >= config_.max_request_retries) throw;
+      EINET_LOG(Debug) << "net: request retry " << (retry + 1) << " after: "
+                       << e.what();
+      close();  // connect() inside send() redials with backoff
+    }
+  }
+}
+
+}  // namespace einet::net

@@ -1,0 +1,112 @@
+// EdgeClient — blocking TCP client for the EdgeTcpServer wire protocol
+// (DESIGN.md §9).
+//
+// The client is deliberately simple on the inside (one socket, poll-based
+// timeouts, no threads) and resilient on the outside:
+//  - connect() dials with capped exponential backoff, so a client started
+//    before its server — or reconnecting through a restart — converges
+//    instead of failing fast;
+//  - send()/wait() support pipelining: send any number of requests before
+//    waiting, and wait() for ids in any order (responses complete
+//    out-of-order on the server's worker pool; wait() buffers frames for
+//    other ids until they are claimed);
+//  - request() is the one-shot convenience: send + wait with automatic
+//    reconnect-and-resend on transport failure. Inference requests are
+//    idempotent — the outcome is a pure function of (record, deadline) —
+//    so resending after a connection loss is always safe.
+//
+// A connection loss invalidates every unanswered request id from the old
+// connection: wait() on such an id throws NetError. Already-received
+// responses remain claimable. Instances are NOT thread-safe; use one
+// EdgeClient per thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "net/protocol.hpp"
+#include "profiling/profiles.hpp"
+
+namespace einet::net {
+
+/// Transport failure (connect/send/receive/timeout), as opposed to
+/// ProtocolError (malformed bytes).
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct TcpClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double connect_timeout_ms = 2'000.0;
+  /// Bound on each wait()/recv step; <= 0 waits forever.
+  double request_timeout_ms = 10'000.0;
+  /// Dial attempts per connect() call; backoff doubles from
+  /// backoff_initial_ms and is capped at backoff_max_ms.
+  std::size_t max_connect_attempts = 8;
+  double backoff_initial_ms = 5.0;
+  double backoff_max_ms = 250.0;
+  /// Full reconnect-and-resend cycles request() performs after the first
+  /// transport failure.
+  std::size_t max_request_retries = 3;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class EdgeClient {
+ public:
+  explicit EdgeClient(TcpClientConfig config);
+  ~EdgeClient();
+
+  EdgeClient(const EdgeClient&) = delete;
+  EdgeClient& operator=(const EdgeClient&) = delete;
+
+  /// Ensure a live connection; no-op when already connected. Dials up to
+  /// max_connect_attempts times with capped exponential backoff, then
+  /// throws NetError.
+  void connect();
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Enqueue one request on the wire (auto-connects) and return its id.
+  /// Pipelined: callers may send many before waiting.
+  std::uint64_t send(const profiling::CSRecord& record, double deadline_ms);
+
+  /// Block until the response for `request_id` arrives, buffering responses
+  /// for other ids. Throws NetError on timeout, connection loss, or an
+  /// unknown id (e.g. invalidated by a reconnect); throws ProtocolError when
+  /// the server answers with an error frame.
+  ResponseFrame wait(std::uint64_t request_id);
+
+  /// send + wait, retrying the whole exchange through reconnects (safe:
+  /// requests are idempotent). The preferred call for non-pipelined use.
+  ResponseFrame request(const profiling::CSRecord& record, double deadline_ms);
+
+  /// Requests sent on the live connection and not yet answered.
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+  /// Successful dials after the first (a measure of server flapping).
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+  [[nodiscard]] const TcpClientConfig& config() const { return config_; }
+
+ private:
+  void dial_once();  // one connect attempt; throws NetError
+  void write_all(const std::uint8_t* data, std::size_t n);
+  /// Read once into the decoder (poll + recv); throws NetError on timeout /
+  /// EOF / transport error.
+  void read_some(double deadline_ms);
+  void fail_connection(const std::string& why);  // close + throw NetError
+
+  TcpClientConfig config_;
+  int fd_ = -1;
+  bool ever_connected_ = false;
+  std::uint64_t next_id_ = 1;
+  std::size_t in_flight_ = 0;
+  std::uint64_t reconnects_ = 0;
+  FrameDecoder decoder_;
+  /// Responses received but not yet claimed by wait().
+  std::map<std::uint64_t, ResponseFrame> ready_;
+};
+
+}  // namespace einet::net

@@ -1,0 +1,280 @@
+#include "net/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace einet::net {
+
+namespace {
+
+// ------------------------------------------------------------ wire helpers
+// Explicit little-endian byte shuffling: the byte stream is identical on any
+// host, and the golden-byte tests pin it forever.
+
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<std::uint8_t>& in) : in_(in) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() {
+    const auto* p = take(2);
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  }
+  std::uint32_t u32() {
+    const auto* p = take(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  }
+  std::uint64_t u64() {
+    const auto* p = take(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  }
+  float f32() { return std::bit_cast<float>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+  void expect_exhausted(const char* what) const {
+    if (remaining() != 0)
+      throw ProtocolError{std::string{what} + ": trailing bytes in body",
+                          ErrorCode::kMalformedBody};
+  }
+
+ private:
+  const std::uint8_t* take(std::size_t n) {
+    if (remaining() < n)
+      throw ProtocolError{"truncated frame body", ErrorCode::kMalformedBody};
+    const std::uint8_t* p = in_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  const std::vector<std::uint8_t>& in_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> make_frame(FrameType type,
+                                     const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + body.size());
+  WireWriter w{out};
+  w.bytes(kMagic, 4);
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(0);  // reserved
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.bytes(body.data(), body.size());
+  return out;
+}
+
+}  // namespace
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadMagic:
+      return "bad_magic";
+    case ErrorCode::kBadVersion:
+      return "bad_version";
+    case ErrorCode::kBadType:
+      return "bad_type";
+    case ErrorCode::kFrameTooLarge:
+      return "frame_too_large";
+    case ErrorCode::kMalformedBody:
+      return "malformed_body";
+    case ErrorCode::kServerOverloaded:
+      return "server_overloaded";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------------ encode
+
+std::vector<std::uint8_t> encode_request(const RequestFrame& f) {
+  const std::size_t n = f.record.confidence.size();
+  if (f.record.correct.size() != n)
+    throw std::invalid_argument{
+        "encode_request: confidence/correct size mismatch"};
+  std::vector<std::uint8_t> body;
+  body.reserve(28 + 5 * n);
+  WireWriter w{body};
+  w.u64(f.request_id);
+  w.f64(f.deadline_ms);
+  w.u64(static_cast<std::uint64_t>(f.record.label));
+  w.u32(static_cast<std::uint32_t>(n));
+  for (const float c : f.record.confidence) w.f32(c);
+  for (const std::uint8_t c : f.record.correct) w.u8(c);
+  return make_frame(FrameType::kRequest, body);
+}
+
+std::vector<std::uint8_t> encode_response(const ResponseFrame& f) {
+  std::vector<std::uint8_t> body;
+  body.reserve(60);
+  WireWriter w{body};
+  w.u64(f.request_id);
+  w.u8(static_cast<std::uint8_t>(f.status));
+  w.u8(f.outcome.has_result ? 1 : 0);
+  w.u8(f.outcome.correct ? 1 : 0);
+  w.u8(f.outcome.completed ? 1 : 0);
+  w.u64(static_cast<std::uint64_t>(f.outcome.exit_index));
+  w.f64(f.outcome.result_time_ms);
+  w.f64(f.outcome.deadline_ms);
+  w.u64(static_cast<std::uint64_t>(f.outcome.branches_executed));
+  w.u64(static_cast<std::uint64_t>(f.outcome.searches_run));
+  w.f64(f.outcome.planner_ms);
+  return make_frame(FrameType::kResponse, body);
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorFrame& f) {
+  std::vector<std::uint8_t> body;
+  body.reserve(13 + f.message.size());
+  WireWriter w{body};
+  w.u64(f.request_id);
+  w.u8(static_cast<std::uint8_t>(f.code));
+  w.u32(static_cast<std::uint32_t>(f.message.size()));
+  w.bytes(f.message.data(), f.message.size());
+  return make_frame(FrameType::kError, body);
+}
+
+// ------------------------------------------------------------------ decode
+
+RequestFrame decode_request(const std::vector<std::uint8_t>& b) {
+  WireReader r{b};
+  RequestFrame f;
+  f.request_id = r.u64();
+  f.deadline_ms = r.f64();
+  f.record.label = static_cast<std::size_t>(r.u64());
+  const std::uint32_t n = r.u32();
+  // The exit count must account for the remaining bytes exactly: 4 bytes of
+  // confidence + 1 correctness byte per exit.
+  if (r.remaining() != std::size_t{n} * 5)
+    throw ProtocolError{"request body size does not match exit count",
+                        ErrorCode::kMalformedBody};
+  f.record.confidence.resize(n);
+  for (auto& c : f.record.confidence) c = r.f32();
+  f.record.correct.resize(n);
+  for (auto& c : f.record.correct) c = r.u8();
+  r.expect_exhausted("request");
+  return f;
+}
+
+ResponseFrame decode_response(const std::vector<std::uint8_t>& b) {
+  WireReader r{b};
+  ResponseFrame f;
+  f.request_id = r.u64();
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(serving::SubmitStatus::kClosed))
+    throw ProtocolError{"response carries unknown SubmitStatus",
+                        ErrorCode::kMalformedBody};
+  f.status = static_cast<serving::SubmitStatus>(status);
+  f.outcome.has_result = r.u8() != 0;
+  f.outcome.correct = r.u8() != 0;
+  f.outcome.completed = r.u8() != 0;
+  f.outcome.exit_index = static_cast<std::size_t>(r.u64());
+  f.outcome.result_time_ms = r.f64();
+  f.outcome.deadline_ms = r.f64();
+  f.outcome.branches_executed = static_cast<std::size_t>(r.u64());
+  f.outcome.searches_run = static_cast<std::size_t>(r.u64());
+  f.outcome.planner_ms = r.f64();
+  r.expect_exhausted("response");
+  return f;
+}
+
+ErrorFrame decode_error(const std::vector<std::uint8_t>& b) {
+  WireReader r{b};
+  ErrorFrame f;
+  f.request_id = r.u64();
+  f.code = static_cast<ErrorCode>(r.u8());
+  const std::uint32_t len = r.u32();
+  if (r.remaining() != len)
+    throw ProtocolError{"error body size does not match message length",
+                        ErrorCode::kMalformedBody};
+  f.message.resize(len);
+  for (auto& c : f.message) c = static_cast<char>(r.u8());
+  return f;
+}
+
+// ------------------------------------------------------------ FrameDecoder
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact once the consumed prefix dominates, keeping feed() amortized O(n).
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_)
+    throw ProtocolError{"decoder poisoned by earlier corrupt frame",
+                        ErrorCode::kMalformedBody};
+  if (buffered_bytes() < kHeaderBytes) return std::nullopt;
+  const std::uint8_t* h = buffer_.data() + consumed_;
+  if (std::memcmp(h, kMagic, 4) != 0) {
+    poisoned_ = true;
+    throw ProtocolError{"bad frame magic", ErrorCode::kBadMagic};
+  }
+  if (h[4] != kWireVersion) {
+    poisoned_ = true;
+    throw ProtocolError{
+        "unsupported wire version " + std::to_string(int{h[4]}),
+        ErrorCode::kBadVersion};
+  }
+  const std::uint8_t type = h[5];
+  if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
+      type > static_cast<std::uint8_t>(FrameType::kError)) {
+    poisoned_ = true;
+    throw ProtocolError{"unknown frame type " + std::to_string(int{type}),
+                        ErrorCode::kBadType};
+  }
+  std::uint32_t body_len = 0;
+  for (int i = 3; i >= 0; --i) body_len = (body_len << 8) | h[8 + i];
+  if (body_len > max_frame_bytes_) {
+    poisoned_ = true;
+    throw ProtocolError{"frame body of " + std::to_string(body_len) +
+                            " bytes exceeds the " +
+                            std::to_string(max_frame_bytes_) + "-byte cap",
+                        ErrorCode::kFrameTooLarge};
+  }
+  if (buffered_bytes() < kHeaderBytes + body_len) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.body.assign(h + kHeaderBytes, h + kHeaderBytes + body_len);
+  consumed_ += kHeaderBytes + body_len;
+  return frame;
+}
+
+}  // namespace einet::net

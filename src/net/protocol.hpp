@@ -1,0 +1,144 @@
+// Binary wire protocol for the TCP serving front-end (DESIGN.md §9).
+//
+// Every message is one length-prefixed frame:
+//
+//   offset  size  field
+//        0     4  magic  "EINT" (0x45 0x49 0x4E 0x54 on the wire)
+//        4     1  version (kWireVersion)
+//        5     1  frame type (FrameType)
+//        6     2  reserved, must be 0
+//        8     4  body length in bytes (little-endian u32)
+//       12     N  body (layout per frame type, see the encode_* functions)
+//
+// All multi-byte integers are little-endian; doubles/floats travel as their
+// IEEE-754 bit patterns. Encoding is fully deterministic — the same message
+// always produces the same bytes (golden-byte tested) — and decoding never
+// reads a socket: FrameDecoder consumes an arbitrary byte stream (partial
+// reads, multiple frames per read) and yields whole frames, so the protocol
+// layer is unit-testable without any networking.
+//
+// Request  = one inference task: the CS-record payload (owned by the wire
+//            message, not a pointer into a profile) + the preemption budget.
+// Response = the serving::SubmitStatus decision plus, for executed tasks,
+//            every runtime::InferenceOutcome field.
+// Error    = typed protocol failure (bad frame, server over capacity, ...);
+//            the server sends one before closing a misbehaving connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "profiling/profiles.hpp"
+#include "runtime/elastic_engine.hpp"
+#include "serving/server.hpp"
+
+namespace einet::net {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Frame header bytes 0..3: "EINT".
+inline constexpr std::uint8_t kMagic[4] = {0x45, 0x49, 0x4E, 0x54};
+inline constexpr std::size_t kHeaderBytes = 12;
+/// Default per-frame size cap; a request for a 40-exit model is ~250 bytes,
+/// so 1 MiB is generous headroom, not a real limit.
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 20;
+/// request_id for error frames not attributable to a request.
+inline constexpr std::uint64_t kNoRequestId = ~std::uint64_t{0};
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+};
+
+enum class ErrorCode : std::uint8_t {
+  kBadMagic = 1,
+  kBadVersion = 2,
+  kBadType = 3,
+  kFrameTooLarge = 4,
+  kMalformedBody = 5,
+  kServerOverloaded = 6,  // connection limit reached
+  kShuttingDown = 7,
+};
+[[nodiscard]] const char* error_code_name(ErrorCode code);
+
+/// Malformed bytes on the wire (bad header, truncated/oversized body, ...).
+/// Distinct from NetError (client.hpp), which is a transport failure.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what, ErrorCode code)
+      : std::runtime_error{what}, code_(code) {}
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  double deadline_ms = 0.0;
+  /// Task payload carried by value — the wire message owns its record.
+  profiling::CSRecord record;
+};
+
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  serving::SubmitStatus status = serving::SubmitStatus::kQueued;
+  /// Meaningful only when status == kQueued (the task was executed);
+  /// value-initialized otherwise.
+  runtime::InferenceOutcome outcome;
+};
+
+struct ErrorFrame {
+  std::uint64_t request_id = kNoRequestId;
+  ErrorCode code = ErrorCode::kMalformedBody;
+  std::string message;
+};
+
+/// Encode one whole frame (header + body).
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const RequestFrame& f);
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const ResponseFrame& f);
+[[nodiscard]] std::vector<std::uint8_t> encode_error(const ErrorFrame& f);
+
+/// Decode a frame body (header already stripped). Throw ProtocolError with
+/// ErrorCode::kMalformedBody on truncated or inconsistent input.
+[[nodiscard]] RequestFrame decode_request(const std::vector<std::uint8_t>& b);
+[[nodiscard]] ResponseFrame decode_response(const std::vector<std::uint8_t>& b);
+[[nodiscard]] ErrorFrame decode_error(const std::vector<std::uint8_t>& b);
+
+/// One validated frame as produced by FrameDecoder.
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::vector<std::uint8_t> body;
+};
+
+/// Incremental frame reassembly over an arbitrary byte stream. feed() bytes
+/// as they arrive, then call next() until it returns nullopt. Corrupt input
+/// (bad magic/version/type, body over the cap) throws ProtocolError and
+/// poisons the decoder — the connection cannot be resynchronized and must be
+/// closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// The next whole frame, or nullopt until more bytes arrive.
+  [[nodiscard]] std::optional<Frame> next();
+
+  [[nodiscard]] std::size_t buffered_bytes() const {
+    return buffer_.size() - consumed_;
+  }
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace einet::net

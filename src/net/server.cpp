@@ -1,0 +1,612 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace einet::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Shared
+// The only state reachable from worker threads (completion callbacks). Held
+// by shared_ptr so a callback firing after stop() — or even after the
+// EdgeTcpServer is destroyed — still touches live memory and a live pipe fd.
+
+struct EdgeTcpServer::Shared {
+  struct Outbound {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  std::mutex mu;
+  std::vector<Outbound> outbox;
+  int wake_fds[2] = {-1, -1};  // self-pipe: [0] read (loop), [1] write
+  /// Requests submitted to the EdgeServer whose responses have not yet been
+  /// pushed into the outbox. Decremented only *after* the push, so the drain
+  /// check "in_flight == 0 and outbox empty" can never miss a response.
+  std::atomic<std::uint64_t> in_flight{0};
+
+  // Wire counters (relaxed: each event touches its own counter).
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> connections_rejected{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> idle_timeouts{0};
+  std::atomic<std::uint64_t> dropped_responses{0};
+
+  ~Shared() {
+    if (wake_fds[0] >= 0) ::close(wake_fds[0]);
+    if (wake_fds[1] >= 0) ::close(wake_fds[1]);
+  }
+
+  void wake() {
+    const char byte = 1;
+    // A full pipe means the loop already has a pending wake-up.
+    [[maybe_unused]] const auto n = ::write(wake_fds[1], &byte, 1);
+  }
+
+  /// Called from worker threads: hand a fully encoded response to the loop.
+  void push_response(std::uint64_t conn_id, std::uint64_t request_id,
+                     std::vector<std::uint8_t> bytes) {
+    {
+      std::lock_guard lock{mu};
+      outbox.push_back({conn_id, request_id, std::move(bytes)});
+    }
+    wake();
+  }
+};
+
+// -------------------------------------------------------------- Connection
+
+struct EdgeTcpServer::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> wbuf;
+  std::size_t woff = 0;
+  /// Requests from this connection still executing (response not yet routed
+  /// into wbuf).
+  std::size_t in_flight = 0;
+  double last_activity_ms = 0.0;
+  /// An error frame was queued (or the peer half-closed): flush, then close.
+  bool close_after_flush = false;
+  /// Write backpressure engaged: stop reading until the buffer drains.
+  bool read_paused = false;
+  bool peer_closed = false;
+
+  explicit Connection(std::size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+
+  [[nodiscard]] std::size_t pending_write() const {
+    return wbuf.size() - woff;
+  }
+};
+
+// -------------------------------------------------------------------- Loop
+
+class EdgeTcpServer::Loop {
+ public:
+  Loop(serving::EdgeServer& edge, const TcpServerConfig& config,
+       std::shared_ptr<Shared> shared, int listen_fd,
+       const std::atomic<bool>& stopping)
+      : edge_(edge),
+        config_(config),
+        shared_(std::move(shared)),
+        listen_fd_(listen_fd),
+        stopping_(stopping) {}
+
+  void run() {
+    std::vector<pollfd> pfds;
+    std::vector<std::uint64_t> pfd_conn;  // conn id per pollfd (0 = not a conn)
+    double drain_deadline_ms = -1.0;
+    bool listening = true;
+    while (true) {
+      const bool stopping = stopping_.load(std::memory_order_acquire);
+      if (stopping) {
+        listening = false;
+        if (drain_deadline_ms < 0.0)
+          drain_deadline_ms = clock_.elapsed_ms() + config_.drain_timeout_ms;
+        if (drained() || clock_.elapsed_ms() >= drain_deadline_ms) break;
+      }
+
+      pfds.clear();
+      pfd_conn.clear();
+      pfds.push_back({shared_->wake_fds[0], POLLIN, 0});
+      pfd_conn.push_back(0);
+      if (listening) {
+        pfds.push_back({listen_fd_, POLLIN, 0});
+        pfd_conn.push_back(0);
+      }
+      const std::size_t first_conn = pfds.size();
+      for (const auto& [id, conn] : conns_) {
+        short events = 0;
+        if (!stopping && !conn.read_paused && !conn.close_after_flush &&
+            !conn.peer_closed)
+          events |= POLLIN;
+        if (conn.pending_write() > 0) events |= POLLOUT;
+        pfds.push_back({conn.fd, events, 0});
+        pfd_conn.push_back(id);
+      }
+
+      const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                            /*timeout_ms=*/50);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        EINET_LOG(Warn) << "net: poll failed: " << std::strerror(errno);
+        break;
+      }
+
+      if (pfds[0].revents & POLLIN) drain_wake_pipe();
+      route_outbox();
+      if (listening && pfds[first_conn - 1].revents & POLLIN) handle_accept();
+
+      for (std::size_t i = first_conn; i < pfds.size(); ++i) {
+        const auto it = conns_.find(pfd_conn[i]);
+        if (it == conns_.end()) continue;  // closed earlier this iteration
+        Connection& conn = it->second;
+        const short re = pfds[i].revents;
+        if (re & (POLLERR | POLLNVAL)) {
+          close_conn(conn.id);
+          continue;
+        }
+        if ((re & POLLIN) && !handle_readable(conn)) continue;
+        if ((re & POLLHUP) && conn.pending_write() == 0) {
+          close_conn(conn.id);
+          continue;
+        }
+      }
+
+      // Opportunistic flush: write the moment data is queued instead of
+      // waiting one extra poll round for POLLOUT.
+      flush_all();
+      idle_sweep();
+    }
+
+    // Drain finished (or timed out): close everything still open.
+    const auto ids = conn_ids();
+    for (const auto id : ids) close_conn(id);
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::uint64_t> conn_ids() const {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) ids.push_back(id);
+    return ids;
+  }
+
+  /// True once every submitted task has answered and every byte is flushed.
+  [[nodiscard]] bool drained() {
+    if (shared_->in_flight.load(std::memory_order_acquire) != 0) return false;
+    {
+      std::lock_guard lock{shared_->mu};
+      if (!shared_->outbox.empty()) return false;
+    }
+    for (const auto& [id, conn] : conns_)
+      if (conn.pending_write() > 0) return false;
+    return true;
+  }
+
+  void drain_wake_pipe() {
+    char buf[256];
+    while (::read(shared_->wake_fds[0], buf, sizeof buf) > 0) {
+    }
+  }
+
+  /// Move completed responses from the shared outbox into their
+  /// connections' write buffers.
+  void route_outbox() {
+    std::vector<Shared::Outbound> batch;
+    {
+      std::lock_guard lock{shared_->mu};
+      batch.swap(shared_->outbox);
+    }
+    for (auto& out : batch) {
+      const auto it = conns_.find(out.conn_id);
+      if (it == conns_.end()) {
+        shared_->dropped_responses.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (it->second.in_flight > 0) --it->second.in_flight;
+      enqueue_bytes(it->second, out.request_id, std::move(out.bytes));
+    }
+  }
+
+  void handle_accept() {
+    while (true) {
+      const int fd =
+          ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) break;  // EAGAIN / transient accept errors: try next poll
+      if (conns_.size() >= config_.max_connections) {
+        shared_->connections_rejected.fetch_add(1, std::memory_order_relaxed);
+        const auto err = encode_error(
+            {kNoRequestId, ErrorCode::kServerOverloaded,
+             "connection limit (" + std::to_string(config_.max_connections) +
+                 ") reached"});
+        // Best effort: tell the peer why before hanging up.
+        [[maybe_unused]] const auto n = ::write(fd, err.data(), err.size());
+        ::close(fd);
+        EINET_INSTANT("net.reject_conn", kNet,
+                      .value = static_cast<double>(config_.max_connections));
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      const std::uint64_t id = ++next_conn_id_;
+      const auto it =
+          conns_.emplace(id, Connection{config_.max_frame_bytes}).first;
+      it->second.fd = fd;
+      it->second.id = id;
+      it->second.last_activity_ms = clock_.elapsed_ms();
+      shared_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      EINET_INSTANT("net.accept", kNet,
+                    .value = static_cast<double>(conns_.size()));
+    }
+  }
+
+  /// Read and process everything available. Returns false when the
+  /// connection was closed.
+  bool handle_readable(Connection& conn) {
+    EINET_SPAN(span, "net.decode", kNet);
+    std::size_t frames = 0;
+    std::uint8_t buf[65536];
+    while (true) {
+      const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+      if (n > 0) {
+        shared_->bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                                    std::memory_order_relaxed);
+        conn.last_activity_ms = clock_.elapsed_ms();
+        conn.decoder.feed(buf, static_cast<std::size_t>(n));
+        try {
+          while (auto frame = conn.decoder.next()) {
+            ++frames;
+            shared_->frames_in.fetch_add(1, std::memory_order_relaxed);
+            process_frame(conn, *frame);
+            if (conn.close_after_flush) break;
+          }
+        } catch (const ProtocolError& e) {
+          report_protocol_error(conn, e);
+          break;
+        }
+        if (conn.close_after_flush) break;
+        // Backpressure engages mid-read so one huge burst cannot overshoot
+        // the high-water mark by more than a read buffer.
+        if (conn.pending_write() >= config_.backpressure_high_bytes) {
+          conn.read_paused = true;
+          break;
+        }
+        if (n < static_cast<ssize_t>(sizeof buf)) break;  // drained
+        continue;
+      }
+      if (n == 0) {  // peer sent FIN: finish what is in flight, then close
+        conn.peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(conn.id);
+      return false;
+    }
+    span.value(static_cast<double>(frames));
+    if (conn.peer_closed && conn.in_flight == 0 && conn.pending_write() == 0) {
+      close_conn(conn.id);
+      return false;
+    }
+    return true;
+  }
+
+  void process_frame(Connection& conn, const Frame& frame) {
+    if (frame.type != FrameType::kRequest)
+      throw ProtocolError{"clients may only send request frames",
+                          ErrorCode::kBadType};
+    RequestFrame req = decode_request(frame.body);
+    shared_->requests.fetch_add(1, std::memory_order_relaxed);
+
+    auto record =
+        std::make_shared<const profiling::CSRecord>(std::move(req.record));
+    const std::uint64_t conn_id = conn.id;
+    const std::uint64_t req_id = req.request_id;
+    auto shared = shared_;
+    shared_->in_flight.fetch_add(1, std::memory_order_acq_rel);
+    ++conn.in_flight;
+    const auto status = edge_.submit(
+        std::move(record), req.deadline_ms,
+        [shared, conn_id, req_id](const serving::TaskResult& result) {
+          ResponseFrame resp;
+          resp.request_id = req_id;
+          resp.status = serving::SubmitStatus::kQueued;
+          resp.outcome = result.outcome;
+          // Push before the in-flight decrement: the drain check relies on
+          // "in_flight == 0 implies every response is in the outbox".
+          shared->push_response(conn_id, req_id, encode_response(resp));
+          shared->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        });
+    EINET_INSTANT("net.submit", kNet,
+                  .task_id = static_cast<std::int64_t>(req_id),
+                  .slack_ms = req.deadline_ms,
+                  .value = static_cast<double>(status));
+    if (status != serving::SubmitStatus::kQueued) {
+      // Decided synchronously (shed / rejected / closed): the callback will
+      // never fire, answer right here from the event loop.
+      shared_->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      --conn.in_flight;
+      ResponseFrame resp;
+      resp.request_id = req_id;
+      resp.status = status;
+      enqueue_bytes(conn, req_id, encode_response(resp));
+    }
+  }
+
+  void report_protocol_error(Connection& conn, const ProtocolError& e) {
+    shared_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    EINET_INSTANT("net.protocol_error", kNet,
+                  .value = static_cast<double>(e.code()));
+    EINET_LOG(Warn) << "net: protocol error on conn " << conn.id << ": "
+                    << e.what();
+    enqueue_bytes(conn, kNoRequestId,
+                  encode_error({kNoRequestId, e.code(), e.what()}));
+    conn.close_after_flush = true;  // cannot resynchronize a corrupt stream
+  }
+
+  void enqueue_bytes(Connection& conn, std::uint64_t request_id,
+                     std::vector<std::uint8_t> bytes) {
+    conn.wbuf.insert(conn.wbuf.end(), bytes.begin(), bytes.end());
+    shared_->frames_out.fetch_add(1, std::memory_order_relaxed);
+    if (request_id != kNoRequestId)
+      shared_->responses.fetch_add(1, std::memory_order_relaxed);
+    EINET_INSTANT("net.respond", kNet,
+                  .task_id = request_id == kNoRequestId
+                                 ? obs::kNoArg
+                                 : static_cast<std::int64_t>(request_id),
+                  .value = static_cast<double>(bytes.size()));
+  }
+
+  /// Write as much pending data as the socket accepts, for every connection;
+  /// applies the backpressure low-water mark and close-after-flush.
+  void flush_all() {
+    const auto ids = conn_ids();
+    for (const auto id : ids) {
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      flush_conn(it->second);
+    }
+  }
+
+  bool flush_conn(Connection& conn) {
+    while (conn.pending_write() > 0) {
+      const ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.woff,
+                               conn.pending_write(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.woff += static_cast<std::size_t>(n);
+        shared_->bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                     std::memory_order_relaxed);
+        conn.last_activity_ms = clock_.elapsed_ms();
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      // Peer is gone; responses still in flight for this connection will be
+      // counted as dropped when they surface in the outbox.
+      close_conn(conn.id);
+      return false;
+    }
+    if (conn.woff == conn.wbuf.size()) {
+      conn.wbuf.clear();
+      conn.woff = 0;
+    } else if (conn.woff >= (std::size_t{1} << 20)) {
+      conn.wbuf.erase(conn.wbuf.begin(),
+                      conn.wbuf.begin() + static_cast<std::ptrdiff_t>(conn.woff));
+      conn.woff = 0;
+    }
+    if (conn.read_paused &&
+        conn.pending_write() <= config_.backpressure_low_bytes)
+      conn.read_paused = false;
+    if (conn.pending_write() == 0 &&
+        (conn.close_after_flush ||
+         (conn.peer_closed && conn.in_flight == 0))) {
+      close_conn(conn.id);
+      return false;
+    }
+    return true;
+  }
+
+  void idle_sweep() {
+    if (config_.idle_timeout_ms <= 0.0) return;
+    const double now_ms = clock_.elapsed_ms();
+    const auto ids = conn_ids();
+    for (const auto id : ids) {
+      const auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      const Connection& conn = it->second;
+      if (conn.in_flight == 0 && conn.pending_write() == 0 &&
+          now_ms - conn.last_activity_ms > config_.idle_timeout_ms) {
+        shared_->idle_timeouts.fetch_add(1, std::memory_order_relaxed);
+        EINET_INSTANT("net.timeout", kNet,
+                      .value = now_ms - conn.last_activity_ms);
+        close_conn(id);
+      }
+    }
+  }
+
+  void close_conn(std::uint64_t id) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    ::close(it->second.fd);
+    conns_.erase(it);
+    shared_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+    EINET_INSTANT("net.close", kNet,
+                  .value = static_cast<double>(conns_.size()));
+  }
+
+  serving::EdgeServer& edge_;
+  const TcpServerConfig& config_;
+  std::shared_ptr<Shared> shared_;
+  int listen_fd_;
+  const std::atomic<bool>& stopping_;
+  util::Timer clock_;
+  std::map<std::uint64_t, Connection> conns_;
+  std::uint64_t next_conn_id_ = 0;
+};
+
+// ----------------------------------------------------------- EdgeTcpServer
+
+EdgeTcpServer::EdgeTcpServer(serving::EdgeServer& server,
+                             TcpServerConfig config)
+    : edge_(server), config_(std::move(config)) {
+  if (config_.max_connections == 0)
+    throw std::invalid_argument{"EdgeTcpServer: max_connections must be > 0"};
+  if (config_.max_frame_bytes < kHeaderBytes)
+    throw std::invalid_argument{"EdgeTcpServer: max_frame_bytes too small"};
+  if (config_.backpressure_low_bytes > config_.backpressure_high_bytes)
+    throw std::invalid_argument{
+        "EdgeTcpServer: backpressure low-water mark above high-water mark"};
+}
+
+EdgeTcpServer::~EdgeTcpServer() { stop(); }
+
+void EdgeTcpServer::start() {
+  if (loop_thread_.joinable())
+    throw std::logic_error{"EdgeTcpServer: already started"};
+  stopping_.store(false, std::memory_order_release);
+  shared_ = std::make_shared<Shared>();
+  if (::pipe2(shared_->wake_fds, O_NONBLOCK | O_CLOEXEC) != 0)
+    throw_errno("EdgeTcpServer: pipe2");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("EdgeTcpServer: socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error{"EdgeTcpServer: bad listen address '" +
+                             config_.host + "'"};
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("EdgeTcpServer: bind/listen on " + config_.host + ":" +
+                std::to_string(config_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0)
+    throw_errno("EdgeTcpServer: getsockname");
+  port_ = ntohs(bound.sin_port);
+
+  loop_thread_ = std::thread{[this] {
+    Loop{edge_, config_, shared_, listen_fd_, stopping_}.run();
+  }};
+  EINET_LOG(Info) << "net: listening on " << config_.host << ":" << port_;
+}
+
+void EdgeTcpServer::stop() {
+  if (!loop_thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  shared_->wake();
+  loop_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // shared_ stays alive: net_metrics() keeps working, and completion
+  // callbacks for tasks the drain timed out on still have a safe target.
+  EINET_LOG(Info) << "net: stopped (port " << port_ << ")";
+}
+
+NetMetricsSnapshot EdgeTcpServer::net_metrics() const {
+  NetMetricsSnapshot s;
+  if (shared_ == nullptr) return s;
+  const auto get = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  s.connections_accepted = get(shared_->connections_accepted);
+  s.connections_closed = get(shared_->connections_closed);
+  s.connections_rejected = get(shared_->connections_rejected);
+  s.frames_in = get(shared_->frames_in);
+  s.frames_out = get(shared_->frames_out);
+  s.bytes_in = get(shared_->bytes_in);
+  s.bytes_out = get(shared_->bytes_out);
+  s.requests = get(shared_->requests);
+  s.responses = get(shared_->responses);
+  s.protocol_errors = get(shared_->protocol_errors);
+  s.idle_timeouts = get(shared_->idle_timeouts);
+  s.dropped_responses = get(shared_->dropped_responses);
+  return s;
+}
+
+// ------------------------------------------------------- NetMetricsSnapshot
+
+std::string NetMetricsSnapshot::to_string() const {
+  std::ostringstream out;
+  out << "connections: accepted=" << connections_accepted
+      << " closed=" << connections_closed
+      << " rejected=" << connections_rejected
+      << " idle_timeouts=" << idle_timeouts << "\n"
+      << "frames: in=" << frames_in << " out=" << frames_out
+      << " requests=" << requests << " responses=" << responses
+      << " protocol_errors=" << protocol_errors
+      << " dropped_responses=" << dropped_responses << "\n"
+      << "bytes: in=" << bytes_in << " out=" << bytes_out << "\n";
+  return out.str();
+}
+
+std::string NetMetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  util::JsonWriter j{out};
+  j.begin_object();
+  j.kv("connections_accepted", connections_accepted);
+  j.kv("connections_closed", connections_closed);
+  j.kv("connections_rejected", connections_rejected);
+  j.kv("frames_in", frames_in);
+  j.kv("frames_out", frames_out);
+  j.kv("bytes_in", bytes_in);
+  j.kv("bytes_out", bytes_out);
+  j.kv("requests", requests);
+  j.kv("responses", responses);
+  j.kv("protocol_errors", protocol_errors);
+  j.kv("idle_timeouts", idle_timeouts);
+  j.kv("dropped_responses", dropped_responses);
+  j.end_object();
+  return out.str();
+}
+
+}  // namespace einet::net

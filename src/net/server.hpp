@@ -1,0 +1,128 @@
+// EdgeTcpServer — the TCP front-end that makes serving::EdgeServer reachable
+// off-box (DESIGN.md §9).
+//
+//   accept ──> FrameDecoder ──> EdgeServer::submit(owned record, callback)
+//                 │ corrupt                      │ worker completes
+//                 v                              v
+//            error frame                completion callback encodes the
+//            + close                    response and wakes the event loop,
+//                                       which writes it back on the task's
+//                                       originating connection
+//
+// Threading model: ONE event-loop thread owns every socket and all
+// per-connection state — accept, read, decode, submit and write all happen
+// there, so connection bookkeeping needs no locks. Worker threads only touch
+// the shared outbox (mutex + wake pipe): a completion callback encodes the
+// response bytes, appends them to the outbox and writes one byte into the
+// self-pipe; the loop drains the outbox on wake-up and routes each response
+// to its connection's write buffer. Responses therefore flow back the moment
+// a task completes — no polling anywhere.
+//
+// Flow control and hygiene:
+//  - per-connection write backpressure: reading from a connection pauses
+//    while its pending write bytes exceed the high-water mark and resumes
+//    below the low-water mark, so a slow reader cannot balloon memory;
+//  - idle timeout: connections with no traffic and no in-flight tasks are
+//    closed after idle_timeout_ms;
+//  - limits: frames over max_frame_bytes and connections over
+//    max_connections are refused with a typed error frame;
+//  - graceful drain: stop() stops accepting and reading, waits (bounded by
+//    drain_timeout_ms) until every submitted task has completed and every
+//    response byte is flushed, then closes the sockets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/protocol.hpp"
+#include "serving/server.hpp"
+
+namespace einet::net {
+
+struct TcpServerConfig {
+  /// Listen address (IPv4 dotted quad). Loopback by default.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the outcome from port().
+  std::uint16_t port = 0;
+  int backlog = 128;
+  std::size_t max_connections = 256;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Close connections with no traffic and no in-flight tasks after this
+  /// long. <= 0 disables the sweep.
+  double idle_timeout_ms = 30'000.0;
+  /// Write backpressure water marks (bytes of pending response data).
+  std::size_t backpressure_high_bytes = std::size_t{1} << 20;
+  std::size_t backpressure_low_bytes = std::size_t{1} << 18;
+  /// Upper bound on the graceful drain in stop(); connections still holding
+  /// unflushed data after it are closed anyway.
+  double drain_timeout_ms = 10'000.0;
+};
+
+/// Transport-level counters (the serving::MetricsRegistry tracks the task
+/// lifecycle; these track the wire).
+struct NetMetricsSnapshot {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  /// Accepts refused because max_connections was reached.
+  std::uint64_t connections_rejected = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t idle_timeouts = 0;
+  /// Completions whose connection was gone by the time the response was
+  /// ready (the task still ran and is counted by the serving metrics).
+  std::uint64_t dropped_responses = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+class EdgeTcpServer {
+ public:
+  /// `server` must outlive this object. The EdgeServer keeps working for
+  /// in-process submitters; the front-end is purely additive.
+  explicit EdgeTcpServer(serving::EdgeServer& server,
+                         TcpServerConfig config = {});
+  ~EdgeTcpServer();
+
+  EdgeTcpServer(const EdgeTcpServer&) = delete;
+  EdgeTcpServer& operator=(const EdgeTcpServer&) = delete;
+
+  /// Bind + listen + launch the event-loop thread. Throws std::runtime_error
+  /// when the address cannot be bound.
+  void start();
+
+  /// Graceful drain then close (idempotent): stop accepting and reading,
+  /// flush every response for already-submitted tasks (bounded by
+  /// drain_timeout_ms), join the loop thread. Call before shutting down the
+  /// underlying EdgeServer.
+  void stop();
+
+  [[nodiscard]] bool running() const { return loop_thread_.joinable(); }
+  /// The bound port (resolved after start() when config.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const TcpServerConfig& config() const { return config_; }
+  [[nodiscard]] NetMetricsSnapshot net_metrics() const;
+
+ private:
+  struct Shared;      // callback-reachable state (outbox, wake pipe, counters)
+  struct Connection;  // event-loop-private per-socket state
+  class Loop;         // event-loop implementation
+
+  serving::EdgeServer& edge_;
+  TcpServerConfig config_;
+  std::shared_ptr<Shared> shared_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread loop_thread_;
+};
+
+}  // namespace einet::net

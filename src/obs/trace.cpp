@@ -22,6 +22,8 @@ const char* category_name(Category c) {
       return "app";
     case Category::kScenario:
       return "scenario";
+    case Category::kNet:
+      return "net";
   }
   return "unknown";
 }

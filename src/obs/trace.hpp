@@ -44,8 +44,9 @@ enum class Category : std::uint8_t {
   kServing = 3,    // task lifecycle: submit/admit/shed/queue/execute/complete
   kApp = 4,        // examples, benches, tests
   kScenario = 5,   // injected kills, estimator drift, forced replans
+  kNet = 6,        // TCP front-end: accept/decode/submit/respond lifecycle
 };
-inline constexpr std::size_t kNumCategories = 6;
+inline constexpr std::size_t kNumCategories = 7;
 [[nodiscard]] const char* category_name(Category c);
 
 enum class EventKind : std::uint8_t {

@@ -1,5 +1,9 @@
 #include "serving/server.hpp"
 
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
 #include "obs/trace.hpp"
 
 namespace einet::serving {
@@ -18,28 +22,47 @@ EdgeServer::~EdgeServer() { shutdown(); }
 
 SubmitStatus EdgeServer::submit(const profiling::CSRecord& record,
                                 double deadline_ms) {
+  Task task;
+  task.record = &record;
+  task.deadline_ms = deadline_ms;
+  return enqueue(std::move(task));
+}
+
+SubmitStatus EdgeServer::submit(
+    std::shared_ptr<const profiling::CSRecord> record, double deadline_ms,
+    CompletionCallback on_complete) {
+  if (record == nullptr)
+    throw std::invalid_argument{"EdgeServer::submit: null owned record"};
+  Task task;
+  task.record = record.get();
+  task.owned_record = std::move(record);
+  task.deadline_ms = deadline_ms;
+  task.on_complete = std::move(on_complete);
+  return enqueue(std::move(task));
+}
+
+SubmitStatus EdgeServer::enqueue(Task task) {
+  const double deadline_ms = task.deadline_ms;
   metrics_.on_submitted();
   if (!admission_.admit(deadline_ms)) {
     metrics_.on_shed();
     EINET_INSTANT("serve.shed", kServing, .slack_ms = deadline_ms);
     return SubmitStatus::kShed;
   }
-  Task task;
   task.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  task.record = &record;
-  task.deadline_ms = deadline_ms;
   task.submit_ms = clock_.elapsed_ms();
-  switch (queue_.push(task)) {
+  const auto id = task.id;
+  switch (queue_.push(std::move(task))) {
     case PushResult::kAccepted:
       metrics_.on_admitted();
       EINET_INSTANT("serve.admit", kServing,
-                    .task_id = static_cast<std::int64_t>(task.id),
+                    .task_id = static_cast<std::int64_t>(id),
                     .slack_ms = deadline_ms);
       return SubmitStatus::kQueued;
     case PushResult::kRejected:
       metrics_.on_rejected();
       EINET_INSTANT("serve.reject", kServing,
-                    .task_id = static_cast<std::int64_t>(task.id),
+                    .task_id = static_cast<std::int64_t>(id),
                     .slack_ms = deadline_ms);
       return SubmitStatus::kRejected;
     case PushResult::kClosed:

@@ -51,6 +51,16 @@ class EdgeServer {
   /// Offer one task. `record` must outlive the server's shutdown.
   SubmitStatus submit(const profiling::CSRecord& record, double deadline_ms);
 
+  /// Offer one task that owns its payload (network requests, generated
+  /// records): the task keeps `record` alive until it completes, so the
+  /// caller may drop its reference immediately. When `on_complete` is set it
+  /// is invoked on the executing worker's thread after the task's metrics
+  /// are recorded — only for tasks that return kQueued; shed/rejected/closed
+  /// submissions are reported synchronously by the return value alone.
+  SubmitStatus submit(std::shared_ptr<const profiling::CSRecord> record,
+                      double deadline_ms,
+                      CompletionCallback on_complete = nullptr);
+
   /// Close the queue and join the workers (idempotent). Every task accepted
   /// before the call is executed.
   void shutdown();
@@ -67,6 +77,10 @@ class EdgeServer {
   [[nodiscard]] double uptime_ms() const { return clock_.elapsed_ms(); }
 
  private:
+  /// Shared admission + queueing tail of both submit overloads. `task` must
+  /// have its payload fields set; id/submit stamps are assigned here.
+  SubmitStatus enqueue(Task task);
+
   util::Timer clock_;
   MetricsRegistry metrics_;
   AdmissionController admission_;

@@ -2,12 +2,16 @@
 //
 // A Task is one inference request: a pointer into the CS-profile being
 // replayed (the profile outlives the server) plus the simulated preemption
-// budget the request must beat. Wall-clock stamps are attached at submit /
-// dequeue / completion so the MetricsRegistry can report queue-wait and
-// end-to-end latency separately from the simulated inference clock.
+// budget the request must beat. Tasks that enter from outside the process
+// (the net front-end) instead *own* their record via `owned_record`; the
+// raw `record` pointer then aims at the owned copy, so every consumer reads
+// tasks the same way regardless of origin. Wall-clock stamps are attached at
+// submit / dequeue / completion so the MetricsRegistry can report queue-wait
+// and end-to-end latency separately from the simulated inference clock.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "core/cancel_token.hpp"
@@ -15,20 +19,6 @@
 #include "runtime/elastic_engine.hpp"
 
 namespace einet::serving {
-
-struct Task {
-  std::uint64_t id = 0;
-  /// Replay record driving the inference; not owned, must outlive the server.
-  const profiling::CSRecord* record = nullptr;
-  /// Simulated time budget until the unpredictable forced exit.
-  double deadline_ms = 0.0;
-  /// Wall-clock submit instant (ms since server start), for queue-wait.
-  double submit_ms = 0.0;
-  /// Set by the worker when a scenario::PreemptionInjector is attached to
-  /// the pool: the runner should execute through run_cancellable() against
-  /// this token instead of the pre-sampled deadline_ms.
-  std::shared_ptr<core::CancelToken> cancel;
-};
 
 struct TaskResult {
   std::uint64_t id = 0;
@@ -40,6 +30,31 @@ struct TaskResult {
   double end_to_end_ms = 0.0;
   /// True when a scenario kill ended the task before its plan completed.
   bool preempted = false;
+};
+
+/// Invoked by the executing worker, on the worker's thread, after the task's
+/// metrics are recorded. Must be cheap and must not call back into the
+/// server (no submit/shutdown) — hand heavy work to another thread.
+using CompletionCallback = std::function<void(const TaskResult&)>;
+
+struct Task {
+  std::uint64_t id = 0;
+  /// Replay record driving the inference. Either borrowed (must outlive the
+  /// server) or aimed at `owned_record` below.
+  const profiling::CSRecord* record = nullptr;
+  /// Set when the task owns its payload (network requests): keeps `record`
+  /// alive for the task's whole lifetime.
+  std::shared_ptr<const profiling::CSRecord> owned_record;
+  /// Simulated time budget until the unpredictable forced exit.
+  double deadline_ms = 0.0;
+  /// Wall-clock submit instant (ms since server start), for queue-wait.
+  double submit_ms = 0.0;
+  /// Set by the worker when a scenario::PreemptionInjector is attached to
+  /// the pool: the runner should execute through run_cancellable() against
+  /// this token instead of the pre-sampled deadline_ms.
+  std::shared_ptr<core::CancelToken> cancel;
+  /// Optional push-style result delivery (see CompletionCallback).
+  CompletionCallback on_complete;
 };
 
 }  // namespace einet::serving

@@ -109,6 +109,9 @@ void WorkerPool::worker_loop(std::size_t worker_id) {
         .value = result.outcome.has_result && result.outcome.correct ? 1.0
                                                                      : 0.0);
     metrics_.on_completed(result);
+    // Push-style delivery (the net front-end's response path): fires after
+    // the metrics so a callback observing a snapshot sees its own task.
+    if (task->on_complete) task->on_complete(result);
   }
 }
 

@@ -353,6 +353,8 @@ class Parser {
 
   JsonValue parse_number() {
     const std::size_t start = pos_;
+    // JSON forbids a leading '+' (and strtod would accept it): reject here.
+    if (peek() == '+') fail("malformed number");
     if (peek() == '-') ++pos_;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||

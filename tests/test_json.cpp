@@ -1,0 +1,223 @@
+// Direct unit coverage for util/json.hpp — previously exercised only
+// indirectly through the exporters. Escape round-trips, deep nesting,
+// number edge cases, writer misuse, and a battery of malformed inputs the
+// parser must reject with a typed error rather than mis-parse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace einet::util {
+namespace {
+
+std::string write(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream out;
+  JsonWriter w{out};
+  body(w);
+  EXPECT_TRUE(w.balanced());
+  return out.str();
+}
+
+/// Write a single string value and parse it back.
+std::string string_round_trip(const std::string& s) {
+  std::ostringstream out;
+  JsonWriter w{out};
+  w.value(s);
+  return json_parse(out.str()).as_string();
+}
+
+// ----------------------------------------------------------------- writer
+
+TEST(JsonWriter, CompactObjectWithAllScalarKinds) {
+  const auto text = write([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("s", "hi");
+    w.kv("i", std::int64_t{-3});
+    w.kv("u", std::uint64_t{7});
+    w.kv("d", 2.5);
+    w.kv("b", true);
+    w.key("n");
+    w.null();
+    w.end_object();
+  });
+  EXPECT_EQ(text, R"({"s":"hi","i":-3,"u":7,"d":2.5,"b":true,"n":null})");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  const auto text = write([](JsonWriter& w) {
+    w.begin_array();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(-std::numeric_limits<double>::infinity());
+    w.end_array();
+  });
+  EXPECT_EQ(text, "[null,null,null]");
+  // The promise behind the substitution: the output always parses.
+  const auto v = json_parse(text);
+  for (const auto& e : v.as_array()) EXPECT_TRUE(e.is_null());
+}
+
+TEST(JsonWriter, MisuseThrowsLogicError) {
+  {
+    std::ostringstream out;
+    JsonWriter w{out};
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    std::ostringstream out;
+    JsonWriter w{out};
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key outside object
+  }
+  {
+    std::ostringstream out;
+    JsonWriter w{out};
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    std::ostringstream out;
+    JsonWriter w{out};
+    w.begin_object();
+    w.key("dangling");
+    EXPECT_THROW(w.end_object(), std::logic_error);  // key without value
+  }
+}
+
+// ----------------------------------------------------- string round trips
+
+TEST(JsonStrings, EscapeRoundTrips) {
+  const std::string cases[] = {
+      "",
+      "plain",
+      "with \"quotes\" and \\backslashes\\",
+      "newline\ntab\tcr\rbackspace\bformfeed\f",
+      std::string{"embedded\0nul", 12},
+      "control \x01\x1f bytes",
+      "utf-8 \xC3\xA9\xE2\x82\xAC passthrough",  // é€ as raw bytes
+  };
+  for (const auto& s : cases) EXPECT_EQ(string_round_trip(s), s) << s;
+}
+
+TEST(JsonStrings, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(json_parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(json_parse(R"("\u00e9")").as_string(), "\xC3\xA9");      // é
+  EXPECT_EQ(json_parse(R"("\u20ac")").as_string(), "\xE2\x82\xAC");  // €
+  EXPECT_EQ(json_parse(R"("\u0000")").as_string(), std::string(1, '\0'));
+  EXPECT_EQ(json_parse(R"("\/")").as_string(), "/");
+}
+
+// ---------------------------------------------------------------- numbers
+
+TEST(JsonNumbers, EdgeCasesSurviveWriterRoundTrip) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1e-300,
+                          -1e300,
+                          0.1,
+                          1.0 / 3.0,
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::denorm_min(),
+                          static_cast<double>(std::uint64_t{1} << 53)};
+  for (const double d : cases) {
+    std::ostringstream out;
+    JsonWriter w{out};
+    w.value(d);  // %.17g: shortest-or-exact round trip for doubles
+    const double back = json_parse(out.str()).as_number();
+    EXPECT_EQ(back, d) << out.str();
+  }
+}
+
+TEST(JsonNumbers, ParserAcceptsStandardForms) {
+  EXPECT_EQ(json_parse("0").as_number(), 0.0);
+  EXPECT_EQ(json_parse("-17").as_number(), -17.0);
+  EXPECT_EQ(json_parse("3.5e2").as_number(), 350.0);
+  EXPECT_EQ(json_parse("2E-3").as_number(), 0.002);
+  EXPECT_EQ(json_parse("  42  ").as_number(), 42.0);  // surrounding ws
+}
+
+TEST(JsonNumbers, MalformedNumbersRejected) {
+  for (const char* bad : {"1.2.3", "1e", "--4", "+1", "nan", "inf", "0x10"})
+    EXPECT_THROW((void)json_parse(bad), std::runtime_error) << bad;
+}
+
+// ---------------------------------------------------------------- nesting
+
+TEST(JsonNesting, DeepArrayRoundTrips) {
+  constexpr int kDepth = 200;
+  std::string text;
+  for (int i = 0; i < kDepth; ++i) text += '[';
+  text += "1";
+  for (int i = 0; i < kDepth; ++i) text += ']';
+  const auto root = json_parse(text);
+  const JsonValue* v = &root;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_EQ(v->kind(), JsonValue::Kind::kArray);
+    ASSERT_EQ(v->as_array().size(), 1u);
+    v = &v->as_array()[0];
+  }
+  EXPECT_EQ(v->as_number(), 1.0);
+}
+
+TEST(JsonNesting, MixedTreeAccessors) {
+  const auto v = json_parse(
+      R"({"metrics":{"p95":1.5,"count":3},"tags":["a","b"],"ok":true})");
+  EXPECT_EQ(v.at("metrics").at("p95").as_number(), 1.5);
+  EXPECT_EQ(v.at("metrics").number_or("count", -1.0), 3.0);
+  EXPECT_EQ(v.at("metrics").number_or("missing", -1.0), -1.0);
+  EXPECT_EQ(v.at("tags").as_array().at(1).as_string(), "b");
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_TRUE(v.has("tags"));
+  EXPECT_FALSE(v.has("absent"));
+  EXPECT_THROW((void)v.at("absent"), std::runtime_error);
+  EXPECT_THROW((void)v.at("ok").as_number(), std::runtime_error);
+}
+
+TEST(JsonNesting, DuplicateKeysLastWins) {
+  EXPECT_EQ(json_parse(R"({"k":1,"k":2})").at("k").as_number(), 2.0);
+}
+
+// --------------------------------------------------------- malformed input
+
+TEST(JsonMalformed, RejectedWithRuntimeError) {
+  const char* cases[] = {
+      "",                      // empty document
+      "   ",                   // whitespace only
+      "{",                     // unterminated object
+      "[1,2",                  // unterminated array
+      "[1,]",                  // trailing comma
+      "{\"k\":}",              // missing value
+      "{\"k\" 1}",             // missing colon
+      "{k:1}",                 // unquoted key
+      "\"unterminated",        // unterminated string
+      "\"bad \\q escape\"",    // unknown escape
+      "\"trunc \\u00\"",       // truncated \u
+      "\"bad \\uZZZZ\"",       // non-hex \u
+      "\"raw \x01 control\"",  // raw control byte in string
+      "tru",                   // truncated literal
+      "null null",             // trailing garbage
+      "{} []",                 // two documents
+      "42 x",                  // garbage after number
+  };
+  for (const char* bad : cases)
+    EXPECT_THROW((void)json_parse(bad), std::runtime_error) << bad;
+}
+
+TEST(JsonMalformed, ErrorMentionsOffset) {
+  try {
+    (void)json_parse("[1,,2]");
+    FAIL() << "accepted malformed array";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("offset"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace einet::util

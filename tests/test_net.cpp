@@ -1,0 +1,601 @@
+// Networking front-end suite (DESIGN.md §9): wire-protocol golden bytes and
+// corruption handling (no sockets), loopback round-trips against the
+// in-process determinism contract, pipelined out-of-order completion,
+// connection limits, graceful drain, and client reconnection through a
+// flapping server. Runs TSan-clean under EINET_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/time_distribution.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "util/rng.hpp"
+
+namespace einet::net {
+namespace {
+
+// ---------------------------------------------------------------- fixtures
+
+profiling::ETProfile tiny_et() {
+  profiling::ETProfile et;
+  et.model_name = "tiny";
+  et.platform_name = "test";
+  et.conv_ms = {1.0, 1.0, 1.0, 1.0};
+  et.branch_ms = {0.5, 0.5, 0.5, 0.5};
+  return et;
+}
+
+profiling::CSProfile tiny_cs(std::size_t records, std::uint64_t seed = 7) {
+  profiling::CSProfile cs;
+  cs.model_name = "tiny";
+  cs.dataset_name = "synthetic";
+  cs.num_exits = 4;
+  util::Rng rng{seed};
+  for (std::size_t r = 0; r < records; ++r) {
+    profiling::CSRecord rec;
+    float conf = rng.uniform_f(0.2f, 0.5f);
+    for (std::size_t e = 0; e < cs.num_exits; ++e) {
+      conf = std::min(1.0f, conf + rng.uniform_f(0.0f, 0.2f));
+      rec.confidence.push_back(conf);
+      rec.correct.push_back(rng.bernoulli(conf) ? 1 : 0);
+    }
+    rec.label = r % 10;
+    cs.records.push_back(std::move(rec));
+  }
+  cs.validate();
+  return cs;
+}
+
+/// A small predictor-less serving stack plus its TCP front-end.
+struct Stack {
+  profiling::ETProfile et = tiny_et();
+  profiling::CSProfile cs = tiny_cs(16);
+  core::UniformExitDistribution dist{et.total_ms()};
+  std::unique_ptr<serving::EdgeServer> edge;
+  std::unique_ptr<EdgeTcpServer> tcp;
+
+  explicit Stack(std::size_t workers = 2, serving::TaskRunner runner = nullptr,
+                 TcpServerConfig net_config = {}) {
+    serving::ServerConfig config;
+    config.queue_capacity = 1024;
+    config.pool.num_workers = workers;
+    const auto factory = serving::make_replicated_engine_factory(
+        et, nullptr, {}, std::vector<float>(cs.num_exits, 0.5f));
+    if (!runner)
+      runner = [this](runtime::ElasticEngine& engine,
+                      const serving::Task& task, util::Rng&) {
+        return engine.run(*task.record, task.deadline_ms, dist);
+      };
+    edge = std::make_unique<serving::EdgeServer>(et, factory,
+                                                 std::move(runner), config);
+    tcp = std::make_unique<EdgeTcpServer>(*edge, net_config);
+    tcp->start();
+  }
+  ~Stack() {
+    if (tcp) tcp->stop();
+    if (edge) edge->shutdown();
+  }
+
+  [[nodiscard]] TcpClientConfig client_config() const {
+    TcpClientConfig cc;
+    cc.port = tcp->port();
+    return cc;
+  }
+};
+
+bool same_outcome(const runtime::InferenceOutcome& x,
+                  const runtime::InferenceOutcome& y) {
+  // planner_ms is measured wall-clock search time, not part of the
+  // deterministic contract; every other field must match bit-for-bit.
+  return x.has_result == y.has_result && x.exit_index == y.exit_index &&
+         x.correct == y.correct && x.completed == y.completed &&
+         x.branches_executed == y.branches_executed &&
+         x.searches_run == y.searches_run &&
+         std::bit_cast<std::uint64_t>(x.result_time_ms) ==
+             std::bit_cast<std::uint64_t>(y.result_time_ms) &&
+         std::bit_cast<std::uint64_t>(x.deadline_ms) ==
+             std::bit_cast<std::uint64_t>(y.deadline_ms);
+}
+
+// ---------------------------------------------------- protocol: pure bytes
+
+TEST(Protocol, RequestGoldenBytes) {
+  RequestFrame req;
+  req.request_id = 0x0102030405060708ull;
+  req.deadline_ms = 1.5;
+  req.record.label = 7;
+  req.record.confidence = {1.0f, 0.5f};
+  req.record.correct = {1, 0};
+
+  const std::vector<std::uint8_t> expected = {
+      // header: magic "EINT", version 1, type kRequest, reserved, body len 38
+      0x45, 0x49, 0x4E, 0x54, 0x01, 0x01, 0x00, 0x00, 0x26, 0x00, 0x00, 0x00,
+      // request_id (u64 LE)
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+      // deadline 1.5 (f64 LE bit pattern)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,
+      // label (u64 LE)
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // num_exits (u32 LE)
+      0x02, 0x00, 0x00, 0x00,
+      // confidence 1.0f, 0.5f (f32 LE bit patterns)
+      0x00, 0x00, 0x80, 0x3F, 0x00, 0x00, 0x00, 0x3F,
+      // correct flags
+      0x01, 0x00};
+  EXPECT_EQ(encode_request(req), expected);
+  // Same message, same bytes: encoding is deterministic.
+  EXPECT_EQ(encode_request(req), encode_request(req));
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  RequestFrame req;
+  req.request_id = 42;
+  req.deadline_ms = 3.25;
+  req.record = tiny_cs(3).records[2];
+
+  const auto bytes = encode_request(req);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  const auto frame = dec.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kRequest);
+  const auto back = decode_request(frame->body);
+  EXPECT_EQ(back.request_id, 42u);
+  EXPECT_EQ(back.deadline_ms, 3.25);
+  EXPECT_EQ(back.record.label, req.record.label);
+  EXPECT_EQ(back.record.confidence, req.record.confidence);
+  EXPECT_EQ(back.record.correct, req.record.correct);
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Protocol, ResponseRoundTripIncludingUnsetExit) {
+  ResponseFrame resp;
+  resp.request_id = 9;
+  resp.status = serving::SubmitStatus::kShed;
+  // Default outcome: exit_index is SIZE_MAX (no result) — must survive the
+  // u64 wire trip intact.
+  const auto bytes = encode_response(resp);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  const auto frame = dec.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kResponse);
+  const auto back = decode_response(frame->body);
+  EXPECT_EQ(back.request_id, 9u);
+  EXPECT_EQ(back.status, serving::SubmitStatus::kShed);
+  EXPECT_TRUE(same_outcome(back.outcome, resp.outcome));
+}
+
+TEST(Protocol, ResponseRoundTripFullOutcome) {
+  ResponseFrame resp;
+  resp.request_id = 77;
+  resp.status = serving::SubmitStatus::kQueued;
+  resp.outcome.has_result = true;
+  resp.outcome.exit_index = 3;
+  resp.outcome.correct = true;
+  resp.outcome.completed = true;
+  resp.outcome.result_time_ms = 4.125;
+  resp.outcome.deadline_ms = 6.5;
+  resp.outcome.branches_executed = 4;
+  resp.outcome.searches_run = 5;
+  resp.outcome.planner_ms = 0.25;
+
+  const auto bytes = encode_response(resp);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  const auto back = decode_response(dec.next()->body);
+  EXPECT_TRUE(same_outcome(back.outcome, resp.outcome));
+  EXPECT_EQ(back.outcome.planner_ms, 0.25);
+}
+
+TEST(Protocol, ErrorRoundTrip) {
+  ErrorFrame err;
+  err.request_id = kNoRequestId;
+  err.code = ErrorCode::kServerOverloaded;
+  err.message = "connection limit reached";
+  const auto bytes = encode_error(err);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  const auto frame = dec.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kError);
+  const auto back = decode_error(frame->body);
+  EXPECT_EQ(back.request_id, kNoRequestId);
+  EXPECT_EQ(back.code, ErrorCode::kServerOverloaded);
+  EXPECT_EQ(back.message, "connection limit reached");
+}
+
+TEST(Protocol, DecoderReassemblesFragmentedStream) {
+  RequestFrame a;
+  a.request_id = 1;
+  a.record.confidence = {0.5f};
+  a.record.correct = {1};
+  RequestFrame b = a;
+  b.request_id = 2;
+
+  auto bytes = encode_request(a);
+  const auto more = encode_request(b);
+  bytes.insert(bytes.end(), more.begin(), more.end());
+
+  FrameDecoder dec;
+  std::vector<std::uint64_t> seen;
+  for (const std::uint8_t byte : bytes) {  // worst case: 1 byte per feed
+    dec.feed(&byte, 1);
+    while (const auto frame = dec.next())
+      seen.push_back(decode_request(frame->body).request_id);
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(Protocol, TruncatedBodyThrowsMalformed) {
+  RequestFrame req;
+  req.record.confidence = {0.5f, 0.6f};
+  req.record.correct = {1, 0};
+  auto bytes = encode_request(req);
+  // Strip the header, then chop the body: every prefix must throw, never
+  // read out of bounds, never succeed.
+  std::vector<std::uint8_t> body{bytes.begin() +
+                                     static_cast<std::ptrdiff_t>(kHeaderBytes),
+                                 bytes.end()};
+  for (std::size_t n = 0; n < body.size(); ++n) {
+    const std::vector<std::uint8_t> prefix{body.begin(),
+                                           body.begin() +
+                                               static_cast<std::ptrdiff_t>(n)};
+    EXPECT_THROW((void)decode_request(prefix), ProtocolError) << n;
+  }
+  // Trailing garbage is inconsistent with the declared exit count: rejected.
+  body.push_back(0x00);
+  EXPECT_THROW((void)decode_request(body), ProtocolError);
+}
+
+TEST(Protocol, BadMagicPoisonsDecoder) {
+  auto bytes = encode_request(RequestFrame{});
+  bytes[0] = 'X';
+  FrameDecoder dec;
+  try {
+    dec.feed(bytes.data(), bytes.size());
+    (void)dec.next();
+    FAIL() << "bad magic accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadMagic);
+  }
+  EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(Protocol, BadVersionAndTypeRejected) {
+  {
+    auto bytes = encode_request(RequestFrame{});
+    bytes[4] = kWireVersion + 1;
+    FrameDecoder dec;
+    try {
+      dec.feed(bytes.data(), bytes.size());
+      (void)dec.next();
+      FAIL() << "bad version accepted";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBadVersion);
+    }
+  }
+  {
+    auto bytes = encode_request(RequestFrame{});
+    bytes[5] = 0x7F;
+    FrameDecoder dec;
+    try {
+      dec.feed(bytes.data(), bytes.size());
+      (void)dec.next();
+      FAIL() << "bad type accepted";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBadType);
+    }
+  }
+}
+
+TEST(Protocol, OversizedFrameRejectedBeforeBuffering) {
+  RequestFrame req;
+  req.record.confidence.assign(64, 0.5f);
+  req.record.correct.assign(64, 1);
+  const auto bytes = encode_request(req);
+  FrameDecoder dec{64};  // cap far below the encoded body size
+  try {
+    dec.feed(bytes.data(), bytes.size());
+    (void)dec.next();
+    FAIL() << "oversized frame accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFrameTooLarge);
+  }
+  EXPECT_TRUE(dec.poisoned());
+}
+
+// ------------------------------------------------------- serving satellite
+
+TEST(OwnedSubmit, RecordOutlivesCallerScope) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(2);
+  const core::UniformExitDistribution dist{et.total_ms()};
+  serving::ServerConfig config;
+  config.pool.num_workers = 1;
+  serving::EdgeServer server{
+      et,
+      serving::make_replicated_engine_factory(
+          et, nullptr, {}, std::vector<float>(cs.num_exits, 0.5f)),
+      [&dist](runtime::ElasticEngine& engine, const serving::Task& task,
+              util::Rng&) {
+        return engine.run(*task.record, task.deadline_ms, dist);
+      },
+      config};
+
+  std::atomic<bool> called{false};
+  runtime::InferenceOutcome seen;
+  {
+    // The only owner of the record handle dies right after submit; the task
+    // must keep the payload alive through execution.
+    auto rec = std::make_shared<const profiling::CSRecord>(cs.records[0]);
+    const auto status = server.submit(
+        std::move(rec), et.total_ms(),
+        [&called, &seen](const serving::TaskResult& result) {
+          seen = result.outcome;
+          called.store(true, std::memory_order_release);
+        });
+    ASSERT_EQ(status, serving::SubmitStatus::kQueued);
+  }
+  server.shutdown();
+  ASSERT_TRUE(called.load(std::memory_order_acquire));
+  EXPECT_TRUE(seen.has_result);
+
+  EXPECT_THROW(
+      (void)server.submit(std::shared_ptr<const profiling::CSRecord>{}, 1.0),
+      std::invalid_argument);
+}
+
+TEST(OwnedSubmit, MatchesReplayPointerPath) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(8);
+  const core::UniformExitDistribution dist{et.total_ms()};
+  const auto factory = serving::make_replicated_engine_factory(
+      et, nullptr, {}, std::vector<float>(cs.num_exits, 0.5f));
+  const serving::TaskRunner runner =
+      [&dist](runtime::ElasticEngine& engine, const serving::Task& task,
+              util::Rng&) {
+        return engine.run(*task.record, task.deadline_ms, dist);
+      };
+  serving::ServerConfig config;
+  config.pool.num_workers = 1;
+
+  serving::EdgeServer by_ref{et, factory, runner, config};
+  for (const auto& rec : cs.records) by_ref.submit(rec, 4.0);
+  by_ref.shutdown();
+
+  serving::EdgeServer owned{et, factory, runner, config};
+  std::vector<runtime::InferenceOutcome> outcomes(cs.size());
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    owned.submit(std::make_shared<const profiling::CSRecord>(cs.records[i]),
+                 4.0, [&outcomes, i](const serving::TaskResult& r) {
+                   outcomes[i] = r.outcome;
+                 });
+  owned.shutdown();
+
+  const auto a = by_ref.metrics();
+  const auto b = owned.metrics();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.correct, b.correct);
+  EXPECT_EQ(a.valid, b.valid);
+  for (const auto& out : outcomes) EXPECT_TRUE(out.has_result);
+}
+
+// ------------------------------------------------------- loopback serving
+
+TEST(Loopback, RoundTripMatchesInProcess) {
+  Stack stack{2};
+  util::Rng rng{11};
+  std::vector<std::pair<std::size_t, double>> stream;
+  for (std::size_t i = 0; i < 24; ++i)
+    stream.emplace_back(rng.uniform_int(stack.cs.size()),
+                        rng.uniform(2.0, 1.4 * stack.et.total_ms()));
+
+  // In-process reference on an identical second stack.
+  serving::ServerConfig config;
+  config.queue_capacity = 1024;
+  config.pool.num_workers = 2;
+  serving::EdgeServer reference{
+      stack.et, serving::make_replicated_engine_factory(
+                            stack.et, nullptr, {},
+                            std::vector<float>(stack.cs.num_exits, 0.5f)),
+      [&stack](runtime::ElasticEngine& engine, const serving::Task& task,
+               util::Rng&) {
+        return engine.run(*task.record, task.deadline_ms, stack.dist);
+      },
+      config};
+  std::vector<runtime::InferenceOutcome> expected(stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    reference.submit(
+        std::make_shared<const profiling::CSRecord>(
+            stack.cs.records[stream[i].first]),
+        stream[i].second,
+        [&expected, i](const serving::TaskResult& r) {
+          expected[i] = r.outcome;
+        });
+  reference.shutdown();
+
+  EdgeClient client{stack.client_config()};
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto resp = client.request(stack.cs.records[stream[i].first],
+                                     stream[i].second);
+    EXPECT_EQ(resp.status, serving::SubmitStatus::kQueued) << i;
+    EXPECT_TRUE(same_outcome(resp.outcome, expected[i])) << i;
+  }
+  EXPECT_EQ(stack.tcp->net_metrics().protocol_errors, 0u);
+  EXPECT_EQ(stack.tcp->net_metrics().responses, stream.size());
+}
+
+TEST(Loopback, PipelinedResponsesClaimableOutOfOrder) {
+  Stack stack{2};
+  EdgeClient client{stack.client_config()};
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < 8; ++i)
+    ids.push_back(
+        client.send(stack.cs.records[i % stack.cs.size()], 4.0 + i * 0.5));
+  EXPECT_EQ(client.in_flight(), 8u);
+  // Claim in reverse send order: wait() must buffer other ids.
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    const auto resp = client.wait(*it);
+    EXPECT_EQ(resp.request_id, *it);
+    EXPECT_EQ(resp.status, serving::SubmitStatus::kQueued);
+    EXPECT_TRUE(resp.outcome.has_result);
+  }
+  EXPECT_EQ(client.in_flight(), 0u);
+}
+
+TEST(Loopback, ShedStatusCrossesWire) {
+  Stack stack{1};
+  EdgeClient client{stack.client_config()};
+  // Below the first-exit admission floor (1.5 ms for the tiny profile).
+  const auto resp = client.request(stack.cs.records[0], 0.5);
+  EXPECT_EQ(resp.status, serving::SubmitStatus::kShed);
+  EXPECT_FALSE(resp.outcome.has_result);
+}
+
+TEST(Loopback, ConnectionLimitRejectsExtraClients) {
+  TcpServerConfig net_config;
+  net_config.max_connections = 1;
+  Stack stack{1, nullptr, net_config};
+
+  EdgeClient first{stack.client_config()};
+  first.connect();
+  ASSERT_EQ(first.request(stack.cs.records[0], 4.0).status,
+            serving::SubmitStatus::kQueued);
+
+  auto cc = stack.client_config();
+  cc.max_request_retries = 1;
+  EdgeClient second{cc};
+  // Depending on timing the client sees the typed kServerOverloaded error
+  // frame (ProtocolError) or the ensuing close (NetError); both are
+  // runtime_errors and both mean the limit held.
+  EXPECT_THROW((void)second.request(stack.cs.records[0], 4.0),
+               std::runtime_error);
+  EXPECT_GE(stack.tcp->net_metrics().connections_rejected, 1u);
+
+  // The admitted connection keeps working.
+  EXPECT_EQ(first.request(stack.cs.records[1], 4.0).status,
+            serving::SubmitStatus::kQueued);
+}
+
+TEST(Loopback, GracefulStopDrainsInFlight) {
+  // Gate the workers so requests pile up queued/executing, then stop() while
+  // they are in flight: every accepted request must still get its response.
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool open = false;
+  };
+  auto gate = std::make_shared<Gate>();
+  const auto et = tiny_et();
+  const core::UniformExitDistribution dist{et.total_ms()};
+  const serving::TaskRunner gated =
+      [gate, &dist](runtime::ElasticEngine& engine, const serving::Task& task,
+                    util::Rng&) {
+        {
+          std::unique_lock lock{gate->mu};
+          gate->cv.wait(lock, [&] { return gate->open; });
+        }
+        return engine.run(*task.record, task.deadline_ms, dist);
+      };
+  Stack stack{2, gated};
+
+  EdgeClient client{stack.client_config()};
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < 4; ++i)
+    ids.push_back(client.send(stack.cs.records[i], 4.0));
+
+  // Wait until the server has actually accepted all four requests.
+  while (stack.tcp->net_metrics().requests < 4)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  std::thread stopper{[&] { stack.tcp->stop(); }};
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    std::lock_guard lock{gate->mu};
+    gate->open = true;
+  }
+  gate->cv.notify_all();
+  stopper.join();
+
+  for (const auto id : ids) {
+    const auto resp = client.wait(id);
+    EXPECT_EQ(resp.status, serving::SubmitStatus::kQueued);
+    EXPECT_TRUE(resp.outcome.has_result);
+  }
+  EXPECT_EQ(stack.tcp->net_metrics().dropped_responses, 0u);
+}
+
+TEST(Loopback, ClientReconnectsThroughFlappingServer) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(4);
+  const core::UniformExitDistribution dist{et.total_ms()};
+  const auto factory = serving::make_replicated_engine_factory(
+      et, nullptr, {}, std::vector<float>(cs.num_exits, 0.5f));
+  const auto make_runner = [&dist](const profiling::CSProfile&) {
+    return serving::TaskRunner{
+        [&dist](runtime::ElasticEngine& engine, const serving::Task& task,
+                util::Rng&) {
+          return engine.run(*task.record, task.deadline_ms, dist);
+        }};
+  };
+
+  serving::ServerConfig config;
+  config.pool.num_workers = 1;
+  auto edge_a = std::make_unique<serving::EdgeServer>(et, factory,
+                                                      make_runner(cs), config);
+  auto tcp_a = std::make_unique<EdgeTcpServer>(*edge_a);
+  tcp_a->start();
+  const std::uint16_t port = tcp_a->port();
+
+  TcpClientConfig cc;
+  cc.port = port;
+  cc.max_connect_attempts = 12;  // capped backoff sums to well over 1 s
+  cc.max_request_retries = 6;
+  EdgeClient client{cc};
+  ASSERT_EQ(client.request(cs.records[0], 4.0).status,
+            serving::SubmitStatus::kQueued);
+
+  // Kill the server, then bring a new one up on the SAME port after a delay
+  // the client's dial backoff must ride through.
+  tcp_a->stop();
+  edge_a->shutdown();
+  tcp_a.reset();
+  edge_a.reset();
+
+  serving::EdgeServer edge_b{et, factory, make_runner(cs), config};
+  TcpServerConfig reuse;
+  reuse.port = port;
+  std::thread restarter;
+  EdgeTcpServer tcp_b{edge_b, reuse};
+  restarter = std::thread{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    tcp_b.start();
+  }};
+
+  // The first attempt may race the restart; request() reconnects with
+  // backoff until the new server answers.
+  const auto resp = client.request(cs.records[1], 4.0);
+  EXPECT_EQ(resp.status, serving::SubmitStatus::kQueued);
+  EXPECT_TRUE(resp.outcome.has_result);
+  EXPECT_GE(client.reconnects(), 1u);
+  restarter.join();
+  tcp_b.stop();
+  edge_b.shutdown();
+}
+
+}  // namespace
+}  // namespace einet::net
