@@ -1,0 +1,434 @@
+// Batched-serving bench (DESIGN.md §10): end-to-end throughput of the
+// batching pipeline (BatchAssembler -> MicroBatch queue -> batch worker with
+// a BatchedLiveEngine) against the same pipeline constrained to batch=1,
+// plus the conv-forward GEMM criterion re-run at a realistic batch size
+// (B=8), where the batch-level parallel_for path actually has rows to split.
+//
+// Emits BENCH_serving.json and enforces:
+//   * batched and batch=1 streams produce IDENTICAL aggregate results
+//     (completed/valid/correct) — per-task outcomes are pure functions of
+//     (payload, deadline), however tasks were grouped in flight; checked in
+//     every mode,
+//   * conv fwd B=8 1t-vs-4t outputs are bit-identical; checked in every mode,
+//   * batch metrics (batches, bypassed, size, assembler wait) are populated
+//     in the snapshot + JSON export; checked in every mode,
+//   * conv fwd throughput of the backend at 4 threads, batch 8, is >= 3x the
+//     seed kernel at 1 thread (skipped with --smoke: timings too short), and
+//   * batched end-to-end throughput is >= 2x batch=1 at 4 GEMM threads
+//     (skipped with --smoke or on machines with < 4 cores, where there is no
+//     parallel capacity for the stacked GEMM to use).
+//
+// Usage: bench_serving [--smoke]
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/time_distribution.hpp"
+#include "data/synthetic.hpp"
+#include "models/backbones.hpp"
+#include "models/trainer.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/tensor.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "profiling/platform.hpp"
+#include "profiling/profiler.hpp"
+#include "runtime/batched_engine.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace einet;
+using nn::Tensor;
+
+// ---------------------------------------------------------------------------
+// Seed conv kernel (same baseline bench_nn grades against): im2col + axpy.
+// ---------------------------------------------------------------------------
+
+void seed_im2col(const float* img, std::size_t channels, std::size_t h,
+                 std::size_t w, std::size_t k, std::size_t stride,
+                 std::size_t pad, std::size_t out_h, std::size_t out_w,
+                 float* col) {
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < k; ++ki) {
+      for (std::size_t kj = 0; kj < k; ++kj) {
+        const std::size_t row = (c * k + ki) * k + kj;
+        float* dst = col + row * out_h * out_w;
+        for (std::size_t oi = 0; oi < out_h; ++oi) {
+          const long ii =
+              static_cast<long>(oi * stride + ki) - static_cast<long>(pad);
+          for (std::size_t oj = 0; oj < out_w; ++oj) {
+            const long jj =
+                static_cast<long>(oj * stride + kj) - static_cast<long>(pad);
+            float v = 0.0f;
+            if (ii >= 0 && jj >= 0 && ii < static_cast<long>(h) &&
+                jj < static_cast<long>(w)) {
+              v = img[(c * h + static_cast<std::size_t>(ii)) * w +
+                      static_cast<std::size_t>(jj)];
+            }
+            dst[oi * out_w + oj] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void seed_conv_forward(const Tensor& x, const nn::Conv2dSpec& spec,
+                       const Tensor& weight, const Tensor& bias,
+                       std::size_t out_h, std::size_t out_w, Tensor& y,
+                       std::vector<float>& col) {
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  const std::size_t spatial = out_h * out_w;
+  const float* wgt = weight.raw();
+  const float* b = bias.raw();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* img = x.raw() + i * spec.in_channels * h * w;
+    seed_im2col(img, spec.in_channels, h, w, spec.kernel, spec.stride,
+                spec.padding, out_h, out_w, col.data());
+    float* yi = y.raw() + i * spec.out_channels * spatial;
+    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+      float* yrow = yi + oc * spatial;
+      for (std::size_t s = 0; s < spatial; ++s) yrow[s] = b[oc];
+      const float* wrow = wgt + oc * patch;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const float wv = wrow[p];
+        if (wv == 0.0f) continue;
+        const float* crow = col.data() + p * spatial;
+        for (std::size_t s = 0; s < spatial; ++s) yrow[s] += wv * crow[s];
+      }
+    }
+  }
+}
+
+template <typename Fn>
+double measure_gflops(Fn&& fn, double flops_per_call, std::size_t min_iters,
+                      double min_ms) {
+  fn();  // warm-up
+  util::Timer t;
+  std::size_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (iters < min_iters || t.elapsed_ms() < min_ms);
+  return flops_per_call * static_cast<double>(iters) / t.elapsed_ms() / 1e6;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end batched serving workload.
+// ---------------------------------------------------------------------------
+
+struct LiveTask {
+  std::shared_ptr<const Tensor> image;
+  std::size_t label = 0;
+  double deadline_ms = 0.0;
+};
+
+struct ServeResult {
+  double wall_ms = 0.0;
+  serving::MetricsSnapshot snap;
+};
+
+/// Run the fixed task stream through the batched pipeline with the given
+/// max batch size (1 = effectively unbatched: every seal is a singleton).
+ServeResult run_serving(models::MultiExitNetwork& net,
+                        const profiling::ETProfile& et,
+                        predictor::CSPredictor& pred,
+                        const std::vector<LiveTask>& stream,
+                        std::size_t max_batch, double bypass_slack_ms) {
+  const runtime::ElasticConfig cfg;
+  const core::UniformExitDistribution dist{et.total_ms()};
+  // One worker: the throughput comparison isolates the batching effect (the
+  // stacked conv GEMM using the thread pool) from worker-level parallelism.
+  runtime::BatchedLiveEngine engine{net, et, &pred, cfg};
+  const serving::batch::MicroBatchRunner runner =
+      [&engine, &dist](runtime::ElasticEngine&,
+                       const serving::batch::MicroBatch& mb, std::size_t,
+                       util::Rng&) {
+        std::vector<runtime::BatchItem> items;
+        items.reserve(mb.size());
+        for (const auto& task : mb.tasks)
+          items.push_back({.image = task.image.get(),
+                           .label = task.label,
+                           .deadline_ms = task.deadline_ms,
+                           .cancel = task.cancel.get()});
+        return engine.run_batched(items, dist);
+      };
+
+  serving::ServerConfig config;
+  config.queue_capacity = stream.size() + 16;
+  config.pool.num_workers = 1;
+  serving::EdgeServer server{
+      et,
+      serving::make_replicated_engine_factory(
+          et, &pred, {}),
+      runner,
+      {.max_batch = max_batch, .max_wait_ms = 2.0,
+       .bypass_slack_ms = bypass_slack_ms},
+      config};
+
+  util::Timer t;
+  for (const auto& task : stream)
+    server.submit_live(task.image, task.label, task.deadline_ms);
+  server.shutdown();
+  ServeResult r;
+  r.wall_ms = t.elapsed_ms();
+  r.snap = server.metrics();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: bench_serving [--smoke]\n";
+      return EXIT_FAILURE;
+    }
+  }
+  bench::print_bench_header(
+      "BENCH serving",
+      "batched pipeline throughput vs batch=1 + conv GEMM at B=8");
+
+  const std::size_t saved_threads = nn::gemm_threads();
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  // ---- Conv forward at B=8 (the batch the assembler actually builds) ------
+  util::Rng rng{0x5EED};
+  const nn::Conv2dSpec cspec{.in_channels = smoke ? 4u : 32u,
+                             .out_channels = smoke ? 8u : 64u,
+                             .kernel = 3,
+                             .stride = 1,
+                             .padding = 1};
+  const std::size_t img = smoke ? 8 : 32;
+  const std::size_t conv_batch = 8;  // == assembler max_batch below
+  nn::Conv2d conv{cspec, rng};
+  const Tensor cx =
+      Tensor::uniform({conv_batch, cspec.in_channels, img, img}, -1, 1, rng);
+  const nn::Shape cos = conv.out_shape(cx.shape());
+  const std::size_t patch = cspec.in_channels * cspec.kernel * cspec.kernel;
+  const std::size_t spatial = cos[2] * cos[3];
+  const double conv_fwd_flops = 2.0 * static_cast<double>(
+      conv_batch * cspec.out_channels * spatial * patch);
+  const std::size_t min_iters = smoke ? 2 : 5;
+  const double min_ms = smoke ? 5.0 : 300.0;
+
+  Tensor seed_y{cos};
+  std::vector<float> seed_col(patch * spatial);
+  nn::set_gemm_threads(1);
+  const double conv_seed_1t = measure_gflops(
+      [&] {
+        seed_conv_forward(cx, cspec, conv.weight().value, conv.bias().value,
+                          cos[2], cos[3], seed_y, seed_col);
+      },
+      conv_fwd_flops, min_iters, min_ms);
+  const Tensor conv_y_1t = conv.forward(cx, false);
+  nn::set_gemm_threads(4);
+  const double conv_new_4t = measure_gflops(
+      [&] { (void)conv.forward(cx, false); }, conv_fwd_flops, min_iters,
+      min_ms);
+  const Tensor conv_y_4t = conv.forward(cx, false);
+  const bool conv_bits_equal =
+      std::memcmp(conv_y_1t.raw(), conv_y_4t.raw(),
+                  conv_y_1t.numel() * sizeof(float)) == 0;
+  const double conv_speedup = conv_new_4t / conv_seed_1t;
+  const bool conv_checked = !smoke;
+  const bool conv_ok = !conv_checked || conv_speedup >= 3.0;
+
+  // ---- Live pipeline fixture ---------------------------------------------
+  auto spec = data::synth_cifar10_spec(smoke ? 60 : 120, smoke ? 20 : 40);
+  auto ds = data::make_synthetic(spec);
+  util::Rng mrng{7};
+  auto net = models::make_msdnet(
+      models::MsdnetSpec{.blocks = 4, .step = 1, .base = 1, .channel = 6},
+      ds.train->input_shape(), ds.train->num_classes(), mrng);
+  models::MultiExitTrainer trainer{net};
+  models::TrainConfig tc;
+  tc.epochs = smoke ? 1 : 2;
+  tc.batch_size = 20;
+  trainer.train(*ds.train, tc);
+  const auto et =
+      profiling::profile_execution_time(net, profiling::edge_fast_platform());
+  const auto cs = profiling::profile_confidence(net, *ds.test);
+  predictor::CSPredictorConfig pc;
+  pc.hidden = 16;
+  pc.epochs = smoke ? 2 : 6;
+  predictor::CSPredictor pred{net.num_exits(), pc};
+  pred.train(cs);
+
+  // Fixed task stream: mostly slack-rich deadlines (the whole plan runs),
+  // ~10% slack-poor ones inside the bypass band so the bypass path is
+  // exercised. Pure function of the seed — both pipelines see the same work.
+  const std::size_t tasks = smoke ? 24 : 256;
+  const double first_exit = et.conv_ms[0] + et.branch_ms[0];
+  const double bypass_slack = 2.0 * first_exit;
+  std::vector<LiveTask> stream;
+  stream.reserve(tasks);
+  util::Rng srng{0xBA7C};
+  for (std::size_t i = 0; i < tasks; ++i) {
+    LiveTask task;
+    const auto& sample = ds.test->sample(i % ds.test->size());
+    task.image = std::make_shared<const Tensor>(sample.image);
+    task.label = sample.label;
+    task.deadline_ms = (i % 10 == 0)
+                           ? srng.uniform(first_exit, bypass_slack)
+                           : srng.uniform(0.6, 1.4) * et.total_ms();
+    stream.push_back(std::move(task));
+  }
+
+  // Both pipelines run with 4 GEMM threads: the only difference is whether
+  // the assembler may coalesce (max_batch 8 vs 1).
+  nn::set_gemm_threads(4);
+  const auto solo = run_serving(net, et, pred, stream, 1, bypass_slack);
+  const auto batched = run_serving(net, et, pred, stream, 8, bypass_slack);
+  nn::set_gemm_threads(saved_threads);
+
+  const double solo_tps =
+      1000.0 * static_cast<double>(solo.snap.completed) / solo.wall_ms;
+  const double batched_tps =
+      1000.0 * static_cast<double>(batched.snap.completed) / batched.wall_ms;
+  const double e2e_speedup = batched_tps / solo_tps;
+  const bool e2e_checked = !smoke && cores >= 4;
+  const bool e2e_ok = !e2e_checked || e2e_speedup >= 2.0;
+
+  // Aggregate determinism across batch compositions (always enforced).
+  const bool agg_ok = batched.snap.completed == solo.snap.completed &&
+                      batched.snap.valid == solo.snap.valid &&
+                      batched.snap.correct == solo.snap.correct &&
+                      batched.snap.shed == solo.snap.shed;
+
+  // Batch bookkeeping must be populated and exported (always enforced).
+  const auto batched_json = batched.snap.to_json();
+  const bool metrics_ok =
+      batched.snap.batches > 0 && batched.snap.bypassed > 0 &&
+      batched.snap.batch_size.stats.count() == batched.snap.batches &&
+      batched.snap.assembler_wait.stats.count() == batched.snap.admitted &&
+      batched_json.find("\"batch\"") != std::string::npos &&
+      batched_json.find("\"assembler_wait_ms\"") != std::string::npos;
+
+  // ---- Report ------------------------------------------------------------
+  util::Table ct{{"conv fwd B=8", "seed 1t GF/s", "new 4t GF/s", "speedup"}};
+  ct.add_row({"im2col+gemm", util::Table::num(conv_seed_1t, 2),
+              util::Table::num(conv_new_4t, 2),
+              util::Table::num(conv_speedup, 2)});
+  std::cout << ct.str() << "\n";
+
+  util::Table st{{"pipeline", "completed", "wall ms", "tasks/s", "batches",
+                  "bypassed", "mean size"}};
+  st.add_row({"batch=1", std::to_string(solo.snap.completed),
+              util::Table::num(solo.wall_ms, 1), util::Table::num(solo_tps, 1),
+              std::to_string(solo.snap.batches),
+              std::to_string(solo.snap.bypassed),
+              util::Table::num(solo.snap.batch_size.stats.mean(), 2)});
+  st.add_row({"batch=8", std::to_string(batched.snap.completed),
+              util::Table::num(batched.wall_ms, 1),
+              util::Table::num(batched_tps, 1),
+              std::to_string(batched.snap.batches),
+              std::to_string(batched.snap.bypassed),
+              util::Table::num(batched.snap.batch_size.stats.mean(), 2)});
+  std::cout << st.str() << "\n"
+            << "conv fwd speedup (new@4t,B=8 vs seed@1t): "
+            << util::Table::num(conv_speedup, 2)
+            << (conv_checked ? (conv_ok ? " >= 3.0 -> PASS" : " < 3.0 -> FAIL")
+                             : " (criterion skipped in --smoke)")
+            << "\n"
+            << "e2e throughput speedup (batch=8 vs batch=1): "
+            << util::Table::num(e2e_speedup, 2)
+            << (e2e_checked
+                    ? (e2e_ok ? " >= 2.0 -> PASS" : " < 2.0 -> FAIL")
+                    : (smoke ? " (criterion skipped in --smoke)"
+                             : " (criterion skipped: < 4 cores)"))
+            << "\n"
+            << "aggregate results identical across batching: "
+            << (agg_ok ? "yes -> PASS" : "NO -> FAIL") << "\n"
+            << "conv B=8 1t-vs-4t bit-identical: "
+            << (conv_bits_equal ? "yes -> PASS" : "NO -> FAIL") << "\n"
+            << "batch metrics populated + exported: "
+            << (metrics_ok ? "yes -> PASS" : "NO -> FAIL") << "\n";
+
+  std::ostringstream json;
+  util::JsonWriter jw{json};
+  jw.begin_object();
+  jw.kv("bench", "serving");
+  jw.kv("mode", smoke ? "smoke" : "full");
+  jw.kv("hardware_concurrency", static_cast<std::uint64_t>(cores));
+  jw.key("conv_b8");
+  jw.begin_object();
+  jw.kv("in_channels", static_cast<std::uint64_t>(cspec.in_channels));
+  jw.kv("out_channels", static_cast<std::uint64_t>(cspec.out_channels));
+  jw.kv("image", static_cast<std::uint64_t>(img));
+  jw.kv("batch", static_cast<std::uint64_t>(conv_batch));
+  jw.kv("seed_fwd_1t_gflops", conv_seed_1t);
+  jw.kv("new_fwd_4t_gflops", conv_new_4t);
+  jw.kv("speedup", conv_speedup);
+  jw.kv("threshold", 3.0);
+  jw.kv("checked", conv_checked);
+  jw.kv("bit_identical_1t_vs_4t", conv_bits_equal);
+  jw.end_object();
+  jw.key("e2e");
+  jw.begin_object();
+  jw.kv("tasks", static_cast<std::uint64_t>(tasks));
+  jw.kv("workers", static_cast<std::uint64_t>(1));
+  jw.kv("gemm_threads", static_cast<std::uint64_t>(4));
+  const auto pipeline = [&](const char* name, const ServeResult& r,
+                            double tps) {
+    jw.key(name);
+    jw.begin_object();
+    jw.kv("completed", r.snap.completed);
+    jw.kv("valid", r.snap.valid);
+    jw.kv("correct", r.snap.correct);
+    jw.kv("shed", r.snap.shed);
+    jw.kv("wall_ms", r.wall_ms);
+    jw.kv("tasks_per_s", tps);
+    jw.kv("batches", r.snap.batches);
+    jw.kv("bypassed", r.snap.bypassed);
+    jw.kv("batch_size_mean", r.snap.batch_size.stats.mean());
+    jw.kv("batch_size_p95", r.snap.batch_size.p95_ms);
+    jw.kv("assembler_wait_p50_ms", r.snap.assembler_wait.p50_ms);
+    jw.kv("assembler_wait_p95_ms", r.snap.assembler_wait.p95_ms);
+    jw.end_object();
+  };
+  pipeline("batch1", solo, solo_tps);
+  pipeline("batch8", batched, batched_tps);
+  jw.kv("speedup", e2e_speedup);
+  jw.kv("threshold", 2.0);
+  jw.kv("checked", e2e_checked);
+  jw.kv("aggregate_identical", agg_ok);
+  jw.end_object();
+  jw.key("criterion");
+  jw.begin_object();
+  jw.kv("conv_pass", conv_ok);
+  jw.kv("e2e_pass", e2e_ok);
+  jw.kv("aggregate_identical", agg_ok);
+  jw.kv("bit_identical", conv_bits_equal);
+  jw.kv("batch_metrics_exported", metrics_ok);
+  jw.kv("pass", conv_ok && e2e_ok && agg_ok && conv_bits_equal && metrics_ok);
+  jw.end_object();
+  jw.end_object();
+  std::ofstream out{"BENCH_serving.json"};
+  out << json.str() << "\n";
+  if (!out) {
+    std::cerr << "error: could not write BENCH_serving.json\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "-> BENCH_serving.json\n";
+  return (conv_ok && e2e_ok && agg_ok && conv_bits_equal && metrics_ok)
+             ? EXIT_SUCCESS
+             : EXIT_FAILURE;
+}

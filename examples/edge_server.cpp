@@ -12,11 +12,19 @@
 // those occupancy waits, so N workers drain the stream close to N× faster
 // regardless of host core count, while aggregate accuracy stays bit-equal.
 //
-// Usage: edge_server [num_tasks] [workers] [train_samples] [epochs]
+// When max_batch > 1 the admitted stream additionally flows through the
+// BatchAssembler (DESIGN.md §10): tasks are coalesced into MicroBatches
+// before the workers execute them, slack-poor tasks bypass coalescing, and
+// the metrics snapshot gains the batching table / JSON block. Per-task
+// outcomes are unchanged — the 1-vs-N determinism check below covers the
+// batched pipeline too. max_batch 1 disables the batcher (PR-5 pipeline).
+//
+// Usage: edge_server [num_tasks] [workers] [train_samples] [epochs] [max_batch]
 #include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -30,6 +38,7 @@
 #include "profiling/calibration.hpp"
 #include "profiling/platform.hpp"
 #include "profiling/profiler.hpp"
+#include "serving/batch/runner.hpp"
 #include "serving/replicate.hpp"
 #include "serving/server.hpp"
 #include "util/table.hpp"
@@ -38,13 +47,19 @@
 int main(int argc, char** argv) {
   using namespace einet;
   const examples::ArgParser args{
-      argc, argv, "edge_server [num_tasks] [workers] [train_samples] [epochs]"};
+      argc, argv,
+      "edge_server [num_tasks] [workers] [train_samples] [epochs] "
+      "[max_batch]"};
   const std::size_t num_tasks = args.positive(1, 2000, "num_tasks");
   const std::size_t workers = args.positive(2, 4, "workers");
   const std::size_t train_samples = args.positive(3, 400, "train_samples");
   const std::size_t epochs = args.positive(4, 6, "epochs");
+  const std::size_t max_batch = args.positive(5, 4, "max_batch");
 
-  std::cout << "== concurrent edge serving under bursty preemption ==\n";
+  std::cout << "== concurrent edge serving under bursty preemption ==\n"
+            << (max_batch > 1
+                    ? "batching: max_batch=" + std::to_string(max_batch) + "\n"
+                    : std::string{"batching: off\n"});
 
   const auto ds =
       data::make_synthetic(data::synth_cifar10_spec(train_samples, 250));
@@ -143,12 +158,26 @@ int main(int argc, char** argv) {
     serving::ServerConfig config;
     config.queue_capacity = num_tasks;  // open loop, no overflow drops
     config.pool.num_workers = num_workers;
-    serving::EdgeServer server{et, strat.factory, strat.runner, config};
+    // max_batch > 1 routes the identical stream through the BatchAssembler;
+    // members run sequentially through the same solo runner, so per-task
+    // outcomes (and the determinism checks below) are unchanged.
+    const auto server =
+        max_batch > 1
+            ? std::make_unique<serving::EdgeServer>(
+                  et, strat.factory,
+                  serving::batch::make_solo_batch_runner(strat.runner),
+                  serving::batch::BatchAssemblerConfig{
+                      .max_batch = max_batch,
+                      .max_wait_ms = 1.0,
+                      .bypass_slack_ms = 0.3 * et.total_ms()},
+                  config)
+            : std::make_unique<serving::EdgeServer>(et, strat.factory,
+                                                    strat.runner, config);
     util::Timer wall;
     for (const auto& [idx, budget] : stream)
-      server.submit(cs.records[idx], budget);
-    server.shutdown();
-    return std::make_pair(server.metrics(), wall.elapsed_s());
+      server->submit(cs.records[idx], budget);
+    server->shutdown();
+    return std::make_pair(server->metrics(), wall.elapsed_s());
   };
 
   util::Table table{{"strategy", "workers", "shed", "valid", "accuracy",

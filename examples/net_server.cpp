@@ -10,7 +10,11 @@
 // and drive the server concurrently, so the run demonstrates the event loop
 // sustaining that many simultaneous connections with zero protocol errors.
 //
-// Usage: net_server [num_tasks] [connections] [workers] [records]
+// When max_batch > 1 both phases serve through the BatchAssembler pipeline
+// (DESIGN.md §10); the bit-identity verdict then proves the batched path
+// preserves per-task outcomes under real TCP concurrency. 1 disables it.
+//
+// Usage: net_server [num_tasks] [connections] [workers] [records] [max_batch]
 #include <atomic>
 #include <bit>
 #include <condition_variable>
@@ -28,6 +32,7 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "profiling/profiles.hpp"
+#include "serving/batch/runner.hpp"
 #include "serving/replicate.hpp"
 #include "serving/server.hpp"
 #include "util/rng.hpp"
@@ -99,13 +104,18 @@ bool identical(const Observed& a, const Observed& b) {
 
 int main(int argc, char** argv) {
   const examples::ArgParser args{
-      argc, argv, "net_server [num_tasks] [connections] [workers] [records]"};
+      argc, argv,
+      "net_server [num_tasks] [connections] [workers] [records] [max_batch]"};
   const std::size_t num_tasks = args.positive(1, 512, "num_tasks");
   const std::size_t connections = args.positive(2, 64, "connections");
   const std::size_t workers = args.positive(3, 4, "workers");
   const std::size_t records = args.positive(4, 64, "records");
+  const std::size_t max_batch = args.positive(5, 1, "max_batch");
 
-  std::cout << "== TCP serving front-end: loopback vs in-process ==\n";
+  std::cout << "== TCP serving front-end: loopback vs in-process ==\n"
+            << (max_batch > 1
+                    ? "batching: max_batch=" + std::to_string(max_batch) + "\n"
+                    : std::string{"batching: off\n"});
 
   const auto et = tiny_et();
   const auto cs = tiny_cs(records);
@@ -131,32 +141,41 @@ int main(int argc, char** argv) {
     stream.emplace_back(stream_rng.uniform_int(cs.size()),
                         stream_rng.uniform(0.2, 1.5 * et.total_ms()));
 
-  const auto make_config = [&] {
+  const auto make_server = [&] {
     serving::ServerConfig config;
     config.queue_capacity = num_tasks;  // no timing-dependent overflow drops
     config.pool.num_workers = workers;
-    return config;
+    if (max_batch > 1)
+      return std::make_unique<serving::EdgeServer>(
+          et, factory, serving::batch::make_solo_batch_runner(runner),
+          serving::batch::BatchAssemblerConfig{.max_batch = max_batch,
+                                               .max_wait_ms = 1.0,
+                                               .bypass_slack_ms =
+                                                   0.3 * et.total_ms()},
+          config);
+    return std::make_unique<serving::EdgeServer>(et, factory, runner, config);
   };
 
   // ---- phase 1: in-process reference through the owned-payload submit ----
   std::vector<Observed> reference(num_tasks);
   {
-    serving::EdgeServer server{et, factory, runner, make_config()};
+    const auto server = make_server();
     for (std::size_t i = 0; i < num_tasks; ++i) {
       const auto& [idx, budget] = stream[i];
       auto rec = std::make_shared<const profiling::CSRecord>(cs.records[idx]);
-      const auto status = server.submit(
+      const auto status = server->submit(
           std::move(rec), budget,
           [&reference, i](const serving::TaskResult& result) {
             reference[i].outcome = result.outcome;  // distinct slot per task
           });
       reference[i].status = status;
     }
-    server.shutdown();  // joins workers: all callbacks happened-before here
+    server->shutdown();  // joins workers: all callbacks happened-before here
   }
 
   // ---- phase 2: the same stream through loopback TCP -------------------
-  serving::EdgeServer edge{et, factory, runner, make_config()};
+  const auto edge_server = make_server();
+  serving::EdgeServer& edge = *edge_server;
   net::TcpServerConfig net_config;
   net_config.max_connections = connections + 8;
   net::EdgeTcpServer tcp{edge, net_config};

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate a MetricsSnapshot::to_json artifact (edge_server_metrics.json,
+bench trajectories). Stdlib only, no third-party deps.
+
+Checks:
+  1. The file parses as JSON with the counters / latency_ms / batch blocks.
+  2. Lifecycle identities: submitted == admitted + shed + rejected, and
+     completed == admitted (artifacts are written after a graceful drain),
+     correct <= valid <= completed.
+  3. Latency dimensions (queue_wait, end_to_end) carry consistent summaries:
+     count matches completed, p50 <= p95 <= p99, min <= mean <= max.
+  4. The batch block is structurally sound: bypassed <= batches, and the
+     size / assembler_wait_ms summaries have count == batches / admitted.
+  5. --require-batching additionally fails unless batches > 0 (the pipeline
+     actually coalesced; used by the batched example smoke runs).
+
+Exit code 0 on success, 1 on any violation (violations are listed).
+"""
+
+import argparse
+import json
+import sys
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_summary(errors, name, s, expect_count=None):
+    if not isinstance(s, dict):
+        errors.append(f"{name}: not a JSON object")
+        return
+    for field in ("count", "mean", "min", "max", "p50", "p95", "p99"):
+        if not is_num(s.get(field)):
+            errors.append(f'{name}: missing or non-numeric "{field}"')
+            return
+    if expect_count is not None and s["count"] != expect_count:
+        errors.append(f"{name}: count {s['count']} != expected {expect_count}")
+    if s["count"] == 0:
+        return
+    if not s["p50"] <= s["p95"] <= s["p99"]:
+        errors.append(
+            f"{name}: percentiles not monotone "
+            f"(p50 {s['p50']}, p95 {s['p95']}, p99 {s['p99']})")
+    if not s["min"] <= s["mean"] <= s["max"]:
+        errors.append(
+            f"{name}: mean {s['mean']} outside [{s['min']}, {s['max']}]")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics_json")
+    parser.add_argument(
+        "--require-batching", action="store_true",
+        help="fail unless the batch block shows batches > 0")
+    args = parser.parse_args()
+
+    errors = []
+    try:
+        with open(args.metrics_json) as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {args.metrics_json}: {e}")
+        return 1
+
+    counters = snap.get("counters")
+    if not isinstance(counters, dict):
+        print("error: missing counters object")
+        return 1
+    for field in ("submitted", "admitted", "shed", "rejected", "completed",
+                  "valid", "correct", "preempted", "batches", "bypassed"):
+        if not is_num(counters.get(field)):
+            errors.append(f'counters: missing or non-numeric "{field}"')
+    if not errors:
+        c = counters
+        if c["submitted"] != c["admitted"] + c["shed"] + c["rejected"]:
+            errors.append(
+                f"lifecycle: submitted {c['submitted']} != admitted "
+                f"{c['admitted']} + shed {c['shed']} + rejected "
+                f"{c['rejected']}")
+        if c["completed"] != c["admitted"]:
+            errors.append(
+                f"lifecycle: completed {c['completed']} != admitted "
+                f"{c['admitted']} (snapshot not post-drain?)")
+        if not c["correct"] <= c["valid"] <= c["completed"]:
+            errors.append(
+                f"lifecycle: correct {c['correct']} <= valid {c['valid']} "
+                f"<= completed {c['completed']} violated")
+
+        latency = snap.get("latency_ms")
+        if not isinstance(latency, dict):
+            errors.append("missing latency_ms object")
+        else:
+            for dim in ("queue_wait", "end_to_end"):
+                check_summary(errors, f"latency_ms.{dim}", latency.get(dim),
+                              expect_count=c["completed"])
+
+        batch = snap.get("batch")
+        if not isinstance(batch, dict):
+            errors.append("missing batch object")
+        else:
+            for field in ("batches", "bypassed"):
+                if not is_num(batch.get(field)):
+                    errors.append(f'batch: missing or non-numeric "{field}"')
+            if is_num(batch.get("batches")) and is_num(batch.get("bypassed")):
+                if batch["bypassed"] > batch["batches"]:
+                    errors.append(
+                        f"batch: bypassed {batch['bypassed']} > batches "
+                        f"{batch['batches']}")
+                if batch["batches"] != c["batches"]:
+                    errors.append(
+                        f"batch: batches {batch['batches']} != counters "
+                        f"{c['batches']}")
+                check_summary(errors, "batch.size", batch.get("size"),
+                              expect_count=batch["batches"])
+                # Every admitted task waited in the assembler exactly once
+                # (only when the batcher ran at all).
+                expect_waits = c["admitted"] if batch["batches"] > 0 else 0
+                check_summary(errors, "batch.assembler_wait_ms",
+                              batch.get("assembler_wait_ms"),
+                              expect_count=expect_waits)
+                if args.require_batching and batch["batches"] == 0:
+                    errors.append(
+                        "batch: batches == 0 but --require-batching was set")
+
+    if errors:
+        print(f"{args.metrics_json}: {len(errors)} violation(s)")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"{args.metrics_json}: OK "
+          f"(completed {counters['completed']}, batches "
+          f"{counters['batches']}, bypassed {counters['bypassed']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

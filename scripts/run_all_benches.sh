@@ -2,10 +2,12 @@
 # Run every reproduction bench in order, teeing the combined output.
 # The glob picks up all built bench binaries, including bench_nn (the GEMM
 # backend vs seed-kernel bench, which also enforces the 1-vs-N-thread
-# bit-identity contract and writes BENCH_nn.json) and bench_net (loopback
+# bit-identity contract and writes BENCH_nn.json), bench_net (loopback
 # TCP round-trip latency + frames/s against a live EdgeTcpServer, failing on
-# any protocol error and writing BENCH_net.json alongside the other
-# BENCH_*.json artifacts in the working directory).
+# any protocol error and writing BENCH_net.json), and bench_serving (batched
+# pipeline throughput vs batch=1 plus the conv GEMM criterion at B=8,
+# writing BENCH_serving.json alongside the other BENCH_*.json artifacts in
+# the working directory).
 # Fails fast: the first bench that exits non-zero aborts the sweep and its
 # name is reported on stderr (with `set -o pipefail` the tee no longer
 # swallows the bench's exit status).

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -273,11 +274,13 @@ void set_gemm_threads(std::size_t n) {
   g_threads.store(std::clamp<std::size_t>(n, 1, kMaxThreads));
 }
 
-void parallel_for(std::size_t n,
+void parallel_for(std::size_t n, std::size_t max_chunks,
                   const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
   const std::size_t nt = gemm_threads();
-  if (nt <= 1 || n == 1 || tl_depth > 0) {
+  const std::size_t chunks =
+      std::min({nt, n, std::max<std::size_t>(max_chunks, 1)});
+  if (chunks <= 1 || tl_depth > 0) {
     body(0, n);
     return;
   }
@@ -290,7 +293,12 @@ void parallel_for(std::size_t n,
     Pool& p;
     ~Release() { p.release(); }
   } release{pool};
-  pool.run(body, n, std::min(nt, n));
+  pool.run(body, n, chunks);
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(n, std::numeric_limits<std::size_t>::max(), body);
 }
 
 void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
@@ -333,8 +341,17 @@ void sgemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
 
   // Row panels are the unit of (deterministic) parallel scheduling: panels
   // write disjoint rows of C, and which thread computes a panel cannot change
-  // its arithmetic.
-  parallel_for(m_panels, [&](std::size_t pb, std::size_t pe) {
+  // its arithmetic. Small products lose more to the fork-join hand-off than
+  // extra cores recover (BENCH_nn: linear train 4t slower than 1t), so the
+  // chunk count is capped at one chunk per kMinFlopsPerChunk of work —
+  // sub-threshold GEMMs run entirely on the calling thread. Parallelism for
+  // small per-sample GEMMs comes from the batch-level parallel_for instead.
+  constexpr double kMinFlopsPerChunk = 64.0e6;
+  const double flops = 2.0 * static_cast<double>(m) *
+                       static_cast<double>(n) * static_cast<double>(k);
+  const auto max_chunks =
+      static_cast<std::size_t>(std::max(1.0, flops / kMinFlopsPerChunk));
+  parallel_for(m_panels, max_chunks, [&](std::size_t pb, std::size_t pe) {
     thread_local std::vector<float> a_pack_tl;
     std::vector<float>& a_pack = a_pack_tl;
     a_pack.resize(kMr * k);

@@ -64,4 +64,12 @@ void set_gemm_threads(std::size_t n);
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body);
 
+/// As parallel_for, but caps the number of chunks at `max_chunks` (clamped to
+/// >= 1). sgemm uses this to keep small problems single-threaded: below a
+/// flops floor the fork-join hand-off costs more than the extra cores buy.
+/// Chunk boundaries never change per-index arithmetic, so any cap preserves
+/// the bit-identity contract.
+void parallel_for(std::size_t n, std::size_t max_chunks,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
 }  // namespace einet::nn

@@ -201,6 +201,66 @@ Tensor Tensor::kaiming(Shape shape, std::size_t fan_in, util::Rng& rng) {
   return normal(std::move(shape), 0.0f, stddev, rng);
 }
 
+namespace {
+
+/// Sample shape of `t` with any leading batch-of-1 dimension stripped, so
+/// (C,H,W) and (1,C,H,W) stack interchangeably.
+Shape sample_shape(const Tensor& t) {
+  Shape s = t.shape();
+  if (s.size() > 1 && s.front() == 1) s.erase(s.begin());
+  return s;
+}
+
+}  // namespace
+
+Tensor stack_rows(std::span<const Tensor* const> samples) {
+  if (samples.empty())
+    throw std::invalid_argument{"stack_rows: no samples"};
+  for (const Tensor* s : samples)
+    if (s == nullptr) throw std::invalid_argument{"stack_rows: null sample"};
+  const Shape base = sample_shape(*samples.front());
+  const std::size_t row_elems = shape_numel(base);
+  Shape out_shape{samples.size()};
+  out_shape.insert(out_shape.end(), base.begin(), base.end());
+  Tensor out{std::move(out_shape)};
+  float* dst = out.raw();
+  for (const Tensor* s : samples) {
+    if (sample_shape(*s) != base)
+      throw std::invalid_argument{"stack_rows: sample shape mismatch: " +
+                                  shape_str(s->shape()) + " vs " +
+                                  shape_str(base)};
+    std::copy(s->raw(), s->raw() + row_elems, dst);
+    dst += row_elems;
+  }
+  return out;
+}
+
+Tensor select_rows(const Tensor& x, std::span<const std::size_t> rows) {
+  if (x.rank() == 0)
+    throw std::invalid_argument{"select_rows: rank-0 tensor"};
+  const std::size_t batch = x.dim(0);
+  const std::size_t row_elems = batch == 0 ? 0 : x.numel() / batch;
+  Shape out_shape = x.shape();
+  out_shape[0] = rows.size();
+  Tensor out{std::move(out_shape)};
+  float* dst = out.raw();
+  for (std::size_t r : rows) {
+    if (r >= batch)
+      throw std::out_of_range{"select_rows: row " + std::to_string(r) +
+                              " out of range for batch " +
+                              std::to_string(batch)};
+    const float* src = x.raw() + r * row_elems;
+    std::copy(src, src + row_elems, dst);
+    dst += row_elems;
+  }
+  return out;
+}
+
+Tensor slice_row(const Tensor& x, std::size_t row) {
+  const std::size_t rows[] = {row};
+  return select_rows(x, rows);
+}
+
 std::size_t span_argmax(std::span<const float> xs) {
   if (xs.empty()) throw std::invalid_argument{"span_argmax: empty span"};
   return static_cast<std::size_t>(

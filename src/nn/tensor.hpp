@@ -123,6 +123,27 @@ class Tensor {
   std::vector<float> data_;
 };
 
+// -- Batch assembly / scatter (the batched inference path) -------------------
+// All three treat dimension 0 as the batch dimension of an N-d tensor and
+// copy whole rows (= one sample's sub-tensor each). They are pure gathers:
+// no arithmetic, so a stacked-then-sliced tensor is bytewise identical to
+// the originals.
+
+/// Stack same-shaped tensors along a new leading batch dimension: inputs of
+/// shape (d1, ..., dk) — or (1, d1, ..., dk), the two are accepted
+/// interchangeably — become one (N, d1, ..., dk) tensor. Throws on an empty
+/// list, null entries, or mismatched sample shapes.
+[[nodiscard]] Tensor stack_rows(std::span<const Tensor* const> samples);
+
+/// Gather `rows` (indices into dimension 0, in the given order, repeats
+/// allowed) into a new (rows.size(), d1, ..., dk) tensor. Throws on rank-0
+/// input or an out-of-range index.
+[[nodiscard]] Tensor select_rows(const Tensor& x,
+                                 std::span<const std::size_t> rows);
+
+/// One sample of a batched tensor as its own (1, d1, ..., dk) tensor.
+[[nodiscard]] Tensor slice_row(const Tensor& x, std::size_t row);
+
 /// argmax over a span (used for predicted class / confidence extraction).
 [[nodiscard]] std::size_t span_argmax(std::span<const float> xs);
 

@@ -1,0 +1,234 @@
+#include "runtime/batched_engine.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+#include "nn/tensor.hpp"
+#include "obs/trace.hpp"
+#include "runtime/kill_policy.hpp"
+
+namespace einet::runtime {
+
+namespace {
+
+/// Per-sample kill policy: the two solo policies behind one dispatch, so the
+/// batched loop reproduces DeadlineKill / TokenKill arithmetic exactly.
+using Kill = std::variant<detail::DeadlineKill, detail::TokenKill>;
+
+bool kill_killed(const Kill& k, double t) {
+  return std::visit([t](const auto& p) { return p.killed(t); }, k);
+}
+double kill_slack(const Kill& k, double t) {
+  return std::visit([t](const auto& p) { return p.slack(t); }, k);
+}
+double kill_outcome_deadline(const Kill& k, double t) {
+  return std::visit([t](const auto& p) { return p.outcome_deadline(t); }, k);
+}
+const char* kill_event(const Kill& k) {
+  return std::holds_alternative<detail::TokenKill>(k)
+             ? detail::TokenKill::kill_event()
+             : detail::DeadlineKill::kill_event();
+}
+
+/// Everything one member carries between blocks. The session is heap-held
+/// because ActivationCacheSession binds to predictor internals and the state
+/// vector reallocates.
+struct SampleState {
+  Kill kill;
+  std::unique_ptr<predictor::ActivationCacheSession> session;
+  core::ExitPlan plan;
+  float last_conf = 0.0f;
+  double t = 0.0;
+  /// Kill observed: the clock froze where the solo engine would have
+  /// returned; the member executes nothing further.
+  bool dead = false;
+  InferenceOutcome out;
+};
+
+}  // namespace
+
+BatchedLiveEngine::BatchedLiveEngine(models::MultiExitNetwork& net,
+                                     const profiling::ETProfile& et,
+                                     predictor::CSPredictor* predictor,
+                                     const ElasticConfig& config)
+    : net_(net),
+      et_(et),
+      predictor_(predictor),
+      config_(config),
+      search_engine_(config.search) {
+  et_.validate();
+  if (et_.num_blocks() != net_.num_exits())
+    throw std::invalid_argument{
+        "BatchedLiveEngine: ET-profile does not match network"};
+  if (predictor_ == nullptr)
+    throw std::invalid_argument{"BatchedLiveEngine: predictor required"};
+  if (predictor_->num_exits() != net_.num_exits())
+    throw std::invalid_argument{
+        "BatchedLiveEngine: predictor exit count mismatch"};
+}
+
+std::vector<InferenceOutcome> BatchedLiveEngine::run_batched(
+    std::span<const BatchItem> items, const core::TimeDistribution& dist) {
+  const std::size_t n = net_.num_exits();
+  const std::size_t batch = items.size();
+  if (batch == 0) return {};
+
+  std::vector<const nn::Tensor*> images;
+  images.reserve(batch);
+  for (const BatchItem& item : items) {
+    if (item.image == nullptr)
+      throw std::invalid_argument{"BatchedLiveEngine: null image"};
+    if (item.image->rank() != 3 &&
+        !(item.image->rank() == 4 && item.image->dim(0) == 1))
+      throw std::invalid_argument{
+          "BatchedLiveEngine: image must be CHW or 1xCHW"};
+    images.push_back(item.image);
+  }
+
+  EINET_SPAN(batch_span, "runtime.batched_run", kRuntime);
+  batch_span.value(static_cast<double>(batch));
+
+  // Per-sample setup mirrors LiveElasticEngine::run_impl exactly: a fresh
+  // predictor session and an initial plan from the all-zeros input.
+  std::vector<SampleState> states(batch);
+  for (std::size_t s = 0; s < batch; ++s) {
+    SampleState& st = states[s];
+    if (items[s].cancel != nullptr)
+      st.kill = detail::TokenKill{items[s].cancel};
+    else
+      st.kill = detail::DeadlineKill{items[s].deadline_ms};
+    st.out.deadline_ms = kill_outcome_deadline(st.kill, 0.0);
+    st.session =
+        std::make_unique<predictor::ActivationCacheSession>(*predictor_);
+    std::vector<float> predicted = st.session->predict(0);
+    if (config_.calibrator != nullptr) config_.calibrator->apply(predicted);
+    core::PlanProblem problem{.conv_ms = et_.conv_ms,
+                              .branch_ms = et_.branch_ms,
+                              .confidence = predicted,
+                              .dist = &dist,
+                              .fixed_prefix = 0,
+                              .base = core::ExitPlan{n}};
+    const auto res = search_engine_.search(problem);
+    st.plan = res.plan;
+    st.out.planner_ms += res.search_ms;
+    ++st.out.searches_run;
+  }
+
+  // `alive[r]` is the sample whose features occupy row r of the stacked
+  // tensor; eviction compacts both in lock-step at block boundaries.
+  nn::Tensor features = nn::stack_rows(images);
+  std::vector<std::size_t> alive(batch);
+  for (std::size_t s = 0; s < batch; ++s) alive[s] = s;
+
+  for (std::size_t i = 0; i < n && !alive.empty(); ++i) {
+    // Advance every member's clock past this conv part and poll its kill —
+    // the same boundary at which the solo engines stop.
+    std::vector<std::size_t> rows;  // surviving rows of `features`
+    std::vector<std::size_t> next;  // surviving sample indices
+    rows.reserve(alive.size());
+    next.reserve(alive.size());
+    for (std::size_t r = 0; r < alive.size(); ++r) {
+      SampleState& st = states[alive[r]];
+      if (st.dead) continue;  // killed before its branch last block
+      st.t += et_.conv_ms[i];
+      if (kill_killed(st.kill, st.t)) {
+        st.dead = true;
+        st.out.deadline_ms = kill_outcome_deadline(st.kill, st.t);
+        EINET_INSTANT(kill_event(st.kill), kRuntime,
+                      .exit_index = static_cast<std::int64_t>(i),
+                      .slack_ms = kill_slack(st.kill, st.t));
+        continue;  // evicted: row dropped by the compaction below
+      }
+      rows.push_back(r);
+      next.push_back(alive[r]);
+    }
+    if (next.empty()) break;
+    if (rows.size() != alive.size())
+      features = nn::select_rows(features, rows);
+    alive = std::move(next);
+
+    {
+      // The tentpole: one conv part over every surviving member at once.
+      EINET_SPAN(conv_span, "runtime.conv", kRuntime);
+      conv_span.exit(static_cast<std::int64_t>(i))
+          .value(static_cast<double>(alive.size()));
+      features = net_.run_conv_part(i, features);
+    }
+
+    for (std::size_t r = 0; r < alive.size(); ++r) {
+      SampleState& st = states[alive[r]];
+      if (!st.plan.executes(i)) {
+        // Skipped exits inherit the nearest previous score in the
+        // predictor's logical input (paper Section IV-C2).
+        st.session->push(i, st.last_conf);
+        continue;
+      }
+      st.t += et_.branch_ms[i];
+      if (kill_killed(st.kill, st.t)) {
+        // Killed between conv and branch: no branch output. The row stays
+        // in `features` until the next boundary's compaction, but the
+        // member is dead — its clock and outcome freeze here, exactly
+        // where the solo engine returns.
+        st.dead = true;
+        st.out.deadline_ms = kill_outcome_deadline(st.kill, st.t);
+        EINET_INSTANT(kill_event(st.kill), kRuntime,
+                      .exit_index = static_cast<std::int64_t>(i),
+                      .slack_ms = kill_slack(st.kill, st.t));
+        continue;
+      }
+      {
+        EINET_SPAN(branch_span, "runtime.branch", kRuntime);
+        branch_span.exit(static_cast<std::int64_t>(i))
+            .slack(kill_slack(st.kill, st.t));
+        const nn::Tensor fslice = nn::slice_row(features, r);
+        const nn::Tensor logits = net_.run_branch(i, fslice);
+        const auto probs = nn::softmax(
+            std::span<const float>{logits.raw(), logits.numel()});
+        const std::size_t pred_class = nn::span_argmax(probs);
+        st.last_conf = probs[pred_class];
+        st.session->push(i, st.last_conf);
+
+        ++st.out.branches_executed;
+        st.out.has_result = true;
+        st.out.exit_index = i;
+        st.out.correct = (pred_class == items[alive[r]].label);
+        st.out.result_time_ms = st.t;
+        branch_span.value(st.out.correct ? 1.0 : 0.0);
+      }
+
+      if (config_.replan_after_each_output && i + 1 < n) {
+        std::vector<float> predicted = st.session->predict(i + 1);
+        if (config_.calibrator != nullptr)
+          config_.calibrator->apply(predicted);
+        core::PlanProblem problem{.conv_ms = et_.conv_ms,
+                                  .branch_ms = et_.branch_ms,
+                                  .confidence = predicted,
+                                  .dist = &dist,
+                                  .fixed_prefix = i + 1,
+                                  .base = st.plan};
+        const auto res = search_engine_.search(problem);
+        st.plan = res.plan;
+        st.out.planner_ms += res.search_ms;
+        ++st.out.searches_run;
+      }
+    }
+  }
+
+  std::vector<InferenceOutcome> outcomes;
+  outcomes.reserve(batch);
+  for (std::size_t s = 0; s < batch; ++s) {
+    SampleState& st = states[s];
+    // Members that ran off the end of the plan completed; the eviction
+    // branches above already stamped the killed members' deadlines.
+    if (!st.dead) {
+      st.out.deadline_ms = kill_outcome_deadline(st.kill, st.t);
+      st.out.completed = true;
+    }
+    outcomes.push_back(st.out);
+  }
+  return outcomes;
+}
+
+}  // namespace einet::runtime

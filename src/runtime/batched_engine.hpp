@@ -1,0 +1,66 @@
+// Batched live elastic inference (DESIGN.md §10): one engine runs a
+// MicroBatch of samples through the shared backbone *together* — each block's
+// conv part executes once over a stacked (B, C, H, W) tensor, exercising the
+// batch-level parallel_for GEMM path — while everything per-sample stays
+// per-sample: exit plans, CS-Predictor sessions, branch evaluations, replans,
+// and the forced-exit clock. Samples whose kill lands mid-batch are evicted
+// at the next block boundary (their rows are compacted out of the stacked
+// tensor); the rest keep going.
+//
+// Determinism contract: per-sample outcomes are bit-identical to running the
+// same (image, label, deadline/token) through LiveElasticEngine solo, for
+// the deterministic search methods (the serving default). This holds because
+// the GEMM backend computes every output row over k in one fixed order
+// regardless of the batch size m, all eval-mode layers are per-sample
+// element-wise or per-sample reductions, and tensor stacking/slicing is a
+// pure byte gather. planner_ms (wall-clock search telemetry) is the one
+// excluded field, as in the 1-vs-N serving contract. tests/test_batch.cpp
+// enforces this bit-for-bit.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "models/multiexit.hpp"
+#include "predictor/activation_cache.hpp"
+#include "runtime/elastic_engine.hpp"
+
+namespace einet::runtime {
+
+/// One member of a batched run. `image` must stay valid for the call; it is
+/// a CHW sample (a leading batch-of-1 dimension is also accepted). When
+/// `cancel` is set the forced exit arrives by polling it at block boundaries
+/// (TokenKill semantics); otherwise `deadline_ms` is the pre-sampled kill
+/// instant (DeadlineKill semantics).
+struct BatchItem {
+  const nn::Tensor* image = nullptr;
+  std::size_t label = 0;
+  double deadline_ms = 0.0;
+  const core::CancelToken* cancel = nullptr;
+};
+
+class BatchedLiveEngine {
+ public:
+  /// Same contract as LiveElasticEngine: `net`, `et` and `predictor` must
+  /// agree on the exit count; the predictor is required (planning input).
+  BatchedLiveEngine(models::MultiExitNetwork& net,
+                    const profiling::ETProfile& et,
+                    predictor::CSPredictor* predictor,
+                    const ElasticConfig& config);
+
+  /// Run every item to its forced exit, sharing each block's conv part over
+  /// one stacked tensor. Returns one outcome per item, in item order.
+  [[nodiscard]] std::vector<InferenceOutcome> run_batched(
+      std::span<const BatchItem> items, const core::TimeDistribution& dist);
+
+  [[nodiscard]] std::size_t num_exits() const { return net_.num_exits(); }
+
+ private:
+  models::MultiExitNetwork& net_;
+  profiling::ETProfile et_;
+  predictor::CSPredictor* predictor_;
+  ElasticConfig config_;
+  core::SearchEngine search_engine_;
+};
+
+}  // namespace einet::runtime

@@ -1,0 +1,134 @@
+#include "serving/batch/assembler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace einet::serving::batch {
+
+BatchAssembler::BatchAssembler(BoundedQueue<Task>& in,
+                               BoundedQueue<MicroBatch>& out,
+                               MetricsRegistry& metrics,
+                               const util::Timer& clock,
+                               BatchAssemblerConfig config,
+                               CompatibilityFn compat)
+    : in_(in),
+      out_(out),
+      metrics_(metrics),
+      clock_(clock),
+      config_(config),
+      compat_(std::move(compat)) {
+  if (config_.max_batch == 0)
+    throw std::invalid_argument{"BatchAssembler: max_batch must be > 0"};
+  if (config_.max_wait_ms < 0.0 || config_.bypass_slack_ms < 0.0)
+    throw std::invalid_argument{"BatchAssembler: negative wait/bypass bound"};
+}
+
+BatchAssembler::~BatchAssembler() {
+  if (thread_.joinable()) {
+    in_.close();
+    join();
+  }
+}
+
+void BatchAssembler::start() {
+  if (thread_.joinable())
+    throw std::logic_error{"BatchAssembler: already started"};
+  thread_ = std::thread{[this] { loop(); }};
+}
+
+void BatchAssembler::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void BatchAssembler::seal(std::uint64_t key, Group& group, bool bypass) {
+  const double now = clock_.elapsed_ms();
+  MicroBatch mb;
+  mb.tasks = std::move(group.tasks);
+  mb.key = key;
+  mb.bypass = bypass;
+  mb.assembled_ms = now;
+  for (double arrival : group.arrival_ms)
+    metrics_.on_assembler_wait(now - arrival);
+  metrics_.on_batch(mb.size(), bypass);
+  EINET_INSTANT("serve.batch_sealed", kServing,
+                .slack_ms = group.arrival_ms.empty()
+                                ? 0.0
+                                : now - group.arrival_ms.front(),
+                .value = static_cast<double>(mb.size()));
+  // The output queue blocks rather than rejects (see the constructor
+  // contract) and is closed only by this thread after the loop exits, so an
+  // admitted task cannot be dropped here.
+  (void)out_.push(std::move(mb));
+  group = Group{};
+}
+
+void BatchAssembler::loop() {
+  std::unordered_map<std::uint64_t, Group> groups;
+  std::size_t pending = 0;  // members across all open groups
+
+  const auto flush_due = [&](double now) {
+    for (auto& [key, group] : groups) {
+      if (group.tasks.empty()) continue;
+      if (now - group.oldest_ms >= config_.max_wait_ms) {
+        pending -= group.tasks.size();
+        seal(key, group, /*bypass=*/false);
+      }
+    }
+  };
+
+  for (;;) {
+    // Sleep until the next oldest-member flush comes due (coarse tick when
+    // nothing is pending so shutdown is always noticed promptly).
+    double wait_ms = config_.max_wait_ms > 0.0 ? config_.max_wait_ms : 1.0;
+    if (pending > 0) {
+      const double now = clock_.elapsed_ms();
+      for (const auto& [key, group] : groups) {
+        if (group.tasks.empty()) continue;
+        wait_ms = std::min(
+            wait_ms, config_.max_wait_ms - (now - group.oldest_ms));
+      }
+    }
+    const auto timeout = std::chrono::milliseconds{
+        std::max<long long>(1, std::llround(std::ceil(wait_ms)))};
+
+    std::optional<Task> task = in_.pop_for(timeout);
+    const double now = clock_.elapsed_ms();
+    if (task.has_value()) {
+      if (config_.bypass_slack_ms > 0.0 &&
+          task->deadline_ms < config_.bypass_slack_ms) {
+        // Slack-poor: run solo right now instead of waiting for company.
+        Group solo;
+        solo.arrival_ms.push_back(now);
+        const std::uint64_t key = compat_ ? compat_(*task) : 0;
+        solo.tasks.push_back(std::move(*task));
+        seal(key, solo, /*bypass=*/true);
+      } else {
+        const std::uint64_t key = compat_ ? compat_(*task) : 0;
+        Group& group = groups[key];
+        if (group.tasks.empty()) group.oldest_ms = now;
+        group.arrival_ms.push_back(now);
+        group.tasks.push_back(std::move(*task));
+        ++pending;
+        if (group.tasks.size() >= config_.max_batch) {
+          pending -= group.tasks.size();
+          seal(key, group, /*bypass=*/false);
+        }
+      }
+    } else if (in_.closed() && in_.size() == 0) {
+      // Terminal: flush every open group and hand the pool its end-of-input.
+      for (auto& [key, group] : groups)
+        if (!group.tasks.empty()) seal(key, group, /*bypass=*/false);
+      out_.close();
+      return;
+    }
+    flush_due(clock_.elapsed_ms());
+  }
+}
+
+}  // namespace einet::serving::batch

@@ -1,0 +1,95 @@
+// BatchAssembler — deadline-aware cross-request coalescing (DESIGN.md §10).
+//
+// Sits between admission and the worker pool: drains the admitted Task queue
+// and groups tasks whose exit plans share a backbone-block prefix into
+// MicroBatches. Under EINet every task's *initial* plan is computed from the
+// all-zeros predictor input, so all tasks of one model share the entire
+// backbone — the default compatibility key is therefore a single bucket, and
+// the CompatibilityFn hook exists for deployments that shard it (model
+// variants, plan-prefix buckets, tenant isolation). Tasks with different
+// keys never share a batch.
+//
+// A batch seals when it reaches `max_batch`, or when its oldest member has
+// waited `max_wait_ms` (so coalescing never adds unbounded latency). Tasks
+// whose whole deadline budget is below `bypass_slack_ms` skip coalescing
+// entirely: they are sealed into a solo bypass batch immediately, because a
+// slack-poor task cannot afford to wait for company.
+//
+// Threading: one assembler thread owns all grouping state; the in/out queues
+// and the metrics registry are the only shared structures (all internally
+// synchronised — ThreadSanitizer-clean). Batch *composition* depends on wall
+// timing and is not reproducible run to run; per-task outcomes are computed
+// from (payload, deadline) alone and stay timing-independent — the serving
+// determinism contract batched mode inherits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "serving/batch/micro_batch.hpp"
+#include "serving/metrics.hpp"
+#include "serving/task_queue.hpp"
+#include "util/timer.hpp"
+
+namespace einet::serving::batch {
+
+/// Maps a task to its coalescing bucket; tasks with equal keys may share a
+/// MicroBatch. Called on the assembler thread only.
+using CompatibilityFn = std::function<std::uint64_t(const Task&)>;
+
+struct BatchAssemblerConfig {
+  /// Seal a batch at this many members (>= 1; 1 degenerates to solo batches).
+  std::size_t max_batch = 8;
+  /// Seal when the oldest member has waited this long (wall-clock ms).
+  double max_wait_ms = 2.0;
+  /// Tasks with deadline_ms below this bypass coalescing and run solo
+  /// immediately (0 disables the bypass path).
+  double bypass_slack_ms = 0.0;
+};
+
+class BatchAssembler {
+ public:
+  /// `in`, `out`, `metrics` and `clock` must outlive the assembler. `out`
+  /// should use OverflowPolicy::kBlock — every task in `in` was admitted,
+  /// and a rejecting batch queue would silently drop admitted work (the
+  /// lifecycle identity admitted == completed would break).
+  BatchAssembler(BoundedQueue<Task>& in, BoundedQueue<MicroBatch>& out,
+                 MetricsRegistry& metrics, const util::Timer& clock,
+                 BatchAssemblerConfig config, CompatibilityFn compat = {});
+  ~BatchAssembler();
+
+  BatchAssembler(const BatchAssembler&) = delete;
+  BatchAssembler& operator=(const BatchAssembler&) = delete;
+
+  /// Launch the assembler thread.
+  void start();
+
+  /// Wait for the assembler to drain. Returns only after the input queue has
+  /// been closed and drained; every pending group is flushed and the output
+  /// queue is closed before the thread exits — close the input first.
+  void join();
+
+  [[nodiscard]] bool started() const { return thread_.joinable(); }
+  [[nodiscard]] const BatchAssemblerConfig& config() const { return config_; }
+
+ private:
+  struct Group {
+    std::vector<Task> tasks;
+    std::vector<double> arrival_ms;  // per member, assembler-arrival stamp
+    double oldest_ms = 0.0;
+  };
+
+  void loop();
+  void seal(std::uint64_t key, Group& group, bool bypass);
+
+  BoundedQueue<Task>& in_;
+  BoundedQueue<MicroBatch>& out_;
+  MetricsRegistry& metrics_;
+  const util::Timer& clock_;
+  BatchAssemblerConfig config_;
+  CompatibilityFn compat_;
+  std::thread thread_;
+};
+
+}  // namespace einet::serving::batch

@@ -1,0 +1,41 @@
+// MicroBatch — the unit of work flowing from the BatchAssembler to the
+// worker pool in batched serving (DESIGN.md §10). A micro-batch owns its
+// member Tasks (moved out of the admission queue) plus the assembly
+// bookkeeping the metrics layer reports: whether the batch bypassed
+// coalescing (slack-poor member ran solo) and how long each member waited in
+// the assembler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/elastic_engine.hpp"
+#include "serving/task.hpp"
+#include "util/rng.hpp"
+
+namespace einet::serving::batch {
+
+struct MicroBatch {
+  std::vector<Task> tasks;
+  /// Compatibility key the members share (see BatchAssembler::CompatibilityFn).
+  std::uint64_t key = 0;
+  /// True when the batch was emitted immediately for a slack-poor task
+  /// instead of waiting to coalesce (always size 1 then).
+  bool bypass = false;
+  /// Wall-clock instant (server epoch ms) the assembler sealed the batch.
+  double assembled_ms = 0.0;
+
+  [[nodiscard]] std::size_t size() const { return tasks.size(); }
+};
+
+/// Strategy hook mirroring TaskRunner for batched execution: run every
+/// member of the micro-batch on the worker's engine replica and return one
+/// outcome per member, in member order (the pool pairs them back up with the
+/// tasks for metrics/callbacks/injector journaling). Returning a wrong-sized
+/// vector is a runner bug; the pool treats missing outcomes as failed tasks.
+using MicroBatchRunner = std::function<std::vector<runtime::InferenceOutcome>(
+    runtime::ElasticEngine&, const MicroBatch&, std::size_t worker_id,
+    util::Rng&)>;
+
+}  // namespace einet::serving::batch

@@ -1,0 +1,22 @@
+#include "serving/batch/runner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace einet::serving::batch {
+
+MicroBatchRunner make_solo_batch_runner(TaskRunner runner) {
+  if (!runner)
+    throw std::invalid_argument{"make_solo_batch_runner: null runner"};
+  return [runner = std::move(runner)](
+             runtime::ElasticEngine& engine, const MicroBatch& mb,
+             std::size_t /*worker_id*/, util::Rng& rng) {
+    std::vector<runtime::InferenceOutcome> outcomes;
+    outcomes.reserve(mb.size());
+    for (const Task& task : mb.tasks)
+      outcomes.push_back(runner(engine, task, rng));
+    return outcomes;
+  };
+}
+
+}  // namespace einet::serving::batch

@@ -1,0 +1,23 @@
+// MicroBatchRunner factories (DESIGN.md §10).
+//
+// make_solo_batch_runner adapts any per-task TaskRunner to the batched
+// pipeline: members execute sequentially through the solo runner, so replay
+// strategies (and anything else already expressed as a TaskRunner) gain the
+// assembler's scheduling without changing a single outcome — each task's
+// result stays the pure function of (payload, deadline) the determinism
+// contract requires. The real batched-forward path is built by binding a
+// runtime::BatchedLiveEngine into a MicroBatchRunner (see
+// bench/bench_serving.cpp and tests/test_batch.cpp); it shares backbone
+// conv parts across members and is bit-identical per member too.
+#pragma once
+
+#include "serving/batch/micro_batch.hpp"
+#include "serving/worker_pool.hpp"
+
+namespace einet::serving::batch {
+
+/// Wrap a per-task runner: members run one after another on the worker's
+/// engine replica. Outcomes are returned in member order.
+[[nodiscard]] MicroBatchRunner make_solo_batch_runner(TaskRunner runner);
+
+}  // namespace einet::serving::batch

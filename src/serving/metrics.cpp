@@ -42,6 +42,17 @@ std::string MetricsSnapshot::to_string() const {
   row("queue wait", queue_wait);
   row("end-to-end", end_to_end);
   out << lat.str();
+
+  if (batches > 0) {
+    util::Table bt{{"batching", "batches", "bypassed", "mean size", "p95 size",
+                    "wait p50 ms", "wait p95 ms"}};
+    bt.add_row({"assembler", std::to_string(batches), std::to_string(bypassed),
+                util::Table::num(batch_size.stats.mean(), 2),
+                util::Table::num(batch_size.p95_ms, 1),
+                util::Table::num(assembler_wait.p50_ms, 3),
+                util::Table::num(assembler_wait.p95_ms, 3)});
+    out << bt.str();
+  }
   return out.str();
 }
 
@@ -59,6 +70,8 @@ std::string MetricsSnapshot::to_json() const {
   json.kv("valid", valid);
   json.kv("correct", correct);
   json.kv("preempted", preempted);
+  json.kv("batches", batches);
+  json.kv("bypassed", bypassed);
   json.end_object();
   json.kv("valid_rate", valid_rate());
   json.kv("accuracy", accuracy());
@@ -83,6 +96,13 @@ std::string MetricsSnapshot::to_json() const {
   dimension("queue_wait", queue_wait);
   dimension("end_to_end", end_to_end);
   json.end_object();
+  json.key("batch");
+  json.begin_object();
+  json.kv("batches", batches);
+  json.kv("bypassed", bypassed);
+  dimension("size", batch_size);
+  dimension("assembler_wait_ms", assembler_wait);
+  json.end_object();
   json.end_object();
   return out.str();
 }
@@ -90,7 +110,12 @@ std::string MetricsSnapshot::to_json() const {
 MetricsRegistry::MetricsRegistry(MetricsConfig config)
     : config_(config),
       queue_wait_(config_, /*seed=*/0x9E37C0DE),
-      end_to_end_(config_, /*seed=*/0xE2E5EED5) {}
+      end_to_end_(config_, /*seed=*/0xE2E5EED5),
+      // Batch sizes are small integers: a unit-width bin per size up to 64
+      // makes the histogram the exact size distribution.
+      batch_size_(/*hist_hi=*/64.0, /*bins=*/64, config_.latency_reservoir,
+                  /*seed=*/0xBA7C4512),
+      assembler_wait_(config_, /*seed=*/0xA55E3B1E) {}
 
 void MetricsRegistry::on_completed(const TaskResult& result) {
   completed_.fetch_add(1, std::memory_order_relaxed);
@@ -103,6 +128,18 @@ void MetricsRegistry::on_completed(const TaskResult& result) {
   std::lock_guard lock{latency_mu_};
   queue_wait_.add(result.queue_wait_ms);
   end_to_end_.add(result.end_to_end_ms);
+}
+
+void MetricsRegistry::on_batch(std::size_t size, bool bypass) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (bypass) bypassed_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock{latency_mu_};
+  batch_size_.add(static_cast<double>(size));
+}
+
+void MetricsRegistry::on_assembler_wait(double wait_ms) {
+  std::lock_guard lock{latency_mu_};
+  assembler_wait_.add(wait_ms);
 }
 
 LatencySummary MetricsRegistry::summarize(
@@ -128,9 +165,13 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.valid = valid_.load(std::memory_order_relaxed);
   snap.correct = correct_.load(std::memory_order_relaxed);
   snap.preempted = preempted_.load(std::memory_order_relaxed);
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.bypassed = bypassed_.load(std::memory_order_relaxed);
   std::lock_guard lock{latency_mu_};
   snap.queue_wait = summarize(queue_wait_);
   snap.end_to_end = summarize(end_to_end_);
+  snap.batch_size = summarize(batch_size_);
+  snap.assembler_wait = summarize(assembler_wait_);
   return snap;
 }
 

@@ -60,6 +60,10 @@ struct MetricsSnapshot {
   /// Completed tasks that a scenario kill cut short (subset of completed;
   /// 0 unless a PreemptionInjector is attached to the pool).
   std::uint64_t preempted = 0;
+  /// Micro-batches sealed by the BatchAssembler (0 in unbatched serving).
+  std::uint64_t batches = 0;
+  /// Batches emitted through the deadline bypass (solo, subset of batches).
+  std::uint64_t bypassed = 0;
 
   /// valid / completed (0 when nothing completed).
   [[nodiscard]] double valid_rate() const;
@@ -68,6 +72,13 @@ struct MetricsSnapshot {
 
   LatencySummary queue_wait;
   LatencySummary end_to_end;
+  /// Members per sealed micro-batch (dimensionless; empty in unbatched
+  /// serving). The underlying histogram makes the batch-size distribution
+  /// part of the snapshot, not just its moments.
+  LatencySummary batch_size;
+  /// Wall-clock ms each member spent in the assembler before its batch
+  /// sealed (bypass members report ~0).
+  LatencySummary assembler_wait;
 
   /// Human-readable dump (counter table + latency rows).
   [[nodiscard]] std::string to_string() const;
@@ -88,6 +99,11 @@ class MetricsRegistry {
   /// Record a finished task (counters + latency accumulators).
   void on_completed(const TaskResult& result);
 
+  /// Record one sealed micro-batch (BatchAssembler only).
+  void on_batch(std::size_t size, bool bypass);
+  /// Record one member's wall-clock wait inside the assembler.
+  void on_assembler_wait(double wait_ms);
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
@@ -100,6 +116,8 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> valid_{0};
   std::atomic<std::uint64_t> correct_{0};
   std::atomic<std::uint64_t> preempted_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> bypassed_{0};
 
   struct LatencyTrack {
     util::RunningStats stats;
@@ -111,6 +129,9 @@ class MetricsRegistry {
     LatencyTrack(const MetricsConfig& c, std::uint64_t seed)
         : hist(0.0, c.latency_hist_hi_ms, c.latency_hist_bins),
           reservoir(c.latency_reservoir, seed) {}
+    LatencyTrack(double hist_hi, std::size_t bins, std::size_t cap,
+                 std::uint64_t seed)
+        : hist(0.0, hist_hi, bins), reservoir(cap, seed) {}
     void add(double x) {
       stats.add(x);
       hist.add(x);
@@ -122,6 +143,8 @@ class MetricsRegistry {
   mutable std::mutex latency_mu_;
   LatencyTrack queue_wait_;
   LatencyTrack end_to_end_;
+  LatencyTrack batch_size_;
+  LatencyTrack assembler_wait_;
 };
 
 }  // namespace einet::serving

@@ -13,9 +13,29 @@ EdgeServer::EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
     : metrics_(config.metrics),
       admission_(et, config.admission),
       queue_(config.queue_capacity, config.overflow),
-      pool_(queue_, metrics_, clock_, std::move(factory), std::move(runner),
-            config.pool) {
-  pool_.start();
+      pool_(std::make_unique<WorkerPool>(queue_, metrics_, clock_,
+                                         std::move(factory), std::move(runner),
+                                         config.pool)) {
+  pool_->start();
+}
+
+EdgeServer::EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
+                       batch::MicroBatchRunner runner,
+                       batch::BatchAssemblerConfig batching,
+                       ServerConfig config, batch::CompatibilityFn compat)
+    : metrics_(config.metrics),
+      admission_(et, config.admission),
+      queue_(config.queue_capacity, config.overflow),
+      batch_queue_(std::make_unique<BoundedQueue<batch::MicroBatch>>(
+          config.queue_capacity, OverflowPolicy::kBlock)),
+      assembler_(std::make_unique<batch::BatchAssembler>(
+          queue_, *batch_queue_, metrics_, clock_, batching,
+          std::move(compat))),
+      pool_(std::make_unique<WorkerPool>(*batch_queue_, metrics_, clock_,
+                                         std::move(factory), std::move(runner),
+                                         config.pool)) {
+  pool_->start();
+  assembler_->start();
 }
 
 EdgeServer::~EdgeServer() { shutdown(); }
@@ -36,6 +56,19 @@ SubmitStatus EdgeServer::submit(
   Task task;
   task.record = record.get();
   task.owned_record = std::move(record);
+  task.deadline_ms = deadline_ms;
+  task.on_complete = std::move(on_complete);
+  return enqueue(std::move(task));
+}
+
+SubmitStatus EdgeServer::submit_live(std::shared_ptr<const nn::Tensor> image,
+                                     std::size_t label, double deadline_ms,
+                                     CompletionCallback on_complete) {
+  if (image == nullptr)
+    throw std::invalid_argument{"EdgeServer::submit_live: null image"};
+  Task task;
+  task.image = std::move(image);
+  task.label = label;
   task.deadline_ms = deadline_ms;
   task.on_complete = std::move(on_complete);
   return enqueue(std::move(task));
@@ -76,11 +109,17 @@ SubmitStatus EdgeServer::enqueue(Task task) {
 
 void EdgeServer::shutdown() {
   if (shut_down_.exchange(true)) {
-    pool_.join();  // idempotent; a concurrent first call may still be joining
+    // Idempotent; a concurrent first call may still be joining.
+    if (assembler_ != nullptr) assembler_->join();
+    pool_->join();
     return;
   }
   queue_.close();
-  pool_.join();
+  // Batched mode: the assembler drains the closed task queue, flushes every
+  // open group and closes the MicroBatch queue, which in turn drains the
+  // pool — strictly upstream-to-downstream.
+  if (assembler_ != nullptr) assembler_->join();
+  pool_->join();
 }
 
 }  // namespace einet::serving

@@ -4,18 +4,26 @@
 //        │            │ shed                │ reject      │        │
 //        └────────────┴─────────────────────┴──> MetricsRegistry <─┘
 //
-// Producers call submit() with a replay record and a sampled preemption
-// budget; infeasible tasks are shed up front, feasible ones are queued
-// (rejected on overflow under OverflowPolicy::kReject) and executed by the
-// worker pool. shutdown() closes the queue and joins the workers, draining
-// every accepted task — after it returns, metrics satisfy
+// Batched mode (DESIGN.md §10) inserts the BatchAssembler between the task
+// queue and the pool:
+//
+//   ... TaskQueue ──> BatchAssembler ──> MicroBatch queue ──> WorkerPool
+//
+// Producers call submit() with a replay record (or submit_live() with a raw
+// image) and a sampled preemption budget; infeasible tasks are shed up
+// front, feasible ones are queued (rejected on overflow under
+// OverflowPolicy::kReject) and executed by the worker pool. shutdown()
+// closes the queue, drains the assembler (batched mode) and joins the
+// workers, draining every accepted task — after it returns, metrics satisfy
 // admitted == completed.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "serving/admission.hpp"
+#include "serving/batch/assembler.hpp"
 #include "serving/metrics.hpp"
 #include "serving/task_queue.hpp"
 #include "serving/worker_pool.hpp"
@@ -25,7 +33,10 @@ namespace einet::serving {
 struct ServerConfig {
   std::size_t queue_capacity = 256;
   /// kReject sheds load on overflow (open-loop serving, the default);
-  /// kBlock applies backpressure to the producer instead.
+  /// kBlock applies backpressure to the producer instead. Applies to the
+  /// admission queue only — the batched constructor's MicroBatch queue is
+  /// always kBlock (its members were already admitted; dropping them would
+  /// break admitted == completed).
   OverflowPolicy overflow = OverflowPolicy::kReject;
   AdmissionConfig admission;
   WorkerPoolConfig pool;
@@ -43,6 +54,14 @@ class EdgeServer {
  public:
   EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
              TaskRunner runner, ServerConfig config = {});
+
+  /// Batched mode: admitted tasks flow through a BatchAssembler that
+  /// coalesces them into MicroBatches before the pool executes them via
+  /// `runner`. Admission, metrics and shutdown semantics are unchanged.
+  EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
+             batch::MicroBatchRunner runner,
+             batch::BatchAssemblerConfig batching, ServerConfig config = {},
+             batch::CompatibilityFn compat = {});
   ~EdgeServer();
 
   EdgeServer(const EdgeServer&) = delete;
@@ -61,8 +80,16 @@ class EdgeServer {
                       double deadline_ms,
                       CompletionCallback on_complete = nullptr);
 
-  /// Close the queue and join the workers (idempotent). Every task accepted
-  /// before the call is executed.
+  /// Offer one live task: a raw input image (rank 3, or rank 4 with a
+  /// leading batch-of-1 dim) the runner pushes through a real network —
+  /// typically a BatchedLiveEngine in batched mode. The task shares
+  /// ownership of the image until it completes.
+  SubmitStatus submit_live(std::shared_ptr<const nn::Tensor> image,
+                           std::size_t label, double deadline_ms,
+                           CompletionCallback on_complete = nullptr);
+
+  /// Close the queue, drain the assembler (batched mode) and join the
+  /// workers (idempotent). Every task accepted before the call is executed.
   void shutdown();
 
   [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
@@ -71,13 +98,14 @@ class EdgeServer {
   }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] std::size_t num_workers() const {
-    return pool_.num_workers();
+    return pool_->num_workers();
   }
+  [[nodiscard]] bool batched() const { return assembler_ != nullptr; }
   /// Wall-clock ms since server construction (the latency epoch).
   [[nodiscard]] double uptime_ms() const { return clock_.elapsed_ms(); }
 
  private:
-  /// Shared admission + queueing tail of both submit overloads. `task` must
+  /// Shared admission + queueing tail of all submit overloads. `task` must
   /// have its payload fields set; id/submit stamps are assigned here.
   SubmitStatus enqueue(Task task);
 
@@ -85,7 +113,11 @@ class EdgeServer {
   MetricsRegistry metrics_;
   AdmissionController admission_;
   BoundedQueue<Task> queue_;
-  WorkerPool pool_;
+  /// Batched mode only: assembler output queue (kBlock) + the assembler
+  /// itself. Declared before the pool so workers outlive neither.
+  std::unique_ptr<BoundedQueue<batch::MicroBatch>> batch_queue_;
+  std::unique_ptr<batch::BatchAssembler> assembler_;
+  std::unique_ptr<WorkerPool> pool_;
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<bool> shut_down_{false};
 };

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/cancel_token.hpp"
+#include "nn/tensor.hpp"
 #include "profiling/profiles.hpp"
 #include "runtime/elastic_engine.hpp"
 
@@ -45,6 +46,11 @@ struct Task {
   /// Set when the task owns its payload (network requests): keeps `record`
   /// alive for the task's whole lifetime.
   std::shared_ptr<const profiling::CSRecord> owned_record;
+  /// Live payload (batched serving): the input image a BatchedLiveEngine
+  /// runner stacks into a MicroBatch, plus its label for the correctness
+  /// bit. Replay tasks leave `image` null and carry `record` instead.
+  std::shared_ptr<const nn::Tensor> image;
+  std::size_t label = 0;
   /// Simulated time budget until the unpredictable forced exit.
   double deadline_ms = 0.0;
   /// Wall-clock submit instant (ms since server start), for queue-wait.

@@ -9,6 +9,7 @@
 // so a graceful shutdown never drops accepted work.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -66,6 +67,22 @@ class BoundedQueue {
     std::unique_lock lock{mu_};
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Dequeue with a bounded wait (the batch assembler's flush tick). Returns
+  /// nullopt when `timeout` elapses with the queue still empty *or* once the
+  /// queue is closed and drained — a caller distinguishing the two should
+  /// check `closed() && size() == 0`, which is terminal once true.
+  std::optional<T> pop_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock{mu_};
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // timed out, or closed+drained
     T item = std::move(items_.front());
     items_.pop_front();
     lock.unlock();

@@ -12,7 +12,7 @@ namespace einet::serving {
 WorkerPool::WorkerPool(BoundedQueue<Task>& queue, MetricsRegistry& metrics,
                        const util::Timer& clock, EngineFactory factory,
                        TaskRunner runner, WorkerPoolConfig config)
-    : queue_(queue),
+    : queue_(&queue),
       metrics_(metrics),
       clock_(clock),
       factory_(std::move(factory)),
@@ -24,9 +24,26 @@ WorkerPool::WorkerPool(BoundedQueue<Task>& queue, MetricsRegistry& metrics,
     throw std::invalid_argument{"WorkerPool: factory and runner required"};
 }
 
+WorkerPool::WorkerPool(BoundedQueue<batch::MicroBatch>& batch_queue,
+                       MetricsRegistry& metrics, const util::Timer& clock,
+                       EngineFactory factory, batch::MicroBatchRunner runner,
+                       WorkerPoolConfig config)
+    : batch_queue_(&batch_queue),
+      metrics_(metrics),
+      clock_(clock),
+      factory_(std::move(factory)),
+      batch_runner_(std::move(runner)),
+      config_(config) {
+  if (config_.num_workers == 0)
+    throw std::invalid_argument{"WorkerPool: num_workers must be > 0"};
+  if (!factory_ || !batch_runner_)
+    throw std::invalid_argument{"WorkerPool: factory and runner required"};
+}
+
 WorkerPool::~WorkerPool() {
   if (!threads_.empty()) {
-    queue_.close();
+    if (queue_ != nullptr) queue_->close();
+    if (batch_queue_ != nullptr) batch_queue_->close();
     join();
   }
 }
@@ -44,7 +61,9 @@ void WorkerPool::start() {
   }
   threads_.reserve(config_.num_workers);
   for (std::size_t w = 0; w < config_.num_workers; ++w)
-    threads_.emplace_back([this, w] { worker_loop(w); });
+    threads_.emplace_back([this, w] {
+      batch_queue_ != nullptr ? worker_batch_loop(w) : worker_loop(w);
+    });
 }
 
 void WorkerPool::join() {
@@ -52,33 +71,61 @@ void WorkerPool::join() {
     if (t.joinable()) t.join();
 }
 
+void WorkerPool::begin_task(Task& task, TaskResult& result,
+                            std::size_t worker_id) {
+  result.id = task.id;
+  result.worker_id = worker_id;
+  result.queue_wait_ms = clock_.elapsed_ms() - task.submit_ms;
+  const auto task_id = static_cast<std::int64_t>(task.id);
+  // Render the queue wait (admission queue + any assembler dwell) as a span
+  // that started at the submit instant.
+  auto& tracer = obs::Tracer::instance();
+  if (tracer.enabled()) {
+    const double wait_us = result.queue_wait_ms * 1000.0;
+    obs::async_complete("serve.queue_wait", obs::Category::kServing,
+                        tracer.now_us() - wait_us, wait_us,
+                        obs::Args{.task_id = task_id,
+                                  .slack_ms = task.deadline_ms});
+  }
+  if (config_.injector != nullptr) {
+    task.cancel = std::make_shared<core::CancelToken>();
+    config_.injector->subscribe(task.id, task.cancel);
+  }
+}
+
+void WorkerPool::finish_task(Task& task, TaskResult& result) {
+  if (config_.injector != nullptr) {
+    // Journal even a failed task: subscribe/complete must stay paired so
+    // the ledger covers every admitted task exactly once.
+    config_.injector->complete(task.id, result.outcome);
+    result.preempted = !result.outcome.completed;
+  }
+  result.end_to_end_ms = clock_.elapsed_ms() - task.submit_ms;
+  EINET_INSTANT(
+      "serve.complete", kServing,
+      .task_id = static_cast<std::int64_t>(task.id),
+      .exit_index = result.outcome.has_result
+                        ? static_cast<std::int64_t>(result.outcome.exit_index)
+                        : obs::kNoArg,
+      .slack_ms = task.deadline_ms - result.outcome.result_time_ms,
+      .value =
+          result.outcome.has_result && result.outcome.correct ? 1.0 : 0.0);
+  metrics_.on_completed(result);
+  // Push-style delivery (the net front-end's response path): fires after
+  // the metrics so a callback observing a snapshot sees its own task.
+  if (task.on_complete) task.on_complete(result);
+}
+
 void WorkerPool::worker_loop(std::size_t worker_id) {
   auto& engine = *engines_[worker_id];
   auto& rng = rngs_[worker_id];
-  while (auto task = queue_.pop()) {
+  while (auto task = queue_->pop()) {
     TaskResult result;
-    result.id = task->id;
-    result.worker_id = worker_id;
-    result.queue_wait_ms = clock_.elapsed_ms() - task->submit_ms;
     const auto task_id = static_cast<std::int64_t>(task->id);
     // Attribute every span emitted during execution (runtime blocks, planner
-    // searches, predictor queries) to this task, and render the queue wait
-    // as a span that started at the submit instant.
+    // searches, predictor queries) to this task.
     obs::TaskScope task_scope{task_id};
-    {
-      auto& tracer = obs::Tracer::instance();
-      if (tracer.enabled()) {
-        const double wait_us = result.queue_wait_ms * 1000.0;
-        obs::async_complete("serve.queue_wait", obs::Category::kServing,
-                            tracer.now_us() - wait_us, wait_us,
-                            obs::Args{.task_id = task_id,
-                                      .slack_ms = task->deadline_ms});
-      }
-    }
-    if (config_.injector != nullptr) {
-      task->cancel = std::make_shared<core::CancelToken>();
-      config_.injector->subscribe(task->id, task->cancel);
-    }
+    begin_task(*task, result, worker_id);
     {
       EINET_SPAN(exec_span, "serve.execute", kServing);
       exec_span.task(task_id).slack(task->deadline_ms).value(
@@ -93,25 +140,45 @@ void WorkerPool::worker_loop(std::size_t worker_id) {
         result.outcome = runtime::InferenceOutcome{};
       }
     }
-    if (config_.injector != nullptr) {
-      // Journal even a failed task: subscribe/complete must stay paired so
-      // the ledger covers every admitted task exactly once.
-      config_.injector->complete(task->id, result.outcome);
-      result.preempted = !result.outcome.completed;
+    finish_task(*task, result);
+  }
+}
+
+void WorkerPool::worker_batch_loop(std::size_t worker_id) {
+  auto& engine = *engines_[worker_id];
+  auto& rng = rngs_[worker_id];
+  while (auto mb = batch_queue_->pop()) {
+    const std::size_t members = mb->size();
+    std::vector<TaskResult> results(members);
+    for (std::size_t i = 0; i < members; ++i)
+      begin_task(mb->tasks[i], results[i], worker_id);
+    std::vector<runtime::InferenceOutcome> outcomes;
+    {
+      EINET_SPAN(batch_span, "serve.batch", kServing);
+      batch_span.value(static_cast<double>(members))
+          .task(members > 0 ? static_cast<std::int64_t>(mb->tasks[0].id)
+                            : obs::kNoArg);
+      for (const Task& task : mb->tasks)
+        EINET_INSTANT("serve.batch_member", kServing,
+                      .task_id = static_cast<std::int64_t>(task.id),
+                      .slack_ms = task.deadline_ms,
+                      .value = static_cast<double>(members));
+      try {
+        outcomes = batch_runner_(engine, *mb, worker_id, rng);
+      } catch (const std::exception& e) {
+        EINET_LOG(Warn) << "worker " << worker_id << ": batch of " << members
+                        << " failed: " << e.what();
+        outcomes.clear();
+      }
     }
-    result.end_to_end_ms = clock_.elapsed_ms() - task->submit_ms;
-    EINET_INSTANT(
-        "serve.complete", kServing, .task_id = task_id,
-        .exit_index = result.outcome.has_result
-                          ? static_cast<std::int64_t>(result.outcome.exit_index)
-                          : obs::kNoArg,
-        .slack_ms = task->deadline_ms - result.outcome.result_time_ms,
-        .value = result.outcome.has_result && result.outcome.correct ? 1.0
-                                                                     : 0.0);
-    metrics_.on_completed(result);
-    // Push-style delivery (the net front-end's response path): fires after
-    // the metrics so a callback observing a snapshot sees its own task.
-    if (task->on_complete) task->on_complete(result);
+    // A short (or failed) outcome vector leaves the tail members with empty
+    // outcomes — they still complete, keeping admitted == completed.
+    outcomes.resize(members);
+    for (std::size_t i = 0; i < members; ++i) {
+      results[i].outcome = outcomes[i];
+      obs::TaskScope member_scope{static_cast<std::int64_t>(mb->tasks[i].id)};
+      finish_task(mb->tasks[i], results[i]);
+    }
   }
 }
 

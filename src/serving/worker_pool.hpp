@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "runtime/elastic_engine.hpp"
+#include "serving/batch/micro_batch.hpp"
 #include "serving/metrics.hpp"
 #include "serving/task.hpp"
 #include "serving/task_queue.hpp"
@@ -59,6 +60,16 @@ class WorkerPool {
   WorkerPool(BoundedQueue<Task>& queue, MetricsRegistry& metrics,
              const util::Timer& clock, EngineFactory factory,
              TaskRunner runner, WorkerPoolConfig config);
+
+  /// Batched mode: workers drain sealed MicroBatches from the assembler's
+  /// output queue and execute them through `runner`. Per-member bookkeeping
+  /// (queue-wait stamps, injector subscribe/complete pairing, metrics,
+  /// completion callbacks) is identical to the per-task loop, so the
+  /// lifecycle invariants hold unchanged.
+  WorkerPool(BoundedQueue<batch::MicroBatch>& batch_queue,
+             MetricsRegistry& metrics, const util::Timer& clock,
+             EngineFactory factory, batch::MicroBatchRunner runner,
+             WorkerPoolConfig config);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -76,12 +87,21 @@ class WorkerPool {
 
  private:
   void worker_loop(std::size_t worker_id);
+  void worker_batch_loop(std::size_t worker_id);
+  /// Shared per-member bookkeeping head: stamps queue wait, renders it as an
+  /// async span and (when configured) subscribes the task to the injector.
+  void begin_task(Task& task, TaskResult& result, std::size_t worker_id);
+  /// Shared per-member bookkeeping tail: injector journaling, completion
+  /// instant, metrics and the push-style callback.
+  void finish_task(Task& task, TaskResult& result);
 
-  BoundedQueue<Task>& queue_;
+  BoundedQueue<Task>* queue_ = nullptr;                    // solo mode
+  BoundedQueue<batch::MicroBatch>* batch_queue_ = nullptr;  // batched mode
   MetricsRegistry& metrics_;
   const util::Timer& clock_;
   EngineFactory factory_;
   TaskRunner runner_;
+  batch::MicroBatchRunner batch_runner_;
   WorkerPoolConfig config_;
   std::vector<std::unique_ptr<runtime::ElasticEngine>> engines_;
   std::vector<util::Rng> rngs_;

@@ -1,0 +1,458 @@
+// Batched-serving suite (DESIGN.md §10): BatchAssembler coalescing/bypass
+// semantics, BatchedLiveEngine per-sample bit-identity with the solo live
+// engine (including mid-batch preemption evicting only the killed sample),
+// and the batched EdgeServer pipeline preserving the aggregate determinism
+// contract plus the lifecycle accounting invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/cancel_token.hpp"
+#include "core/time_distribution.hpp"
+#include "data/synthetic.hpp"
+#include "models/backbones.hpp"
+#include "models/trainer.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "profiling/platform.hpp"
+#include "profiling/profiler.hpp"
+#include "runtime/batched_engine.hpp"
+#include "runtime/live_engine.hpp"
+#include "serving/batch/assembler.hpp"
+#include "serving/batch/runner.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace einet {
+namespace {
+
+using serving::BoundedQueue;
+using serving::OverflowPolicy;
+using serving::PushResult;
+using serving::Task;
+using serving::batch::BatchAssembler;
+using serving::batch::BatchAssemblerConfig;
+using serving::batch::MicroBatch;
+
+// ---------------------------------------------------------------- fixtures
+
+profiling::ETProfile tiny_et() {
+  profiling::ETProfile et;
+  et.model_name = "tiny";
+  et.platform_name = "test";
+  et.conv_ms = {1.0, 1.0, 1.0, 1.0};
+  et.branch_ms = {0.5, 0.5, 0.5, 0.5};
+  return et;
+}
+
+profiling::CSProfile tiny_cs(std::size_t records, std::uint64_t seed = 7) {
+  profiling::CSProfile cs;
+  cs.model_name = "tiny";
+  cs.dataset_name = "synthetic";
+  cs.num_exits = 4;
+  util::Rng rng{seed};
+  for (std::size_t r = 0; r < records; ++r) {
+    profiling::CSRecord rec;
+    float conf = rng.uniform_f(0.2f, 0.5f);
+    for (std::size_t e = 0; e < cs.num_exits; ++e) {
+      conf = std::min(1.0f, conf + rng.uniform_f(0.0f, 0.2f));
+      rec.confidence.push_back(conf);
+      rec.correct.push_back(rng.bernoulli(conf) ? 1 : 0);
+    }
+    rec.label = r % 10;
+    cs.records.push_back(std::move(rec));
+  }
+  cs.validate();
+  return cs;
+}
+
+Task make_task(std::uint64_t id, double deadline_ms) {
+  Task task;
+  task.id = id;
+  task.deadline_ms = deadline_ms;
+  return task;
+}
+
+// ---------------------------------------------------------- BatchAssembler
+
+TEST(BatchAssembler, SealsAtMaxBatchInFifoOrder) {
+  BoundedQueue<Task> in{64, OverflowPolicy::kBlock};
+  BoundedQueue<MicroBatch> out{64, OverflowPolicy::kBlock};
+  serving::MetricsRegistry metrics;
+  util::Timer clock;
+  BatchAssembler assembler{
+      in, out, metrics, clock,
+      {.max_batch = 3, .max_wait_ms = 1e6, .bypass_slack_ms = 0.0}};
+  assembler.start();
+
+  for (std::uint64_t id = 0; id < 6; ++id)
+    ASSERT_EQ(in.push(make_task(id, 10.0)), PushResult::kAccepted);
+
+  for (std::uint64_t b = 0; b < 2; ++b) {
+    const auto mb = out.pop();
+    ASSERT_TRUE(mb.has_value());
+    ASSERT_EQ(mb->size(), 3u);
+    EXPECT_FALSE(mb->bypass);
+    for (std::uint64_t i = 0; i < 3; ++i)
+      EXPECT_EQ(mb->tasks[i].id, b * 3 + i);
+  }
+  in.close();
+  assembler.join();
+  EXPECT_EQ(out.pop(), std::nullopt);  // drained and closed
+
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.batches, 2u);
+  EXPECT_EQ(snap.bypassed, 0u);
+  EXPECT_DOUBLE_EQ(snap.batch_size.stats.mean(), 3.0);
+  EXPECT_EQ(snap.assembler_wait.stats.count(), 6u);
+}
+
+TEST(BatchAssembler, MaxWaitFlushesPartialGroup) {
+  BoundedQueue<Task> in{64, OverflowPolicy::kBlock};
+  BoundedQueue<MicroBatch> out{64, OverflowPolicy::kBlock};
+  serving::MetricsRegistry metrics;
+  util::Timer clock;
+  BatchAssembler assembler{
+      in, out, metrics, clock,
+      {.max_batch = 8, .max_wait_ms = 5.0, .bypass_slack_ms = 0.0}};
+  assembler.start();
+
+  ASSERT_EQ(in.push(make_task(0, 10.0)), PushResult::kAccepted);
+  ASSERT_EQ(in.push(make_task(1, 10.0)), PushResult::kAccepted);
+  // Never reaches max_batch; the wait bound must seal it.
+  const auto mb = out.pop();
+  ASSERT_TRUE(mb.has_value());
+  EXPECT_EQ(mb->size(), 2u);
+  EXPECT_FALSE(mb->bypass);
+
+  in.close();
+  assembler.join();
+}
+
+TEST(BatchAssembler, SlackPoorTaskBypassesAheadOfOpenGroup) {
+  BoundedQueue<Task> in{64, OverflowPolicy::kBlock};
+  BoundedQueue<MicroBatch> out{64, OverflowPolicy::kBlock};
+  serving::MetricsRegistry metrics;
+  util::Timer clock;
+  BatchAssembler assembler{
+      in, out, metrics, clock,
+      {.max_batch = 8, .max_wait_ms = 1e6, .bypass_slack_ms = 10.0}};
+  assembler.start();
+
+  // Three slack-rich tasks open a group (max_wait is effectively forever),
+  // then a slack-poor task arrives: it must come out first, solo.
+  for (std::uint64_t id = 0; id < 3; ++id)
+    ASSERT_EQ(in.push(make_task(id, 100.0)), PushResult::kAccepted);
+  ASSERT_EQ(in.push(make_task(99, 5.0)), PushResult::kAccepted);
+
+  const auto first = out.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->bypass);
+  ASSERT_EQ(first->size(), 1u);
+  EXPECT_EQ(first->tasks[0].id, 99u);
+  EXPECT_DOUBLE_EQ(first->tasks[0].deadline_ms, 5.0);
+
+  // Closing the input flushes the still-open group.
+  in.close();
+  assembler.join();
+  const auto second = out.pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->bypass);
+  EXPECT_EQ(second->size(), 3u);
+  EXPECT_EQ(out.pop(), std::nullopt);
+
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.batches, 2u);
+  EXPECT_EQ(snap.bypassed, 1u);
+}
+
+TEST(BatchAssembler, DrainsEmptyInputCleanly) {
+  BoundedQueue<Task> in{8, OverflowPolicy::kBlock};
+  BoundedQueue<MicroBatch> out{8, OverflowPolicy::kBlock};
+  serving::MetricsRegistry metrics;
+  util::Timer clock;
+  BatchAssembler assembler{in, out, metrics, clock, {}};
+  assembler.start();
+  in.close();
+  assembler.join();
+  EXPECT_EQ(out.pop(), std::nullopt);
+  EXPECT_EQ(metrics.snapshot().batches, 0u);
+}
+
+TEST(BatchAssembler, RejectsZeroMaxBatch) {
+  BoundedQueue<Task> in{8};
+  BoundedQueue<MicroBatch> out{8};
+  serving::MetricsRegistry metrics;
+  util::Timer clock;
+  EXPECT_THROW(BatchAssembler(in, out, metrics, clock, {.max_batch = 0}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- BatchedLiveEngine
+
+struct LivePipeline {
+  data::SyntheticDataset ds;
+  models::MultiExitNetwork net;
+  profiling::ETProfile et;
+  profiling::CSProfile cs;
+  std::unique_ptr<predictor::CSPredictor> pred;
+
+  static LivePipeline build() {
+    auto spec = data::synth_cifar10_spec(120, 40);
+    auto ds = data::make_synthetic(spec);
+    util::Rng rng{7};
+    auto net = models::make_msdnet(
+        models::MsdnetSpec{.blocks = 4, .step = 1, .base = 1, .channel = 6},
+        ds.train->input_shape(), ds.train->num_classes(), rng);
+    models::MultiExitTrainer trainer{net};
+    models::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 20;
+    trainer.train(*ds.train, tc);
+    auto et =
+        profiling::profile_execution_time(net, profiling::edge_fast_platform());
+    auto cs = profiling::profile_confidence(net, *ds.test);
+    predictor::CSPredictorConfig pc;
+    pc.hidden = 16;
+    pc.epochs = 6;
+    auto pred = std::make_unique<predictor::CSPredictor>(net.num_exits(), pc);
+    pred->train(cs);
+    return LivePipeline{std::move(ds), std::move(net), std::move(et),
+                        std::move(cs), std::move(pred)};
+  }
+};
+
+class BatchedEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new LivePipeline(LivePipeline::build());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static LivePipeline* pipeline_;
+};
+
+LivePipeline* BatchedEngineTest::pipeline_ = nullptr;
+
+/// Full-outcome equality except planner_ms (wall-clock search telemetry),
+/// matching the serving determinism contract. Double fields use exact ==:
+/// the contract is bit-identity, not tolerance.
+void expect_outcome_identical(const runtime::InferenceOutcome& batched,
+                              const runtime::InferenceOutcome& solo,
+                              std::size_t sample) {
+  EXPECT_EQ(batched.has_result, solo.has_result) << "sample " << sample;
+  EXPECT_EQ(batched.exit_index, solo.exit_index) << "sample " << sample;
+  EXPECT_EQ(batched.correct, solo.correct) << "sample " << sample;
+  EXPECT_EQ(batched.result_time_ms, solo.result_time_ms)
+      << "sample " << sample;
+  EXPECT_EQ(batched.deadline_ms, solo.deadline_ms) << "sample " << sample;
+  EXPECT_EQ(batched.branches_executed, solo.branches_executed)
+      << "sample " << sample;
+  EXPECT_EQ(batched.searches_run, solo.searches_run) << "sample " << sample;
+  EXPECT_EQ(batched.completed, solo.completed) << "sample " << sample;
+}
+
+TEST_F(BatchedEngineTest, DeadlineModeBitIdenticalToSoloPerSample) {
+  auto& p = *pipeline_;
+  const runtime::ElasticConfig cfg;
+  runtime::BatchedLiveEngine batched{p.net, p.et, p.pred.get(), cfg};
+  runtime::LiveElasticEngine solo{p.net, p.et, p.pred.get(), cfg};
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+
+  // Deadlines spanning the whole range: some die mid-backbone, some finish.
+  util::Rng rng{42};
+  std::vector<runtime::BatchItem> items;
+  for (std::size_t s = 0; s < 8; ++s)
+    items.push_back({.image = &p.ds.test->sample(s).image,
+                     .label = p.ds.test->sample(s).label,
+                     .deadline_ms = dist.sample(rng)});
+  items[0].deadline_ms = p.et.conv_ms[0] * 0.5;  // killed before exit 0
+  items[1].deadline_ms = 2.0 * p.et.total_ms();  // always completes
+
+  const auto outcomes = batched.run_batched(items, dist);
+  ASSERT_EQ(outcomes.size(), items.size());
+  bool any_killed = false;
+  bool any_completed = false;
+  for (std::size_t s = 0; s < items.size(); ++s) {
+    const auto ref = solo.run(*items[s].image, items[s].label,
+                              items[s].deadline_ms, dist);
+    expect_outcome_identical(outcomes[s], ref, s);
+    any_killed |= !outcomes[s].completed;
+    any_completed |= outcomes[s].completed;
+  }
+  // The stream above must actually exercise both paths for the bit-identity
+  // claim to mean anything.
+  EXPECT_TRUE(any_killed);
+  EXPECT_TRUE(any_completed);
+}
+
+TEST_F(BatchedEngineTest, SingletonBatchMatchesSolo) {
+  auto& p = *pipeline_;
+  const runtime::ElasticConfig cfg;
+  runtime::BatchedLiveEngine batched{p.net, p.et, p.pred.get(), cfg};
+  runtime::LiveElasticEngine solo{p.net, p.et, p.pred.get(), cfg};
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+
+  const double deadline = 0.7 * p.et.total_ms();
+  const runtime::BatchItem item{.image = &p.ds.test->sample(3).image,
+                                .label = p.ds.test->sample(3).label,
+                                .deadline_ms = deadline};
+  const auto outcomes = batched.run_batched({&item, 1}, dist);
+  ASSERT_EQ(outcomes.size(), 1u);
+  expect_outcome_identical(
+      outcomes[0],
+      solo.run(*item.image, item.label, deadline, dist), 3);
+}
+
+TEST_F(BatchedEngineTest, MidBatchKillEvictsOnlyTheKilledSample) {
+  auto& p = *pipeline_;
+  const runtime::ElasticConfig cfg;
+  runtime::BatchedLiveEngine batched{p.net, p.et, p.pred.get(), cfg};
+  runtime::LiveElasticEngine solo{p.net, p.et, p.pred.get(), cfg};
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+
+  // Four token-mode members; one token is virtually armed to land mid-run
+  // (after block 1's conv, before the backbone ends), the rest never fire.
+  std::vector<core::CancelToken> tokens(4);
+  tokens[1].arm_virtual(p.et.conv_ms[0] + p.et.branch_ms[0] +
+                        0.5 * p.et.conv_ms[1]);
+  std::vector<runtime::BatchItem> items;
+  for (std::size_t s = 0; s < 4; ++s)
+    items.push_back({.image = &p.ds.test->sample(10 + s).image,
+                     .label = p.ds.test->sample(10 + s).label,
+                     .deadline_ms = 0.0,
+                     .cancel = &tokens[s]});
+
+  const auto outcomes = batched.run_batched(items, dist);
+  ASSERT_EQ(outcomes.size(), 4u);
+  // The killed member was cut short; its neighbours ran the whole plan.
+  EXPECT_FALSE(outcomes[1].completed);
+  for (std::size_t s : {0u, 2u, 3u}) EXPECT_TRUE(outcomes[s].completed);
+  // And every member — killed and survivors alike — is bit-identical to
+  // running the same token solo, proving eviction never disturbed the
+  // surviving rows of the stacked tensor.
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto ref =
+        solo.run_cancellable(*items[s].image, items[s].label, tokens[s], dist);
+    expect_outcome_identical(outcomes[s], ref, 10 + s);
+  }
+}
+
+TEST_F(BatchedEngineTest, RejectsInvalidItems) {
+  auto& p = *pipeline_;
+  runtime::BatchedLiveEngine batched{p.net, p.et, p.pred.get(), {}};
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+  const runtime::BatchItem null_image{.image = nullptr, .deadline_ms = 1.0};
+  EXPECT_THROW((void)batched.run_batched({&null_image, 1}, dist),
+               std::invalid_argument);
+  EXPECT_TRUE(batched.run_batched({}, dist).empty());
+}
+
+// --------------------------------------------------- batched EdgeServer
+
+serving::TaskRunner einet_runner(const core::TimeDistribution& dist) {
+  return [&dist](runtime::ElasticEngine& engine, const Task& task,
+                 util::Rng&) {
+    return engine.run(*task.record, task.deadline_ms, dist);
+  };
+}
+
+// The batched pipeline (assembler + MicroBatch queue + batch worker loop)
+// must preserve the aggregate determinism contract: the same task stream
+// yields the same aggregate counters as the unbatched pipeline, because
+// per-task outcomes are pure functions of (payload, deadline) regardless of
+// how tasks were grouped in flight.
+TEST(BatchedEdgeServer, AggregateMatchesUnbatchedPipeline) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(64);
+  const core::UniformExitDistribution dist{et.total_ms()};
+
+  predictor::CSPredictorConfig pc;
+  pc.hidden = 8;
+  pc.epochs = 4;
+  predictor::CSPredictor pred{cs.num_exits, pc};
+  pred.train(cs);
+
+  util::Rng rng{2024};
+  std::vector<std::pair<std::size_t, double>> stream;
+  for (int i = 0; i < 300; ++i)
+    stream.emplace_back(rng.uniform_int(cs.size()),
+                        rng.uniform(0.0, 1.4 * et.total_ms()));
+
+  serving::ServerConfig config;
+  config.queue_capacity = 1024;
+  config.pool.num_workers = 2;
+
+  const auto run_stream = [&](serving::EdgeServer& server) {
+    for (const auto& [idx, deadline] : stream)
+      server.submit(cs.records[idx], deadline);
+    server.shutdown();
+    return server.metrics();
+  };
+
+  serving::EdgeServer unbatched{et,
+                                serving::make_replicated_engine_factory(
+                                    et, &pred, {}),
+                                einet_runner(dist), config};
+  const auto solo_snap = run_stream(unbatched);
+
+  serving::EdgeServer batched{
+      et,
+      serving::make_replicated_engine_factory(et, &pred, {}),
+      serving::batch::make_solo_batch_runner(einet_runner(dist)),
+      {.max_batch = 4, .max_wait_ms = 1.0, .bypass_slack_ms = 2.0},
+      config};
+  EXPECT_TRUE(batched.batched());
+  const auto batch_snap = run_stream(batched);
+
+  // Aggregate determinism across pipelines.
+  EXPECT_EQ(batch_snap.submitted, solo_snap.submitted);
+  EXPECT_EQ(batch_snap.shed, solo_snap.shed);
+  EXPECT_EQ(batch_snap.completed, solo_snap.completed);
+  EXPECT_EQ(batch_snap.valid, solo_snap.valid);
+  EXPECT_EQ(batch_snap.correct, solo_snap.correct);
+  EXPECT_DOUBLE_EQ(batch_snap.accuracy(), solo_snap.accuracy());
+
+  // Lifecycle invariants hold through the assembler.
+  EXPECT_EQ(batch_snap.submitted,
+            batch_snap.admitted + batch_snap.shed + batch_snap.rejected);
+  EXPECT_EQ(batch_snap.completed, batch_snap.admitted);
+
+  // Batch bookkeeping: every admitted task went through exactly one sealed
+  // batch, and the slack-poor band of the deadline stream hit the bypass.
+  EXPECT_GT(batch_snap.batches, 0u);
+  EXPECT_GT(batch_snap.bypassed, 0u);
+  EXPECT_EQ(batch_snap.assembler_wait.stats.count(), batch_snap.admitted);
+  EXPECT_EQ(batch_snap.batch_size.stats.count(), batch_snap.batches);
+  EXPECT_GE(batch_snap.batch_size.stats.max(), 1.0);
+  EXPECT_LE(batch_snap.batch_size.stats.max(), 4.0);
+
+  // The unbatched pipeline reports no batch activity at all.
+  EXPECT_EQ(solo_snap.batches, 0u);
+
+  // And the JSON export carries the batch block for bench artifacts.
+  const auto json = batch_snap.to_json();
+  EXPECT_NE(json.find("\"batch\""), std::string::npos);
+  EXPECT_NE(json.find("\"assembler_wait_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"bypassed\""), std::string::npos);
+}
+
+TEST(BatchedEdgeServer, LiveSubmitRejectsNullImage) {
+  const auto et = tiny_et();
+  const core::UniformExitDistribution dist{et.total_ms()};
+  serving::EdgeServer server{et,
+                             serving::make_replicated_engine_factory(
+                                 et, nullptr, {},
+                                 std::vector<float>(4, 0.5f)),
+                             einet_runner(dist)};
+  EXPECT_THROW(server.submit_live(nullptr, 0, 5.0), std::invalid_argument);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace einet

@@ -167,6 +167,48 @@ TEST(Sgemm, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The small-problem threshold (sgemm caps chunks at one per 64 MFLOP) must
+// not change results: sub-threshold products run inline on the calling
+// thread, and the cap itself is invisible to the arithmetic — outputs stay
+// bit-identical across thread counts on *both* sides of the boundary, and
+// still match the reference. Sizes: 64x64x64 (~0.5 MFLOP, far below the
+// threshold — the linear-layer regression case), 512x512x64 (~33 MFLOP, just
+// below), 512x512x512 (~268 MFLOP, above — multi-chunk dispatch).
+TEST(Sgemm, SmallProblemThresholdKeepsParityAndBitIdentity) {
+  ThreadGuard guard;
+  util::Rng rng{47};
+  const Dims shapes[] = {{64, 64, 64}, {512, 512, 64}, {512, 512, 512}};
+  for (const auto& d : shapes) {
+    const auto a = random_matrix(d.m * d.k, rng);
+    const auto b = random_matrix(d.k * d.n, rng);
+    std::vector<float> c1(d.m * d.n), c8(d.m * d.n), want(d.m * d.n);
+    set_gemm_threads(1);
+    sgemm(Trans::kN, Trans::kN, d.m, d.n, d.k, a.data(), d.k, b.data(), d.n,
+          0.0f, c1.data(), d.n);
+    set_gemm_threads(8);
+    sgemm(Trans::kN, Trans::kN, d.m, d.n, d.k, a.data(), d.k, b.data(), d.n,
+          0.0f, c8.data(), d.n);
+    EXPECT_EQ(0, std::memcmp(c1.data(), c8.data(), c1.size() * sizeof(float)))
+        << d.m << "x" << d.n << "x" << d.k;
+    sgemm_reference(Trans::kN, Trans::kN, d.m, d.n, d.k, a.data(), d.k,
+                    b.data(), d.n, 0.0f, want.data(), d.n);
+    expect_close(c1, want, 2e-4);
+  }
+}
+
+TEST(ParallelFor, ChunkCapCoversEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  set_gemm_threads(8);
+  for (std::size_t cap : {0u, 1u, 2u, 5u, 100u}) {
+    std::vector<int> hits(64, 0);
+    parallel_for(64, cap, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) ++hits[i];
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i], 1) << "cap " << cap << " index " << i;
+  }
+}
+
 TEST(GemmThreads, DefaultIsAtLeastOneAndSetterClamps) {
   ThreadGuard guard;
   EXPECT_GE(gemm_threads(), 1u);

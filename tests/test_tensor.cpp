@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "nn/tensor.hpp"
 
 namespace einet::nn {
@@ -139,6 +141,44 @@ TEST(Softmax, NumericallyStableForLargeLogits) {
 
 TEST(Softmax, EmptySpanArgmaxThrows) {
   EXPECT_THROW(span_argmax({}), std::invalid_argument);
+}
+
+TEST(BatchRows, StackSelectSliceRoundTripBytewise) {
+  util::Rng rng{11};
+  const Tensor a = Tensor::uniform({2, 3, 3}, -1, 1, rng);
+  const Tensor b = Tensor::uniform({1, 2, 3, 3}, -1, 1, rng);  // batch-of-1
+  const Tensor c = Tensor::uniform({2, 3, 3}, -1, 1, rng);
+  const Tensor* samples[] = {&a, &b, &c};
+  const Tensor stacked = stack_rows(samples);
+  ASSERT_EQ(stacked.shape(), (Shape{3, 2, 3, 3}));
+
+  // Each slice is bytewise the original sample (stacking adds no arithmetic).
+  const Tensor s1 = slice_row(stacked, 1);
+  ASSERT_EQ(s1.shape(), (Shape{1, 2, 3, 3}));
+  EXPECT_EQ(0, std::memcmp(s1.raw(), b.raw(), b.numel() * sizeof(float)));
+  const Tensor s2 = slice_row(stacked, 2);
+  EXPECT_EQ(0, std::memcmp(s2.raw(), c.raw(), c.numel() * sizeof(float)));
+
+  // Gather in arbitrary order with a repeat.
+  const std::size_t rows[] = {2, 0, 2};
+  const Tensor sel = select_rows(stacked, rows);
+  ASSERT_EQ(sel.shape(), (Shape{3, 2, 3, 3}));
+  EXPECT_EQ(0, std::memcmp(sel.raw(), c.raw(), c.numel() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(sel.raw() + c.numel(), a.raw(),
+                           a.numel() * sizeof(float)));
+  EXPECT_EQ(0, std::memcmp(sel.raw() + 2 * c.numel(), c.raw(),
+                           c.numel() * sizeof(float)));
+}
+
+TEST(BatchRows, RejectsMismatchedAndOutOfRange) {
+  util::Rng rng{12};
+  const Tensor a = Tensor::uniform({2, 3, 3}, -1, 1, rng);
+  const Tensor bad = Tensor::uniform({3, 3, 3}, -1, 1, rng);
+  const Tensor* mismatched[] = {&a, &bad};
+  EXPECT_THROW((void)stack_rows(mismatched), std::invalid_argument);
+  EXPECT_THROW((void)stack_rows({}), std::invalid_argument);
+  const std::size_t rows[] = {2};
+  EXPECT_THROW((void)select_rows(a, rows), std::out_of_range);
 }
 
 }  // namespace
