@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -99,7 +100,7 @@ int main(int argc, char** argv) {
                                  "chaos_lab [tasks_per_phase] [ledger_path]"};
   const std::size_t tasks_per_phase = args.positive(1, 400, "tasks_per_phase");
   const std::string ledger_path =
-      argc > 2 ? argv[2] : std::string{"chaos_ledger.json"};
+      argc > 2 ? argv[2] : std::string{"artifacts/chaos_ledger.json"};
 
   const auto et = lab_et();
   const auto cs = lab_cs(256, /*seed=*/91);
@@ -200,6 +201,11 @@ int main(int argc, char** argv) {
             << " drift events, " << forced_replans
             << " plan-cache invalidations\n";
 
+  if (const auto parent = std::filesystem::path{ledger_path}.parent_path();
+      !parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+  }
   injector.ledger().save(ledger_path);
   std::cout << "kill ledger (" << injector.ledger().size()
             << " entries) -> " << ledger_path

@@ -19,9 +19,18 @@
 // outcomes are unchanged — the 1-vs-N determinism check below covers the
 // batched pipeline too. max_batch 1 disables the batcher (PR-5 pipeline).
 //
+// A final telemetry phase (DESIGN.md telemetry plane) re-runs the EINet
+// strategy against a live scenario injector with the SLO monitor armed and
+// an HTTP exposition endpoint up: the process scrapes its own /metrics,
+// /healthz and /snapshot.json over loopback, a deterministic burst of
+// infeasible deadlines forces an SLO breach, and the breach callback dumps a
+// flight-recorder trace. All artifacts land under artifacts/.
+//
 // Usage: edge_server [num_tasks] [workers] [train_samples] [epochs] [max_batch]
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -34,13 +43,20 @@
 #include "example_args.hpp"
 #include "models/backbones.hpp"
 #include "models/trainer.hpp"
+#include "obs/telemetry/flight_recorder.hpp"
+#include "obs/telemetry/http.hpp"
+#include "obs/telemetry/hub.hpp"
+#include "obs/trace.hpp"
 #include "predictor/cs_predictor.hpp"
 #include "profiling/calibration.hpp"
 #include "profiling/platform.hpp"
 #include "profiling/profiler.hpp"
+#include "scenario/injector.hpp"
+#include "scenario/scenario_script.hpp"
 #include "serving/batch/runner.hpp"
 #include "serving/replicate.hpp"
 #include "serving/server.hpp"
+#include "serving/telemetry_source.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -210,7 +226,9 @@ int main(int argc, char** argv) {
             << einet_snap.to_string();
 
   // Machine-readable twin of the table above (seed for bench trajectories).
-  const char* metrics_path = "edge_server_metrics.json";
+  std::error_code artifacts_ec;
+  std::filesystem::create_directories("artifacts", artifacts_ec);
+  const char* metrics_path = "artifacts/edge_server_metrics.json";
   if (std::ofstream out{metrics_path}; out) {
     out << einet_snap.to_json() << "\n";
     std::cout << "\nwrote " << metrics_path << "\n";
@@ -232,5 +250,122 @@ int main(int argc, char** argv) {
   }
   std::cout << "aggregate accuracy identical across worker counts: "
             << util::Table::pct(100.0 * w_snap.accuracy()) << "\n";
+
+  // ---- Telemetry phase: injector kills + SLO breach + live /metrics ------
+  // A scenario-preempted serving run with the whole telemetry plane armed:
+  // wall-clock kills land mid-inference, the SLO monitor watches a rolling
+  // shed-rate threshold, a deterministic burst of infeasible deadlines
+  // forces a breach, and the breach callback dumps a flight-recorder trace.
+  // The process then scrapes its own HTTP endpoint over loopback.
+  std::cout << "\n== telemetry phase: preempted run + live scrape ==\n";
+  obs::Tracer::instance().set_enabled(true);
+
+  const double horizon = et.total_ms();
+  auto script = scenario::ScenarioScript{horizon, /*seed=*/4242}
+                    .bursty_phase(256, {0.25, 0.55, 0.85}, 0.05, 0.8,
+                                  "telemetry-bursts");
+  scenario::InjectorConfig icfg;
+  icfg.mode = scenario::ClockMode::kWall;
+  icfg.time_scale = 0.4;  // stretch sim ms into real ms so kills land mid-run
+  scenario::PreemptionInjector injector{script, icfg};
+
+  serving::ServerConfig tcfg;
+  tcfg.queue_capacity = 1024;
+  tcfg.pool.num_workers = workers;
+  tcfg.pool.injector = &injector;
+  tcfg.slo.window = 64;
+  tcfg.slo.min_samples = 8;
+  tcfg.slo.max_shed_rate = 0.5;  // the infeasible burst below must breach
+  tcfg.slo.cooldown_ms = 100.0;
+  const core::UniformExitDistribution telemetry_prior{horizon};
+  serving::TaskRunner cancellable_run =
+      [&telemetry_prior, time_scale = icfg.time_scale](
+          runtime::ElasticEngine& engine, const serving::Task& task,
+          util::Rng&) {
+        // Pace the simulated clock against wall time (same scale as the
+        // injector) so fired kills land mid-run.
+        const auto start = std::chrono::steady_clock::now();
+        const runtime::BlockHook pace = [start, time_scale](std::size_t,
+                                                            double sim_t_ms) {
+          std::this_thread::sleep_until(
+              start + std::chrono::duration<double, std::milli>(sim_t_ms *
+                                                                time_scale));
+        };
+        return engine.run_cancellable(*task.record, *task.cancel,
+                                      telemetry_prior, pace);
+      };
+  serving::EdgeServer tserver{et, einet_factory, cancellable_run, tcfg};
+
+  obs::telemetry::FlightRecorderConfig fr_cfg;
+  fr_cfg.dir = "artifacts";
+  fr_cfg.prefix = "edge_server_flight";
+  obs::telemetry::FlightRecorder recorder{
+      fr_cfg, [&tserver] { return tserver.metrics().to_json(); }};
+  std::string flight_path;
+  tserver.slo().set_on_breach(
+      [&recorder, &flight_path](const obs::telemetry::SloSnapshot& snap,
+                                const std::string& reason) {
+        const std::string path = recorder.dump("slo_" + reason);
+        if (flight_path.empty()) flight_path = path;
+        std::cout << "SLO breach (" << reason << ", hit_rate "
+                  << util::Table::pct(100.0 * snap.hit_rate) << ", shed_rate "
+                  << util::Table::pct(100.0 * snap.shed_rate) << ") -> "
+                  << (path.empty() ? "(dump suppressed)" : path) << "\n";
+      });
+
+  obs::telemetry::TelemetryHub hub;
+  hub.add(serving::telemetry_source(tserver));
+  obs::telemetry::TelemetryHttpServer http{hub, {}};
+  http.start();
+  std::cout << "telemetry endpoint: http://127.0.0.1:" << http.port()
+            << "/metrics\n";
+
+  util::Rng chaos_rng{7};
+  const std::size_t chaos_tasks = std::min<std::size_t>(200, num_tasks);
+  for (std::size_t i = 0; i < chaos_tasks; ++i)
+    tserver.submit(cs.records[chaos_rng.uniform_int(cs.size())],
+                   1.5 * horizon);
+  // Mid-run liveness: the endpoint answers while workers are still draining.
+  const auto live = obs::telemetry::http_get("127.0.0.1", http.port(),
+                                             "/healthz");
+  // A full window of sure-to-shed deadlines: shed_rate hits 1.0 > 0.5.
+  for (std::size_t i = 0; i < tcfg.slo.window; ++i)
+    tserver.submit(cs.records[0], 1e-6);
+  tserver.shutdown();
+
+  const auto metrics_scrape =
+      obs::telemetry::http_get("127.0.0.1", http.port(), "/metrics");
+  const auto snapshot_scrape =
+      obs::telemetry::http_get("127.0.0.1", http.port(), "/snapshot.json");
+  http.stop();
+  hub.remove("serving");
+
+  const char* scrape_path = "artifacts/edge_server_scrape.prom";
+  if (std::ofstream out{scrape_path}; out) out << metrics_scrape.body;
+  const auto tsnap = tserver.metrics();
+  std::cout << "telemetry run: " << tsnap.completed << " completed, "
+            << tsnap.preempted << " preempted ("
+            << injector.wall_kills_fired() << " kills fired), "
+            << tsnap.shed << " shed, " << tsnap.slo.breaches
+            << " SLO breaches\n"
+            << "scrapes: /healthz " << live.status << " (live), /metrics "
+            << metrics_scrape.status << " ("
+            << metrics_scrape.body.size() << " bytes -> " << scrape_path
+            << "), /snapshot.json " << snapshot_scrape.status << " ("
+            << snapshot_scrape.body.size() << " bytes)\n";
+
+  if (live.status != 200 || metrics_scrape.status != 200 ||
+      snapshot_scrape.status != 200 ||
+      metrics_scrape.body.find("einet_serving_submitted_total") ==
+          std::string::npos) {
+    std::cout << "ERROR: telemetry endpoint scrape failed\n";
+    return 1;
+  }
+  if (tsnap.slo.breaches == 0 || flight_path.empty() ||
+      !std::filesystem::exists(flight_path)) {
+    std::cout << "ERROR: forced SLO breach did not produce a flight dump\n";
+    return 1;
+  }
+  std::cout << "flight recorder dump: " << flight_path << "\n";
   return 0;
 }

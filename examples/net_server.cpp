@@ -14,11 +14,21 @@
 // (DESIGN.md §10); the bit-identity verdict then proves the batched path
 // preserves per-task outcomes under real TCP concurrency. 1 disables it.
 //
+// Passing the literal `telemetry` as the sixth argument raises the live
+// exposition plane during phase 2: a TelemetryHub with the serving and net
+// sources behind an HTTP endpoint, which the process scrapes over loopback
+// after the client fleet drains (body saved to artifacts/ for the
+// check_scrape validator). Telemetry must not perturb outcomes — the
+// bit-identity verdict runs either way.
+//
 // Usage: net_server [num_tasks] [connections] [workers] [records] [max_batch]
+//                   [telemetry]
 #include <atomic>
 #include <bit>
 #include <condition_variable>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -31,6 +41,9 @@
 #include "example_args.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/telemetry/http.hpp"
+#include "obs/telemetry/hub.hpp"
+#include "serving/telemetry_source.hpp"
 #include "profiling/profiles.hpp"
 #include "serving/batch/runner.hpp"
 #include "serving/replicate.hpp"
@@ -105,12 +118,14 @@ bool identical(const Observed& a, const Observed& b) {
 int main(int argc, char** argv) {
   const examples::ArgParser args{
       argc, argv,
-      "net_server [num_tasks] [connections] [workers] [records] [max_batch]"};
+      "net_server [num_tasks] [connections] [workers] [records] [max_batch] "
+      "[telemetry]"};
   const std::size_t num_tasks = args.positive(1, 512, "num_tasks");
   const std::size_t connections = args.positive(2, 64, "connections");
   const std::size_t workers = args.positive(3, 4, "workers");
   const std::size_t records = args.positive(4, 64, "records");
   const std::size_t max_batch = args.positive(5, 1, "max_batch");
+  const bool telemetry = argc > 6 && std::string{argv[6]} == "telemetry";
 
   std::cout << "== TCP serving front-end: loopback vs in-process ==\n"
             << (max_batch > 1
@@ -183,6 +198,19 @@ int main(int argc, char** argv) {
   std::cout << "serving on 127.0.0.1:" << tcp.port() << " with " << workers
             << " workers, " << connections << " client connections\n";
 
+  // Optional exposition plane: serving + net sources behind one endpoint.
+  obs::telemetry::TelemetryHub hub;
+  std::unique_ptr<obs::telemetry::TelemetryHttpServer> http;
+  if (telemetry) {
+    hub.add(serving::telemetry_source(edge));
+    hub.add(net::telemetry_source(tcp));
+    http = std::make_unique<obs::telemetry::TelemetryHttpServer>(
+        hub, obs::telemetry::HttpServerConfig{});
+    http->start();
+    std::cout << "telemetry endpoint: http://127.0.0.1:" << http->port()
+              << "/metrics\n";
+  }
+
   std::vector<Observed> observed(num_tasks);
   std::atomic<std::size_t> failures{0};
 
@@ -228,6 +256,25 @@ int main(int argc, char** argv) {
   gate_cv.notify_all();
   for (auto& c : clients) c.join();
   const double secs = wall.elapsed_s();
+
+  // Self-scrape while both servers are still live, then save the body for
+  // the offline Prometheus-format validator (scripts/check_scrape.py).
+  obs::telemetry::HttpResponse metrics_scrape;
+  obs::telemetry::HttpResponse healthz_scrape;
+  if (telemetry) {
+    metrics_scrape =
+        obs::telemetry::http_get("127.0.0.1", http->port(), "/metrics");
+    healthz_scrape =
+        obs::telemetry::http_get("127.0.0.1", http->port(), "/healthz");
+    std::error_code ec;
+    std::filesystem::create_directories("artifacts", ec);
+    const char* scrape_path = "artifacts/net_server_scrape.prom";
+    if (std::ofstream out{scrape_path}; out) out << metrics_scrape.body;
+    std::cout << "scraped /metrics: " << metrics_scrape.status << " ("
+              << metrics_scrape.body.size() << " bytes -> " << scrape_path
+              << "), /healthz: " << healthz_scrape.status << "\n";
+    http->stop();
+  }
   tcp.stop();
   edge.shutdown();
 
@@ -269,6 +316,18 @@ int main(int argc, char** argv) {
             std::to_string(num_tasks - mismatches) + "/" +
                 std::to_string(num_tasks),
             mismatches == 0);
+  if (telemetry) {
+    ok &= row("live /metrics scrape",
+              std::to_string(metrics_scrape.status) + ", " +
+                  std::to_string(metrics_scrape.body.size()) + " bytes",
+              metrics_scrape.status == 200 &&
+                  metrics_scrape.body.find("einet_net_requests_total") !=
+                      std::string::npos &&
+                  metrics_scrape.body.find("einet_serving_submitted_total") !=
+                      std::string::npos);
+    ok &= row("live /healthz", std::to_string(healthz_scrape.status),
+              healthz_scrape.status == 200);
+  }
   std::cout << "\n" << table.str();
   std::cout << "\nloopback throughput: "
             << util::Table::num(static_cast<double>(num_tasks) / secs, 0)

@@ -13,6 +13,13 @@ Checks:
      size / assembler_wait_ms summaries have count == batches / admitted.
   5. --require-batching additionally fails unless batches > 0 (the pipeline
      actually coalesced; used by the batched example smoke runs).
+  6. The stages block (telemetry plane) reconciles with end-to-end: every
+     completion contributed one sample to each stage, the stage means sum to
+     the end-to-end mean within tolerance, and planner + blocks partition
+     exec exactly.
+  7. The slo block (when present) is consistent with the lifecycle counters:
+     total_completed == completed, total_hits == valid, total_shed == shed,
+     total_preempted == preempted, and the window rates are in [0, 1].
 
 Exit code 0 on success, 1 on any violation (violations are listed).
 """
@@ -94,6 +101,74 @@ def main():
             for dim in ("queue_wait", "end_to_end"):
                 check_summary(errors, f"latency_ms.{dim}", latency.get(dim),
                               expect_count=c["completed"])
+
+        stages = snap.get("stages")
+        if not isinstance(stages, dict):
+            errors.append("missing stages object")
+        else:
+            # Every completion contributes one sample per stage (assembler
+            # included: unbatched serving records its dwell as 0).
+            for dim in ("admission", "queue", "assembler", "exec", "planner",
+                        "blocks"):
+                check_summary(errors, f"stages.{dim}", stages.get(dim),
+                              expect_count=c["completed"])
+            # Respond samples come from the net front-end flush path: one
+            # per flushed TCP response, not per completion — no fixed count.
+            check_summary(errors, "stages.respond", stages.get("respond"))
+            ok_shape = all(
+                isinstance(stages.get(d), dict)
+                and is_num(stages[d].get("mean"))
+                for d in ("admission", "queue", "assembler", "exec",
+                          "planner", "blocks"))
+            latency_ok = (isinstance(latency, dict)
+                          and isinstance(latency.get("end_to_end"), dict)
+                          and is_num(latency["end_to_end"].get("mean")))
+            if ok_shape and latency_ok and c["completed"] > 0:
+                e2e = latency["end_to_end"]["mean"]
+                pipeline = sum(stages[d]["mean"] for d in
+                               ("admission", "queue", "assembler", "exec"))
+                tol = max(0.5, 0.05 * e2e)
+                if abs(e2e - pipeline) > tol:
+                    errors.append(
+                        f"stages: pipeline mean {pipeline:.4f} does not "
+                        f"reconcile with end_to_end mean {e2e:.4f} "
+                        f"(tolerance {tol:.4f})")
+                split = stages["planner"]["mean"] + stages["blocks"]["mean"]
+                exec_mean = stages["exec"]["mean"]
+                if abs(split - exec_mean) > max(1e-6, 1e-9 * abs(exec_mean)):
+                    errors.append(
+                        f"stages: planner + blocks mean {split} != exec "
+                        f"mean {exec_mean} (exact partition violated)")
+
+        slo = snap.get("slo")
+        if slo is not None:
+            if not isinstance(slo, dict):
+                errors.append("slo: not a JSON object")
+            else:
+                pairs = (("total_completed", "completed"),
+                         ("total_hits", "valid"),
+                         ("total_shed", "shed"),
+                         ("total_preempted", "preempted"),
+                         ("total_admitted", "admitted"))
+                for slo_field, counter_field in pairs:
+                    if not is_num(slo.get(slo_field)):
+                        errors.append(
+                            f'slo: missing or non-numeric "{slo_field}"')
+                    elif slo[slo_field] != c[counter_field]:
+                        errors.append(
+                            f"slo: {slo_field} {slo[slo_field]} != counters "
+                            f"{counter_field} {c[counter_field]}")
+                for rate in ("hit_rate", "shed_rate", "preempt_rate"):
+                    if not is_num(slo.get(rate)):
+                        errors.append(f'slo: missing or non-numeric "{rate}"')
+                    elif not 0.0 <= slo[rate] <= 1.0:
+                        errors.append(
+                            f"slo: {rate} {slo[rate]} outside [0, 1]")
+                if is_num(slo.get("breaches")) and is_num(
+                        slo.get("last_breach_ms")):
+                    if slo["breaches"] > 0 and slo["last_breach_ms"] < 0:
+                        errors.append(
+                            "slo: breaches > 0 but last_breach_ms unset")
 
         batch = snap.get("batch")
         if not isinstance(batch, dict):

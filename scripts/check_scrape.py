@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition — a saved /metrics
+scrape body (artifacts/*_scrape.prom) or a live endpoint via --url. Stdlib
+only, no third-party deps.
+
+Checks:
+  1. Every line is a comment (# HELP / # TYPE), blank, or a well-formed
+     sample: `name{label="value",...} value`, with the metric and label
+     names matching the Prometheus data model and the value parsing as a
+     float (NaN / +Inf / -Inf literals included).
+  2. Each family's # TYPE appears at most once, names a known type, and
+     precedes every sample of the family; family samples are contiguous.
+  3. No duplicate (name, label set) sample.
+  4. Summaries are complete: quantile samples are accompanied by `_sum` and
+     `_count`, the count is a non-negative integer, and quantile values are
+     monotone non-decreasing in the quantile.
+  5. The exposition actually carries EINet telemetry: at least one
+     `einet_`-prefixed family.
+
+Exit code 0 on success, 1 on any violation (violations are listed).
+"""
+
+import argparse
+import math
+import re
+import sys
+import urllib.request
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>-?\d+))?$")
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def parse_labels(raw, errors, lineno):
+    """Parse `k="v",k2="v2"` honouring \\" escapes; returns a tuple of
+    (name, value) pairs or None on a syntax error."""
+    labels = []
+    i = 0
+    while i < len(raw):
+        eq = raw.find("=", i)
+        if eq < 0:
+            errors.append(f"line {lineno}: malformed label pair in {raw!r}")
+            return None
+        name = raw[i:eq]
+        if not LABEL_NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad label name {name!r}")
+            return None
+        if eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            errors.append(f"line {lineno}: label value not quoted in {raw!r}")
+            return None
+        j = eq + 2
+        value = []
+        while j < len(raw) and raw[j] != '"':
+            if raw[j] == "\\" and j + 1 < len(raw):
+                esc = raw[j + 1]
+                value.append({"n": "\n", "\\": "\\", '"': '"'}.get(esc, esc))
+                j += 2
+            else:
+                value.append(raw[j])
+                j += 1
+        if j >= len(raw):
+            errors.append(f"line {lineno}: unterminated label value in "
+                          f"{raw!r}")
+            return None
+        labels.append((name, "".join(value)))
+        i = j + 1
+        if i < len(raw):
+            if raw[i] != ",":
+                errors.append(f"line {lineno}: expected ',' between labels "
+                              f"in {raw!r}")
+                return None
+            i += 1
+    return tuple(labels)
+
+
+def parse_value(text):
+    if text in ("NaN", "+Inf", "-Inf"):
+        return {"NaN": math.nan, "+Inf": math.inf, "-Inf": -math.inf}[text]
+    return float(text)  # raises ValueError on garbage
+
+
+def family_of(name):
+    """Base family for sample-name bookkeeping: `_sum` / `_count` samples
+    belong to their summary's family."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scrape_file", nargs="?",
+                        help="saved /metrics body to validate")
+    parser.add_argument("--url", help="scrape this URL instead of a file")
+    parser.add_argument(
+        "--require-metric", action="append", default=[],
+        help="fail unless this exact family is present (repeatable)")
+    args = parser.parse_args()
+    if bool(args.scrape_file) == bool(args.url):
+        print("error: pass exactly one of <scrape_file> or --url")
+        return 1
+
+    if args.url:
+        source = args.url
+        try:
+            with urllib.request.urlopen(args.url, timeout=10) as resp:
+                body = resp.read().decode("utf-8")
+        except OSError as e:
+            print(f"error: cannot scrape {args.url}: {e}")
+            return 1
+    else:
+        source = args.scrape_file
+        try:
+            with open(args.scrape_file, encoding="utf-8") as f:
+                body = f.read()
+        except OSError as e:
+            print(f"error: cannot read {args.scrape_file}: {e}")
+            return 1
+
+    errors = []
+    typed = {}            # family -> declared type
+    type_line = {}        # family -> line of its # TYPE
+    seen_samples = set()  # (name, labels) dedup
+    sample_families = []  # family per sample line, in order
+    quantiles = {}        # (family, base labels) -> [(q, value)]
+    summary_parts = {}    # family -> set of parts seen ("q", "sum", "count")
+
+    for lineno, line in enumerate(body.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment, permitted by the spec
+            name = parts[2]
+            if not NAME_RE.match(name):
+                errors.append(f"line {lineno}: bad family name {name!r}")
+                continue
+            if parts[1] == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in TYPES:
+                    errors.append(
+                        f"line {lineno}: unknown type {kind!r} for {name}")
+                if name in typed:
+                    errors.append(
+                        f"line {lineno}: duplicate # TYPE for {name} "
+                        f"(first at line {type_line[name]})")
+                typed[name] = kind
+                type_line[name] = lineno
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name = m.group("name")
+        labels = ()
+        if m.group("labels") is not None:
+            labels = parse_labels(m.group("labels"), errors, lineno)
+            if labels is None:
+                continue
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(
+                f"line {lineno}: non-numeric value {m.group('value')!r}")
+            continue
+
+        key = (name, labels)
+        if key in seen_samples:
+            errors.append(f"line {lineno}: duplicate sample {name}"
+                          f"{dict(labels)}")
+        seen_samples.add(key)
+
+        family = family_of(name)
+        sample_families.append(family)
+        if family in typed and type_line[family] > lineno:
+            errors.append(
+                f"line {lineno}: sample of {family} precedes its # TYPE")
+
+        if typed.get(family) == "summary":
+            parts_seen = summary_parts.setdefault(family, set())
+            if name == family:
+                qv = dict(labels).get("quantile")
+                if qv is None:
+                    errors.append(
+                        f"line {lineno}: summary sample {name} without a "
+                        f"quantile label")
+                else:
+                    parts_seen.add("q")
+                    base = tuple(kv for kv in labels if kv[0] != "quantile")
+                    try:
+                        q = float(qv)
+                    except ValueError:
+                        errors.append(
+                            f"line {lineno}: non-numeric quantile {qv!r}")
+                        continue
+                    if not 0.0 <= q <= 1.0:
+                        errors.append(
+                            f"line {lineno}: quantile {q} outside [0, 1]")
+                    quantiles.setdefault((family, base), []).append(
+                        (q, value, lineno))
+            elif name.endswith("_sum"):
+                parts_seen.add("sum")
+            elif name.endswith("_count"):
+                parts_seen.add("count")
+                if value < 0 or value != int(value):
+                    errors.append(
+                        f"line {lineno}: {name} = {value} is not a "
+                        f"non-negative integer")
+
+    # Family samples must be contiguous (the format's interleaving rule).
+    last_index = {}
+    for i, family in enumerate(sample_families):
+        if family in last_index and last_index[family] != i - 1:
+            errors.append(f"family {family}: samples are not contiguous")
+        last_index[family] = i
+
+    for family, parts_seen in summary_parts.items():
+        for part, label in (("sum", "_sum"), ("count", "_count")):
+            if part not in parts_seen:
+                errors.append(f"summary {family}: missing {family}{label}")
+
+    for (family, base), qs in quantiles.items():
+        qs.sort()
+        for (q1, v1, _), (q2, v2, ln) in zip(qs, qs[1:]):
+            if not (math.isnan(v1) or math.isnan(v2)) and v2 < v1:
+                errors.append(
+                    f"line {ln}: summary {family}{dict(base)} quantile "
+                    f"{q2} value {v2} < quantile {q1} value {v1}")
+
+    families = set(sample_families)
+    if not any(f.startswith("einet_") for f in families):
+        errors.append("no einet_-prefixed family found — not an EINet scrape")
+    for required in args.require_metric:
+        if required not in families:
+            errors.append(f"required family {required} not present")
+
+    if errors:
+        print(f"{source}: {len(errors)} violation(s)")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"{source}: OK ({len(families)} families, "
+          f"{len(seen_samples)} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

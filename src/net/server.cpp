@@ -8,8 +8,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -42,7 +44,14 @@ struct EdgeTcpServer::Shared {
     std::uint64_t conn_id = 0;
     std::uint64_t request_id = 0;
     std::vector<std::uint8_t> bytes;
+    /// Instant (on `clock` below) the response became ready; the loop turns
+    /// it into a respond-stage latency sample once the bytes hit the wire.
+    double done_ms = 0.0;
   };
+
+  /// Common epoch for response-ready stamps (worker threads) and flush
+  /// instants (the loop) — started when the server starts.
+  util::Timer clock;
 
   std::mutex mu;
   std::vector<Outbound> outbox;
@@ -80,9 +89,10 @@ struct EdgeTcpServer::Shared {
   /// Called from worker threads: hand a fully encoded response to the loop.
   void push_response(std::uint64_t conn_id, std::uint64_t request_id,
                      std::vector<std::uint8_t> bytes) {
+    const double done_ms = clock.elapsed_ms();
     {
       std::lock_guard lock{mu};
-      outbox.push_back({conn_id, request_id, std::move(bytes)});
+      outbox.push_back({conn_id, request_id, std::move(bytes), done_ms});
     }
     wake();
   }
@@ -105,6 +115,12 @@ struct EdgeTcpServer::Connection {
   /// Write backpressure engaged: stop reading until the buffer drains.
   bool read_paused = false;
   bool peer_closed = false;
+  /// Cumulative bytes ever enqueued / flushed on this connection; the
+  /// respond marks below fire when flushed_total crosses a response's end
+  /// offset, yielding its queue-to-wire latency (telemetry respond stage).
+  std::uint64_t enqueued_total = 0;
+  std::uint64_t flushed_total = 0;
+  std::deque<std::pair<std::uint64_t, double>> respond_marks;  // (end, done_ms)
 
   explicit Connection(std::size_t max_frame_bytes) : decoder(max_frame_bytes) {}
 
@@ -239,7 +255,8 @@ class EdgeTcpServer::Loop {
         continue;
       }
       if (it->second.in_flight > 0) --it->second.in_flight;
-      enqueue_bytes(it->second, out.request_id, std::move(out.bytes));
+      enqueue_bytes(it->second, out.request_id, std::move(out.bytes),
+                    out.done_ms);
     }
   }
 
@@ -364,7 +381,8 @@ class EdgeTcpServer::Loop {
       ResponseFrame resp;
       resp.request_id = req_id;
       resp.status = status;
-      enqueue_bytes(conn, req_id, encode_response(resp));
+      enqueue_bytes(conn, req_id, encode_response(resp),
+                    shared_->clock.elapsed_ms());
     }
   }
 
@@ -375,16 +393,22 @@ class EdgeTcpServer::Loop {
     EINET_LOG(Warn) << "net: protocol error on conn " << conn.id << ": "
                     << e.what();
     enqueue_bytes(conn, kNoRequestId,
-                  encode_error({kNoRequestId, e.code(), e.what()}));
+                  encode_error({kNoRequestId, e.code(), e.what()}),
+                  /*done_ms=*/0.0);
     conn.close_after_flush = true;  // cannot resynchronize a corrupt stream
   }
 
   void enqueue_bytes(Connection& conn, std::uint64_t request_id,
-                     std::vector<std::uint8_t> bytes) {
+                     std::vector<std::uint8_t> bytes, double done_ms) {
     conn.wbuf.insert(conn.wbuf.end(), bytes.begin(), bytes.end());
+    conn.enqueued_total += bytes.size();
     shared_->frames_out.fetch_add(1, std::memory_order_relaxed);
-    if (request_id != kNoRequestId)
+    if (request_id != kNoRequestId) {
       shared_->responses.fetch_add(1, std::memory_order_relaxed);
+      // Mark the response's final byte; flush_conn converts the mark into a
+      // respond-stage latency sample once the socket has taken it.
+      conn.respond_marks.emplace_back(conn.enqueued_total, done_ms);
+    }
     EINET_INSTANT("net.respond", kNet,
                   .task_id = request_id == kNoRequestId
                                  ? obs::kNoArg
@@ -409,6 +433,7 @@ class EdgeTcpServer::Loop {
                                conn.pending_write(), MSG_NOSIGNAL);
       if (n > 0) {
         conn.woff += static_cast<std::size_t>(n);
+        conn.flushed_total += static_cast<std::uint64_t>(n);
         shared_->bytes_out.fetch_add(static_cast<std::uint64_t>(n),
                                      std::memory_order_relaxed);
         conn.last_activity_ms = clock_.elapsed_ms();
@@ -420,6 +445,15 @@ class EdgeTcpServer::Loop {
       // counted as dropped when they surface in the outbox.
       close_conn(conn.id);
       return false;
+    }
+    if (!conn.respond_marks.empty()) {
+      const double now = shared_->clock.elapsed_ms();
+      while (!conn.respond_marks.empty() &&
+             conn.respond_marks.front().first <= conn.flushed_total) {
+        edge_.registry().on_respond(
+            std::max(0.0, now - conn.respond_marks.front().second));
+        conn.respond_marks.pop_front();
+      }
     }
     if (conn.woff == conn.wbuf.size()) {
       conn.wbuf.clear();
@@ -587,6 +621,45 @@ std::string NetMetricsSnapshot::to_string() const {
       << " dropped_responses=" << dropped_responses << "\n"
       << "bytes: in=" << bytes_in << " out=" << bytes_out << "\n";
   return out.str();
+}
+
+obs::telemetry::Source telemetry_source(const EdgeTcpServer& server) {
+  obs::telemetry::Source source;
+  source.name = "net";
+  source.prometheus = [&server](obs::telemetry::PromWriter& prom) {
+    const NetMetricsSnapshot s = server.net_metrics();
+    prom.counter("einet_net_connections_accepted_total",
+                 "Connections accepted",
+                 static_cast<double>(s.connections_accepted));
+    prom.counter("einet_net_connections_closed_total", "Connections closed",
+                 static_cast<double>(s.connections_closed));
+    prom.counter("einet_net_connections_rejected_total",
+                 "Accepts refused at the connection limit",
+                 static_cast<double>(s.connections_rejected));
+    prom.counter("einet_net_frames_in_total", "Frames decoded",
+                 static_cast<double>(s.frames_in));
+    prom.counter("einet_net_frames_out_total", "Frames enqueued for write",
+                 static_cast<double>(s.frames_out));
+    prom.counter("einet_net_bytes_in_total", "Bytes read from sockets",
+                 static_cast<double>(s.bytes_in));
+    prom.counter("einet_net_bytes_out_total", "Bytes written to sockets",
+                 static_cast<double>(s.bytes_out));
+    prom.counter("einet_net_requests_total", "Request frames processed",
+                 static_cast<double>(s.requests));
+    prom.counter("einet_net_responses_total", "Response frames enqueued",
+                 static_cast<double>(s.responses));
+    prom.counter("einet_net_protocol_errors_total", "Corrupt streams refused",
+                 static_cast<double>(s.protocol_errors));
+    prom.counter("einet_net_idle_timeouts_total", "Idle connections swept",
+                 static_cast<double>(s.idle_timeouts));
+    prom.counter("einet_net_dropped_responses_total",
+                 "Responses whose connection was already gone",
+                 static_cast<double>(s.dropped_responses));
+    prom.gauge("einet_net_listen_port", "Bound TCP port",
+               static_cast<double>(server.port()));
+  };
+  source.json = [&server] { return server.net_metrics().to_json(); };
+  return source;
 }
 
 std::string NetMetricsSnapshot::to_json() const {

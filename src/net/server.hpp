@@ -38,6 +38,7 @@
 #include <thread>
 
 #include "net/protocol.hpp"
+#include "obs/telemetry/hub.hpp"
 #include "serving/server.hpp"
 
 namespace einet::net {
@@ -124,5 +125,11 @@ class EdgeTcpServer {
   std::atomic<bool> stopping_{false};
   std::thread loop_thread_;
 };
+
+/// The wire's entry in the TelemetryHub: `einet_net_*` counters from
+/// NetMetricsSnapshot plus the listen port. The Source captures the server
+/// by reference — remove it from the hub before the server dies.
+[[nodiscard]] obs::telemetry::Source telemetry_source(
+    const EdgeTcpServer& server);
 
 }  // namespace einet::net

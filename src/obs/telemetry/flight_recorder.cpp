@@ -1,0 +1,117 @@
+#include "obs/telemetry/flight_recorder.hpp"
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace einet::obs::telemetry {
+
+namespace {
+
+/// Keep [a-zA-Z0-9_-], map everything else to '_': reasons become file-name
+/// fragments.
+std::string sanitize(const std::string& reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string{"trigger"} : out;
+}
+
+// ---- process-global signal target (one recorder at a time) --------------
+
+std::atomic<FlightRecorder*> g_signal_target{nullptr};
+
+void signal_dump(int sig) {
+  if (FlightRecorder* rec =
+          g_signal_target.exchange(nullptr, std::memory_order_acq_rel)) {
+    // Not async-signal-safe by design (see header): the process is dying,
+    // salvage the trace window. Re-raise with default disposition after.
+    rec->dump("signal_" + std::to_string(sig));
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config,
+                               MetricsProvider metrics)
+    : config_(std::move(config)), metrics_(std::move(metrics)) {
+  if (config_.dir.empty())
+    throw std::invalid_argument{"FlightRecorder: dir must be set"};
+  if (config_.prefix.empty())
+    throw std::invalid_argument{"FlightRecorder: prefix must be set"};
+  if (config_.min_interval_ms < 0.0)
+    throw std::invalid_argument{"FlightRecorder: negative min_interval_ms"};
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (signals_installed_) {
+    FlightRecorder* self = this;
+    g_signal_target.compare_exchange_strong(self, nullptr,
+                                            std::memory_order_acq_rel);
+  }
+}
+
+void FlightRecorder::install_signal_handler() {
+  FlightRecorder* expected = nullptr;
+  if (!g_signal_target.compare_exchange_strong(expected, this,
+                                               std::memory_order_acq_rel))
+    throw std::logic_error{
+        "FlightRecorder: another recorder already owns the signal handler"};
+  signals_installed_ = true;
+  std::signal(SIGSEGV, signal_dump);
+  std::signal(SIGABRT, signal_dump);
+  std::signal(SIGBUS, signal_dump);
+}
+
+std::string FlightRecorder::dump(const std::string& reason) {
+  std::lock_guard lock{mu_};
+  const std::uint64_t seq = dumps_.load(std::memory_order_relaxed);
+  if (config_.max_dumps > 0 && seq >= config_.max_dumps) return {};
+  const double now = clock_.elapsed_ms();
+  if (last_dump_ms_ >= 0.0 && now - last_dump_ms_ < config_.min_interval_ms)
+    return {};
+
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (ec) {
+    EINET_LOG(Warn) << "flight recorder: cannot create " << config_.dir
+                    << ": " << ec.message();
+    return {};
+  }
+
+  const std::string stem = config_.dir + "/" + config_.prefix + "_" +
+                           std::to_string(seq) + "_" + sanitize(reason);
+  const std::string trace_path = stem + ".trace.json";
+  const TraceReport report = Tracer::instance().collect();
+  if (!write_chrome_trace_file(report, trace_path)) {
+    EINET_LOG(Warn) << "flight recorder: cannot write " << trace_path;
+    return {};
+  }
+  if (metrics_) {
+    const std::string metrics_path = stem + ".metrics.json";
+    if (std::ofstream out{metrics_path}; out) {
+      out << metrics_() << "\n";
+    } else {
+      EINET_LOG(Warn) << "flight recorder: cannot write " << metrics_path;
+    }
+  }
+  last_dump_ms_ = now;
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  EINET_LOG(Info) << "flight recorder: dumped " << report.events.size()
+                  << " events -> " << trace_path << " (" << reason << ")";
+  return trace_path;
+}
+
+}  // namespace einet::obs::telemetry

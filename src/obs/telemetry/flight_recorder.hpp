@@ -1,0 +1,84 @@
+// Flight recorder (DESIGN.md telemetry plane): the lock-free trace rings
+// already hold a bounded window of recent events per thread — this class
+// turns them into a post-mortem artifact on demand. On trigger (an SLO
+// breach, a fatal signal, or an explicit call) it snapshots the rings via
+// Tracer::collect() and writes:
+//
+//   <dir>/<prefix>_<seq>_<reason>.trace.json    Chrome trace of the window
+//   <dir>/<prefix>_<seq>_<reason>.metrics.json  metrics snapshot (provider)
+//
+// Dumps are rate-limited (min_interval_ms between dumps, max_dumps per
+// recorder) so a flapping SLO cannot fill the disk, and serialized by one
+// mutex so concurrent triggers produce distinct sequence numbers. The
+// metrics provider is any closure returning a JSON document — typically
+// MetricsSnapshot::to_json plus whatever the app wants preserved.
+//
+// Signal path: install_signal_handler() registers a best-effort handler for
+// SIGSEGV/SIGABRT/SIGBUS that dumps the *process-global* recorder. It is
+// deliberately not async-signal-safe (it allocates and takes locks) — on a
+// crash that is already fatal this trades theoretical deadlock risk for a
+// trace of the last milliseconds, which is the trade a flight recorder
+// wants. At most one recorder can be the signal target at a time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "util/timer.hpp"
+
+namespace einet::obs::telemetry {
+
+struct FlightRecorderConfig {
+  /// Output directory; created (recursively) on first dump.
+  std::string dir = "artifacts";
+  /// Artifact file-name prefix.
+  std::string prefix = "flight";
+  /// Hard cap on dumps this recorder will ever write (0 = unlimited).
+  std::size_t max_dumps = 8;
+  /// Minimum wall-clock spacing between dumps; closer triggers are dropped.
+  double min_interval_ms = 500.0;
+};
+
+class FlightRecorder {
+ public:
+  /// Returns one JSON document with whatever state should survive next to
+  /// the trace (typically a metrics snapshot).
+  using MetricsProvider = std::function<std::string()>;
+
+  explicit FlightRecorder(FlightRecorderConfig config = {},
+                          MetricsProvider metrics = nullptr);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Trigger a dump. `reason` is sanitized into the file names. Returns the
+  /// trace-file path, or an empty string when the dump was suppressed
+  /// (rate limit, cap) or failed.
+  std::string dump(const std::string& reason);
+
+  /// Number of dumps written so far.
+  [[nodiscard]] std::uint64_t dumps() const {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const FlightRecorderConfig& config() const { return config_; }
+
+  /// Make this recorder the process signal target (SIGSEGV/SIGABRT/SIGBUS
+  /// dump with reason "signal_<n>"). Unregistered automatically on
+  /// destruction. Throws when another recorder already holds the slot.
+  void install_signal_handler();
+
+ private:
+  FlightRecorderConfig config_;
+  MetricsProvider metrics_;
+  util::Timer clock_;
+  std::mutex mu_;
+  std::atomic<std::uint64_t> dumps_{0};
+  double last_dump_ms_ = -1.0;  // guarded by mu_
+  bool signals_installed_ = false;
+};
+
+}  // namespace einet::obs::telemetry

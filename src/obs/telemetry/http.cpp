@@ -1,0 +1,352 @@
+#include "obs/telemetry/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace einet::obs::telemetry {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 8192;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+std::string make_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// One in-flight exchange: buffer the request head, then flush the response.
+struct HttpConn {
+  int fd = -1;
+  std::string rbuf;
+  std::string wbuf;
+  std::size_t woff = 0;
+  bool responding = false;
+  double accept_ms = 0.0;
+
+  [[nodiscard]] std::size_t pending_write() const {
+    return wbuf.size() - woff;
+  }
+};
+
+}  // namespace
+
+TelemetryHttpServer::TelemetryHttpServer(TelemetryHub& hub,
+                                         HttpServerConfig config)
+    : hub_(hub), config_(std::move(config)) {
+  if (config_.max_connections == 0)
+    throw std::invalid_argument{
+        "TelemetryHttpServer: max_connections must be > 0"};
+}
+
+TelemetryHttpServer::~TelemetryHttpServer() { stop(); }
+
+void TelemetryHttpServer::start() {
+  if (thread_.joinable())
+    throw std::logic_error{"TelemetryHttpServer: already started"};
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("TelemetryHttpServer: socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error{"TelemetryHttpServer: bad listen address '" +
+                             config_.host + "'"};
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("TelemetryHttpServer: bind/listen on " + config_.host + ":" +
+                std::to_string(config_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    throw_errno("TelemetryHttpServer: getsockname");
+  port_ = ntohs(bound.sin_port);
+
+  thread_ = std::thread{[this] { loop(); }};
+  EINET_LOG(Info) << "telemetry: /metrics on http://" << config_.host << ":"
+                  << port_;
+}
+
+void TelemetryHttpServer::stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  EINET_LOG(Info) << "telemetry: stopped (port " << port_ << ")";
+}
+
+void TelemetryHttpServer::loop() {
+  util::Timer clock;
+  std::map<int, HttpConn> conns;  // keyed by fd (one-shot exchanges)
+
+  const auto respond = [&](HttpConn& conn, std::string bytes, bool ok) {
+    conn.wbuf = std::move(bytes);
+    conn.woff = 0;
+    conn.responding = true;
+    if (ok) scrapes_.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  // Parse-and-route once the header terminator arrives. Returns false while
+  // the request is still incomplete.
+  const auto try_route = [&](HttpConn& conn) {
+    const auto head_end = conn.rbuf.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (conn.rbuf.size() > kMaxHeaderBytes)
+        respond(conn,
+                make_response(400, "Bad Request", "text/plain",
+                              "header too large\n"),
+                false);
+      return conn.responding;
+    }
+    const auto line_end = conn.rbuf.find("\r\n");
+    const std::string line = conn.rbuf.substr(0, line_end);
+    const auto sp1 = line.find(' ');
+    const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+      respond(conn,
+              make_response(400, "Bad Request", "text/plain",
+                            "malformed request line\n"),
+              false);
+      return true;
+    }
+    const std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const auto q = path.find('?'); q != std::string::npos)
+      path.resize(q);  // scrape agents append query params; ignore them
+    if (method != "GET") {
+      respond(conn,
+              make_response(405, "Method Not Allowed", "text/plain",
+                            "only GET is supported\n"),
+              false);
+      return true;
+    }
+    EINET_INSTANT("telemetry.scrape", kApp,
+                  .value = static_cast<double>(path.size()));
+    if (path == "/metrics") {
+      respond(conn,
+              make_response(200, "OK",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            hub_.render_prometheus()),
+              true);
+    } else if (path == "/healthz") {
+      respond(conn, make_response(200, "OK", "text/plain", "ok\n"), true);
+    } else if (path == "/snapshot.json") {
+      respond(conn,
+              make_response(200, "OK", "application/json",
+                            hub_.render_snapshot_json() + "\n"),
+              true);
+    } else {
+      respond(conn,
+              make_response(404, "Not Found", "text/plain",
+                            "unknown path; try /metrics /healthz "
+                            "/snapshot.json\n"),
+              false);
+    }
+    return true;
+  };
+
+  std::vector<pollfd> pfds;
+  std::vector<int> pfd_fd;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfd_fd.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    pfd_fd.push_back(-1);
+    for (const auto& [fd, conn] : conns) {
+      pfds.push_back(
+          {fd, static_cast<short>(conn.responding ? POLLOUT : POLLIN), 0});
+      pfd_fd.push_back(fd);
+    }
+
+    const int rc =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), /*timeout=*/50);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      EINET_LOG(Warn) << "telemetry: poll failed: " << std::strerror(errno);
+      break;
+    }
+
+    if (pfds[0].revents & POLLIN) {
+      while (true) {
+        const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;
+        if (conns.size() >= config_.max_connections) {
+          ::close(fd);  // over capacity: scrape agents simply retry
+          continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        HttpConn conn;
+        conn.fd = fd;
+        conn.accept_ms = clock.elapsed_ms();
+        conns.emplace(fd, std::move(conn));
+      }
+    }
+
+    std::vector<int> done;
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+      const auto it = conns.find(pfd_fd[i]);
+      if (it == conns.end()) continue;
+      HttpConn& conn = it->second;
+      const short re = pfds[i].revents;
+      if (re & (POLLERR | POLLNVAL | POLLHUP)) {
+        if (!(re & POLLHUP) || conn.pending_write() == 0 || !conn.responding) {
+          done.push_back(conn.fd);
+          continue;
+        }
+      }
+      if (!conn.responding && (re & POLLIN)) {
+        char buf[4096];
+        while (true) {
+          const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+          if (n > 0) {
+            conn.rbuf.append(buf, static_cast<std::size_t>(n));
+            if (try_route(conn)) break;
+            if (n < static_cast<ssize_t>(sizeof buf)) break;
+            continue;
+          }
+          if (n == 0) {  // peer gave up before a full request
+            done.push_back(conn.fd);
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno != EAGAIN && errno != EWOULDBLOCK) done.push_back(conn.fd);
+          break;
+        }
+      }
+      if (conn.responding && conn.pending_write() > 0) {
+        while (conn.pending_write() > 0) {
+          const ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.woff,
+                                   conn.pending_write(), MSG_NOSIGNAL);
+          if (n > 0) {
+            conn.woff += static_cast<std::size_t>(n);
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          done.push_back(conn.fd);
+          break;
+        }
+        if (conn.pending_write() == 0) done.push_back(conn.fd);
+      }
+    }
+    // Exchange finished / failed / timed out: close (HTTP/1.0, one shot).
+    const double now = clock.elapsed_ms();
+    for (const auto& [fd, conn] : conns)
+      if (config_.request_timeout_ms > 0.0 &&
+          now - conn.accept_ms > config_.request_timeout_ms)
+        done.push_back(fd);
+    for (int fd : done) {
+      if (conns.erase(fd) > 0) ::close(fd);
+    }
+  }
+
+  for (const auto& [fd, conn] : conns) ::close(fd);
+}
+
+HttpResponse http_get(const std::string& host, std::uint16_t port,
+                      const std::string& path, double timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("http_get: socket");
+  struct Closer {
+    int fd;
+    ~Closer() { ::close(fd); }
+  } closer{fd};
+
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(timeout_ms / 1000.0);
+  tv.tv_usec = static_cast<long>((timeout_ms - 1000.0 * tv.tv_sec) * 1000.0);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error{"http_get: bad host '" + host + "'"};
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0)
+    throw_errno("http_get: connect to " + host + ":" + std::to_string(port));
+
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                          "\r\nUser-Agent: einet-http-get\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n =
+        ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw_errno("http_get: send");
+  }
+
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      raw.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // server closed: response complete (HTTP/1.0)
+    if (errno == EINTR) continue;
+    throw_errno("http_get: read");
+  }
+
+  const auto head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0)
+    throw std::runtime_error{"http_get: malformed response"};
+  const auto sp = raw.find(' ');
+  HttpResponse resp;
+  if (sp == std::string::npos || sp + 4 > raw.size())
+    throw std::runtime_error{"http_get: malformed status line"};
+  resp.status = std::stoi(raw.substr(sp + 1, 3));
+  resp.body = raw.substr(head_end + 4);
+  return resp;
+}
+
+}  // namespace einet::obs::telemetry

@@ -1,0 +1,85 @@
+// Minimal HTTP/1.0 exposition endpoint for the telemetry hub — the same
+// single-poll-loop-thread shape as net::EdgeTcpServer, radically simplified
+// because scrapes are tiny one-shot exchanges:
+//
+//   GET /metrics        -> 200 text/plain; version=0.0.4 (Prometheus text)
+//   GET /healthz        -> 200 "ok\n"
+//   GET /snapshot.json  -> 200 application/json (hub snapshot)
+//   anything else       -> 404; non-GET -> 405; malformed -> 400
+//
+// Every response closes the connection (Connection: close), so the loop
+// never parses bodies or keep-alive semantics. One thread owns all sockets;
+// stop() is idempotent and joins the thread. Intended for scrape agents and
+// curl — not a general web server (no TLS, no chunking, 8 KiB header cap).
+//
+// http_get() is the matching blocking client used by the examples' live
+// self-scrape and the tests; it speaks just enough HTTP/1.0 to fetch one
+// path and split status/body.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/telemetry/hub.hpp"
+
+namespace einet::obs::telemetry {
+
+struct HttpServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the outcome from port().
+  std::uint16_t port = 0;
+  int backlog = 16;
+  std::size_t max_connections = 64;
+  /// Close connections whose request has not completed within this budget.
+  double request_timeout_ms = 5000.0;
+};
+
+class TelemetryHttpServer {
+ public:
+  /// `hub` must outlive the server.
+  TelemetryHttpServer(TelemetryHub& hub, HttpServerConfig config = {});
+  ~TelemetryHttpServer();
+
+  TelemetryHttpServer(const TelemetryHttpServer&) = delete;
+  TelemetryHttpServer& operator=(const TelemetryHttpServer&) = delete;
+
+  /// Bind + listen + launch the loop thread. Throws on bind failure.
+  void start();
+  /// Close the listener and every connection, join the thread (idempotent).
+  void stop();
+
+  [[nodiscard]] bool running() const { return thread_.joinable(); }
+  /// The bound port (resolved after start() when config.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Requests answered with a 200 (any route).
+  [[nodiscard]] std::uint64_t scrapes() const {
+    return scrapes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  TelemetryHub& hub_;
+  HttpServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> scrapes_{0};
+  std::thread thread_;
+};
+
+/// Blocking one-shot HTTP GET against 127.0.0.1-style endpoints. Returns
+/// (status code, body); throws std::runtime_error on connect/IO failure or
+/// an unparsable response. `timeout_ms` bounds each socket operation.
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+[[nodiscard]] HttpResponse http_get(const std::string& host,
+                                    std::uint16_t port,
+                                    const std::string& path,
+                                    double timeout_ms = 5000.0);
+
+}  // namespace einet::obs::telemetry

@@ -1,0 +1,78 @@
+#include "obs/telemetry/hub.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace einet::obs::telemetry {
+
+void TelemetryHub::add(Source source) {
+  if (source.name.empty())
+    throw std::invalid_argument{"TelemetryHub: source needs a name"};
+  if (!source.prometheus && !source.json)
+    throw std::invalid_argument{"TelemetryHub: source '" + source.name +
+                                "' has no renderer"};
+  std::lock_guard lock{mu_};
+  for (const auto& s : sources_)
+    if (s.name == source.name)
+      throw std::invalid_argument{"TelemetryHub: duplicate source '" +
+                                  source.name + "'"};
+  sources_.push_back(std::move(source));
+}
+
+void TelemetryHub::remove(const std::string& name) {
+  std::lock_guard lock{mu_};
+  for (auto it = sources_.begin(); it != sources_.end(); ++it) {
+    if (it->name == name) {
+      sources_.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t TelemetryHub::num_sources() const {
+  std::lock_guard lock{mu_};
+  return sources_.size();
+}
+
+std::string TelemetryHub::render_prometheus() const {
+  // Copy the source list so renderers (which lock their own registries) run
+  // outside the hub lock.
+  std::vector<Source> sources;
+  {
+    std::lock_guard lock{mu_};
+    sources = sources_;
+  }
+  PromWriter w;
+  w.gauge("einet_uptime_ms", "Wall-clock ms since the telemetry hub started.",
+          clock_.elapsed_ms());
+  for (const auto& s : sources)
+    if (s.prometheus) s.prometheus(w);
+  return w.str();
+}
+
+std::string TelemetryHub::render_snapshot_json() const {
+  std::vector<Source> sources;
+  {
+    std::lock_guard lock{mu_};
+    sources = sources_;
+  }
+  // Hand-assembled: source fragments are already-rendered JSON values, which
+  // JsonWriter cannot embed verbatim.
+  std::ostringstream out;
+  out << "{\"uptime_ms\":" << clock_.elapsed_ms() << ",\"sources\":{";
+  bool first = true;
+  for (const auto& s : sources) {
+    if (!first) out << ",";
+    first = false;
+    const std::string fragment = s.json ? s.json() : std::string{};
+    out << "\"" << util::json_escape(s.name)
+        << "\":" << (fragment.empty() ? "null" : fragment);
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace einet::obs::telemetry

@@ -1,0 +1,60 @@
+// TelemetryHub — the composition point of the exposition endpoint: upper
+// layers (serving, net, scenario, app) register named Sources, each able to
+// render itself as Prometheus text and as a JSON fragment, and the HTTP
+// server asks the hub for the whole exposition on every scrape. The obs
+// layer stays dependency-free: sources are closures, so the hub never sees
+// serving/net types.
+//
+// Contract per source:
+//  - `name` is a unique snake_case identifier; it becomes the key of the
+//    source's object in /snapshot.json. Prometheus families should carry a
+//    source-specific prefix (e.g. einet_serving_..., einet_net_...) so
+//    families never interleave across sources.
+//  - `prometheus` / `json` are invoked on the scraping thread and must be
+//    internally synchronized (they typically call a snapshot() that locks).
+//  - `json` must return one valid JSON value (object, number, ...).
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry/prometheus.hpp"
+#include "util/timer.hpp"
+
+namespace einet::obs::telemetry {
+
+struct Source {
+  std::string name;
+  std::function<void(PromWriter&)> prometheus;
+  std::function<std::string()> json;
+};
+
+class TelemetryHub {
+ public:
+  /// Register a source. Throws on a duplicate or empty name, or when both
+  /// renderers are missing.
+  void add(Source source);
+
+  /// Remove a previously registered source (no-op when absent). Call before
+  /// destroying objects a source's closures capture.
+  void remove(const std::string& name);
+
+  /// Full Prometheus exposition: every source's families, in registration
+  /// order, preceded by the hub's own uptime gauge.
+  [[nodiscard]] std::string render_prometheus() const;
+
+  /// {"uptime_ms": ..., "sources": {"<name>": <fragment>, ...}}
+  [[nodiscard]] std::string render_snapshot_json() const;
+
+  [[nodiscard]] std::size_t num_sources() const;
+  [[nodiscard]] double uptime_ms() const { return clock_.elapsed_ms(); }
+
+ private:
+  util::Timer clock_;
+  mutable std::mutex mu_;
+  std::vector<Source> sources_;
+};
+
+}  // namespace einet::obs::telemetry

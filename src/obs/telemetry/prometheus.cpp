@@ -1,0 +1,115 @@
+#include "obs/telemetry/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace einet::obs::telemetry {
+
+namespace {
+
+/// Render a sample value: shortest round-trippable decimal, spec spellings
+/// for non-finite values.
+std::string render_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream s;
+  s.precision(17);
+  s << v;
+  return s.str();
+}
+
+}  // namespace
+
+bool PromWriter::valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  const auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name.front())) return false;
+  for (char c : name)
+    if (!tail(c)) return false;
+  return true;
+}
+
+std::string PromWriter::escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void PromWriter::preamble(const std::string& name, const std::string& help,
+                          const char* type) {
+  if (!valid_name(name))
+    throw std::invalid_argument{"PromWriter: invalid metric name '" + name +
+                                "'"};
+  if (!families_.insert(name).second) return;
+  // HELP text: newlines and backslashes are escaped per the spec.
+  std::string h;
+  h.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') h += "\\\\";
+    else if (c == '\n') h += "\\n";
+    else h += c;
+  }
+  out_ << "# HELP " << name << " " << h << "\n";
+  out_ << "# TYPE " << name << " " << type << "\n";
+}
+
+void PromWriter::sample(const std::string& name, const Labels& labels,
+                        double value) {
+  out_ << name;
+  if (!labels.empty()) {
+    out_ << "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!valid_name(k) || k.find(':') != std::string::npos)
+        throw std::invalid_argument{"PromWriter: invalid label name '" + k +
+                                    "'"};
+      if (!first) out_ << ",";
+      first = false;
+      out_ << k << "=\"" << escape_label(v) << "\"";
+    }
+    out_ << "}";
+  }
+  out_ << " " << render_value(value) << "\n";
+}
+
+void PromWriter::counter(const std::string& name, const std::string& help,
+                         double value, const Labels& labels) {
+  preamble(name, help, "counter");
+  sample(name, labels, value);
+}
+
+void PromWriter::gauge(const std::string& name, const std::string& help,
+                       double value, const Labels& labels) {
+  preamble(name, help, "gauge");
+  sample(name, labels, value);
+}
+
+void PromWriter::summary(const std::string& name, const std::string& help,
+                         double sum, std::uint64_t count,
+                         const std::vector<std::pair<double, double>>& quantiles,
+                         const Labels& labels) {
+  preamble(name, help, "summary");
+  for (const auto& [q, v] : quantiles) {
+    Labels with_q = labels;
+    with_q.emplace_back("quantile", render_value(q));
+    sample(name, with_q, v);
+  }
+  sample(name + "_sum", labels, sum);
+  sample(name + "_count", labels, static_cast<double>(count));
+}
+
+}  // namespace einet::obs::telemetry

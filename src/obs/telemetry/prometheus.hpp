@@ -1,0 +1,59 @@
+// Prometheus text exposition format, version 0.0.4 — the de-facto scrape
+// format every metrics stack ingests. PromWriter renders counters, gauges
+// and summaries with their `# HELP` / `# TYPE` preamble, emitting the
+// preamble exactly once per metric family even when a family is written in
+// several calls (e.g. one summary row per pipeline stage, distinguished by
+// a `stage="..."` label). Label values are escaped per the spec (backslash,
+// double quote, newline); non-finite sample values render as Prometheus'
+// `NaN` / `+Inf` / `-Inf` literals.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace einet::obs::telemetry {
+
+class PromWriter {
+ public:
+  /// Label set for one sample, rendered in the given order.
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Monotonically increasing total. Name should end in `_total` by
+  /// convention (not enforced).
+  void counter(const std::string& name, const std::string& help, double value,
+               const Labels& labels = {});
+
+  /// Point-in-time value.
+  void gauge(const std::string& name, const std::string& help, double value,
+             const Labels& labels = {});
+
+  /// Pre-aggregated summary: quantile samples plus `_sum` / `_count`.
+  /// `quantiles` pairs are (quantile in [0,1], value). `labels` are attached
+  /// to every sample of the family (the quantile label is appended last).
+  void summary(const std::string& name, const std::string& help, double sum,
+               std::uint64_t count,
+               const std::vector<std::pair<double, double>>& quantiles,
+               const Labels& labels = {});
+
+  /// The accumulated exposition body (ends with a newline when non-empty).
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+  /// Valid metric / label name per the Prometheus data model.
+  [[nodiscard]] static bool valid_name(const std::string& name);
+  /// Escape a label value (backslash, double quote, newline).
+  [[nodiscard]] static std::string escape_label(const std::string& value);
+
+ private:
+  void preamble(const std::string& name, const std::string& help,
+                const char* type);
+  void sample(const std::string& name, const Labels& labels, double value);
+
+  std::ostringstream out_;
+  std::set<std::string> families_;  // preamble already emitted
+};
+
+}  // namespace einet::obs::telemetry

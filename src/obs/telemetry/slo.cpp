@@ -1,0 +1,155 @@
+#include "obs/telemetry/slo.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace einet::obs::telemetry {
+
+std::string SloSnapshot::to_json() const {
+  std::ostringstream out;
+  util::JsonWriter j{out};
+  j.begin_object();
+  j.kv("window", static_cast<std::uint64_t>(window));
+  j.kv("completion_samples", static_cast<std::uint64_t>(completion_samples));
+  j.kv("decision_samples", static_cast<std::uint64_t>(decision_samples));
+  j.kv("hit_rate", hit_rate);
+  j.kv("shed_rate", shed_rate);
+  j.kv("preempt_rate", preempt_rate);
+  j.kv("total_completed", total_completed);
+  j.kv("total_hits", total_hits);
+  j.kv("total_preempted", total_preempted);
+  j.kv("total_admitted", total_admitted);
+  j.kv("total_shed", total_shed);
+  j.kv("breaches", breaches);
+  j.kv("last_breach_ms", last_breach_ms);
+  j.kv("in_breach", in_breach);
+  j.end_object();
+  return out.str();
+}
+
+SloMonitor::SloMonitor(SloConfig config) : config_(config) {
+  if (config_.window == 0)
+    throw std::invalid_argument{"SloMonitor: window must be > 0"};
+  if (config_.min_hit_rate < 0.0 || config_.min_hit_rate > 1.0 ||
+      config_.max_shed_rate < 0.0 || config_.max_shed_rate > 1.0 ||
+      config_.max_preempt_rate < 0.0 || config_.max_preempt_rate > 1.0)
+    throw std::invalid_argument{"SloMonitor: rate thresholds must be in [0,1]"};
+  completions_.assign(config_.window, 0);
+  decisions_.assign(config_.window, 0);
+}
+
+void SloMonitor::set_on_breach(BreachCallback cb) {
+  std::lock_guard lock{mu_};
+  on_breach_ = std::move(cb);
+}
+
+void SloMonitor::on_completed(bool hit, bool preempted) {
+  std::unique_lock lock{mu_};
+  ++total_completed_;
+  if (hit) ++total_hits_;
+  if (preempted) ++total_preempted_;
+  if (completion_count_ == config_.window) {
+    const std::uint8_t old = completions_[completion_head_];
+    window_hits_ -= (old & 1u) != 0;
+    window_preempted_ -= (old & 2u) != 0;
+  } else {
+    ++completion_count_;
+  }
+  completions_[completion_head_] =
+      static_cast<std::uint8_t>((hit ? 1u : 0u) | (preempted ? 2u : 0u));
+  completion_head_ = (completion_head_ + 1) % config_.window;
+  window_hits_ += hit ? 1 : 0;
+  window_preempted_ += preempted ? 1 : 0;
+  after_event(std::move(lock));
+}
+
+void SloMonitor::on_decision(bool shed) {
+  std::unique_lock lock{mu_};
+  if (shed) ++total_shed_;
+  else ++total_admitted_;
+  if (decision_count_ == config_.window)
+    window_shed_ -= decisions_[decision_head_] != 0;
+  else
+    ++decision_count_;
+  decisions_[decision_head_] = shed ? 1 : 0;
+  decision_head_ = (decision_head_ + 1) % config_.window;
+  window_shed_ += shed ? 1 : 0;
+  after_event(std::move(lock));
+}
+
+const char* SloMonitor::evaluate_locked() {
+  const char* violated = nullptr;
+  if (completion_count_ >= config_.min_samples && completion_count_ > 0) {
+    const auto n = static_cast<double>(completion_count_);
+    if (static_cast<double>(window_hits_) / n < config_.min_hit_rate)
+      violated = "hit_rate";
+    else if (static_cast<double>(window_preempted_) / n >
+             config_.max_preempt_rate)
+      violated = "preempt_rate";
+  }
+  if (violated == nullptr && decision_count_ >= config_.min_samples &&
+      decision_count_ > 0 &&
+      static_cast<double>(window_shed_) /
+              static_cast<double>(decision_count_) >
+          config_.max_shed_rate)
+    violated = "shed_rate";
+
+  if (violated == nullptr) {
+    // Healthy again: re-arm so the next violation fires without cooldown.
+    in_breach_ = false;
+    return nullptr;
+  }
+  const double now = clock_.elapsed_ms();
+  if (in_breach_ && now - last_breach_ms_ < config_.cooldown_ms)
+    return nullptr;  // persisting violation, still inside the cooldown
+  in_breach_ = true;
+  last_breach_ms_ = now;
+  ++breaches_;
+  return violated;
+}
+
+void SloMonitor::after_event(std::unique_lock<std::mutex> lock) {
+  const char* reason = evaluate_locked();
+  if (reason == nullptr) return;
+  const SloSnapshot snap = snapshot_locked();
+  BreachCallback cb = on_breach_;
+  lock.unlock();
+  EINET_INSTANT("slo.breach", kServing,
+                .value = static_cast<double>(snap.breaches));
+  if (cb) cb(snap, reason);
+}
+
+SloSnapshot SloMonitor::snapshot_locked() const {
+  SloSnapshot s;
+  s.window = config_.window;
+  s.completion_samples = completion_count_;
+  s.decision_samples = decision_count_;
+  if (completion_count_ > 0) {
+    const auto n = static_cast<double>(completion_count_);
+    s.hit_rate = static_cast<double>(window_hits_) / n;
+    s.preempt_rate = static_cast<double>(window_preempted_) / n;
+  }
+  if (decision_count_ > 0)
+    s.shed_rate = static_cast<double>(window_shed_) /
+                  static_cast<double>(decision_count_);
+  s.total_completed = total_completed_;
+  s.total_hits = total_hits_;
+  s.total_preempted = total_preempted_;
+  s.total_admitted = total_admitted_;
+  s.total_shed = total_shed_;
+  s.breaches = breaches_;
+  s.last_breach_ms = last_breach_ms_;
+  s.in_breach = in_breach_;
+  return s;
+}
+
+SloSnapshot SloMonitor::snapshot() const {
+  std::lock_guard lock{mu_};
+  return snapshot_locked();
+}
+
+}  // namespace einet::obs::telemetry

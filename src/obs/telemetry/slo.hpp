@@ -1,0 +1,148 @@
+// Rolling-window SLO monitor (DESIGN.md telemetry plane): tracks the
+// deadline-hit rate, shed rate and preemption rate over bounded sliding
+// windows of recent events and raises a breach when a configured threshold
+// is crossed.
+//
+// Two windows, because the signals live on different event streams:
+//  - the *completion* window covers finished tasks (hit = the task produced
+//    a result before its forced exit; preempted = a scenario kill cut it
+//    short), feeding hit-rate and preemption-rate;
+//  - the *decision* window covers admission verdicts (admitted vs shed),
+//    feeding shed-rate.
+//
+// Breach semantics: a window only votes once it holds `min_samples` events
+// (cold starts cannot breach), a breach emits an obs instant
+// (`slo.breach`, kServing) and invokes the optional callback *outside* the
+// monitor lock (it may take its own locks, e.g. the flight recorder's), and
+// re-arming is rate-limited by `cooldown_ms` while the window stays in
+// violation — recovery (all rates back inside thresholds) re-arms
+// immediately. Defaults never breach (thresholds at the trivial bounds), so
+// attaching a monitor without configuring it is free of surprises.
+//
+// Thread safety: every method is safe to call concurrently (one mutex; the
+// hot path is a few ring-buffer updates). Events are O(1) amortised.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace einet::obs::telemetry {
+
+struct SloConfig {
+  /// Sliding-window length, in events, for both windows.
+  std::size_t window = 256;
+  /// A window abstains from breach votes until it holds this many events.
+  std::size_t min_samples = 64;
+  /// Breach when window hit-rate drops below this (0 never breaches).
+  double min_hit_rate = 0.0;
+  /// Breach when window shed-rate exceeds this (1 never breaches).
+  double max_shed_rate = 1.0;
+  /// Breach when window preemption-rate exceeds this (1 never breaches).
+  double max_preempt_rate = 1.0;
+  /// While a violation persists, consecutive breach firings are at least
+  /// this far apart (wall-clock ms).
+  double cooldown_ms = 1000.0;
+};
+
+/// Frozen view of the monitor. Lifetime totals satisfy the same identities
+/// as the serving counters: total_completed == completed, total_hits ==
+/// valid, total_shed == shed, total_preempted == preempted.
+struct SloSnapshot {
+  // Window occupancy and rates (rates are 0 while a window is empty).
+  std::size_t window = 0;  // configured length
+  std::size_t completion_samples = 0;
+  std::size_t decision_samples = 0;
+  double hit_rate = 0.0;
+  double shed_rate = 0.0;
+  double preempt_rate = 0.0;
+
+  // Lifetime totals.
+  std::uint64_t total_completed = 0;
+  std::uint64_t total_hits = 0;
+  std::uint64_t total_preempted = 0;
+  std::uint64_t total_admitted = 0;
+  std::uint64_t total_shed = 0;
+
+  // Breach accounting.
+  std::uint64_t breaches = 0;
+  /// Wall-clock ms (monitor epoch) of the last breach; < 0 when none yet.
+  double last_breach_ms = -1.0;
+  /// True while the most recent evaluation found a threshold in violation.
+  bool in_breach = false;
+
+  /// Compact JSON object (used by MetricsSnapshot::to_json's "slo" block
+  /// and the /snapshot.json endpoint).
+  [[nodiscard]] std::string to_json() const;
+};
+
+class SloMonitor {
+ public:
+  /// `reason` names the violated threshold ("hit_rate", "shed_rate",
+  /// "preempt_rate"); the snapshot is taken at breach time.
+  using BreachCallback =
+      std::function<void(const SloSnapshot&, const std::string& reason)>;
+
+  explicit SloMonitor(SloConfig config = {});
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  /// Install the breach callback (invoked outside the monitor lock, on the
+  /// thread whose event triggered the breach). Install before wiring the
+  /// monitor into a live server; replacing it mid-flight is safe.
+  void set_on_breach(BreachCallback cb);
+
+  // Event feed (serving layer): admission verdicts and completions.
+  void on_admitted() { on_decision(/*shed=*/false); }
+  void on_shed() { on_decision(/*shed=*/true); }
+  void on_completed(bool hit, bool preempted);
+
+  [[nodiscard]] SloSnapshot snapshot() const;
+  [[nodiscard]] const SloConfig& config() const { return config_; }
+
+ private:
+  void on_decision(bool shed);
+  /// Evaluate thresholds under the lock; returns the violated threshold's
+  /// name (nullptr when healthy) and updates breach accounting.
+  const char* evaluate_locked();
+  /// Shared tail of every event: evaluate, then fire callback + instant
+  /// outside the lock when a breach was raised.
+  void after_event(std::unique_lock<std::mutex> lock);
+  [[nodiscard]] SloSnapshot snapshot_locked() const;
+
+  const SloConfig config_;
+  util::Timer clock_;
+
+  mutable std::mutex mu_;
+  BreachCallback on_breach_;
+
+  // Completion window: bit 0 = hit, bit 1 = preempted.
+  std::vector<std::uint8_t> completions_;
+  std::size_t completion_head_ = 0;
+  std::size_t completion_count_ = 0;
+  std::size_t window_hits_ = 0;
+  std::size_t window_preempted_ = 0;
+
+  // Decision window: 1 = shed.
+  std::vector<std::uint8_t> decisions_;
+  std::size_t decision_head_ = 0;
+  std::size_t decision_count_ = 0;
+  std::size_t window_shed_ = 0;
+
+  std::uint64_t total_completed_ = 0;
+  std::uint64_t total_hits_ = 0;
+  std::uint64_t total_preempted_ = 0;
+  std::uint64_t total_admitted_ = 0;
+  std::uint64_t total_shed_ = 0;
+
+  std::uint64_t breaches_ = 0;
+  double last_breach_ms_ = -1.0;
+  bool in_breach_ = false;
+};
+
+}  // namespace einet::obs::telemetry

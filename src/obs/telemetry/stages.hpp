@@ -1,0 +1,53 @@
+// Per-task stage timeline (DESIGN.md telemetry plane): where one request's
+// wall-clock budget went, stage by stage, from submit to the response write.
+//
+//   submit ──admission──> queued ──queue──> [assembler] ──> worker pickup
+//          ──exec (planner + blocks)──> complete ──respond──> bytes flushed
+//
+// The serving layer stamps monotonic instants (EdgeServer's epoch timer) at
+// each hand-off and the worker folds them into this breakdown, so a missed
+// deadline is attributable to the stage that consumed its slack. All fields
+// are wall-clock milliseconds and satisfy, for every completed task:
+//
+//   admission + queue + assembler + exec ~= end_to_end   (small bookkeeping
+//                                                         overhead excluded)
+//   planner + blocks == exec                              (exact split)
+//
+// `respond` is the post-completion TCP write latency (enqueue of the encoded
+// response until the last byte is flushed to the socket); it is recorded by
+// the net front-end per response and is NOT part of the end-to-end identity
+// above (end_to_end ends at task completion).
+#pragma once
+
+namespace einet::obs::telemetry {
+
+struct StageBreakdown {
+  /// submit() entry until the admission verdict + queue push (ms).
+  double admission_ms = 0.0;
+  /// Admission queue dwell: push until worker (or assembler) pickup, minus
+  /// any assembler dwell below (ms).
+  double queue_ms = 0.0;
+  /// Batched mode only: wall-clock wait inside the BatchAssembler before the
+  /// task's micro-batch sealed (0 in unbatched serving / bypass seals).
+  double assembler_ms = 0.0;
+  /// Worker-measured wall time executing the task's runner (ms). In batched
+  /// mode every member is attributed the whole batch's execution wall time
+  /// (members run concurrently through the shared conv parts).
+  double exec_ms = 0.0;
+  /// Portion of exec spent in plan search (InferenceOutcome::planner_ms,
+  /// clamped into [0, exec]).
+  double planner_ms = 0.0;
+  /// exec minus planner: backbone blocks, branches, predictor, pacing.
+  double blocks_ms = 0.0;
+  /// TCP response write latency (net front-end only; 0 for in-process
+  /// submitters — the respond *track* in MetricsRegistry is fed separately
+  /// by the event loop, per flushed response).
+  double respond_ms = 0.0;
+
+  /// The submit-to-complete identity sum (excludes respond, see above).
+  [[nodiscard]] double pipeline_ms() const {
+    return admission_ms + queue_ms + assembler_ms + exec_ms;
+  }
+};
+
+}  // namespace einet::obs::telemetry

@@ -212,6 +212,10 @@ std::vector<InferenceOutcome> BatchedLiveEngine::run_batched(
         st.plan = res.plan;
         st.out.planner_ms += res.search_ms;
         ++st.out.searches_run;
+        EINET_INSTANT("runtime.replan", kRuntime,
+                      .exit_index = static_cast<std::int64_t>(i + 1),
+                      .slack_ms = kill_slack(st.kill, st.t),
+                      .value = res.search_ms);
       }
     }
   }

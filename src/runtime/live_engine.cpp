@@ -129,6 +129,9 @@ InferenceOutcome LiveElasticEngine::run_impl(const nn::Tensor& image,
       plan = res.plan;
       out.planner_ms += res.search_ms;
       ++out.searches_run;
+      EINET_INSTANT("runtime.replan", kRuntime,
+                    .exit_index = static_cast<std::int64_t>(i + 1),
+                    .slack_ms = kill.slack(t), .value = res.search_ms);
     }
   }
   out.deadline_ms = kill.outcome_deadline(t);

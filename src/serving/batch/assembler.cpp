@@ -53,8 +53,13 @@ void BatchAssembler::seal(std::uint64_t key, Group& group, bool bypass) {
   mb.key = key;
   mb.bypass = bypass;
   mb.assembled_ms = now;
-  for (double arrival : group.arrival_ms)
-    metrics_.on_assembler_wait(now - arrival);
+  for (std::size_t i = 0; i < group.arrival_ms.size(); ++i) {
+    const double dwell = now - group.arrival_ms[i];
+    // Stamp the member's own dwell so the worker can carve the assembler
+    // stage out of its queue wait (telemetry plane).
+    if (i < mb.tasks.size()) mb.tasks[i].assembler_wait_ms = dwell;
+    metrics_.on_assembler_wait(dwell);
+  }
   metrics_.on_batch(mb.size(), bypass);
   EINET_INSTANT("serve.batch_sealed", kServing,
                 .slack_ms = group.arrival_ms.empty()

@@ -43,6 +43,37 @@ std::string MetricsSnapshot::to_string() const {
   row("end-to-end", end_to_end);
   out << lat.str();
 
+  util::Table stages{{"stage", "count", "mean ms", "p50 ms", "p95 ms",
+                      "p99 ms", "max ms"}};
+  const auto stage_row = [&](const char* name, const LatencySummary& s) {
+    stages.add_row({name, std::to_string(s.stats.count()),
+                    util::Table::num(s.stats.mean(), 3),
+                    util::Table::num(s.p50_ms, 3),
+                    util::Table::num(s.p95_ms, 3),
+                    util::Table::num(s.p99_ms, 3),
+                    util::Table::num(s.stats.max(), 3)});
+  };
+  stage_row("admission", stage_admission);
+  stage_row("queue", stage_queue);
+  stage_row("assembler", stage_assembler);
+  stage_row("exec", stage_exec);
+  stage_row("planner", stage_planner);
+  stage_row("blocks", stage_blocks);
+  if (stage_respond.stats.count() > 0) stage_row("respond", stage_respond);
+  out << stages.str();
+
+  if (has_slo) {
+    util::Table st{{"slo window", "hit rate", "shed rate", "preempt rate",
+                    "breaches", "in breach"}};
+    st.add_row({std::to_string(slo.completion_samples) + "/" +
+                    std::to_string(slo.window),
+                util::Table::pct(100.0 * slo.hit_rate),
+                util::Table::pct(100.0 * slo.shed_rate),
+                util::Table::pct(100.0 * slo.preempt_rate),
+                std::to_string(slo.breaches), slo.in_breach ? "YES" : "no"});
+    out << st.str();
+  }
+
   if (batches > 0) {
     util::Table bt{{"batching", "batches", "bypassed", "mean size", "p95 size",
                     "wait p50 ms", "wait p95 ms"}};
@@ -96,6 +127,38 @@ std::string MetricsSnapshot::to_json() const {
   dimension("queue_wait", queue_wait);
   dimension("end_to_end", end_to_end);
   json.end_object();
+  json.key("stages");
+  json.begin_object();
+  dimension("admission", stage_admission);
+  dimension("queue", stage_queue);
+  dimension("assembler", stage_assembler);
+  dimension("exec", stage_exec);
+  dimension("planner", stage_planner);
+  dimension("blocks", stage_blocks);
+  dimension("respond", stage_respond);
+  json.end_object();
+  json.kv("queue_peak_depth", queue_peak_depth);
+  if (has_slo) {
+    json.key("slo");
+    json.begin_object();
+    json.kv("window", static_cast<std::uint64_t>(slo.window));
+    json.kv("completion_samples",
+            static_cast<std::uint64_t>(slo.completion_samples));
+    json.kv("decision_samples",
+            static_cast<std::uint64_t>(slo.decision_samples));
+    json.kv("hit_rate", slo.hit_rate);
+    json.kv("shed_rate", slo.shed_rate);
+    json.kv("preempt_rate", slo.preempt_rate);
+    json.kv("total_completed", slo.total_completed);
+    json.kv("total_hits", slo.total_hits);
+    json.kv("total_preempted", slo.total_preempted);
+    json.kv("total_admitted", slo.total_admitted);
+    json.kv("total_shed", slo.total_shed);
+    json.kv("breaches", slo.breaches);
+    json.kv("last_breach_ms", slo.last_breach_ms);
+    json.kv("in_breach", slo.in_breach);
+    json.end_object();
+  }
   json.key("batch");
   json.begin_object();
   json.kv("batches", batches);
@@ -115,7 +178,14 @@ MetricsRegistry::MetricsRegistry(MetricsConfig config)
       // makes the histogram the exact size distribution.
       batch_size_(/*hist_hi=*/64.0, /*bins=*/64, config_.latency_reservoir,
                   /*seed=*/0xBA7C4512),
-      assembler_wait_(config_, /*seed=*/0xA55E3B1E) {}
+      assembler_wait_(config_, /*seed=*/0xA55E3B1E),
+      stage_admission_(config_, /*seed=*/0xAD111550),
+      stage_queue_(config_, /*seed=*/0x0E0E0E01),
+      stage_assembler_(config_, /*seed=*/0xA55EB1EE),
+      stage_exec_(config_, /*seed=*/0xEC5EC5EC),
+      stage_planner_(config_, /*seed=*/0x91A17E25),
+      stage_blocks_(config_, /*seed=*/0xB10C55ED),
+      stage_respond_(config_, /*seed=*/0x2E590D00) {}
 
 void MetricsRegistry::on_completed(const TaskResult& result) {
   completed_.fetch_add(1, std::memory_order_relaxed);
@@ -125,9 +195,23 @@ void MetricsRegistry::on_completed(const TaskResult& result) {
     if (result.outcome.correct)
       correct_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (slo_ != nullptr)
+    slo_->on_completed(result.outcome.has_result, result.preempted);
   std::lock_guard lock{latency_mu_};
   queue_wait_.add(result.queue_wait_ms);
   end_to_end_.add(result.end_to_end_ms);
+  const auto& st = result.stages;
+  stage_admission_.add(st.admission_ms);
+  stage_queue_.add(st.queue_ms);
+  stage_assembler_.add(st.assembler_ms);
+  stage_exec_.add(st.exec_ms);
+  stage_planner_.add(st.planner_ms);
+  stage_blocks_.add(st.blocks_ms);
+}
+
+void MetricsRegistry::on_respond(double respond_ms) {
+  std::lock_guard lock{latency_mu_};
+  stage_respond_.add(respond_ms);
 }
 
 void MetricsRegistry::on_batch(std::size_t size, bool bypass) {
@@ -167,11 +251,22 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.preempted = preempted_.load(std::memory_order_relaxed);
   snap.batches = batches_.load(std::memory_order_relaxed);
   snap.bypassed = bypassed_.load(std::memory_order_relaxed);
+  if (slo_ != nullptr) {
+    snap.has_slo = true;
+    snap.slo = slo_->snapshot();
+  }
   std::lock_guard lock{latency_mu_};
   snap.queue_wait = summarize(queue_wait_);
   snap.end_to_end = summarize(end_to_end_);
   snap.batch_size = summarize(batch_size_);
   snap.assembler_wait = summarize(assembler_wait_);
+  snap.stage_admission = summarize(stage_admission_);
+  snap.stage_queue = summarize(stage_queue_);
+  snap.stage_assembler = summarize(stage_assembler_);
+  snap.stage_exec = summarize(stage_exec_);
+  snap.stage_planner = summarize(stage_planner_);
+  snap.stage_blocks = summarize(stage_blocks_);
+  snap.stage_respond = summarize(stage_respond_);
   return snap;
 }
 

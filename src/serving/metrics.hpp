@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry/slo.hpp"
 #include "serving/task.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -72,6 +73,24 @@ struct MetricsSnapshot {
 
   LatencySummary queue_wait;
   LatencySummary end_to_end;
+  /// Per-stage latency tracks (telemetry plane, DESIGN.md): each completed
+  /// task contributes one sample to every stage below, so stage means sum to
+  /// ~the end-to-end mean (reconciliation checked by check_metrics.py).
+  LatencySummary stage_admission;
+  LatencySummary stage_queue;
+  LatencySummary stage_assembler;  // fed per completion (0 when unbatched)
+  LatencySummary stage_exec;
+  LatencySummary stage_planner;
+  LatencySummary stage_blocks;
+  /// TCP response write latency, one sample per response the net front-end
+  /// flushed (empty for in-process-only serving; count is responses, not
+  /// completions).
+  LatencySummary stage_respond;
+  /// Deepest queue occupancy observed at admission time.
+  std::uint64_t queue_peak_depth = 0;
+  /// Present when an SloMonitor is attached to the registry.
+  bool has_slo = false;
+  obs::telemetry::SloSnapshot slo;
   /// Members per sealed micro-batch (dimensionless; empty in unbatched
   /// serving). The underlying histogram makes the batch-size distribution
   /// part of the snapshot, not just its moments.
@@ -92,17 +111,32 @@ class MetricsRegistry {
   explicit MetricsRegistry(MetricsConfig config = {});
 
   void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
-  void on_admitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
-  void on_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_admitted() {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    if (slo_ != nullptr) slo_->on_admitted();
+  }
+  void on_shed() {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (slo_ != nullptr) slo_->on_shed();
+  }
   void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
 
-  /// Record a finished task (counters + latency accumulators).
+  /// Record a finished task (counters + latency accumulators + per-stage
+  /// tracks + the SLO completion window when a monitor is attached).
   void on_completed(const TaskResult& result);
 
   /// Record one sealed micro-batch (BatchAssembler only).
   void on_batch(std::size_t size, bool bypass);
   /// Record one member's wall-clock wait inside the assembler.
   void on_assembler_wait(double wait_ms);
+  /// Record one flushed TCP response's write latency (net front-end).
+  void on_respond(double respond_ms);
+
+  /// Forward admission/completion events to `slo` (not owned; must outlive
+  /// the registry, or be detached with nullptr first). Attach before serving
+  /// starts — the pointer is unsynchronized by design.
+  void attach_slo(obs::telemetry::SloMonitor* slo) { slo_ = slo; }
+  [[nodiscard]] obs::telemetry::SloMonitor* slo() const { return slo_; }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -140,11 +174,20 @@ class MetricsRegistry {
   };
   [[nodiscard]] static LatencySummary summarize(const LatencyTrack& track);
 
+  obs::telemetry::SloMonitor* slo_ = nullptr;
+
   mutable std::mutex latency_mu_;
   LatencyTrack queue_wait_;
   LatencyTrack end_to_end_;
   LatencyTrack batch_size_;
   LatencyTrack assembler_wait_;
+  LatencyTrack stage_admission_;
+  LatencyTrack stage_queue_;
+  LatencyTrack stage_assembler_;
+  LatencyTrack stage_exec_;
+  LatencyTrack stage_planner_;
+  LatencyTrack stage_blocks_;
+  LatencyTrack stage_respond_;
 };
 
 }  // namespace einet::serving

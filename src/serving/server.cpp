@@ -11,11 +11,13 @@ namespace einet::serving {
 EdgeServer::EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
                        TaskRunner runner, ServerConfig config)
     : metrics_(config.metrics),
+      slo_(config.slo),
       admission_(et, config.admission),
       queue_(config.queue_capacity, config.overflow),
       pool_(std::make_unique<WorkerPool>(queue_, metrics_, clock_,
                                          std::move(factory), std::move(runner),
                                          config.pool)) {
+  metrics_.attach_slo(&slo_);
   pool_->start();
 }
 
@@ -24,6 +26,7 @@ EdgeServer::EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
                        batch::BatchAssemblerConfig batching,
                        ServerConfig config, batch::CompatibilityFn compat)
     : metrics_(config.metrics),
+      slo_(config.slo),
       admission_(et, config.admission),
       queue_(config.queue_capacity, config.overflow),
       batch_queue_(std::make_unique<BoundedQueue<batch::MicroBatch>>(
@@ -34,6 +37,7 @@ EdgeServer::EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
       pool_(std::make_unique<WorkerPool>(*batch_queue_, metrics_, clock_,
                                          std::move(factory), std::move(runner),
                                          config.pool)) {
+  metrics_.attach_slo(&slo_);
   pool_->start();
   assembler_->start();
 }
@@ -76,6 +80,9 @@ SubmitStatus EdgeServer::submit_live(std::shared_ptr<const nn::Tensor> image,
 
 SubmitStatus EdgeServer::enqueue(Task task) {
   const double deadline_ms = task.deadline_ms;
+  // Stamp submit before the admission verdict so admit_ms - submit_ms below
+  // measures the admission stage itself (telemetry plane).
+  task.submit_ms = clock_.elapsed_ms();
   metrics_.on_submitted();
   if (!admission_.admit(deadline_ms)) {
     metrics_.on_shed();
@@ -83,7 +90,7 @@ SubmitStatus EdgeServer::enqueue(Task task) {
     return SubmitStatus::kShed;
   }
   task.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  task.submit_ms = clock_.elapsed_ms();
+  task.admit_ms = clock_.elapsed_ms();
   const auto id = task.id;
   switch (queue_.push(std::move(task))) {
     case PushResult::kAccepted:
@@ -105,6 +112,13 @@ SubmitStatus EdgeServer::enqueue(Task task) {
       return SubmitStatus::kClosed;
   }
   return SubmitStatus::kClosed;  // unreachable
+}
+
+MetricsSnapshot EdgeServer::metrics() const {
+  MetricsSnapshot snap = metrics_.snapshot();
+  // The registry does not know the queue; the facade fills the watermark.
+  snap.queue_peak_depth = queue_.peak_depth();
+  return snap;
 }
 
 void EdgeServer::shutdown() {

@@ -41,6 +41,10 @@ struct ServerConfig {
   AdmissionConfig admission;
   WorkerPoolConfig pool;
   MetricsConfig metrics;
+  /// Rolling-window SLO thresholds (telemetry plane). Defaults never breach;
+  /// tighten them to arm the monitor. The server always owns a monitor so
+  /// snapshots carry window rates even when no threshold is set.
+  obs::telemetry::SloConfig slo;
 };
 
 enum class SubmitStatus {
@@ -92,10 +96,16 @@ class EdgeServer {
   /// workers (idempotent). Every task accepted before the call is executed.
   void shutdown();
 
-  [[nodiscard]] MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  [[nodiscard]] MetricsSnapshot metrics() const;
   [[nodiscard]] const AdmissionController& admission() const {
     return admission_;
   }
+  /// The live registry (telemetry plane): the net front-end feeds respond
+  /// latencies here, and the hub's serving source snapshots through it.
+  [[nodiscard]] MetricsRegistry& registry() { return metrics_; }
+  /// The server-owned SLO monitor; set breach callbacks (flight recorder)
+  /// before traffic starts.
+  [[nodiscard]] obs::telemetry::SloMonitor& slo() { return slo_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] std::size_t num_workers() const {
     return pool_->num_workers();
@@ -111,6 +121,9 @@ class EdgeServer {
 
   util::Timer clock_;
   MetricsRegistry metrics_;
+  /// Declared after the registry (which holds a raw pointer to it) but
+  /// attached in the constructor body, before any traffic exists.
+  obs::telemetry::SloMonitor slo_;
   AdmissionController admission_;
   BoundedQueue<Task> queue_;
   /// Batched mode only: assembler output queue (kBlock) + the assembler

@@ -16,6 +16,7 @@
 
 #include "core/cancel_token.hpp"
 #include "nn/tensor.hpp"
+#include "obs/telemetry/stages.hpp"
 #include "profiling/profiles.hpp"
 #include "runtime/elastic_engine.hpp"
 
@@ -31,6 +32,10 @@ struct TaskResult {
   double end_to_end_ms = 0.0;
   /// True when a scenario kill ended the task before its plan completed.
   bool preempted = false;
+  /// Stage-by-stage decomposition of end_to_end_ms (telemetry plane): the
+  /// worker fills it from the stamps below plus its own execution timing, so
+  /// a missed deadline is attributable to the stage that consumed the slack.
+  obs::telemetry::StageBreakdown stages;
 };
 
 /// Invoked by the executing worker, on the worker's thread, after the task's
@@ -55,6 +60,12 @@ struct Task {
   double deadline_ms = 0.0;
   /// Wall-clock submit instant (ms since server start), for queue-wait.
   double submit_ms = 0.0;
+  /// Wall-clock instant the admission verdict landed and the task entered
+  /// the queue; submit_ms <= admit_ms. Stamped by EdgeServer::enqueue.
+  double admit_ms = 0.0;
+  /// Batched mode: wall-clock dwell inside the BatchAssembler before this
+  /// task's micro-batch sealed (stamped at seal; 0 in unbatched serving).
+  double assembler_wait_ms = 0.0;
   /// Set by the worker when a scenario::PreemptionInjector is attached to
   /// the pool: the runner should execute through run_cancellable() against
   /// this token instead of the pre-sampled deadline_ms.

@@ -56,6 +56,7 @@ class BoundedQueue {
       if (closed_) return PushResult::kClosed;
     }
     items_.push_back(std::move(item));
+    if (items_.size() > peak_depth_) peak_depth_ = items_.size();
     lock.unlock();
     not_empty_.notify_one();
     return PushResult::kAccepted;
@@ -106,6 +107,12 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Deepest occupancy ever reached (post-push watermark; telemetry only).
+  [[nodiscard]] std::size_t peak_depth() const {
+    std::lock_guard lock{mu_};
+    return peak_depth_;
+  }
+
   [[nodiscard]] bool closed() const {
     std::lock_guard lock{mu_};
     return closed_;
@@ -121,6 +128,7 @@ class BoundedQueue {
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  std::size_t peak_depth_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,128 @@
+#include "serving/telemetry_source.hpp"
+
+#include <cstdint>
+
+namespace einet::serving {
+
+namespace {
+
+using obs::telemetry::PromWriter;
+
+void write_summary(PromWriter& prom, const std::string& name,
+                   const std::string& help, const LatencySummary& s,
+                   const PromWriter::Labels& labels = {}) {
+  std::vector<std::pair<double, double>> quantiles;
+  if (s.percentile_samples > 0)
+    quantiles = {{0.5, s.p50_ms}, {0.95, s.p95_ms}, {0.99, s.p99_ms}};
+  const double sum = s.stats.mean() * static_cast<double>(s.stats.count());
+  prom.summary(name, help, sum, s.stats.count(), quantiles, labels);
+}
+
+void render(EdgeServer& server, PromWriter& prom) {
+  const MetricsSnapshot snap = server.metrics();
+  prom.counter("einet_serving_submitted_total", "Tasks offered to submit()",
+               static_cast<double>(snap.submitted));
+  prom.counter("einet_serving_admitted_total", "Tasks past admission control",
+               static_cast<double>(snap.admitted));
+  prom.counter("einet_serving_shed_total", "Tasks shed by admission control",
+               static_cast<double>(snap.shed));
+  prom.counter("einet_serving_rejected_total", "Tasks dropped on overflow",
+               static_cast<double>(snap.rejected));
+  prom.counter("einet_serving_completed_total", "Tasks completed",
+               static_cast<double>(snap.completed));
+  prom.counter("einet_serving_valid_total",
+               "Completed tasks with at least one result",
+               static_cast<double>(snap.valid));
+  prom.counter("einet_serving_correct_total",
+               "Completed tasks with a correct result",
+               static_cast<double>(snap.correct));
+  prom.counter("einet_serving_preempted_total",
+               "Completed tasks cut short by a scenario kill",
+               static_cast<double>(snap.preempted));
+  prom.counter("einet_serving_batches_total", "Micro-batches sealed",
+               static_cast<double>(snap.batches));
+  prom.counter("einet_serving_bypassed_total",
+               "Micro-batches emitted through the deadline bypass",
+               static_cast<double>(snap.bypassed));
+
+  prom.gauge("einet_serving_valid_rate", "valid / completed",
+             snap.valid_rate());
+  prom.gauge("einet_serving_accuracy", "correct / completed", snap.accuracy());
+  prom.gauge("einet_serving_queue_depth", "Tasks currently queued",
+             static_cast<double>(server.queue_depth()));
+  prom.gauge("einet_serving_queue_peak_depth",
+             "Deepest queue occupancy observed",
+             static_cast<double>(snap.queue_peak_depth));
+  prom.gauge("einet_serving_workers", "Worker threads",
+             static_cast<double>(server.num_workers()));
+  prom.gauge("einet_serving_uptime_ms", "Wall-clock ms since server start",
+             server.uptime_ms());
+  prom.gauge("einet_serving_admission_threshold_ms",
+             "Deadline floor below which tasks are shed",
+             server.admission().threshold_ms());
+  prom.gauge("einet_serving_admission_first_exit_ms",
+             "Simulated latency of the soonest possible result",
+             server.admission().first_exit_ms());
+
+  write_summary(prom, "einet_serving_queue_wait_ms",
+                "Wall-clock wait between submit and worker pickup",
+                snap.queue_wait);
+  write_summary(prom, "einet_serving_end_to_end_ms",
+                "Wall-clock submit-to-completion latency", snap.end_to_end);
+  // One family, one row per pipeline stage: stage rows stay contiguous so
+  // the exposition is valid even though they are separate summaries.
+  const char* const stage_help =
+      "Per-stage latency decomposition of end-to-end (telemetry plane)";
+  write_summary(prom, "einet_serving_stage_ms", stage_help,
+                snap.stage_admission, {{"stage", "admission"}});
+  write_summary(prom, "einet_serving_stage_ms", stage_help, snap.stage_queue,
+                {{"stage", "queue"}});
+  write_summary(prom, "einet_serving_stage_ms", stage_help,
+                snap.stage_assembler, {{"stage", "assembler"}});
+  write_summary(prom, "einet_serving_stage_ms", stage_help, snap.stage_exec,
+                {{"stage", "exec"}});
+  write_summary(prom, "einet_serving_stage_ms", stage_help, snap.stage_planner,
+                {{"stage", "planner"}});
+  write_summary(prom, "einet_serving_stage_ms", stage_help, snap.stage_blocks,
+                {{"stage", "blocks"}});
+  write_summary(prom, "einet_serving_stage_ms", stage_help, snap.stage_respond,
+                {{"stage", "respond"}});
+  if (snap.batches > 0) {
+    write_summary(prom, "einet_serving_batch_size", "Members per micro-batch",
+                  snap.batch_size);
+    write_summary(prom, "einet_serving_assembler_wait_ms",
+                  "Member dwell inside the batch assembler",
+                  snap.assembler_wait);
+  }
+  if (snap.has_slo) {
+    const auto& slo = snap.slo;
+    prom.gauge("einet_serving_slo_hit_rate",
+               "Deadline-hit rate over the rolling completion window",
+               slo.hit_rate);
+    prom.gauge("einet_serving_slo_shed_rate",
+               "Shed rate over the rolling decision window", slo.shed_rate);
+    prom.gauge("einet_serving_slo_preempt_rate",
+               "Preemption rate over the rolling completion window",
+               slo.preempt_rate);
+    prom.gauge("einet_serving_slo_in_breach",
+               "1 while the most recent evaluation violated a threshold",
+               slo.in_breach ? 1.0 : 0.0);
+    prom.counter("einet_serving_slo_breaches_total", "SLO breach events",
+                 static_cast<double>(slo.breaches));
+    prom.gauge("einet_serving_slo_window_samples",
+               "Completions currently inside the rolling window",
+               static_cast<double>(slo.completion_samples));
+  }
+}
+
+}  // namespace
+
+obs::telemetry::Source telemetry_source(EdgeServer& server) {
+  obs::telemetry::Source source;
+  source.name = "serving";
+  source.prometheus = [&server](PromWriter& prom) { render(server, prom); };
+  source.json = [&server] { return server.metrics().to_json(); };
+  return source;
+}
+
+}  // namespace einet::serving

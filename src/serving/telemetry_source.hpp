@@ -1,0 +1,17 @@
+// The serving pipeline's entry in the TelemetryHub: renders a live
+// MetricsSnapshot (lifecycle counters, per-stage latency summaries, SLO
+// window, batching stats) as `einet_serving_*` Prometheus families and as
+// the snapshot JSON the registry already produces. The returned Source
+// captures the server by reference — remove it from the hub before the
+// server dies.
+#pragma once
+
+#include "obs/telemetry/hub.hpp"
+#include "serving/server.hpp"
+
+namespace einet::serving {
+
+/// Build the hub Source named "serving" for a live EdgeServer.
+[[nodiscard]] obs::telemetry::Source telemetry_source(EdgeServer& server);
+
+}  // namespace einet::serving

@@ -1,5 +1,6 @@
 #include "serving/worker_pool.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 
@@ -76,6 +77,16 @@ void WorkerPool::begin_task(Task& task, TaskResult& result,
   result.id = task.id;
   result.worker_id = worker_id;
   result.queue_wait_ms = clock_.elapsed_ms() - task.submit_ms;
+  // Decompose the pickup latency into its stages (telemetry plane): the
+  // submit->push slice is admission, the assembler dwell was stamped at
+  // seal, and the remainder is pure queue time. Tasks built outside
+  // EdgeServer (tests driving the pool directly) leave admit_ms at 0, which
+  // the clamps turn into an all-queue attribution.
+  auto& stages = result.stages;
+  stages.admission_ms = std::max(0.0, task.admit_ms - task.submit_ms);
+  stages.assembler_ms = std::max(0.0, task.assembler_wait_ms);
+  stages.queue_ms = std::max(0.0, result.queue_wait_ms - stages.admission_ms -
+                                      stages.assembler_ms);
   const auto task_id = static_cast<std::int64_t>(task.id);
   // Render the queue wait (admission queue + any assembler dwell) as a span
   // that started at the submit instant.
@@ -101,6 +112,14 @@ void WorkerPool::finish_task(Task& task, TaskResult& result) {
     result.preempted = !result.outcome.completed;
   }
   result.end_to_end_ms = clock_.elapsed_ms() - task.submit_ms;
+  // Split the worker-measured execution wall time (stages.exec_ms, stamped
+  // by the loop) into plan search vs everything else. planner_ms is the
+  // engine's own search stopwatch; clamping keeps the split an exact
+  // partition even when the two clocks disagree at the microsecond level.
+  auto& stages = result.stages;
+  stages.planner_ms = std::clamp(result.outcome.planner_ms, 0.0,
+                                 stages.exec_ms);
+  stages.blocks_ms = stages.exec_ms - stages.planner_ms;
   EINET_INSTANT(
       "serve.complete", kServing,
       .task_id = static_cast<std::int64_t>(task.id),
@@ -130,6 +149,7 @@ void WorkerPool::worker_loop(std::size_t worker_id) {
       EINET_SPAN(exec_span, "serve.execute", kServing);
       exec_span.task(task_id).slack(task->deadline_ms).value(
           static_cast<double>(worker_id));
+      const util::Timer exec_timer;
       try {
         result.outcome = runner_(engine, *task, rng);
       } catch (const std::exception& e) {
@@ -139,6 +159,7 @@ void WorkerPool::worker_loop(std::size_t worker_id) {
                         << " failed: " << e.what();
         result.outcome = runtime::InferenceOutcome{};
       }
+      result.stages.exec_ms = exec_timer.elapsed_ms();
     }
     finish_task(*task, result);
   }
@@ -153,6 +174,7 @@ void WorkerPool::worker_batch_loop(std::size_t worker_id) {
     for (std::size_t i = 0; i < members; ++i)
       begin_task(mb->tasks[i], results[i], worker_id);
     std::vector<runtime::InferenceOutcome> outcomes;
+    double batch_exec_ms = 0.0;
     {
       EINET_SPAN(batch_span, "serve.batch", kServing);
       batch_span.value(static_cast<double>(members))
@@ -163,6 +185,7 @@ void WorkerPool::worker_batch_loop(std::size_t worker_id) {
                       .task_id = static_cast<std::int64_t>(task.id),
                       .slack_ms = task.deadline_ms,
                       .value = static_cast<double>(members));
+      const util::Timer exec_timer;
       try {
         outcomes = batch_runner_(engine, *mb, worker_id, rng);
       } catch (const std::exception& e) {
@@ -170,12 +193,16 @@ void WorkerPool::worker_batch_loop(std::size_t worker_id) {
                         << " failed: " << e.what();
         outcomes.clear();
       }
+      batch_exec_ms = exec_timer.elapsed_ms();
     }
     // A short (or failed) outcome vector leaves the tail members with empty
     // outcomes — they still complete, keeping admitted == completed.
     outcomes.resize(members);
     for (std::size_t i = 0; i < members; ++i) {
       results[i].outcome = outcomes[i];
+      // Members execute concurrently through the shared conv parts, so each
+      // is attributed the whole batch's wall time (that IS its exec latency).
+      results[i].stages.exec_ms = batch_exec_ms;
       obs::TaskScope member_scope{static_cast<std::int64_t>(mb->tasks[i].id)};
       finish_task(mb->tasks[i], results[i]);
     }

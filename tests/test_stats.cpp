@@ -150,5 +150,52 @@ TEST(Histogram, AsciiRendersOneRowPerBin) {
   EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
 }
 
+
+TEST(Reservoir, EmptyPercentileThrows) {
+  Reservoir r{8};
+  EXPECT_TRUE(r.exact());
+  EXPECT_EQ(r.seen(), 0u);
+  EXPECT_THROW(r.percentile(50.0), std::invalid_argument);
+}
+
+TEST(Reservoir, SingleSampleIsEveryPercentile) {
+  Reservoir r{8};
+  r.add(3.5);
+  EXPECT_TRUE(r.exact());
+  EXPECT_DOUBLE_EQ(r.percentile(0.0), 3.5);
+  EXPECT_DOUBLE_EQ(r.percentile(50.0), 3.5);
+  EXPECT_DOUBLE_EQ(r.percentile(100.0), 3.5);
+}
+
+TEST(Reservoir, ZeroCapacityClampsToOne) {
+  Reservoir r{0};
+  EXPECT_EQ(r.capacity(), 1u);
+  r.add(1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(50.0), 1.0);
+}
+
+TEST(Reservoir, ExactWhileUnderCapacityThenEstimates) {
+  Reservoir r{16, /*seed=*/99};
+  for (int i = 0; i < 16; ++i) r.add(static_cast<double>(i));
+  EXPECT_TRUE(r.exact());
+  EXPECT_EQ(r.samples().size(), 16u);
+  r.add(16.0);  // 17th sample: overflow, reservoir switches to estimates
+  EXPECT_FALSE(r.exact());
+  EXPECT_EQ(r.seen(), 17u);
+  EXPECT_EQ(r.samples().size(), 16u);  // size stays bounded at the cap
+}
+
+TEST(Reservoir, OverflowEstimatesStayInSampleRange) {
+  Reservoir r{32, /*seed=*/7};
+  for (int i = 0; i < 1000; ++i) r.add(static_cast<double>(i));
+  EXPECT_FALSE(r.exact());
+  const double p50 = r.percentile(50.0);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, 999.0);
+  // A uniform stream's retained median should land near the true median.
+  EXPECT_NEAR(p50, 500.0, 350.0);
+  EXPECT_LE(r.percentile(5.0), r.percentile(95.0));
+}
+
 }  // namespace
 }  // namespace einet::util

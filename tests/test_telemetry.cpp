@@ -1,0 +1,548 @@
+// Telemetry-plane suite (DESIGN.md): SLO monitor window semantics and breach
+// lifecycle, Prometheus text rendering, hub composition, flight-recorder
+// dumps, the HTTP exposition endpoint over real loopback sockets, and the
+// per-stage deadline attribution identities on a live EdgeServer run.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/time_distribution.hpp"
+#include "obs/telemetry/flight_recorder.hpp"
+#include "obs/telemetry/http.hpp"
+#include "obs/telemetry/hub.hpp"
+#include "obs/telemetry/prometheus.hpp"
+#include "obs/telemetry/slo.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "serving/telemetry_source.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace einet::obs::telemetry {
+namespace {
+
+// --------------------------------------------------------------- SloMonitor
+
+TEST(SloMonitor, CtorValidatesConfig) {
+  SloConfig bad_window;
+  bad_window.window = 0;
+  EXPECT_THROW(SloMonitor{bad_window}, std::invalid_argument);
+  SloConfig bad_rate;
+  bad_rate.min_hit_rate = 1.5;
+  EXPECT_THROW(SloMonitor{bad_rate}, std::invalid_argument);
+  SloConfig negative_rate;
+  negative_rate.max_shed_rate = -0.1;
+  EXPECT_THROW(SloMonitor{negative_rate}, std::invalid_argument);
+}
+
+TEST(SloMonitor, DefaultsNeverBreach) {
+  SloMonitor slo;  // trivial thresholds
+  for (int i = 0; i < 512; ++i) {
+    slo.on_shed();
+    slo.on_completed(/*hit=*/false, /*preempted=*/true);
+  }
+  const auto snap = slo.snapshot();
+  EXPECT_EQ(snap.breaches, 0u);
+  EXPECT_FALSE(snap.in_breach);
+  EXPECT_DOUBLE_EQ(snap.hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(snap.preempt_rate, 1.0);
+  EXPECT_DOUBLE_EQ(snap.shed_rate, 1.0);
+}
+
+TEST(SloMonitor, WindowRatesSlide) {
+  SloConfig cfg;
+  cfg.window = 4;
+  cfg.min_samples = 4;
+  SloMonitor slo{cfg};
+  slo.on_completed(true, false);
+  slo.on_completed(true, false);
+  slo.on_completed(false, true);
+  slo.on_completed(false, true);
+  auto snap = slo.snapshot();
+  EXPECT_EQ(snap.completion_samples, 4u);
+  EXPECT_DOUBLE_EQ(snap.hit_rate, 0.5);
+  EXPECT_DOUBLE_EQ(snap.preempt_rate, 0.5);
+  // Four more hits push the misses out of the window entirely.
+  for (int i = 0; i < 4; ++i) slo.on_completed(true, false);
+  snap = slo.snapshot();
+  EXPECT_EQ(snap.completion_samples, 4u);
+  EXPECT_DOUBLE_EQ(snap.hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(snap.preempt_rate, 0.0);
+  // Lifetime totals remember everything the window forgot.
+  EXPECT_EQ(snap.total_completed, 8u);
+  EXPECT_EQ(snap.total_hits, 6u);
+  EXPECT_EQ(snap.total_preempted, 2u);
+}
+
+TEST(SloMonitor, MinSamplesGatesBreach) {
+  SloConfig cfg;
+  cfg.window = 16;
+  cfg.min_samples = 8;
+  cfg.max_shed_rate = 0.0;  // any shed in a warm window breaches
+  SloMonitor slo{cfg};
+  for (int i = 0; i < 7; ++i) slo.on_shed();
+  EXPECT_EQ(slo.snapshot().breaches, 0u);  // cold window abstains
+  slo.on_shed();                           // 8th sample arms the window
+  const auto snap = slo.snapshot();
+  EXPECT_EQ(snap.breaches, 1u);
+  EXPECT_TRUE(snap.in_breach);
+  EXPECT_GE(snap.last_breach_ms, 0.0);
+}
+
+TEST(SloMonitor, CooldownSuppressesAndRecoveryRearms) {
+  SloConfig cfg;
+  cfg.window = 4;
+  cfg.min_samples = 4;
+  cfg.max_shed_rate = 0.5;
+  cfg.cooldown_ms = 1e9;  // one breach per violation episode
+  SloMonitor slo{cfg};
+  std::vector<std::string> reasons;
+  slo.set_on_breach([&](const SloSnapshot& at, const std::string& reason) {
+    reasons.push_back(reason);
+    EXPECT_TRUE(at.in_breach);
+  });
+  for (int i = 0; i < 4; ++i) slo.on_shed();  // shed_rate 1.0 > 0.5
+  EXPECT_EQ(slo.snapshot().breaches, 1u);
+  for (int i = 0; i < 8; ++i) slo.on_shed();  // still violating: suppressed
+  EXPECT_EQ(slo.snapshot().breaches, 1u);
+  // Recovery (window back under threshold) re-arms immediately...
+  for (int i = 0; i < 4; ++i) slo.on_admitted();
+  EXPECT_FALSE(slo.snapshot().in_breach);
+  // ...so the next violation episode fires a fresh breach.
+  for (int i = 0; i < 4; ++i) slo.on_shed();
+  const auto snap = slo.snapshot();
+  EXPECT_EQ(snap.breaches, 2u);
+  EXPECT_EQ(snap.total_shed, 16u);
+  EXPECT_EQ(snap.total_admitted, 4u);
+  ASSERT_EQ(reasons.size(), 2u);
+  EXPECT_EQ(reasons[0], "shed_rate");
+  EXPECT_EQ(reasons[1], "shed_rate");
+}
+
+TEST(SloMonitor, SnapshotJsonParses) {
+  SloMonitor slo;
+  slo.on_admitted();
+  slo.on_completed(true, false);
+  const auto doc = util::json_parse(slo.snapshot().to_json());
+  EXPECT_EQ(doc.at("total_completed").as_number(), 1);
+  EXPECT_EQ(doc.at("total_hits").as_number(), 1);
+  EXPECT_EQ(doc.at("breaches").as_number(), 0);
+}
+
+// --------------------------------------------------------------- PromWriter
+
+TEST(PromWriter, CounterAndGaugeFormat) {
+  PromWriter w;
+  w.counter("einet_requests_total", "Requests seen.", 42.0);
+  w.gauge("einet_depth", "Queue depth.", 3.0, {{"queue", "main"}});
+  EXPECT_EQ(w.str(),
+            "# HELP einet_requests_total Requests seen.\n"
+            "# TYPE einet_requests_total counter\n"
+            "einet_requests_total 42\n"
+            "# HELP einet_depth Queue depth.\n"
+            "# TYPE einet_depth gauge\n"
+            "einet_depth{queue=\"main\"} 3\n");
+}
+
+TEST(PromWriter, PreambleOncePerFamily) {
+  PromWriter w;
+  w.summary("einet_stage_ms", "Stage latency.", 10.0, 4, {{0.5, 2.5}},
+            {{"stage", "queue"}});
+  w.summary("einet_stage_ms", "Stage latency.", 20.0, 4, {{0.5, 5.0}},
+            {{"stage", "exec"}});
+  const std::string out = w.str();
+  std::size_t helps = 0;
+  for (std::size_t pos = 0;
+       (pos = out.find("# HELP einet_stage_ms", pos)) != std::string::npos;
+       ++pos)
+    ++helps;
+  EXPECT_EQ(helps, 1u);
+  EXPECT_NE(out.find("einet_stage_ms{stage=\"queue\",quantile=\"0.5\"} 2.5"),
+            std::string::npos);
+  EXPECT_NE(out.find("einet_stage_ms_sum{stage=\"exec\"} 20"),
+            std::string::npos);
+  EXPECT_NE(out.find("einet_stage_ms_count{stage=\"queue\"} 4"),
+            std::string::npos);
+}
+
+TEST(PromWriter, EscapesLabelValues) {
+  EXPECT_EQ(PromWriter::escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  PromWriter w;
+  w.gauge("einet_g", "g", 1.0, {{"path", "a\"b\nc"}});
+  EXPECT_NE(w.str().find("einet_g{path=\"a\\\"b\\nc\"} 1"), std::string::npos);
+}
+
+TEST(PromWriter, NonFiniteValuesUsePrometheusLiterals) {
+  PromWriter w;
+  w.gauge("einet_nan", "n", std::nan(""));
+  w.gauge("einet_pinf", "p", std::numeric_limits<double>::infinity());
+  w.gauge("einet_ninf", "m", -std::numeric_limits<double>::infinity());
+  const std::string out = w.str();
+  EXPECT_NE(out.find("einet_nan NaN\n"), std::string::npos);
+  EXPECT_NE(out.find("einet_pinf +Inf\n"), std::string::npos);
+  EXPECT_NE(out.find("einet_ninf -Inf\n"), std::string::npos);
+}
+
+TEST(PromWriter, RejectsInvalidNames) {
+  EXPECT_TRUE(PromWriter::valid_name("einet_ok_total"));
+  EXPECT_FALSE(PromWriter::valid_name("1bad"));
+  EXPECT_FALSE(PromWriter::valid_name("has space"));
+  PromWriter w;
+  EXPECT_THROW(w.counter("1bad", "h", 1.0), std::invalid_argument);
+  EXPECT_THROW(w.gauge("einet_g", "h", 1.0, {{"9label", "v"}}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- TelemetryHub
+
+Source counting_source(const std::string& name, int value) {
+  return Source{
+      .name = name,
+      .prometheus =
+          [name, value](PromWriter& w) {
+            w.counter("einet_" + name + "_total", "test counter",
+                      static_cast<double>(value));
+          },
+      .json = [value] { return "{\"value\": " + std::to_string(value) + "}"; },
+  };
+}
+
+TEST(TelemetryHub, RendersUptimeAndSourcesInOrder) {
+  TelemetryHub hub;
+  hub.add(counting_source("alpha", 1));
+  hub.add(counting_source("beta", 2));
+  EXPECT_EQ(hub.num_sources(), 2u);
+  const std::string prom = hub.render_prometheus();
+  const auto uptime = prom.find("einet_uptime_ms");
+  const auto alpha = prom.find("einet_alpha_total 1");
+  const auto beta = prom.find("einet_beta_total 2");
+  ASSERT_NE(uptime, std::string::npos);
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(beta, std::string::npos);
+  EXPECT_LT(uptime, alpha);
+  EXPECT_LT(alpha, beta);  // registration order
+
+  const auto doc = util::json_parse(hub.render_snapshot_json());
+  EXPECT_GE(doc.at("uptime_ms").as_number(), 0.0);
+  EXPECT_EQ(doc.at("sources").at("alpha").at("value").as_number(), 1);
+  EXPECT_EQ(doc.at("sources").at("beta").at("value").as_number(), 2);
+}
+
+TEST(TelemetryHub, RejectsBadSourcesAndRemoves) {
+  TelemetryHub hub;
+  hub.add(counting_source("alpha", 1));
+  EXPECT_THROW(hub.add(counting_source("alpha", 2)), std::invalid_argument);
+  EXPECT_THROW(hub.add(counting_source("", 3)), std::invalid_argument);
+  Source no_renderers;
+  no_renderers.name = "empty";
+  EXPECT_THROW(hub.add(std::move(no_renderers)), std::invalid_argument);
+  hub.remove("alpha");
+  hub.remove("alpha");  // no-op when absent
+  EXPECT_EQ(hub.num_sources(), 0u);
+  EXPECT_EQ(hub.render_prometheus().find("einet_alpha_total"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------------- FlightRecorder
+
+std::filesystem::path fresh_dump_dir(const std::string& tag) {
+  const auto dir = std::filesystem::path{::testing::TempDir()} /
+                   ("einet_flight_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(FlightRecorder, CtorValidatesConfig) {
+  EXPECT_THROW(FlightRecorder{FlightRecorderConfig{.dir = ""}},
+               std::invalid_argument);
+  EXPECT_THROW(FlightRecorder{FlightRecorderConfig{.prefix = ""}},
+               std::invalid_argument);
+  EXPECT_THROW(FlightRecorder{FlightRecorderConfig{.min_interval_ms = -1.0}},
+               std::invalid_argument);
+}
+
+TEST(FlightRecorder, DumpWritesTraceAndMetricsArtifacts) {
+  const auto dir = fresh_dump_dir("dump");
+  FlightRecorderConfig cfg;
+  cfg.dir = dir.string();
+  cfg.prefix = "unit";
+  cfg.min_interval_ms = 0.0;
+  FlightRecorder rec{cfg, [] { return std::string{"{\"probe\": 7}"}; }};
+  const std::string path = rec.dump("slo breach!");
+  ASSERT_FALSE(path.empty());
+  // The reason is sanitized into a file-name-safe fragment.
+  EXPECT_EQ(path, (dir / "unit_0_slo_breach_.trace.json").string());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  const auto metrics_path = dir / "unit_0_slo_breach_.metrics.json";
+  ASSERT_TRUE(std::filesystem::exists(metrics_path));
+  std::ifstream in{metrics_path};
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_EQ(util::json_parse(body.str()).at("probe").as_number(), 7);
+  // The trace artifact is valid Chrome-trace JSON (possibly zero events).
+  std::ifstream trace_in{path};
+  std::stringstream trace_body;
+  trace_body << trace_in.rdbuf();
+  EXPECT_NO_THROW(util::json_parse(trace_body.str()));
+  EXPECT_EQ(rec.dumps(), 1u);
+}
+
+TEST(FlightRecorder, MinIntervalRateLimitsDumps) {
+  const auto dir = fresh_dump_dir("interval");
+  FlightRecorderConfig cfg;
+  cfg.dir = dir.string();
+  cfg.min_interval_ms = 1e9;
+  FlightRecorder rec{cfg};
+  EXPECT_FALSE(rec.dump("first").empty());
+  EXPECT_TRUE(rec.dump("second").empty());  // inside the spacing window
+  EXPECT_EQ(rec.dumps(), 1u);
+}
+
+TEST(FlightRecorder, MaxDumpsCapsLifetimeOutput) {
+  const auto dir = fresh_dump_dir("cap");
+  FlightRecorderConfig cfg;
+  cfg.dir = dir.string();
+  cfg.max_dumps = 2;
+  cfg.min_interval_ms = 0.0;
+  FlightRecorder rec{cfg};
+  EXPECT_FALSE(rec.dump("a").empty());
+  EXPECT_FALSE(rec.dump("b").empty());
+  EXPECT_TRUE(rec.dump("c").empty());
+  EXPECT_EQ(rec.dumps(), 2u);
+}
+
+// ------------------------------------------------------ TelemetryHttpServer
+
+/// Raw one-shot exchange for requests http_get cannot produce (bad methods,
+/// malformed request lines); returns the status code from the response line.
+int raw_request_status(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[1024];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  const auto space = response.find(' ');
+  if (space == std::string::npos) return -1;
+  return std::stoi(response.substr(space + 1));
+}
+
+class HttpEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hub_.add(counting_source("probe", 5));
+    server_ = std::make_unique<TelemetryHttpServer>(hub_);
+    server_->start();
+    ASSERT_NE(server_->port(), 0);
+  }
+  void TearDown() override { server_->stop(); }
+
+  TelemetryHub hub_;
+  std::unique_ptr<TelemetryHttpServer> server_;
+};
+
+TEST_F(HttpEndpointTest, ServesMetricsHealthzAndSnapshot) {
+  const auto metrics = http_get("127.0.0.1", server_->port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("einet_uptime_ms"), std::string::npos);
+  EXPECT_NE(metrics.body.find("einet_probe_total 5"), std::string::npos);
+
+  const auto health = http_get("127.0.0.1", server_->port(), "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  const auto snap = http_get("127.0.0.1", server_->port(), "/snapshot.json");
+  EXPECT_EQ(snap.status, 200);
+  const auto doc = util::json_parse(snap.body);
+  EXPECT_EQ(doc.at("sources").at("probe").at("value").as_number(), 5);
+  EXPECT_EQ(server_->scrapes(), 3u);
+}
+
+TEST_F(HttpEndpointTest, RejectsUnknownRoutesAndMethods) {
+  EXPECT_EQ(http_get("127.0.0.1", server_->port(), "/nope").status, 404);
+  EXPECT_EQ(raw_request_status(server_->port(),
+                               "POST /metrics HTTP/1.0\r\n\r\n"),
+            405);
+  EXPECT_EQ(raw_request_status(server_->port(), "garbage\r\n\r\n"), 400);
+  EXPECT_EQ(server_->scrapes(), 0u);  // only 200s count as scrapes
+}
+
+TEST_F(HttpEndpointTest, ConcurrentScrapesAreConsistent) {
+  constexpr int kThreads = 4;
+  constexpr int kScrapesEach = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kScrapesEach; ++i) {
+        const auto res = http_get("127.0.0.1", server_->port(), "/metrics");
+        if (res.status == 200 &&
+            res.body.find("einet_probe_total 5") != std::string::npos)
+          ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kThreads * kScrapesEach);
+  EXPECT_EQ(server_->scrapes(),
+            static_cast<std::uint64_t>(kThreads * kScrapesEach));
+}
+
+TEST_F(HttpEndpointTest, StopIsIdempotent) {
+  server_->stop();
+  server_->stop();
+  EXPECT_FALSE(server_->running());
+}
+
+// --------------------------------------- EdgeServer stage attribution plane
+
+profiling::ETProfile tiny_et() {
+  profiling::ETProfile et;
+  et.model_name = "tiny";
+  et.platform_name = "test";
+  et.conv_ms = {1.0, 1.0, 1.0, 1.0};
+  et.branch_ms = {0.5, 0.5, 0.5, 0.5};
+  return et;
+}
+
+profiling::CSProfile tiny_cs(std::size_t records, std::uint64_t seed = 7) {
+  profiling::CSProfile cs;
+  cs.model_name = "tiny";
+  cs.dataset_name = "synthetic";
+  cs.num_exits = 4;
+  util::Rng rng{seed};
+  for (std::size_t r = 0; r < records; ++r) {
+    profiling::CSRecord rec;
+    float conf = rng.uniform_f(0.2f, 0.5f);
+    for (std::size_t e = 0; e < cs.num_exits; ++e) {
+      conf = std::min(1.0f, conf + rng.uniform_f(0.0f, 0.2f));
+      rec.confidence.push_back(conf);
+      rec.correct.push_back(rng.bernoulli(conf) ? 1 : 0);
+    }
+    rec.label = r % 10;
+    cs.records.push_back(std::move(rec));
+  }
+  cs.validate();
+  return cs;
+}
+
+TEST(StagePlane, EdgeServerStageTracksReconcileWithEndToEnd) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(32);
+  const core::UniformExitDistribution dist{et.total_ms()};
+  serving::ServerConfig config;
+  config.pool.num_workers = 2;
+  serving::EdgeServer server{
+      et,
+      serving::make_replicated_engine_factory(et, nullptr, {},
+                                              std::vector<float>(4, 0.5f)),
+      [&dist](runtime::ElasticEngine& engine, const serving::Task& task,
+              util::Rng&) {
+        return engine.run(*task.record, task.deadline_ms, dist);
+      },
+      config};
+
+  constexpr std::size_t kTasks = 64;
+  util::Rng rng{11};
+  for (std::size_t i = 0; i < kTasks; ++i)
+    server.submit(cs.records[rng.uniform_int(cs.size())], 20.0);
+  server.shutdown();
+
+  const auto snap = server.metrics();
+  ASSERT_EQ(snap.completed, kTasks);
+  // Every completion stamps one sample into every stage track — including
+  // the assembler track, which records 0 dwell in unbatched serving.
+  for (const auto* stage :
+       {&snap.stage_admission, &snap.stage_queue, &snap.stage_assembler,
+        &snap.stage_exec, &snap.stage_planner, &snap.stage_blocks})
+    EXPECT_EQ(stage->stats.count(), kTasks);
+  EXPECT_EQ(snap.stage_respond.stats.count(), 0u);  // no TCP front-end here
+  EXPECT_DOUBLE_EQ(snap.stage_assembler.stats.max(), 0.0);
+
+  // planner + blocks is an exact partition of exec (per task, hence in sum).
+  const double split =
+      snap.stage_planner.stats.mean() + snap.stage_blocks.stats.mean();
+  EXPECT_NEAR(split, snap.stage_exec.stats.mean(),
+              1e-9 * std::max(1.0, snap.stage_exec.stats.mean()));
+
+  // The pipeline stages reconcile with the end-to-end latency.
+  const double pipeline =
+      snap.stage_admission.stats.mean() + snap.stage_queue.stats.mean() +
+      snap.stage_assembler.stats.mean() + snap.stage_exec.stats.mean();
+  const double e2e = snap.end_to_end.stats.mean();
+  EXPECT_NEAR(pipeline, e2e, std::max(0.5, 0.05 * e2e));
+
+  // The admission path tracked queue occupancy and the SLO window saw every
+  // lifecycle event.
+  EXPECT_GE(snap.queue_peak_depth, 1u);
+  ASSERT_TRUE(snap.has_slo);
+  EXPECT_EQ(snap.slo.total_completed, snap.completed);
+  EXPECT_EQ(snap.slo.total_hits, snap.valid);
+  EXPECT_EQ(snap.slo.total_admitted, snap.admitted);
+  EXPECT_EQ(snap.slo.total_shed, snap.shed);
+  EXPECT_EQ(snap.slo.breaches, 0u);  // default thresholds never breach
+}
+
+TEST(StagePlane, ServingSourceRendersValidPrometheus) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(8);
+  const core::UniformExitDistribution dist{et.total_ms()};
+  serving::EdgeServer server{
+      et,
+      serving::make_replicated_engine_factory(et, nullptr, {},
+                                              std::vector<float>(4, 0.5f)),
+      [&dist](runtime::ElasticEngine& engine, const serving::Task& task,
+              util::Rng&) {
+        return engine.run(*task.record, task.deadline_ms, dist);
+      }};
+  for (std::size_t i = 0; i < 8; ++i) server.submit(cs.records[i], 20.0);
+  server.shutdown();
+
+  TelemetryHub hub;
+  hub.add(serving::telemetry_source(server));
+  const std::string prom = hub.render_prometheus();
+  EXPECT_NE(prom.find("einet_serving_submitted_total 8"), std::string::npos);
+  EXPECT_NE(prom.find("einet_serving_completed_total 8"), std::string::npos);
+  EXPECT_NE(prom.find("einet_serving_stage_ms_count{stage=\"exec\"} 8"),
+            std::string::npos);
+  EXPECT_NE(prom.find("einet_serving_slo_in_breach 0"), std::string::npos);
+  // The stage family's rows are contiguous: between the first and the last
+  // stage sample no other family's sample may appear.
+  const auto first = prom.find("einet_serving_stage_ms");
+  const auto last = prom.rfind("einet_serving_stage_ms");
+  ASSERT_NE(first, std::string::npos);
+  const auto tail_start = prom.find('\n', last);
+  std::istringstream middle{prom.substr(first, tail_start - first)};
+  for (std::string line; std::getline(middle, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(line.rfind("einet_serving_stage_ms", 0), 0u)
+        << "foreign sample inside the stage family: " << line;
+  }
+  hub.remove("serving");
+}
+
+}  // namespace
+}  // namespace einet::obs::telemetry
