@@ -1,0 +1,509 @@
+// BENCH split — planner-chosen split points vs the always-local and
+// always-remote corners, across link regimes (DESIGN.md §11).
+//
+// Builds the split-lab deployment with one deliberate asymmetry: the device
+// tier is MCU-class — its ET profile is the edge profile slowed ~8x, and the
+// final wide block overflows on-chip memory, costing a further 8x on its
+// conv. The device engine RUNS on that profile, so a request's simulated
+// clock is the true merged device↔edge timeline: prefix milliseconds accrue
+// at device cost, resumed blocks at edge cost, and the measured offload wall
+// time (TCP + shaped link) is the real price of the wire between them.
+//
+//   policies   local    force_split = n  — never touch the wire
+//              remote   force_split = 0  — ship the raw input every time
+//              planner  per-request link-aware split-point search
+//
+//   regimes    fast         unshaped loopback — the wire is nearly free, so
+//                           shipping the raw input (k = 0) dominates
+//              metered      throughput-capped link — the trunk pools at
+//                           blocks 1 and 2, so the block-3 activation is ~6x
+//                           smaller than the raw input; the only winning
+//                           move is the INTERMEDIATE split k = 3
+//              partitioned  every offload's connection killed mid-flight —
+//                           fall back to local, price the wire out
+//
+// Requests cycle through four deadline buckets (one generous, three that
+// kill between device exits) so the unpredictable exit actually spreads.
+// Effective latency per request = merged simulated result time + measured
+// offload wall (unresolved requests are charged their full deadline).
+// p50/p95 per policy x regime go to stdout and BENCH_split.json.
+//
+// Criteria (all enforced, nonzero exit on violation):
+//   1. every request resolves, zero protocol errors on either side;
+//   2. the planner's p95 never materially exceeds the better corner on ANY
+//      regime (it must track whichever baseline the link favours);
+//   3. on the metered regime the planner's p95 strictly beats BOTH corners
+//      and its modal offload is a genuine intermediate k (0 < k < n);
+//   4. on the partitioned regime the always-remote client completes 100% of
+//      its requests via local fallback with zero protocol errors.
+//
+// Usage: bench_split [requests_per_policy] | --smoke
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/time_distribution.hpp"
+#include "data/synthetic.hpp"
+#include "models/backbones.hpp"
+#include "models/trainer.hpp"
+#include "net/server.hpp"
+#include "nn/serialize.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "profiling/platform.hpp"
+#include "profiling/profiler.hpp"
+#include "runtime/live_engine.hpp"
+#include "scenario/link_script.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "split/metrics.hpp"
+#include "split/planner.hpp"
+#include "split/resume_runner.hpp"
+#include "split/split_client.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace einet;
+
+// Slow both simulated tiers down uniformly so simulated milliseconds are
+// commensurate with real wire milliseconds: deadline guards sit at ~150 ms
+// against ~1-5 ms of loopback wall noise. Pure simulation — no real compute
+// gets slower.
+constexpr double kTimeScale = 200.0;
+
+// The MCU's final wide block overflows on-chip memory; its conv pays this
+// on top of the tier-wide slowdown. This is what makes an intermediate
+// split point genuinely optimal: blocks [0, 3) are affordable on the
+// device, block 3 is not, and by block 3 the pooled activation is ~6x
+// smaller than the raw input.
+constexpr double kDeviceLastBlockPenalty = 8.0;
+
+// The planner's exit-value curve (its expected_confidence input): deeper
+// exits are worth more. The profiled mean confidence of this demo-sized
+// model is too flat and noisy to rank exits, so the bench supplies the
+// calibrated profile a deployment would.
+const std::vector<float> kExitValue{0.30f, 0.50f, 0.65f, 0.80f};
+
+profiling::Platform scaled(profiling::Platform p, const char* name) {
+  p.name = name;
+  p.flops_per_ms /= kTimeScale;
+  p.conv_overhead_ms *= kTimeScale;
+  p.branch_overhead_ms *= kTimeScale;
+  return p;
+}
+
+/// Both tiers of the deployment — the split_lab fixture on the scaled
+/// platforms. The edge replica's weights (batch-norm state included) travel
+/// through the checked tensor codec, as a real weight distribution would.
+struct Deployment {
+  data::SyntheticDataset ds;
+  models::MultiExitNetwork device_net;
+  models::MultiExitNetwork edge_net;
+  profiling::ETProfile et;         // edge clock (canonical tier)
+  profiling::ETProfile device_et;  // MCU clock the device engine runs on
+  std::unique_ptr<predictor::CSPredictor> device_pred;
+  std::unique_ptr<predictor::CSPredictor> edge_pred;
+
+  static Deployment build() {
+    auto spec = data::synth_cifar10_spec(160, 60);
+    auto ds = data::make_synthetic(spec);
+    util::Rng rng{7};
+    auto net = models::make_msdnet(
+        models::MsdnetSpec{.blocks = 4, .step = 1, .base = 1, .channel = 6},
+        ds.train->input_shape(), ds.train->num_classes(), rng);
+    models::MultiExitTrainer trainer{net};
+    models::TrainConfig tc;
+    tc.epochs = 4;
+    tc.batch_size = 20;
+    trainer.train(*ds.train, tc);
+
+    util::Rng rng2{99};
+    auto edge = models::make_msdnet(
+        models::MsdnetSpec{.blocks = 4, .step = 1, .base = 1, .channel = 6},
+        ds.train->input_shape(), ds.train->num_classes(), rng2);
+    std::stringstream blob;
+    nn::save_params(blob, net.params(), net.state());
+    nn::load_params(blob, edge.params(), edge.state());
+
+    auto et = profiling::profile_execution_time(
+        net, scaled(profiling::edge_fast_platform(), "bench-edge"));
+    auto device_et = profiling::profile_execution_time(
+        net, scaled(profiling::edge_slow_platform(), "bench-device"));
+    device_et.conv_ms.back() *= kDeviceLastBlockPenalty;
+    auto cs = profiling::profile_confidence(net, *ds.test);
+
+    predictor::CSPredictorConfig pc;
+    pc.hidden = 32;
+    pc.epochs = 8;
+    auto device_pred =
+        std::make_unique<predictor::CSPredictor>(net.num_exits(), pc);
+    device_pred->train(cs);
+    auto edge_pred =
+        std::make_unique<predictor::CSPredictor>(net.num_exits(), pc);
+    edge_pred->train(cs);
+
+    return Deployment{std::move(ds),        std::move(net),
+                      std::move(edge),      std::move(et),
+                      std::move(device_et), std::move(device_pred),
+                      std::move(edge_pred)};
+  }
+};
+
+/// Effective latency in merged-clock milliseconds: the simulated result time
+/// already accrues device-tier cost for prefix work and edge-tier cost for
+/// resumed work; the measured wall adds what the wire really charged. A
+/// request that produced no result costs its whole deadline budget.
+double effective_ms(const split::SplitRequestResult& r, double deadline_ms) {
+  const double sim = r.outcome.has_result ? r.outcome.result_time_ms
+                                          : deadline_ms;
+  return sim + r.offload_wall_ms;
+}
+
+struct Regime {
+  std::string name;
+  scenario::LinkScript script;
+  split::LinkEstimatorConfig link;  // estimator priors for this regime
+  double base_delay_ms = 0.0;
+  double jitter_ms = 0.0;
+  double bytes_per_ms = 0.0;  // 0 = uncapped
+  bool drops = false;
+};
+
+struct PolicyRun {
+  std::vector<double> lat;  // measured (post-warm-up) effective latencies
+  split::SplitMetricsSnapshot snap;
+  std::size_t modal_offload = SIZE_MAX;  // argmax over k < n, if any
+  double p50 = 0.0, p95 = 0.0, mean = 0.0, max = 0.0;
+};
+
+PolicyRun run_policy(runtime::LiveElasticEngine& device,
+                     const split::SplitClientConfig& config, Regime& regime,
+                     const Deployment& dep, const core::TimeDistribution& dist,
+                     const std::vector<double>& deadlines, std::size_t warmup,
+                     std::size_t requests) {
+  split::SplitClient client{device, config, &regime.script};
+  PolicyRun run;
+  for (std::size_t i = 0; i < warmup + requests; ++i) {
+    const double deadline = deadlines[i % deadlines.size()];
+    const auto& sample = dep.ds.test->sample(i % dep.ds.test->size());
+    const auto res = client.run(sample.image, sample.label, deadline, dist);
+    if (i >= warmup) run.lat.push_back(effective_ms(res, deadline));
+  }
+  run.snap = client.metrics().snapshot();
+  const auto& hist = run.snap.split_histogram;
+  std::uint64_t best = 0;
+  for (std::size_t k = 0; k + 1 < hist.size(); ++k)  // k == n is "local"
+    if (hist[k] > best) {
+      best = hist[k];
+      run.modal_offload = k;
+    }
+  run.p50 = util::percentile(run.lat, 50);
+  run.p95 = util::percentile(run.lat, 95);
+  run.mean = std::accumulate(run.lat.begin(), run.lat.end(), 0.0) /
+             static_cast<double>(run.lat.size());
+  run.max = *std::max_element(run.lat.begin(), run.lat.end());
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 32;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      requests = 16;
+    } else {
+      requests =
+          static_cast<std::size_t>(std::strtoul(arg.c_str(), nullptr, 10));
+      if (requests == 0) {
+        std::cerr << "usage: bench_split [requests_per_policy] | --smoke\n";
+        return EXIT_FAILURE;
+      }
+    }
+  }
+  requests = (requests + 3) / 4 * 4;  // full deadline cycles
+  // Warm-up absorbs the estimator's cold start (the partitioned regime needs
+  // ~4 failure penalties before the planner prices the wire out) and is
+  // excluded from the latency samples.
+  const std::size_t warmup = 16;
+
+  bench::print_bench_header(
+      "BENCH split",
+      "Split-point planner vs always-local / always-remote across link "
+      "regimes");
+
+  std::cout << "building deployment (train + codec weight shipment + "
+               "profiles)...\n";
+  auto dep = Deployment::build();
+  const std::size_t n = dep.device_net.num_exits();
+  const auto bytes = split::activation_frame_bytes(dep.device_net);
+  const double device_total = dep.device_et.total_ms();
+  const core::UniformExitDistribution dist{device_total};
+
+  // Deadline buckets, cycled per request. The first exit on the device
+  // completes at dev_exit0; buckets at 1.2x and 1.4x kill the device before
+  // it can ship a block-3 frame (the prefix alone outlasts them), 1.8x can
+  // be saved only by resuming block 3 on the edge, and the generous bucket
+  // lets every plan run out. Generous first, so a full warm-up cycle probes
+  // the link before measurement.
+  const double dev_exit0 = dep.device_et.conv_ms[0] + dep.device_et.branch_ms[0];
+  const std::vector<double> deadlines{3.0 * device_total, 1.2 * dev_exit0,
+                                      1.4 * dev_exit0, 1.8 * dev_exit0};
+
+  // Metered-regime cap, derived from the profiles so the bench is robust to
+  // fixture drift. In the planner's merged timeline, splitting at the last
+  // block beats staying local exactly when the transfer stall is below
+  //   W = device_total - device_prefix(n-1) - edge_cost(n-1),
+  // the device time the offload saves net of the edge time it adds. Target
+  // a stall at 40% of W: comfortably winning for k = n-1, while the raw
+  // input frame (~6x the bytes) prices k = 0 out.
+  double device_prefix = 0.0;
+  for (std::size_t b = 0; b + 1 < n; ++b)
+    device_prefix += dep.device_et.conv_ms[b] + dep.device_et.branch_ms[b];
+  const double last_edge_cost =
+      dep.et.conv_ms[n - 1] + dep.et.branch_ms[n - 1];
+  const double win_window = device_total - device_prefix - last_edge_cost;
+  if (win_window < 20.0) {
+    std::cerr << "error: split win window " << win_window
+              << " ms too small — fixture drifted\n";
+    return EXIT_FAILURE;
+  }
+  const double t_deep = 0.4 * win_window;
+  const double cap = bytes[n - 1] / t_deep;
+
+  std::cout << "blocks: " << n << ", edge total "
+            << util::Table::num(dep.et.total_ms(), 1) << " ms, device total "
+            << util::Table::num(device_total, 1) << " ms, frame bytes [";
+  for (std::size_t k = 0; k <= n; ++k)
+    std::cout << (k ? " " : "") << bytes[k];
+  std::cout << "], metered cap " << util::Table::num(cap, 2)
+            << " B/ms (deep frame ~" << util::Table::num(t_deep, 1)
+            << " ms, raw input ~" << util::Table::num(bytes[0] / cap, 1)
+            << " ms)\n";
+
+  // Edge stack: live resume engine behind the TCP front-end.
+  runtime::LiveElasticEngine edge_live{dep.edge_net, dep.et,
+                                       dep.edge_pred.get(),
+                                       runtime::ElasticConfig{}};
+  serving::ServerConfig server_config;
+  server_config.queue_capacity = 512;
+  server_config.pool.num_workers = 2;
+  const auto factory = serving::make_replicated_engine_factory(
+      dep.et, nullptr, {}, std::vector<float>(n, 0.5f));
+  serving::EdgeServer edge{dep.et, factory,
+                           split::make_resume_runner(edge_live, dist),
+                           server_config};
+  net::TcpServerConfig tsc;
+  tsc.accept_activation = true;
+  net::EdgeTcpServer tcp{edge, tsc};
+  tcp.start();
+
+  // The device engine runs ON the device profile: prefix work accrues
+  // MCU-priced simulated time, which the snapshot carries to the edge.
+  runtime::LiveElasticEngine device{dep.device_net, dep.device_et,
+                                    dep.device_pred.get(),
+                                    runtime::ElasticConfig{}};
+  const auto base_config = [&] {
+    split::SplitClientConfig cc;
+    cc.net.port = tcp.port();
+    cc.planner.device_et = dep.device_et;
+    cc.planner.edge_et = dep.et;
+    cc.planner.activation_bytes = bytes;
+    cc.expected_confidence = kExitValue;
+    return cc;
+  };
+
+  std::vector<Regime> regimes;
+  {
+    Regime fast{"fast", scenario::LinkScript{11}, {}, 0, 0, 0, false};
+    fast.script.healthy_phase(1);
+    regimes.push_back(std::move(fast));
+
+    // The estimator starts from persisted link stats (truthful priors); its
+    // online updates keep it there. Cold-start learning is partitioned's job.
+    split::LinkEstimatorConfig metered_link;
+    metered_link.prior_rtt_ms = 2.0;
+    metered_link.prior_bytes_per_ms = cap;
+    Regime metered{"metered", scenario::LinkScript{12}, metered_link,
+                   2.0,       0.5,                      cap,  false};
+    metered.script.degraded_phase(1, metered.base_delay_ms, metered.jitter_ms,
+                                  cap);
+    regimes.push_back(std::move(metered));
+
+    Regime part{"partitioned", scenario::LinkScript{13}, {}, 0, 0, 0, true};
+    part.script.outage_phase(1);
+    regimes.push_back(std::move(part));
+  }
+
+  struct Policy {
+    std::string name;
+    std::optional<std::size_t> force;
+  };
+  const std::vector<Policy> policies{
+      {"local", n}, {"remote", std::size_t{0}}, {"planner", std::nullopt}};
+
+  util::Table table{{"regime", "policy", "p50 ms", "p95 ms", "mean ms",
+                     "off/loc/fb", "modal k"}};
+  std::vector<std::vector<PolicyRun>> runs;  // [regime][policy]
+  for (auto& regime : regimes) {
+    runs.emplace_back();
+    for (const auto& policy : policies) {
+      auto cc = base_config();
+      cc.link = regime.link;
+      cc.force_split = policy.force;
+      auto run = run_policy(device, cc, regime, dep, dist, deadlines, warmup,
+                            requests);
+      table.add_row(
+          {regime.name, policy.name, util::Table::num(run.p50, 1),
+           util::Table::num(run.p95, 1), util::Table::num(run.mean, 1),
+           std::to_string(run.snap.offloaded) + "/" +
+               std::to_string(run.snap.local) + "/" +
+               std::to_string(run.snap.local_fallback),
+           run.modal_offload == SIZE_MAX
+               ? std::string{"-"}
+               : std::to_string(run.modal_offload)});
+      runs.back().push_back(std::move(run));
+    }
+  }
+  tcp.stop();
+  edge.shutdown();
+  const auto nm = tcp.net_metrics();
+  std::cout << "\n" << table.str() << "\n";
+
+  // ---- criteria ----------------------------------------------------------
+  bool resolved_ok = nm.protocol_errors == 0;
+  bool corner_ok = true;
+  std::vector<std::string> win_regimes;
+  bool metered_win = false;
+  bool partitioned_ok = false;
+  for (std::size_t r = 0; r < regimes.size(); ++r) {
+    const auto& lo_run = runs[r][0];
+    const auto& re_run = runs[r][1];
+    const auto& pl = runs[r][2];
+    for (const auto* run : {&lo_run, &re_run, &pl}) {
+      const auto& s = run->snap;
+      resolved_ok &= s.completed == warmup + requests;
+      resolved_ok &= s.offloaded + s.local + s.local_fallback == s.completed;
+      resolved_ok &= s.protocol_errors == 0;
+    }
+    // The planner may never lose materially to the better corner. The slack
+    // absorbs loopback wall noise on the fast regime, where all three
+    // policies sit within a few milliseconds of each other.
+    const double best_corner = std::min(lo_run.p95, re_run.p95);
+    corner_ok &= pl.p95 <= 1.15 * best_corner + 5.0;
+    const bool strict = pl.p95 < lo_run.p95 && pl.p95 < re_run.p95;
+    if (strict) win_regimes.push_back(regimes[r].name);
+    if (regimes[r].name == "metered")
+      metered_win = strict && pl.snap.offloaded > 0 &&
+                    pl.modal_offload > 0 && pl.modal_offload < n;
+    if (regimes[r].name == "partitioned")
+      partitioned_ok =
+          re_run.snap.local_fallback == warmup + requests &&
+          re_run.snap.protocol_errors == 0 && pl.snap.protocol_errors == 0;
+  }
+  const bool pass = resolved_ok && corner_ok && metered_win && partitioned_ok;
+
+  std::cout << "criterion: all resolved, zero protocol errors -> "
+            << (resolved_ok ? "PASS" : "FAIL") << "\n"
+            << "criterion: planner p95 tracks the better corner on every "
+               "regime -> "
+            << (corner_ok ? "PASS" : "FAIL") << "\n"
+            << "criterion: metered regime won strictly via an intermediate "
+               "split -> "
+            << (metered_win ? "PASS" : "FAIL") << "\n"
+            << "criterion: partitioned regime completes 100% via local "
+               "fallback -> "
+            << (partitioned_ok ? "PASS" : "FAIL");
+  if (!win_regimes.empty()) {
+    std::cout << "  (planner wins:";
+    for (const auto& w : win_regimes) std::cout << " " << w;
+    std::cout << ")";
+  }
+  std::cout << "\n";
+
+  // ---- BENCH_split.json --------------------------------------------------
+  std::ostringstream json;
+  util::JsonWriter jw{json};
+  jw.begin_object();
+  jw.kv("bench", "split");
+  jw.kv("requests_per_policy", static_cast<std::uint64_t>(requests));
+  jw.kv("warmup", static_cast<std::uint64_t>(warmup));
+  jw.kv("blocks", static_cast<std::uint64_t>(n));
+  jw.kv("edge_total_ms", dep.et.total_ms());
+  jw.kv("device_total_ms", device_total);
+  jw.kv("device_last_block_penalty", kDeviceLastBlockPenalty);
+  jw.kv("metered_cap_bytes_per_ms", cap);
+  jw.key("activation_bytes");
+  jw.begin_array();
+  for (std::size_t k = 0; k <= n; ++k) jw.value(bytes[k]);
+  jw.end_array();
+  jw.key("deadlines_ms");
+  jw.begin_array();
+  for (const double d : deadlines) jw.value(d);
+  jw.end_array();
+  jw.key("regimes");
+  jw.begin_object();
+  for (std::size_t r = 0; r < regimes.size(); ++r) {
+    jw.key(regimes[r].name);
+    jw.begin_object();
+    jw.key("shaping");
+    jw.begin_object();
+    jw.kv("base_delay_ms", regimes[r].base_delay_ms);
+    jw.kv("jitter_ms", regimes[r].jitter_ms);
+    jw.kv("bytes_per_ms", regimes[r].bytes_per_ms);
+    jw.kv("drops", regimes[r].drops);
+    jw.end_object();
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const auto& run = runs[r][p];
+      jw.key(policies[p].name);
+      jw.begin_object();
+      jw.kv("p50_ms", run.p50);
+      jw.kv("p95_ms", run.p95);
+      jw.kv("mean_ms", run.mean);
+      jw.kv("max_ms", run.max);
+      jw.kv("offloaded", run.snap.offloaded);
+      jw.kv("local", run.snap.local);
+      jw.kv("local_fallback", run.snap.local_fallback);
+      jw.kv("transport_errors", run.snap.transport_errors);
+      jw.kv("protocol_errors", run.snap.protocol_errors);
+      if (run.modal_offload == SIZE_MAX) {
+        jw.key("modal_split");
+        jw.null();
+      } else {
+        jw.kv("modal_split", static_cast<std::uint64_t>(run.modal_offload));
+      }
+      jw.end_object();
+    }
+    jw.end_object();
+  }
+  jw.end_object();
+  jw.key("planner_win_regimes");
+  jw.begin_array();
+  for (const auto& w : win_regimes) jw.value(w);
+  jw.end_array();
+  jw.kv("server_protocol_errors", nm.protocol_errors);
+  jw.kv("pass", pass);
+  jw.end_object();
+  std::ofstream out{"BENCH_split.json"};
+  out << json.str() << "\n";
+  if (!out) {
+    std::cerr << "error: could not write BENCH_split.json\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "-> BENCH_split.json\n";
+  return pass ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,402 @@
+// Tiered split-execution demo + acceptance harness (DESIGN.md §11).
+//
+// Builds one deployment twice: a device tier (network + predictor) and an
+// edge tier whose weights — batch-norm running stats included — arrive
+// through the checked tensor codec, exactly as a weight distribution would
+// ship them. Then drives three link regimes through the full
+// device→wire→edge path:
+//
+//   A  healthy   Forced-k sweep over loopback TCP: for every split point k
+//                the offloaded outcome must be bit-identical to the
+//                in-process reference (the wire adds transport, not
+//                semantics), plus a planner-driven batch that should choose
+//                to offload (the device tier is MCU-class, the edge
+//                Jetson-class).
+//   B  outage    Every offload's connection is killed mid-flight
+//                (scenario::LinkScript). Every request must still resolve,
+//                via the device's best local exit (SplitPath::kLocalFallback)
+//                with zero protocol errors — the ≥99 % degradation bar.
+//   C  degraded  The link gains a real (slept) delay larger than the
+//                deadline budget. The estimator learns it within a couple of
+//                offloads and the planner degrades to local execution — the
+//                graceful-degradation loop, observable in the split-point
+//                histogram.
+//
+// Writes artifacts/split_lab_metrics.json: per-phase snapshots plus a
+// combined "split" block whose identity (offloaded + local + local_fallback
+// == completed, histogram sum == completed) scripts/check_metrics.py
+// asserts. Exits nonzero on any verdict failure.
+//
+// Usage: split_lab [samples_per_k] [outage_requests] [degraded_requests]
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/time_distribution.hpp"
+#include "data/synthetic.hpp"
+#include "example_args.hpp"
+#include "models/backbones.hpp"
+#include "models/trainer.hpp"
+#include "net/server.hpp"
+#include "nn/serialize.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "profiling/platform.hpp"
+#include "profiling/profiler.hpp"
+#include "runtime/live_engine.hpp"
+#include "scenario/link_script.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "split/metrics.hpp"
+#include "split/planner.hpp"
+#include "split/resume_runner.hpp"
+#include "split/split_client.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace einet;
+
+/// Both tiers of the deployment (the split-test fixture, demo-sized).
+struct Deployment {
+  data::SyntheticDataset ds;
+  models::MultiExitNetwork device_net;
+  models::MultiExitNetwork edge_net;
+  profiling::ETProfile et;         // canonical clock (edge tier)
+  profiling::ETProfile device_et;  // planner cost model
+  profiling::CSProfile cs;
+  std::unique_ptr<predictor::CSPredictor> device_pred;
+  std::unique_ptr<predictor::CSPredictor> edge_pred;
+  std::vector<float> mean_conf;
+
+  static Deployment build() {
+    auto spec = data::synth_cifar10_spec(160, 60);
+    auto ds = data::make_synthetic(spec);
+    util::Rng rng{7};
+    auto net = models::make_msdnet(
+        models::MsdnetSpec{.blocks = 4, .step = 1, .base = 1, .channel = 6},
+        ds.train->input_shape(), ds.train->num_classes(), rng);
+    models::MultiExitTrainer trainer{net};
+    models::TrainConfig tc;
+    tc.epochs = 4;
+    tc.batch_size = 20;
+    trainer.train(*ds.train, tc);
+
+    // Ship the trained weights + state buffers to the edge replica through
+    // the checked tensor codec — bit-identity across the split depends on it.
+    util::Rng rng2{99};
+    auto edge = models::make_msdnet(
+        models::MsdnetSpec{.blocks = 4, .step = 1, .base = 1, .channel = 6},
+        ds.train->input_shape(), ds.train->num_classes(), rng2);
+    std::stringstream blob;
+    nn::save_params(blob, net.params(), net.state());
+    nn::load_params(blob, edge.params(), edge.state());
+
+    auto et = profiling::profile_execution_time(
+        net, profiling::edge_fast_platform());
+    auto device_et = profiling::profile_execution_time(
+        net, profiling::edge_slow_platform());
+    auto cs = profiling::profile_confidence(net, *ds.test);
+
+    predictor::CSPredictorConfig pc;
+    pc.hidden = 32;
+    pc.epochs = 8;
+    auto device_pred =
+        std::make_unique<predictor::CSPredictor>(net.num_exits(), pc);
+    device_pred->train(cs);
+    auto edge_pred =
+        std::make_unique<predictor::CSPredictor>(net.num_exits(), pc);
+    edge_pred->train(cs);  // deterministic: identical weights on both tiers
+
+    std::vector<float> mean_conf(cs.num_exits, 0.0f);
+    for (const auto& rec : cs.records)
+      for (std::size_t e = 0; e < cs.num_exits; ++e)
+        mean_conf[e] += rec.confidence[e];
+    for (auto& c : mean_conf) c /= static_cast<float>(cs.records.size());
+
+    return Deployment{std::move(ds),          std::move(net),
+                      std::move(edge),        std::move(et),
+                      std::move(device_et),   std::move(cs),
+                      std::move(device_pred), std::move(edge_pred),
+                      std::move(mean_conf)};
+  }
+};
+
+bool same_outcome(const runtime::InferenceOutcome& a,
+                  const runtime::InferenceOutcome& b) {
+  return a.has_result == b.has_result && a.exit_index == b.exit_index &&
+         a.correct == b.correct && a.completed == b.completed &&
+         a.branches_executed == b.branches_executed &&
+         a.searches_run == b.searches_run &&
+         std::bit_cast<std::uint64_t>(a.result_time_ms) ==
+             std::bit_cast<std::uint64_t>(b.result_time_ms) &&
+         std::bit_cast<std::uint64_t>(a.deadline_ms) ==
+             std::bit_cast<std::uint64_t>(b.deadline_ms);
+}
+
+split::SplitMetricsSnapshot sum(const std::vector<split::SplitMetricsSnapshot>&
+                                    parts) {
+  split::SplitMetricsSnapshot out;
+  for (const auto& s : parts) {
+    out.completed += s.completed;
+    out.offloaded += s.offloaded;
+    out.local += s.local;
+    out.local_fallback += s.local_fallback;
+    out.transport_errors += s.transport_errors;
+    out.protocol_errors += s.protocol_errors;
+    if (out.split_histogram.size() < s.split_histogram.size())
+      out.split_histogram.resize(s.split_histogram.size(), 0);
+    for (std::size_t i = 0; i < s.split_histogram.size(); ++i)
+      out.split_histogram[i] += s.split_histogram[i];
+    out.link_rtt_ms = s.link_rtt_ms;  // last phase's view
+    out.link_bytes_per_ms = s.link_bytes_per_ms;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const examples::ArgParser args{
+      argc, argv, "split_lab [samples_per_k] [outage_requests] "
+                  "[degraded_requests]"};
+  const std::size_t samples_per_k = args.positive(1, 4, "samples_per_k");
+  const std::size_t outage_requests = args.positive(2, 24, "outage_requests");
+  const std::size_t degraded_requests =
+      args.positive(3, 12, "degraded_requests");
+
+  std::cout << "== tiered split execution: device ↔ edge over loopback ==\n"
+            << "building both tiers (train + codec weight shipment + "
+               "profiles)...\n";
+  auto dep = Deployment::build();
+  const std::size_t n = dep.device_net.num_exits();
+  const double edge_total = dep.et.total_ms();
+  const double device_total = dep.device_et.total_ms();
+  const core::UniformExitDistribution dist{edge_total};
+  std::cout << "blocks: " << n << ", edge total " << util::Table::num(
+                   edge_total, 3) << " ms, device total "
+            << util::Table::num(device_total, 3) << " ms (simulated)\n";
+
+  // Edge stack: live engine behind the resume runner, TCP front-end with
+  // activation frames enabled.
+  runtime::LiveElasticEngine edge_live{dep.edge_net, dep.et,
+                                       dep.edge_pred.get(),
+                                       runtime::ElasticConfig{}};
+  serving::ServerConfig server_config;
+  server_config.queue_capacity = 512;
+  server_config.pool.num_workers = 2;
+  const auto factory = serving::make_replicated_engine_factory(
+      dep.et, nullptr, {}, std::vector<float>(n, 0.5f));
+  serving::EdgeServer edge{dep.et, factory,
+                           split::make_resume_runner(edge_live, dist),
+                           server_config};
+  net::TcpServerConfig tsc;
+  tsc.accept_activation = true;
+  net::EdgeTcpServer tcp{edge, tsc};
+  tcp.start();
+  std::cout << "edge resume server on 127.0.0.1:" << tcp.port() << "\n";
+
+  runtime::LiveElasticEngine device{dep.device_net, dep.et,
+                                    dep.device_pred.get(),
+                                    runtime::ElasticConfig{}};
+  const auto base_config = [&] {
+    split::SplitClientConfig cc;
+    cc.net.port = tcp.port();
+    cc.planner.device_et = dep.device_et;
+    cc.planner.edge_et = dep.et;
+    cc.planner.activation_bytes =
+        split::activation_frame_bytes(dep.device_net);
+    cc.expected_confidence = dep.mean_conf;
+    return cc;
+  };
+
+  std::vector<split::SplitMetricsSnapshot> phase_snaps;
+  std::vector<std::string> phase_names;
+
+  // ---- phase A: healthy link, forced-k sweep + planner batch -------------
+  std::size_t mismatches = 0;
+  std::size_t offload_checked = 0;
+  std::uint64_t planner_offloads = 0;
+  {
+    split::SplitMetricsSnapshot combined;
+    std::vector<split::SplitMetricsSnapshot> a_parts;
+    for (const double deadline : {0.7 * edge_total, 3.0 * edge_total}) {
+      for (std::size_t k = 0; k < n; ++k) {
+        auto cc = base_config();
+        cc.force_split = k;
+        split::SplitClient client{device, cc};
+        for (std::size_t s = 0; s < samples_per_k; ++s) {
+          const auto& sample = dep.ds.test->sample(s % dep.ds.test->size());
+          const auto ref =
+              device.run(sample.image, sample.label, deadline, dist);
+          const auto res =
+              client.run(sample.image, sample.label, deadline, dist);
+          ++offload_checked;
+          if (!same_outcome(ref, res.outcome)) {
+            if (++mismatches <= 5)
+              std::cerr << "MISMATCH k=" << k << " sample=" << s
+                        << " deadline=" << deadline << ": exit "
+                        << ref.exit_index << " vs " << res.outcome.exit_index
+                        << ", t " << ref.result_time_ms << " vs "
+                        << res.outcome.result_time_ms << "\n";
+          }
+        }
+        a_parts.push_back(client.metrics().snapshot());
+      }
+    }
+    // Planner-driven batch: MCU-class device + healthy loopback — the
+    // planner should ship work to the Jetson-class edge.
+    auto cc = base_config();
+    split::SplitClient planner_client{device, cc};
+    const double deadline = 1.5 * device_total;
+    for (std::size_t s = 0; s < 8; ++s) {
+      const auto& sample = dep.ds.test->sample(s % dep.ds.test->size());
+      (void)planner_client.run(sample.image, sample.label, deadline, dist);
+    }
+    a_parts.push_back(planner_client.metrics().snapshot());
+    planner_offloads = a_parts.back().offloaded;
+    combined = sum(a_parts);
+    phase_snaps.push_back(combined);
+    phase_names.emplace_back("healthy");
+    std::cout << "\nphase A (healthy): " << combined.completed
+              << " requests, " << combined.offloaded << " offloaded, "
+              << mismatches << " mismatches\n";
+  }
+
+  // ---- phase B: outage — every offload's connection dies mid-flight ------
+  std::uint64_t outage_fallbacks = 0;
+  std::uint64_t outage_protocol_errors = 0;
+  {
+    scenario::LinkScript script{42};
+    script.outage_phase(outage_requests);
+    auto cc = base_config();
+    cc.force_split = n >= 2 ? 2 : 0;  // a prefix with real exits behind it
+    cc.net.max_connect_attempts = 2;
+    split::SplitClient client{device, cc, &script};
+    const double deadline = 3.0 * edge_total;
+    for (std::size_t s = 0; s < outage_requests; ++s) {
+      const auto& sample = dep.ds.test->sample(s % dep.ds.test->size());
+      (void)client.run(sample.image, sample.label, deadline, dist);
+    }
+    const auto snap = client.metrics().snapshot();
+    outage_fallbacks = snap.local_fallback;
+    outage_protocol_errors = snap.protocol_errors;
+    phase_snaps.push_back(snap);
+    phase_names.emplace_back("outage");
+    std::cout << "phase B (outage): " << snap.completed << " requests, "
+              << snap.local_fallback << " local fallbacks, "
+              << snap.transport_errors << " transport errors, link rtt now "
+              << util::Table::num(snap.link_rtt_ms, 1) << " ms\n";
+  }
+
+  // ---- phase C: degraded link — the planner learns to stay local --------
+  std::size_t degraded_tail_local = 0;
+  std::uint64_t degraded_offloads = 0;
+  const std::size_t tail = degraded_requests / 2;
+  {
+    const double deadline = 1.5 * device_total;
+    // A real (slept) delay comfortably past the deadline guard: the first
+    // offload eats it, the estimator learns it, the planner prices the wire
+    // out. Kept small in wall-clock terms — the deadlines are simulated ms.
+    const double delay_ms = std::max(5.0, 2.0 * deadline);
+    scenario::LinkScript script{7};
+    script.degraded_phase(degraded_requests, delay_ms, 0.5 * delay_ms);
+    auto cc = base_config();  // fresh estimator: optimistic priors again
+    split::SplitClient client{device, cc, &script};
+    for (std::size_t s = 0; s < degraded_requests; ++s) {
+      const auto& sample = dep.ds.test->sample(s % dep.ds.test->size());
+      const auto res = client.run(sample.image, sample.label, deadline, dist);
+      if (s >= degraded_requests - tail &&
+          res.path == split::SplitPath::kLocal)
+        ++degraded_tail_local;
+    }
+    const auto snap = client.metrics().snapshot();
+    degraded_offloads = snap.offloaded;
+    phase_snaps.push_back(snap);
+    phase_names.emplace_back("degraded");
+    std::cout << "phase C (degraded, +" << util::Table::num(delay_ms, 1)
+              << " ms wire delay): " << snap.offloaded
+              << " offloads before the planner went local; last " << tail
+              << " requests local: " << degraded_tail_local << "\n";
+  }
+
+  tcp.stop();
+  edge.shutdown();
+  const auto nm = tcp.net_metrics();
+
+  // ---- artifact ----------------------------------------------------------
+  const auto combined = sum(phase_snaps);
+  std::error_code ec;
+  std::filesystem::create_directories("artifacts", ec);
+  const char* metrics_path = "artifacts/split_lab_metrics.json";
+  {
+    std::ostringstream body;
+    util::JsonWriter j{body};
+    j.begin_object();
+    j.key("phases");
+    j.begin_object();
+    for (std::size_t i = 0; i < phase_snaps.size(); ++i) {
+      j.key(phase_names[i]);
+      j.raw(phase_snaps[i].to_json());
+    }
+    j.end_object();
+    j.key("split");
+    j.raw(combined.to_json());
+    j.kv("net_activations", nm.activations);
+    j.kv("net_protocol_errors", nm.protocol_errors);
+    j.end_object();
+    if (std::ofstream out{metrics_path}; out) out << body.str();
+  }
+  std::cout << "\nwrote " << metrics_path << "\n";
+
+  // ---- verdicts ----------------------------------------------------------
+  util::Table table{{"check", "value", "verdict"}};
+  const auto row = [&](const std::string& name, const std::string& value,
+                       bool ok) {
+    table.add_row({name, value, ok ? "ok" : "FAIL"});
+    return ok;
+  };
+  bool ok = true;
+  ok &= row("forced-k bit-identity",
+            std::to_string(offload_checked - mismatches) + "/" +
+                std::to_string(offload_checked),
+            mismatches == 0);
+  ok &= row("planner offloads on healthy link",
+            std::to_string(planner_offloads) + "/8", planner_offloads > 0);
+  ok &= row("outage fallback completion",
+            std::to_string(outage_fallbacks) + "/" +
+                std::to_string(outage_requests),
+            outage_fallbacks * 100 >= outage_requests * 99);
+  ok &= row("outage protocol errors",
+            std::to_string(outage_protocol_errors),
+            outage_protocol_errors == 0);
+  ok &= row("server protocol errors", std::to_string(nm.protocol_errors),
+            nm.protocol_errors == 0);
+  ok &= row("degraded link degrades to local",
+            std::to_string(degraded_tail_local) + "/" + std::to_string(tail),
+            degraded_tail_local == tail && degraded_offloads > 0);
+  ok &= row("split identity",
+            std::to_string(combined.offloaded) + "+" +
+                std::to_string(combined.local) + "+" +
+                std::to_string(combined.local_fallback) + "==" +
+                std::to_string(combined.completed),
+            combined.offloaded + combined.local + combined.local_fallback ==
+                combined.completed);
+  std::cout << "\n" << table.str();
+
+  if (!ok) {
+    std::cerr << "\nERROR: split execution violated its contract\n";
+    return 1;
+  }
+  std::cout << "\nsplit execution held its contract across healthy, outage "
+               "and degraded links\n";
+  return 0;
+}

@@ -20,6 +20,15 @@ Checks:
   7. The slo block (when present) is consistent with the lifecycle counters:
      total_completed == completed, total_hits == valid, total_shed == shed,
      total_preempted == preempted, and the window rates are in [0, 1].
+  8. The split block (split_lab artifacts): every request resolves exactly
+     one way (offloaded + local + local_fallback == completed), the
+     split-point histogram sums to completed, every local fallback is
+     explained by a transport or protocol error, and the link gauges are
+     non-negative. Per-phase snapshots under "phases" get the same checks.
+     --require-split fails unless the block is present with completed > 0.
+
+Artifacts may carry either block: serving snapshots have "counters", split
+snapshots have "split"; at least one must be present.
 
 Exit code 0 on success, 1 on any violation (violations are listed).
 """
@@ -54,12 +63,47 @@ def check_summary(errors, name, s, expect_count=None):
             f"{name}: mean {s['mean']} outside [{s['min']}, {s['max']}]")
 
 
+def check_split(errors, name, s):
+    if not isinstance(s, dict):
+        errors.append(f"{name}: not a JSON object")
+        return
+    for field in ("completed", "offloaded", "local", "local_fallback",
+                  "transport_errors", "protocol_errors", "link_rtt_ms",
+                  "link_bytes_per_ms"):
+        if not is_num(s.get(field)):
+            errors.append(f'{name}: missing or non-numeric "{field}"')
+            return
+    if s["offloaded"] + s["local"] + s["local_fallback"] != s["completed"]:
+        errors.append(
+            f"{name}: offloaded {s['offloaded']} + local {s['local']} + "
+            f"local_fallback {s['local_fallback']} != completed "
+            f"{s['completed']}")
+    hist = s.get("split_histogram")
+    if not (isinstance(hist, list) and hist and all(is_num(b) for b in hist)):
+        errors.append(f'{name}: missing or malformed "split_histogram"')
+    elif sum(hist) != s["completed"]:
+        errors.append(
+            f"{name}: split_histogram sums to {sum(hist)}, completed is "
+            f"{s['completed']}")
+    if s["local_fallback"] > s["transport_errors"] + s["protocol_errors"]:
+        errors.append(
+            f"{name}: {s['local_fallback']} fallbacks but only "
+            f"{s['transport_errors']} transport + {s['protocol_errors']} "
+            f"protocol errors to explain them")
+    for gauge in ("link_rtt_ms", "link_bytes_per_ms"):
+        if s[gauge] < 0:
+            errors.append(f"{name}: {gauge} {s[gauge]} negative")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("metrics_json")
     parser.add_argument(
         "--require-batching", action="store_true",
         help="fail unless the batch block shows batches > 0")
+    parser.add_argument(
+        "--require-split", action="store_true",
+        help="fail unless the split block is present with completed > 0")
     args = parser.parse_args()
 
     errors = []
@@ -70,10 +114,36 @@ def main():
         print(f"error: cannot read {args.metrics_json}: {e}")
         return 1
 
+    split = snap.get("split")
+    if args.require_split and not isinstance(split, dict):
+        print("error: missing split object but --require-split was set")
+        return 1
+    if split is not None:
+        check_split(errors, "split", split)
+        if args.require_split and is_num(split.get("completed")) \
+                and split["completed"] == 0:
+            errors.append(
+                "split: completed == 0 but --require-split was set")
+        phases = snap.get("phases")
+        if isinstance(phases, dict):
+            for phase_name, phase in phases.items():
+                check_split(errors, f"phases.{phase_name}", phase)
+
     counters = snap.get("counters")
     if not isinstance(counters, dict):
-        print("error: missing counters object")
-        return 1
+        if split is None:
+            print("error: missing counters object (and no split block)")
+            return 1
+        if errors:
+            print(f"{args.metrics_json}: {len(errors)} violation(s)")
+            for e in errors:
+                print(f"  {e}")
+            return 1
+        print(f"{args.metrics_json}: OK "
+              f"(split completed {split['completed']}, offloaded "
+              f"{split['offloaded']}, local_fallback "
+              f"{split['local_fallback']})")
+        return 0
     for field in ("submitted", "admitted", "shed", "rejected", "completed",
                   "valid", "correct", "preempted", "batches", "bypassed"):
         if not is_num(counters.get(field)):

@@ -7,7 +7,11 @@
 # any protocol error and writing BENCH_net.json), and bench_serving (batched
 # pipeline throughput vs batch=1 plus the conv GEMM criterion at B=8,
 # writing BENCH_serving.json alongside the other BENCH_*.json artifacts in
-# the working directory).
+# the working directory), and bench_split (split-point planner vs the
+# always-local / always-remote corners across fast, metered and partitioned
+# link regimes against a live resume server, failing unless the planner
+# strictly wins the metered regime via an intermediate split and writing
+# BENCH_split.json).
 # Fails fast: the first bench that exits non-zero aborts the sweep and its
 # name is reported on stderr (with `set -o pipefail` the tee no longer
 # swallows the bench's exit status).

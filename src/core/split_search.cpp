@@ -1,0 +1,85 @@
+#include "core/split_search.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/expectation.hpp"
+
+namespace einet::core {
+
+SplitSearchResult split_point_search(const ExitPlan& plan,
+                                     const SplitCosts& costs,
+                                     std::span<const float> confidence,
+                                     const TimeDistribution& dist,
+                                     double deadline_ms) {
+  const std::size_t n = plan.size();
+  if (n == 0) throw std::invalid_argument{"split_point_search: empty plan"};
+  if (costs.device_conv_ms.size() != n || costs.device_branch_ms.size() != n ||
+      costs.edge_conv_ms.size() != n || costs.edge_branch_ms.size() != n ||
+      confidence.size() != n)
+    throw std::invalid_argument{
+        "split_point_search: cost/confidence spans must match the plan (" +
+        std::to_string(n) + " blocks)"};
+  if (costs.activation_bytes.size() != n + 1)
+    throw std::invalid_argument{
+        "split_point_search: activation_bytes must have n + 1 entries"};
+
+  SplitSearchResult result;
+  result.evals.reserve(n + 1);
+
+  std::vector<double> conv_eff(n);
+  std::vector<double> branch_eff(n);
+  // k sweeps upward; blocks [0, k) were already flipped to device costs by
+  // earlier iterations, so each step flips exactly one block.
+  for (std::size_t i = 0; i < n; ++i) {
+    conv_eff[i] = costs.edge_conv_ms[i];
+    branch_eff[i] = costs.edge_branch_ms[i];
+  }
+  for (std::size_t k = 0; k <= n; ++k) {
+    SplitPointEval eval;
+    eval.split_block = k;
+    if (k < n) {
+      eval.transfer_ms =
+          costs.bytes_per_ms > 0.0
+              ? costs.rtt_ms + costs.activation_bytes[k] / costs.bytes_per_ms
+              : -1.0;
+      eval.feasible =
+          eval.transfer_ms >= 0.0 && eval.transfer_ms <= deadline_ms;
+    } else {
+      eval.transfer_ms = 0.0;
+      eval.feasible = true;  // local execution needs no link
+    }
+
+    const double saved = k < n ? conv_eff[k] : 0.0;
+    if (k < n && eval.feasible) conv_eff[k] = saved + eval.transfer_ms;
+    if (eval.feasible) {
+      eval.expectation =
+          accuracy_expectation(plan, conv_eff, branch_eff, confidence, dist);
+      eval.completion_ms = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        eval.completion_ms += conv_eff[i];
+        if (plan.executes(i)) eval.completion_ms += branch_eff[i];
+      }
+    }
+    if (k < n) {
+      // Flip block k to device costs for the next iteration.
+      conv_eff[k] = costs.device_conv_ms[k];
+      branch_eff[k] = costs.device_branch_ms[k];
+    }
+    result.evals.push_back(eval);
+  }
+
+  result.best = n;  // default: stay local
+  for (std::size_t k = 0; k <= n; ++k) {
+    const SplitPointEval& cand = result.evals[k];
+    if (!cand.feasible) continue;
+    const SplitPointEval& cur = result.evals[result.best];
+    if (cand.expectation > cur.expectation ||
+        (cand.expectation == cur.expectation &&
+         cand.completion_ms < cur.completion_ms))
+      result.best = k;
+  }
+  return result;
+}
+
+}  // namespace einet::core

@@ -1,0 +1,83 @@
+// Split-point search for tiered device↔edge execution (DESIGN.md §11).
+//
+// A split at block k runs blocks [0, k) on the device, ships the block-k
+// input activation over the link, and resumes blocks [k, n) on the edge.
+// The merged timeline is the same exit-plan expectation problem the paper's
+// Algorithm 1 already solves — only the per-block costs change:
+//
+//   conv_eff[i]   = device_conv[i]   (i < k)   else edge_conv[i]
+//   branch_eff[i] = device_branch[i] (i < k)   else edge_branch[i]
+//   conv_eff[k]  += rtt + activation_bytes[k] / bytes_per_ms   (k < n)
+//
+// The transfer stall is charged to the first edge block: during the stall
+// the device's deepest branch output remains the best available result,
+// which is exactly how accuracy_expectation treats time inside an interval.
+// k = n is "never offload" (pure local, no transfer); k = 0 ships the raw
+// input and runs everything remote.
+//
+// The search evaluates every k in [0, n] — n+1 candidates, each a single
+// allocation-free expectation pass — and returns all evaluations so callers
+// (planner, benches, tests) can inspect the whole frontier.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/exit_plan.hpp"
+#include "core/time_distribution.hpp"
+
+namespace einet::core {
+
+/// Per-block cost model for the two tiers plus the link between them. All
+/// block spans must have length n (the plan length); `activation_bytes` has
+/// length n + 1, where entry k is the wire size of the block-k input (entry
+/// n is unused and may be 0).
+struct SplitCosts {
+  std::span<const double> device_conv_ms;
+  std::span<const double> device_branch_ms;
+  std::span<const double> edge_conv_ms;
+  std::span<const double> edge_branch_ms;
+  std::span<const double> activation_bytes;
+  /// Link round-trip estimate added to every transfer.
+  double rtt_ms = 0.0;
+  /// Link throughput; <= 0 marks the link unusable (every k < n infeasible).
+  double bytes_per_ms = 0.0;
+};
+
+struct SplitPointEval {
+  std::size_t split_block = 0;
+  /// Accuracy expectation of the merged timeline under `dist`.
+  double expectation = 0.0;
+  /// Transfer stall charged at the split (0 for k == n).
+  double transfer_ms = 0.0;
+  /// Time to finish the full plan: effective conv + executed branches +
+  /// transfer. Reported for benches; the expectation already integrates the
+  /// unpredictable exit over this timeline.
+  double completion_ms = 0.0;
+  /// False when the link cannot carry the activation inside `deadline_ms`
+  /// (or is unusable). k == n is always feasible — local needs no link.
+  bool feasible = false;
+};
+
+struct SplitSearchResult {
+  /// One entry per candidate k in [0, n], in order.
+  std::vector<SplitPointEval> evals;
+  /// Index of the chosen split: highest expectation among feasible
+  /// candidates (ties broken toward earlier completion). When no k < n is
+  /// feasible this is n — stay local.
+  std::size_t best = 0;
+};
+
+/// Evaluate every split point for `plan` under the tiered cost model.
+/// `confidence` holds the (predicted) exit scores, as in
+/// accuracy_expectation. `deadline_ms` bounds the transfer stall a feasible
+/// offload may spend on the wire — pass the remaining budget, optionally
+/// scaled by a guard fraction. Throws std::invalid_argument on span-length
+/// mismatches.
+[[nodiscard]] SplitSearchResult split_point_search(
+    const ExitPlan& plan, const SplitCosts& costs,
+    std::span<const float> confidence, const TimeDistribution& dist,
+    double deadline_ms);
+
+}  // namespace einet::core

@@ -104,6 +104,15 @@ std::vector<nn::Param*> MultiExitNetwork::params() {
   return out;
 }
 
+std::vector<nn::Tensor*> MultiExitNetwork::state() {
+  std::vector<nn::Tensor*> out;
+  for (auto& block : blocks_) {
+    for (auto* t : block.conv_part->state()) out.push_back(t);
+    for (auto* t : block.branch->state()) out.push_back(t);
+  }
+  return out;
+}
+
 std::size_t MultiExitNetwork::num_params() {
   std::size_t total = 0;
   for (auto* p : params()) total += p->value.numel();
@@ -111,11 +120,11 @@ std::size_t MultiExitNetwork::num_params() {
 }
 
 void MultiExitNetwork::save_weights(const std::string& path) {
-  nn::save_params_file(path, params());
+  nn::save_params_file(path, params(), state());
 }
 
 void MultiExitNetwork::load_weights(const std::string& path) {
-  nn::load_params_file(path, params());
+  nn::load_params_file(path, params(), state());
 }
 
 std::vector<nn::Tensor> MultiExitNetwork::forward_all(const nn::Tensor& x,

@@ -61,8 +61,12 @@ class MultiExitNetwork {
   [[nodiscard]] std::size_t trunk_flops() const;
   /// All learnable parameters (trunk + branches).
   [[nodiscard]] std::vector<nn::Param*> params();
+  /// All persistent non-learnable buffers (batch-norm running statistics),
+  /// in the same block order as params(). Serialization must carry both.
+  [[nodiscard]] std::vector<nn::Tensor*> state();
   [[nodiscard]] std::size_t num_params();
-  /// Persist / restore all weights (see nn/serialize.hpp for the format).
+  /// Persist / restore all weights AND state buffers (see nn/serialize.hpp
+  /// for the format).
   void save_weights(const std::string& path);
   void load_weights(const std::string& path);
 

@@ -41,12 +41,29 @@ bool poll_fd(int fd, short events, double remaining_ms) {
 
 }  // namespace
 
+double jittered_backoff_ms(double backoff_ms, double jitter_frac,
+                           util::Rng& rng) {
+  if (jitter_frac <= 0.0) return backoff_ms;
+  return rng.uniform(backoff_ms * (1.0 - jitter_frac), backoff_ms);
+}
+
 EdgeClient::EdgeClient(TcpClientConfig config)
-    : config_(std::move(config)), decoder_(config_.max_frame_bytes) {
+    : config_(std::move(config)),
+      backoff_rng_(config_.backoff_seed != 0
+                       ? config_.backoff_seed
+                       : static_cast<std::uint64_t>(
+                             std::chrono::steady_clock::now()
+                                 .time_since_epoch()
+                                 .count()) ^
+                             reinterpret_cast<std::uintptr_t>(this)),
+      decoder_(config_.max_frame_bytes) {
   if (config_.port == 0)
     throw std::invalid_argument{"EdgeClient: port must be set"};
   if (config_.max_connect_attempts == 0)
     throw std::invalid_argument{"EdgeClient: max_connect_attempts must be > 0"};
+  if (config_.backoff_jitter_frac < 0.0 || config_.backoff_jitter_frac > 1.0)
+    throw std::invalid_argument{
+        "EdgeClient: backoff_jitter_frac must be in [0, 1]"};
 }
 
 EdgeClient::~EdgeClient() { close(); }
@@ -116,11 +133,15 @@ void EdgeClient::connect() {
         throw NetError{"connect to " + config_.host + ":" +
                        std::to_string(config_.port) + " failed after " +
                        std::to_string(attempt) + " attempts: " + e.what()};
+      // Jitter each sleep so a herd of clients dropped by one server flap
+      // spreads its redials instead of thundering back in phase.
+      const double sleep_ms = jittered_backoff_ms(
+          backoff_ms, config_.backoff_jitter_frac, backoff_rng_);
       EINET_LOG(Debug) << "net: dial attempt " << attempt
-                       << " failed, backing off " << backoff_ms
+                       << " failed, backing off " << sleep_ms
                        << " ms: " << e.what();
       std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(backoff_ms));
+          std::chrono::duration<double, std::milli>(sleep_ms));
       backoff_ms = std::min(backoff_ms * 2.0, config_.backoff_max_ms);
     }
   }
@@ -168,6 +189,15 @@ std::uint64_t EdgeClient::send(const profiling::CSRecord& record,
   write_all(bytes.data(), bytes.size());
   ++in_flight_;
   return req.request_id;
+}
+
+std::uint64_t EdgeClient::send_activation(ActivationFrame frame) {
+  connect();
+  frame.request_id = next_id_++;
+  const auto bytes = encode_activation(frame);
+  write_all(bytes.data(), bytes.size());
+  ++in_flight_;
+  return frame.request_id;
 }
 
 void EdgeClient::read_some(double remaining_ms) {
@@ -222,8 +252,10 @@ ResponseFrame EdgeClient::wait(std::uint64_t request_id) {
                               err.code};
         }
         case FrameType::kRequest:
+        case FrameType::kActivation:
+          // Client-to-server frame types; a server must never send them.
           close();
-          throw ProtocolError{"server sent a request frame",
+          throw ProtocolError{"server sent a client-only frame",
                               ErrorCode::kBadType};
       }
     }

@@ -28,8 +28,14 @@
 
 #include "net/protocol.hpp"
 #include "profiling/profiles.hpp"
+#include "util/rng.hpp"
 
 namespace einet::net {
+
+/// One jittered backoff sleep: uniform in [backoff * (1 - jitter_frac),
+/// backoff]. Pure — exposed so tests can pin the bounds without sleeping.
+[[nodiscard]] double jittered_backoff_ms(double backoff_ms,
+                                         double jitter_frac, util::Rng& rng);
 
 /// Transport failure (connect/send/receive/timeout), as opposed to
 /// ProtocolError (malformed bytes).
@@ -49,6 +55,14 @@ struct TcpClientConfig {
   std::size_t max_connect_attempts = 8;
   double backoff_initial_ms = 5.0;
   double backoff_max_ms = 250.0;
+  /// Randomized backoff jitter: each sleep is drawn uniformly from
+  /// [backoff * (1 - frac), backoff], so clients restarted by the same
+  /// server flap desynchronize instead of redialling in lockstep. 0
+  /// disables jitter; must be in [0, 1].
+  double backoff_jitter_frac = 0.5;
+  /// Seed for the jitter stream; 0 derives a per-client seed from the clock
+  /// so identically configured clients still spread out.
+  std::uint64_t backoff_seed = 0;
   /// Full reconnect-and-resend cycles request() performs after the first
   /// transport failure.
   std::size_t max_request_retries = 3;
@@ -73,6 +87,12 @@ class EdgeClient {
   /// Enqueue one request on the wire (auto-connects) and return its id.
   /// Pipelined: callers may send many before waiting.
   std::uint64_t send(const profiling::CSRecord& record, double deadline_ms);
+
+  /// Enqueue one split-execution offload (auto-connects): the frame's
+  /// request_id is assigned here, any caller-set id is overwritten. The
+  /// server resumes from frame.start_block and answers with a regular
+  /// response claimable via wait().
+  std::uint64_t send_activation(ActivationFrame frame);
 
   /// Block until the response for `request_id` arrives, buffering responses
   /// for other ids. Throws NetError on timeout, connection loss, or an
@@ -99,6 +119,7 @@ class EdgeClient {
   void fail_connection(const std::string& why);  // close + throw NetError
 
   TcpClientConfig config_;
+  util::Rng backoff_rng_;
   int fd_ = -1;
   bool ever_connected_ = false;
   std::uint64_t next_id_ = 1;

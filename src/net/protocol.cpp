@@ -2,6 +2,9 @@
 
 #include <bit>
 #include <cstring>
+#include <span>
+
+#include "nn/serialize.hpp"
 
 namespace einet::net {
 
@@ -156,6 +159,44 @@ std::vector<std::uint8_t> encode_response(const ResponseFrame& f) {
   return make_frame(FrameType::kResponse, body);
 }
 
+std::size_t activation_wire_bytes(const ActivationFrame& f) {
+  // Fixed fields: 8+8+8+1+4+4 head, 8+4+1+8+1+8+8+8+8 snapshot tail.
+  return kHeaderBytes + 87 + f.state.plan_bits.size() +
+         4 * f.state.session_conf.size() +
+         nn::encoded_tensor_bytes(f.activation);
+}
+
+std::vector<std::uint8_t> encode_activation(const ActivationFrame& f) {
+  if (f.state.session_conf.size() != f.start_block)
+    throw std::invalid_argument{
+        "encode_activation: session snapshot size != start_block"};
+  if (f.start_block >= f.state.plan_bits.size())
+    throw std::invalid_argument{
+        "encode_activation: start_block must precede the last block"};
+  std::vector<std::uint8_t> body;
+  body.reserve(activation_wire_bytes(f) - kHeaderBytes);
+  WireWriter w{body};
+  w.u64(f.request_id);
+  w.f64(f.deadline_ms);
+  w.u64(f.label);
+  w.u8(f.codec_version);
+  w.u32(f.start_block);
+  w.u32(static_cast<std::uint32_t>(f.state.plan_bits.size()));
+  for (const std::uint8_t bit : f.state.plan_bits) w.u8(bit);
+  for (const float c : f.state.session_conf) w.f32(c);
+  w.f64(f.state.sim_t_ms);
+  w.f32(f.state.last_conf);
+  w.u8(f.state.has_result ? 1 : 0);
+  w.u64(static_cast<std::uint64_t>(f.state.exit_index));
+  w.u8(f.state.correct ? 1 : 0);
+  w.f64(f.state.result_time_ms);
+  w.u64(static_cast<std::uint64_t>(f.state.branches_executed));
+  w.u64(static_cast<std::uint64_t>(f.state.searches_run));
+  w.f64(f.state.planner_ms);
+  nn::encode_tensor(f.activation, body);
+  return make_frame(FrameType::kActivation, body);
+}
+
 std::vector<std::uint8_t> encode_error(const ErrorFrame& f) {
   std::vector<std::uint8_t> body;
   body.reserve(13 + f.message.size());
@@ -211,6 +252,56 @@ ResponseFrame decode_response(const std::vector<std::uint8_t>& b) {
   return f;
 }
 
+ActivationFrame decode_activation(const std::vector<std::uint8_t>& b) {
+  WireReader r{b};
+  ActivationFrame f;
+  f.request_id = r.u64();
+  f.deadline_ms = r.f64();
+  f.label = r.u64();
+  f.codec_version = r.u8();
+  if (f.codec_version != kActivationCodecVersion)
+    throw ProtocolError{"unsupported activation codec version " +
+                            std::to_string(int{f.codec_version}),
+                        ErrorCode::kBadVersion};
+  f.start_block = r.u32();
+  const std::uint32_t n = r.u32();
+  if (n == 0 || f.start_block >= n)
+    throw ProtocolError{"activation start_block " +
+                            std::to_string(f.start_block) +
+                            " outside [0, " + std::to_string(n) + ")",
+                        ErrorCode::kMalformedBody};
+  f.state.plan_bits.resize(n);
+  for (auto& bit : f.state.plan_bits) {
+    bit = r.u8();
+    if (bit > 1)
+      throw ProtocolError{"activation plan bit is not 0/1",
+                          ErrorCode::kMalformedBody};
+  }
+  f.state.session_conf.resize(f.start_block);
+  for (auto& c : f.state.session_conf) c = r.f32();
+  f.state.sim_t_ms = r.f64();
+  f.state.last_conf = r.f32();
+  f.state.has_result = r.u8() != 0;
+  f.state.exit_index = static_cast<std::size_t>(r.u64());
+  f.state.correct = r.u8() != 0;
+  f.state.result_time_ms = r.f64();
+  f.state.branches_executed = static_cast<std::size_t>(r.u64());
+  f.state.searches_run = static_cast<std::size_t>(r.u64());
+  f.state.planner_ms = r.f64();
+  // The tensor codec consumes the remaining bytes exactly; its checks are
+  // surfaced as typed protocol errors.
+  const std::span<const std::uint8_t> tail{b.data() + (b.size() -
+                                                       r.remaining()),
+                                           r.remaining()};
+  try {
+    f.activation = nn::decode_tensor(tail);
+  } catch (const nn::TensorCodecError& e) {
+    throw ProtocolError{std::string{"activation tensor: "} + e.what(),
+                        ErrorCode::kMalformedBody};
+  }
+  return f;
+}
+
 ErrorFrame decode_error(const std::vector<std::uint8_t>& b) {
   WireReader r{b};
   ErrorFrame f;
@@ -255,7 +346,7 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint8_t type = h[5];
   if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
-      type > static_cast<std::uint8_t>(FrameType::kError)) {
+      type > static_cast<std::uint8_t>(FrameType::kActivation)) {
     poisoned_ = true;
     throw ProtocolError{"unknown frame type " + std::to_string(int{type}),
                         ErrorCode::kBadType};

@@ -17,12 +17,17 @@
 // reads, multiple frames per read) and yields whole frames, so the protocol
 // layer is unit-testable without any networking.
 //
-// Request  = one inference task: the CS-record payload (owned by the wire
-//            message, not a pointer into a profile) + the preemption budget.
-// Response = the serving::SubmitStatus decision plus, for executed tasks,
-//            every runtime::InferenceOutcome field.
-// Error    = typed protocol failure (bad frame, server over capacity, ...);
-//            the server sends one before closing a misbehaving connection.
+// Request    = one inference task: the CS-record payload (owned by the wire
+//              message, not a pointer into a profile) + the preemption budget.
+// Response   = the serving::SubmitStatus decision plus, for executed tasks,
+//              every runtime::InferenceOutcome field.
+// Error      = typed protocol failure (bad frame, server over capacity, ...);
+//              the server sends one before closing a misbehaving connection.
+// Activation = a split-execution offload (DESIGN.md §11): the intermediate
+//              activation tensor plus the device's loop snapshot; the server
+//              resumes from the named block and answers with a Response.
+//              The body carries its own codec version byte so the activation
+//              layout can evolve without a wire-version bump.
 #pragma once
 
 #include <cstdint>
@@ -31,13 +36,18 @@
 #include <string>
 #include <vector>
 
+#include "nn/tensor.hpp"
 #include "profiling/profiles.hpp"
 #include "runtime/elastic_engine.hpp"
+#include "runtime/split_state.hpp"
 #include "serving/server.hpp"
 
 namespace einet::net {
 
 inline constexpr std::uint8_t kWireVersion = 1;
+/// Version of the activation frame's body layout (independent of
+/// kWireVersion; bumped when SplitState gains fields).
+inline constexpr std::uint8_t kActivationCodecVersion = 1;
 /// Frame header bytes 0..3: "EINT".
 inline constexpr std::uint8_t kMagic[4] = {0x45, 0x49, 0x4E, 0x54};
 inline constexpr std::size_t kHeaderBytes = 12;
@@ -51,6 +61,7 @@ enum class FrameType : std::uint8_t {
   kRequest = 1,
   kResponse = 2,
   kError = 3,
+  kActivation = 4,
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -97,16 +108,43 @@ struct ErrorFrame {
   std::string message;
 };
 
+/// Split-execution offload. Body layout (after the frame header):
+///   u64 request_id | f64 deadline_ms | u64 label | u8 codec_version |
+///   u32 start_block | u32 num_exits | u8 plan_bits[num_exits] |
+///   f32 session_conf[start_block] | f64 sim_t_ms | f32 last_conf |
+///   u8 has_result | u64 exit_index | u8 correct | f64 result_time_ms |
+///   u64 branches_executed | u64 searches_run | f64 planner_ms |
+///   activation tensor (nn tensor codec, to the end of the body)
+struct ActivationFrame {
+  std::uint64_t request_id = 0;
+  double deadline_ms = 0.0;
+  std::uint64_t label = 0;
+  /// Body-level layout version; decode rejects anything but
+  /// kActivationCodecVersion with ErrorCode::kBadVersion.
+  std::uint8_t codec_version = kActivationCodecVersion;
+  std::uint32_t start_block = 0;
+  runtime::SplitState state;
+  nn::Tensor activation;
+};
+
 /// Encode one whole frame (header + body).
 [[nodiscard]] std::vector<std::uint8_t> encode_request(const RequestFrame& f);
 [[nodiscard]] std::vector<std::uint8_t> encode_response(const ResponseFrame& f);
 [[nodiscard]] std::vector<std::uint8_t> encode_error(const ErrorFrame& f);
+[[nodiscard]] std::vector<std::uint8_t> encode_activation(
+    const ActivationFrame& f);
+
+/// Exact wire size (header + body) encode_activation() will produce — the
+/// split planner's transfer-cost input, computable without encoding.
+[[nodiscard]] std::size_t activation_wire_bytes(const ActivationFrame& f);
 
 /// Decode a frame body (header already stripped). Throw ProtocolError with
 /// ErrorCode::kMalformedBody on truncated or inconsistent input.
 [[nodiscard]] RequestFrame decode_request(const std::vector<std::uint8_t>& b);
 [[nodiscard]] ResponseFrame decode_response(const std::vector<std::uint8_t>& b);
 [[nodiscard]] ErrorFrame decode_error(const std::vector<std::uint8_t>& b);
+[[nodiscard]] ActivationFrame decode_activation(
+    const std::vector<std::uint8_t>& b);
 
 /// One validated frame as produced by FrameDecoder.
 struct Frame {

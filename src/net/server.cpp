@@ -70,6 +70,7 @@ struct EdgeTcpServer::Shared {
   std::atomic<std::uint64_t> bytes_in{0};
   std::atomic<std::uint64_t> bytes_out{0};
   std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> activations{0};
   std::atomic<std::uint64_t> responses{0};
   std::atomic<std::uint64_t> protocol_errors{0};
   std::atomic<std::uint64_t> idle_timeouts{0};
@@ -344,21 +345,62 @@ class EdgeTcpServer::Loop {
   }
 
   void process_frame(Connection& conn, const Frame& frame) {
+    if (frame.type == FrameType::kActivation && config_.accept_activation) {
+      process_activation(conn, frame);
+      return;
+    }
     if (frame.type != FrameType::kRequest)
-      throw ProtocolError{"clients may only send request frames",
-                          ErrorCode::kBadType};
+      throw ProtocolError{
+          frame.type == FrameType::kActivation
+              ? "this server does not accept activation frames"
+              : "clients may only send request frames",
+          ErrorCode::kBadType};
     RequestFrame req = decode_request(frame.body);
     shared_->requests.fetch_add(1, std::memory_order_relaxed);
 
     auto record =
         std::make_shared<const profiling::CSRecord>(std::move(req.record));
+    submit_and_respond(conn, req.request_id, req.deadline_ms,
+                       [this, record = std::move(record)](
+                           double deadline,
+                           serving::CompletionCallback done) mutable {
+                         return edge_.submit(std::move(record), deadline,
+                                             std::move(done));
+                       });
+  }
+
+  void process_activation(Connection& conn, const Frame& frame) {
+    ActivationFrame act = decode_activation(frame.body);
+    shared_->requests.fetch_add(1, std::memory_order_relaxed);
+    shared_->activations.fetch_add(1, std::memory_order_relaxed);
+
+    auto payload = std::make_shared<const runtime::ResumePayload>(
+        runtime::ResumePayload{.activation = std::move(act.activation),
+                               .start_block = act.start_block,
+                               .label = static_cast<std::size_t>(act.label),
+                               .state = std::move(act.state)});
+    submit_and_respond(conn, act.request_id, act.deadline_ms,
+                       [this, payload = std::move(payload)](
+                           double deadline,
+                           serving::CompletionCallback done) mutable {
+                         return edge_.submit_resume(std::move(payload),
+                                                    deadline,
+                                                    std::move(done));
+                       });
+  }
+
+  /// Shared submit tail for request and activation frames: wires the
+  /// completion callback into the outbox and answers synchronous verdicts
+  /// (shed / rejected / closed) from the event loop.
+  template <typename Submit>
+  void submit_and_respond(Connection& conn, std::uint64_t req_id,
+                          double deadline_ms, Submit&& submit) {
     const std::uint64_t conn_id = conn.id;
-    const std::uint64_t req_id = req.request_id;
     auto shared = shared_;
     shared_->in_flight.fetch_add(1, std::memory_order_acq_rel);
     ++conn.in_flight;
-    const auto status = edge_.submit(
-        std::move(record), req.deadline_ms,
+    const auto status = submit(
+        deadline_ms,
         [shared, conn_id, req_id](const serving::TaskResult& result) {
           ResponseFrame resp;
           resp.request_id = req_id;
@@ -371,7 +413,7 @@ class EdgeTcpServer::Loop {
         });
     EINET_INSTANT("net.submit", kNet,
                   .task_id = static_cast<std::int64_t>(req_id),
-                  .slack_ms = req.deadline_ms,
+                  .slack_ms = deadline_ms,
                   .value = static_cast<double>(status));
     if (status != serving::SubmitStatus::kQueued) {
       // Decided synchronously (shed / rejected / closed): the callback will
@@ -600,6 +642,7 @@ NetMetricsSnapshot EdgeTcpServer::net_metrics() const {
   s.bytes_in = get(shared_->bytes_in);
   s.bytes_out = get(shared_->bytes_out);
   s.requests = get(shared_->requests);
+  s.activations = get(shared_->activations);
   s.responses = get(shared_->responses);
   s.protocol_errors = get(shared_->protocol_errors);
   s.idle_timeouts = get(shared_->idle_timeouts);
@@ -616,7 +659,8 @@ std::string NetMetricsSnapshot::to_string() const {
       << " rejected=" << connections_rejected
       << " idle_timeouts=" << idle_timeouts << "\n"
       << "frames: in=" << frames_in << " out=" << frames_out
-      << " requests=" << requests << " responses=" << responses
+      << " requests=" << requests << " activations=" << activations
+      << " responses=" << responses
       << " protocol_errors=" << protocol_errors
       << " dropped_responses=" << dropped_responses << "\n"
       << "bytes: in=" << bytes_in << " out=" << bytes_out << "\n";
@@ -646,6 +690,9 @@ obs::telemetry::Source telemetry_source(const EdgeTcpServer& server) {
                  static_cast<double>(s.bytes_out));
     prom.counter("einet_net_requests_total", "Request frames processed",
                  static_cast<double>(s.requests));
+    prom.counter("einet_net_activations_total",
+                 "Split-execution activation frames resumed",
+                 static_cast<double>(s.activations));
     prom.counter("einet_net_responses_total", "Response frames enqueued",
                  static_cast<double>(s.responses));
     prom.counter("einet_net_protocol_errors_total", "Corrupt streams refused",
@@ -674,6 +721,7 @@ std::string NetMetricsSnapshot::to_json() const {
   j.kv("bytes_in", bytes_in);
   j.kv("bytes_out", bytes_out);
   j.kv("requests", requests);
+  j.kv("activations", activations);
   j.kv("responses", responses);
   j.kv("protocol_errors", protocol_errors);
   j.kv("idle_timeouts", idle_timeouts);

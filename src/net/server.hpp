@@ -60,6 +60,11 @@ struct TcpServerConfig {
   /// Upper bound on the graceful drain in stop(); connections still holding
   /// unflushed data after it are closed anyway.
   double drain_timeout_ms = 10'000.0;
+  /// Accept split-execution activation frames (DESIGN.md §11). Off by
+  /// default: the generic runner cannot execute resume payloads, so a server
+  /// not wired with split::make_resume_runner refuses them with a typed
+  /// error instead of handing its pool a task it would mis-execute.
+  bool accept_activation = false;
 };
 
 /// Transport-level counters (the serving::MetricsRegistry tracks the task
@@ -74,6 +79,8 @@ struct NetMetricsSnapshot {
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t requests = 0;
+  /// Split-execution activation frames resumed (a subset of requests).
+  std::uint64_t activations = 0;
   std::uint64_t responses = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t idle_timeouts = 0;

@@ -15,6 +15,9 @@ class BatchNorm2d final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> state() override {
+    return {&running_mean_, &running_var_};
+  }
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Shape out_shape(const Shape& in) const override;
   [[nodiscard]] std::size_t flops(const Shape& in) const override {

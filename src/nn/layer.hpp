@@ -51,6 +51,11 @@ class Layer {
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<Param*> params() { return {}; }
 
+  /// Persistent non-learnable buffers (batch-norm running statistics).
+  /// Serialization must carry these alongside params(): a reloaded network
+  /// is only equivalent to the trained one if its buffers travel too.
+  virtual std::vector<Tensor*> state() { return {}; }
+
   /// Human-readable layer name for debugging / serialization.
   [[nodiscard]] virtual std::string name() const = 0;
 

@@ -30,6 +30,13 @@ std::vector<Param*> Sequential::params() {
   return out;
 }
 
+std::vector<Tensor*> Sequential::state() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_)
+    for (auto* t : layer->state()) out.push_back(t);
+  return out;
+}
+
 std::string Sequential::name() const {
   std::string out = "Sequential[";
   for (std::size_t i = 0; i < layers_.size(); ++i) {
@@ -118,6 +125,13 @@ std::vector<Param*> Residual::params() {
   std::vector<Param*> out = body_->params();
   if (shortcut_)
     for (auto* p : shortcut_->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> Residual::state() {
+  std::vector<Tensor*> out = body_->state();
+  if (shortcut_)
+    for (auto* t : shortcut_->state()) out.push_back(t);
   return out;
 }
 

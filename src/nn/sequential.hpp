@@ -25,6 +25,7 @@ class Sequential final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
+  std::vector<Tensor*> state() override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Shape out_shape(const Shape& in) const override;
   [[nodiscard]] std::size_t flops(const Shape& in) const override;
@@ -48,6 +49,7 @@ class Residual final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
+  std::vector<Tensor*> state() override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Shape out_shape(const Shape& in) const override;
   [[nodiscard]] std::size_t flops(const Shape& in) const override;

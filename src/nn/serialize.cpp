@@ -1,5 +1,6 @@
 #include "nn/serialize.hpp"
 
+#include <bit>
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
@@ -9,7 +10,7 @@ namespace einet::nn {
 namespace {
 
 constexpr char kMagic[4] = {'E', 'I', 'N', 'W'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
@@ -24,26 +25,99 @@ T read_pod(std::istream& in) {
   return v;
 }
 
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | bytes[pos + i];
+  return v;
+}
+
 }  // namespace
 
-void save_params(std::ostream& out, const std::vector<Param*>& params) {
+std::size_t encoded_tensor_bytes(const Tensor& t) {
+  return 4 + 4 * t.rank() + 4 * t.numel();
+}
+
+void encode_tensor(const Tensor& t, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + encoded_tensor_bytes(t));
+  put_u32(out, static_cast<std::uint32_t>(t.rank()));
+  for (const auto d : t.shape()) {
+    if (d > ~std::uint32_t{0})
+      throw TensorCodecError{"encode_tensor: dim exceeds u32"};
+    put_u32(out, static_cast<std::uint32_t>(d));
+  }
+  for (const float v : t.data()) put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+Tensor decode_tensor(std::span<const std::uint8_t> bytes,
+                     const TensorWireLimits& limits) {
+  if (bytes.size() < 4)
+    throw TensorCodecError{"decode_tensor: truncated rank"};
+  const std::uint32_t rank = get_u32(bytes, 0);
+  if (rank == 0 || rank > limits.max_rank)
+    throw TensorCodecError{"decode_tensor: rank " + std::to_string(rank) +
+                           " outside [1, " + std::to_string(limits.max_rank) +
+                           "]"};
+  if (bytes.size() < 4 + std::size_t{4} * rank)
+    throw TensorCodecError{"decode_tensor: truncated dims"};
+  Shape shape(rank);
+  std::size_t numel = 1;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    const std::uint32_t d = get_u32(bytes, 4 + std::size_t{4} * i);
+    if (d == 0) throw TensorCodecError{"decode_tensor: zero dim"};
+    if (numel > limits.max_elements / d)
+      throw TensorCodecError{"decode_tensor: element count exceeds cap " +
+                             std::to_string(limits.max_elements)};
+    numel *= d;
+    shape[i] = d;
+  }
+  const std::size_t header = 4 + std::size_t{4} * rank;
+  if (bytes.size() != header + 4 * numel)
+    throw TensorCodecError{
+        "decode_tensor: data section is " + std::to_string(bytes.size() -
+                                                           header) +
+        " bytes, shape " + shape_str(shape) + " needs " +
+        std::to_string(4 * numel)};
+  std::vector<float> data(numel);
+  for (std::size_t i = 0; i < numel; ++i)
+    data[i] = std::bit_cast<float>(get_u32(bytes, header + 4 * i));
+  return Tensor{std::move(shape), std::move(data)};
+}
+
+void save_params(std::ostream& out, const std::vector<Param*>& params,
+                 const std::vector<Tensor*>& state) {
   out.write(kMagic, sizeof(kMagic));
   write_pod(out, kVersion);
   write_pod(out, static_cast<std::uint64_t>(params.size()));
+  std::vector<std::uint8_t> blob;
   for (const auto* p : params) {
     if (p == nullptr) throw std::invalid_argument{"save_params: null param"};
     write_pod(out, static_cast<std::uint32_t>(p->name.size()));
     out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
-    write_pod(out, static_cast<std::uint64_t>(p->value.rank()));
-    for (auto d : p->value.shape())
-      write_pod(out, static_cast<std::uint64_t>(d));
-    out.write(reinterpret_cast<const char*>(p->value.raw()),
-              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    blob.clear();
+    encode_tensor(p->value, blob);
+    write_pod(out, static_cast<std::uint64_t>(blob.size()));
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+  }
+  write_pod(out, static_cast<std::uint64_t>(state.size()));
+  for (const auto* t : state) {
+    if (t == nullptr) throw std::invalid_argument{"save_params: null state"};
+    blob.clear();
+    encode_tensor(*t, blob);
+    write_pod(out, static_cast<std::uint64_t>(blob.size()));
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
   }
   if (!out) throw std::runtime_error{"save_params: write failed"};
 }
 
-void load_params(std::istream& in, const std::vector<Param*>& params) {
+void load_params(std::istream& in, const std::vector<Param*>& params,
+                 const std::vector<Tensor*>& state) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::string_view{magic, 4} != std::string_view{kMagic, 4})
@@ -66,31 +140,67 @@ void load_params(std::istream& in, const std::vector<Param*>& params) {
     if (name != p->name)
       throw std::runtime_error{"load_params: parameter name mismatch: file '" +
                                name + "' vs model '" + p->name + "'"};
-    const auto rank = read_pod<std::uint64_t>(in);
-    Shape shape(rank);
-    for (auto& d : shape) d = read_pod<std::uint64_t>(in);
-    if (shape != p->value.shape())
-      throw std::runtime_error{"load_params: shape mismatch for '" + name +
-                               "': file " + shape_str(shape) + " vs model " +
-                               shape_str(p->value.shape())};
-    in.read(reinterpret_cast<char*>(p->value.raw()),
-            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    const auto blob_len = read_pod<std::uint64_t>(in);
+    std::vector<std::uint8_t> blob(blob_len);
+    in.read(reinterpret_cast<char*>(blob.data()),
+            static_cast<std::streamsize>(blob_len));
     if (!in) throw std::runtime_error{"load_params: truncated data"};
+    Tensor value;
+    try {
+      value = decode_tensor(blob);
+    } catch (const TensorCodecError& e) {
+      throw std::runtime_error{std::string{"load_params: '"} + name +
+                               "': " + e.what()};
+    }
+    if (value.shape() != p->value.shape())
+      throw std::runtime_error{"load_params: shape mismatch for '" + name +
+                               "': file " + shape_str(value.shape()) +
+                               " vs model " + shape_str(p->value.shape())};
+    p->value = std::move(value);
+  }
+  const auto state_count = read_pod<std::uint64_t>(in);
+  if (state_count != state.size())
+    throw std::runtime_error{"load_params: state count mismatch (file " +
+                             std::to_string(state_count) + ", model " +
+                             std::to_string(state.size()) + ")"};
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    Tensor* t = state[i];
+    if (t == nullptr) throw std::invalid_argument{"load_params: null state"};
+    const auto blob_len = read_pod<std::uint64_t>(in);
+    std::vector<std::uint8_t> blob(blob_len);
+    in.read(reinterpret_cast<char*>(blob.data()),
+            static_cast<std::streamsize>(blob_len));
+    if (!in) throw std::runtime_error{"load_params: truncated state"};
+    Tensor value;
+    try {
+      value = decode_tensor(blob);
+    } catch (const TensorCodecError& e) {
+      throw std::runtime_error{"load_params: state tensor " +
+                               std::to_string(i) + ": " + e.what()};
+    }
+    if (value.shape() != t->shape())
+      throw std::runtime_error{"load_params: state shape mismatch at index " +
+                               std::to_string(i) + ": file " +
+                               shape_str(value.shape()) + " vs model " +
+                               shape_str(t->shape())};
+    *t = std::move(value);
   }
 }
 
 void save_params_file(const std::string& path,
-                      const std::vector<Param*>& params) {
+                      const std::vector<Param*>& params,
+                      const std::vector<Tensor*>& state) {
   std::ofstream out{path, std::ios::binary};
   if (!out) throw std::runtime_error{"save_params_file: cannot open " + path};
-  save_params(out, params);
+  save_params(out, params, state);
 }
 
 void load_params_file(const std::string& path,
-                      const std::vector<Param*>& params) {
+                      const std::vector<Param*>& params,
+                      const std::vector<Tensor*>& state) {
   std::ifstream in{path, std::ios::binary};
   if (!in) throw std::runtime_error{"load_params_file: cannot open " + path};
-  load_params(in, params);
+  load_params(in, params, state);
 }
 
 }  // namespace einet::nn

@@ -1,11 +1,28 @@
 // Binary weight (de)serialization so benches can cache trained models across
-// runs instead of retraining. The format is a simple tagged stream:
+// runs instead of retraining, plus the shared *checked tensor codec* the net
+// layer's activation frames reuse (one wire format for tensors everywhere).
+//
+// Tensor codec (all integers little-endian, floats as IEEE-754 bit patterns):
+//   u32 rank | u32 dims[rank] | f32 data[numel]
+// decode_tensor() validates rank/dim caps, rejects zero dims, checks the
+// element product against the byte count and throws TensorCodecError on any
+// mismatch — callers (EINW files, net::ActivationFrame) map that to their
+// own typed error.
+//
+// Weight-file format (EINW, version 2 — v1 wrote raw native-endian dims):
 //   magic "EINW" | u32 version | u64 param count |
-//   per param: u32 name_len | name bytes | u64 rank | u64 dims... | f32 data
-// Loading validates names and shapes against the live parameter list.
+//   per param: u32 name_len | name bytes | u64 blob_len | tensor codec blob |
+//   u64 state count | per state tensor: u64 blob_len | tensor codec blob
+// The state section carries the persistent non-learnable buffers
+// (Layer::state(): batch-norm running statistics) — without them a reloaded
+// network is not the network that was trained. Loading validates names,
+// counts and shapes against the live parameter / state lists.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -13,17 +30,52 @@
 
 namespace einet::nn {
 
-/// Write all parameters to a stream. Throws std::runtime_error on I/O error.
-void save_params(std::ostream& out, const std::vector<Param*>& params);
+/// Typed failure from the checked tensor codec (truncated blob, dim/size
+/// mismatch, caps exceeded). Derives from std::runtime_error so existing
+/// load_params callers keep catching one type.
+class TensorCodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
-/// Read parameters from a stream into `params` (same order/shape required).
-/// Throws std::runtime_error on mismatch or I/O error.
-void load_params(std::istream& in, const std::vector<Param*>& params);
+/// Decode-side caps. The defaults fit every model in the repo with headroom;
+/// the net layer passes tighter ones derived from its frame-size cap.
+struct TensorWireLimits {
+  std::size_t max_rank = 8;
+  /// Upper bound on the element count (4 bytes each on the wire).
+  std::size_t max_elements = std::size_t{1} << 26;  // 256 MiB of f32
+};
+
+/// Append one tensor to `out` in the codec layout above. Deterministic: the
+/// same tensor always produces the same bytes on any host.
+void encode_tensor(const Tensor& t, std::vector<std::uint8_t>& out);
+
+/// Exact size in bytes encode_tensor() will append for `t`.
+[[nodiscard]] std::size_t encoded_tensor_bytes(const Tensor& t);
+
+/// Checked decode of exactly `bytes` (trailing bytes are an error). Throws
+/// TensorCodecError on truncation, zero/oversized dims, or a data section
+/// that does not match the declared shape.
+[[nodiscard]] Tensor decode_tensor(std::span<const std::uint8_t> bytes,
+                                   const TensorWireLimits& limits = {});
+
+/// Write all parameters plus persistent state buffers to a stream. Pass the
+/// network's Layer::state() tensors as `state` (may be empty). Throws
+/// std::runtime_error on I/O error.
+void save_params(std::ostream& out, const std::vector<Param*>& params,
+                 const std::vector<Tensor*>& state = {});
+
+/// Read parameters (and state buffers, in the same order/shape they were
+/// saved) from a stream. Throws std::runtime_error on mismatch or I/O error.
+void load_params(std::istream& in, const std::vector<Param*>& params,
+                 const std::vector<Tensor*>& state = {});
 
 /// File-path conveniences.
 void save_params_file(const std::string& path,
-                      const std::vector<Param*>& params);
+                      const std::vector<Param*>& params,
+                      const std::vector<Tensor*>& state = {});
 void load_params_file(const std::string& path,
-                      const std::vector<Param*>& params);
+                      const std::vector<Param*>& params,
+                      const std::vector<Tensor*>& state = {});
 
 }  // namespace einet::nn

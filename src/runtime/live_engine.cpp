@@ -1,6 +1,7 @@
 #include "runtime/live_engine.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "obs/trace.hpp"
 #include "runtime/kill_policy.hpp"
@@ -27,46 +28,35 @@ LiveElasticEngine::LiveElasticEngine(models::MultiExitNetwork& net,
         "LiveElasticEngine: predictor exit count mismatch"};
 }
 
-template <typename KillPolicy>
-InferenceOutcome LiveElasticEngine::run_impl(const nn::Tensor& image,
-                                             std::size_t label,
-                                             KillPolicy& kill,
-                                             const core::TimeDistribution& dist,
-                                             const BlockHook* hook) {
-  if (image.rank() != 3)
-    throw std::invalid_argument{"LiveElasticEngine::run: image must be CHW"};
-  const std::size_t n = net_.num_exits();
-
-  InferenceOutcome out;
-  out.deadline_ms = kill.outcome_deadline(0.0);
-
-  EINET_SPAN(run_span, "runtime.live_run", kRuntime);
-  run_span.slack(kill.slack(0.0));
-
-  predictor::ActivationCacheSession session{*predictor_};
-
-  // Initial plan from the all-zeros predictor input.
-  std::vector<float> predicted = session.predict(0);
+core::ExitPlan LiveElasticEngine::initial_plan(
+    predictor::ActivationCacheSession& session, std::size_t from,
+    const core::ExitPlan& base, const core::TimeDistribution& dist,
+    InferenceOutcome& out) {
+  std::vector<float> predicted = session.predict(from);
   if (config_.calibrator != nullptr) config_.calibrator->apply(predicted);
-  core::ExitPlan plan{n};
-  {
-    core::PlanProblem problem{.conv_ms = et_.conv_ms,
-                              .branch_ms = et_.branch_ms,
-                              .confidence = predicted,
-                              .dist = &dist,
-                              .fixed_prefix = 0,
-                              .base = core::ExitPlan{n}};
-    const auto res = search_engine_.search(problem);
-    plan = res.plan;
-    out.planner_ms += res.search_ms;
-    ++out.searches_run;
-  }
+  core::PlanProblem problem{.conv_ms = et_.conv_ms,
+                            .branch_ms = et_.branch_ms,
+                            .confidence = predicted,
+                            .dist = &dist,
+                            .fixed_prefix = from,
+                            .base = base};
+  const auto res = search_engine_.search(problem);
+  out.planner_ms += res.search_ms;
+  ++out.searches_run;
+  return res.plan;
+}
 
-  nn::Tensor features = image.reshaped(
-      {1, image.dim(0), image.dim(1), image.dim(2)});
-  double t = 0.0;
-  float last_conf = 0.0f;
-  for (std::size_t i = 0; i < n; ++i) {
+template <typename KillPolicy>
+bool LiveElasticEngine::run_range(std::size_t begin, std::size_t end,
+                                  std::size_t label, nn::Tensor& features,
+                                  double& t, float& last_conf,
+                                  core::ExitPlan& plan,
+                                  predictor::ActivationCacheSession& session,
+                                  InferenceOutcome& out, KillPolicy& kill,
+                                  const core::TimeDistribution& dist,
+                                  const BlockHook* hook) {
+  const std::size_t n = net_.num_exits();
+  for (std::size_t i = begin; i < end; ++i) {
     t += et_.conv_ms[i];
     if (hook != nullptr && *hook) (*hook)(i, t);
     if (kill.killed(t)) {
@@ -74,7 +64,7 @@ InferenceOutcome LiveElasticEngine::run_impl(const nn::Tensor& image,
       EINET_INSTANT(KillPolicy::kill_event(), kRuntime,
                     .exit_index = static_cast<std::int64_t>(i),
                     .slack_ms = kill.slack(t));
-      return out;
+      return false;
     }
     {
       EINET_SPAN(conv_span, "runtime.conv", kRuntime);
@@ -96,7 +86,7 @@ InferenceOutcome LiveElasticEngine::run_impl(const nn::Tensor& image,
       EINET_INSTANT(KillPolicy::kill_event(), kRuntime,
                     .exit_index = static_cast<std::int64_t>(i),
                     .slack_ms = kill.slack(t));
-      return out;
+      return false;
     }
     {
       EINET_SPAN(branch_span, "runtime.branch", kRuntime);
@@ -117,7 +107,7 @@ InferenceOutcome LiveElasticEngine::run_impl(const nn::Tensor& image,
     }
 
     if (config_.replan_after_each_output && i + 1 < n) {
-      predicted = session.predict(i + 1);
+      std::vector<float> predicted = session.predict(i + 1);
       if (config_.calibrator != nullptr) config_.calibrator->apply(predicted);
       core::PlanProblem problem{.conv_ms = et_.conv_ms,
                                 .branch_ms = et_.branch_ms,
@@ -134,6 +124,35 @@ InferenceOutcome LiveElasticEngine::run_impl(const nn::Tensor& image,
                     .slack_ms = kill.slack(t), .value = res.search_ms);
     }
   }
+  return true;
+}
+
+template <typename KillPolicy>
+InferenceOutcome LiveElasticEngine::run_impl(const nn::Tensor& image,
+                                             std::size_t label,
+                                             KillPolicy& kill,
+                                             const core::TimeDistribution& dist,
+                                             const BlockHook* hook) {
+  if (image.rank() != 3)
+    throw std::invalid_argument{"LiveElasticEngine::run: image must be CHW"};
+  const std::size_t n = net_.num_exits();
+
+  InferenceOutcome out;
+  out.deadline_ms = kill.outcome_deadline(0.0);
+
+  EINET_SPAN(run_span, "runtime.live_run", kRuntime);
+  run_span.slack(kill.slack(0.0));
+
+  predictor::ActivationCacheSession session{*predictor_};
+  core::ExitPlan plan = initial_plan(session, 0, core::ExitPlan{n}, dist, out);
+
+  nn::Tensor features = image.reshaped(
+      {1, image.dim(0), image.dim(1), image.dim(2)});
+  double t = 0.0;
+  float last_conf = 0.0f;
+  if (!run_range(0, n, label, features, t, last_conf, plan, session, out,
+                 kill, dist, hook))
+    return out;
   out.deadline_ms = kill.outcome_deadline(t);
   out.completed = true;
   return out;
@@ -152,6 +171,119 @@ InferenceOutcome LiveElasticEngine::run_cancellable(
     const BlockHook& hook) {
   detail::TokenKill kill{&cancel};
   return run_impl(image, label, kill, dist, &hook);
+}
+
+SplitPrefixResult LiveElasticEngine::run_prefix(
+    const nn::Tensor& image, std::size_t label, std::size_t split_block,
+    double deadline_ms, const core::TimeDistribution& dist) {
+  if (image.rank() != 3)
+    throw std::invalid_argument{
+        "LiveElasticEngine::run_prefix: image must be CHW"};
+  const std::size_t n = net_.num_exits();
+  if (split_block > n)
+    throw std::invalid_argument{
+        "LiveElasticEngine::run_prefix: split_block out of range"};
+  detail::DeadlineKill kill{deadline_ms};
+
+  SplitPrefixResult res;
+  InferenceOutcome& out = res.outcome;
+  out.deadline_ms = kill.outcome_deadline(0.0);
+
+  EINET_SPAN(run_span, "runtime.split_prefix", kRuntime);
+  run_span.exit(static_cast<std::int64_t>(split_block));
+
+  predictor::ActivationCacheSession session{*predictor_};
+  core::ExitPlan plan = initial_plan(session, 0, core::ExitPlan{n}, dist, out);
+
+  nn::Tensor features = image.reshaped(
+      {1, image.dim(0), image.dim(1), image.dim(2)});
+  double t = 0.0;
+  float last_conf = 0.0f;
+  if (!run_range(0, split_block, label, features, t, last_conf, plan, session,
+                 out, kill, dist, /*hook=*/nullptr)) {
+    res.finished = true;  // deadline fired inside the prefix: outcome final
+    return res;
+  }
+  if (split_block == n) {
+    out.deadline_ms = kill.outcome_deadline(t);
+    out.completed = true;
+    res.finished = true;
+    return res;
+  }
+
+  res.activation = std::move(features);
+  SplitState& s = res.state;
+  const auto& pushed = session.logical_input();
+  s.session_conf.assign(pushed.begin(),
+                        pushed.begin() + static_cast<std::ptrdiff_t>(
+                                             split_block));
+  s.plan_bits = plan.bits();
+  s.sim_t_ms = t;
+  s.last_conf = last_conf;
+  s.has_result = out.has_result;
+  s.exit_index = out.exit_index;
+  s.correct = out.correct;
+  s.result_time_ms = out.result_time_ms;
+  s.branches_executed = out.branches_executed;
+  s.searches_run = out.searches_run;
+  s.planner_ms = out.planner_ms;
+  return res;
+}
+
+InferenceOutcome LiveElasticEngine::run_resume(
+    const nn::Tensor& activation, std::size_t label, std::size_t start_block,
+    const SplitState& state, double deadline_ms,
+    const core::TimeDistribution& dist) {
+  const std::size_t n = net_.num_exits();
+  if (start_block >= n)
+    throw std::invalid_argument{
+        "LiveElasticEngine::run_resume: start_block out of range"};
+  if (state.plan_bits.size() != n)
+    throw std::invalid_argument{
+        "LiveElasticEngine::run_resume: plan size does not match network"};
+  if (state.session_conf.size() != start_block)
+    throw std::invalid_argument{
+        "LiveElasticEngine::run_resume: session snapshot does not match "
+        "start_block"};
+  const nn::Shape& expect = net_.feature_shape(start_block);
+  if (activation.numel() != nn::shape_numel(expect))
+    throw std::invalid_argument{
+        "LiveElasticEngine::run_resume: activation has " +
+        std::to_string(activation.numel()) + " elements, block " +
+        std::to_string(start_block) + " expects " +
+        std::to_string(nn::shape_numel(expect))};
+  detail::DeadlineKill kill{deadline_ms};
+
+  InferenceOutcome out;
+  out.deadline_ms = kill.outcome_deadline(state.sim_t_ms);
+  out.has_result = state.has_result;
+  out.exit_index = state.exit_index;
+  out.correct = state.correct;
+  out.result_time_ms = state.result_time_ms;
+  out.branches_executed = state.branches_executed;
+  out.searches_run = state.searches_run;
+  out.planner_ms = state.planner_ms;
+
+  EINET_SPAN(run_span, "runtime.split_resume", kRuntime);
+  run_span.exit(static_cast<std::int64_t>(start_block));
+
+  predictor::ActivationCacheSession session{*predictor_};
+  for (std::size_t i = 0; i < start_block; ++i)
+    session.push(i, state.session_conf[i]);
+  core::ExitPlan plan = core::ExitPlan::from_bits(state.plan_bits);
+
+  // feature_shape() is batch-less CHW; the loop works on NCHW with N == 1.
+  nn::Shape batched{1};
+  batched.insert(batched.end(), expect.begin(), expect.end());
+  nn::Tensor features = activation.reshaped(std::move(batched));
+  double t = state.sim_t_ms;
+  float last_conf = state.last_conf;
+  if (!run_range(start_block, n, label, features, t, last_conf, plan, session,
+                 out, kill, dist, /*hook=*/nullptr))
+    return out;
+  out.deadline_ms = kill.outcome_deadline(t);
+  out.completed = true;
+  return out;
 }
 
 }  // namespace einet::runtime

@@ -4,13 +4,35 @@
 // clock is still the deterministic ET-profile clock (the paper also
 // randomises exit times in software), which makes live and replay runs
 // bit-for-bit comparable — a property the integration tests assert.
+//
+// Split execution (DESIGN.md §11): run_prefix() executes blocks [0, k) and
+// snapshots the loop into a SplitState; run_resume() re-seeds an identical
+// loop from that snapshot and executes [k, n). Both halves must share the
+// same ET profile, predictor weights and a deterministic search method for
+// the resumed run to be bit-identical to a single-process run().
 #pragma once
 
 #include "models/multiexit.hpp"
 #include "predictor/activation_cache.hpp"
 #include "runtime/elastic_engine.hpp"
+#include "runtime/split_state.hpp"
 
 namespace einet::runtime {
+
+/// Result of running the device half of a split request.
+struct SplitPrefixResult {
+  /// True when the outcome is already final (the deadline fired inside the
+  /// prefix, or split_block == num_exits so nothing remains to offload) —
+  /// `activation`/`state` are then meaningless and nothing must be shipped.
+  bool finished = false;
+  /// Final outcome when `finished`; otherwise the partial best-local outcome
+  /// the device falls back to when the offload fails.
+  InferenceOutcome outcome;
+  /// Features entering block split_block (1, C, H, W); valid when !finished.
+  nn::Tensor activation;
+  /// Loop snapshot to ship alongside the activation; valid when !finished.
+  SplitState state;
+};
 
 class LiveElasticEngine {
  public:
@@ -32,12 +54,49 @@ class LiveElasticEngine {
       const core::CancelToken& cancel, const core::TimeDistribution& dist,
       const BlockHook& hook = {});
 
+  /// Device half of a split request: run blocks [0, split_block) — taking
+  /// any exit the plan fires before the split — and snapshot the loop for
+  /// the edge. split_block == num_exits degenerates to run().
+  [[nodiscard]] SplitPrefixResult run_prefix(const nn::Tensor& image,
+                                             std::size_t label,
+                                             std::size_t split_block,
+                                             double deadline_ms,
+                                             const core::TimeDistribution& dist);
+
+  /// Edge half: re-seed the loop from a prefix snapshot and run blocks
+  /// [start_block, num_exits). Bit-identical continuation of run_prefix on
+  /// an engine with the same ET profile / predictor / deterministic config.
+  [[nodiscard]] InferenceOutcome run_resume(const nn::Tensor& activation,
+                                            std::size_t label,
+                                            std::size_t start_block,
+                                            const SplitState& state,
+                                            double deadline_ms,
+                                            const core::TimeDistribution& dist);
+
  private:
   template <typename KillPolicy>
   [[nodiscard]] InferenceOutcome run_impl(const nn::Tensor& image,
                                           std::size_t label, KillPolicy& kill,
                                           const core::TimeDistribution& dist,
                                           const BlockHook* hook);
+
+  /// Initial plan search from the all-zeros predictor input (fixed_prefix
+  /// `from`, base plan `base`). Accumulates planner_ms / searches_run.
+  [[nodiscard]] core::ExitPlan initial_plan(
+      predictor::ActivationCacheSession& session, std::size_t from,
+      const core::ExitPlan& base, const core::TimeDistribution& dist,
+      InferenceOutcome& out);
+
+  /// The shared block loop over [begin, end): conv, optional branch, replan.
+  /// Mutates the loop state in place; returns false when the kill policy
+  /// fired (out.deadline_ms is then final).
+  template <typename KillPolicy>
+  bool run_range(std::size_t begin, std::size_t end, std::size_t label,
+                 nn::Tensor& features, double& t, float& last_conf,
+                 core::ExitPlan& plan,
+                 predictor::ActivationCacheSession& session,
+                 InferenceOutcome& out, KillPolicy& kill,
+                 const core::TimeDistribution& dist, const BlockHook* hook);
 
   models::MultiExitNetwork& net_;
   profiling::ETProfile et_;

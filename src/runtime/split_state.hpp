@@ -1,0 +1,54 @@
+// Handoff state for tiered device↔edge split execution (DESIGN.md §11).
+//
+// A device runs blocks [0, k) of the multi-exit net, then ships the
+// activation entering block k together with a SplitState snapshot of its
+// control loop; the edge re-seeds an identical loop from that snapshot and
+// runs blocks [k, n). Because the engine's plan search and predictor session
+// are deterministic functions of the snapshot, resume-from-k is bit-identical
+// to having run the whole loop in one process (excluding wall-clock
+// planner_ms) — the property tests/test_split.cpp asserts for every k.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace einet::runtime {
+
+/// Snapshot of LiveElasticEngine's control loop after block k-1's iteration
+/// (or after the initial plan search when k == 0). Wire-serializable: see
+/// net::ActivationFrame for the byte layout.
+struct SplitState {
+  /// Per-block confidence pushed into the ActivationCacheSession, one entry
+  /// per block i < k (executed branches push their softmax confidence,
+  /// skipped ones inherit the previous score). Replayed verbatim on resume.
+  std::vector<float> session_conf;
+  /// Current exit plan over all n exits (ExitPlan::bits()).
+  std::vector<std::uint8_t> plan_bits;
+  /// Simulated ET-profile clock at the handoff.
+  double sim_t_ms = 0.0;
+  /// Last branch confidence seen (skipped exits inherit it).
+  float last_conf = 0.0f;
+  // Partial InferenceOutcome accumulated by the prefix.
+  bool has_result = false;
+  std::size_t exit_index = ~std::size_t{0};
+  bool correct = false;
+  double result_time_ms = 0.0;
+  std::size_t branches_executed = 0;
+  std::size_t searches_run = 0;
+  /// Wall-clock planning spent on the device; excluded from bit-identity but
+  /// carried so the merged outcome accounts for the whole request.
+  double planner_ms = 0.0;
+};
+
+/// A decoded offload: everything the edge needs to resume from start_block.
+struct ResumePayload {
+  nn::Tensor activation;  // features entering block start_block (1, C, H, W)
+  std::size_t start_block = 0;
+  std::size_t label = 0;
+  SplitState state;
+};
+
+}  // namespace einet::runtime

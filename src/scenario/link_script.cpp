@@ -1,0 +1,72 @@
+#include "scenario/link_script.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace einet::scenario {
+
+LinkScript& LinkScript::healthy_phase(std::size_t requests,
+                                      std::string label) {
+  return phase(LinkPhase{.label = std::move(label), .num_requests = requests});
+}
+
+LinkScript& LinkScript::degraded_phase(std::size_t requests,
+                                       double base_delay_ms, double jitter_ms,
+                                       double bytes_per_ms,
+                                       std::string label) {
+  if (base_delay_ms < 0.0 || jitter_ms < 0.0)
+    throw std::invalid_argument{"LinkScript: negative delay"};
+  return phase(LinkPhase{.label = std::move(label),
+                         .num_requests = requests,
+                         .base_delay_ms = base_delay_ms,
+                         .jitter_ms = jitter_ms,
+                         .bytes_per_ms = bytes_per_ms});
+}
+
+LinkScript& LinkScript::outage_phase(std::size_t requests, std::string label) {
+  return phase(LinkPhase{.label = std::move(label),
+                         .num_requests = requests,
+                         .drop_prob = 1.0});
+}
+
+LinkScript& LinkScript::phase(LinkPhase p) {
+  if (p.num_requests == 0)
+    throw std::invalid_argument{"LinkScript: phase with zero requests"};
+  if (p.drop_prob < 0.0 || p.drop_prob > 1.0)
+    throw std::invalid_argument{"LinkScript: drop_prob outside [0, 1]"};
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+std::size_t LinkScript::total_requests() const {
+  std::size_t total = 0;
+  for (const LinkPhase& p : phases_) total += p.num_requests;
+  return total;
+}
+
+std::size_t LinkScript::phase_of_request(std::size_t request_index) const {
+  if (phases_.empty())
+    throw std::logic_error{"LinkScript: no phases defined"};
+  std::size_t offset = 0;
+  for (std::size_t p = 0; p < phases_.size(); ++p) {
+    offset += phases_[p].num_requests;
+    if (request_index < offset) return p;
+  }
+  return phases_.size() - 1;  // steady state: stay in the final phase
+}
+
+LinkFault LinkScript::fault_for(std::size_t request_index) const {
+  const LinkPhase& p = phases_[phase_of_request(request_index)];
+  util::Rng rng{mix_seed(seed_, request_index)};
+  LinkFault fault;
+  // Fixed draw order (jitter, then the drop coin) so tests can predict the
+  // exact fault independent of this implementation.
+  fault.extra_delay_ms =
+      p.base_delay_ms + (p.jitter_ms > 0.0 ? rng.uniform(0.0, p.jitter_ms)
+                                           : (rng.uniform(), 0.0));
+  fault.bytes_per_ms = p.bytes_per_ms;
+  fault.drop = rng.bernoulli(p.drop_prob);
+  return fault;
+}
+
+}  // namespace einet::scenario

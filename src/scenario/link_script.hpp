@@ -1,0 +1,93 @@
+// Declarative link regimes for split execution (DESIGN.md §11).
+//
+// Where ScenarioScript describes *when the environment kills tasks*, a
+// LinkScript describes *what the device↔edge link looks like* while they
+// run: a schedule of phases (healthy, jittery, narrow, partitioned), each
+// governing a contiguous range of request indices. The split client asks
+// `fault_for(i)` before shipping request i's activation and applies the
+// returned shaping — extra delay, throughput cap, or a dropped connection —
+// to its offload attempt.
+//
+// Determinism contract, inherited from ScenarioScript: the fault for request
+// i is a pure function of (script, request index) via mix_seed(seed, i), so
+// concurrency and retry order cannot change which requests hit a degraded
+// link. That is what makes the fallback-rate assertions in split_lab and
+// test_split exact rather than statistical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_script.hpp"
+#include "util/rng.hpp"
+
+namespace einet::scenario {
+
+/// The shaping applied to one offload attempt.
+struct LinkFault {
+  /// Added one-way delay before the activation bytes start flowing.
+  double extra_delay_ms = 0.0;
+  /// Throughput cap for this attempt; <= 0 means unconstrained.
+  double bytes_per_ms = 0.0;
+  /// The link eats the connection mid-offload: the client's send appears to
+  /// succeed but no response ever arrives (the shaper closes the socket).
+  bool drop = false;
+};
+
+/// One link regime plus the number of consecutive requests it governs.
+struct LinkPhase {
+  std::string label;
+  std::size_t num_requests = 0;
+  /// Base one-way delay every request in the phase pays.
+  double base_delay_ms = 0.0;
+  /// Additional uniform jitter in [0, jitter_ms).
+  double jitter_ms = 0.0;
+  /// Throughput cap; <= 0 means unconstrained.
+  double bytes_per_ms = 0.0;
+  /// Probability an attempt's connection is dropped mid-offload.
+  double drop_prob = 0.0;
+};
+
+class LinkScript {
+ public:
+  explicit LinkScript(std::uint64_t seed) : seed_(seed) {}
+
+  // ---- builders (chainable) -----------------------------------------------
+  /// Near-ideal loopback: no added delay, unconstrained, never drops.
+  LinkScript& healthy_phase(std::size_t requests,
+                            std::string label = "healthy");
+  /// Delay + jitter + optional throughput cap, never drops.
+  LinkScript& degraded_phase(std::size_t requests, double base_delay_ms,
+                             double jitter_ms, double bytes_per_ms = 0.0,
+                             std::string label = "degraded");
+  /// Every attempt's connection is killed mid-offload.
+  LinkScript& outage_phase(std::size_t requests,
+                           std::string label = "outage");
+  /// Fully parameterised phase.
+  LinkScript& phase(LinkPhase p);
+
+  // ---- queries ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::size_t num_phases() const { return phases_.size(); }
+  [[nodiscard]] std::size_t total_requests() const;
+  [[nodiscard]] const std::vector<LinkPhase>& phases() const {
+    return phases_;
+  }
+
+  /// Which phase governs request `request_index`; indices past the schedule
+  /// stay in the final phase (the link's steady state). Throws when the
+  /// script has no phases.
+  [[nodiscard]] std::size_t phase_of_request(std::size_t request_index) const;
+
+  /// The shaping for request `request_index` — deterministic, order-free:
+  /// drawn from Rng{mix_seed(seed, request_index)} in a fixed order
+  /// (jitter first, then the drop coin).
+  [[nodiscard]] LinkFault fault_for(std::size_t request_index) const;
+
+ private:
+  std::uint64_t seed_;
+  std::vector<LinkPhase> phases_;
+};
+
+}  // namespace einet::scenario

@@ -78,6 +78,19 @@ SubmitStatus EdgeServer::submit_live(std::shared_ptr<const nn::Tensor> image,
   return enqueue(std::move(task));
 }
 
+SubmitStatus EdgeServer::submit_resume(
+    std::shared_ptr<const runtime::ResumePayload> payload, double deadline_ms,
+    CompletionCallback on_complete) {
+  if (payload == nullptr)
+    throw std::invalid_argument{"EdgeServer::submit_resume: null payload"};
+  Task task;
+  task.label = payload->label;
+  task.resume = std::move(payload);
+  task.deadline_ms = deadline_ms;
+  task.on_complete = std::move(on_complete);
+  return enqueue(std::move(task));
+}
+
 SubmitStatus EdgeServer::enqueue(Task task) {
   const double deadline_ms = task.deadline_ms;
   // Stamp submit before the admission verdict so admit_ms - submit_ms below

@@ -92,6 +92,14 @@ class EdgeServer {
                            std::size_t label, double deadline_ms,
                            CompletionCallback on_complete = nullptr);
 
+  /// Offer one split-execution resume (DESIGN.md §11): a device's shipped
+  /// activation + loop snapshot. The pool's runner must be resume-capable
+  /// (split::make_resume_runner); admission treats the payload's full
+  /// deadline like any other task's budget.
+  SubmitStatus submit_resume(
+      std::shared_ptr<const runtime::ResumePayload> payload,
+      double deadline_ms, CompletionCallback on_complete = nullptr);
+
   /// Close the queue, drain the assembler (batched mode) and join the
   /// workers (idempotent). Every task accepted before the call is executed.
   void shutdown();

@@ -19,6 +19,7 @@
 #include "obs/telemetry/stages.hpp"
 #include "profiling/profiles.hpp"
 #include "runtime/elastic_engine.hpp"
+#include "runtime/split_state.hpp"
 
 namespace einet::serving {
 
@@ -55,6 +56,10 @@ struct Task {
   /// runner stacks into a MicroBatch, plus its label for the correctness
   /// bit. Replay tasks leave `image` null and carry `record` instead.
   std::shared_ptr<const nn::Tensor> image;
+  /// Split-execution payload (DESIGN.md §11): a device-shipped activation +
+  /// loop snapshot a resume-capable runner continues from
+  /// resume->start_block. Mutually exclusive with `record`/`image`.
+  std::shared_ptr<const runtime::ResumePayload> resume;
   std::size_t label = 0;
   /// Simulated time budget until the unpredictable forced exit.
   double deadline_ms = 0.0;

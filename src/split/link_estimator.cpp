@@ -1,0 +1,42 @@
+#include "split/link_estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace einet::split {
+
+LinkEstimator::LinkEstimator(LinkEstimatorConfig config)
+    : config_(config),
+      rtt_ms_(config.prior_rtt_ms),
+      bytes_per_ms_(config.prior_bytes_per_ms) {
+  if (config.alpha <= 0.0 || config.alpha > 1.0)
+    throw std::invalid_argument{"LinkEstimator: alpha must be in (0, 1]"};
+  if (config.prior_rtt_ms <= 0.0 || config.prior_bytes_per_ms <= 0.0)
+    throw std::invalid_argument{"LinkEstimator: priors must be positive"};
+  if (config.failure_rtt_penalty < 1.0)
+    throw std::invalid_argument{
+        "LinkEstimator: failure_rtt_penalty must be >= 1"};
+}
+
+void LinkEstimator::observe(double total_ms, std::size_t payload_bytes) {
+  if (total_ms < 0.0)
+    throw std::invalid_argument{"LinkEstimator: negative sample"};
+  ++observations_;
+  const double a = config_.alpha;
+  const double bytes = static_cast<double>(payload_bytes);
+  // Mutual decomposition: judge each component's share of the sample by the
+  // *other* component's current estimate.
+  const double transfer_est = bytes / bytes_per_ms_;
+  const double rtt_sample = std::max(0.0, total_ms - transfer_est);
+  const double transfer_sample = std::max(1e-6, total_ms - rtt_ms_);
+  const double bw_sample = bytes > 0.0 ? bytes / transfer_sample : bytes_per_ms_;
+  rtt_ms_ = std::min(config_.max_rtt_ms, (1.0 - a) * rtt_ms_ + a * rtt_sample);
+  bytes_per_ms_ = (1.0 - a) * bytes_per_ms_ + a * bw_sample;
+}
+
+void LinkEstimator::on_failure() {
+  ++failures_;
+  rtt_ms_ = std::min(config_.max_rtt_ms, rtt_ms_ * config_.failure_rtt_penalty);
+}
+
+}  // namespace einet::split

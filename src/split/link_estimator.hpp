@@ -1,0 +1,57 @@
+// Online link estimator for split execution (DESIGN.md §11).
+//
+// The split client cannot ask the network how fast it is — it learns from
+// its own offloads: each successful round trip contributes one sample of
+// (wall time, payload bytes), which the estimator decomposes into an RTT
+// part and a throughput part using its *current* estimates (mutual
+// decomposition: the transfer share of a sample is judged by the present
+// bandwidth estimate, the bandwidth share by the present RTT estimate) and
+// folds into EWMAs. Failures carry information too: a dead or partitioned
+// link yields no sample, so on_failure() multiplicatively inflates the RTT
+// estimate instead — the planner then prices offloading out until fresh
+// successes decay the estimate back down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace einet::split {
+
+struct LinkEstimatorConfig {
+  /// EWMA weight on the newest sample (1 = no memory).
+  double alpha = 0.25;
+  /// Optimistic priors so the first request is willing to try the link.
+  double prior_rtt_ms = 1.0;
+  double prior_bytes_per_ms = 100'000.0;  // ~100 MB/s, loopback-ish
+  /// Multiplier applied to the RTT estimate per failed offload.
+  double failure_rtt_penalty = 4.0;
+  /// RTT estimate ceiling (keeps repeated failures recoverable).
+  double max_rtt_ms = 60'000.0;
+};
+
+class LinkEstimator {
+ public:
+  explicit LinkEstimator(LinkEstimatorConfig config = {});
+
+  /// Fold in one successful offload: `total_ms` of wall time spent between
+  /// the first byte out and the response, for a `payload_bytes` frame.
+  void observe(double total_ms, std::size_t payload_bytes);
+
+  /// Fold in one failed offload (connect refused, connection lost, timeout).
+  void on_failure();
+
+  [[nodiscard]] double rtt_ms() const { return rtt_ms_; }
+  [[nodiscard]] double bytes_per_ms() const { return bytes_per_ms_; }
+  [[nodiscard]] std::uint64_t observations() const { return observations_; }
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+  [[nodiscard]] const LinkEstimatorConfig& config() const { return config_; }
+
+ private:
+  LinkEstimatorConfig config_;
+  double rtt_ms_;
+  double bytes_per_ms_;
+  std::uint64_t observations_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace einet::split

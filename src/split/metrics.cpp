@@ -1,0 +1,127 @@
+#include "split/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace einet::split {
+
+const char* split_path_name(SplitPath p) {
+  switch (p) {
+    case SplitPath::kLocal: return "local";
+    case SplitPath::kOffloaded: return "offloaded";
+    case SplitPath::kLocalFallback: return "local_fallback";
+  }
+  return "?";
+}
+
+SplitMetrics::SplitMetrics(std::size_t num_blocks)
+    : histogram_(num_blocks + 1) {
+  if (num_blocks == 0)
+    throw std::invalid_argument{"SplitMetrics: num_blocks must be > 0"};
+}
+
+void SplitMetrics::on_completed(SplitPath path, std::size_t split_block) {
+  if (split_block >= histogram_.size())
+    throw std::out_of_range{"SplitMetrics: split_block out of range"};
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  histogram_[split_block].fetch_add(1, std::memory_order_relaxed);
+  switch (path) {
+    case SplitPath::kLocal:
+      local_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SplitPath::kOffloaded:
+      offloaded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SplitPath::kLocalFallback:
+      local_fallback_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void SplitMetrics::on_transport_error() {
+  transport_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SplitMetrics::on_protocol_error() {
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SplitMetrics::set_link(double rtt_ms, double bytes_per_ms) {
+  link_rtt_ms_.store(rtt_ms, std::memory_order_relaxed);
+  link_bytes_per_ms_.store(bytes_per_ms, std::memory_order_relaxed);
+}
+
+SplitMetricsSnapshot SplitMetrics::snapshot() const {
+  SplitMetricsSnapshot s;
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.offloaded = offloaded_.load(std::memory_order_relaxed);
+  s.local = local_.load(std::memory_order_relaxed);
+  s.local_fallback = local_fallback_.load(std::memory_order_relaxed);
+  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.split_histogram.reserve(histogram_.size());
+  for (const auto& bucket : histogram_)
+    s.split_histogram.push_back(bucket.load(std::memory_order_relaxed));
+  s.link_rtt_ms = link_rtt_ms_.load(std::memory_order_relaxed);
+  s.link_bytes_per_ms = link_bytes_per_ms_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string SplitMetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  util::JsonWriter j{out};
+  j.begin_object();
+  j.kv("completed", completed);
+  j.kv("offloaded", offloaded);
+  j.kv("local", local);
+  j.kv("local_fallback", local_fallback);
+  j.kv("transport_errors", transport_errors);
+  j.kv("protocol_errors", protocol_errors);
+  j.key("split_histogram");
+  j.begin_array();
+  for (const std::uint64_t bucket : split_histogram) j.value(bucket);
+  j.end_array();
+  j.kv("link_rtt_ms", link_rtt_ms);
+  j.kv("link_bytes_per_ms", link_bytes_per_ms);
+  j.end_object();
+  return out.str();
+}
+
+obs::telemetry::Source telemetry_source(const SplitMetrics& metrics) {
+  obs::telemetry::Source source;
+  source.name = "split";
+  source.prometheus = [&metrics](obs::telemetry::PromWriter& prom) {
+    const SplitMetricsSnapshot s = metrics.snapshot();
+    prom.counter("einet_split_completed_total", "Split requests resolved",
+                 static_cast<double>(s.completed));
+    prom.counter("einet_split_offloaded_total",
+                 "Requests answered by the edge",
+                 static_cast<double>(s.offloaded));
+    prom.counter("einet_split_local_total",
+                 "Requests the planner kept local",
+                 static_cast<double>(s.local));
+    prom.counter("einet_split_local_fallback_total",
+                 "Requests finished locally after an offload failure",
+                 static_cast<double>(s.local_fallback));
+    prom.counter("einet_split_transport_errors_total",
+                 "Offload attempts lost to the transport",
+                 static_cast<double>(s.transport_errors));
+    prom.counter("einet_split_protocol_errors_total",
+                 "Offload attempts refused by the protocol",
+                 static_cast<double>(s.protocol_errors));
+    for (std::size_t k = 0; k < s.split_histogram.size(); ++k)
+      prom.counter("einet_split_point_total", "Requests per split point",
+                   static_cast<double>(s.split_histogram[k]),
+                   {{"split_block", std::to_string(k)}});
+    prom.gauge("einet_split_link_rtt_ms", "Estimated link round-trip",
+               s.link_rtt_ms);
+    prom.gauge("einet_split_link_bytes_per_ms", "Estimated link throughput",
+               s.link_bytes_per_ms);
+  };
+  source.json = [&metrics] { return metrics.snapshot().to_json(); };
+  return source;
+}
+
+}  // namespace einet::split

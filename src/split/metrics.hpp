@@ -1,0 +1,89 @@
+// Split-serving metrics (DESIGN.md §11): how requests resolved (pure local /
+// offloaded / fallback-after-failure), where the planner cut the network,
+// and what the link looked like while it happened.
+//
+// Identity, asserted by scripts/check_metrics.py on every split artifact:
+//
+//   offloaded + local + local_fallback == completed
+//
+// — every request resolves exactly one way. The split-point histogram has
+// num_blocks + 1 buckets (bucket n = "ran fully local"); transport and
+// protocol error counters are attempts, not resolutions, so a request that
+// failed over the wire and fell back bumps transport_errors AND
+// local_fallback.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry/hub.hpp"
+
+namespace einet::split {
+
+/// How one request resolved.
+enum class SplitPath : std::uint8_t {
+  kLocal,          // planner chose local (or nothing remained to offload)
+  kOffloaded,      // edge answered the shipped activation
+  kLocalFallback,  // offload failed; finished with the device's best exit
+};
+[[nodiscard]] const char* split_path_name(SplitPath p);
+
+struct SplitMetricsSnapshot {
+  std::uint64_t completed = 0;
+  std::uint64_t offloaded = 0;
+  std::uint64_t local = 0;
+  std::uint64_t local_fallback = 0;
+  std::uint64_t transport_errors = 0;
+  std::uint64_t protocol_errors = 0;
+  /// Requests per split point; size num_blocks + 1, bucket n = local.
+  std::vector<std::uint64_t> split_histogram;
+  /// Link estimator view at snapshot time.
+  double link_rtt_ms = 0.0;
+  double link_bytes_per_ms = 0.0;
+
+  /// The `"split"` metrics block: counters, histogram and link gauges as one
+  /// JSON object (embedded by split_lab under the "split" key).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Thread-compatible counters (atomics; one writer is the common case but
+/// concurrent device loops are safe).
+class SplitMetrics {
+ public:
+  /// `num_blocks` sizes the split-point histogram.
+  explicit SplitMetrics(std::size_t num_blocks);
+
+  /// Record one resolved request: how it ended and the split point it ran
+  /// with (pass num_blocks for pure-local execution).
+  void on_completed(SplitPath path, std::size_t split_block);
+  void on_transport_error();
+  void on_protocol_error();
+  /// Refresh the link gauges from the estimator's current view.
+  void set_link(double rtt_ms, double bytes_per_ms);
+
+  [[nodiscard]] SplitMetricsSnapshot snapshot() const;
+  [[nodiscard]] std::size_t num_blocks() const {
+    return histogram_.size() - 1;
+  }
+
+ private:
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> offloaded_{0};
+  std::atomic<std::uint64_t> local_{0};
+  std::atomic<std::uint64_t> local_fallback_{0};
+  std::atomic<std::uint64_t> transport_errors_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::vector<std::atomic<std::uint64_t>> histogram_;
+  std::atomic<double> link_rtt_ms_{0.0};
+  std::atomic<double> link_bytes_per_ms_{0.0};
+};
+
+/// The split plane's entry in the TelemetryHub: `einet_split_*` counters and
+/// link gauges. Captures `metrics` by reference — remove the source from the
+/// hub before the metrics die.
+[[nodiscard]] obs::telemetry::Source telemetry_source(
+    const SplitMetrics& metrics);
+
+}  // namespace einet::split

@@ -1,0 +1,95 @@
+#include "split/planner.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "net/protocol.hpp"
+#include "nn/tensor.hpp"
+
+namespace einet::split {
+
+std::vector<double> activation_frame_bytes(
+    const models::MultiExitNetwork& net) {
+  const std::size_t n = net.num_exits();
+  std::vector<double> bytes(n + 1, 0.0);
+  // Build a shape-faithful dummy frame per k and ask the protocol layer for
+  // its exact wire size — no duplicated layout arithmetic to drift.
+  for (std::size_t k = 0; k < n; ++k) {
+    net::ActivationFrame f;
+    f.start_block = static_cast<std::uint32_t>(k);
+    f.state.plan_bits.assign(n, 0);
+    f.state.session_conf.assign(k, 0.0f);
+    nn::Shape batched{1};
+    const nn::Shape& chw = net.feature_shape(k);
+    batched.insert(batched.end(), chw.begin(), chw.end());
+    f.activation = nn::Tensor(batched);
+    bytes[k] = static_cast<double>(net::activation_wire_bytes(f));
+  }
+  return bytes;
+}
+
+const char* split_reason_name(SplitReason r) {
+  switch (r) {
+    case SplitReason::kOffload: return "offload";
+    case SplitReason::kLocalBetter: return "local_better";
+    case SplitReason::kLinkInfeasible: return "link_infeasible";
+  }
+  return "?";
+}
+
+SplitPlanner::SplitPlanner(SplitPlannerConfig config, const LinkEstimator& link)
+    : config_(std::move(config)), link_(link) {
+  const std::size_t n = config_.device_et.num_blocks();
+  if (n == 0)
+    throw std::invalid_argument{"SplitPlanner: empty device ET profile"};
+  if (config_.edge_et.num_blocks() != n)
+    throw std::invalid_argument{
+        "SplitPlanner: device/edge ET profiles disagree on block count"};
+  if (config_.activation_bytes.size() != n + 1)
+    throw std::invalid_argument{
+        "SplitPlanner: activation_bytes must have num_blocks + 1 entries"};
+  if (config_.deadline_guard_frac <= 0.0 || config_.deadline_guard_frac > 1.0)
+    throw std::invalid_argument{
+        "SplitPlanner: deadline_guard_frac must be in (0, 1]"};
+}
+
+SplitDecision SplitPlanner::decide(std::span<const float> confidence,
+                                   const core::TimeDistribution& dist,
+                                   double deadline_ms) const {
+  const std::size_t n = num_blocks();
+  if (confidence.size() != n)
+    throw std::invalid_argument{"SplitPlanner::decide: confidence must have " +
+                                std::to_string(n) + " entries"};
+  const core::ExitPlan plan{n, /*execute_all=*/true};
+  core::SplitCosts costs;
+  costs.device_conv_ms = config_.device_et.conv_ms;
+  costs.device_branch_ms = config_.device_et.branch_ms;
+  costs.edge_conv_ms = config_.edge_et.conv_ms;
+  costs.edge_branch_ms = config_.edge_et.branch_ms;
+  costs.activation_bytes = config_.activation_bytes;
+  costs.rtt_ms = link_.rtt_ms();
+  costs.bytes_per_ms = link_.bytes_per_ms();
+
+  const core::SplitSearchResult search = core::split_point_search(
+      plan, costs, confidence, dist,
+      config_.deadline_guard_frac * deadline_ms);
+
+  SplitDecision d;
+  d.split_block = search.best;
+  d.offload = search.best < n;
+  d.expectation = search.evals[search.best].expectation;
+  d.local_expectation = search.evals[n].expectation;
+  d.predicted_transfer_ms = search.evals[search.best].transfer_ms;
+  if (d.offload) {
+    d.reason = SplitReason::kOffload;
+  } else {
+    bool any_feasible_remote = false;
+    for (std::size_t k = 0; k < n; ++k)
+      any_feasible_remote |= search.evals[k].feasible;
+    d.reason = any_feasible_remote ? SplitReason::kLocalBetter
+                                   : SplitReason::kLinkInfeasible;
+  }
+  return d;
+}
+
+}  // namespace einet::split

@@ -1,0 +1,93 @@
+// SplitPlanner — chooses the per-request split point k (DESIGN.md §11).
+//
+// Inputs, per request:
+//  - the device-side and edge-side ET profiles (the same blocks, timed on
+//    the two tiers — e.g. edge_slow vs edge_fast platforms);
+//  - the wire size of each candidate offload frame (precomputed from the
+//    model's feature shapes — transfer cost is a pure function of k);
+//  - the LinkEstimator's current RTT / throughput view;
+//  - the planning confidence trajectory and forced-exit distribution the
+//    elastic engine itself plans with.
+//
+// The planner delegates to core::split_point_search — the same accuracy
+// expectation objective the exit-plan search maximizes, evaluated over the
+// merged device→wire→edge timeline for every k in [0, n] — and applies a
+// deadline guard: a transfer that would eat more than guard_frac of the
+// request's budget is infeasible regardless of its expectation, which is
+// what makes a regressing link degrade to local execution instead of
+// gambling the whole deadline on the wire.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/split_search.hpp"
+#include "core/time_distribution.hpp"
+#include "models/multiexit.hpp"
+#include "profiling/profiles.hpp"
+#include "split/link_estimator.hpp"
+
+namespace einet::split {
+
+/// Exact wire size of the block-k offload frame for every k in [0, n]
+/// (entry n is 0 — no offload). Matches net::activation_wire_bytes for a
+/// frame built from `net`'s feature shapes and a k-entry session trace.
+[[nodiscard]] std::vector<double> activation_frame_bytes(
+    const models::MultiExitNetwork& net);
+
+struct SplitPlannerConfig {
+  /// Per-block times on the device tier (prefix cost model).
+  profiling::ETProfile device_et;
+  /// Per-block times on the edge tier (suffix cost model).
+  profiling::ETProfile edge_et;
+  /// Wire bytes of the block-k offload frame; n + 1 entries (see
+  /// activation_frame_bytes).
+  std::vector<double> activation_bytes;
+  /// Fraction of the request deadline a feasible transfer may consume.
+  double deadline_guard_frac = 0.9;
+};
+
+enum class SplitReason : std::uint8_t {
+  kOffload,         // a k < n won the expectation comparison
+  kLocalBetter,     // the link is healthy but local expectation wins
+  kLinkInfeasible,  // no transfer fits inside the guarded deadline
+};
+[[nodiscard]] const char* split_reason_name(SplitReason r);
+
+struct SplitDecision {
+  /// Chosen split point; n means "run everything locally".
+  std::size_t split_block = 0;
+  /// split_block < n — ship the activation.
+  bool offload = false;
+  SplitReason reason = SplitReason::kLocalBetter;
+  /// Expectation of the chosen timeline and of staying local, for logging.
+  double expectation = 0.0;
+  double local_expectation = 0.0;
+  /// Predicted transfer stall of the chosen k (0 when local).
+  double predicted_transfer_ms = 0.0;
+};
+
+class SplitPlanner {
+ public:
+  /// `link` must outlive the planner (the split client owns both).
+  SplitPlanner(SplitPlannerConfig config, const LinkEstimator& link);
+
+  /// Choose k for one request. `confidence` is the planning trajectory
+  /// (e.g. the profile's mean per-exit confidence), `dist` the forced-exit
+  /// law, `deadline_ms` the request budget.
+  [[nodiscard]] SplitDecision decide(std::span<const float> confidence,
+                                     const core::TimeDistribution& dist,
+                                     double deadline_ms) const;
+
+  [[nodiscard]] std::size_t num_blocks() const {
+    return config_.device_et.num_blocks();
+  }
+  [[nodiscard]] const SplitPlannerConfig& config() const { return config_; }
+
+ private:
+  SplitPlannerConfig config_;
+  const LinkEstimator& link_;
+};
+
+}  // namespace einet::split

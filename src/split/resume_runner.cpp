@@ -1,0 +1,32 @@
+#include "split/resume_runner.hpp"
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace einet::split {
+
+serving::TaskRunner make_resume_runner(runtime::LiveElasticEngine& live,
+                                       const core::TimeDistribution& dist,
+                                       serving::TaskRunner fallback) {
+  // shared_ptr: TaskRunner must be copyable, the mutex must be shared.
+  auto mutex = std::make_shared<std::mutex>();
+  return [&live, &dist, mutex, fallback = std::move(fallback)](
+             runtime::ElasticEngine& engine, const serving::Task& task,
+             util::Rng& rng) -> runtime::InferenceOutcome {
+    if (task.resume != nullptr) {
+      const runtime::ResumePayload& p = *task.resume;
+      const std::lock_guard<std::mutex> lock{*mutex};
+      return live.run_resume(p.activation, p.label, p.start_block, p.state,
+                             task.deadline_ms, dist);
+    }
+    if (fallback) return fallback(engine, task, rng);
+    if (task.record == nullptr)
+      throw std::invalid_argument{
+          "resume runner: task carries neither a resume payload nor a record"};
+    return engine.run(*task.record, task.deadline_ms, dist);
+  };
+}
+
+}  // namespace einet::split

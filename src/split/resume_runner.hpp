@@ -1,0 +1,32 @@
+// Resume-capable TaskRunner for the edge side of split execution
+// (DESIGN.md §11).
+//
+// The worker pool's generic runners execute replay records through their
+// per-worker ElasticEngine replicas; a resume task instead needs the *live*
+// network the device's prefix ran on. make_resume_runner wraps one shared
+// LiveElasticEngine behind a mutex — the live net's forward pass caches
+// activations inside its layers, so concurrent resumes must serialize —
+// and routes every non-resume task to `fallback` (or a plain replay run
+// when no fallback is given), so one pool serves both frame types.
+//
+// Serializing resumes costs edge parallelism, not correctness: outcomes are
+// deterministic per task, and split_lab's device is a single blocking client
+// anyway. A per-worker live replica (one weight copy each) is the obvious
+// upgrade when a real fleet needs it.
+#pragma once
+
+#include "core/time_distribution.hpp"
+#include "runtime/live_engine.hpp"
+#include "serving/worker_pool.hpp"
+
+namespace einet::split {
+
+/// Build a TaskRunner that resumes split offloads on `live` and hands every
+/// other task to `fallback`. `live` and `dist` must outlive the pool; when
+/// `fallback` is empty, non-resume tasks replay their record through the
+/// worker's own engine with the same planning distribution.
+[[nodiscard]] serving::TaskRunner make_resume_runner(
+    runtime::LiveElasticEngine& live, const core::TimeDistribution& dist,
+    serving::TaskRunner fallback = nullptr);
+
+}  // namespace einet::split

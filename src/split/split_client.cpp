@@ -1,0 +1,146 @@
+#include "split/split_client.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace einet::split {
+
+namespace {
+
+/// Sleep out the shaping a LinkFault prescribes for a `wire_bytes` offload:
+/// the extra one-way delay plus the serialization time under the throughput
+/// cap. Sleeping for real (instead of faking the estimator's input) keeps
+/// the estimator honest — it measures exactly what a slow WAN would cost.
+void apply_shaping(const scenario::LinkFault& fault, std::size_t wire_bytes) {
+  double stall_ms = fault.extra_delay_ms;
+  if (fault.bytes_per_ms > 0.0)
+    stall_ms += static_cast<double>(wire_bytes) / fault.bytes_per_ms;
+  if (stall_ms > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(stall_ms));
+}
+
+}  // namespace
+
+SplitClient::SplitClient(runtime::LiveElasticEngine& device,
+                         SplitClientConfig config,
+                         const scenario::LinkScript* shaper)
+    : device_(device),
+      config_(std::move(config)),
+      link_(config_.link),
+      planner_(config_.planner, link_),
+      metrics_(config_.planner.device_et.num_blocks()),
+      client_(config_.net),
+      shaper_(shaper) {
+  const std::size_t n = planner_.num_blocks();
+  if (config_.expected_confidence.size() != n)
+    throw std::invalid_argument{
+        "SplitClient: expected_confidence must have one entry per block"};
+  if (config_.force_split && *config_.force_split > n)
+    throw std::invalid_argument{"SplitClient: force_split out of range"};
+}
+
+SplitRequestResult SplitClient::run(const nn::Tensor& image, std::size_t label,
+                                    double deadline_ms,
+                                    const core::TimeDistribution& dist) {
+  const std::size_t n = planner_.num_blocks();
+  const std::size_t request_index = next_request_++;
+
+  SplitDecision decision;
+  if (config_.force_split) {
+    decision.split_block = *config_.force_split;
+    decision.offload = decision.split_block < n;
+    decision.reason = decision.offload ? SplitReason::kOffload
+                                       : SplitReason::kLocalBetter;
+  } else {
+    decision = planner_.decide(config_.expected_confidence, dist, deadline_ms);
+  }
+
+  SplitRequestResult res;
+  res.split_block = decision.split_block;
+  res.reason = decision.reason;
+  EINET_INSTANT("split.decide", kRuntime,
+                .task_id = static_cast<std::int64_t>(request_index),
+                .value = static_cast<double>(decision.split_block));
+
+  if (!decision.offload) {
+    res.outcome = device_.run(image, label, deadline_ms, dist);
+    res.path = SplitPath::kLocal;
+    metrics_.on_completed(res.path, n);
+    metrics_.set_link(link_.rtt_ms(), link_.bytes_per_ms());
+    return res;
+  }
+
+  runtime::SplitPrefixResult prefix =
+      device_.run_prefix(image, label, decision.split_block, deadline_ms, dist);
+  if (prefix.finished) {
+    // The deadline fired inside the prefix — nothing left to offload; the
+    // request ran (and died) entirely locally.
+    res.outcome = prefix.outcome;
+    res.path = SplitPath::kLocal;
+    res.split_block = n;
+    metrics_.on_completed(res.path, n);
+    metrics_.set_link(link_.rtt_ms(), link_.bytes_per_ms());
+    return res;
+  }
+
+  // Keep the device's best partial result: it IS the answer if the wire
+  // lets us down anywhere past this point.
+  const runtime::InferenceOutcome partial = prefix.outcome;
+
+  net::ActivationFrame frame;
+  frame.deadline_ms = deadline_ms;
+  frame.label = label;
+  frame.start_block = static_cast<std::uint32_t>(decision.split_block);
+  frame.state = std::move(prefix.state);
+  frame.activation = std::move(prefix.activation);
+  const std::size_t wire_bytes = net::activation_wire_bytes(frame);
+
+  scenario::LinkFault fault;
+  if (shaper_ != nullptr) fault = shaper_->fault_for(request_index);
+
+  util::Timer timer;
+  try {
+    apply_shaping(fault, wire_bytes);
+    const std::uint64_t id = client_.send_activation(std::move(frame));
+    // A dropped link eats the connection after the send appears to succeed:
+    // the response can never arrive and wait() reports the loss.
+    if (fault.drop) client_.close();
+    const net::ResponseFrame resp = client_.wait(id);
+    if (resp.status != serving::SubmitStatus::kQueued)
+      throw net::NetError{"edge refused the offload (status " +
+                          std::to_string(static_cast<int>(resp.status)) + ")"};
+    res.offload_wall_ms = timer.elapsed_ms();
+    link_.observe(res.offload_wall_ms, wire_bytes);
+    res.outcome = resp.outcome;
+    res.path = SplitPath::kOffloaded;
+  } catch (const net::NetError& e) {
+    EINET_LOG(Debug) << "split: offload " << request_index
+                     << " failed in transport, falling back: " << e.what();
+    metrics_.on_transport_error();
+    link_.on_failure();
+    res.offload_wall_ms = timer.elapsed_ms();
+    res.outcome = partial;
+    res.path = SplitPath::kLocalFallback;
+  } catch (const net::ProtocolError& e) {
+    EINET_LOG(Warn) << "split: offload " << request_index
+                    << " refused by protocol, falling back: " << e.what();
+    metrics_.on_protocol_error();
+    link_.on_failure();
+    client_.close();
+    res.offload_wall_ms = timer.elapsed_ms();
+    res.outcome = partial;
+    res.path = SplitPath::kLocalFallback;
+  }
+  metrics_.on_completed(res.path, res.split_block);
+  metrics_.set_link(link_.rtt_ms(), link_.bytes_per_ms());
+  return res;
+}
+
+}  // namespace einet::split

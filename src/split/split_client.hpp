@@ -1,0 +1,99 @@
+// SplitClient — the device side of tiered split execution (DESIGN.md §11).
+//
+// Per request the client:
+//   1. asks the SplitPlanner for a split point k (link-aware expectation
+//      search over [0, n]);
+//   2. runs blocks [0, k) on the *device* engine, taking any early exit the
+//      plan fires before k;
+//   3. ships the block-k activation + loop snapshot to the edge as one
+//      ActivationFrame and waits for the resumed outcome;
+//   4. on any transport or protocol failure, falls back to the best result
+//      the local prefix produced — the request still resolves, as
+//      SplitPath::kLocalFallback.
+//
+// Every round trip feeds the LinkEstimator; every failure inflates it. A
+// link that regresses past the deadline guard therefore flips the planner
+// to local execution within a few requests — the graceful-degradation loop
+// split_lab demonstrates end to end.
+//
+// An optional scenario::LinkScript shapes the offloads for experiments:
+// extra delay and throughput caps are slept for real (the estimator can't
+// tell shaped loopback from a slow WAN, which is the point), and `drop`
+// kills the connection mid-offload. Like EdgeClient, instances are NOT
+// thread-safe — one device loop per client.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/time_distribution.hpp"
+#include "net/client.hpp"
+#include "runtime/live_engine.hpp"
+#include "scenario/link_script.hpp"
+#include "split/link_estimator.hpp"
+#include "split/metrics.hpp"
+#include "split/planner.hpp"
+
+namespace einet::split {
+
+struct SplitClientConfig {
+  net::TcpClientConfig net;
+  SplitPlannerConfig planner;
+  LinkEstimatorConfig link;
+  /// Planning confidence trajectory (size num_blocks) — typically the
+  /// profile's mean per-exit confidence, the same vector the elastic
+  /// engine's fallback planner uses.
+  std::vector<float> expected_confidence;
+  /// Test hook: pin the split point instead of asking the planner
+  /// (num_blocks = stay local). The planner is still constructed — its
+  /// validation and the estimator keep running.
+  std::optional<std::size_t> force_split;
+};
+
+/// One resolved request, as seen from the device.
+struct SplitRequestResult {
+  runtime::InferenceOutcome outcome;
+  SplitPath path = SplitPath::kLocal;
+  /// The split point the request ran with (num_blocks when fully local).
+  std::size_t split_block = 0;
+  SplitReason reason = SplitReason::kLocalBetter;
+  /// Measured wall time of the offload round trip, shaping included
+  /// (0 for local requests).
+  double offload_wall_ms = 0.0;
+};
+
+class SplitClient {
+ public:
+  /// `device` is the device-tier live engine; it must share its ET profile,
+  /// predictor weights and deterministic search config with the edge's
+  /// engine for offloads to be bit-identical to local runs. `shaper` is
+  /// borrowed (may be null).
+  SplitClient(runtime::LiveElasticEngine& device, SplitClientConfig config,
+              const scenario::LinkScript* shaper = nullptr);
+
+  /// Run one request end to end; never throws on link failure (that is the
+  /// fallback path — metrics record the error).
+  [[nodiscard]] SplitRequestResult run(const nn::Tensor& image,
+                                       std::size_t label, double deadline_ms,
+                                       const core::TimeDistribution& dist);
+
+  [[nodiscard]] SplitMetrics& metrics() { return metrics_; }
+  [[nodiscard]] const LinkEstimator& link() const { return link_; }
+  [[nodiscard]] const SplitPlanner& planner() const { return planner_; }
+  [[nodiscard]] net::EdgeClient& client() { return client_; }
+  /// Requests issued so far (also the next LinkScript index).
+  [[nodiscard]] std::size_t requests_run() const { return next_request_; }
+
+ private:
+  runtime::LiveElasticEngine& device_;
+  SplitClientConfig config_;
+  LinkEstimator link_;
+  SplitPlanner planner_;
+  SplitMetrics metrics_;
+  net::EdgeClient client_;
+  const scenario::LinkScript* shaper_;
+  std::size_t next_request_ = 0;
+};
+
+}  // namespace einet::split

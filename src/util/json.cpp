@@ -136,6 +136,11 @@ void JsonWriter::null() {
   out_ << "null";
 }
 
+void JsonWriter::raw(std::string_view json) {
+  before_value(/*is_key=*/false);
+  out_ << json;
+}
+
 // ---------------------------------------------------------------- reader
 
 bool JsonValue::as_bool() const {

@@ -43,6 +43,10 @@ class JsonWriter {
   void value(bool v);
   void null();
 
+  /// Emit a pre-rendered JSON value verbatim (e.g. a nested object another
+  /// snapshot's to_json() produced). The caller owns its validity.
+  void raw(std::string_view json);
+
   /// Convenience: key + scalar value in one call.
   template <typename T>
   void kv(std::string_view k, const T& v) {

@@ -302,6 +302,194 @@ TEST(Protocol, BadVersionAndTypeRejected) {
   }
 }
 
+// ------------------------------------------------ protocol: activation frame
+
+/// A small but fully populated offload frame: 2 blocks, split at 1.
+ActivationFrame tiny_activation() {
+  ActivationFrame f;
+  f.request_id = 0x0102030405060708ull;
+  f.deadline_ms = 1.5;
+  f.label = 7;
+  f.start_block = 1;
+  f.state.plan_bits = {1, 0};
+  f.state.session_conf = {0.5f};
+  f.state.sim_t_ms = 2.5;
+  f.state.last_conf = 1.0f;
+  f.state.has_result = true;
+  f.state.exit_index = 0;
+  f.state.correct = true;
+  f.state.result_time_ms = 1.5;
+  f.state.branches_executed = 1;
+  f.state.searches_run = 2;
+  f.state.planner_ms = 0.25;
+  f.activation = nn::Tensor{{1, 2}, {1.0f, -2.0f}};
+  return f;
+}
+
+TEST(Protocol, ActivationGoldenBytes) {
+  const ActivationFrame f = tiny_activation();
+  const std::vector<std::uint8_t> expected = {
+      // header: magic "EINT", version 1, type kActivation, reserved,
+      // body len 113
+      0x45, 0x49, 0x4E, 0x54, 0x01, 0x04, 0x00, 0x00, 0x71, 0x00, 0x00, 0x00,
+      // request_id (u64 LE)
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+      // deadline 1.5 (f64 LE)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,
+      // label (u64 LE)
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // codec version
+      0x01,
+      // start_block (u32 LE), num_exits (u32 LE)
+      0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+      // plan bits
+      0x01, 0x00,
+      // session_conf 0.5f
+      0x00, 0x00, 0x00, 0x3F,
+      // sim_t_ms 2.5 (f64 LE)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x40,
+      // last_conf 1.0f
+      0x00, 0x00, 0x80, 0x3F,
+      // has_result, exit_index 0 (u64), correct
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01,
+      // result_time_ms 1.5 (f64 LE)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,
+      // branches_executed 1, searches_run 2 (u64 LE)
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // planner_ms 0.25 (f64 LE)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD0, 0x3F,
+      // tensor codec: rank 2, dims (1, 2), data 1.0f, -2.0f
+      0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x80, 0x3F, 0x00, 0x00, 0x00, 0xC0};
+  const auto bytes = encode_activation(f);
+  EXPECT_EQ(bytes, expected);
+  EXPECT_EQ(bytes.size(), activation_wire_bytes(f));
+  EXPECT_EQ(encode_activation(f), encode_activation(f));
+}
+
+TEST(Protocol, ActivationRoundTripByteAtATime) {
+  ActivationFrame f = tiny_activation();
+  // A bigger, NCHW-shaped payload than the golden frame.
+  util::Rng rng{11};
+  std::vector<float> data(1 * 3 * 4 * 4);
+  for (auto& v : data) v = rng.uniform_f(-2.0f, 2.0f);
+  f.activation = nn::Tensor{{1, 3, 4, 4}, data};
+
+  const auto bytes = encode_activation(f);
+  FrameDecoder dec;
+  std::optional<Frame> frame;
+  for (const std::uint8_t byte : bytes) {  // worst case: 1 byte per feed
+    dec.feed(&byte, 1);
+    if (auto got = dec.next()) frame = std::move(got);
+  }
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kActivation);
+  const auto back = decode_activation(frame->body);
+  EXPECT_EQ(back.request_id, f.request_id);
+  EXPECT_EQ(back.deadline_ms, f.deadline_ms);
+  EXPECT_EQ(back.label, f.label);
+  EXPECT_EQ(back.codec_version, kActivationCodecVersion);
+  EXPECT_EQ(back.start_block, f.start_block);
+  EXPECT_EQ(back.state.plan_bits, f.state.plan_bits);
+  EXPECT_EQ(back.state.session_conf, f.state.session_conf);
+  EXPECT_EQ(back.state.sim_t_ms, f.state.sim_t_ms);
+  EXPECT_EQ(back.state.last_conf, f.state.last_conf);
+  EXPECT_EQ(back.state.has_result, f.state.has_result);
+  EXPECT_EQ(back.state.exit_index, f.state.exit_index);
+  EXPECT_EQ(back.state.correct, f.state.correct);
+  EXPECT_EQ(back.state.result_time_ms, f.state.result_time_ms);
+  EXPECT_EQ(back.state.branches_executed, f.state.branches_executed);
+  EXPECT_EQ(back.state.searches_run, f.state.searches_run);
+  EXPECT_EQ(back.state.planner_ms, f.state.planner_ms);
+  EXPECT_EQ(back.activation.shape(), f.activation.shape());
+  ASSERT_EQ(back.activation.data().size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_EQ(back.activation.data()[i], data[i]) << i;
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(Protocol, ActivationTruncatedEveryPrefixThrows) {
+  const auto bytes = encode_activation(tiny_activation());
+  const std::vector<std::uint8_t> body{
+      bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes), bytes.end()};
+  for (std::size_t n = 0; n < body.size(); ++n) {
+    const std::vector<std::uint8_t> prefix{
+        body.begin(), body.begin() + static_cast<std::ptrdiff_t>(n)};
+    EXPECT_THROW((void)decode_activation(prefix), ProtocolError) << n;
+  }
+  // Trailing garbage breaks the tensor codec's exact-length check.
+  auto bloated = body;
+  bloated.push_back(0x00);
+  EXPECT_THROW((void)decode_activation(bloated), ProtocolError);
+}
+
+TEST(Protocol, ActivationCodecVersionMismatchRejected) {
+  auto bytes = encode_activation(tiny_activation());
+  // codec_version sits after request_id + deadline + label.
+  bytes[kHeaderBytes + 24] = kActivationCodecVersion + 1;
+  const std::vector<std::uint8_t> body{
+      bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes), bytes.end()};
+  try {
+    (void)decode_activation(body);
+    FAIL() << "future codec version accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadVersion);
+  }
+}
+
+TEST(Protocol, ActivationCorruptBodyRejected) {
+  const auto bytes = encode_activation(tiny_activation());
+  const std::vector<std::uint8_t> body{
+      bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes), bytes.end()};
+  {
+    auto bad = body;
+    bad[33] = 2;  // first plan bit: not 0/1
+    try {
+      (void)decode_activation(bad);
+      FAIL() << "non-binary plan bit accepted";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kMalformedBody);
+    }
+  }
+  {
+    auto bad = body;
+    bad[25] = 5;  // start_block past num_exits
+    try {
+      (void)decode_activation(bad);
+      FAIL() << "out-of-range start_block accepted";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kMalformedBody);
+    }
+  }
+  {
+    auto bad = body;
+    // Last tensor dim 2 -> 3: dims no longer match the payload length.
+    bad[bad.size() - 12] = 3;
+    try {
+      (void)decode_activation(bad);
+      FAIL() << "tensor dim/payload mismatch accepted";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kMalformedBody);
+    }
+  }
+}
+
+TEST(Protocol, ActivationOversizedFrameRejected) {
+  ActivationFrame f = tiny_activation();
+  f.activation = nn::Tensor{{1, 8, 8, 8}, 0.5f};
+  const auto bytes = encode_activation(f);
+  FrameDecoder dec{128};  // cap far below the encoded body size
+  try {
+    dec.feed(bytes.data(), bytes.size());
+    (void)dec.next();
+    FAIL() << "oversized activation accepted";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFrameTooLarge);
+  }
+  EXPECT_TRUE(dec.poisoned());
+}
+
 TEST(Protocol, OversizedFrameRejectedBeforeBuffering) {
   RequestFrame req;
   req.record.confidence.assign(64, 0.5f);
@@ -316,6 +504,41 @@ TEST(Protocol, OversizedFrameRejectedBeforeBuffering) {
     EXPECT_EQ(e.code(), ErrorCode::kFrameTooLarge);
   }
   EXPECT_TRUE(dec.poisoned());
+}
+
+TEST(Loopback, ActivationRefusedWhenServerNotResumeCapable) {
+  // Default TcpServerConfig: accept_activation = false — the generic runner
+  // cannot execute resume payloads, so the frame is refused with a typed
+  // error instead of being handed to the pool.
+  Stack stack{1};
+  EdgeClient client{stack.client_config()};
+  const std::uint64_t id = client.send_activation(tiny_activation());
+  try {
+    (void)client.wait(id);
+    FAIL() << "activation accepted by a non-resume server";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadType);
+  }
+  const auto metrics = stack.tcp->net_metrics();
+  EXPECT_EQ(metrics.activations, 0u);
+  EXPECT_EQ(metrics.protocol_errors, 1u);
+}
+
+TEST(Backoff, JitteredSleepStaysInsideConfiguredBand) {
+  util::Rng rng{123};
+  for (int i = 0; i < 200; ++i) {
+    const double s = jittered_backoff_ms(100.0, 0.5, rng);
+    EXPECT_GE(s, 50.0);
+    EXPECT_LE(s, 100.0);
+  }
+  // frac 0 disables jitter entirely.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(jittered_backoff_ms(40.0, 0.0, rng), 40.0);
+  // Same seed, same draws: the jitter stream is deterministic.
+  util::Rng a{9}, b{9};
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(jittered_backoff_ms(250.0, 0.5, a),
+              jittered_backoff_ms(250.0, 0.5, b));
 }
 
 // ------------------------------------------------------- serving satellite

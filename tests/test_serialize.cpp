@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "nn/batchnorm.hpp"
 #include "nn/linear.hpp"
 #include "nn/serialize.hpp"
 
@@ -56,6 +57,38 @@ TEST(Serialize, RejectsTruncatedStream) {
   const std::string full = buf.str();
   std::stringstream cut{full.substr(0, full.size() / 2)};
   EXPECT_THROW(load_params(cut, a.params()), std::runtime_error);
+}
+
+TEST(Serialize, StateBuffersTravelWithTheWeights) {
+  util::Rng rng{7};
+  BatchNorm2d a{3};
+  BatchNorm2d b{3};
+  // Drive a's running stats away from the {0, 1} init so the round trip has
+  // something to prove.
+  Tensor x{{2, 3, 2, 2}};
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x.raw()[i] = rng.gaussian(1.5f, 2.0f);
+  (void)a.forward(x, /*train=*/true);
+  ASSERT_NE(a.running_mean()[0], b.running_mean()[0]);
+
+  std::stringstream buf;
+  save_params(buf, a.params(), a.state());
+  load_params(buf, b.params(), b.state());
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(a.running_mean()[c], b.running_mean()[c]);
+    EXPECT_EQ(a.running_var()[c], b.running_var()[c]);
+  }
+}
+
+TEST(Serialize, RejectsStateCountMismatch) {
+  util::Rng rng{8};
+  BatchNorm2d a{2};
+  std::stringstream buf;
+  save_params(buf, a.params(), a.state());
+  BatchNorm2d b{2};
+  // A loader that forgets the state section must fail loudly, not silently
+  // keep init-value running stats.
+  EXPECT_THROW(load_params(buf, b.params()), std::runtime_error);
 }
 
 TEST(Serialize, FileRoundTrip) {

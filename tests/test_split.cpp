@@ -1,0 +1,517 @@
+// Split-execution suite (DESIGN.md §11): prefix/resume bit-identity for
+// every split point (in-process and over loopback TCP), the planner's
+// link-aware degradation to local execution, mid-offload link kills falling
+// back with zero protocol errors, the link estimator's EWMA math, and the
+// core split-point search. Runs TSan-clean under EINET_SANITIZE=thread
+// (device and edge tiers own separate networks and predictors).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/split_search.hpp"
+#include "core/time_distribution.hpp"
+#include "data/synthetic.hpp"
+#include "models/backbones.hpp"
+#include "models/trainer.hpp"
+#include "net/server.hpp"
+#include "nn/serialize.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "profiling/platform.hpp"
+#include "profiling/profiler.hpp"
+#include "runtime/live_engine.hpp"
+#include "scenario/link_script.hpp"
+#include "serving/replicate.hpp"
+#include "serving/server.hpp"
+#include "split/link_estimator.hpp"
+#include "split/metrics.hpp"
+#include "split/planner.hpp"
+#include "split/resume_runner.hpp"
+#include "split/split_client.hpp"
+
+namespace einet {
+namespace {
+
+// ---------------------------------------------------------------- fixture
+
+/// Device and edge tiers of one deployment: two networks with codec-copied
+/// weights, two identically trained predictors, the canonical (edge) ET
+/// profile that drives the simulated clock on BOTH halves, and the slower
+/// device ET profile the planner prices the prefix with.
+struct SplitPipeline {
+  data::SyntheticDataset ds;
+  models::MultiExitNetwork device_net;
+  models::MultiExitNetwork edge_net;
+  profiling::ETProfile et;         // canonical clock (edge tier)
+  profiling::ETProfile device_et;  // planner cost model only
+  profiling::CSProfile cs;
+  std::unique_ptr<predictor::CSPredictor> device_pred;
+  std::unique_ptr<predictor::CSPredictor> edge_pred;
+  std::vector<float> mean_conf;
+
+  static SplitPipeline build() {
+    auto spec = data::synth_cifar10_spec(160, 60);
+    auto ds = data::make_synthetic(spec);
+    util::Rng rng{7};
+    auto net = models::make_msdnet(
+        models::MsdnetSpec{.blocks = 4, .step = 1, .base = 1, .channel = 6},
+        ds.train->input_shape(), ds.train->num_classes(), rng);
+    models::MultiExitTrainer trainer{net};
+    models::TrainConfig tc;
+    tc.epochs = 4;
+    tc.batch_size = 20;
+    trainer.train(*ds.train, tc);
+
+    // Edge replica: fresh net, weights AND batch-norm running stats shipped
+    // through the checked tensor codec (the same bytes a weight distribution
+    // would put on disk). Bit-identity across the split depends on the state
+    // buffers travelling too.
+    util::Rng rng2{99};
+    auto edge = models::make_msdnet(
+        models::MsdnetSpec{.blocks = 4, .step = 1, .base = 1, .channel = 6},
+        ds.train->input_shape(), ds.train->num_classes(), rng2);
+    std::stringstream blob;
+    nn::save_params(blob, net.params(), net.state());
+    nn::load_params(blob, edge.params(), edge.state());
+
+    auto et = profiling::profile_execution_time(
+        net, profiling::edge_fast_platform());
+    auto device_et = profiling::profile_execution_time(
+        net, profiling::edge_slow_platform());
+    auto cs = profiling::profile_confidence(net, *ds.test);
+
+    predictor::CSPredictorConfig pc;
+    pc.hidden = 32;
+    pc.epochs = 8;
+    auto device_pred =
+        std::make_unique<predictor::CSPredictor>(net.num_exits(), pc);
+    device_pred->train(cs);
+    // Identical config + seed + data -> bit-identical weights: the tiers
+    // agree without sharing mutable state (TSan needs the separation).
+    auto edge_pred =
+        std::make_unique<predictor::CSPredictor>(net.num_exits(), pc);
+    edge_pred->train(cs);
+
+    std::vector<float> mean_conf(cs.num_exits, 0.0f);
+    for (const auto& rec : cs.records)
+      for (std::size_t e = 0; e < cs.num_exits; ++e)
+        mean_conf[e] += rec.confidence[e];
+    for (auto& c : mean_conf) c /= static_cast<float>(cs.records.size());
+
+    return SplitPipeline{std::move(ds),        std::move(net),
+                         std::move(edge),      std::move(et),
+                         std::move(device_et), std::move(cs),
+                         std::move(device_pred), std::move(edge_pred),
+                         std::move(mean_conf)};
+  }
+};
+
+class SplitTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new SplitPipeline(SplitPipeline::build());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static SplitPipeline* pipeline_;
+};
+
+SplitPipeline* SplitTest::pipeline_ = nullptr;
+
+void expect_same_outcome(const runtime::InferenceOutcome& ref,
+                         const runtime::InferenceOutcome& got,
+                         const std::string& where) {
+  // planner_ms is wall-clock search time — excluded from the contract.
+  EXPECT_EQ(ref.has_result, got.has_result) << where;
+  EXPECT_EQ(ref.exit_index, got.exit_index) << where;
+  EXPECT_EQ(ref.correct, got.correct) << where;
+  EXPECT_EQ(ref.completed, got.completed) << where;
+  EXPECT_EQ(ref.branches_executed, got.branches_executed) << where;
+  EXPECT_EQ(ref.searches_run, got.searches_run) << where;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(ref.result_time_ms),
+            std::bit_cast<std::uint64_t>(got.result_time_ms))
+      << where;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(ref.deadline_ms),
+            std::bit_cast<std::uint64_t>(got.deadline_ms))
+      << where;
+}
+
+// ------------------------------------------------- prefix/resume identity
+
+TEST_F(SplitTest, PrefixResumeBitIdenticalForEveryK) {
+  auto& p = *pipeline_;
+  const runtime::ElasticConfig cfg;  // kHybrid search: deterministic
+  runtime::LiveElasticEngine device{p.device_net, p.et, p.device_pred.get(),
+                                    cfg};
+  runtime::LiveElasticEngine edge{p.edge_net, p.et, p.edge_pred.get(), cfg};
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+  const std::size_t n = p.device_net.num_exits();
+  const double total = p.et.total_ms();
+
+  for (const double deadline : {0.35 * total, 0.7 * total, 3.0 * total}) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      const auto& sample = p.ds.test->sample(s);
+      const auto ref = device.run(sample.image, sample.label, deadline, dist);
+      for (std::size_t k = 0; k <= n; ++k) {
+        const std::string where = "deadline=" + std::to_string(deadline) +
+                                  " sample=" + std::to_string(s) +
+                                  " k=" + std::to_string(k);
+        auto prefix =
+            device.run_prefix(sample.image, sample.label, k, deadline, dist);
+        if (prefix.finished) {
+          expect_same_outcome(ref, prefix.outcome, where + " (finished)");
+          continue;
+        }
+        // The resumed half runs on the OTHER tier's net + predictor.
+        const auto got = edge.run_resume(prefix.activation, sample.label, k,
+                                         prefix.state, deadline, dist);
+        expect_same_outcome(ref, got, where);
+      }
+    }
+  }
+}
+
+TEST_F(SplitTest, ResumeRejectsInconsistentSnapshots) {
+  auto& p = *pipeline_;
+  const runtime::ElasticConfig cfg;
+  runtime::LiveElasticEngine device{p.device_net, p.et, p.device_pred.get(),
+                                    cfg};
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+  const auto& sample = p.ds.test->sample(0);
+  const double deadline = 3.0 * p.et.total_ms();
+  auto prefix = device.run_prefix(sample.image, sample.label, 2, deadline,
+                                  dist);
+  ASSERT_FALSE(prefix.finished);
+
+  // start_block out of range.
+  EXPECT_THROW((void)device.run_resume(prefix.activation, sample.label,
+                                       p.device_net.num_exits(), prefix.state,
+                                       deadline, dist),
+               std::invalid_argument);
+  // Session snapshot length disagrees with start_block.
+  EXPECT_THROW((void)device.run_resume(prefix.activation, sample.label, 3,
+                                       prefix.state, deadline, dist),
+               std::invalid_argument);
+  // Activation numel disagrees with the block's feature shape.
+  auto bad = prefix.state;
+  const nn::Tensor wrong{{1, 2}, {0.0f, 0.0f}};
+  EXPECT_THROW((void)device.run_resume(wrong, sample.label, 2, bad, deadline,
+                                       dist),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ loopback offload
+
+/// Edge stack wired for resumes: a live engine behind make_resume_runner and
+/// a TCP front-end with accept_activation on.
+struct EdgeStack {
+  runtime::LiveElasticEngine live;
+  std::unique_ptr<serving::EdgeServer> edge;
+  std::unique_ptr<net::EdgeTcpServer> tcp;
+
+  EdgeStack(SplitPipeline& p, const core::TimeDistribution& dist,
+            std::size_t workers = 1)
+      : live{p.edge_net, p.et, p.edge_pred.get(), runtime::ElasticConfig{}} {
+    serving::ServerConfig config;
+    config.queue_capacity = 256;
+    config.pool.num_workers = workers;
+    const auto factory = serving::make_replicated_engine_factory(
+        p.et, nullptr, {}, std::vector<float>(p.cs.num_exits, 0.5f));
+    edge = std::make_unique<serving::EdgeServer>(
+        p.et, factory, split::make_resume_runner(live, dist), config);
+    net::TcpServerConfig tsc;
+    tsc.accept_activation = true;
+    tcp = std::make_unique<net::EdgeTcpServer>(*edge, tsc);
+    tcp->start();
+  }
+  ~EdgeStack() {
+    if (tcp) tcp->stop();
+    if (edge) edge->shutdown();
+  }
+};
+
+split::SplitClientConfig client_config(const SplitPipeline& p,
+                                       std::uint16_t port) {
+  split::SplitClientConfig cc;
+  cc.net.port = port;
+  cc.planner.device_et = p.device_et;
+  cc.planner.edge_et = p.et;
+  cc.planner.activation_bytes = split::activation_frame_bytes(p.device_net);
+  cc.expected_confidence = p.mean_conf;
+  return cc;
+}
+
+TEST_F(SplitTest, LoopbackOffloadBitIdenticalForEveryForcedK) {
+  auto& p = *pipeline_;
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+  EdgeStack stack{p, dist};
+  runtime::LiveElasticEngine device{p.device_net, p.et, p.device_pred.get(),
+                                    runtime::ElasticConfig{}};
+  const std::size_t n = p.device_net.num_exits();
+  const double total = p.et.total_ms();
+
+  for (const double deadline : {0.7 * total, 3.0 * total}) {
+    for (std::size_t k = 0; k < n; ++k) {
+      split::SplitClientConfig cc = client_config(p, stack.tcp->port());
+      cc.force_split = k;
+      split::SplitClient client{device, cc};
+      for (std::size_t s = 0; s < 3; ++s) {
+        const auto& sample = p.ds.test->sample(s);
+        const auto ref =
+            device.run(sample.image, sample.label, deadline, dist);
+        const auto res =
+            client.run(sample.image, sample.label, deadline, dist);
+        const std::string where = "deadline=" + std::to_string(deadline) +
+                                  " k=" + std::to_string(k) +
+                                  " sample=" + std::to_string(s);
+        if (res.path == split::SplitPath::kOffloaded)
+          EXPECT_EQ(res.split_block, k) << where;
+        else
+          EXPECT_EQ(res.path, split::SplitPath::kLocal) << where;
+        expect_same_outcome(ref, res.outcome, where);
+      }
+      const auto snap = client.metrics().snapshot();
+      EXPECT_EQ(snap.completed, 3u);
+      EXPECT_EQ(snap.offloaded + snap.local + snap.local_fallback,
+                snap.completed);
+      EXPECT_EQ(snap.transport_errors, 0u);
+      EXPECT_EQ(snap.protocol_errors, 0u);
+    }
+  }
+  EXPECT_GT(stack.tcp->net_metrics().activations, 0u);
+}
+
+TEST_F(SplitTest, MidOffloadLinkKillFallsBackWithoutProtocolErrors) {
+  auto& p = *pipeline_;
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+  EdgeStack stack{p, dist};
+  runtime::LiveElasticEngine device{p.device_net, p.et, p.device_pred.get(),
+                                    runtime::ElasticConfig{}};
+  scenario::LinkScript script{42};
+  script.outage_phase(16);
+
+  split::SplitClientConfig cc = client_config(p, stack.tcp->port());
+  cc.force_split = 2;  // the prefix holds real exits to fall back to
+  cc.net.max_connect_attempts = 2;
+  cc.net.request_timeout_ms = 2'000.0;
+  split::SplitClient client{device, cc, &script};
+
+  const double deadline = 3.0 * p.et.total_ms();
+  std::size_t fallbacks = 0;
+  for (std::size_t s = 0; s < 16; ++s) {
+    const auto& sample = p.ds.test->sample(s % p.ds.test->size());
+    const auto res = client.run(sample.image, sample.label, deadline, dist);
+    EXPECT_EQ(res.path, split::SplitPath::kLocalFallback) << s;
+    fallbacks += res.path == split::SplitPath::kLocalFallback;
+    // The fallback is the device's own partial run — the prefix through
+    // block 2 must carry a result when any of its branches executed.
+    const auto ref = device.run_prefix(sample.image, sample.label, 2,
+                                       deadline, dist);
+    EXPECT_EQ(res.outcome.has_result, ref.outcome.has_result) << s;
+    EXPECT_EQ(res.outcome.exit_index, ref.outcome.exit_index) << s;
+  }
+  EXPECT_EQ(fallbacks, 16u);
+
+  const auto snap = client.metrics().snapshot();
+  EXPECT_EQ(snap.completed, 16u);
+  EXPECT_EQ(snap.local_fallback, 16u);
+  EXPECT_EQ(snap.offloaded + snap.local + snap.local_fallback,
+            snap.completed);
+  EXPECT_EQ(snap.transport_errors, 16u);
+  EXPECT_EQ(snap.protocol_errors, 0u);
+  EXPECT_EQ(stack.tcp->net_metrics().protocol_errors, 0u);
+  // Failures inflated the RTT estimate: the planner would now stay local.
+  EXPECT_GT(client.link().rtt_ms(), cc.link.prior_rtt_ms);
+  EXPECT_EQ(client.link().failures(), 16u);
+}
+
+// -------------------------------------------------------------- planner
+
+TEST_F(SplitTest, PlannerOffloadsOnFastLinkAndDegradesToLocal) {
+  auto& p = *pipeline_;
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+  const double deadline = 1.5 * p.device_et.total_ms();
+
+  split::LinkEstimatorConfig lc;
+  lc.prior_rtt_ms = 0.05;
+  split::LinkEstimator link{lc};
+  split::SplitPlannerConfig pc;
+  pc.device_et = p.device_et;  // the device tier is much slower
+  pc.edge_et = p.et;
+  pc.activation_bytes = split::activation_frame_bytes(p.device_net);
+  split::SplitPlanner planner{pc, link};
+
+  const auto healthy = planner.decide(p.mean_conf, dist, deadline);
+  EXPECT_TRUE(healthy.offload);
+  EXPECT_EQ(healthy.reason, split::SplitReason::kOffload);
+  EXPECT_LT(healthy.split_block, p.device_net.num_exits());
+  EXPECT_GE(healthy.expectation, healthy.local_expectation);
+
+  // A dying link inflates the RTT estimate past the deadline guard; the
+  // planner must price every remote k out and stay local.
+  for (int i = 0; i < 12; ++i) link.on_failure();
+  const auto degraded = planner.decide(p.mean_conf, dist, deadline);
+  EXPECT_FALSE(degraded.offload);
+  EXPECT_EQ(degraded.split_block, p.device_net.num_exits());
+  EXPECT_EQ(degraded.reason, split::SplitReason::kLinkInfeasible);
+}
+
+// ------------------------------------------------------- core split search
+
+TEST(SplitSearch, PicksObviousOptimaAndValidates) {
+  const std::size_t n = 3;
+  const core::ExitPlan plan{n, /*execute_all=*/true};
+  const std::vector<double> dev_conv{10.0, 10.0, 10.0};
+  const std::vector<double> dev_branch{1.0, 1.0, 1.0};
+  const std::vector<double> edge_conv{1.0, 1.0, 1.0};
+  const std::vector<double> edge_branch{0.1, 0.1, 0.1};
+  const std::vector<double> bytes{100.0, 100.0, 100.0, 0.0};
+  const std::vector<float> conf{0.5f, 0.7f, 0.9f};
+  const core::UniformExitDistribution dist{40.0};
+
+  core::SplitCosts costs;
+  costs.device_conv_ms = dev_conv;
+  costs.device_branch_ms = dev_branch;
+  costs.edge_conv_ms = edge_conv;
+  costs.edge_branch_ms = edge_branch;
+  costs.activation_bytes = bytes;
+  costs.rtt_ms = 0.5;
+  costs.bytes_per_ms = 1000.0;
+
+  // Device 10x slower, transfer ~0.6 ms: ship the raw input.
+  auto res = core::split_point_search(plan, costs, conf, dist, 100.0);
+  ASSERT_EQ(res.evals.size(), n + 1);
+  EXPECT_EQ(res.best, 0u);
+  EXPECT_TRUE(res.evals[0].feasible);
+  EXPECT_NEAR(res.evals[0].transfer_ms, 0.6, 1e-12);
+  EXPECT_EQ(res.evals[n].transfer_ms, 0.0);
+  EXPECT_TRUE(res.evals[n].feasible);
+  // Later splits waste slow device blocks: completion grows with k.
+  for (std::size_t k = 1; k <= n; ++k)
+    EXPECT_GT(res.evals[k].completion_ms, res.evals[k - 1].completion_ms);
+
+  // Unusable link: every remote candidate infeasible, stay local.
+  costs.bytes_per_ms = 0.0;
+  res = core::split_point_search(plan, costs, conf, dist, 100.0);
+  EXPECT_EQ(res.best, n);
+  for (std::size_t k = 0; k < n; ++k) EXPECT_FALSE(res.evals[k].feasible);
+
+  // A transfer bigger than the deadline is infeasible even on a live link.
+  costs.bytes_per_ms = 1000.0;
+  res = core::split_point_search(plan, costs, conf, dist, 0.55);
+  EXPECT_EQ(res.best, n);
+
+  // Span-length validation.
+  costs.activation_bytes = std::span<const double>{bytes.data(), n};
+  EXPECT_THROW(
+      (void)core::split_point_search(plan, costs, conf, dist, 100.0),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------- link estimator
+
+TEST(LinkEstimator, EwmaDecompositionAndFailurePenalty) {
+  split::LinkEstimatorConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.prior_rtt_ms = 1.0;
+  cfg.prior_bytes_per_ms = 1000.0;
+  cfg.failure_rtt_penalty = 4.0;
+  cfg.max_rtt_ms = 20.0;
+  split::LinkEstimator link{cfg};
+
+  // A sample exactly matching the priors is a fixed point.
+  link.observe(2.0, 1000);
+  EXPECT_NEAR(link.rtt_ms(), 1.0, 1e-12);
+  EXPECT_NEAR(link.bytes_per_ms(), 1000.0, 1e-9);
+
+  // A slower sample: rtt_sample = 4 - 1000/1000 = 3, bw_sample = 1000/3.
+  link.observe(4.0, 1000);
+  EXPECT_NEAR(link.rtt_ms(), 0.5 * 1.0 + 0.5 * 3.0, 1e-12);
+  EXPECT_NEAR(link.bytes_per_ms(), 0.5 * 1000.0 + 0.5 * (1000.0 / 3.0), 1e-9);
+  EXPECT_EQ(link.observations(), 2u);
+
+  // Failures inflate multiplicatively and saturate at the cap.
+  link.on_failure();
+  EXPECT_NEAR(link.rtt_ms(), 8.0, 1e-12);
+  link.on_failure();
+  EXPECT_NEAR(link.rtt_ms(), 20.0, 1e-12);  // capped
+  EXPECT_EQ(link.failures(), 2u);
+
+  EXPECT_THROW((void)split::LinkEstimator{split::LinkEstimatorConfig{
+                   .alpha = 1.5}},
+               std::invalid_argument);
+  EXPECT_THROW(link.observe(-1.0, 10), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ link script
+
+TEST(LinkScript, DeterministicPhasedFaults) {
+  scenario::LinkScript script{7};
+  script.healthy_phase(4)
+      .degraded_phase(4, 5.0, 2.0, 50.0)
+      .outage_phase(4);
+  EXPECT_EQ(script.total_requests(), 12u);
+  EXPECT_EQ(script.phase_of_request(0), 0u);
+  EXPECT_EQ(script.phase_of_request(7), 1u);
+  EXPECT_EQ(script.phase_of_request(11), 2u);
+  EXPECT_EQ(script.phase_of_request(99), 2u);  // steady state
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto f = script.fault_for(i);
+    EXPECT_EQ(f.extra_delay_ms, 0.0);
+    EXPECT_FALSE(f.drop);
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    const auto f = script.fault_for(i);
+    EXPECT_GE(f.extra_delay_ms, 5.0);
+    EXPECT_LT(f.extra_delay_ms, 7.0);
+    EXPECT_EQ(f.bytes_per_ms, 50.0);
+    EXPECT_FALSE(f.drop);
+  }
+  for (std::size_t i = 8; i < 12; ++i) EXPECT_TRUE(script.fault_for(i).drop);
+
+  // Same script, same request index, same fault — order-free determinism.
+  scenario::LinkScript again{7};
+  again.healthy_phase(4).degraded_phase(4, 5.0, 2.0, 50.0).outage_phase(4);
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto a = script.fault_for(i);
+    const auto b = again.fault_for(i);
+    EXPECT_EQ(a.extra_delay_ms, b.extra_delay_ms) << i;
+    EXPECT_EQ(a.drop, b.drop) << i;
+  }
+  EXPECT_THROW(scenario::LinkScript{1}.phase(scenario::LinkPhase{}),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- split metrics
+
+TEST(SplitMetrics, IdentityAndHistogram) {
+  split::SplitMetrics metrics{4};
+  metrics.on_completed(split::SplitPath::kLocal, 4);
+  metrics.on_completed(split::SplitPath::kOffloaded, 1);
+  metrics.on_completed(split::SplitPath::kOffloaded, 1);
+  metrics.on_completed(split::SplitPath::kLocalFallback, 2);
+  metrics.on_transport_error();
+  metrics.set_link(3.5, 128.0);
+
+  const auto s = metrics.snapshot();
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.offloaded + s.local + s.local_fallback, s.completed);
+  EXPECT_EQ(s.split_histogram,
+            (std::vector<std::uint64_t>{0, 2, 1, 0, 1}));
+  EXPECT_EQ(s.transport_errors, 1u);
+  EXPECT_EQ(s.link_rtt_ms, 3.5);
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"local_fallback\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"split_histogram\":[0,2,1,0,1]"), std::string::npos);
+  EXPECT_THROW(metrics.on_completed(split::SplitPath::kLocal, 9),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace einet
