@@ -1,0 +1,375 @@
+// Memory-planned serving bench (DESIGN.md §15): steady-state footprint of an
+// N-worker fleet built from ONE frozen weight copy + per-worker activation
+// arenas (serving::freeze_model + make_worker_engines) against the seed
+// deployment shape — N full replicas, each with its own network weights,
+// predictor copy and per-call activation allocations.
+//
+// RSS methodology: glibc never returns freed heap to the kernel, so any
+// in-process "delta" after training is measured against a heap that already
+// holds enough recycled space to absorb either fleet — the numbers come out
+// as zero and mean nothing. Instead the bench re-executes itself twice
+// (--rss-probe planned|baseline): each probe process rebuilds the fixture
+// WITHOUT training (weights are loaded from files the parent saved), stands
+// up one fleet shape, serves the task stream to steady state and reports its
+// total RSS. The two probes are bit-identical up to the fleet phase, so the
+// RSS difference isolates the deployment shape.
+//
+// Emits BENCH_memory.json and enforces:
+//   * exact logical accounting: bytes_for(N) == weight_bytes + N * arena
+//     and the budget knob round-trips (fit_budget(bytes_for(N)) == N
+//     workers); checked in every mode,
+//   * planned outcomes are bit-identical to the unplanned engine on the same
+//     weights (every InferenceOutcome field except planner_ms) and no
+//     planned scratch take missed the pre-warmed pool; checked in every
+//     mode,
+//   * the fleet really shares: use_count of the frozen network/predictor is
+//     1 + N while the workers are alive; checked in every mode, and
+//   * steady-state RSS of the planned fleet's process is below the
+//     per-replica fleet's (sublinear scaling in practice, not just on
+//     paper) — skipped with --smoke (tiny fixture vs page granularity) and
+//     on platforms without /proc/self/statm.
+//
+// Usage: bench_memory [--smoke]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/time_distribution.hpp"
+#include "data/synthetic.hpp"
+#include "models/backbones.hpp"
+#include "models/trainer.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "profiling/platform.hpp"
+#include "profiling/profiler.hpp"
+#include "runtime/live_engine.hpp"
+#include "serving/replicate.hpp"
+#include "util/json.hpp"
+#include "util/memory.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace einet;
+
+constexpr std::size_t kWorkers = 4;
+
+/// Every field except planner_ms (wall-clock of the planner, the one
+/// intentionally non-deterministic member).
+bool outcome_identical(const runtime::InferenceOutcome& a,
+                       const runtime::InferenceOutcome& b) {
+  return a.has_result == b.has_result && a.exit_index == b.exit_index &&
+         a.correct == b.correct && a.result_time_ms == b.result_time_ms &&
+         a.deadline_ms == b.deadline_ms &&
+         a.branches_executed == b.branches_executed &&
+         a.searches_run == b.searches_run && a.completed == b.completed;
+}
+
+/// One seed-shaped replica: private weight copy + private predictor copy +
+/// an unplanned engine over them.
+struct Replica {
+  std::unique_ptr<models::MultiExitNetwork> net;
+  std::unique_ptr<predictor::CSPredictor> predictor;
+  std::unique_ptr<runtime::LiveElasticEngine> engine;
+};
+
+/// Everything both the parent and the RSS probes share. Full mode widens the
+/// trunk (channel 96 vs the serving bench's 6): weight bytes grow ~channel^2
+/// while activations grow ~channel, giving the weights-dominated footprint
+/// real deployments have — the regime the shared-weights design targets.
+struct FixtureSpec {
+  models::MsdnetSpec mspec;
+  data::SyntheticSpec data;
+  std::size_t tasks = 0;
+};
+
+FixtureSpec fixture_spec(bool smoke) {
+  FixtureSpec f;
+  f.mspec = models::MsdnetSpec{
+      .blocks = 4, .step = 1, .base = 1, .channel = smoke ? 6u : 96u};
+  f.data = data::synth_cifar10_spec(smoke ? 60 : 120, smoke ? 20 : 40);
+  f.tasks = smoke ? 16 : 64;
+  return f;
+}
+
+std::string net_weights_path() {
+  return bench::artifact_dir() + "/bench_memory_net.txt";
+}
+std::string pred_weights_path() {
+  return bench::artifact_dir() + "/bench_memory_pred.txt";
+}
+
+predictor::CSPredictorConfig predictor_config(bool smoke) {
+  predictor::CSPredictorConfig pc;
+  pc.hidden = 16;
+  pc.epochs = smoke ? 2 : 6;
+  return pc;
+}
+
+/// Deadline stream: a killed-before-first-exit and an always-completes case
+/// alongside sampled deadlines, so both the truncated and full arena paths
+/// run. Pure function of the ET profile — identical in parent and probes.
+std::vector<double> make_deadlines(const profiling::ETProfile& et,
+                                   std::size_t tasks) {
+  const core::UniformExitDistribution dist{et.total_ms()};
+  std::vector<double> deadlines(tasks);
+  util::Rng srng{0x3E40};
+  for (std::size_t i = 0; i < tasks; ++i) deadlines[i] = dist.sample(srng);
+  deadlines[0] = 0.5 * et.conv_ms[0];
+  deadlines[1] = 2.0 * et.total_ms();
+  return deadlines;
+}
+
+void run_stream(runtime::LiveElasticEngine& engine,
+                const data::SyntheticDataset& ds,
+                const std::vector<double>& deadlines,
+                const core::TimeDistribution& dist) {
+  for (std::size_t i = 0; i < deadlines.size(); ++i) {
+    const auto& sample = ds.test->sample(i % ds.test->size());
+    (void)engine.run(sample.image, sample.label, deadlines[i], dist);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RSS probe: rebuild the fixture without training, stand up ONE fleet shape,
+// serve to steady state, report total process RSS.
+// ---------------------------------------------------------------------------
+
+int run_rss_probe(const std::string& which) {
+  const FixtureSpec f = fixture_spec(/*smoke=*/false);
+  auto ds = data::make_synthetic(f.data);
+  const nn::Shape input = ds.train->input_shape();
+  const std::size_t classes = ds.train->num_classes();
+  util::Rng mrng{7};
+  auto net = models::make_msdnet(f.mspec, input, classes, mrng);
+  net.load_weights(net_weights_path());
+  auto pred = std::make_unique<predictor::CSPredictor>(
+      net.num_exits(), predictor_config(/*smoke=*/false));
+  pred->load_weights(pred_weights_path());
+  const auto et =
+      profiling::profile_execution_time(net, profiling::edge_fast_platform());
+  const auto deadlines = make_deadlines(et, f.tasks);
+  const core::UniformExitDistribution dist{et.total_ms()};
+  const runtime::ElasticConfig cfg;
+
+  if (which == "planned") {
+    auto model = serving::freeze_model(std::move(net), std::move(pred));
+    auto fleet = serving::make_worker_engines(model, et, cfg, kWorkers);
+    for (auto& engine : fleet) run_stream(*engine, ds, deadlines, dist);
+    std::cout << "RSS_BYTES=" << util::current_rss_bytes() << "\n";
+  } else if (which == "baseline") {
+    std::vector<Replica> replicas;
+    replicas.reserve(kWorkers);
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      Replica r;
+      util::Rng wrng{7};
+      r.net = std::make_unique<models::MultiExitNetwork>(
+          models::make_msdnet(f.mspec, input, classes, wrng));
+      r.net->load_weights(net_weights_path());
+      r.predictor = std::make_unique<predictor::CSPredictor>(
+          r.net->num_exits(), predictor_config(/*smoke=*/false));
+      r.predictor->load_weights(pred_weights_path());
+      r.engine = std::make_unique<runtime::LiveElasticEngine>(
+          *r.net, et, r.predictor.get(), cfg);
+      replicas.push_back(std::move(r));
+    }
+    for (auto& r : replicas) run_stream(*r.engine, ds, deadlines, dist);
+    std::cout << "RSS_BYTES=" << util::current_rss_bytes() << "\n";
+  } else {
+    std::cerr << "unknown probe: " << which << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}
+
+/// Run `self --rss-probe <which>` and parse its reported RSS (0 on failure).
+std::size_t probe_rss(const std::string& self, const std::string& which) {
+  const std::string cmd = self + " --rss-probe " + which;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return 0;
+  std::string output;
+  char buf[256];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) output += buf;
+  const int status = ::pclose(pipe);
+  if (status != 0) return 0;
+  const auto pos = output.find("RSS_BYTES=");
+  if (pos == std::string::npos) return 0;
+  return static_cast<std::size_t>(
+      std::strtoull(output.c_str() + pos + 10, nullptr, 10));
+}
+
+double mib(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--rss-probe" && i + 1 < argc) {
+      return run_rss_probe(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_memory [--smoke]\n";
+      return EXIT_FAILURE;
+    }
+  }
+  bench::print_bench_header(
+      "BENCH memory",
+      "shared weights + planned arenas vs per-replica copies");
+
+  // ---- Trained fixture ---------------------------------------------------
+  const FixtureSpec f = fixture_spec(smoke);
+  auto ds = data::make_synthetic(f.data);
+  util::Rng mrng{7};
+  auto net = models::make_msdnet(f.mspec, ds.train->input_shape(),
+                                 ds.train->num_classes(), mrng);
+  models::MultiExitTrainer trainer{net};
+  models::TrainConfig tc;
+  tc.epochs = smoke ? 1 : 2;
+  tc.batch_size = 20;
+  trainer.train(*ds.train, tc);
+  const auto et =
+      profiling::profile_execution_time(net, profiling::edge_fast_platform());
+  const auto cs = profiling::profile_confidence(net, *ds.test);
+  auto pred = std::make_unique<predictor::CSPredictor>(net.num_exits(),
+                                                       predictor_config(smoke));
+  pred->train(cs);
+
+  // Persist the trained weights for the probe processes (and save BEFORE
+  // freezing — the originals move behind const).
+  net.save_weights(net_weights_path());
+  pred->save_weights(pred_weights_path());
+
+  auto model = serving::freeze_model(std::move(net), std::move(pred));
+  const auto deadlines = make_deadlines(et, f.tasks);
+  const core::UniformExitDistribution dist{et.total_ms()};
+  const runtime::ElasticConfig cfg;
+
+  // ---- Planned fleet: shared weights, bit-identity, exact accounting -----
+  auto fleet = serving::make_worker_engines(model, et, cfg, kWorkers);
+  for (auto& engine : fleet) run_stream(*engine, ds, deadlines, dist);
+
+  const bool sharing_ok =
+      model.net.use_count() == static_cast<long>(1 + kWorkers) &&
+      model.predictor.use_count() == static_cast<long>(1 + kWorkers);
+
+  runtime::LiveElasticEngine unplanned{*model.net, et, model.predictor.get(),
+                                       cfg};
+  bool identity_ok = true;
+  for (std::size_t i = 0; i < f.tasks; ++i) {
+    const auto& sample = ds.test->sample(i % ds.test->size());
+    const auto a = fleet[i % kWorkers]->run(sample.image, sample.label,
+                                            deadlines[i], dist);
+    const auto b =
+        unplanned.run(sample.image, sample.label, deadlines[i], dist);
+    if (!outcome_identical(a, b)) {
+      identity_ok = false;
+      std::cerr << "outcome mismatch at task " << i << "\n";
+    }
+  }
+  std::size_t overflows = 0;
+  for (const auto& engine : fleet)
+    overflows += engine->arena_scratch_overflows();
+  const bool scratch_ok = overflows == 0;
+
+  const std::size_t arena = model.arena_bytes();
+  bool accounting_ok =
+      model.weight_bytes > 0 && arena > 0 &&
+      model.bytes_for(kWorkers) == model.weight_bytes + kWorkers * arena &&
+      model.fit_budget(model.bytes_for(kWorkers)).workers == kWorkers;
+  for (const auto& engine : fleet)
+    accounting_ok = accounting_ok && engine->arena_bytes() == arena;
+
+  // ---- RSS probes (full mode, procfs platforms only) ---------------------
+  const bool rss_available = util::current_rss_bytes() > 0;
+  std::size_t rss_planned = 0, rss_baseline = 0;
+  if (!smoke && rss_available) {
+    rss_planned = probe_rss(argv[0], "planned");
+    rss_baseline = probe_rss(argv[0], "baseline");
+  }
+  const bool rss_checked =
+      !smoke && rss_planned > 0 && rss_baseline > 0;
+  const bool rss_ok = !rss_checked || rss_planned < rss_baseline;
+
+  // ---- Report ------------------------------------------------------------
+  util::Table t{{"fleet", "workers", "logical MiB", "steady-state rss MiB"}};
+  t.add_row({"shared+planned", std::to_string(kWorkers),
+             util::Table::num(mib(model.bytes_for(kWorkers)), 3),
+             rss_checked ? util::Table::num(mib(rss_planned), 2) : "n/a"});
+  t.add_row({"per-replica (seed)", std::to_string(kWorkers),
+             util::Table::num(mib(kWorkers * model.weight_bytes), 3),
+             rss_checked ? util::Table::num(mib(rss_baseline), 2) : "n/a"});
+  std::cout << t.str() << "\n"
+            << "weights (shared copy): "
+            << util::Table::num(mib(model.weight_bytes), 3)
+            << " MiB, arena/worker: " << util::Table::num(mib(arena), 3)
+            << " MiB\n"
+            << "logical accounting + budget round-trip: "
+            << (accounting_ok ? "exact -> PASS" : "NO -> FAIL") << "\n"
+            << "planned outcomes bit-identical to unplanned: "
+            << (identity_ok ? "yes -> PASS" : "NO -> FAIL") << "\n"
+            << "planned scratch overflows == 0: "
+            << (scratch_ok ? "yes -> PASS" : "NO -> FAIL") << "\n"
+            << "weights shared across fleet (use_count 1+N): "
+            << (sharing_ok ? "yes -> PASS" : "NO -> FAIL") << "\n"
+            << "planned fleet rss < per-replica fleet rss: "
+            << (rss_checked
+                    ? (rss_ok ? "yes -> PASS" : "NO -> FAIL")
+                    : (smoke ? "(criterion skipped in --smoke)"
+                             : "(criterion skipped: RSS unavailable)"))
+            << "\n";
+
+  std::ostringstream json;
+  util::JsonWriter jw{json};
+  jw.begin_object();
+  jw.kv("bench", "memory");
+  jw.kv("mode", smoke ? "smoke" : "full");
+  jw.kv("tasks", static_cast<std::uint64_t>(f.tasks));
+  jw.key("memory");
+  jw.begin_object();
+  jw.kv("workers", static_cast<std::uint64_t>(kWorkers));
+  jw.kv("weight_bytes", static_cast<std::uint64_t>(model.weight_bytes));
+  jw.kv("bytes_per_worker", static_cast<std::uint64_t>(arena));
+  jw.kv("planned_total_bytes",
+        static_cast<std::uint64_t>(model.bytes_for(kWorkers)));
+  jw.end_object();
+  jw.kv("rss_bytes", static_cast<std::uint64_t>(util::current_rss_bytes()));
+  jw.kv("planned_fleet_rss_bytes", static_cast<std::uint64_t>(rss_planned));
+  jw.kv("baseline_fleet_rss_bytes",
+        static_cast<std::uint64_t>(rss_baseline));
+  jw.kv("baseline_logical_bytes",
+        static_cast<std::uint64_t>(kWorkers * model.weight_bytes));
+  jw.key("criterion");
+  jw.begin_object();
+  jw.kv("accounting_exact", accounting_ok);
+  jw.kv("bit_identical", identity_ok);
+  jw.kv("scratch_overflows_zero", scratch_ok);
+  jw.kv("weights_shared", sharing_ok);
+  jw.kv("rss_sublinear", rss_ok);
+  jw.kv("rss_checked", rss_checked);
+  jw.kv("pass",
+        accounting_ok && identity_ok && scratch_ok && sharing_ok && rss_ok);
+  jw.end_object();
+  jw.end_object();
+  std::ofstream out{"BENCH_memory.json"};
+  out << json.str() << "\n";
+  if (!out) {
+    std::cerr << "error: could not write BENCH_memory.json\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "-> BENCH_memory.json\n";
+  return (accounting_ok && identity_ok && scratch_ok && sharing_ok && rss_ok)
+             ? EXIT_SUCCESS
+             : EXIT_FAILURE;
+}

@@ -115,6 +115,27 @@ int main(int argc, char** argv) {
   const core::UniformExitDistribution planning_dist{et.total_ms()};
   const std::size_t n = net.num_exits();
 
+  // Freeze the trained model into its deployed form (one shared immutable
+  // weight copy + per-worker arena plan) and gauge what the fleet pins:
+  // exported with every metrics snapshot below and scraped live from
+  // /metrics in the telemetry phase. The replay engines plan from the
+  // profile records, so the network itself is not needed past this point.
+  const auto shared_model = serving::freeze_model(
+      std::move(net), serving::clone_predictor(pred));
+  const serving::MemoryGauges memory_gauges{
+      .workers = static_cast<std::uint64_t>(workers),
+      .weight_bytes =
+          static_cast<std::uint64_t>(shared_model.weight_bytes),
+      .bytes_per_worker =
+          static_cast<std::uint64_t>(shared_model.arena_bytes()),
+      .planned_total_bytes =
+          static_cast<std::uint64_t>(shared_model.bytes_for(workers))};
+  std::cout << "deployed model memory: "
+            << shared_model.weight_bytes / 1024 << " KiB weights (shared) + "
+            << workers << " x " << shared_model.arena_bytes() / 1024
+            << " KiB arena = " << shared_model.bytes_for(workers) / 1024
+            << " KiB planned\n";
+
   // Wall-clock pacing: a full simulated run occupies its worker for ~600 us.
   const double pace_us_per_sim_ms = 600.0 / et.total_ms();
   const auto paced = [pace_us_per_sim_ms](serving::TaskRunner inner) {
@@ -189,6 +210,14 @@ int main(int argc, char** argv) {
                   config)
             : std::make_unique<serving::EdgeServer>(et, strat.factory,
                                                     strat.runner, config);
+    server->registry().set_memory(
+        {.workers = static_cast<std::uint64_t>(num_workers),
+         .weight_bytes =
+             static_cast<std::uint64_t>(shared_model.weight_bytes),
+         .bytes_per_worker =
+             static_cast<std::uint64_t>(shared_model.arena_bytes()),
+         .planned_total_bytes = static_cast<std::uint64_t>(
+             shared_model.bytes_for(num_workers))});
     util::Timer wall;
     for (const auto& [idx, budget] : stream)
       server->submit(cs.records[idx], budget);
@@ -295,6 +324,7 @@ int main(int argc, char** argv) {
                                       telemetry_prior, pace);
       };
   serving::EdgeServer tserver{et, einet_factory, cancellable_run, tcfg};
+  tserver.registry().set_memory(memory_gauges);
 
   obs::telemetry::FlightRecorderConfig fr_cfg;
   fr_cfg.dir = "artifacts";

@@ -26,6 +26,13 @@ Checks:
      explained by a transport or protocol error, and the link gauges are
      non-negative. Per-phase snapshots under "phases" get the same checks.
      --require-split fails unless the block is present with completed > 0.
+  9. The memory block (memory-planned deployments): workers and
+     bytes_per_worker are positive, planned_total_bytes is exactly
+     weight_bytes + workers * bytes_per_worker (so the gauge family is
+     monotone in the worker count under a fixed plan by construction), and
+     rss_bytes — when the platform reports it at all — is at least the
+     planned total (the arenas and weights are resident, not just claimed).
+     --require-memory fails unless the block is present and sound.
 
 Artifacts may carry either block: serving snapshots have "counters", split
 snapshots have "split"; at least one must be present.
@@ -95,6 +102,35 @@ def check_split(errors, name, s):
             errors.append(f"{name}: {gauge} {s[gauge]} negative")
 
 
+def check_memory(errors, name, m, rss_bytes):
+    if not isinstance(m, dict):
+        errors.append(f"{name}: not a JSON object")
+        return
+    for field in ("workers", "weight_bytes", "bytes_per_worker",
+                  "planned_total_bytes"):
+        if not is_num(m.get(field)):
+            errors.append(f'{name}: missing or non-numeric "{field}"')
+            return
+    if m["workers"] <= 0:
+        errors.append(f"{name}: workers {m['workers']} not positive")
+    if m["bytes_per_worker"] <= 0:
+        errors.append(
+            f"{name}: bytes_per_worker {m['bytes_per_worker']} not positive")
+    expected = m["weight_bytes"] + m["workers"] * m["bytes_per_worker"]
+    if m["planned_total_bytes"] != expected:
+        errors.append(
+            f"{name}: planned_total_bytes {m['planned_total_bytes']} != "
+            f"weight_bytes {m['weight_bytes']} + workers {m['workers']} * "
+            f"bytes_per_worker {m['bytes_per_worker']} (= {expected})")
+    # rss_bytes == 0 means "platform cannot report RSS", not an empty
+    # process; only grade residency when a real reading is present.
+    if is_num(rss_bytes) and rss_bytes > 0 \
+            and rss_bytes < m["planned_total_bytes"]:
+        errors.append(
+            f"{name}: rss_bytes {rss_bytes} below planned_total_bytes "
+            f"{m['planned_total_bytes']} — planned memory not resident")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("metrics_json")
@@ -104,6 +140,9 @@ def main():
     parser.add_argument(
         "--require-split", action="store_true",
         help="fail unless the split block is present with completed > 0")
+    parser.add_argument(
+        "--require-memory", action="store_true",
+        help="fail unless the memory block is present and sound")
     args = parser.parse_args()
 
     errors = []
@@ -113,6 +152,13 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read {args.metrics_json}: {e}")
         return 1
+
+    memory = snap.get("memory")
+    if args.require_memory and not isinstance(memory, dict):
+        print("error: missing memory object but --require-memory was set")
+        return 1
+    if memory is not None:
+        check_memory(errors, "memory", memory, snap.get("rss_bytes"))
 
     split = snap.get("split")
     if args.require_split and not isinstance(split, dict):

@@ -159,15 +159,31 @@ void MultiExitNetwork::backward_all(
 }
 
 nn::Tensor MultiExitNetwork::run_conv_part(std::size_t i,
-                                           const nn::Tensor& features) {
+                                           const nn::Tensor& features) const {
   check_block_index(i);
-  return blocks_[i].conv_part->forward(features, /*train=*/false);
+  return blocks_[i].conv_part->eval(features);
 }
 
 nn::Tensor MultiExitNetwork::run_branch(std::size_t i,
-                                        const nn::Tensor& features) {
+                                        const nn::Tensor& features) const {
   check_block_index(i);
-  return blocks_[i].branch->forward(features, /*train=*/false);
+  return blocks_[i].branch->eval(features);
+}
+
+void MultiExitNetwork::run_conv_part_into(std::size_t i,
+                                          const nn::Tensor& features,
+                                          nn::Tensor& out,
+                                          nn::Workspace& ws) const {
+  check_block_index(i);
+  blocks_[i].conv_part->forward_into(features, out, ws);
+}
+
+void MultiExitNetwork::run_branch_into(std::size_t i,
+                                       const nn::Tensor& features,
+                                       nn::Tensor& out,
+                                       nn::Workspace& ws) const {
+  check_block_index(i);
+  blocks_[i].branch->forward_into(features, out, ws);
 }
 
 }  // namespace einet::models

@@ -80,12 +80,21 @@ class MultiExitNetwork {
   void backward_all(const std::vector<nn::Tensor>& grad_logits);
 
   // -- Stepwise inference path (no gradients) ----------------------------------
+  // All stepwise entry points are const: they run the layers' forward_into()
+  // eval kernels, which never mutate layer state, so one trained network can
+  // be shared read-only across worker replicas.
   /// Run block i's conv part on the given features (batch layout NCHW).
   [[nodiscard]] nn::Tensor run_conv_part(std::size_t i,
-                                         const nn::Tensor& features);
+                                         const nn::Tensor& features) const;
   /// Run block i's branch on the conv part's output; returns logits.
   [[nodiscard]] nn::Tensor run_branch(std::size_t i,
-                                      const nn::Tensor& features);
+                                      const nn::Tensor& features) const;
+  /// Arena-path variants: write into a caller-provided output tensor, drawing
+  /// temporaries from `ws`. Bit-identical to the allocating overloads.
+  void run_conv_part_into(std::size_t i, const nn::Tensor& features,
+                          nn::Tensor& out, nn::Workspace& ws) const;
+  void run_branch_into(std::size_t i, const nn::Tensor& features,
+                       nn::Tensor& out, nn::Workspace& ws) const;
 
  private:
   void check_block_index(std::size_t i) const;

@@ -1,20 +1,32 @@
 #include "nn/activations.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace einet::nn {
 
 Tensor ReLU::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   Tensor y = x;
-  if (train) mask_ = Tensor{x.shape()};
+  mask_ = Tensor{x.shape()};
   for (std::size_t i = 0; i < y.numel(); ++i) {
     if (y[i] > 0.0f) {
-      if (train) mask_[i] = 1.0f;
+      mask_[i] = 1.0f;
     } else {
       y[i] = 0.0f;
     }
   }
   return y;
+}
+
+void ReLU::forward_into(const Tensor& x, Tensor& out, Workspace&) const {
+  out.resize(x.shape());
+  const float* src = x.raw();
+  float* dst = out.raw();
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float v = src[i];
+    dst[i] = v > 0.0f ? v : 0.0f;
+  }
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
@@ -34,6 +46,12 @@ Dropout::Dropout(double p, util::Rng& rng) : p_(p), rng_(rng.split()) {
 
 std::string Dropout::name() const {
   return "Dropout(p=" + std::to_string(p_) + ")";
+}
+
+void Dropout::forward_into(const Tensor& x, Tensor& out, Workspace&) const {
+  // Inverted dropout: eval is the identity.
+  out.resize(x.shape());
+  std::copy(x.raw(), x.raw() + x.numel(), out.raw());
 }
 
 Tensor Dropout::forward(const Tensor& x, bool train) {
@@ -74,6 +92,11 @@ Shape Flatten::out_shape(const Shape& in) const {
 Tensor Flatten::forward(const Tensor& x, bool train) {
   if (train) cached_shape_ = x.shape();
   return x.reshaped(out_shape(x.shape()));
+}
+
+void Flatten::forward_into(const Tensor& x, Tensor& out, Workspace&) const {
+  out.resize(out_shape(x.shape()));
+  std::copy(x.raw(), x.raw() + x.numel(), out.raw());
 }
 
 Tensor Flatten::backward(const Tensor& grad_out) {

@@ -9,6 +9,7 @@ class ReLU final : public Layer {
  public:
   ReLU() = default;
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "ReLU"; }
   [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
@@ -26,6 +27,7 @@ class Dropout final : public Layer {
  public:
   Dropout(double p, util::Rng& rng);
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
@@ -46,6 +48,7 @@ class Flatten final : public Layer {
  public:
   Flatten() = default;
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "Flatten"; }
   [[nodiscard]] Shape out_shape(const Shape& in) const override;

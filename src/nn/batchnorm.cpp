@@ -28,14 +28,35 @@ Shape BatchNorm2d::out_shape(const Shape& in) const {
   return in;
 }
 
+void BatchNorm2d::forward_into(const Tensor& x, Tensor& out,
+                               Workspace&) const {
+  (void)out_shape(x.shape());
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t plane = h * w;
+  out.resize(x.shape());
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float inv_std = 1.0f / std::sqrt(running_var_[ch] + eps_);
+    const float mean = running_mean_[ch];
+    const float g = gamma_.value[ch];
+    const float b = beta_.value[ch];
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* p = x.raw() + (i * c + ch) * plane;
+      float* yo = out.raw() + (i * c + ch) * plane;
+      for (std::size_t s = 0; s < plane; ++s)
+        yo[s] = g * (p[s] - mean) * inv_std + b;
+    }
+  }
+}
+
 Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   (void)out_shape(x.shape());
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const std::size_t plane = h * w;
   const auto count = static_cast<float>(n * plane);
   Tensor y{x.shape()};
 
-  if (train) {
+  {
     cached_in_shape_ = x.shape();
     cached_xhat_ = Tensor{x.shape()};
     cached_inv_std_ = Tensor{{c}};
@@ -76,20 +97,6 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
                           momentum_ * static_cast<float>(mean);
       running_var_[ch] = (1.0f - momentum_) * running_var_[ch] +
                          momentum_ * static_cast<float>(var);
-    }
-  } else {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      const float inv_std =
-          1.0f / std::sqrt(running_var_[ch] + eps_);
-      const float mean = running_mean_[ch];
-      const float g = gamma_.value[ch];
-      const float b = beta_.value[ch];
-      for (std::size_t i = 0; i < n; ++i) {
-        const float* p = x.raw() + (i * c + ch) * plane;
-        float* yo = y.raw() + (i * c + ch) * plane;
-        for (std::size_t s = 0; s < plane; ++s)
-          yo[s] = g * (p[s] - mean) * inv_std + b;
-      }
     }
   }
   return y;

@@ -13,6 +13,7 @@ class BatchNorm2d final : public Layer {
                        float eps = 1e-5f);
 
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> state() override {

@@ -106,7 +106,58 @@ std::size_t Conv2d::flops(const Shape& in) const {
   return shape_numel(out) * spec_.in_channels * spec_.kernel * spec_.kernel;
 }
 
+void Conv2d::forward_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  const Shape os = out_shape(x.shape());
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t out_h = os[2], out_w = os[3];
+  const std::size_t patch = spec_.in_channels * spec_.kernel * spec_.kernel;
+  const std::size_t spatial = out_h * out_w;
+
+  out.resize(os);
+  const float* wgt = weight_.value.raw();
+  const float* b = bias_.value.raw();
+
+  if (n == 1) {
+    // Single-sample inference (the serving hot path): the im2col scratch
+    // comes from the caller's workspace, so an arena-backed PooledWorkspace
+    // makes this allocation-free in steady state.
+    ScopedTensor col{ws, Shape{patch * spatial}};
+    im2col(x.raw(), spec_.in_channels, h, w, spec_.kernel, spec_.stride,
+           spec_.padding, out_h, out_w, col.get().raw());
+    // y (out_c x spatial) = W (out_c x patch) * col (patch x spatial)
+    sgemm(Trans::kN, Trans::kN, spec_.out_channels, spatial, patch, wgt, patch,
+          col.get().raw(), spatial, 0.0f, out.raw(), spatial);
+    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+      float* yrow = out.raw() + oc * spatial;
+      const float bv = b[oc];
+      for (std::size_t s = 0; s < spatial; ++s) yrow[s] += bv;
+    }
+    return;
+  }
+
+  // Batched eval: samples run in parallel, so per-thread scratch stays local
+  // to the chunk lambda — a Workspace is not thread-safe.
+  parallel_for(n, [&](std::size_t sb, std::size_t se) {
+    std::vector<float> scratch(patch * spatial);
+    for (std::size_t i = sb; i < se; ++i) {
+      float* col = scratch.data();
+      const float* img = x.raw() + i * spec_.in_channels * h * w;
+      im2col(img, spec_.in_channels, h, w, spec_.kernel, spec_.stride,
+             spec_.padding, out_h, out_w, col);
+      float* yi = out.raw() + i * spec_.out_channels * spatial;
+      sgemm(Trans::kN, Trans::kN, spec_.out_channels, spatial, patch, wgt,
+            patch, col, spatial, 0.0f, yi, spatial);
+      for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+        float* yrow = yi + oc * spatial;
+        const float bv = b[oc];
+        for (std::size_t s = 0; s < spatial; ++s) yrow[s] += bv;
+      }
+    }
+  });
+}
+
 Tensor Conv2d::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   const Shape os = out_shape(x.shape());
   const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::size_t out_h = os[2], out_w = os[3];
@@ -117,18 +168,15 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   const float* wgt = weight_.value.raw();
   const float* b = bias_.value.raw();
 
-  if (train) col_cache_.resize(n * patch * spatial);
+  col_cache_.resize(n * patch * spatial);
 
   // One im2col + GEMM per sample; samples write disjoint slices of y (and of
   // the training-mode column cache), so the batch loop parallelises cleanly.
   // The GEMM applies its own row-panel parallelism exactly when the batch
   // loop does not (single-sample inference — the serving hot path).
   parallel_for(n, [&](std::size_t sb, std::size_t se) {
-    std::vector<float> scratch;
-    if (!train) scratch.resize(patch * spatial);
     for (std::size_t i = sb; i < se; ++i) {
-      float* col =
-          train ? col_cache_.data() + i * patch * spatial : scratch.data();
+      float* col = col_cache_.data() + i * patch * spatial;
       const float* img = x.raw() + i * spec_.in_channels * h * w;
       im2col(img, spec_.in_channels, h, w, spec_.kernel, spec_.stride,
              spec_.padding, out_h, out_w, col);
@@ -143,7 +191,7 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
       }
     }
   });
-  if (train) cached_input_ = x;
+  cached_input_ = x;
   return y;
 }
 

@@ -18,6 +18,7 @@ class Conv2d final : public Layer {
   Conv2d(const Conv2dSpec& spec, util::Rng& rng);
 
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override;

@@ -1,5 +1,6 @@
 #include "nn/dense.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace einet::nn {
@@ -28,7 +29,25 @@ std::size_t DenseUnit::flops(const Shape& in) const {
   return body_->flops(in) + shape_numel(in);  // body + copy
 }
 
+void DenseUnit::forward_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  const Shape os = out_shape(x.shape());
+  ScopedTensor g{ws, body_->out_shape(x.shape())};
+  body_->forward_into(x, g.get(), ws);
+  const std::size_t n = x.dim(0);
+  const std::size_t c_in = x.dim(1), c_body = g.get().dim(1);
+  const std::size_t plane = x.dim(2) * x.dim(3);
+  out.resize(os);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(x.raw() + i * c_in * plane, x.raw() + (i + 1) * c_in * plane,
+              out.raw() + i * (c_in + c_body) * plane);
+    std::copy(g.get().raw() + i * c_body * plane,
+              g.get().raw() + (i + 1) * c_body * plane,
+              out.raw() + (i * (c_in + c_body) + c_in) * plane);
+  }
+}
+
 Tensor DenseUnit::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   const Shape os = out_shape(x.shape());
   const Tensor g = body_->forward(x, train);
   const std::size_t n = x.dim(0);

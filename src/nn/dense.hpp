@@ -17,8 +17,13 @@ class DenseUnit final : public Layer {
   explicit DenseUnit(LayerPtr body);
 
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return body_->params(); }
+  // The body's persistent buffers (batch-norm running stats) must travel
+  // with serialization just like its params; without this override a
+  // DenseUnit-wrapped trunk silently dropped them on save/load.
+  std::vector<Tensor*> state() override { return body_->state(); }
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Shape out_shape(const Shape& in) const override;
   [[nodiscard]] std::size_t flops(const Shape& in) const override;

@@ -14,17 +14,28 @@ std::string LeakyReLU::name() const {
 }
 
 Tensor LeakyReLU::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   Tensor y = x;
-  if (train) slope_ = Tensor{x.shape()};
+  slope_ = Tensor{x.shape()};
   for (std::size_t i = 0; i < y.numel(); ++i) {
     if (y[i] > 0.0f) {
-      if (train) slope_[i] = 1.0f;
+      slope_[i] = 1.0f;
     } else {
       y[i] *= alpha_;
-      if (train) slope_[i] = alpha_;
+      slope_[i] = alpha_;
     }
   }
   return y;
+}
+
+void LeakyReLU::forward_into(const Tensor& x, Tensor& out, Workspace&) const {
+  out.resize(x.shape());
+  const float* src = x.raw();
+  float* dst = out.raw();
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float v = src[i];
+    dst[i] = v > 0.0f ? v : v * alpha_;
+  }
 }
 
 Tensor LeakyReLU::backward(const Tensor& grad_out) {
@@ -38,11 +49,20 @@ Tensor LeakyReLU::backward(const Tensor& grad_out) {
 }
 
 Tensor Sigmoid::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   Tensor y{x.shape()};
   for (std::size_t i = 0; i < x.numel(); ++i)
     y[i] = 1.0f / (1.0f + std::exp(-x[i]));
-  if (train) cached_output_ = y;
+  cached_output_ = y;
   return y;
+}
+
+void Sigmoid::forward_into(const Tensor& x, Tensor& out, Workspace&) const {
+  out.resize(x.shape());
+  const float* src = x.raw();
+  float* dst = out.raw();
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    dst[i] = 1.0f / (1.0f + std::exp(-src[i]));
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_out) {
@@ -59,10 +79,18 @@ Tensor Sigmoid::backward(const Tensor& grad_out) {
 }
 
 Tensor Tanh::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   Tensor y{x.shape()};
   for (std::size_t i = 0; i < x.numel(); ++i) y[i] = std::tanh(x[i]);
-  if (train) cached_output_ = y;
+  cached_output_ = y;
   return y;
+}
+
+void Tanh::forward_into(const Tensor& x, Tensor& out, Workspace&) const {
+  out.resize(x.shape());
+  const float* src = x.raw();
+  float* dst = out.raw();
+  for (std::size_t i = 0; i < x.numel(); ++i) dst[i] = std::tanh(src[i]);
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {

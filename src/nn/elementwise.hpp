@@ -14,6 +14,7 @@ class LeakyReLU final : public Layer {
  public:
   explicit LeakyReLU(float alpha = 0.01f);
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
@@ -31,6 +32,7 @@ class Sigmoid final : public Layer {
  public:
   Sigmoid() = default;
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "Sigmoid"; }
   [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }
@@ -47,6 +49,7 @@ class Tanh final : public Layer {
  public:
   Tanh() = default;
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "Tanh"; }
   [[nodiscard]] Shape out_shape(const Shape& in) const override { return in; }

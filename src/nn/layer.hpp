@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace einet::nn {
@@ -40,8 +41,30 @@ class Layer {
   Layer& operator=(Layer&&) = default;
 
   /// Run the layer. `train` enables training-only behaviour (dropout masks,
-  /// batch-norm batch statistics) and caching for backward().
+  /// batch-norm batch statistics) and caching for backward(). The eval path
+  /// (train == false) of every layer delegates to forward_into(), so planned
+  /// (arena-fed) and unplanned inference share one kernel and are
+  /// bit-identical by construction.
   virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// THE inference kernel: write the eval-mode result for `x` into `out`
+  /// (pre-sized by the caller to out_shape(x.shape()); every element is
+  /// overwritten — arena slots may hold stale bytes from earlier requests),
+  /// drawing temporaries from `ws`. Must not mutate layer state, so a const
+  /// layer can be shared across worker replicas as long as each caller
+  /// brings its own workspace and output.
+  virtual void forward_into(const Tensor& x, Tensor& out,
+                            Workspace& ws) const = 0;
+
+  /// Convenience eval: fresh output tensor through forward_into().
+  [[nodiscard]] Tensor eval(const Tensor& x, Workspace& ws) const {
+    Tensor out{out_shape(x.shape())};
+    forward_into(x, out, ws);
+    return out;
+  }
+  [[nodiscard]] Tensor eval(const Tensor& x) const {
+    return eval(x, default_workspace());
+  }
 
   /// Propagate gradients: given dL/d(output) return dL/d(input), and
   /// accumulate dL/d(param) into each Param::grad. Requires a preceding

@@ -33,25 +33,30 @@ std::size_t Linear::flops(const Shape& in) const {
   return shape_numel(out_shape(in)) * in_;
 }
 
-Tensor Linear::forward(const Tensor& x, bool train) {
+void Linear::forward_into(const Tensor& x, Tensor& out, Workspace&) const {
   if (x.rank() != 2 || x.dim(1) != in_)
     throw std::invalid_argument{"Linear::forward: expected (N," +
                                 std::to_string(in_) + "), got " +
                                 shape_str(x.shape())};
   const std::size_t n = x.dim(0);
-  Tensor y{{n, out_}};
+  out.resize({n, out_});
   const float* w = weight_.value.raw();
   const float* b = bias_.value.raw();
   // y (n x out) = x (n x in) * W^T, then the bias broadcast over rows.
   sgemm(Trans::kN, Trans::kT, n, out_, in_, x.raw(), in_, w, in_, 0.0f,
-        y.raw(), out_);
+        out.raw(), out_);
   parallel_for(n, [&](std::size_t rb, std::size_t re) {
     for (std::size_t i = rb; i < re; ++i) {
-      float* yi = y.raw() + i * out_;
+      float* yi = out.raw() + i * out_;
       for (std::size_t o = 0; o < out_; ++o) yi[o] += b[o];
     }
   });
-  if (train) cached_input_ = x;
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
+  Tensor y = eval(x);
+  cached_input_ = x;
   return y;
 }
 

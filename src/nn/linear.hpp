@@ -10,6 +10,7 @@ class Linear final : public Layer {
   Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
 
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override;

@@ -1,0 +1,55 @@
+#include "nn/memplan/arena.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace einet::memplan {
+
+InferenceArena::InferenceArena(std::shared_ptr<const MemoryPlan> plan)
+    : plan_(std::move(plan)) {
+  if (!plan_) throw std::invalid_argument{"InferenceArena: null plan"};
+  slots_.reserve(plan_->slot_floats.size());
+  for (const std::size_t floats : plan_->slot_floats) {
+    nn::Tensor t;
+    t.reserve(floats);
+    slots_.push_back(std::move(t));
+  }
+  ws_.prewarm(plan_->scratch_blocks);
+}
+
+nn::Tensor& InferenceArena::buffer(std::size_t id, nn::Shape shape) {
+  if (id >= plan_->buffers.size())
+    throw std::out_of_range{"InferenceArena::buffer: id " + std::to_string(id) +
+                            " out of range"};
+  const PlannedBuffer& b = plan_->buffers[id];
+  const std::size_t need = nn::shape_numel(shape);
+  if (need > plan_->slot_floats[b.slot])
+    throw std::invalid_argument{
+        "InferenceArena::buffer: '" + b.req.name + "' needs " +
+        std::to_string(need) + " floats but its slot holds " +
+        std::to_string(plan_->slot_floats[b.slot])};
+  nn::Tensor& t = slots_[b.slot];
+  t.resize(std::move(shape));
+  return t;
+}
+
+nn::Tensor& InferenceArena::feature(std::size_t i, nn::Shape shape) {
+  if (i >= plan_->feat_buffer.size())
+    throw std::out_of_range{"InferenceArena::feature: index out of range"};
+  return buffer(plan_->feat_buffer[i], std::move(shape));
+}
+
+nn::Tensor& InferenceArena::logits(std::size_t i, nn::Shape shape) {
+  if (i >= plan_->logits_buffer.size())
+    throw std::out_of_range{"InferenceArena::logits: index out of range"};
+  return buffer(plan_->logits_buffer[i], std::move(shape));
+}
+
+std::size_t InferenceArena::bytes() const {
+  std::size_t floats = 0;
+  for (const nn::Tensor& t : slots_) floats += t.capacity();
+  return floats * sizeof(float) + ws_.resident_bytes();
+}
+
+}  // namespace einet::memplan

@@ -1,0 +1,60 @@
+// InferenceArena — the live half of memory planning.
+//
+// One arena per worker. It owns:
+//   * one Tensor per plan slot, with capacity reserved to the slot size, so
+//     re-shaping a slot between requests (resize within capacity) never
+//     allocates, and
+//   * a PooledWorkspace pre-warmed with the plan's dominating scratch
+//     blocks, so layer-internal takes (im2col columns, Sequential
+//     intermediates) are served without allocating in steady state.
+//
+// The planner guarantees no two simultaneously-live buffers share a slot;
+// the arena just hands out the slot tensor for a buffer id. Slot contents
+// are stale bytes from earlier requests or earlier steps — every
+// forward_into() kernel overwrites its whole output, which is what makes
+// reuse safe (and what test_memplan's truncated-run staleness test checks).
+//
+// An arena is single-threaded state: engines embed one per worker.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "nn/memplan/plan.hpp"
+#include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
+
+namespace einet::memplan {
+
+class InferenceArena {
+ public:
+  explicit InferenceArena(std::shared_ptr<const MemoryPlan> plan);
+
+  /// Slot tensor for buffer `id` (index into plan().buffers), re-shaped to
+  /// `shape`. Throws if `shape` needs more floats than the buffer was
+  /// profiled at (the plan would be invalid). Contents are unspecified.
+  [[nodiscard]] nn::Tensor& buffer(std::size_t id, nn::Shape shape);
+
+  /// Feature-map / logits convenience accessors (profile indexing).
+  [[nodiscard]] nn::Tensor& feature(std::size_t i, nn::Shape shape);
+  [[nodiscard]] nn::Tensor& logits(std::size_t i, nn::Shape shape);
+
+  /// The scratch workspace layers draw from on this worker.
+  [[nodiscard]] nn::PooledWorkspace& workspace() { return ws_; }
+
+  /// Resident footprint: slot capacities + pooled scratch, in bytes.
+  [[nodiscard]] std::size_t bytes() const;
+
+  /// Scratch takes that missed the pre-warmed pool and had to allocate.
+  /// Zero in steady state when the plan matches the network.
+  [[nodiscard]] std::size_t scratch_overflows() const { return ws_.misses(); }
+
+  [[nodiscard]] const MemoryPlan& plan() const { return *plan_; }
+
+ private:
+  std::shared_ptr<const MemoryPlan> plan_;
+  std::vector<nn::Tensor> slots_;  // one per plan slot, capacity reserved
+  nn::PooledWorkspace ws_;
+};
+
+}  // namespace einet::memplan

@@ -1,0 +1,30 @@
+#include "nn/memplan/budget.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace einet::memplan {
+
+BudgetPlan fit_budget(std::size_t budget_bytes, std::size_t weight_bytes,
+                      std::size_t arena_bytes_per_worker,
+                      std::size_t max_workers) {
+  if (arena_bytes_per_worker == 0)
+    throw std::invalid_argument{"fit_budget: arena_bytes_per_worker == 0"};
+  if (budget_bytes < weight_bytes + arena_bytes_per_worker)
+    throw std::invalid_argument{
+        "fit_budget: budget " + std::to_string(budget_bytes) +
+        " B cannot hold one weight copy (" + std::to_string(weight_bytes) +
+        " B) plus one arena (" + std::to_string(arena_bytes_per_worker) +
+        " B)"};
+  std::size_t workers = (budget_bytes - weight_bytes) / arena_bytes_per_worker;
+  if (max_workers != 0) workers = std::min(workers, max_workers);
+  BudgetPlan plan;
+  plan.workers = workers;
+  plan.weight_bytes = weight_bytes;
+  plan.arena_bytes_per_worker = arena_bytes_per_worker;
+  plan.total_bytes = weight_bytes + workers * arena_bytes_per_worker;
+  return plan;
+}
+
+}  // namespace einet::memplan

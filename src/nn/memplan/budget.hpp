@@ -1,0 +1,31 @@
+// Memory-budget knob: given a byte budget for a serving node, pick how many
+// workers fit. With shared immutable weights the footprint model is
+//
+//   total(workers) = weight_bytes + workers * arena_bytes_per_worker
+//
+// (one weight copy regardless of worker count, one arena each).
+#pragma once
+
+#include <cstddef>
+
+namespace einet::memplan {
+
+struct BudgetPlan {
+  std::size_t workers = 0;
+  std::size_t weight_bytes = 0;
+  std::size_t arena_bytes_per_worker = 0;
+  /// Modeled steady-state footprint at `workers`.
+  std::size_t total_bytes = 0;
+};
+
+/// Largest worker count whose modeled footprint fits `budget_bytes`,
+/// optionally capped at `max_workers` (0 = uncapped). Throws
+/// std::invalid_argument when the budget cannot hold even one worker
+/// (budget < weight_bytes + arena_bytes_per_worker) or when
+/// arena_bytes_per_worker is zero.
+[[nodiscard]] BudgetPlan fit_budget(std::size_t budget_bytes,
+                                    std::size_t weight_bytes,
+                                    std::size_t arena_bytes_per_worker,
+                                    std::size_t max_workers = 0);
+
+}  // namespace einet::memplan

@@ -1,0 +1,115 @@
+#include "nn/memplan/plan.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace einet::memplan {
+
+std::vector<PlannedBuffer> assign_slots(std::span<const BufferReq> buffers) {
+  std::vector<PlannedBuffer> planned;
+  planned.reserve(buffers.size());
+  // Per slot, the lifetimes of its members so far.
+  std::vector<std::vector<BufferLife>> slot_members;
+  for (const BufferReq& req : buffers) {
+    if (req.life.first > req.life.last)
+      throw std::invalid_argument{"assign_slots: buffer '" + req.name +
+                                  "' has inverted lifetime"};
+    std::size_t slot = slot_members.size();
+    for (std::size_t s = 0; s < slot_members.size(); ++s) {
+      const bool clash = std::any_of(
+          slot_members[s].begin(), slot_members[s].end(),
+          [&](const BufferLife& l) { return lifetimes_overlap(l, req.life); });
+      if (!clash) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot == slot_members.size()) slot_members.emplace_back();
+    slot_members[slot].push_back(req.life);
+    planned.push_back(PlannedBuffer{req, slot, 0});
+  }
+  return planned;
+}
+
+namespace {
+
+/// Dominating scratch multiset: sort each step's takes descending, then the
+/// pooled block k is the max over steps of each step's k-th largest take.
+/// A pool pre-warmed with these blocks serves any single step's takes in
+/// full (best-fit may hand a larger block to a smaller take mid-step, but
+/// counting is monotone: k blocks of size >= the k largest takes exist).
+std::vector<std::size_t> dominating_scratch(
+    const std::vector<std::vector<std::size_t>>& step_scratch) {
+  std::vector<std::size_t> pool;
+  for (const auto& takes : step_scratch) {
+    std::vector<std::size_t> sorted(takes.begin(), takes.end());
+    std::sort(sorted.begin(), sorted.end(), std::greater<>{});
+    if (sorted.size() > pool.size()) pool.resize(sorted.size(), 0);
+    for (std::size_t k = 0; k < sorted.size(); ++k)
+      pool[k] = std::max(pool[k], sorted[k]);
+  }
+  while (!pool.empty() && pool.back() == 0) pool.pop_back();
+  return pool;
+}
+
+}  // namespace
+
+MemoryPlan plan_memory(const ActivationProfile& profile) {
+  if (profile.num_exits == 0)
+    throw std::invalid_argument{"plan_memory: profile has no exits"};
+  if (profile.num_steps != 2 * profile.num_exits)
+    throw std::invalid_argument{"plan_memory: num_steps != 2 * num_exits"};
+  if (profile.feat_buffer.size() != profile.num_exits + 1 ||
+      profile.logits_buffer.size() != profile.num_exits)
+    throw std::invalid_argument{"plan_memory: buffer index maps inconsistent"};
+  for (std::size_t idx : profile.feat_buffer)
+    if (idx >= profile.buffers.size())
+      throw std::invalid_argument{"plan_memory: feat_buffer index OOB"};
+  for (std::size_t idx : profile.logits_buffer)
+    if (idx >= profile.buffers.size())
+      throw std::invalid_argument{"plan_memory: logits_buffer index OOB"};
+
+  MemoryPlan plan;
+  plan.buffers = assign_slots(profile.buffers);
+  plan.feat_buffer = profile.feat_buffer;
+  plan.logits_buffer = profile.logits_buffer;
+
+  std::size_t num_slots = 0;
+  for (const PlannedBuffer& b : plan.buffers)
+    num_slots = std::max(num_slots, b.slot + 1);
+  plan.slot_floats.assign(num_slots, 0);
+  for (const PlannedBuffer& b : plan.buffers)
+    plan.slot_floats[b.slot] = std::max(plan.slot_floats[b.slot],
+                                        b.req.floats);
+
+  // Offsets: slots laid out back to back; every buffer in a slot starts at
+  // the slot's offset.
+  std::vector<std::size_t> slot_offset(num_slots, 0);
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    slot_offset[s] = cursor;
+    cursor += plan.slot_floats[s];
+  }
+  plan.activation_floats = cursor;
+  for (PlannedBuffer& b : plan.buffers) b.offset_floats = slot_offset[b.slot];
+
+  plan.scratch_blocks = dominating_scratch(profile.step_scratch);
+  plan.scratch_floats = 0;
+  for (std::size_t n : plan.scratch_blocks) plan.scratch_floats += n;
+
+  // Peak = max over steps of (live activation floats + step scratch floats).
+  plan.peak_floats = 0;
+  for (std::size_t step = 0; step < profile.num_steps; ++step) {
+    std::size_t live = 0;
+    for (const BufferReq& req : profile.buffers)
+      if (req.life.first <= step && step <= req.life.last) live += req.floats;
+    std::size_t scratch = 0;
+    if (step < profile.step_scratch.size())
+      for (std::size_t n : profile.step_scratch[step]) scratch += n;
+    plan.peak_floats = std::max(plan.peak_floats, live + scratch);
+  }
+  return plan;
+}
+
+}  // namespace einet::memplan

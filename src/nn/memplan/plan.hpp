@@ -1,0 +1,109 @@
+// Activation memory planning (offline half).
+//
+// The elastic engines execute a MultiExitNetwork *stepwise*: conv part 0,
+// branch 0?, conv part 1, branch 1?, ... Every step consumes the previous
+// feature map and produces either the next feature map or an exit's logits.
+// Because the step order is fixed, every activation buffer has a statically
+// known lifetime [first_use, last_use] over the step index, and buffers whose
+// lifetimes do not overlap can share storage.
+//
+// This header defines the profile (what buffers exist, how big, alive when)
+// and the plan (which buffers share which arena slot, plus the scratch
+// blocks each step borrows from a workspace). The profile comes from
+// profile.hpp's profiler; the plan feeds arena.hpp's InferenceArena.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace einet::memplan {
+
+/// Closed step interval during which a buffer's contents must survive.
+struct BufferLife {
+  std::size_t first = 0;
+  std::size_t last = 0;
+};
+
+/// Two lifetimes overlap iff they share at least one step.
+[[nodiscard]] constexpr bool lifetimes_overlap(const BufferLife& a,
+                                               const BufferLife& b) {
+  return a.first <= b.last && b.first <= a.last;
+}
+
+/// One activation buffer the stepwise path needs.
+struct BufferReq {
+  std::string name;
+  std::size_t floats = 0;
+  BufferLife life;
+};
+
+/// Everything the planner needs to know about one network's stepwise
+/// execution at batch size 1: the activation buffers with their lifetimes,
+/// and the workspace-take sizes each step performed (im2col columns,
+/// Sequential ping-pong slabs, Residual body outputs...).
+struct ActivationProfile {
+  std::size_t num_exits = 0;
+  std::size_t num_classes = 0;
+  std::size_t batch = 1;
+  /// 2 * num_exits: step 2i = conv part i, step 2i+1 = branch i.
+  std::size_t num_steps = 0;
+  std::vector<BufferReq> buffers;
+  /// Index into `buffers` of feature map i (i in [0, num_exits]).
+  std::vector<std::size_t> feat_buffer;
+  /// Index into `buffers` of exit i's logits (i in [0, num_exits)).
+  std::vector<std::size_t> logits_buffer;
+  /// Per step, the workspace take() sizes recorded during profiling,
+  /// in call order.
+  std::vector<std::vector<std::size_t>> step_scratch;
+};
+
+/// A buffer with its slot assignment.
+struct PlannedBuffer {
+  BufferReq req;
+  std::size_t slot = 0;
+  /// Byte-accounting offset of the slot inside the logical arena
+  /// (prefix sum of slot sizes), in floats.
+  std::size_t offset_floats = 0;
+};
+
+/// Overlap-free arena layout for one worker.
+struct MemoryPlan {
+  std::vector<PlannedBuffer> buffers;
+  std::vector<std::size_t> feat_buffer;    // same indexing as the profile
+  std::vector<std::size_t> logits_buffer;  //
+  /// Size of each slot in floats (max over its member buffers).
+  std::vector<std::size_t> slot_floats;
+  /// Sum of slot sizes == floats needed for all activations.
+  std::size_t activation_floats = 0;
+  /// Dominating scratch block sizes (descending): pre-warming a pooled
+  /// workspace with exactly these blocks serves every step's takes without
+  /// allocating.
+  std::vector<std::size_t> scratch_blocks;
+  std::size_t scratch_floats = 0;
+  /// Max over steps of live-activation floats + that step's scratch floats —
+  /// what a theoretically perfect single-block allocator would need.
+  std::size_t peak_floats = 0;
+
+  [[nodiscard]] std::size_t arena_floats() const {
+    return activation_floats + scratch_floats;
+  }
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return arena_floats() * sizeof(float);
+  }
+};
+
+/// Greedy interval-based slot assignment: buffers are scanned in profile
+/// order; each lands in the first existing slot none of whose members'
+/// lifetimes overlap it, or opens a new slot. Deterministic; exposed
+/// separately from plan_memory() so tests can drive it with randomized
+/// lifetimes and check the no-two-live-buffers-share-a-slot invariant.
+[[nodiscard]] std::vector<PlannedBuffer> assign_slots(
+    std::span<const BufferReq> buffers);
+
+/// Full planning pass: slot assignment + offsets + dominating scratch pool +
+/// peak accounting. Throws std::invalid_argument on an inconsistent profile.
+[[nodiscard]] MemoryPlan plan_memory(const ActivationProfile& profile);
+
+}  // namespace einet::memplan

@@ -1,0 +1,81 @@
+#include "nn/memplan/profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "nn/workspace.hpp"
+
+namespace einet::memplan {
+
+namespace {
+
+nn::Shape with_batch(const nn::Shape& chw) {
+  nn::Shape s{1};
+  s.insert(s.end(), chw.begin(), chw.end());
+  return s;
+}
+
+}  // namespace
+
+ActivationProfile profile_activations(const models::MultiExitNetwork& net) {
+  const std::size_t n = net.num_exits();
+  if (n == 0)
+    throw std::invalid_argument{"profile_activations: network has no blocks"};
+
+  ActivationProfile p;
+  p.num_exits = n;
+  p.num_classes = net.num_classes();
+  p.batch = 1;
+  p.num_steps = 2 * n;
+  p.step_scratch.resize(p.num_steps);
+  const std::size_t last_step = p.num_steps - 1;
+
+  // Activation buffers and their lifetimes over the step index
+  // (step 2i = conv part i, step 2i+1 = branch i):
+  //   feat 0     — the input; consumed by conv part 0 at step 0.
+  //   feat i+1   — produced by conv part i at step 2i, read by branch i at
+  //                step 2i+1 and conv part i+1 at step 2i+2 (when present).
+  //   logits i   — produced and consumed at step 2i+1.
+  p.feat_buffer.push_back(p.buffers.size());
+  p.buffers.push_back(BufferReq{
+      "feat0", nn::shape_numel(with_batch(net.feature_shape(0))),
+      BufferLife{0, 0}});
+  for (std::size_t i = 0; i < n; ++i) {
+    p.feat_buffer.push_back(p.buffers.size());
+    p.buffers.push_back(BufferReq{
+        "feat" + std::to_string(i + 1),
+        nn::shape_numel(with_batch(net.feature_shape(i + 1))),
+        BufferLife{2 * i, std::min(2 * i + 2, last_step)}});
+    p.logits_buffer.push_back(p.buffers.size());
+    p.buffers.push_back(BufferReq{"logits" + std::to_string(i),
+                                  1 * p.num_classes,
+                                  BufferLife{2 * i + 1, 2 * i + 1}});
+  }
+
+  // One full stepwise pass to record each step's workspace takes. Values are
+  // irrelevant (zeros); only shapes drive the take() sizes.
+  nn::PooledWorkspace ws;
+  nn::Tensor features{with_batch(net.feature_shape(0))};
+  for (std::size_t i = 0; i < n; ++i) {
+    nn::Tensor next;
+    ws.begin_recording();
+    net.run_conv_part_into(i, features, next, ws);
+    p.step_scratch[2 * i] = ws.end_recording();
+
+    nn::Tensor logits;
+    ws.begin_recording();
+    net.run_branch_into(i, next, logits, ws);
+    p.step_scratch[2 * i + 1] = ws.end_recording();
+
+    features = std::move(next);
+  }
+  return p;
+}
+
+MemoryPlan plan_for(const models::MultiExitNetwork& net) {
+  return plan_memory(profile_activations(net));
+}
+
+}  // namespace einet::memplan

@@ -1,0 +1,26 @@
+// Offline activation-lifetime profiler.
+//
+// Walks a trained MultiExitNetwork's stepwise inference path once (batch
+// size 1, zero input — only shapes and workspace take() sizes matter, not
+// values) and records:
+//   * every activation buffer (input feature map, per-block feature maps,
+//     per-exit logits) with its size and first/last-use step, and
+//   * the workspace scratch each step borrowed (im2col columns, container
+//     intermediates), via PooledWorkspace recording mode.
+//
+// The resulting ActivationProfile is deterministic for a given architecture
+// and feeds plan_memory().
+#pragma once
+
+#include "models/multiexit.hpp"
+#include "nn/memplan/plan.hpp"
+
+namespace einet::memplan {
+
+[[nodiscard]] ActivationProfile profile_activations(
+    const models::MultiExitNetwork& net);
+
+/// Convenience: profile + plan in one call.
+[[nodiscard]] MemoryPlan plan_for(const models::MultiExitNetwork& net);
+
+}  // namespace einet::memplan

@@ -34,7 +34,38 @@ std::size_t MaxPool2d::flops(const Shape& in) const {
   return shape_numel(out_shape(in)) * kernel_ * kernel_;
 }
 
+void MaxPool2d::forward_into(const Tensor& x, Tensor& out, Workspace&) const {
+  const Shape os = out_shape(x.shape());
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = os[2], ow = os[3];
+  out.resize(os);
+  std::size_t out_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.raw() + (i * c + ch) * h * w;
+      for (std::size_t oi = 0; oi < oh; ++oi) {
+        for (std::size_t oj = 0; oj < ow; ++oj, ++out_idx) {
+          // Same NaN-safe window scan as forward(): seed with the window's
+          // own first element, keep any value the !(v <= best) compare
+          // prefers.
+          float best = plane[oi * stride_ * w + oj * stride_];
+          for (std::size_t ki = 0; ki < kernel_; ++ki) {
+            for (std::size_t kj = 0; kj < kernel_; ++kj) {
+              const std::size_t ii = oi * stride_ + ki;
+              const std::size_t jj = oj * stride_ + kj;
+              const float v = plane[ii * w + jj];
+              if (!(v <= best)) best = v;
+            }
+          }
+          out[out_idx] = best;
+        }
+      }
+    }
+  }
+}
+
 Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   const Shape os = out_shape(x.shape());
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const std::size_t oh = os[2], ow = os[3];
@@ -110,7 +141,31 @@ std::size_t AvgPool2d::flops(const Shape& in) const {
   return shape_numel(out_shape(in)) * kernel_ * kernel_;
 }
 
+void AvgPool2d::forward_into(const Tensor& x, Tensor& out, Workspace&) const {
+  const Shape os = out_shape(x.shape());
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = os[2], ow = os[3];
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  out.resize(os);
+  std::size_t out_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.raw() + (i * c + ch) * h * w;
+      for (std::size_t oi = 0; oi < oh; ++oi) {
+        for (std::size_t oj = 0; oj < ow; ++oj, ++out_idx) {
+          float acc = 0.0f;
+          for (std::size_t ki = 0; ki < kernel_; ++ki)
+            for (std::size_t kj = 0; kj < kernel_; ++kj)
+              acc += plane[(oi * stride_ + ki) * w + (oj * stride_ + kj)];
+          out[out_idx] = acc * inv;
+        }
+      }
+    }
+  }
+}
+
 Tensor AvgPool2d::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   const Shape os = out_shape(x.shape());
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const std::size_t oh = os[2], ow = os[3];
@@ -169,7 +224,24 @@ Shape GlobalAvgPool::out_shape(const Shape& in) const {
   return {in[0], in[1]};
 }
 
+void GlobalAvgPool::forward_into(const Tensor& x, Tensor& out,
+                                 Workspace&) const {
+  const Shape os = out_shape(x.shape());
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const float inv = 1.0f / static_cast<float>(h * w);
+  out.resize(os);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.raw() + (i * c + ch) * h * w;
+      float acc = 0.0f;
+      for (std::size_t s = 0; s < h * w; ++s) acc += plane[s];
+      out[i * c + ch] = acc * inv;
+    }
+  }
+}
+
 Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   const Shape os = out_shape(x.shape());
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const float inv = 1.0f / static_cast<float>(h * w);

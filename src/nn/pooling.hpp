@@ -11,6 +11,7 @@ class MaxPool2d final : public Layer {
   explicit MaxPool2d(std::size_t kernel, std::size_t stride = 0);
 
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Shape out_shape(const Shape& in) const override;
@@ -29,6 +30,7 @@ class AvgPool2d final : public Layer {
   explicit AvgPool2d(std::size_t kernel, std::size_t stride = 0);
 
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Shape out_shape(const Shape& in) const override;
@@ -45,6 +47,7 @@ class GlobalAvgPool final : public Layer {
  public:
   GlobalAvgPool() = default;
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
   [[nodiscard]] Shape out_shape(const Shape& in) const override;

@@ -1,5 +1,6 @@
 #include "nn/sequential.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace einet::nn {
@@ -11,9 +12,38 @@ Sequential& Sequential::add(LayerPtr layer) {
 }
 
 Tensor Sequential::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   Tensor cur = x;
   for (auto& layer : layers_) cur = layer->forward(cur, train);
   return cur;
+}
+
+void Sequential::forward_into(const Tensor& x, Tensor& out,
+                              Workspace& ws) const {
+  if (layers_.empty()) {
+    out.resize(x.shape());
+    std::copy(x.raw(), x.raw() + x.numel(), out.raw());
+    return;
+  }
+  // Chain through workspace-borrowed intermediates; only the last layer
+  // writes into the caller's `out`.
+  const Tensor* cur = &x;
+  Tensor held;
+  bool has_held = false;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Layer& layer = *layers_[i];
+    if (i + 1 == layers_.size()) {
+      layer.forward_into(*cur, out, ws);
+    } else {
+      Tensor next = ws.take(layer.out_shape(cur->shape()));
+      layer.forward_into(*cur, next, ws);
+      if (has_held) ws.give(std::move(held));
+      held = std::move(next);
+      has_held = true;
+      cur = &held;
+    }
+  }
+  if (has_held) ws.give(std::move(held));
 }
 
 Tensor Sequential::backward(const Tensor& grad_out) {
@@ -90,7 +120,35 @@ std::size_t Residual::flops(const Shape& in) const {
   return total;
 }
 
+void Residual::forward_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  ScopedTensor body_out{ws, body_->out_shape(x.shape())};
+  body_->forward_into(x, body_out.get(), ws);
+  const Tensor* skip = &x;
+  Tensor skip_held;
+  if (shortcut_) {
+    skip_held = ws.take(shortcut_->out_shape(x.shape()));
+    shortcut_->forward_into(x, skip_held, ws);
+    skip = &skip_held;
+  }
+  if (skip->shape() != body_out.get().shape())
+    throw std::invalid_argument{"Residual: body output " +
+                                shape_str(body_out.get().shape()) +
+                                " does not match shortcut output " +
+                                shape_str(skip->shape())};
+  // Same arithmetic as forward(): add then ReLU-clamp.
+  out.resize(body_out.get().shape());
+  const float* bp = body_out.get().raw();
+  const float* sp = skip->raw();
+  float* op = out.raw();
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    const float v = bp[i] + sp[i];
+    op[i] = v > 0.0f ? v : 0.0f;
+  }
+  if (shortcut_) ws.give(std::move(skip_held));
+}
+
 Tensor Residual::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   Tensor y = body_->forward(x, train);
   const Tensor skip = shortcut_ ? shortcut_->forward(x, train) : x;
   y += skip;

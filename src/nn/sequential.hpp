@@ -23,6 +23,7 @@ class Sequential final : public Layer {
   }
 
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   std::vector<Tensor*> state() override;
@@ -47,6 +48,7 @@ class Residual final : public Layer {
   Residual(LayerPtr body, LayerPtr shortcut);
 
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   std::vector<Tensor*> state() override;

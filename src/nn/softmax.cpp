@@ -1,5 +1,6 @@
 #include "nn/softmax.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace einet::nn {
@@ -11,13 +12,22 @@ Shape Softmax::out_shape(const Shape& in) const {
 }
 
 Tensor Softmax::forward(const Tensor& x, bool train) {
+  if (!train) return eval(x);
   (void)out_shape(x.shape());
   Tensor y = x;
   const std::size_t rows = x.dim(0), cols = x.dim(1);
   for (std::size_t r = 0; r < rows; ++r)
     softmax_inplace({y.raw() + r * cols, cols});
-  if (train) cached_output_ = y;
+  cached_output_ = y;
   return y;
+}
+
+void Softmax::forward_into(const Tensor& x, Tensor& out, Workspace&) const {
+  out.resize(out_shape(x.shape()));
+  std::copy(x.raw(), x.raw() + x.numel(), out.raw());
+  const std::size_t rows = x.dim(0), cols = x.dim(1);
+  for (std::size_t r = 0; r < rows; ++r)
+    softmax_inplace({out.raw() + r * cols, cols});
 }
 
 Tensor Softmax::backward(const Tensor& grad_out) {

@@ -11,6 +11,7 @@ class Softmax final : public Layer {
  public:
   Softmax() = default;
   Tensor forward(const Tensor& x, bool train) override;
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   Tensor backward(const Tensor& grad_out) override;
   [[nodiscard]] std::string name() const override { return "Softmax"; }
   [[nodiscard]] Shape out_shape(const Shape& in) const override;

@@ -107,6 +107,11 @@ void Tensor::reshape(Shape new_shape) {
   shape_ = std::move(new_shape);
 }
 
+void Tensor::resize(Shape new_shape) {
+  data_.resize(shape_numel(new_shape));
+  shape_ = std::move(new_shape);
+}
+
 void Tensor::check_same_shape(const Tensor& other, const char* op) const {
   if (shape_ != other.shape_) {
     throw std::invalid_argument{std::string{"Tensor::"} + op +

@@ -77,6 +77,17 @@ class Tensor {
   void fill(float v);
   void zero() { fill(0.0f); }
 
+  // -- Storage reuse (workspace / arena path) --------------------------------
+  /// Floats the underlying storage can hold without reallocating.
+  [[nodiscard]] std::size_t capacity() const { return data_.capacity(); }
+  /// Grow the storage capacity (shape/contents unchanged).
+  void reserve(std::size_t floats) { data_.reserve(floats); }
+  /// Re-shape to `new_shape`, resizing storage to match. Unlike reshape(),
+  /// the element count may change; within capacity() no allocation happens.
+  /// Existing elements up to min(old, new) numel are preserved, grown
+  /// elements are zero — callers on the arena path overwrite everything.
+  void resize(Shape new_shape);
+
   /// Reinterpret the same data with a new shape (numel must match).
   [[nodiscard]] Tensor reshaped(Shape new_shape) const;
 

@@ -1,0 +1,78 @@
+#include "nn/workspace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace einet::nn {
+
+Tensor FreshWorkspace::take(Shape shape) { return Tensor{std::move(shape)}; }
+
+void FreshWorkspace::give(Tensor&& t) { Tensor discard{std::move(t)}; }
+
+void PooledWorkspace::prewarm(std::span<const std::size_t> block_floats) {
+  for (const std::size_t n : block_floats) {
+    if (n == 0) continue;
+    Tensor t;
+    t.reserve(n);
+    pool_.push_back(std::move(t));
+  }
+}
+
+Tensor PooledWorkspace::take(Shape shape) {
+  const std::size_t need = shape_numel(shape);
+  ++takes_;
+  if (recording_) record_.push_back(need);
+
+  // Best fit: smallest pooled capacity >= need; oldest first on ties so the
+  // match order is deterministic.
+  std::size_t best = pool_.size();
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    const std::size_t cap = pool_[i].capacity();
+    if (cap < need) continue;
+    if (best == pool_.size() || cap < pool_[best].capacity()) best = i;
+  }
+  Tensor t;
+  if (best < pool_.size()) {
+    t = std::move(pool_[best]);
+    pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(best));
+  } else {
+    ++misses_;
+  }
+  t.resize(std::move(shape));
+  loaned_floats_ += need;
+  loaned_capacity_ += t.capacity();
+  high_water_ = std::max(high_water_, loaned_floats_);
+  return t;
+}
+
+void PooledWorkspace::give(Tensor&& t) {
+  const std::size_t need = t.numel();
+  const std::size_t cap = t.capacity();
+  if (cap == 0) return;  // moved-from / empty: nothing to pool
+  loaned_floats_ -= std::min(loaned_floats_, need);
+  loaned_capacity_ -= std::min(loaned_capacity_, cap);
+  pool_.push_back(std::move(t));
+}
+
+void PooledWorkspace::begin_recording() {
+  recording_ = true;
+  record_.clear();
+}
+
+std::vector<std::size_t> PooledWorkspace::end_recording() {
+  recording_ = false;
+  return std::exchange(record_, {});
+}
+
+std::size_t PooledWorkspace::resident_bytes() const {
+  std::size_t floats = loaned_capacity_;
+  for (const Tensor& t : pool_) floats += t.capacity();
+  return floats * sizeof(float);
+}
+
+Workspace& default_workspace() {
+  thread_local FreshWorkspace ws;
+  return ws;
+}
+
+}  // namespace einet::nn

@@ -1,0 +1,119 @@
+// Temporary-tensor workspaces for the inference-mode eval kernels.
+//
+// Every Layer::forward_into() draws its intermediates (Sequential ping-pong
+// slabs, Conv2d im2col columns, Residual body outputs) from a Workspace
+// instead of allocating ad hoc. Two implementations:
+//
+//   * FreshWorkspace — take() heap-allocates, give() discards. This is the
+//     behaviour the pre-workspace eval path had (one malloc per temporary),
+//     and what default_workspace() hands to forward(x, /*train=*/false) so
+//     the legacy entry point is allocation-for-allocation unchanged.
+//   * PooledWorkspace — take() serves tensors from a capacity-keyed free
+//     list (best fit, deterministic), give() returns them. After a warm-up
+//     pass the pool reaches a steady state and take() never allocates again.
+//     The memplan profiler runs it in recording mode to learn each step's
+//     scratch requirement; memplan::InferenceArena pre-warms one with the
+//     planned block sizes so steady state starts at request #1.
+//
+// Borrow discipline: a tensor obtained from take() has unspecified contents
+// (pool reuse!) — the borrower must overwrite every element it later reads —
+// and must be returned with give() (or via ScopedTensor) before the
+// enclosing forward_into() returns.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace einet::nn {
+
+class Workspace {
+ public:
+  virtual ~Workspace() = default;
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Borrow a tensor of exactly `shape`. Contents are unspecified.
+  [[nodiscard]] virtual Tensor take(Shape shape) = 0;
+
+  /// Return a borrowed tensor (moved-from tensors are ignored).
+  virtual void give(Tensor&& t) = 0;
+};
+
+/// take() == new tensor, give() == free. Stateless; this is the legacy
+/// per-call allocation pattern behind forward(x, false).
+class FreshWorkspace final : public Workspace {
+ public:
+  [[nodiscard]] Tensor take(Shape shape) override;
+  void give(Tensor&& t) override;
+};
+
+/// Free-list pool. take() picks the smallest pooled tensor whose capacity
+/// fits (best fit; ties broken oldest-first), so a warm pool is hit
+/// deterministically. Counters expose warm-up behaviour to tests and the
+/// memplan profiler.
+class PooledWorkspace final : public Workspace {
+ public:
+  PooledWorkspace() = default;
+
+  /// Pre-allocate one pooled block per entry of `block_floats` (the
+  /// memplan scratch plan). A take() that fits a pre-warmed block is a hit.
+  void prewarm(std::span<const std::size_t> block_floats);
+
+  [[nodiscard]] Tensor take(Shape shape) override;
+  void give(Tensor&& t) override;
+
+  /// Start recording take() sizes (clears any previous recording).
+  void begin_recording();
+  /// Stop recording and return the recorded take() sizes, in call order.
+  [[nodiscard]] std::vector<std::size_t> end_recording();
+
+  /// take() calls that found no pooled block and had to allocate.
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t takes() const { return takes_; }
+  /// Bytes currently parked in the free list plus bytes out on loan —
+  /// the pool's resident footprint.
+  [[nodiscard]] std::size_t resident_bytes() const;
+  /// Peak sum of concurrently borrowed floats (the high-water mark).
+  [[nodiscard]] std::size_t high_water_floats() const { return high_water_; }
+
+ private:
+  std::vector<Tensor> pool_;  // free blocks, unordered; matched by capacity
+  std::size_t takes_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t loaned_floats_ = 0;   // capacity out on loan
+  std::size_t loaned_capacity_ = 0;
+  std::size_t high_water_ = 0;
+  bool recording_ = false;
+  std::vector<std::size_t> record_;
+};
+
+/// RAII borrow: takes on construction, gives back on destruction.
+class ScopedTensor {
+ public:
+  ScopedTensor(Workspace& ws, Shape shape)
+      : ws_(&ws), t_(ws.take(std::move(shape))) {}
+  ~ScopedTensor() { ws_->give(std::move(t_)); }
+  ScopedTensor(const ScopedTensor&) = delete;
+  ScopedTensor& operator=(const ScopedTensor&) = delete;
+
+  [[nodiscard]] Tensor& get() { return t_; }
+  [[nodiscard]] const Tensor& get() const { return t_; }
+  Tensor& operator*() { return t_; }
+  Tensor* operator->() { return &t_; }
+
+ private:
+  Workspace* ws_;
+  Tensor t_;
+};
+
+/// Thread-local FreshWorkspace backing the Layer::eval() / forward(x, false)
+/// convenience path. Fresh (not pooled) on purpose: the legacy eval entry
+/// points keep their historical allocation behaviour; pooling is an opt-in
+/// property of an arena-backed engine.
+[[nodiscard]] Workspace& default_workspace();
+
+}  // namespace einet::nn

@@ -7,7 +7,7 @@
 
 namespace einet::predictor {
 
-ActivationCacheSession::ActivationCacheSession(CSPredictor& predictor)
+ActivationCacheSession::ActivationCacheSession(const CSPredictor& predictor)
     : predictor_(&predictor) {
   reset();
 }

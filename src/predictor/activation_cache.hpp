@@ -21,7 +21,9 @@ class ActivationCacheSession {
  public:
   /// Binds to the predictor's current weights. The predictor must outlive
   /// the session and must not be retrained while a session is active.
-  explicit ActivationCacheSession(CSPredictor& predictor);
+  /// Takes a const reference: sessions only read the weights, so many
+  /// sessions (one per worker replica) can share one predictor.
+  explicit ActivationCacheSession(const CSPredictor& predictor);
 
   /// Record that exit `index` produced confidence `value` (or replace a
   /// previously pushed value for the same index).
@@ -47,7 +49,7 @@ class ActivationCacheSession {
   }
 
  private:
-  CSPredictor* predictor_;
+  const CSPredictor* predictor_;
   std::vector<float> preact_;  // b1 + sum_i W1[:, i] * input_[i]
   std::vector<float> input_;
 };

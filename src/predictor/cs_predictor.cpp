@@ -127,17 +127,18 @@ void CSPredictor::load_weights(const std::string& path) {
   nn::load_params_file(path, params());
 }
 
-std::vector<float> CSPredictor::forward_raw(std::span<const float> input) {
+std::vector<float> CSPredictor::forward_raw(
+    std::span<const float> input) const {
   if (input.size() != num_exits_)
     throw std::invalid_argument{"CSPredictor::forward_raw: bad input size"};
   nn::Tensor x{{std::size_t{1}, num_exits_},
                std::vector<float>{input.begin(), input.end()}};
-  const nn::Tensor out = net_.forward(x, /*train=*/false);
+  const nn::Tensor out = net_.eval(x);
   return {out.raw(), out.raw() + num_exits_};
 }
 
 std::vector<float> CSPredictor::predict(std::span<const float> observed,
-                                        std::size_t executed) {
+                                        std::size_t executed) const {
   if (observed.size() != num_exits_)
     throw std::invalid_argument{"CSPredictor::predict: bad input size"};
   if (executed > num_exits_)

@@ -61,14 +61,17 @@ class CSPredictor {
   float train(const PredictorDataset& dataset);
 
   /// Raw MLP output for a full-length input vector (no masking).
-  [[nodiscard]] std::vector<float> forward_raw(std::span<const float> input);
+  /// const: runs the eval kernels only, so a trained predictor can be shared
+  /// read-only across worker replicas.
+  [[nodiscard]] std::vector<float> forward_raw(
+      std::span<const float> input) const;
 
   /// Equation-(1) prediction: `observed` is the full-length list whose first
   /// `executed` entries hold real (or nearest-previous-filled) scores and
   /// whose remainder is zero. Returns O' — observed entries passed through,
   /// predicted entries for the rest, clamped to [0, 1].
   [[nodiscard]] std::vector<float> predict(std::span<const float> observed,
-                                           std::size_t executed);
+                                           std::size_t executed) const;
 
   [[nodiscard]] std::size_t num_exits() const { return num_exits_; }
   [[nodiscard]] std::size_t hidden() const { return config_.hidden; }

@@ -1,5 +1,6 @@
 #include "runtime/batched_engine.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -47,31 +48,50 @@ struct SampleState {
   InferenceOutcome out;
 };
 
+const models::MultiExitNetwork& require_net(
+    const std::shared_ptr<const models::MultiExitNetwork>& net) {
+  if (!net) throw std::invalid_argument{"BatchedLiveEngine: null network"};
+  return *net;
+}
+
 }  // namespace
 
-BatchedLiveEngine::BatchedLiveEngine(models::MultiExitNetwork& net,
+BatchedLiveEngine::BatchedLiveEngine(const models::MultiExitNetwork& net,
                                      const profiling::ETProfile& et,
-                                     predictor::CSPredictor* predictor,
+                                     const predictor::CSPredictor* predictor,
                                      const ElasticConfig& config)
-    : net_(net),
+    : net_(&net),
       et_(et),
       predictor_(predictor),
       config_(config),
       search_engine_(config.search) {
   et_.validate();
-  if (et_.num_blocks() != net_.num_exits())
+  if (et_.num_blocks() != net_->num_exits())
     throw std::invalid_argument{
         "BatchedLiveEngine: ET-profile does not match network"};
   if (predictor_ == nullptr)
     throw std::invalid_argument{"BatchedLiveEngine: predictor required"};
-  if (predictor_->num_exits() != net_.num_exits())
+  if (predictor_->num_exits() != net_->num_exits())
     throw std::invalid_argument{
         "BatchedLiveEngine: predictor exit count mismatch"};
 }
 
+BatchedLiveEngine::BatchedLiveEngine(
+    std::shared_ptr<const models::MultiExitNetwork> net,
+    const profiling::ETProfile& et,
+    std::shared_ptr<const predictor::CSPredictor> predictor,
+    const ElasticConfig& config,
+    std::shared_ptr<const memplan::MemoryPlan> plan)
+    : BatchedLiveEngine(require_net(net), et, predictor.get(), config) {
+  net_owner_ = std::move(net);
+  predictor_owner_ = std::move(predictor);
+  if (plan)
+    arena_ = std::make_unique<memplan::InferenceArena>(std::move(plan));
+}
+
 std::vector<InferenceOutcome> BatchedLiveEngine::run_batched(
     std::span<const BatchItem> items, const core::TimeDistribution& dist) {
-  const std::size_t n = net_.num_exits();
+  const std::size_t n = net_->num_exits();
   const std::size_t batch = items.size();
   if (batch == 0) return {};
 
@@ -151,10 +171,13 @@ std::vector<InferenceOutcome> BatchedLiveEngine::run_batched(
 
     {
       // The tentpole: one conv part over every surviving member at once.
+      // The stacked (B, C, H, W) tensor stays heap-allocated even when an
+      // arena is attached — the plan is sized for batch = 1 and B shrinks
+      // at every eviction boundary.
       EINET_SPAN(conv_span, "runtime.conv", kRuntime);
       conv_span.exit(static_cast<std::int64_t>(i))
           .value(static_cast<double>(alive.size()));
-      features = net_.run_conv_part(i, features);
+      features = net_->run_conv_part(i, features);
     }
 
     for (std::size_t r = 0; r < alive.size(); ++r) {
@@ -182,10 +205,32 @@ std::vector<InferenceOutcome> BatchedLiveEngine::run_batched(
         EINET_SPAN(branch_span, "runtime.branch", kRuntime);
         branch_span.exit(static_cast<std::int64_t>(i))
             .slack(kill_slack(st.kill, st.t));
-        const nn::Tensor fslice = nn::slice_row(features, r);
-        const nn::Tensor logits = net_.run_branch(i, fslice);
+        // Planned path: the row slice lands in the batch=1 feature slot the
+        // plan sized for exactly this (1, C, H, W) map, and the branch
+        // writes its logits slot using pooled layer scratch. Unplanned path:
+        // both are fresh allocations (legacy behavior).
+        nn::Tensor fslice_local;
+        const nn::Tensor* fslice = &fslice_local;
+        nn::Tensor logits_local;
+        const nn::Tensor* logits = &logits_local;
+        if (arena_) {
+          const nn::Shape& chw = net_->feature_shape(i + 1);
+          nn::Shape nchw{1};
+          nchw.insert(nchw.end(), chw.begin(), chw.end());
+          nn::Tensor& slot = arena_->feature(i + 1, std::move(nchw));
+          const std::size_t stride = slot.numel();
+          std::copy(features.raw() + r * stride,
+                    features.raw() + (r + 1) * stride, slot.raw());
+          fslice = &slot;
+          nn::Tensor& lg = arena_->logits(i, {1, net_->num_classes()});
+          net_->run_branch_into(i, *fslice, lg, arena_->workspace());
+          logits = &lg;
+        } else {
+          fslice_local = nn::slice_row(features, r);
+          logits_local = net_->run_branch(i, fslice_local);
+        }
         const auto probs = nn::softmax(
-            std::span<const float>{logits.raw(), logits.numel()});
+            std::span<const float>{logits->raw(), logits->numel()});
         const std::size_t pred_class = nn::span_argmax(probs);
         st.last_conf = probs[pred_class];
         st.session->push(i, st.last_conf);

@@ -18,10 +18,12 @@
 // enforces this bit-for-bit.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "models/multiexit.hpp"
+#include "nn/memplan/arena.hpp"
 #include "predictor/activation_cache.hpp"
 #include "runtime/elastic_engine.hpp"
 
@@ -43,24 +45,54 @@ class BatchedLiveEngine {
  public:
   /// Same contract as LiveElasticEngine: `net`, `et` and `predictor` must
   /// agree on the exit count; the predictor is required (planning input).
-  BatchedLiveEngine(models::MultiExitNetwork& net,
+  /// Borrowing constructor (legacy): the caller keeps `net` / `predictor`
+  /// alive for the engine's lifetime; all activations are heap-allocated.
+  BatchedLiveEngine(const models::MultiExitNetwork& net,
                     const profiling::ETProfile& et,
-                    predictor::CSPredictor* predictor,
+                    const predictor::CSPredictor* predictor,
                     const ElasticConfig& config);
+
+  /// Shared-model constructor: many engines share one immutable network +
+  /// predictor. When `plan` is non-null the per-sample branch path (row
+  /// slice, branch logits, branch-layer scratch) draws from a per-engine
+  /// InferenceArena; the *stacked* (B, C, H, W) conv tensors stay
+  /// heap-allocated because the plan is sized for batch = 1 and the live
+  /// batch width changes at every eviction boundary.
+  BatchedLiveEngine(std::shared_ptr<const models::MultiExitNetwork> net,
+                    const profiling::ETProfile& et,
+                    std::shared_ptr<const predictor::CSPredictor> predictor,
+                    const ElasticConfig& config,
+                    std::shared_ptr<const memplan::MemoryPlan> plan = nullptr);
+
+  /// Bytes of planned activation + scratch storage this engine holds
+  /// (0 when running unplanned).
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return arena_ ? arena_->bytes() : 0;
+  }
+  /// Planned-path scratch takes that missed the pre-warmed pool.
+  [[nodiscard]] std::size_t arena_scratch_overflows() const {
+    return arena_ ? arena_->scratch_overflows() : 0;
+  }
 
   /// Run every item to its forced exit, sharing each block's conv part over
   /// one stacked tensor. Returns one outcome per item, in item order.
   [[nodiscard]] std::vector<InferenceOutcome> run_batched(
       std::span<const BatchItem> items, const core::TimeDistribution& dist);
 
-  [[nodiscard]] std::size_t num_exits() const { return net_.num_exits(); }
+  [[nodiscard]] std::size_t num_exits() const { return net_->num_exits(); }
 
  private:
-  models::MultiExitNetwork& net_;
+  const models::MultiExitNetwork* net_;
   profiling::ETProfile et_;
-  predictor::CSPredictor* predictor_;
+  const predictor::CSPredictor* predictor_;
   ElasticConfig config_;
   core::SearchEngine search_engine_;
+  // Shared ownership (null when constructed with borrowed references).
+  std::shared_ptr<const models::MultiExitNetwork> net_owner_;
+  std::shared_ptr<const predictor::CSPredictor> predictor_owner_;
+  // Per-engine planned storage for the per-sample branch path; null =
+  // unplanned.
+  std::unique_ptr<memplan::InferenceArena> arena_;
 };
 
 }  // namespace einet::runtime

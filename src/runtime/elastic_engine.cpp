@@ -8,7 +8,7 @@
 namespace einet::runtime {
 
 ElasticEngine::ElasticEngine(const profiling::ETProfile& et,
-                             predictor::CSPredictor* predictor,
+                             const predictor::CSPredictor* predictor,
                              const ElasticConfig& config,
                              std::vector<float> fallback_confidence)
     : et_(et),

@@ -67,8 +67,11 @@ class ElasticEngine {
  public:
   /// `predictor` supplies O' during planning; pass nullptr to plan from
   /// `fallback_confidence` (e.g. the profile's mean confidences) instead.
+  /// The predictor is only read (predict() is const), so one trained
+  /// predictor can back many engines.
   ElasticEngine(const profiling::ETProfile& et,
-                predictor::CSPredictor* predictor, const ElasticConfig& config,
+                const predictor::CSPredictor* predictor,
+                const ElasticConfig& config,
                 std::vector<float> fallback_confidence = {});
 
   /// EINet inference for one sample (replay mode).
@@ -127,7 +130,7 @@ class ElasticEngine {
       std::size_t upto) const;
 
   profiling::ETProfile et_;
-  predictor::CSPredictor* predictor_;
+  const predictor::CSPredictor* predictor_;
   ElasticConfig config_;
   std::vector<float> fallback_confidence_;
   core::SearchEngine search_engine_;

@@ -8,24 +8,47 @@
 
 namespace einet::runtime {
 
-LiveElasticEngine::LiveElasticEngine(models::MultiExitNetwork& net,
+namespace {
+
+const models::MultiExitNetwork& require_net(
+    const std::shared_ptr<const models::MultiExitNetwork>& net) {
+  if (!net) throw std::invalid_argument{"LiveElasticEngine: null network"};
+  return *net;
+}
+
+}  // namespace
+
+LiveElasticEngine::LiveElasticEngine(const models::MultiExitNetwork& net,
                                      const profiling::ETProfile& et,
-                                     predictor::CSPredictor* predictor,
+                                     const predictor::CSPredictor* predictor,
                                      const ElasticConfig& config)
-    : net_(net),
+    : net_(&net),
       et_(et),
       predictor_(predictor),
       config_(config),
       search_engine_(config.search) {
   et_.validate();
-  if (et_.num_blocks() != net_.num_exits())
+  if (et_.num_blocks() != net_->num_exits())
     throw std::invalid_argument{
         "LiveElasticEngine: ET-profile does not match network"};
   if (predictor_ == nullptr)
     throw std::invalid_argument{"LiveElasticEngine: predictor required"};
-  if (predictor_->num_exits() != net_.num_exits())
+  if (predictor_->num_exits() != net_->num_exits())
     throw std::invalid_argument{
         "LiveElasticEngine: predictor exit count mismatch"};
+}
+
+LiveElasticEngine::LiveElasticEngine(
+    std::shared_ptr<const models::MultiExitNetwork> net,
+    const profiling::ETProfile& et,
+    std::shared_ptr<const predictor::CSPredictor> predictor,
+    const ElasticConfig& config,
+    std::shared_ptr<const memplan::MemoryPlan> plan)
+    : LiveElasticEngine(require_net(net), et, predictor.get(), config) {
+  net_owner_ = std::move(net);
+  predictor_owner_ = std::move(predictor);
+  if (plan)
+    arena_ = std::make_unique<memplan::InferenceArena>(std::move(plan));
 }
 
 core::ExitPlan LiveElasticEngine::initial_plan(
@@ -55,7 +78,12 @@ bool LiveElasticEngine::run_range(std::size_t begin, std::size_t end,
                                   InferenceOutcome& out, KillPolicy& kill,
                                   const core::TimeDistribution& dist,
                                   const BlockHook* hook) {
-  const std::size_t n = net_.num_exits();
+  const std::size_t n = net_->num_exits();
+  // Planned path: `cur` walks arena feature slots; `features` is only
+  // written back on normal completion (run_prefix ships it to the edge).
+  // Unplanned path: `cur` stays on `features` and each step reassigns it,
+  // exactly the legacy allocation pattern.
+  const nn::Tensor* cur = &features;
   for (std::size_t i = begin; i < end; ++i) {
     t += et_.conv_ms[i];
     if (hook != nullptr && *hook) (*hook)(i, t);
@@ -69,7 +97,16 @@ bool LiveElasticEngine::run_range(std::size_t begin, std::size_t end,
     {
       EINET_SPAN(conv_span, "runtime.conv", kRuntime);
       conv_span.exit(static_cast<std::int64_t>(i)).slack(kill.slack(t));
-      features = net_.run_conv_part(i, features);
+      if (arena_) {
+        const nn::Shape& chw = net_->feature_shape(i + 1);
+        nn::Shape nchw{1};
+        nchw.insert(nchw.end(), chw.begin(), chw.end());
+        nn::Tensor& next = arena_->feature(i + 1, std::move(nchw));
+        net_->run_conv_part_into(i, *cur, next, arena_->workspace());
+        cur = &next;
+      } else {
+        features = net_->run_conv_part(i, features);
+      }
     }
 
     if (!plan.executes(i)) {
@@ -91,9 +128,17 @@ bool LiveElasticEngine::run_range(std::size_t begin, std::size_t end,
     {
       EINET_SPAN(branch_span, "runtime.branch", kRuntime);
       branch_span.exit(static_cast<std::int64_t>(i)).slack(kill.slack(t));
-      const nn::Tensor logits = net_.run_branch(i, features);
+      nn::Tensor logits_local;
+      const nn::Tensor* logits = &logits_local;
+      if (arena_) {
+        nn::Tensor& lg = arena_->logits(i, {1, net_->num_classes()});
+        net_->run_branch_into(i, *cur, lg, arena_->workspace());
+        logits = &lg;
+      } else {
+        logits_local = net_->run_branch(i, *cur);
+      }
       const auto probs = nn::softmax(
-          std::span<const float>{logits.raw(), logits.numel()});
+          std::span<const float>{logits->raw(), logits->numel()});
       const std::size_t pred_class = nn::span_argmax(probs);
       last_conf = probs[pred_class];
       session.push(i, last_conf);
@@ -124,6 +169,9 @@ bool LiveElasticEngine::run_range(std::size_t begin, std::size_t end,
                     .slack_ms = kill.slack(t), .value = res.search_ms);
     }
   }
+  // Export the final feature map out of the arena: the slot will be reused
+  // by the next request, but run_prefix ships `features` to the edge.
+  if (arena_ && cur != &features) features = *cur;
   return true;
 }
 
@@ -135,7 +183,7 @@ InferenceOutcome LiveElasticEngine::run_impl(const nn::Tensor& image,
                                              const BlockHook* hook) {
   if (image.rank() != 3)
     throw std::invalid_argument{"LiveElasticEngine::run: image must be CHW"};
-  const std::size_t n = net_.num_exits();
+  const std::size_t n = net_->num_exits();
 
   InferenceOutcome out;
   out.deadline_ms = kill.outcome_deadline(0.0);
@@ -179,7 +227,7 @@ SplitPrefixResult LiveElasticEngine::run_prefix(
   if (image.rank() != 3)
     throw std::invalid_argument{
         "LiveElasticEngine::run_prefix: image must be CHW"};
-  const std::size_t n = net_.num_exits();
+  const std::size_t n = net_->num_exits();
   if (split_block > n)
     throw std::invalid_argument{
         "LiveElasticEngine::run_prefix: split_block out of range"};
@@ -234,7 +282,7 @@ InferenceOutcome LiveElasticEngine::run_resume(
     const nn::Tensor& activation, std::size_t label, std::size_t start_block,
     const SplitState& state, double deadline_ms,
     const core::TimeDistribution& dist) {
-  const std::size_t n = net_.num_exits();
+  const std::size_t n = net_->num_exits();
   if (start_block >= n)
     throw std::invalid_argument{
         "LiveElasticEngine::run_resume: start_block out of range"};
@@ -245,7 +293,7 @@ InferenceOutcome LiveElasticEngine::run_resume(
     throw std::invalid_argument{
         "LiveElasticEngine::run_resume: session snapshot does not match "
         "start_block"};
-  const nn::Shape& expect = net_.feature_shape(start_block);
+  const nn::Shape& expect = net_->feature_shape(start_block);
   if (activation.numel() != nn::shape_numel(expect))
     throw std::invalid_argument{
         "LiveElasticEngine::run_resume: activation has " +

@@ -12,7 +12,10 @@
 // the resumed run to be bit-identical to a single-process run().
 #pragma once
 
+#include <memory>
+
 #include "models/multiexit.hpp"
+#include "nn/memplan/arena.hpp"
 #include "predictor/activation_cache.hpp"
 #include "runtime/elastic_engine.hpp"
 #include "runtime/split_state.hpp"
@@ -36,10 +39,35 @@ struct SplitPrefixResult {
 
 class LiveElasticEngine {
  public:
-  LiveElasticEngine(models::MultiExitNetwork& net,
+  /// Borrowing constructor (legacy): the caller keeps `net` / `predictor`
+  /// alive for the engine's lifetime. Unplanned activation memory (every
+  /// conv part / branch output is a fresh allocation).
+  LiveElasticEngine(const models::MultiExitNetwork& net,
                     const profiling::ETProfile& et,
-                    predictor::CSPredictor* predictor,
+                    const predictor::CSPredictor* predictor,
                     const ElasticConfig& config);
+
+  /// Shared-model constructor: many engines (one per worker) share one
+  /// immutable network + predictor; each engine owns its per-worker
+  /// InferenceArena when `plan` is non-null, drawing conv/branch outputs and
+  /// layer scratch from planned storage instead of per-call allocations.
+  /// Outcomes are bit-identical to the unplanned path (same eval kernels).
+  LiveElasticEngine(std::shared_ptr<const models::MultiExitNetwork> net,
+                    const profiling::ETProfile& et,
+                    std::shared_ptr<const predictor::CSPredictor> predictor,
+                    const ElasticConfig& config,
+                    std::shared_ptr<const memplan::MemoryPlan> plan = nullptr);
+
+  /// Bytes of planned activation + scratch storage this engine holds
+  /// (0 when running unplanned).
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return arena_ ? arena_->bytes() : 0;
+  }
+  /// Planned-path scratch takes that missed the pre-warmed pool (0 when
+  /// unplanned or when the plan matches the network).
+  [[nodiscard]] std::size_t arena_scratch_overflows() const {
+    return arena_ ? arena_->scratch_overflows() : 0;
+  }
 
   /// Run one sample (CHW image + label) to its forced exit.
   [[nodiscard]] InferenceOutcome run(const nn::Tensor& image,
@@ -98,11 +126,16 @@ class LiveElasticEngine {
                  InferenceOutcome& out, KillPolicy& kill,
                  const core::TimeDistribution& dist, const BlockHook* hook);
 
-  models::MultiExitNetwork& net_;
+  const models::MultiExitNetwork* net_;
   profiling::ETProfile et_;
-  predictor::CSPredictor* predictor_;
+  const predictor::CSPredictor* predictor_;
   ElasticConfig config_;
   core::SearchEngine search_engine_;
+  // Shared ownership (null when constructed with borrowed references).
+  std::shared_ptr<const models::MultiExitNetwork> net_owner_;
+  std::shared_ptr<const predictor::CSPredictor> predictor_owner_;
+  // Per-engine planned activation storage; null = unplanned path.
+  std::unique_ptr<memplan::InferenceArena> arena_;
 };
 
 }  // namespace einet::runtime

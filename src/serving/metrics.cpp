@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/json.hpp"
+#include "util/memory.hpp"
 #include "util/table.hpp"
 
 namespace einet::serving {
@@ -83,6 +84,18 @@ std::string MetricsSnapshot::to_string() const {
                 util::Table::num(assembler_wait.p50_ms, 3),
                 util::Table::num(assembler_wait.p95_ms, 3)});
     out << bt.str();
+  }
+
+  if (has_memory) {
+    util::Table mem{{"memory", "workers", "weights MiB", "arena/worker MiB",
+                     "planned MiB", "rss MiB"}};
+    const auto mib = [](std::uint64_t b) {
+      return util::Table::num(static_cast<double>(b) / (1024.0 * 1024.0), 2);
+    };
+    mem.add_row({"planned", std::to_string(memory.workers),
+                 mib(memory.weight_bytes), mib(memory.bytes_per_worker),
+                 mib(memory.planned_total_bytes), mib(rss_bytes)});
+    out << mem.str();
   }
   return out.str();
 }
@@ -166,6 +179,16 @@ std::string MetricsSnapshot::to_json() const {
   dimension("size", batch_size);
   dimension("assembler_wait_ms", assembler_wait);
   json.end_object();
+  json.kv("rss_bytes", rss_bytes);
+  if (has_memory) {
+    json.key("memory");
+    json.begin_object();
+    json.kv("workers", memory.workers);
+    json.kv("weight_bytes", memory.weight_bytes);
+    json.kv("bytes_per_worker", memory.bytes_per_worker);
+    json.kv("planned_total_bytes", memory.planned_total_bytes);
+    json.end_object();
+  }
   json.end_object();
   return out.str();
 }
@@ -255,6 +278,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.has_slo = true;
     snap.slo = slo_->snapshot();
   }
+  if (has_memory_) {
+    snap.has_memory = true;
+    snap.memory = memory_;
+  }
+  snap.rss_bytes = util::current_rss_bytes();
   std::lock_guard lock{latency_mu_};
   snap.queue_wait = summarize(queue_wait_);
   snap.end_to_end = summarize(end_to_end_);

@@ -50,6 +50,22 @@ struct LatencySummary {
   std::size_t percentile_samples = 0;
 };
 
+/// Static memory accounting for a memory-planned deployment (DESIGN.md §15):
+/// one immutable weight copy shared by every worker plus one activation
+/// arena per worker. Set once via MetricsRegistry::set_memory before serving
+/// starts; the planner-side byte counts are exact (not sampled).
+struct MemoryGauges {
+  std::uint64_t workers = 0;
+  /// Bytes of the single shared weight copy (network + predictor params and
+  /// persistent state buffers).
+  std::uint64_t weight_bytes = 0;
+  /// Planned activation + scratch bytes each worker's arena holds.
+  std::uint64_t bytes_per_worker = 0;
+  /// weight_bytes + workers * bytes_per_worker — the deployment's planned
+  /// steady-state model memory.
+  std::uint64_t planned_total_bytes = 0;
+};
+
 struct MetricsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
@@ -98,6 +114,12 @@ struct MetricsSnapshot {
   /// Wall-clock ms each member spent in the assembler before its batch
   /// sealed (bypass members report ~0).
   LatencySummary assembler_wait;
+  /// Present when set_memory was called (memory-planned deployment).
+  bool has_memory = false;
+  MemoryGauges memory;
+  /// Process RSS sampled at snapshot time (0 when the platform cannot
+  /// report it). Always present — useful even without a memory plan.
+  std::uint64_t rss_bytes = 0;
 
   /// Human-readable dump (counter table + latency rows).
   [[nodiscard]] std::string to_string() const;
@@ -138,6 +160,14 @@ class MetricsRegistry {
   void attach_slo(obs::telemetry::SloMonitor* slo) { slo_ = slo; }
   [[nodiscard]] obs::telemetry::SloMonitor* slo() const { return slo_; }
 
+  /// Publish the deployment's static memory accounting (weights shared
+  /// across workers, one arena per worker). Call before serving starts —
+  /// like attach_slo, the field is unsynchronized by design.
+  void set_memory(const MemoryGauges& gauges) {
+    memory_ = gauges;
+    has_memory_ = true;
+  }
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
@@ -175,6 +205,8 @@ class MetricsRegistry {
   [[nodiscard]] static LatencySummary summarize(const LatencyTrack& track);
 
   obs::telemetry::SloMonitor* slo_ = nullptr;
+  bool has_memory_ = false;
+  MemoryGauges memory_;
 
   mutable std::mutex latency_mu_;
   LatencyTrack queue_wait_;

@@ -1,40 +1,92 @@
 #include "serving/replicate.hpp"
 
-#include <sstream>
+#include <stdexcept>
 #include <utility>
 
-#include "nn/serialize.hpp"
+#include "nn/memplan/profile.hpp"
 
 namespace einet::serving {
+
+namespace {
+
+/// Exact bytes of the tensors behind a parameter / state-buffer list.
+std::size_t tensor_bytes(const std::vector<nn::Param*>& params,
+                         const std::vector<nn::Tensor*>& state) {
+  std::size_t bytes = 0;
+  for (const nn::Param* p : params) bytes += p->value.numel() * sizeof(float);
+  for (const nn::Tensor* t : state) bytes += t->numel() * sizeof(float);
+  return bytes;
+}
+
+}  // namespace
 
 std::unique_ptr<predictor::CSPredictor> clone_predictor(
     predictor::CSPredictor& source) {
   auto clone = std::make_unique<predictor::CSPredictor>(source.num_exits(),
                                                         source.config());
-  std::stringstream buffer;
-  nn::save_params(buffer, source.params());
-  nn::load_params(buffer, clone->params());
+  // Direct tensor copies: bit-identical weights, no text round-trip. (The
+  // previous stringstream save/load path round-tripped floats through
+  // decimal formatting — lossy for values whose shortest decimal form does
+  // not parse back exactly.)
+  const std::vector<nn::Param*> src = source.params();
+  const std::vector<nn::Param*> dst = clone->params();
+  if (src.size() != dst.size())
+    throw std::logic_error{"clone_predictor: parameter list mismatch"};
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i]->value.numel() != dst[i]->value.numel())
+      throw std::logic_error{"clone_predictor: parameter shape mismatch"};
+    dst[i]->value = src[i]->value;
+  }
   return clone;
+}
+
+SharedModel freeze_model(models::MultiExitNetwork&& net,
+                         std::unique_ptr<predictor::CSPredictor> predictor) {
+  if (predictor == nullptr)
+    throw std::invalid_argument{"freeze_model: predictor required"};
+  SharedModel model;
+  // Byte accounting and the activation profile both need mutable access
+  // (params() is non-const), so they run before the weights freeze.
+  model.weight_bytes = tensor_bytes(net.params(), net.state()) +
+                       tensor_bytes(predictor->params(), {});
+  model.plan =
+      std::make_shared<const memplan::MemoryPlan>(memplan::plan_for(net));
+  model.net =
+      std::make_shared<const models::MultiExitNetwork>(std::move(net));
+  model.predictor = std::shared_ptr<const predictor::CSPredictor>{
+      std::move(predictor)};
+  return model;
+}
+
+std::vector<std::unique_ptr<runtime::LiveElasticEngine>> make_worker_engines(
+    const SharedModel& model, const profiling::ETProfile& et,
+    const runtime::ElasticConfig& config, std::size_t workers) {
+  if (!model.net || !model.predictor)
+    throw std::invalid_argument{"make_worker_engines: model not frozen"};
+  std::vector<std::unique_ptr<runtime::LiveElasticEngine>> engines;
+  engines.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    engines.push_back(std::make_unique<runtime::LiveElasticEngine>(
+        model.net, et, model.predictor, config, model.plan));
+  return engines;
 }
 
 EngineFactory make_replicated_engine_factory(
     const profiling::ETProfile& et, predictor::CSPredictor* predictor,
     const runtime::ElasticConfig& config,
     std::vector<float> fallback_confidence) {
-  // The clones must outlive the engines that point at them; parking them in
-  // a shared_ptr owned by the factory closure ties their lifetime to the
-  // WorkerPool that copied the factory.
-  auto clones =
-      std::make_shared<std::vector<std::unique_ptr<predictor::CSPredictor>>>();
-  return [&et, predictor, config, clones,
+  // The factory owns everything its engines point at: a private copy of the
+  // ET profile and ONE shared predictor clone (predict() is const and
+  // stateless since the eval-kernel refactor, so workers share it
+  // race-free). shared_ptr captures keep both alive for as long as any copy
+  // of the factory — and therefore the WorkerPool that copied it — lives.
+  auto et_copy = std::make_shared<const profiling::ETProfile>(et);
+  std::shared_ptr<const predictor::CSPredictor> shared;
+  if (predictor != nullptr) shared = clone_predictor(*predictor);
+  return [et_copy, shared, config,
           fallback = std::move(fallback_confidence)](std::size_t) {
-    predictor::CSPredictor* replica = nullptr;
-    if (predictor != nullptr) {
-      clones->push_back(clone_predictor(*predictor));
-      replica = clones->back().get();
-    }
-    return std::make_unique<runtime::ElasticEngine>(et, replica, config,
-                                                    fallback);
+    return std::make_unique<runtime::ElasticEngine>(*et_copy, shared.get(),
+                                                    config, fallback);
   };
 }
 

@@ -1,35 +1,93 @@
-// Per-worker engine replication.
+// Per-worker engine replication and shared-model freezing.
 //
 // The serving determinism contract requires every worker to plan with
-// identical predictor weights while no two workers share mutable nn state
-// (forward passes cache activations inside the layers). clone_predictor
-// deep-copies a trained CS-Predictor through an in-memory weight
-// round-trip; make_replicated_engine_factory packages that into the
-// WorkerPool's EngineFactory, keeping each clone alive for as long as the
-// factory (and therefore the pool that copied it) lives.
+// identical predictor weights. Historically that meant one deep predictor
+// clone *per worker* (forward passes used to cache activations inside the
+// layers); since the forward_into eval-kernel refactor the stepwise
+// inference path is const and touches no layer state, so N workers can now
+// share ONE immutable weight copy. freeze_model packages a trained network
+// + predictor into that shared read-only form together with its activation
+// MemoryPlan, and SharedModel::bytes_for gives the deployment's planned
+// steady-state memory: weight_bytes + workers * arena_bytes.
+//
+// make_replicated_engine_factory keeps the replay-mode WorkerPool working:
+// the factory owns (shared) copies of everything it needs, so it stays valid
+// even when the ET profile or source predictor it was built from dies first
+// — a regression an earlier by-reference capture turned into a
+// use-after-free (tests/test_serving.cpp pins the fix).
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "models/multiexit.hpp"
+#include "nn/memplan/budget.hpp"
+#include "nn/memplan/plan.hpp"
 #include "predictor/cs_predictor.hpp"
+#include "runtime/live_engine.hpp"
 #include "serving/worker_pool.hpp"
 
 namespace einet::serving {
 
-/// Deep-copy a trained CS-Predictor (same architecture, identical weights).
-/// `source` is non-const only because parameter access is non-const; it is
-/// not modified.
+/// Deep-copy a trained CS-Predictor (same architecture, bit-identical
+/// weights; direct tensor copies, no serialization round-trip). `source` is
+/// non-const only because parameter access is non-const; it is not modified.
 [[nodiscard]] std::unique_ptr<predictor::CSPredictor> clone_predictor(
     predictor::CSPredictor& source);
 
-/// EngineFactory producing one ElasticEngine replica per worker, each backed
-/// by a private clone of `predictor`. Pass predictor == nullptr for
+/// One immutable model every worker shares: network + predictor weights are
+/// frozen behind const, the activation MemoryPlan sizes each worker's
+/// private InferenceArena, and weight_bytes is the exact byte count of the
+/// single shared weight copy (params + persistent state buffers of both the
+/// network and the predictor).
+struct SharedModel {
+  std::shared_ptr<const models::MultiExitNetwork> net;
+  std::shared_ptr<const predictor::CSPredictor> predictor;
+  std::shared_ptr<const memplan::MemoryPlan> plan;
+  std::size_t weight_bytes = 0;
+
+  /// Planned activation + scratch bytes of one worker's arena.
+  [[nodiscard]] std::size_t arena_bytes() const {
+    return plan ? plan->arena_bytes() : 0;
+  }
+  /// Planned steady-state model memory for `workers` workers: one weight
+  /// copy plus one arena each.
+  [[nodiscard]] std::size_t bytes_for(std::size_t workers) const {
+    return weight_bytes + workers * arena_bytes();
+  }
+  /// Pick the worker count a byte budget affords (memplan::fit_budget over
+  /// this model's weight / arena sizes).
+  [[nodiscard]] memplan::BudgetPlan fit_budget(
+      std::size_t budget_bytes, std::size_t max_workers = 0) const {
+    return memplan::fit_budget(budget_bytes, weight_bytes, arena_bytes(),
+                               max_workers);
+  }
+};
+
+/// Freeze a trained network + predictor into the shared read-only form:
+/// computes weight_bytes and the activation MemoryPlan, then moves both
+/// behind shared_ptr<const>. BN running statistics are frozen along with the
+/// weights — the stepwise eval kernels only read them.
+[[nodiscard]] SharedModel freeze_model(
+    models::MultiExitNetwork&& net,
+    std::unique_ptr<predictor::CSPredictor> predictor);
+
+/// Build `workers` live engines over one SharedModel: each holds shared
+/// ownership of the single weight copy and (when the model carries a plan)
+/// its own private InferenceArena. Outcomes are bit-identical to
+/// per-worker-clone engines; only memory changes.
+[[nodiscard]] std::vector<std::unique_ptr<runtime::LiveElasticEngine>>
+make_worker_engines(const SharedModel& model, const profiling::ETProfile& et,
+                    const runtime::ElasticConfig& config, std::size_t workers);
+
+/// EngineFactory producing one ElasticEngine replica per worker, every
+/// replica planning through ONE shared predictor clone (predict() is const
+/// and stateless, so sharing is race-free). Pass predictor == nullptr for
 /// predictor-less strategies (static plans, threshold, fallback planning) —
 /// then `fallback_confidence` is forwarded to every replica. `config` may
 /// reference a shared ConfidenceCalibrator; calibration is const and
-/// thread-safe. `et` and `predictor` must outlive the factory's last call;
-/// the clones outlive the engines automatically.
+/// thread-safe. The factory owns copies of `et` and the predictor weights:
+/// neither argument needs to outlive it.
 [[nodiscard]] EngineFactory make_replicated_engine_factory(
     const profiling::ETProfile& et, predictor::CSPredictor* predictor,
     const runtime::ElasticConfig& config,

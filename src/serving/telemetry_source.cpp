@@ -94,6 +94,25 @@ void render(EdgeServer& server, PromWriter& prom) {
                   "Member dwell inside the batch assembler",
                   snap.assembler_wait);
   }
+  prom.gauge("einet_process_rss_bytes",
+             "Resident set size sampled at scrape time",
+             static_cast<double>(snap.rss_bytes));
+  if (snap.has_memory) {
+    const auto& mem = snap.memory;
+    prom.gauge("einet_serving_memory_workers",
+               "Workers sharing one weight copy in the memory plan",
+               static_cast<double>(mem.workers));
+    const char* const mem_help =
+        "Planned model memory: shared weights, per-worker arena, total";
+    prom.gauge("einet_serving_memory_bytes", mem_help,
+               static_cast<double>(mem.weight_bytes), {{"kind", "weights"}});
+    prom.gauge("einet_serving_memory_bytes", mem_help,
+               static_cast<double>(mem.bytes_per_worker),
+               {{"kind", "arena_per_worker"}});
+    prom.gauge("einet_serving_memory_bytes", mem_help,
+               static_cast<double>(mem.planned_total_bytes),
+               {{"kind", "planned_total"}});
+  }
   if (snap.has_slo) {
     const auto& slo = snap.slo;
     prom.gauge("einet_serving_slo_hit_rate",

@@ -1,0 +1,30 @@
+#include "util/memory.hpp"
+
+#ifdef __linux__
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
+namespace einet::util {
+
+std::size_t current_rss_bytes() {
+#ifdef __linux__
+  // statm fields are in pages: size resident shared text lib data dt.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long size_pages = 0;
+  unsigned long resident_pages = 0;
+  const int got = std::fscanf(f, "%lu %lu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<std::size_t>(resident_pages) *
+         static_cast<std::size_t>(page);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace einet::util

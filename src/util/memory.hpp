@@ -1,0 +1,13 @@
+// Process-level memory introspection for the serving memory gauges.
+#pragma once
+
+#include <cstddef>
+
+namespace einet::util {
+
+/// Current resident set size of this process in bytes, read from
+/// /proc/self/statm. Returns 0 on platforms without procfs (the gauges then
+/// report "unknown" rather than lying).
+[[nodiscard]] std::size_t current_rss_bytes();
+
+}  // namespace einet::util

@@ -1,0 +1,386 @@
+// Memory-planning suite (DESIGN.md §15): randomized overlap-free slot
+// assignment, planner validation, budget arithmetic, and — on a real trained
+// network — planned-vs-unplanned bit-identity, arena staleness across
+// early-exit truncated runs, zero scratch overflow, and the shared-weights
+// accounting the serving memory gauges report.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/time_distribution.hpp"
+#include "data/synthetic.hpp"
+#include "models/backbones.hpp"
+#include "models/trainer.hpp"
+#include "nn/memplan/arena.hpp"
+#include "nn/memplan/budget.hpp"
+#include "nn/memplan/plan.hpp"
+#include "nn/memplan/profile.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "profiling/platform.hpp"
+#include "profiling/profiler.hpp"
+#include "runtime/batched_engine.hpp"
+#include "runtime/live_engine.hpp"
+#include "serving/replicate.hpp"
+#include "util/rng.hpp"
+
+namespace einet {
+namespace {
+
+// ------------------------------------------------------------ assign_slots
+
+/// Slot sizes implied by an assignment: max member size per slot.
+std::vector<std::size_t> slot_sizes(
+    const std::vector<memplan::PlannedBuffer>& planned) {
+  std::vector<std::size_t> sizes;
+  for (const auto& b : planned) {
+    if (b.slot >= sizes.size()) sizes.resize(b.slot + 1, 0);
+    sizes[b.slot] = std::max(sizes[b.slot], b.req.floats);
+  }
+  return sizes;
+}
+
+TEST(AssignSlots, RandomizedLifetimesNeverShareStorageWhileLive) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng{900 + seed};
+    std::vector<memplan::BufferReq> reqs;
+    const std::size_t count = 3 + rng.uniform_int(40);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t a = rng.uniform_int(30);
+      const std::size_t b = rng.uniform_int(30);
+      reqs.push_back({.name = "b" + std::to_string(i),
+                      .floats = 1 + rng.uniform_int(512),
+                      .life = {std::min(a, b), std::max(a, b)}});
+    }
+    const auto planned = memplan::assign_slots(reqs);
+    ASSERT_EQ(planned.size(), reqs.size());
+    // Lay the slots out back to back (as plan_memory does) so each buffer
+    // owns the float range [offset[slot], offset[slot] + size[slot]).
+    const auto sizes = slot_sizes(planned);
+    std::vector<std::size_t> offset(sizes.size(), 0);
+    for (std::size_t s = 1; s < sizes.size(); ++s)
+      offset[s] = offset[s - 1] + sizes[s - 1];
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      ASSERT_LE(planned[i].req.floats, sizes[planned[i].slot]);
+      for (std::size_t j = i + 1; j < planned.size(); ++j) {
+        if (!memplan::lifetimes_overlap(planned[i].req.life,
+                                        planned[j].req.life))
+          continue;
+        // Live at the same step: must be in different slots, and the slots'
+        // float ranges must not intersect.
+        ASSERT_NE(planned[i].slot, planned[j].slot)
+            << "seed " << seed << ": buffers " << i << "/" << j;
+        const std::size_t ai = offset[planned[i].slot];
+        const std::size_t bi = ai + sizes[planned[i].slot];
+        const std::size_t aj = offset[planned[j].slot];
+        const std::size_t bj = aj + sizes[planned[j].slot];
+        ASSERT_TRUE(bi <= aj || bj <= ai)
+            << "seed " << seed << ": overlapping ranges for " << i << "/" << j;
+      }
+    }
+  }
+}
+
+TEST(AssignSlots, ReusesSlotsAcrossDisjointLifetimes) {
+  // Three sequential buffers with disjoint lifetimes collapse into one slot.
+  std::vector<memplan::BufferReq> reqs = {
+      {.name = "a", .floats = 8, .life = {0, 1}},
+      {.name = "b", .floats = 16, .life = {2, 3}},
+      {.name = "c", .floats = 4, .life = {4, 5}},
+  };
+  const auto planned = memplan::assign_slots(reqs);
+  EXPECT_EQ(planned[0].slot, 0u);
+  EXPECT_EQ(planned[1].slot, 0u);
+  EXPECT_EQ(planned[2].slot, 0u);
+  EXPECT_EQ(slot_sizes(planned), (std::vector<std::size_t>{16}));
+}
+
+TEST(AssignSlots, RejectsInvertedLifetime) {
+  std::vector<memplan::BufferReq> reqs = {
+      {.name = "bad", .floats = 8, .life = {3, 1}}};
+  EXPECT_THROW((void)memplan::assign_slots(reqs), std::invalid_argument);
+}
+
+TEST(PlanMemory, RejectsInconsistentProfiles) {
+  memplan::ActivationProfile empty;
+  EXPECT_THROW((void)memplan::plan_memory(empty), std::invalid_argument);
+
+  memplan::ActivationProfile bad;
+  bad.num_exits = 2;
+  bad.num_classes = 10;
+  bad.num_steps = 3;  // must be 2 * num_exits
+  bad.buffers = {{.name = "x", .floats = 4, .life = {0, 1}}};
+  bad.feat_buffer = {0, 0, 0};
+  bad.logits_buffer = {0, 0};
+  bad.step_scratch.resize(3);
+  EXPECT_THROW((void)memplan::plan_memory(bad), std::invalid_argument);
+
+  bad.num_steps = 4;
+  bad.step_scratch.resize(4);
+  bad.feat_buffer = {0, 0, 9};  // out of bounds
+  EXPECT_THROW((void)memplan::plan_memory(bad), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- fit_budget
+
+TEST(FitBudget, EdgeCases) {
+  // Too small for even one worker: explicit error, not workers == 0.
+  EXPECT_THROW((void)memplan::fit_budget(999, 800, 200),
+               std::invalid_argument);
+  EXPECT_THROW((void)memplan::fit_budget(10'000, 800, 0),
+               std::invalid_argument);
+
+  // Exact fit for one worker.
+  const auto one = memplan::fit_budget(1000, 800, 200);
+  EXPECT_EQ(one.workers, 1u);
+  EXPECT_EQ(one.total_bytes, 1000u);
+
+  // Budget arithmetic: weights are paid once, arenas per worker.
+  const auto many = memplan::fit_budget(800 + 5 * 200 + 199, 800, 200);
+  EXPECT_EQ(many.workers, 5u);
+  EXPECT_EQ(many.total_bytes, 800u + 5u * 200u);
+
+  // max_workers caps the count below what the budget affords.
+  const auto capped = memplan::fit_budget(1'000'000, 800, 200, 3);
+  EXPECT_EQ(capped.workers, 3u);
+}
+
+// ------------------------------------------------- live network fixtures
+
+struct MemPipeline {
+  data::SyntheticDataset ds;
+  serving::SharedModel model;
+  profiling::ETProfile et;
+  /// A per-worker deep clone made before the weights froze (the pre-sharing
+  /// design), for shared-vs-clone bit-identity checks.
+  std::unique_ptr<predictor::CSPredictor> pred_clone;
+
+  static MemPipeline build() {
+    auto spec = data::synth_cifar10_spec(120, 40);
+    auto ds = data::make_synthetic(spec);
+    util::Rng rng{7};
+    auto net = models::make_msdnet(
+        models::MsdnetSpec{.blocks = 4, .step = 1, .base = 1, .channel = 6},
+        ds.train->input_shape(), ds.train->num_classes(), rng);
+    models::MultiExitTrainer trainer{net};
+    models::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 20;
+    trainer.train(*ds.train, tc);
+    auto et =
+        profiling::profile_execution_time(net, profiling::edge_fast_platform());
+    auto cs = profiling::profile_confidence(net, *ds.test);
+    predictor::CSPredictorConfig pc;
+    pc.hidden = 16;
+    pc.epochs = 6;
+    auto pred = std::make_unique<predictor::CSPredictor>(net.num_exits(), pc);
+    pred->train(cs);
+    auto clone = serving::clone_predictor(*pred);
+    auto model = serving::freeze_model(std::move(net), std::move(pred));
+    return MemPipeline{std::move(ds), std::move(model), std::move(et),
+                       std::move(clone)};
+  }
+};
+
+class MemplanLiveTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new MemPipeline(MemPipeline::build());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static MemPipeline* pipeline_;
+};
+
+MemPipeline* MemplanLiveTest::pipeline_ = nullptr;
+
+/// Full-outcome equality except planner_ms (wall-clock search telemetry):
+/// the planned path must be bit-identical to the unplanned path.
+void expect_outcome_identical(const runtime::InferenceOutcome& planned,
+                              const runtime::InferenceOutcome& unplanned,
+                              std::size_t sample) {
+  EXPECT_EQ(planned.has_result, unplanned.has_result) << "sample " << sample;
+  EXPECT_EQ(planned.exit_index, unplanned.exit_index) << "sample " << sample;
+  EXPECT_EQ(planned.correct, unplanned.correct) << "sample " << sample;
+  EXPECT_EQ(planned.result_time_ms, unplanned.result_time_ms)
+      << "sample " << sample;
+  EXPECT_EQ(planned.deadline_ms, unplanned.deadline_ms) << "sample " << sample;
+  EXPECT_EQ(planned.branches_executed, unplanned.branches_executed)
+      << "sample " << sample;
+  EXPECT_EQ(planned.searches_run, unplanned.searches_run)
+      << "sample " << sample;
+  EXPECT_EQ(planned.completed, unplanned.completed) << "sample " << sample;
+}
+
+TEST_F(MemplanLiveTest, PlanReusesSlotsAndPrewarmsScratch) {
+  const auto& plan = *pipeline_->model.plan;
+  // 4 blocks -> 5 feature maps + 4 logits buffers; interval reuse must
+  // collapse them into far fewer slots (feature ping-pong + logits).
+  EXPECT_EQ(plan.buffers.size(), 9u);
+  EXPECT_LT(plan.slot_floats.size(), plan.buffers.size());
+  std::size_t total_floats = 0;
+  for (const auto& b : plan.buffers) total_floats += b.req.floats;
+  EXPECT_LT(plan.activation_floats, total_floats);
+  // The stepwise path takes scratch (im2col, container intermediates), and
+  // the dominating multiset covers it.
+  EXPECT_FALSE(plan.scratch_blocks.empty());
+  EXPECT_GT(plan.arena_bytes(), 0u);
+  EXPECT_GE(plan.peak_floats, plan.scratch_floats);
+}
+
+TEST_F(MemplanLiveTest, PlannedOutcomesBitIdenticalToUnplanned) {
+  auto& p = *pipeline_;
+  const runtime::ElasticConfig cfg;
+  // Unplanned reference engine borrows the same frozen weights.
+  runtime::LiveElasticEngine unplanned{*p.model.net, p.et,
+                                       p.model.predictor.get(), cfg};
+  auto engines = serving::make_worker_engines(p.model, p.et, cfg, 1);
+  ASSERT_EQ(engines.size(), 1u);
+  runtime::LiveElasticEngine& planned = *engines[0];
+  EXPECT_GT(planned.arena_bytes(), 0u);
+  EXPECT_EQ(unplanned.arena_bytes(), 0u);
+
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+  util::Rng rng{42};
+  bool any_killed = false;
+  bool any_completed = false;
+  for (std::size_t s = 0; s < 12; ++s) {
+    double deadline = dist.sample(rng);
+    if (s == 0) deadline = p.et.conv_ms[0] * 0.5;  // killed before exit 0
+    if (s == 1) deadline = 2.0 * p.et.total_ms();  // always completes
+    const auto& sample = p.ds.test->sample(s);
+    const auto a = planned.run(sample.image, sample.label, deadline, dist);
+    const auto b = unplanned.run(sample.image, sample.label, deadline, dist);
+    expect_outcome_identical(a, b, s);
+    any_killed |= !a.completed;
+    any_completed |= a.completed;
+  }
+  EXPECT_TRUE(any_killed);
+  EXPECT_TRUE(any_completed);
+  // The pre-warmed scratch pool must have served every take.
+  EXPECT_EQ(planned.arena_scratch_overflows(), 0u);
+}
+
+TEST_F(MemplanLiveTest, TruncatedRunsNeverReadStaleArenaBytes) {
+  auto& p = *pipeline_;
+  const runtime::ElasticConfig cfg;
+  auto engines = serving::make_worker_engines(p.model, p.et, cfg, 1);
+  runtime::LiveElasticEngine& planned = *engines[0];
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+
+  // Saturate every arena slot with sample 0's activations (full run), then
+  // run other samples truncated at progressively earlier blocks. If any
+  // kernel read bytes beyond what it overwrote, the outcome would diverge
+  // from a FRESH unplanned engine that has no stale state at all.
+  const auto& warm = p.ds.test->sample(0);
+  (void)planned.run(warm.image, warm.label, 10.0 * p.et.total_ms(), dist);
+
+  for (std::size_t k = 0; k < p.et.num_blocks(); ++k) {
+    // Deadline lands right after block k's branch: exits > k never run, so
+    // their slot regions still hold sample 0's (or older) bytes.
+    double deadline = 0.0;
+    for (std::size_t i = 0; i <= k; ++i)
+      deadline += p.et.conv_ms[i] + p.et.branch_ms[i];
+    deadline += 0.25 * p.et.conv_ms[k];
+    const auto& sample = p.ds.test->sample(5 + k);
+    const auto got = planned.run(sample.image, sample.label, deadline, dist);
+
+    runtime::LiveElasticEngine fresh{*p.model.net, p.et,
+                                     p.model.predictor.get(), cfg};
+    const auto want = fresh.run(sample.image, sample.label, deadline, dist);
+    expect_outcome_identical(got, want, 5 + k);
+  }
+  EXPECT_EQ(planned.arena_scratch_overflows(), 0u);
+}
+
+TEST_F(MemplanLiveTest, BatchedEngineArenaPathBitIdentical) {
+  auto& p = *pipeline_;
+  const runtime::ElasticConfig cfg;
+  runtime::BatchedLiveEngine planned{p.model.net, p.et, p.model.predictor,
+                                     cfg, p.model.plan};
+  runtime::BatchedLiveEngine unplanned{*p.model.net, p.et,
+                                       p.model.predictor.get(), cfg};
+  EXPECT_GT(planned.arena_bytes(), 0u);
+  EXPECT_EQ(unplanned.arena_bytes(), 0u);
+
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+  util::Rng rng{1234};
+  std::vector<runtime::BatchItem> items;
+  for (std::size_t s = 0; s < 6; ++s)
+    items.push_back({.image = &p.ds.test->sample(20 + s).image,
+                     .label = p.ds.test->sample(20 + s).label,
+                     .deadline_ms = dist.sample(rng)});
+  items[0].deadline_ms = p.et.conv_ms[0] * 0.5;
+  items[1].deadline_ms = 2.0 * p.et.total_ms();
+
+  const auto a = planned.run_batched(items, dist);
+  const auto b = unplanned.run_batched(items, dist);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s)
+    expect_outcome_identical(a[s], b[s], 20 + s);
+  EXPECT_EQ(planned.arena_scratch_overflows(), 0u);
+}
+
+TEST_F(MemplanLiveTest, ArenaRejectsOversizedAndOutOfRangeRequests) {
+  auto& p = *pipeline_;
+  memplan::InferenceArena arena{p.model.plan};
+  EXPECT_THROW((void)arena.buffer(p.model.plan->buffers.size(), {1}),
+               std::out_of_range);
+  // Feature 1's slot was profiled at its exact batch-1 size; asking for more
+  // floats than the slot holds must throw, not grow the slot.
+  const std::size_t floats =
+      p.model.plan->buffers[p.model.plan->feat_buffer[1]].req.floats;
+  EXPECT_THROW((void)arena.feature(1, {1, floats + 1}),
+               std::invalid_argument);
+}
+
+TEST_F(MemplanLiveTest, SharedModelAccountingIsExact) {
+  auto& p = *pipeline_;
+  EXPECT_GT(p.model.weight_bytes, 0u);
+  EXPECT_GT(p.model.arena_bytes(), 0u);
+  EXPECT_EQ(p.model.bytes_for(0), p.model.weight_bytes);
+  EXPECT_EQ(p.model.bytes_for(4),
+            p.model.weight_bytes + 4 * p.model.arena_bytes());
+  // N engines over one SharedModel really do share the single weight copy.
+  auto engines = serving::make_worker_engines(p.model, p.et, {}, 3);
+  long expected_uses = 1;  // the model's own reference
+  expected_uses += 3;      // one per engine
+  EXPECT_EQ(p.model.net.use_count(), expected_uses);
+  for (const auto& e : engines)
+    EXPECT_EQ(e->arena_bytes(), engines[0]->arena_bytes());
+  // The budget knob round-trips through the model's own byte accounting.
+  const auto fit = p.model.fit_budget(p.model.bytes_for(2));
+  EXPECT_EQ(fit.workers, 2u);
+  EXPECT_THROW((void)p.model.fit_budget(p.model.weight_bytes),
+               std::invalid_argument);
+}
+
+TEST_F(MemplanLiveTest, SharedPredictorBitIdenticalToPerWorkerClones) {
+  auto& p = *pipeline_;
+  // A per-worker deep clone (the pre-sharing design) and the shared frozen
+  // predictor must plan identically: clone_predictor is bit-exact and
+  // predict() is stateless.
+  const runtime::ElasticConfig cfg;
+  runtime::LiveElasticEngine shared_engine{*p.model.net, p.et,
+                                           p.model.predictor.get(), cfg};
+  runtime::LiveElasticEngine cloned_engine{*p.model.net, p.et,
+                                           p.pred_clone.get(), cfg};
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+  util::Rng rng{77};
+  for (std::size_t s = 0; s < 6; ++s) {
+    const double deadline = dist.sample(rng);
+    const auto& sample = p.ds.test->sample(s);
+    expect_outcome_identical(
+        shared_engine.run(sample.image, sample.label, deadline, dist),
+        cloned_engine.run(sample.image, sample.label, deadline, dist), s);
+  }
+}
+
+}  // namespace
+}  // namespace einet

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <numeric>
 #include <thread>
@@ -240,6 +241,92 @@ TEST(Replicate, CloneMatchesSourcePredictions) {
     EXPECT_EQ(source.predict(observed, executed),
               clone->predict(observed, executed));
   }
+}
+
+TEST(Replicate, CloneWeightsAreByteIdentical) {
+  // The clone is a direct tensor copy, not a text serialization round-trip:
+  // every parameter must match the source bit for bit, not just to the
+  // precision decimal formatting happens to preserve.
+  const auto cs = tiny_cs(40);
+  predictor::CSPredictorConfig pc;
+  pc.hidden = 8;
+  pc.epochs = 4;
+  predictor::CSPredictor source{cs.num_exits, pc};
+  source.train(cs);
+
+  const auto clone = clone_predictor(source);
+  const auto src = source.params();
+  const auto dst = clone->params();
+  ASSERT_EQ(src.size(), dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ASSERT_EQ(src[i]->value.numel(), dst[i]->value.numel());
+    EXPECT_EQ(0, std::memcmp(src[i]->value.raw(), dst[i]->value.raw(),
+                             src[i]->value.numel() * sizeof(float)))
+        << "param " << i << " (" << src[i]->name << ")";
+  }
+}
+
+TEST(Replicate, FactoryOutlivesEveryInputItWasBuiltFrom) {
+  // Regression: the factory used to capture the ET profile by reference and
+  // the predictor by raw pointer, so a factory (or the WorkerPool that
+  // copied it) outliving either was a use-after-free. It now owns copies of
+  // both; this test destroys the sources before building engines (the ASan
+  // CI job turns any residual dangling read into a hard failure).
+  const auto cs = tiny_cs(40);
+  const core::UniformExitDistribution dist{tiny_et().total_ms()};
+  const double deadline = 0.9 * tiny_et().total_ms();
+
+  EngineFactory factory;
+  runtime::InferenceOutcome ref;
+  {
+    const auto et = tiny_et();
+    predictor::CSPredictorConfig pc;
+    pc.hidden = 8;
+    pc.epochs = 4;
+    predictor::CSPredictor pred{cs.num_exits, pc};
+    pred.train(cs);
+    factory = make_replicated_engine_factory(et, &pred, {});
+    ref = factory(0)->run(cs.records[0], deadline, dist);
+  }  // `et` and `pred` are gone; the factory must stay self-sufficient.
+
+  const auto engine = factory(1);
+  const auto out = engine->run(cs.records[0], deadline, dist);
+  EXPECT_EQ(out.has_result, ref.has_result);
+  EXPECT_EQ(out.exit_index, ref.exit_index);
+  EXPECT_EQ(out.correct, ref.correct);
+  EXPECT_EQ(out.result_time_ms, ref.result_time_ms);
+  EXPECT_EQ(out.branches_executed, ref.branches_executed);
+  EXPECT_EQ(out.searches_run, ref.searches_run);
+  EXPECT_EQ(out.completed, ref.completed);
+}
+
+TEST(Metrics, MemoryGaugesSurfaceInSnapshotAndJson) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.snapshot().has_memory);
+
+  MemoryGauges gauges;
+  gauges.workers = 3;
+  gauges.weight_bytes = 1000;
+  gauges.bytes_per_worker = 200;
+  gauges.planned_total_bytes = 1600;
+  registry.set_memory(gauges);
+
+  const auto snap = registry.snapshot();
+  ASSERT_TRUE(snap.has_memory);
+  EXPECT_EQ(snap.memory.workers, 3u);
+  EXPECT_EQ(snap.memory.weight_bytes, 1000u);
+  EXPECT_EQ(snap.memory.bytes_per_worker, 200u);
+  EXPECT_EQ(snap.memory.planned_total_bytes, 1600u);
+#ifdef __linux__
+  // RSS is sampled live and must dominate the planned bytes of this tiny
+  // configuration by orders of magnitude.
+  EXPECT_GE(snap.rss_bytes, snap.memory.planned_total_bytes);
+#endif
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"memory\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_per_worker\""), std::string::npos);
+  EXPECT_NE(json.find("\"rss_bytes\""), std::string::npos);
+  EXPECT_NE(snap.to_string().find("arena/worker"), std::string::npos);
 }
 
 // ------------------------------------------------------------- EdgeServer
