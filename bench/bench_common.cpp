@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "models/trainer.hpp"
+#include "nn/quant/backbone.hpp"
+#include "nn/quant/profile.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -168,6 +170,47 @@ TrainedProfiles ensure_profiles(JobSpec spec) {
             << " (" << spec.train_samples << " samples, " << spec.epochs
             << " epochs) in " << static_cast<int>(timer.elapsed_s())
             << " s\n";
+  return out;
+}
+
+TrainedProfiles ensure_quant_profiles(JobSpec spec) {
+  resolve_budgets(spec);
+  const std::string stem =
+      nn::quant::quant_stem(artifact_dir() + "/" + cache_stem(spec), true);
+  const std::string et_path = stem + ".et.csv";
+  const std::string cs_path = stem + ".cs.csv";
+  if (std::filesystem::exists(et_path) && std::filesystem::exists(cs_path)) {
+    return TrainedProfiles{profiling::ETProfile::load(et_path),
+                           profiling::CSProfile::load(cs_path)};
+  }
+
+  // The fp32 pair first: the derived "-q8" ET needs the fp32 timings, and a
+  // warm fp32 cache is the common case anyway.
+  const TrainedProfiles fp32 = ensure_profiles(spec);
+
+  // Deterministic retrain — same seed and budgets reproduce the exact
+  // weights ensure_profiles trained, so the quantized backbone matches the
+  // fp32 artifacts sample for sample.
+  util::Timer timer;
+  auto ds = make_bench_dataset(spec.dataset, spec.train_samples,
+                               spec.test_samples);
+  util::Rng rng{spec.seed};
+  auto net = build_bench_model(spec, ds.train->input_shape(),
+                               ds.train->num_classes(), rng);
+  models::MultiExitTrainer trainer{net};
+  models::TrainConfig tc;
+  tc.epochs = spec.epochs;
+  tc.seed = spec.seed;
+  trainer.train(*ds.train, tc);
+
+  const nn::quant::QuantizedBackbone backbone{net};
+  TrainedProfiles out{nn::quant::quantized_execution_time(fp32.et),
+                      nn::quant::profile_confidence_quant(backbone, *ds.test)};
+  out.et.save(et_path);
+  out.cs.save(cs_path);
+  std::cerr << "[bench] quantized " << spec.model << " on " << spec.dataset
+            << " (re-profiled " << spec.test_samples << " samples) in "
+            << static_cast<int>(timer.elapsed_s()) << " s\n";
   return out;
 }
 

@@ -63,6 +63,14 @@ void resolve_budgets(JobSpec& spec);
 /// cache them. Thread-safe for distinct jobs.
 [[nodiscard]] TrainedProfiles ensure_profiles(JobSpec spec);
 
+/// Load or build the job's "-q8" quantized-trunk artifact pair (see
+/// nn/quant/profile.hpp): same stem as ensure_profiles with the quant
+/// suffix, cached next to the fp32 files. A cold cache retrains the model
+/// deterministically (same seed and budgets reproduce the same weights),
+/// quantizes the backbone, and re-profiles CS on the served int8 path; the
+/// ET-profile is derived from the fp32 one. Never rewrites the fp32 files.
+[[nodiscard]] TrainedProfiles ensure_quant_profiles(JobSpec spec);
+
 /// Run ensure_profiles for every job, `parallelism` jobs at a time.
 [[nodiscard]] std::vector<TrainedProfiles> ensure_profiles_parallel(
     std::vector<JobSpec> jobs, std::size_t parallelism = 2);

@@ -1,0 +1,228 @@
+// Int8 quantized compute bench (DESIGN.md §16): conv-forward throughput of
+// the quantized trunk against the fp32 GEMM backend at 1 and 4 threads, the
+// thread-count bit-identity contract of the int8 path, and the planner-level
+// cost of quantization — the E[acc] of the optimal static plan on the
+// re-profiled "-q8" artifacts versus the fp32 ones, on B-AlexNet/cifar10.
+//
+// Emits BENCH_quant.json and enforces three criteria:
+//   * int8 conv forward throughput >= 2x fp32 at the SAME thread count
+//     (skipped with --smoke: tiny shapes under-utilise the VNNI tiles and
+//     the run may share a loaded CI machine);
+//   * int8 output bytes at 4 threads BIT-IDENTICAL to 1 thread (enforced in
+//     every mode — the deterministic-serving contract extends to int8);
+//   * planner E[acc] degradation (fp32 optimal-plan expectation minus the
+//     quantized one, in accuracy points) <= 1.5 (skipped with --smoke,
+//     where the shrunken training budget makes exit accuracies too noisy to
+//     bound tightly; the delta is still computed and reported).
+//
+// Usage: bench_quant [--smoke]
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/expectation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/quant/backbone.hpp"
+#include "nn/quant/profile.hpp"
+#include "nn/quant/qgemm.hpp"
+#include "nn/tensor.hpp"
+#include "nn/workspace.hpp"
+#include "runtime/evaluator.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace einet;
+using nn::Tensor;
+
+/// Run `fn` repeatedly until both bounds are met; return GFLOP/s (int8 ops
+/// counted at the same nominal 2*M*N*K as fp32, so the ratio is a speedup).
+template <typename Fn>
+double measure_gflops(Fn&& fn, double flops_per_call, std::size_t min_iters,
+                      double min_ms) {
+  fn();  // warm-up (first call may allocate scratch / fault pages)
+  util::Timer t;
+  std::size_t iters = 0;
+  do {
+    fn();
+    ++iters;
+  } while (iters < min_iters || t.elapsed_ms() < min_ms);
+  return flops_per_call * static_cast<double>(iters) / t.elapsed_ms() / 1e6;
+}
+
+double plan_expectation(const profiling::ETProfile& et,
+                        const profiling::CSProfile& cs,
+                        const core::TimeDistribution& dist) {
+  const core::ExitPlan plan = runtime::find_static_optimal_plan(et, cs, dist);
+  const std::vector<double> acc = cs.exit_accuracy();
+  std::vector<float> accf(acc.begin(), acc.end());
+  return core::accuracy_expectation(plan, et.conv_ms, et.branch_ms, accf,
+                                    dist);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "usage: bench_quant [--smoke]\n";
+      return EXIT_FAILURE;
+    }
+  }
+  bench::print_bench_header(
+      "BENCH quant", "int8 trunk vs fp32 + planner E[acc] on -q8 artifacts");
+  std::cout << "qgemm kernel: " << nn::quant::qgemm_kernel_name() << "\n";
+
+  const std::size_t saved_threads = nn::gemm_threads();
+  util::Rng rng{0x5EED};
+
+  // ---- Conv2d: int8 vs fp32 forward throughput ---------------------------
+  const nn::Conv2dSpec cspec{.in_channels = smoke ? 4u : 32u,
+                             .out_channels = smoke ? 8u : 64u,
+                             .kernel = 3,
+                             .stride = 1,
+                             .padding = 1};
+  const std::size_t img = smoke ? 8 : 32;
+  const std::size_t batch = smoke ? 2 : 8;
+  nn::Conv2d conv{cspec, rng};
+  const nn::quant::QuantizedConv2d qconv{conv, /*fuse_relu=*/false};
+  const Tensor cx =
+      Tensor::uniform({batch, cspec.in_channels, img, img}, -1, 1, rng);
+  const nn::Shape cos = conv.out_shape(cx.shape());
+  const std::size_t patch = cspec.in_channels * cspec.kernel * cspec.kernel;
+  const std::size_t spatial = cos[2] * cos[3];
+  const double conv_fwd_flops =
+      2.0 * static_cast<double>(batch * cspec.out_channels * spatial * patch);
+
+  const std::size_t min_iters = smoke ? 2 : 5;
+  const double min_ms = smoke ? 5.0 : 300.0;
+
+  nn::FreshWorkspace ws;
+  Tensor qy{cos};
+
+  nn::set_gemm_threads(1);
+  const double fp32_1t = measure_gflops(
+      [&] { (void)conv.forward(cx, false); }, conv_fwd_flops, min_iters,
+      min_ms);
+  const double int8_1t = measure_gflops(
+      [&] { qconv.forward_into(cx, qy, ws); }, conv_fwd_flops, min_iters,
+      min_ms);
+  Tensor qy_1t{cos};
+  qconv.forward_into(cx, qy_1t, ws);
+
+  nn::set_gemm_threads(4);
+  const double fp32_4t = measure_gflops(
+      [&] { (void)conv.forward(cx, false); }, conv_fwd_flops, min_iters,
+      min_ms);
+  const double int8_4t = measure_gflops(
+      [&] { qconv.forward_into(cx, qy, ws); }, conv_fwd_flops, min_iters,
+      min_ms);
+  Tensor qy_4t{cos};
+  qconv.forward_into(cx, qy_4t, ws);
+  nn::set_gemm_threads(saved_threads);
+
+  const bool bits_equal = std::memcmp(qy_1t.raw(), qy_4t.raw(),
+                                      qy_1t.numel() * sizeof(float)) == 0;
+  const double speedup_1t = int8_1t / fp32_1t;
+  const double speedup_4t = int8_4t / fp32_4t;
+
+  // ---- Planner E[acc]: fp32 artifacts vs the re-profiled "-q8" set -------
+  bench::JobSpec job;
+  job.model = "B-AlexNet";
+  job.dataset = "cifar10";
+  if (smoke) {
+    job.train_samples = 120;
+    job.test_samples = 60;
+    job.epochs = 2;
+  }
+  const bench::TrainedProfiles fp32_prof = bench::ensure_profiles(job);
+  const bench::TrainedProfiles q8_prof = bench::ensure_quant_profiles(job);
+
+  const core::UniformExitDistribution dist{fp32_prof.et.total_ms()};
+  const double e_fp32 = plan_expectation(fp32_prof.et, fp32_prof.cs, dist);
+  const double e_q8 = plan_expectation(q8_prof.et, q8_prof.cs, dist);
+  const double delta_pts = (e_fp32 - e_q8) * 100.0;
+
+  // ---- Report ------------------------------------------------------------
+  const bool perf_pass = smoke || (speedup_1t >= 2.0 && speedup_4t >= 2.0);
+  const bool eacc_pass = smoke || delta_pts <= 1.5;
+
+  util::Table t{{"conv2d fwd", "fp32 GF/s", "int8 GF/s", "speedup"}};
+  t.add_row({"1 thread", util::Table::num(fp32_1t, 2),
+             util::Table::num(int8_1t, 2), util::Table::num(speedup_1t, 2)});
+  t.add_row({"4 threads", util::Table::num(fp32_4t, 2),
+             util::Table::num(int8_4t, 2), util::Table::num(speedup_4t, 2)});
+  std::cout << t.str() << "\n"
+            << "int8 speedup at equal threads: "
+            << util::Table::num(std::min(speedup_1t, speedup_4t), 2)
+            << (smoke ? " (criterion skipped in --smoke)"
+                      : (perf_pass ? " >= 2.0 -> PASS" : " < 2.0 -> FAIL"))
+            << "\n"
+            << "int8 1t-vs-4t outputs bit-identical: "
+            << (bits_equal ? "yes -> PASS" : "NO -> FAIL") << "\n"
+            << "planner E[acc] fp32 " << util::Table::num(e_fp32 * 100.0, 2)
+            << " -> q8 " << util::Table::num(e_q8 * 100.0, 2)
+            << " (delta " << util::Table::num(delta_pts, 2) << " pts"
+            << (smoke ? ", bound skipped in --smoke)"
+                      : (eacc_pass ? " <= 1.5 -> PASS)" : " > 1.5 -> FAIL)"))
+            << "\n";
+
+  std::ostringstream json;
+  util::JsonWriter jw{json};
+  jw.begin_object();
+  jw.kv("bench", "quant");
+  jw.kv("mode", smoke ? "smoke" : "full");
+  jw.kv("qgemm_kernel", nn::quant::qgemm_kernel_name());
+  jw.key("conv2d");
+  jw.begin_object();
+  jw.kv("in_channels", static_cast<std::uint64_t>(cspec.in_channels));
+  jw.kv("out_channels", static_cast<std::uint64_t>(cspec.out_channels));
+  jw.kv("image", static_cast<std::uint64_t>(img));
+  jw.kv("batch", static_cast<std::uint64_t>(batch));
+  jw.kv("fp32_fwd_1t_gflops", fp32_1t);
+  jw.kv("int8_fwd_1t_gflops", int8_1t);
+  jw.kv("fp32_fwd_4t_gflops", fp32_4t);
+  jw.kv("int8_fwd_4t_gflops", int8_4t);
+  jw.kv("speedup_1t", speedup_1t);
+  jw.kv("speedup_4t", speedup_4t);
+  jw.kv("bit_identical_1t_vs_4t", bits_equal);
+  jw.end_object();
+  jw.key("planner_eacc");
+  jw.begin_object();
+  jw.kv("model", job.model);
+  jw.kv("dataset", job.dataset);
+  jw.kv("fp32_expectation", e_fp32);
+  jw.kv("q8_expectation", e_q8);
+  jw.kv("degradation_pts", delta_pts);
+  jw.end_object();
+  jw.key("criterion");
+  jw.begin_object();
+  jw.kv("speedup_threshold", 2.0);
+  jw.kv("speedup_checked", !smoke);
+  jw.kv("eacc_degradation_bound_pts", 1.5);
+  jw.kv("eacc_checked", !smoke);
+  jw.kv("bit_identical", bits_equal);
+  jw.kv("pass", perf_pass && eacc_pass && bits_equal);
+  jw.end_object();
+  jw.end_object();
+  std::ofstream out{"BENCH_quant.json"};
+  out << json.str() << "\n";
+  if (!out) {
+    std::cerr << "error: could not write BENCH_quant.json\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "-> BENCH_quant.json\n";
+  return (perf_pass && eacc_pass && bits_equal) ? EXIT_SUCCESS : EXIT_FAILURE;
+}

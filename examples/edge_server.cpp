@@ -26,7 +26,17 @@
 // infeasible deadlines forces an SLO breach, and the breach callback dumps a
 // flight-recorder trace. All artifacts land under artifacts/.
 //
-// Usage: edge_server [num_tasks] [workers] [train_samples] [epochs] [max_batch]
+// A trailing `quant=int8` token (DESIGN.md §16) serves the int8 trunk
+// end-to-end instead: the frozen model is quantized, BOTH artifact kinds are
+// regenerated for the served path (the "-q8" set — the planner must price
+// exits from quantized trajectories, not fp32 ones), the CS-Predictor and
+// calibrator retrain on those trajectories, ServerConfig::quant arms the
+// pool's per-task int8/fp32 attribution, and QuantGauges surface the int8
+// byte accounting in every snapshot and /metrics scrape. Artifacts gain the
+// same "-q8" suffix so a quant run never overwrites the fp32 ones.
+//
+// Usage: edge_server [num_tasks] [workers] [train_samples] [epochs]
+//        [max_batch] [quant=int8|quant=fp32]
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -34,6 +44,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -43,6 +54,7 @@
 #include "example_args.hpp"
 #include "models/backbones.hpp"
 #include "models/trainer.hpp"
+#include "nn/quant/profile.hpp"
 #include "obs/telemetry/flight_recorder.hpp"
 #include "obs/telemetry/http.hpp"
 #include "obs/telemetry/hub.hpp"
@@ -62,10 +74,28 @@
 
 int main(int argc, char** argv) {
   using namespace einet;
+  // Trailing mode token (net_server's "telemetry" precedent): positional
+  // integers first, then an optional quant=<mode> selector.
+  bool int8 = false;
+  int argc_eff = argc;
+  if (argc > 1) {
+    const std::string mode = argv[argc - 1];
+    if (mode == "quant=int8") {
+      int8 = true;
+      --argc_eff;
+    } else if (mode == "quant=fp32") {
+      --argc_eff;
+    } else if (mode.rfind("quant=", 0) == 0) {
+      // A typo'd mode must not silently serve fp32.
+      std::cerr << "error: unknown quant mode '" << mode
+                << "' (expected quant=int8 or quant=fp32)\n";
+      return EXIT_FAILURE;
+    }
+  }
   const examples::ArgParser args{
-      argc, argv,
+      argc_eff, argv,
       "edge_server [num_tasks] [workers] [train_samples] [epochs] "
-      "[max_batch]"};
+      "[max_batch] [quant=int8|quant=fp32]"};
   const std::size_t num_tasks = args.positive(1, 2000, "num_tasks");
   const std::size_t workers = args.positive(2, 4, "workers");
   const std::size_t train_samples = args.positive(3, 400, "train_samples");
@@ -75,14 +105,25 @@ int main(int argc, char** argv) {
   std::cout << "== concurrent edge serving under bursty preemption ==\n"
             << (max_batch > 1
                     ? "batching: max_batch=" + std::to_string(max_batch) + "\n"
-                    : std::string{"batching: off\n"});
+                    : std::string{"batching: off\n"})
+            << "quant: " << (int8 ? "int8 trunk (-q8 artifact set)" : "fp32")
+            << "\n";
 
   const auto ds =
       data::make_synthetic(data::synth_cifar10_spec(train_samples, 250));
   util::Rng rng{41};
-  auto net = models::make_msdnet(
-      models::MsdnetSpec{.blocks = 14, .step = 1, .base = 2, .channel = 8},
-      ds.train->input_shape(), ds.train->num_classes(), rng);
+  // The int8 trunk quantizes top-level Conv2d/Linear layers inside plain
+  // Sequential conv parts; MSDNet's composite blocks carry none, so the
+  // quant mode serves B-AlexNet (the paper's other backbone) instead — a
+  // trunk where every conv part actually executes int8.
+  auto net = int8 ? models::make_b_alexnet(ds.train->input_shape(),
+                                           ds.train->num_classes(), rng)
+                  : models::make_msdnet(models::MsdnetSpec{.blocks = 14,
+                                                           .step = 1,
+                                                           .base = 2,
+                                                           .channel = 8},
+                                        ds.train->input_shape(),
+                                        ds.train->num_classes(), rng);
   models::TrainConfig tc;
   tc.epochs = epochs;
   models::MultiExitTrainer{net}.train(*ds.train, tc);
@@ -98,21 +139,6 @@ int main(int argc, char** argv) {
   pred.train(cs);
   const auto calib = profiling::ConfidenceCalibrator::fit(cs);
 
-  // Open-loop arrival process: Poisson record draws whose preemption budget
-  // alternates between high-load bursts (short budgets, some infeasible)
-  // and quiet windows (budgets up to 1.6x the full execution time).
-  util::Rng stream_rng{2024};
-  std::vector<std::pair<std::size_t, double>> stream;
-  stream.reserve(num_tasks);
-  for (std::size_t i = 0; i < num_tasks; ++i) {
-    const double budget = stream_rng.bernoulli(0.6)
-                              ? stream_rng.uniform(0.0, 0.4 * et.total_ms())
-                              : stream_rng.uniform(0.4 * et.total_ms(),
-                                                   1.6 * et.total_ms());
-    stream.emplace_back(stream_rng.uniform_int(cs.size()), budget);
-  }
-
-  const core::UniformExitDistribution planning_dist{et.total_ms()};
   const std::size_t n = net.num_exits();
 
   // Freeze the trained model into its deployed form (one shared immutable
@@ -120,7 +146,7 @@ int main(int argc, char** argv) {
   // exported with every metrics snapshot below and scraped live from
   // /metrics in the telemetry phase. The replay engines plan from the
   // profile records, so the network itself is not needed past this point.
-  const auto shared_model = serving::freeze_model(
+  auto shared_model = serving::freeze_model(
       std::move(net), serving::clone_predictor(pred));
   const serving::MemoryGauges memory_gauges{
       .workers = static_cast<std::uint64_t>(workers),
@@ -136,8 +162,68 @@ int main(int argc, char** argv) {
             << " KiB arena = " << shared_model.bytes_for(workers) / 1024
             << " KiB planned\n";
 
+  // Int8 mode (DESIGN.md §16): derive the quantized trunk from the frozen
+  // model and regenerate the SERVED artifact set — quantized trajectories
+  // shift per-exit confidence/correctness, so planning against the fp32 set
+  // would misprice every exit. The predictor and calibrator retrain on the
+  // "-q8" trajectories for the same reason. The fp32 profiles above are
+  // untouched (quant artifacts always live under a suffixed stem).
+  std::optional<profiling::ETProfile> et_q8;
+  std::optional<profiling::CSProfile> cs_q8;
+  std::optional<predictor::CSPredictor> pred_q8;
+  std::optional<profiling::ConfidenceCalibrator> calib_q8;
+  if (int8) {
+    serving::quantize_model(shared_model);
+    et_q8 = nn::quant::quantized_execution_time(et);
+    cs_q8 = nn::quant::profile_confidence_quant(*shared_model.quant, *ds.test);
+    pred_q8.emplace(n, pc);
+    pred_q8->train(*cs_q8);
+    calib_q8 = profiling::ConfidenceCalibrator::fit(*cs_q8);
+    std::cout << "int8 trunk: " << shared_model.quant->quantized_layers()
+              << " quantized layers, "
+              << shared_model.quant_weight_bytes / 1024
+              << " KiB int8 weights (+fp32 copy resident), "
+              << shared_model.quant_arena_bytes() / 1024
+              << " KiB arena/worker\n";
+  }
+  const serving::QuantMode quant_mode =
+      int8 ? serving::QuantMode::kInt8 : serving::QuantMode::kFp32;
+  const serving::QuantGauges quant_gauges{
+      .enabled = int8,
+      .weight_bytes =
+          static_cast<std::uint64_t>(shared_model.quant_weight_bytes),
+      .arena_bytes_per_worker =
+          static_cast<std::uint64_t>(shared_model.quant_arena_bytes())};
+
+  // The artifact set every stage below serves from: admission thresholds,
+  // planner prices, predictor queries and the replayed records all come
+  // from ONE coherent precision world.
+  const profiling::ETProfile& serve_et = int8 ? *et_q8 : et;
+  const profiling::CSProfile& serve_cs = int8 ? *cs_q8 : cs;
+  predictor::CSPredictor& serve_pred = int8 ? *pred_q8 : pred;
+  const profiling::ConfidenceCalibrator& serve_calib =
+      int8 ? *calib_q8 : calib;
+
+  // Open-loop arrival process: Poisson record draws whose preemption budget
+  // alternates between high-load bursts (short budgets, some infeasible)
+  // and quiet windows (budgets up to 1.6x the full execution time). Budgets
+  // scale with the served profile's total — the q8 trunk finishes sooner.
+  util::Rng stream_rng{2024};
+  std::vector<std::pair<std::size_t, double>> stream;
+  stream.reserve(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    const double budget =
+        stream_rng.bernoulli(0.6)
+            ? stream_rng.uniform(0.0, 0.4 * serve_et.total_ms())
+            : stream_rng.uniform(0.4 * serve_et.total_ms(),
+                                 1.6 * serve_et.total_ms());
+    stream.emplace_back(stream_rng.uniform_int(serve_cs.size()), budget);
+  }
+
+  const core::UniformExitDistribution planning_dist{serve_et.total_ms()};
+
   // Wall-clock pacing: a full simulated run occupies its worker for ~600 us.
-  const double pace_us_per_sim_ms = 600.0 / et.total_ms();
+  const double pace_us_per_sim_ms = 600.0 / serve_et.total_ms();
   const auto paced = [pace_us_per_sim_ms](serving::TaskRunner inner) {
     return serving::TaskRunner{
         [inner = std::move(inner), pace_us_per_sim_ms](
@@ -153,7 +239,7 @@ int main(int argc, char** argv) {
   };
 
   runtime::ElasticConfig einet_cfg;
-  einet_cfg.calibrator = &calib;
+  einet_cfg.calibrator = &serve_calib;
   // A deeper enumeration stage per replan: serving-realistic planner cost so
   // the worker pool (not queue hand-off) dominates the wall clock.
   einet_cfg.search.enum_outputs = 7;
@@ -166,9 +252,9 @@ int main(int argc, char** argv) {
     serving::TaskRunner runner;
   };
   const auto einet_factory =
-      serving::make_replicated_engine_factory(et, &pred, einet_cfg);
+      serving::make_replicated_engine_factory(serve_et, &serve_pred, einet_cfg);
   const auto plain_factory = serving::make_replicated_engine_factory(
-      et, nullptr, {}, std::vector<float>(n, 0.0f));
+      serve_et, nullptr, {}, std::vector<float>(n, 0.0f));
   const serving::TaskRunner einet_run =
       [&planning_dist](runtime::ElasticEngine& engine,
                        const serving::Task& task, util::Rng&) {
@@ -195,20 +281,21 @@ int main(int argc, char** argv) {
     serving::ServerConfig config;
     config.queue_capacity = num_tasks;  // open loop, no overflow drops
     config.pool.num_workers = num_workers;
+    config.quant = quant_mode;
     // max_batch > 1 routes the identical stream through the BatchAssembler;
     // members run sequentially through the same solo runner, so per-task
     // outcomes (and the determinism checks below) are unchanged.
     const auto server =
         max_batch > 1
             ? std::make_unique<serving::EdgeServer>(
-                  et, strat.factory,
+                  serve_et, strat.factory,
                   serving::batch::make_solo_batch_runner(strat.runner),
                   serving::batch::BatchAssemblerConfig{
                       .max_batch = max_batch,
                       .max_wait_ms = 1.0,
-                      .bypass_slack_ms = 0.3 * et.total_ms()},
+                      .bypass_slack_ms = 0.3 * serve_et.total_ms()},
                   config)
-            : std::make_unique<serving::EdgeServer>(et, strat.factory,
+            : std::make_unique<serving::EdgeServer>(serve_et, strat.factory,
                                                     strat.runner, config);
     server->registry().set_memory(
         {.workers = static_cast<std::uint64_t>(num_workers),
@@ -218,9 +305,10 @@ int main(int argc, char** argv) {
              static_cast<std::uint64_t>(shared_model.arena_bytes()),
          .planned_total_bytes = static_cast<std::uint64_t>(
              shared_model.bytes_for(num_workers))});
+    if (int8) server->registry().set_quant(quant_gauges);
     util::Timer wall;
     for (const auto& [idx, budget] : stream)
-      server->submit(cs.records[idx], budget);
+      server->submit(serve_cs.records[idx], budget);
     server->shutdown();
     return std::make_pair(server->metrics(), wall.elapsed_s());
   };
@@ -257,7 +345,8 @@ int main(int argc, char** argv) {
   // Machine-readable twin of the table above (seed for bench trajectories).
   std::error_code artifacts_ec;
   std::filesystem::create_directories("artifacts", artifacts_ec);
-  const char* metrics_path = "artifacts/edge_server_metrics.json";
+  const std::string metrics_path =
+      nn::quant::quant_stem("artifacts/edge_server_metrics", int8) + ".json";
   if (std::ofstream out{metrics_path}; out) {
     out << einet_snap.to_json() << "\n";
     std::cout << "\nwrote " << metrics_path << "\n";
@@ -289,7 +378,7 @@ int main(int argc, char** argv) {
   std::cout << "\n== telemetry phase: preempted run + live scrape ==\n";
   obs::Tracer::instance().set_enabled(true);
 
-  const double horizon = et.total_ms();
+  const double horizon = serve_et.total_ms();
   auto script = scenario::ScenarioScript{horizon, /*seed=*/4242}
                     .bursty_phase(256, {0.25, 0.55, 0.85}, 0.05, 0.8,
                                   "telemetry-bursts");
@@ -306,6 +395,7 @@ int main(int argc, char** argv) {
   tcfg.slo.min_samples = 8;
   tcfg.slo.max_shed_rate = 0.5;  // the infeasible burst below must breach
   tcfg.slo.cooldown_ms = 100.0;
+  tcfg.quant = quant_mode;
   const core::UniformExitDistribution telemetry_prior{horizon};
   serving::TaskRunner cancellable_run =
       [&telemetry_prior, time_scale = icfg.time_scale](
@@ -323,8 +413,10 @@ int main(int argc, char** argv) {
         return engine.run_cancellable(*task.record, *task.cancel,
                                       telemetry_prior, pace);
       };
-  serving::EdgeServer tserver{et, einet_factory, cancellable_run, tcfg};
+  serving::EdgeServer tserver{serve_et, einet_factory, cancellable_run,
+                              tcfg};
   tserver.registry().set_memory(memory_gauges);
+  if (int8) tserver.registry().set_quant(quant_gauges);
 
   obs::telemetry::FlightRecorderConfig fr_cfg;
   fr_cfg.dir = "artifacts";
@@ -353,14 +445,14 @@ int main(int argc, char** argv) {
   util::Rng chaos_rng{7};
   const std::size_t chaos_tasks = std::min<std::size_t>(200, num_tasks);
   for (std::size_t i = 0; i < chaos_tasks; ++i)
-    tserver.submit(cs.records[chaos_rng.uniform_int(cs.size())],
+    tserver.submit(serve_cs.records[chaos_rng.uniform_int(serve_cs.size())],
                    1.5 * horizon);
   // Mid-run liveness: the endpoint answers while workers are still draining.
   const auto live = obs::telemetry::http_get("127.0.0.1", http.port(),
                                              "/healthz");
   // A full window of sure-to-shed deadlines: shed_rate hits 1.0 > 0.5.
   for (std::size_t i = 0; i < tcfg.slo.window; ++i)
-    tserver.submit(cs.records[0], 1e-6);
+    tserver.submit(serve_cs.records[0], 1e-6);
   tserver.shutdown();
 
   const auto metrics_scrape =
@@ -370,7 +462,8 @@ int main(int argc, char** argv) {
   http.stop();
   hub.remove("serving");
 
-  const char* scrape_path = "artifacts/edge_server_scrape.prom";
+  const std::string scrape_path =
+      nn::quant::quant_stem("artifacts/edge_server_scrape", int8) + ".prom";
   if (std::ofstream out{scrape_path}; out) out << metrics_scrape.body;
   const auto tsnap = tserver.metrics();
   std::cout << "telemetry run: " << tsnap.completed << " completed, "

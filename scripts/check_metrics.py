@@ -33,6 +33,13 @@ Checks:
      rss_bytes — when the platform reports it at all — is at least the
      planned total (the arenas and weights are resident, not just claimed).
      --require-memory fails unless the block is present and sound.
+ 10. The quant block (quantized deployments, DESIGN.md §16): every
+     completion was served by exactly one trunk, so int8_tasks + fp32_tasks
+     == completed after a graceful drain; fallbacks (int8 requested, fp32
+     served) never exceed fp32_tasks; an enabled deployment publishes a
+     positive int8 weight byte count and — absent fallbacks — actually
+     serves int8. --require-quant fails unless the block is present with
+     enabled == true and int8_tasks > 0.
 
 Artifacts may carry either block: serving snapshots have "counters", split
 snapshots have "split"; at least one must be present.
@@ -131,6 +138,49 @@ def check_memory(errors, name, m, rss_bytes):
             f"{m['planned_total_bytes']} — planned memory not resident")
 
 
+def check_quant(errors, name, q, counters, require):
+    if not isinstance(q, dict):
+        errors.append(f"{name}: not a JSON object")
+        return
+    if not isinstance(q.get("enabled"), bool):
+        errors.append(f'{name}: missing or non-boolean "enabled"')
+        return
+    for field in ("int8_tasks", "fp32_tasks", "fallbacks", "weight_bytes",
+                  "arena_bytes_per_worker"):
+        if not is_num(q.get(field)):
+            errors.append(f'{name}: missing or non-numeric "{field}"')
+            return
+    # Precision attribution pairs every completion with exactly one trunk.
+    total = q["int8_tasks"] + q["fp32_tasks"]
+    if total != counters["completed"]:
+        errors.append(
+            f"{name}: int8_tasks {q['int8_tasks']} + fp32_tasks "
+            f"{q['fp32_tasks']} (= {total}) != completed "
+            f"{counters['completed']} (snapshot not post-drain?)")
+    # A fallback IS an fp32-served task, so it can never outnumber them.
+    if q["fallbacks"] > q["fp32_tasks"]:
+        errors.append(
+            f"{name}: fallbacks {q['fallbacks']} > fp32_tasks "
+            f"{q['fp32_tasks']}")
+    if q["enabled"]:
+        if q["weight_bytes"] <= 0:
+            errors.append(
+                f"{name}: enabled but weight_bytes "
+                f"{q['weight_bytes']} not positive")
+        if counters["completed"] > 0 and q["int8_tasks"] == 0 \
+                and q["fallbacks"] == 0:
+            errors.append(
+                f"{name}: enabled with {counters['completed']} completions "
+                f"but zero int8 tasks and zero fallbacks")
+    if require:
+        if not q["enabled"]:
+            errors.append(
+                f"{name}: enabled is false but --require-quant was set")
+        if q["int8_tasks"] == 0:
+            errors.append(
+                f"{name}: int8_tasks == 0 but --require-quant was set")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("metrics_json")
@@ -143,6 +193,10 @@ def main():
     parser.add_argument(
         "--require-memory", action="store_true",
         help="fail unless the memory block is present and sound")
+    parser.add_argument(
+        "--require-quant", action="store_true",
+        help="fail unless the quant block is present, enabled, and shows "
+             "int8_tasks > 0")
     args = parser.parse_args()
 
     errors = []
@@ -313,6 +367,13 @@ def main():
                 if args.require_batching and batch["batches"] == 0:
                     errors.append(
                         "batch: batches == 0 but --require-batching was set")
+
+        quant = snap.get("quant")
+        if args.require_quant and quant is None:
+            errors.append(
+                "missing quant object but --require-quant was set")
+        elif quant is not None:
+            check_quant(errors, "quant", quant, c, args.require_quant)
 
     if errors:
         print(f"{args.metrics_json}: {len(errors)} violation(s)")

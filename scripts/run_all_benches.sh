@@ -11,7 +11,10 @@
 # always-local / always-remote corners across fast, metered and partitioned
 # link regimes against a live resume server, failing unless the planner
 # strictly wins the metered regime via an intermediate split and writing
-# BENCH_split.json).
+# BENCH_split.json), and bench_quant (int8 trunk vs fp32 conv throughput at
+# 1 and 4 threads with the >= 2x criterion, int8 thread-count bit-identity,
+# and the planner E[acc] degradation bound on the re-profiled "-q8"
+# artifacts, writing BENCH_quant.json).
 # Fails fast: the first bench that exits non-zero aborts the sweep and its
 # name is reported on stderr (with `set -o pipefail` the tee no longer
 # swallows the bench's exit status).

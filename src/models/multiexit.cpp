@@ -72,6 +72,16 @@ const nn::Shape& MultiExitNetwork::feature_shape(std::size_t i) const {
   return feature_shapes_[i];
 }
 
+const nn::Layer& MultiExitNetwork::conv_part_layer(std::size_t i) const {
+  check_block_index(i);
+  return *blocks_[i].conv_part;
+}
+
+const nn::Layer& MultiExitNetwork::branch_layer(std::size_t i) const {
+  check_block_index(i);
+  return *blocks_[i].branch;
+}
+
 std::size_t MultiExitNetwork::conv_part_flops(std::size_t i) const {
   check_block_index(i);
   return conv_part_flops_[i];

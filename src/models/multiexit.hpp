@@ -54,6 +54,10 @@ class MultiExitNetwork {
   [[nodiscard]] const nn::Shape& input_shape() const { return input_shape_; }
   /// Feature-map shape entering block `i` (i == num_exits() -> final shape).
   [[nodiscard]] const nn::Shape& feature_shape(std::size_t i) const;
+  /// Read-only access to block i's conv part / branch (used by the quantized
+  /// backbone to derive its int8 layer substitutes from the frozen weights).
+  [[nodiscard]] const nn::Layer& conv_part_layer(std::size_t i) const;
+  [[nodiscard]] const nn::Layer& branch_layer(std::size_t i) const;
   /// Analytical MAC count of block i's conv part / branch for batch size 1.
   [[nodiscard]] std::size_t conv_part_flops(std::size_t i) const;
   [[nodiscard]] std::size_t branch_flops(std::size_t i) const;

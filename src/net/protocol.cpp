@@ -160,10 +160,14 @@ std::vector<std::uint8_t> encode_response(const ResponseFrame& f) {
 }
 
 std::size_t activation_wire_bytes(const ActivationFrame& f) {
-  // Fixed fields: 8+8+8+1+4+4 head, 8+4+1+8+1+8+8+8+8 snapshot tail.
-  return kHeaderBytes + 87 + f.state.plan_bits.size() +
-         4 * f.state.session_conf.size() +
-         nn::encoded_tensor_bytes(f.activation);
+  // Fixed fields: 8+8+8+1+4+4 head (+ the dtype byte since codec v2),
+  // 8+4+1+8+1+8+8+8+8 snapshot tail.
+  const std::size_t dtype_byte = f.codec_version >= 2 ? 1 : 0;
+  const std::size_t tensor_bytes =
+      f.dtype == ActDtype::kQ8 ? nn::encoded_tensor_q8_bytes(f.activation)
+                               : nn::encoded_tensor_bytes(f.activation);
+  return kHeaderBytes + 87 + dtype_byte + f.state.plan_bits.size() +
+         4 * f.state.session_conf.size() + tensor_bytes;
 }
 
 std::vector<std::uint8_t> encode_activation(const ActivationFrame& f) {
@@ -173,6 +177,13 @@ std::vector<std::uint8_t> encode_activation(const ActivationFrame& f) {
   if (f.start_block >= f.state.plan_bits.size())
     throw std::invalid_argument{
         "encode_activation: start_block must precede the last block"};
+  if (f.codec_version == 0 || f.codec_version > kActivationCodecVersion)
+    throw std::invalid_argument{
+        "encode_activation: unknown codec version " +
+        std::to_string(int{f.codec_version})};
+  if (f.codec_version < 2 && f.dtype != ActDtype::kF32)
+    throw std::invalid_argument{
+        "encode_activation: q8 payloads need codec version >= 2"};
   std::vector<std::uint8_t> body;
   body.reserve(activation_wire_bytes(f) - kHeaderBytes);
   WireWriter w{body};
@@ -180,6 +191,7 @@ std::vector<std::uint8_t> encode_activation(const ActivationFrame& f) {
   w.f64(f.deadline_ms);
   w.u64(f.label);
   w.u8(f.codec_version);
+  if (f.codec_version >= 2) w.u8(static_cast<std::uint8_t>(f.dtype));
   w.u32(f.start_block);
   w.u32(static_cast<std::uint32_t>(f.state.plan_bits.size()));
   for (const std::uint8_t bit : f.state.plan_bits) w.u8(bit);
@@ -193,7 +205,10 @@ std::vector<std::uint8_t> encode_activation(const ActivationFrame& f) {
   w.u64(static_cast<std::uint64_t>(f.state.branches_executed));
   w.u64(static_cast<std::uint64_t>(f.state.searches_run));
   w.f64(f.state.planner_ms);
-  nn::encode_tensor(f.activation, body);
+  if (f.dtype == ActDtype::kQ8)
+    nn::encode_tensor_q8(f.activation, body);
+  else
+    nn::encode_tensor(f.activation, body);
   return make_frame(FrameType::kActivation, body);
 }
 
@@ -259,10 +274,20 @@ ActivationFrame decode_activation(const std::vector<std::uint8_t>& b) {
   f.deadline_ms = r.f64();
   f.label = r.u64();
   f.codec_version = r.u8();
-  if (f.codec_version != kActivationCodecVersion)
+  if (f.codec_version == 0 || f.codec_version > kActivationCodecVersion)
     throw ProtocolError{"unsupported activation codec version " +
                             std::to_string(int{f.codec_version}),
                         ErrorCode::kBadVersion};
+  // v1 predates the dtype byte: those frames are implicitly f32.
+  f.dtype = ActDtype::kF32;
+  if (f.codec_version >= 2) {
+    const std::uint8_t d = r.u8();
+    if (d > static_cast<std::uint8_t>(ActDtype::kQ8))
+      throw ProtocolError{"activation carries unknown payload dtype " +
+                              std::to_string(int{d}),
+                          ErrorCode::kMalformedBody};
+    f.dtype = static_cast<ActDtype>(d);
+  }
   f.start_block = r.u32();
   const std::uint32_t n = r.u32();
   if (n == 0 || f.start_block >= n)
@@ -294,7 +319,8 @@ ActivationFrame decode_activation(const std::vector<std::uint8_t>& b) {
                                                        r.remaining()),
                                            r.remaining()};
   try {
-    f.activation = nn::decode_tensor(tail);
+    f.activation = f.dtype == ActDtype::kQ8 ? nn::decode_tensor_q8(tail)
+                                            : nn::decode_tensor(tail);
   } catch (const nn::TensorCodecError& e) {
     throw ProtocolError{std::string{"activation tensor: "} + e.what(),
                         ErrorCode::kMalformedBody};

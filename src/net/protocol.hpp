@@ -46,8 +46,9 @@ namespace einet::net {
 
 inline constexpr std::uint8_t kWireVersion = 1;
 /// Version of the activation frame's body layout (independent of
-/// kWireVersion; bumped when SplitState gains fields).
-inline constexpr std::uint8_t kActivationCodecVersion = 1;
+/// kWireVersion; bumped when SplitState gains fields). v2 added the payload
+/// dtype byte (f32 vs q8); v1 frames decode as implicit f32.
+inline constexpr std::uint8_t kActivationCodecVersion = 2;
 /// Frame header bytes 0..3: "EINT".
 inline constexpr std::uint8_t kMagic[4] = {0x45, 0x49, 0x4E, 0x54};
 inline constexpr std::size_t kHeaderBytes = 12;
@@ -108,20 +109,31 @@ struct ErrorFrame {
   std::string message;
 };
 
+/// Payload encoding of the shipped activation tensor. kQ8 uses the nn q8
+/// tensor codec (offset-128 u8 + one f32 scale, ~4x smaller on the wire);
+/// the edge dequantizes on decode, so the resume path stays fp32-in.
+enum class ActDtype : std::uint8_t { kF32 = 0, kQ8 = 1 };
+
 /// Split-execution offload. Body layout (after the frame header):
 ///   u64 request_id | f64 deadline_ms | u64 label | u8 codec_version |
+///   u8 dtype (codec v2+ only) |
 ///   u32 start_block | u32 num_exits | u8 plan_bits[num_exits] |
 ///   f32 session_conf[start_block] | f64 sim_t_ms | f32 last_conf |
 ///   u8 has_result | u64 exit_index | u8 correct | f64 result_time_ms |
 ///   u64 branches_executed | u64 searches_run | f64 planner_ms |
-///   activation tensor (nn tensor codec, to the end of the body)
+///   activation tensor (nn tensor codec per dtype, to the end of the body)
 struct ActivationFrame {
   std::uint64_t request_id = 0;
   double deadline_ms = 0.0;
   std::uint64_t label = 0;
-  /// Body-level layout version; decode rejects anything but
-  /// kActivationCodecVersion with ErrorCode::kBadVersion.
+  /// Body-level layout version; decode accepts [1, kActivationCodecVersion]
+  /// (v1 has no dtype byte and is implicitly f32), rejecting anything newer
+  /// with ErrorCode::kBadVersion.
   std::uint8_t codec_version = kActivationCodecVersion;
+  /// Payload encoding of `activation`. Decoding a q8 frame dequantizes, so
+  /// `activation` is always an fp32 tensor in memory; encode_activation
+  /// quantizes on the way out when kQ8 is selected.
+  ActDtype dtype = ActDtype::kF32;
   std::uint32_t start_block = 0;
   runtime::SplitState state;
   nn::Tensor activation;

@@ -28,6 +28,8 @@ class Conv2d final : public Layer {
   [[nodiscard]] const Conv2dSpec& spec() const { return spec_; }
   [[nodiscard]] Param& weight() { return weight_; }
   [[nodiscard]] Param& bias() { return bias_; }
+  [[nodiscard]] const Param& weight() const { return weight_; }
+  [[nodiscard]] const Param& bias() const { return bias_; }
 
  private:
   /// Spatial output size along one axis for input size `in`.

@@ -19,14 +19,16 @@ nn::Shape with_batch(const nn::Shape& chw) {
 
 }  // namespace
 
-ActivationProfile profile_activations(const models::MultiExitNetwork& net) {
-  const std::size_t n = net.num_exits();
+ActivationProfile profile_activations(const StepwiseHooks& hooks) {
+  const std::size_t n = hooks.num_exits;
   if (n == 0)
     throw std::invalid_argument{"profile_activations: network has no blocks"};
+  if (!hooks.feature_shape || !hooks.conv_into || !hooks.branch_into)
+    throw std::invalid_argument{"profile_activations: incomplete hooks"};
 
   ActivationProfile p;
   p.num_exits = n;
-  p.num_classes = net.num_classes();
+  p.num_classes = hooks.num_classes;
   p.batch = 1;
   p.num_steps = 2 * n;
   p.step_scratch.resize(p.num_steps);
@@ -40,13 +42,13 @@ ActivationProfile profile_activations(const models::MultiExitNetwork& net) {
   //   logits i   — produced and consumed at step 2i+1.
   p.feat_buffer.push_back(p.buffers.size());
   p.buffers.push_back(BufferReq{
-      "feat0", nn::shape_numel(with_batch(net.feature_shape(0))),
+      "feat0", nn::shape_numel(with_batch(hooks.feature_shape(0))),
       BufferLife{0, 0}});
   for (std::size_t i = 0; i < n; ++i) {
     p.feat_buffer.push_back(p.buffers.size());
     p.buffers.push_back(BufferReq{
         "feat" + std::to_string(i + 1),
-        nn::shape_numel(with_batch(net.feature_shape(i + 1))),
+        nn::shape_numel(with_batch(hooks.feature_shape(i + 1))),
         BufferLife{2 * i, std::min(2 * i + 2, last_step)}});
     p.logits_buffer.push_back(p.buffers.size());
     p.buffers.push_back(BufferReq{"logits" + std::to_string(i),
@@ -57,21 +59,37 @@ ActivationProfile profile_activations(const models::MultiExitNetwork& net) {
   // One full stepwise pass to record each step's workspace takes. Values are
   // irrelevant (zeros); only shapes drive the take() sizes.
   nn::PooledWorkspace ws;
-  nn::Tensor features{with_batch(net.feature_shape(0))};
+  nn::Tensor features{with_batch(hooks.feature_shape(0))};
   for (std::size_t i = 0; i < n; ++i) {
     nn::Tensor next;
     ws.begin_recording();
-    net.run_conv_part_into(i, features, next, ws);
+    hooks.conv_into(i, features, next, ws);
     p.step_scratch[2 * i] = ws.end_recording();
 
     nn::Tensor logits;
     ws.begin_recording();
-    net.run_branch_into(i, next, logits, ws);
+    hooks.branch_into(i, next, logits, ws);
     p.step_scratch[2 * i + 1] = ws.end_recording();
 
     features = std::move(next);
   }
   return p;
+}
+
+ActivationProfile profile_activations(const models::MultiExitNetwork& net) {
+  StepwiseHooks hooks;
+  hooks.num_exits = net.num_exits();
+  hooks.num_classes = net.num_classes();
+  hooks.feature_shape = [&net](std::size_t i) { return net.feature_shape(i); };
+  hooks.conv_into = [&net](std::size_t i, const nn::Tensor& x, nn::Tensor& out,
+                           nn::Workspace& ws) {
+    net.run_conv_part_into(i, x, out, ws);
+  };
+  hooks.branch_into = [&net](std::size_t i, const nn::Tensor& x,
+                             nn::Tensor& out, nn::Workspace& ws) {
+    net.run_branch_into(i, x, out, ws);
+  };
+  return profile_activations(hooks);
 }
 
 MemoryPlan plan_for(const models::MultiExitNetwork& net) {

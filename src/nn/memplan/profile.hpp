@@ -10,12 +10,37 @@
 //
 // The resulting ActivationProfile is deterministic for a given architecture
 // and feeds plan_memory().
+//
+// The StepwiseHooks overload profiles any implementation of the stepwise
+// contract (conv step 2i, branch step 2i+1) — the quantized backbone uses it
+// to plan its own arenas: its u8 im2col scratch is ~4x smaller than the fp32
+// path's, and the recorded takes (not the fp32 network's) must size the
+// arena, so fp32 and int8 plans differ exactly where the dtypes differ.
 #pragma once
+
+#include <functional>
 
 #include "models/multiexit.hpp"
 #include "nn/memplan/plan.hpp"
 
 namespace einet::memplan {
+
+/// A stepwise execution path to profile: shapes plus the two step kernels.
+/// `feature_shape(i)` is the batch-less (C, H, W) shape entering block i
+/// (i == num_exits -> final shape), mirroring MultiExitNetwork.
+struct StepwiseHooks {
+  std::size_t num_exits = 0;
+  std::size_t num_classes = 0;
+  std::function<nn::Shape(std::size_t)> feature_shape;
+  std::function<void(std::size_t, const nn::Tensor&, nn::Tensor&,
+                     nn::Workspace&)>
+      conv_into;
+  std::function<void(std::size_t, const nn::Tensor&, nn::Tensor&,
+                     nn::Workspace&)>
+      branch_into;
+};
+
+[[nodiscard]] ActivationProfile profile_activations(const StepwiseHooks& hooks);
 
 [[nodiscard]] ActivationProfile profile_activations(
     const models::MultiExitNetwork& net);

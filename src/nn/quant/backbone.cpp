@@ -1,0 +1,361 @@
+#include "nn/quant/backbone.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "nn/activations.hpp"
+#include "nn/memplan/profile.hpp"
+#include "nn/quant/qgemm.hpp"
+#include "nn/sequential.hpp"
+#include "nn/workspace.hpp"
+
+namespace einet::nn::quant {
+
+namespace {
+
+inline std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Float count of a workspace tensor reinterpreted as `bytes` of u8 storage.
+/// This is how int8 scratch rides the float-typed arena: the recorded take is
+/// ~1/4 the fp32 equivalent, and memplan sizes the slots from the recording.
+inline std::size_t u8_floats(std::size_t bytes) {
+  return ceil_div(bytes, sizeof(float));
+}
+
+/// im2col over offset-128 u8 activations. Same output as the fp32 im2col in
+/// conv2d.cpp, but padding emits the quantized zero point (the byte 128)
+/// instead of 0.0f — and stride-1 rows collapse to memset/memcpy spans (the
+/// quantized conv's per-call overhead is this pack plus quantize_acts, so
+/// the byte-at-a-time loop would eat the int8 GEMM speedup).
+void im2col_u8(const std::uint8_t* img, std::size_t channels, std::size_t h,
+               std::size_t w, std::size_t k, std::size_t stride,
+               std::size_t pad, std::size_t out_h, std::size_t out_w,
+               std::uint8_t* col) {
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < k; ++ki) {
+      for (std::size_t kj = 0; kj < k; ++kj) {
+        const std::size_t row = (c * k + ki) * k + kj;
+        std::uint8_t* dst = col + row * out_h * out_w;
+        for (std::size_t oi = 0; oi < out_h; ++oi) {
+          const long ii =
+              static_cast<long>(oi * stride + ki) - static_cast<long>(pad);
+          std::uint8_t* drow = dst + oi * out_w;
+          if (ii < 0 || ii >= static_cast<long>(h)) {
+            std::memset(drow, kActZeroPoint, out_w);
+            continue;
+          }
+          const std::uint8_t* srow =
+              img + (c * h + static_cast<std::size_t>(ii)) * w;
+          if (stride == 1) {
+            // jj = oj + kj - pad: one valid [lo, hi) span per output row.
+            const long shift = static_cast<long>(kj) - static_cast<long>(pad);
+            const std::size_t lo =
+                shift < 0 ? static_cast<std::size_t>(-shift) : 0;
+            long hi = static_cast<long>(w) - shift;
+            if (hi > static_cast<long>(out_w)) hi = static_cast<long>(out_w);
+            if (hi < static_cast<long>(lo)) hi = static_cast<long>(lo);
+            const auto uhi = static_cast<std::size_t>(hi);
+            if (lo > 0) std::memset(drow, kActZeroPoint, lo);
+            if (uhi > lo) std::memcpy(drow + lo, srow + lo + shift, uhi - lo);
+            if (uhi < out_w) std::memset(drow + uhi, kActZeroPoint, out_w - uhi);
+            continue;
+          }
+          for (std::size_t oj = 0; oj < out_w; ++oj) {
+            const long jj =
+                static_cast<long>(oj * stride + kj) - static_cast<long>(pad);
+            std::uint8_t v = kActZeroPoint;
+            if (jj >= 0 && jj < static_cast<long>(w))
+              v = srow[static_cast<std::size_t>(jj)];
+            drow[oj] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2d
+
+QuantizedConv2d::QuantizedConv2d(const Conv2d& src, bool fuse_relu)
+    : spec_(src.spec()),
+      w_(quantize_weights(
+          src.weight().value.raw(), src.spec().out_channels,
+          src.spec().in_channels * src.spec().kernel * src.spec().kernel)),
+      bias_(src.bias().value.raw(),
+            src.bias().value.raw() + src.spec().out_channels),
+      fuse_relu_(fuse_relu) {}
+
+Shape QuantizedConv2d::out_shape(const Shape& in) const {
+  if (in.size() != 4 || in[1] != spec_.in_channels)
+    throw std::invalid_argument{"QuantizedConv2d: expected (N," +
+                                std::to_string(spec_.in_channels) +
+                                ",H,W), got " + shape_str(in)};
+  const auto out_size = [this](std::size_t n) {
+    const std::size_t padded = n + 2 * spec_.padding;
+    if (padded < spec_.kernel)
+      throw std::invalid_argument{"QuantizedConv2d: input smaller than kernel"};
+    return (padded - spec_.kernel) / spec_.stride + 1;
+  };
+  return {in[0], spec_.out_channels, out_size(in[2]), out_size(in[3])};
+}
+
+std::size_t QuantizedConv2d::weight_bytes() const {
+  return w_.bytes() + bias_.size() * sizeof(float);
+}
+
+void QuantizedConv2d::forward_into(const Tensor& x, Tensor& out,
+                                   Workspace& ws) const {
+  const Shape os = out_shape(x.shape());
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t out_h = os[2], out_w = os[3];
+  const std::size_t patch = spec_.in_channels * spec_.kernel * spec_.kernel;
+  const std::size_t spatial = out_h * out_w;
+  const std::size_t img_elems = spec_.in_channels * h * w;
+
+  out.resize(os);
+
+  if (n == 1) {
+    // Serving hot path: u8 image + u8 columns + the combined-scale vector all
+    // come from the caller's workspace, so an arena-backed PooledWorkspace
+    // makes this allocation-free in steady state — at ~1/4 the fp32 scratch.
+    ScopedTensor qimg{ws, Shape{u8_floats(img_elems)}};
+    auto* qi = reinterpret_cast<std::uint8_t*>(qimg.get().raw());
+    const float sa = quantize_acts(x.raw(), img_elems, qi);
+    ScopedTensor qcol{ws, Shape{u8_floats(patch * spatial)}};
+    auto* qc = reinterpret_cast<std::uint8_t*>(qcol.get().raw());
+    im2col_u8(qi, spec_.in_channels, h, w, spec_.kernel, spec_.stride,
+              spec_.padding, out_h, out_w, qc);
+    ScopedTensor scales{ws, Shape{spec_.out_channels}};
+    float* sc = scales.get().raw();
+    for (std::size_t oc = 0; oc < spec_.out_channels; ++oc)
+      sc[oc] = w_.scale[oc] * sa;
+    const RequantParams rq{sc, bias_.data(), w_.comp.data(), fuse_relu_};
+    qgemm_fused(Trans::kN, spec_.out_channels, spatial, patch, w_.data.data(),
+                patch, qc, spatial, rq, out.raw(), spatial, false);
+    return;
+  }
+
+  // Batched eval: per-sample scratch AND per-sample activation scales — each
+  // sample quantizes against its own absmax, so a stacked batch is
+  // bit-identical to the same samples run solo.
+  parallel_for(n, [&](std::size_t sb, std::size_t se) {
+    std::vector<std::uint8_t> qimg(img_elems);
+    std::vector<std::uint8_t> qcol(patch * spatial);
+    std::vector<float> sc(spec_.out_channels);
+    for (std::size_t i = sb; i < se; ++i) {
+      const float* img = x.raw() + i * img_elems;
+      const float sa = quantize_acts(img, img_elems, qimg.data());
+      im2col_u8(qimg.data(), spec_.in_channels, h, w, spec_.kernel,
+                spec_.stride, spec_.padding, out_h, out_w, qcol.data());
+      for (std::size_t oc = 0; oc < spec_.out_channels; ++oc)
+        sc[oc] = w_.scale[oc] * sa;
+      const RequantParams rq{sc.data(), bias_.data(), w_.comp.data(),
+                             fuse_relu_};
+      qgemm_fused(Trans::kN, spec_.out_channels, spatial, patch,
+                  w_.data.data(), patch, qcol.data(), spatial, rq,
+                  out.raw() + i * spec_.out_channels * spatial, spatial,
+                  false);
+    }
+  });
+}
+
+// ---------------------------------------------------------------- Linear
+
+QuantizedLinear::QuantizedLinear(const Linear& src, bool fuse_relu)
+    : in_(src.in_features()),
+      out_(src.out_features()),
+      w_(quantize_weights(src.weight().value.raw(), src.out_features(),
+                          src.in_features())),
+      bias_(src.bias().value.raw(), src.bias().value.raw() + src.out_features()),
+      fuse_relu_(fuse_relu) {}
+
+Shape QuantizedLinear::out_shape(const Shape& in) const {
+  if (in.size() != 2 || in[1] != in_)
+    throw std::invalid_argument{"QuantizedLinear: expected (N," +
+                                std::to_string(in_) + "), got " +
+                                shape_str(in)};
+  return {in[0], out_};
+}
+
+std::size_t QuantizedLinear::weight_bytes() const {
+  return w_.bytes() + bias_.size() * sizeof(float);
+}
+
+void QuantizedLinear::forward_into(const Tensor& x, Tensor& out,
+                                   Workspace& ws) const {
+  if (x.rank() != 2 || x.dim(1) != in_)
+    throw std::invalid_argument{"QuantizedLinear: expected (N," +
+                                std::to_string(in_) + "), got " +
+                                shape_str(x.shape())};
+  const std::size_t n = x.dim(0);
+  out.resize({n, out_});
+
+  if (n == 1) {
+    ScopedTensor qrow{ws, Shape{u8_floats(in_)}};
+    auto* qr = reinterpret_cast<std::uint8_t*>(qrow.get().raw());
+    const float sa = quantize_acts(x.raw(), in_, qr);
+    ScopedTensor scales{ws, Shape{out_}};
+    float* sc = scales.get().raw();
+    for (std::size_t o = 0; o < out_; ++o) sc[o] = w_.scale[o] * sa;
+    const RequantParams rq{sc, bias_.data(), w_.comp.data(), fuse_relu_};
+    // y^T (out x 1) = W (out x in) * x^T; transpose_c writes it batch-major.
+    qgemm_fused(Trans::kT, out_, 1, in_, w_.data.data(), in_, qr, in_, rq,
+                out.raw(), out_, true);
+    return;
+  }
+
+  parallel_for(n, [&](std::size_t rb, std::size_t re) {
+    std::vector<std::uint8_t> qrow(in_);
+    std::vector<float> sc(out_);
+    for (std::size_t i = rb; i < re; ++i) {
+      const float sa = quantize_acts(x.raw() + i * in_, in_, qrow.data());
+      for (std::size_t o = 0; o < out_; ++o) sc[o] = w_.scale[o] * sa;
+      const RequantParams rq{sc.data(), bias_.data(), w_.comp.data(),
+                             fuse_relu_};
+      qgemm_fused(Trans::kT, out_, 1, in_, w_.data.data(), in_, qrow.data(),
+                  in_, rq, out.raw() + i * out_, out_, true);
+    }
+  });
+}
+
+// ---------------------------------------------------------------- Backbone
+
+QuantizedBackbone::QuantizedBackbone(const models::MultiExitNetwork& net)
+    : net_(&net) {
+  const std::size_t n = net.num_exits();
+  if (n == 0)
+    throw std::invalid_argument{"QuantizedBackbone: network has no blocks"};
+  steps_.resize(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    const Layer& part = net.conv_part_layer(b);
+    std::vector<const Layer*> layers;
+    if (const auto* seq = dynamic_cast<const Sequential*>(&part)) {
+      for (std::size_t i = 0; i < seq->size(); ++i)
+        layers.push_back(&seq->layer(i));
+    } else {
+      layers.push_back(&part);
+    }
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      const bool next_is_relu =
+          i + 1 < layers.size() &&
+          dynamic_cast<const ReLU*>(layers[i + 1]) != nullptr;
+      Step step;
+      if (const auto* conv = dynamic_cast<const Conv2d*>(layers[i])) {
+        step.conv = std::make_unique<QuantizedConv2d>(*conv, next_is_relu);
+        if (next_is_relu) ++i;  // the epilogue absorbed the ReLU
+      } else if (const auto* lin = dynamic_cast<const Linear*>(layers[i])) {
+        step.linear = std::make_unique<QuantizedLinear>(*lin, next_is_relu);
+        if (next_is_relu) ++i;
+      } else {
+        step.fp32 = layers[i];
+      }
+      steps_[b].push_back(std::move(step));
+    }
+  }
+}
+
+Shape QuantizedBackbone::step_out_shape(const Step& s, const Shape& in) const {
+  if (s.conv) return s.conv->out_shape(in);
+  if (s.linear) return s.linear->out_shape(in);
+  return s.fp32->out_shape(in);
+}
+
+void QuantizedBackbone::run_conv_part_into(std::size_t i, const Tensor& x,
+                                           Tensor& out, Workspace& ws) const {
+  if (i >= steps_.size())
+    throw std::out_of_range{"QuantizedBackbone: block index out of range"};
+  const std::vector<Step>& steps = steps_[i];
+  if (steps.empty()) {
+    out.resize(x.shape());
+    std::copy(x.raw(), x.raw() + x.numel(), out.raw());
+    return;
+  }
+  // Chain through workspace-borrowed intermediates, exactly like
+  // Sequential::forward_into; only the last step writes the caller's `out`.
+  const Tensor* cur = &x;
+  Tensor held;
+  bool has_held = false;
+  const auto run_step = [&](const Step& s, const Tensor& in, Tensor& dst) {
+    if (s.conv) {
+      s.conv->forward_into(in, dst, ws);
+    } else if (s.linear) {
+      s.linear->forward_into(in, dst, ws);
+    } else {
+      s.fp32->forward_into(in, dst, ws);
+    }
+  };
+  for (std::size_t si = 0; si < steps.size(); ++si) {
+    if (si + 1 == steps.size()) {
+      run_step(steps[si], *cur, out);
+    } else {
+      Tensor next = ws.take(step_out_shape(steps[si], cur->shape()));
+      run_step(steps[si], *cur, next);
+      if (has_held) ws.give(std::move(held));
+      held = std::move(next);
+      has_held = true;
+      cur = &held;
+    }
+  }
+  if (has_held) ws.give(std::move(held));
+}
+
+Tensor QuantizedBackbone::run_conv_part(std::size_t i, const Tensor& x) const {
+  Tensor out;
+  run_conv_part_into(i, x, out, default_workspace());
+  return out;
+}
+
+memplan::MemoryPlan QuantizedBackbone::plan() const {
+  memplan::StepwiseHooks hooks;
+  hooks.num_exits = net_->num_exits();
+  hooks.num_classes = net_->num_classes();
+  hooks.feature_shape = [this](std::size_t i) {
+    return net_->feature_shape(i);
+  };
+  hooks.conv_into = [this](std::size_t i, const Tensor& x, Tensor& out,
+                           Workspace& ws) {
+    run_conv_part_into(i, x, out, ws);
+  };
+  hooks.branch_into = [this](std::size_t i, const Tensor& x, Tensor& out,
+                             Workspace& ws) {
+    net_->run_branch_into(i, x, out, ws);
+  };
+  return memplan::plan_memory(memplan::profile_activations(hooks));
+}
+
+std::size_t QuantizedBackbone::weight_bytes() const {
+  std::size_t total = 0;
+  for (const auto& block : steps_) {
+    for (const auto& s : block) {
+      if (s.conv) total += s.conv->weight_bytes();
+      if (s.linear) total += s.linear->weight_bytes();
+    }
+  }
+  return total;
+}
+
+std::size_t QuantizedBackbone::quantized_layers() const {
+  std::size_t total = 0;
+  for (const auto& block : steps_)
+    for (const auto& s : block)
+      if (s.conv || s.linear) ++total;
+  return total;
+}
+
+std::size_t QuantizedBackbone::fused_relus() const {
+  std::size_t total = 0;
+  for (const auto& block : steps_)
+    for (const auto& s : block)
+      if ((s.conv && s.conv->fused_relu()) ||
+          (s.linear && s.linear->fused_relu()))
+        ++total;
+  return total;
+}
+
+}  // namespace einet::nn::quant

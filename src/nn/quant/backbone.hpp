@@ -1,0 +1,115 @@
+// Int8 execution mode for a frozen multi-exit backbone (DESIGN.md §16).
+//
+// QuantizedBackbone mirrors MultiExitNetwork's stepwise conv-part contract
+// (run_conv_part / run_conv_part_into) but substitutes int8 compute for every
+// Conv2d / Linear inside the conv parts:
+//   * weights are quantized offline, per output channel, at construction;
+//   * activations are quantized dynamically per call — and per *sample*, so
+//     a stacked batch produces bit-identical bytes to the same samples run
+//     solo (the batched engine's equality contract survives quantization);
+//   * a Conv2d/Linear immediately followed by ReLU absorbs it into the fused
+//     qgemm epilogue (the ReLU layer is skipped entirely);
+//   * every other layer (pooling, batch-norm, flatten, residual units) runs
+//     its fp32 forward_into unchanged.
+//
+// Exit branches are NOT quantized: the engine keeps routing them to the fp32
+// network, so exit classifiers, predictor and planner inputs stay full
+// precision and only the shared trunk pays the quantization error. The
+// resulting per-exit accuracy deltas are surfaced to the planner through the
+// re-profiled "-q8" CS trajectories (quant/profile.hpp), not hidden.
+//
+// The backbone holds a pointer to the frozen network; the caller (normally
+// serving::SharedModel) must keep that network alive for the backbone's
+// lifetime.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "models/multiexit.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/memplan/plan.hpp"
+#include "nn/quant/quantize.hpp"
+
+namespace einet::nn::quant {
+
+/// Int8 substitute for one frozen Conv2d (+ optionally fused ReLU).
+class QuantizedConv2d {
+ public:
+  QuantizedConv2d(const Conv2d& src, bool fuse_relu);
+
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const;
+  [[nodiscard]] Shape out_shape(const Shape& in) const;
+  [[nodiscard]] const QuantizedMatrix& weights() const { return w_; }
+  [[nodiscard]] bool fused_relu() const { return fuse_relu_; }
+  [[nodiscard]] std::size_t weight_bytes() const;
+
+ private:
+  Conv2dSpec spec_;
+  QuantizedMatrix w_;          // (out_c, in_c * k * k)
+  std::vector<float> bias_;    // fp32 bias, applied in the epilogue
+  bool fuse_relu_;
+};
+
+/// Int8 substitute for one frozen Linear (+ optionally fused ReLU).
+class QuantizedLinear {
+ public:
+  QuantizedLinear(const Linear& src, bool fuse_relu);
+
+  void forward_into(const Tensor& x, Tensor& out, Workspace& ws) const;
+  [[nodiscard]] Shape out_shape(const Shape& in) const;
+  [[nodiscard]] const QuantizedMatrix& weights() const { return w_; }
+  [[nodiscard]] bool fused_relu() const { return fuse_relu_; }
+  [[nodiscard]] std::size_t weight_bytes() const;
+
+ private:
+  std::size_t in_, out_;
+  QuantizedMatrix w_;        // (out, in)
+  std::vector<float> bias_;  // fp32 bias, applied in the epilogue
+  bool fuse_relu_;
+};
+
+class QuantizedBackbone {
+ public:
+  /// Quantizes every Conv2d/Linear in `net`'s conv parts. `net` must outlive
+  /// the backbone and must not be retrained afterwards (weights are sampled
+  /// once, here).
+  explicit QuantizedBackbone(const models::MultiExitNetwork& net);
+
+  [[nodiscard]] const models::MultiExitNetwork& net() const { return *net_; }
+  [[nodiscard]] std::size_t num_exits() const { return steps_.size(); }
+
+  /// Int8 replacements for MultiExitNetwork::run_conv_part[_into]. Batch-n
+  /// capable; per-sample activation scales keep stacked outputs bit-identical
+  /// to solo runs.
+  [[nodiscard]] Tensor run_conv_part(std::size_t i, const Tensor& x) const;
+  void run_conv_part_into(std::size_t i, const Tensor& x, Tensor& out,
+                          Workspace& ws) const;
+
+  /// Memory plan for the quantized stepwise path (u8 im2col scratch shrinks
+  /// the arena versus the fp32 plan); branches are profiled fp32 as served.
+  [[nodiscard]] memplan::MemoryPlan plan() const;
+
+  /// Resident bytes of the int8 weights (+ scales, compensation, biases).
+  [[nodiscard]] std::size_t weight_bytes() const;
+  /// How many Conv2d/Linear layers were quantized / how many ReLUs fused.
+  [[nodiscard]] std::size_t quantized_layers() const;
+  [[nodiscard]] std::size_t fused_relus() const;
+
+ private:
+  /// One layer position of a conv part: exactly one of the three is set.
+  struct Step {
+    const Layer* fp32 = nullptr;
+    std::unique_ptr<QuantizedConv2d> conv;
+    std::unique_ptr<QuantizedLinear> linear;
+  };
+
+  [[nodiscard]] Shape step_out_shape(const Step& s, const Shape& in) const;
+
+  const models::MultiExitNetwork* net_;
+  std::vector<std::vector<Step>> steps_;  // per block
+};
+
+}  // namespace einet::nn::quant

@@ -1,0 +1,80 @@
+#include "nn/quant/profile.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "nn/tensor.hpp"
+
+namespace einet::nn::quant {
+
+std::string quant_stem(const std::string& stem, bool quantized) {
+  return quantized ? stem + quant_suffix() : stem;
+}
+
+bool is_quant_profile(const profiling::ETProfile& et) {
+  return et.model_name.ends_with(quant_suffix());
+}
+
+profiling::CSProfile profile_confidence_quant(const QuantizedBackbone& backbone,
+                                              const data::Dataset& ds,
+                                              std::size_t batch_size) {
+  if (ds.size() == 0)
+    throw std::invalid_argument{"profile_confidence_quant: empty dataset"};
+  if (batch_size == 0)
+    throw std::invalid_argument{"profile_confidence_quant: batch_size == 0"};
+  const models::MultiExitNetwork& net = backbone.net();
+
+  profiling::CSProfile p;
+  p.model_name = net.name() + quant_suffix();
+  p.dataset_name = ds.name();
+  p.num_exits = net.num_exits();
+  p.records.reserve(ds.size());
+
+  std::vector<std::size_t> indices;
+  for (std::size_t start = 0; start < ds.size(); start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, ds.size());
+    indices.resize(end - start);
+    for (std::size_t i = start; i < end; ++i) indices[i - start] = i;
+    const data::Batch batch = data::make_batch(ds, indices);
+
+    // Stepwise, const, exactly the served path: quantized conv part i over
+    // the stacked batch (per-sample activation scales inside), fp32 branch i.
+    std::vector<nn::Tensor> logits;
+    logits.reserve(p.num_exits);
+    nn::Tensor features = batch.images;
+    for (std::size_t i = 0; i < p.num_exits; ++i) {
+      features = backbone.run_conv_part(i, features);
+      logits.push_back(net.run_branch(i, features));
+    }
+
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      profiling::CSRecord r;
+      r.label = batch.labels[b];
+      r.confidence.reserve(p.num_exits);
+      r.correct.reserve(p.num_exits);
+      for (std::size_t k = 0; k < p.num_exits; ++k) {
+        const std::size_t classes = logits[k].dim(1);
+        const auto probs = nn::softmax(
+            std::span<const float>{logits[k].raw() + b * classes, classes});
+        const std::size_t pred = nn::span_argmax(probs);
+        r.confidence.push_back(probs[pred]);
+        r.correct.push_back(static_cast<std::uint8_t>(pred == r.label));
+      }
+      p.records.push_back(std::move(r));
+    }
+  }
+  p.validate();
+  return p;
+}
+
+profiling::ETProfile quantized_execution_time(const profiling::ETProfile& fp32) {
+  profiling::ETProfile q = fp32;
+  q.model_name += quant_suffix();
+  for (auto& v : q.conv_ms) v /= kQuantConvSpeedup;
+  q.validate();
+  return q;
+}
+
+}  // namespace einet::nn::quant

@@ -1,0 +1,62 @@
+// Re-profiling pass for the quantized trunk (DESIGN.md §16).
+//
+// The planner's E[acc] objective consumes CS trajectories; a trunk that now
+// computes int8 produces different per-exit confidences and correctness, so
+// serving a quantized backbone against fp32 profiles would misprice every
+// exit. This module regenerates both artifact kinds for the quantized path:
+//
+//   * CS: profile_confidence_quant runs the *stepwise, const* inference path
+//     (quantized conv parts + fp32 branches — exactly what the engines serve)
+//     over a dataset. The trainer-oriented profile_confidence cannot be used:
+//     it calls the non-const forward_all, and it would profile the fp32
+//     trunk anyway.
+//   * ET: quantized_execution_time derives the quantized ET-profile from the
+//     fp32 one by the fixed, documented kQuantConvSpeedup factor on conv
+//     parts (branches stay fp32 and keep their times). A fixed factor keeps
+//     artifact regeneration deterministic — wall-clock measurement would make
+//     `-q8` artifacts machine-dependent; the factor matches the bench_quant
+//     acceptance floor (>= 2x conv fwd at equal threads).
+//
+// Artifact naming: quantized profiles live NEXT TO the fp32 ones with the
+// stem suffix "-q8" (quant_stem). Loaders pick the artifact set by suffix;
+// requesting fp32 never touches or rewrites the fp32 files, which stay
+// byte-identical to their pre-quantization state.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "nn/quant/backbone.hpp"
+#include "profiling/profiles.hpp"
+
+namespace einet::nn::quant {
+
+/// Fixed conv-part speedup the derived "-q8" ET-profile assumes, matching
+/// the bench_quant acceptance criterion (>= 2x at equal thread count).
+constexpr double kQuantConvSpeedup = 2.0;
+
+/// Stem suffix that selects the quantized artifact set.
+inline const char* quant_suffix() { return "-q8"; }
+
+/// `stem` for fp32, `stem + "-q8"` for the quantized artifact set.
+std::string quant_stem(const std::string& stem, bool quantized);
+
+/// True when an ET-profile belongs to the quantized artifact set (its model
+/// name carries the "-q8" tag both quantized_execution_time and
+/// profile_confidence_quant append). The serving layer uses this to tell
+/// which trunk a replay replica actually serves — the profile IS the
+/// precision tag in replay mode.
+[[nodiscard]] bool is_quant_profile(const profiling::ETProfile& et);
+
+/// CS-profile of the served quantized path: int8 conv parts (stacked batch),
+/// fp32 branches, max-softmax confidence + correctness per exit per sample.
+[[nodiscard]] profiling::CSProfile profile_confidence_quant(
+    const QuantizedBackbone& backbone, const data::Dataset& ds,
+    std::size_t batch_size = 64);
+
+/// Derived ET-profile for the quantized trunk: conv_ms divided by
+/// kQuantConvSpeedup, branch_ms unchanged, model name suffixed "-q8".
+[[nodiscard]] profiling::ETProfile quantized_execution_time(
+    const profiling::ETProfile& fp32);
+
+}  // namespace einet::nn::quant

@@ -1,0 +1,390 @@
+#include "nn/quant/qgemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define EINET_RESTRICT __restrict__
+#else
+#define EINET_RESTRICT
+#endif
+
+#if defined(__AVX512VNNI__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace einet::nn::quant {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Microkernels
+//
+// Register tiles mirror the fp32 backend: kMr weight rows x kNr activation
+// columns, with the k reduction grouped into kKu-wide units matched to the
+// instruction (vpdpbusd eats 4 bytes per lane, vpmaddwd 2, scalar 1-by-1 in
+// groups of 4 for a uniform packed layout). Packed-panel layout:
+//   B (activations, u8): per kNr-wide panel, group-major then lane-major —
+//     kKu consecutive k bytes per lane, so one SIMD load covers one k group
+//     across all lanes. Padded lanes/k are the byte 0.
+//   A (weights): per row panel, group-major then row-major — kKu consecutive
+//     k values per row (pre-extended to i16 for the vpmaddwd path). Padded
+//     rows/k are 0, which zeroes their contribution regardless of the padded
+//     activation bytes.
+// Every kernel computes the exact same int32 sum of u8 x s8 products; the
+// zero-point compensation is subtracted on the finished accumulator tile.
+// ---------------------------------------------------------------------------
+
+#if defined(__AVX512VNNI__)
+constexpr std::size_t kMr = 8, kNr = 32, kKu = 4;
+using APack = std::int8_t;
+constexpr char kKernelName[] = "avx512-vnni";
+
+// 8x32 tile: 16 zmm i32 accumulators + 2 zmm B groups + 1 broadcast; two
+// vpdpbusd per row per k group (4 MACs per lane per instruction), so the
+// per-group broadcast:dpbusd ratio is 1:2 and the loop is port-0/5 bound on
+// the VNNI units. The epilogue runs on the live accumulator registers:
+// subtract comp, convert, scale, bias, ReLU — then a single store of the
+// finished tile.
+template <bool kFused>
+inline void micro_kernel(std::size_t kg, const APack* EINET_RESTRICT ap,
+                         const std::uint8_t* EINET_RESTRICT bp,
+                         const std::int32_t* EINET_RESTRICT comp,
+                         const float* EINET_RESTRICT scale,
+                         const float* EINET_RESTRICT bias, bool relu,
+                         std::int32_t* EINET_RESTRICT itile,
+                         float* EINET_RESTRICT ftile) {
+  __m512i c0[kMr], c1[kMr];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    c0[r] = _mm512_setzero_si512();
+    c1[r] = _mm512_setzero_si512();
+  }
+  for (std::size_t g = 0; g < kg; ++g) {
+    const std::uint8_t* bg = bp + g * kNr * kKu;
+    const __m512i b0 = _mm512_loadu_si512(bg);
+    const __m512i b1 = _mm512_loadu_si512(bg + 64);
+    const APack* arow = ap + g * kMr * kKu;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      std::int32_t a32;
+      std::memcpy(&a32, arow + r * kKu, sizeof a32);
+      const __m512i a = _mm512_set1_epi32(a32);
+      c0[r] = _mm512_dpbusd_epi32(c0[r], b0, a);
+      c1[r] = _mm512_dpbusd_epi32(c1[r], b1, a);
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r) {
+    const __m512i cm = _mm512_set1_epi32(comp[r]);
+    const __m512i t0 = _mm512_sub_epi32(c0[r], cm);
+    const __m512i t1 = _mm512_sub_epi32(c1[r], cm);
+    if constexpr (kFused) {
+      // fmadd matches requantize_one's std::fma exactly (one rounding).
+      const __m512 s = _mm512_set1_ps(scale[r]);
+      const __m512 bi = _mm512_set1_ps(bias[r]);
+      __m512 f0 = _mm512_fmadd_ps(_mm512_cvtepi32_ps(t0), s, bi);
+      __m512 f1 = _mm512_fmadd_ps(_mm512_cvtepi32_ps(t1), s, bi);
+      if (relu) {
+        const __m512 z = _mm512_setzero_ps();
+        f0 = _mm512_max_ps(f0, z);
+        f1 = _mm512_max_ps(f1, z);
+      }
+      _mm512_store_ps(ftile + r * kNr, f0);
+      _mm512_store_ps(ftile + r * kNr + 16, f1);
+    } else {
+      _mm512_store_si512(itile + r * kNr, t0);
+      _mm512_store_si512(itile + r * kNr + 16, t1);
+    }
+  }
+}
+#elif defined(__AVX2__) && defined(__FMA__)
+constexpr std::size_t kMr = 6, kNr = 16, kKu = 2;
+using APack = std::int16_t;  // weights pre-extended at pack time
+constexpr char kKernelName[] = "avx2-maddwd";
+
+// 6x2 ymm i32 accumulators + 2 ymm zero-extended activation groups + 1
+// broadcast = 15 of 16 ymm. vpmaddwd multiplies i16 pairs into i32 and sums
+// them — exact, unlike vpmaddubsw whose i16 sums can saturate.
+template <bool kFused>
+inline void micro_kernel(std::size_t kg, const APack* EINET_RESTRICT ap,
+                         const std::uint8_t* EINET_RESTRICT bp,
+                         const std::int32_t* EINET_RESTRICT comp,
+                         const float* EINET_RESTRICT scale,
+                         const float* EINET_RESTRICT bias, bool relu,
+                         std::int32_t* EINET_RESTRICT itile,
+                         float* EINET_RESTRICT ftile) {
+  __m256i c[kMr][2];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    c[r][0] = _mm256_setzero_si256();
+    c[r][1] = _mm256_setzero_si256();
+  }
+  for (std::size_t g = 0; g < kg; ++g) {
+    const std::uint8_t* bg = bp + g * kNr * kKu;
+    const __m256i b0 = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bg)));
+    const __m256i b1 = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bg + 16)));
+    const APack* arow = ap + g * kMr * kKu;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      std::int32_t a32;
+      std::memcpy(&a32, arow + r * kKu, sizeof a32);
+      const __m256i a = _mm256_set1_epi32(a32);
+      c[r][0] = _mm256_add_epi32(c[r][0], _mm256_madd_epi16(b0, a));
+      c[r][1] = _mm256_add_epi32(c[r][1], _mm256_madd_epi16(b1, a));
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r) {
+    const __m256i cm = _mm256_set1_epi32(comp[r]);
+    const __m256i t0 = _mm256_sub_epi32(c[r][0], cm);
+    const __m256i t1 = _mm256_sub_epi32(c[r][1], cm);
+    if constexpr (kFused) {
+      // fmadd matches requantize_one's std::fma exactly (one rounding).
+      const __m256 s = _mm256_set1_ps(scale[r]);
+      const __m256 bi = _mm256_set1_ps(bias[r]);
+      __m256 f0 = _mm256_fmadd_ps(_mm256_cvtepi32_ps(t0), s, bi);
+      __m256 f1 = _mm256_fmadd_ps(_mm256_cvtepi32_ps(t1), s, bi);
+      if (relu) {
+        const __m256 z = _mm256_setzero_ps();
+        f0 = _mm256_max_ps(f0, z);
+        f1 = _mm256_max_ps(f1, z);
+      }
+      _mm256_store_ps(ftile + r * kNr, f0);
+      _mm256_store_ps(ftile + r * kNr + 8, f1);
+    } else {
+      _mm256_store_si256(reinterpret_cast<__m256i*>(itile + r * kNr), t0);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(itile + r * kNr + 8), t1);
+    }
+  }
+}
+#else
+constexpr std::size_t kMr = 4, kNr = 8, kKu = 4;
+using APack = std::int8_t;
+constexpr char kKernelName[] = "scalar";
+
+template <bool kFused>
+inline void micro_kernel(std::size_t kg, const APack* EINET_RESTRICT ap,
+                         const std::uint8_t* EINET_RESTRICT bp,
+                         const std::int32_t* EINET_RESTRICT comp,
+                         const float* EINET_RESTRICT scale,
+                         const float* EINET_RESTRICT bias, bool relu,
+                         std::int32_t* EINET_RESTRICT itile,
+                         float* EINET_RESTRICT ftile) {
+  std::int32_t acc[kMr * kNr] = {};
+  for (std::size_t g = 0; g < kg; ++g) {
+    const APack* arow = ap + g * kMr * kKu;
+    const std::uint8_t* brow = bp + g * kNr * kKu;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      std::int32_t* accrow = acc + r * kNr;
+      for (std::size_t u = 0; u < kKu; ++u) {
+        const std::int32_t av = arow[r * kKu + u];
+        for (std::size_t cc = 0; cc < kNr; ++cc)
+          accrow[cc] += av * static_cast<std::int32_t>(brow[cc * kKu + u]);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r) {
+    for (std::size_t cc = 0; cc < kNr; ++cc) {
+      const std::int32_t t = acc[r * kNr + cc] - comp[r];
+      if constexpr (kFused) {
+        ftile[r * kNr + cc] = requantize_one(t, scale[r], bias[r], relu);
+      } else {
+        itile[r * kNr + cc] = t;
+      }
+    }
+  }
+}
+#endif
+
+inline std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+// Shared driver. Packs op(Act) once into u8 panels, then runs row panels in
+// parallel exactly like the fp32 backend: panels write disjoint output rows
+// and the integer arithmetic is associative, so any chunking is
+// bit-identical.
+template <bool kFused>
+void qgemm_impl(Trans tact, std::size_t m, std::size_t n, std::size_t k,
+                const std::int8_t* w, std::size_t ldw, const std::uint8_t* act,
+                std::size_t lda, const RequantParams& rq, std::int32_t* ci,
+                float* cf, std::size_t ldc, bool transpose_c) {
+  if (m == 0 || n == 0) return;
+  const std::size_t kg = ceil_div(std::max<std::size_t>(k, 1), kKu);
+  const std::size_t m_panels = ceil_div(m, kMr);
+  const std::size_t n_panels = ceil_div(n, kNr);
+
+  thread_local std::vector<std::uint8_t> b_pack_tl;
+  std::vector<std::uint8_t>& b_pack = b_pack_tl;
+  b_pack.assign(n_panels * kNr * kg * kKu, 0);
+  for (std::size_t jp = 0; jp < n_panels; ++jp) {
+    std::uint8_t* dst = b_pack.data() + jp * kNr * kg * kKu;
+    const std::size_t j0 = jp * kNr;
+    const std::size_t nv = std::min(kNr, n - j0);
+    for (std::size_t g = 0; g < kg; ++g) {
+      std::uint8_t* d = dst + g * kNr * kKu;
+      const std::size_t p0 = g * kKu;
+#if defined(__AVX512VNNI__)
+      // Full interior group of a kN operand: the kKu x kNr byte interleave
+      // is a 4x16 transpose per 16-lane half — two unpack trees instead of
+      // 128 strided byte copies.
+      if (tact == Trans::kN && nv == kNr && p0 + kKu <= k) {
+        for (std::size_t half = 0; half < 2; ++half) {
+          const std::uint8_t* s = act + p0 * lda + j0 + half * 16;
+          const auto ld = [&](std::size_t u) {
+            return _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(s + u * lda));
+          };
+          const __m128i ab_lo = _mm_unpacklo_epi8(ld(0), ld(1));
+          const __m128i ab_hi = _mm_unpackhi_epi8(ld(0), ld(1));
+          const __m128i cd_lo = _mm_unpacklo_epi8(ld(2), ld(3));
+          const __m128i cd_hi = _mm_unpackhi_epi8(ld(2), ld(3));
+          auto st = [&](std::size_t q, __m128i v) {
+            _mm_storeu_si128(
+                reinterpret_cast<__m128i*>(d + half * 16 * kKu + q * 16), v);
+          };
+          st(0, _mm_unpacklo_epi16(ab_lo, cd_lo));
+          st(1, _mm_unpackhi_epi16(ab_lo, cd_lo));
+          st(2, _mm_unpacklo_epi16(ab_hi, cd_hi));
+          st(3, _mm_unpackhi_epi16(ab_hi, cd_hi));
+        }
+        continue;
+      }
+#endif
+      if (tact == Trans::kN) {
+        // Row-contiguous reads: one strided scatter per k row of the group.
+        for (std::size_t u = 0; u < kKu; ++u) {
+          const std::size_t p = p0 + u;
+          if (p >= k) break;
+          const std::uint8_t* row = act + p * lda + j0;
+          for (std::size_t cc = 0; cc < nv; ++cc) d[cc * kKu + u] = row[cc];
+        }
+      } else {
+        // kT lanes are act rows: the group's kKu bytes are contiguous.
+        for (std::size_t cc = 0; cc < nv; ++cc) {
+          const std::uint8_t* row = act + (j0 + cc) * lda + p0;
+          const std::size_t kv = std::min(kKu, k - p0);
+          for (std::size_t u = 0; u < kv; ++u) d[cc * kKu + u] = row[u];
+        }
+      }
+    }
+  }
+  const std::uint8_t* bpk = b_pack.data();
+
+  // Same flops-based chunk cap as sgemm: sub-threshold products run inline
+  // on the caller; batch-level parallel_for supplies the parallelism there.
+  constexpr double kMinFlopsPerChunk = 64.0e6;
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  const auto max_chunks =
+      static_cast<std::size_t>(std::max(1.0, flops / kMinFlopsPerChunk));
+  parallel_for(m_panels, max_chunks, [&](std::size_t pb, std::size_t pe) {
+    thread_local std::vector<APack> a_pack_tl;
+    std::vector<APack>& a_pack = a_pack_tl;
+    a_pack.assign(kMr * kg * kKu, 0);
+    alignas(64) std::int32_t itile[kMr * kNr];
+    alignas(64) float ftile[kMr * kNr];
+    alignas(64) std::int32_t comp_l[kMr];
+    alignas(64) float scale_l[kMr];
+    alignas(64) float bias_l[kMr];
+    for (std::size_t ip = pb; ip < pe; ++ip) {
+      const std::size_t i0 = ip * kMr;
+      const std::size_t mv = std::min(kMr, m - i0);
+      std::fill(a_pack.begin(), a_pack.end(), APack{0});
+      for (std::size_t g = 0; g < kg; ++g) {
+        APack* d = a_pack.data() + g * kMr * kKu;
+        for (std::size_t r = 0; r < mv; ++r) {
+          for (std::size_t u = 0; u < kKu; ++u) {
+            const std::size_t p = g * kKu + u;
+            if (p >= k) break;
+            d[r * kKu + u] = static_cast<APack>(w[(i0 + r) * ldw + p]);
+          }
+        }
+      }
+      for (std::size_t r = 0; r < kMr; ++r) {
+        comp_l[r] = r < mv && rq.comp ? rq.comp[i0 + r] : 0;
+        scale_l[r] = r < mv && rq.scale ? rq.scale[i0 + r] : 0.0f;
+        bias_l[r] = r < mv && rq.bias ? rq.bias[i0 + r] : 0.0f;
+      }
+      for (std::size_t jp = 0; jp < n_panels; ++jp) {
+        const std::size_t j0 = jp * kNr;
+        const std::size_t nv = std::min(kNr, n - j0);
+        micro_kernel<kFused>(kg, a_pack.data(), bpk + jp * kNr * kg * kKu,
+                             comp_l, scale_l, bias_l, rq.relu, itile, ftile);
+        for (std::size_t r = 0; r < mv; ++r) {
+          if constexpr (kFused) {
+            const float* trow = ftile + r * kNr;
+            if (!transpose_c) {
+              std::memcpy(cf + (i0 + r) * ldc + j0, trow,
+                          nv * sizeof(float));
+            } else {
+              for (std::size_t cc = 0; cc < nv; ++cc)
+                cf[(j0 + cc) * ldc + (i0 + r)] = trow[cc];
+            }
+          } else {
+            const std::int32_t* trow = itile + r * kNr;
+            if (!transpose_c) {
+              std::memcpy(ci + (i0 + r) * ldc + j0, trow,
+                          nv * sizeof(std::int32_t));
+            } else {
+              for (std::size_t cc = 0; cc < nv; ++cc)
+                ci[(j0 + cc) * ldc + (i0 + r)] = trow[cc];
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void qgemm_i32(Trans tact, std::size_t m, std::size_t n, std::size_t k,
+               const std::int8_t* w, std::size_t ldw, const std::uint8_t* act,
+               std::size_t lda, const std::int32_t* comp, std::int32_t* c,
+               std::size_t ldc, bool transpose_c) {
+  RequantParams rq;
+  rq.comp = comp;
+  qgemm_impl<false>(tact, m, n, k, w, ldw, act, lda, rq, c, nullptr, ldc,
+                    transpose_c);
+}
+
+void qgemm_fused(Trans tact, std::size_t m, std::size_t n, std::size_t k,
+                 const std::int8_t* w, std::size_t ldw, const std::uint8_t* act,
+                 std::size_t lda, const RequantParams& rq, float* c,
+                 std::size_t ldc, bool transpose_c) {
+  qgemm_impl<true>(tact, m, n, k, w, ldw, act, lda, rq, nullptr, c, ldc,
+                   transpose_c);
+}
+
+// Vectorization is disabled here: GCC 12's tree-vectorizer miscompiles this
+// s8 * (u8 - 128) dot product under -O3 -march=native on AVX-512 VNNI hosts
+// (the 32-wide epilogue loop applies the zero-point offset with the wrong
+// sign whenever k mod 64 lands in [32, 64)). The reference exists to anchor
+// the hand-written kernels, so it must stay a dumb, correct scalar loop.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("no-tree-vectorize")))
+#endif
+void qgemm_i32_reference(Trans tact, std::size_t m, std::size_t n,
+                         std::size_t k, const std::int8_t* w, std::size_t ldw,
+                         const std::uint8_t* act, std::size_t lda,
+                         std::int32_t* c, std::size_t ldc, bool transpose_c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const std::int32_t av = w[i * ldw + p];
+        const std::int32_t bv =
+            tact == Trans::kN ? act[p * lda + j] : act[j * lda + p];
+        acc += av * (bv - 128);
+      }
+      if (!transpose_c) {
+        c[i * ldc + j] = acc;
+      } else {
+        c[j * ldc + i] = acc;
+      }
+    }
+  }
+}
+
+const char* qgemm_kernel_name() { return kKernelName; }
+
+}  // namespace einet::nn::quant

@@ -1,0 +1,93 @@
+// Deterministic int8 GEMM backend for the quantized backbone (DESIGN.md §16).
+//
+// Same packed-panel / row-panel-parallel skeleton as the fp32 sgemm
+// (nn/gemm.cpp), specialised for the quantized operand layout used by
+// QuantizedConv2d / QuantizedLinear:
+//
+//   * W  — m x k row-major int8 weights, per-row (= per-output-channel)
+//     symmetric scales (`scale_w[row] = absmax_row / 127`).
+//   * Act — k x n uint8 activations stored offset-128 (`q = round(x/s) + 128`
+//     so the zero point is exactly 128 and conv zero-padding is the byte 128).
+//   * Accumulation is int32 and **exact**: every kernel (AVX-512 VNNI
+//     `vpdpbusd`, AVX2 extend+`vpmaddwd`, scalar) computes the same integer,
+//     so outputs are bit-identical across kernels *and* thread counts —
+//     integer addition is associative, unlike the fp32 path which has to pin
+//     the reduction order.
+//
+// The kernels accumulate u8 x s8 products directly and subtract the
+// precomputed zero-point compensation `comp[row] = 128 * sum_k w_s8[row][k]`
+// afterwards, recovering the true s8 x s8 sum:
+//   sum_k w*(act_u8 - 128) = sum_k w*act_u8 - comp.
+//
+// Two entry points share the integer core:
+//   * qgemm_i32  — writes the raw (comp-subtracted) int32 product; callers
+//     requantize in a second pass (the "unfused" path, kept for the
+//     bit-identity tests).
+//   * qgemm_fused — applies requantize + bias + optional ReLU on the
+//     accumulator tile while it is still register-resident, writing fp32
+//     output directly and skipping the full-matrix i32 round-trip.
+// Both paths apply the identical per-element float sequence
+// (fma(float(acc), scale, bias); max 0), so fused and unfused outputs are
+// bit-identical.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/gemm.hpp"  // Trans, parallel_for, gemm_threads
+
+namespace einet::nn::quant {
+
+/// Per-output-row requantization parameters for the fused epilogue.
+struct RequantParams {
+  const float* scale = nullptr;        ///< [m] scale_w[row] * scale_act
+  const float* bias = nullptr;         ///< [m] fp32 bias; nullptr = zero
+  const std::int32_t* comp = nullptr;  ///< [m] 128 * sum_k w_s8[row][k]
+  bool relu = false;                   ///< clamp negative outputs to 0
+};
+
+/// The per-element requantization both paths share. Uses std::fma — an
+/// exactly-rounded fused multiply-add — rather than separate mul + add: GCC's
+/// default -ffp-contract=fast may or may not contract a mul/add pair
+/// depending on the TU, but fma is one well-defined rounding everywhere, and
+/// the SIMD epilogues use the matching fmadd instruction. That pins
+/// fused-vs-unfused (and SIMD-vs-scalar) bit-identity.
+inline float requantize_one(std::int32_t acc, float scale, float bias,
+                            bool relu) {
+  float v = std::fma(static_cast<float>(acc), scale, bias);
+  if (relu && v < 0.0f) v = 0.0f;
+  return v;
+}
+
+/// C_i32 (m x n) = W_s8 * op(Act_u8) - comp, i.e. the exact int32 product of
+/// the signed weights with the *offset-corrected* activations. `tact` selects
+/// whether Act is stored k x n (kN, conv im2col layout) or n x k (kT, linear
+/// batch-major layout); `lda` is Act's leading dimension as stored. When
+/// `transpose_c` is set the product is written to C transposed
+/// (C[j * ldc + i]), which lets Linear emit batch-major output directly.
+void qgemm_i32(Trans tact, std::size_t m, std::size_t n, std::size_t k,
+               const std::int8_t* w, std::size_t ldw, const std::uint8_t* act,
+               std::size_t lda, const std::int32_t* comp, std::int32_t* c,
+               std::size_t ldc, bool transpose_c);
+
+/// Fused variant: requantize + bias + optional ReLU applied on the int32
+/// accumulator tile in-register, fp32 written straight to C. Bit-identical to
+/// qgemm_i32 followed by requantize_one per element.
+void qgemm_fused(Trans tact, std::size_t m, std::size_t n, std::size_t k,
+                 const std::int8_t* w, std::size_t ldw, const std::uint8_t* act,
+                 std::size_t lda, const RequantParams& rq, float* c,
+                 std::size_t ldc, bool transpose_c);
+
+/// Naive triple-loop reference computing w_s8 * (act_u8 - 128) directly
+/// (no compensation term) — cross-checks the comp algebra in the tests.
+void qgemm_i32_reference(Trans tact, std::size_t m, std::size_t n,
+                         std::size_t k, const std::int8_t* w, std::size_t ldw,
+                         const std::uint8_t* act, std::size_t lda,
+                         std::int32_t* c, std::size_t ldc, bool transpose_c);
+
+/// Which microkernel this build compiled in: "avx512-vnni", "avx2-maddwd" or
+/// "scalar". bench_quant records it and gates the speedup criterion on it.
+const char* qgemm_kernel_name();
+
+}  // namespace einet::nn::quant

@@ -1,0 +1,86 @@
+// Quantization primitives for the int8 backbone (DESIGN.md §16).
+//
+// Scale conventions (all symmetric, zero-point-free in the signed domain):
+//   * Weights: per output channel, s8. scale_w[oc] = absmax(row) / 127,
+//     w_s8 = clamp(round(w / scale_w), -127, 127).
+//   * Activations: per tensor, dynamic (absmax computed per call), stored
+//     offset-128 as u8 so the quantized zero is exactly the byte 128 and
+//     conv zero-padding stays representable: q = clamp(round(x/s), -127, 127)
+//     + 128. scale_a = absmax(x) / 127 (1.0 for an all-zero tensor).
+//   * Dequantize: x ~= (q - 128) * scale_a;  w ~= w_s8 * scale_w.
+//
+// The offset-128 storage feeds `vpdpbusd`'s unsigned operand directly; the
+// offset's contribution to a dot product is the precomputed per-channel
+// compensation comp[oc] = 128 * sum_k w_s8[oc][k] that qgemm subtracts.
+//
+// Rounding is round-to-nearest-even (std::nearbyint under the default FP
+// environment, which this codebase never changes) — deterministic across
+// runs, threads and kernels.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace einet::nn::quant {
+
+/// Quantized zero point of the offset-128 activation encoding.
+constexpr std::uint8_t kActZeroPoint = 128;
+
+/// Symmetric scale for a tensor with the given absolute maximum. An all-zero
+/// tensor gets scale 1 so dequantization is well-defined (every value
+/// quantizes to the zero point anyway).
+inline float symmetric_scale(float absmax) {
+  return absmax > 0.0f ? absmax / 127.0f : 1.0f;
+}
+
+/// One activation value -> offset-128 u8 (saturating at +-127 around the
+/// zero point).
+inline std::uint8_t quantize_act_value(float x, float scale) {
+  float r = std::nearbyint(x / scale);
+  if (r > 127.0f) r = 127.0f;
+  if (r < -127.0f) r = -127.0f;
+  return static_cast<std::uint8_t>(static_cast<int>(r) + 128);
+}
+
+/// Inverse of quantize_act_value (up to the quantization error).
+inline float dequantize_act_value(std::uint8_t q, float scale) {
+  return static_cast<float>(static_cast<int>(q) - 128) * scale;
+}
+
+/// One weight value -> s8 with the row's scale (saturating at +-127).
+inline std::int8_t quantize_weight_value(float x, float scale) {
+  float r = std::nearbyint(x / scale);
+  if (r > 127.0f) r = 127.0f;
+  if (r < -127.0f) r = -127.0f;
+  return static_cast<std::int8_t>(static_cast<int>(r));
+}
+
+/// max |x| over n values (0 for n == 0).
+float absmax(const float* x, std::size_t n);
+
+/// Quantize n activations with one dynamic per-tensor scale; returns the
+/// scale used. `out` must hold n bytes.
+float quantize_acts(const float* x, std::size_t n, std::uint8_t* out);
+
+/// Per-output-channel symmetric s8 weight matrix plus the derived epilogue
+/// vectors (scales and zero-point compensation) qgemm consumes.
+struct QuantizedMatrix {
+  std::size_t rows = 0, cols = 0;
+  std::vector<std::int8_t> data;   ///< rows x cols, row-major
+  std::vector<float> scale;        ///< [rows] absmax(row) / 127
+  std::vector<std::int32_t> comp;  ///< [rows] 128 * sum_k data[row][k]
+
+  /// Resident bytes of the quantized representation (data + scales + comp).
+  [[nodiscard]] std::size_t bytes() const {
+    return data.size() * sizeof(std::int8_t) +
+           scale.size() * sizeof(float) + comp.size() * sizeof(std::int32_t);
+  }
+};
+
+/// Quantize a rows x cols fp32 matrix per row (offline, from frozen weights).
+QuantizedMatrix quantize_weights(const float* w, std::size_t rows,
+                                 std::size_t cols);
+
+}  // namespace einet::nn::quant

@@ -34,6 +34,7 @@ class Sequential final : public Layer {
   [[nodiscard]] std::size_t size() const { return layers_.size(); }
   [[nodiscard]] bool empty() const { return layers_.empty(); }
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_.at(i); }
 
  private:
   std::vector<LayerPtr> layers_;

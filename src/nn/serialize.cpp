@@ -1,9 +1,13 @@
 #include "nn/serialize.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+
+#include "nn/quant/quantize.hpp"  // inline offset-128 value helpers only
 
 namespace einet::nn {
 
@@ -36,25 +40,11 @@ std::uint32_t get_u32(std::span<const std::uint8_t> bytes, std::size_t pos) {
   return v;
 }
 
-}  // namespace
-
-std::size_t encoded_tensor_bytes(const Tensor& t) {
-  return 4 + 4 * t.rank() + 4 * t.numel();
-}
-
-void encode_tensor(const Tensor& t, std::vector<std::uint8_t>& out) {
-  out.reserve(out.size() + encoded_tensor_bytes(t));
-  put_u32(out, static_cast<std::uint32_t>(t.rank()));
-  for (const auto d : t.shape()) {
-    if (d > ~std::uint32_t{0})
-      throw TensorCodecError{"encode_tensor: dim exceeds u32"};
-    put_u32(out, static_cast<std::uint32_t>(d));
-  }
-  for (const float v : t.data()) put_u32(out, std::bit_cast<std::uint32_t>(v));
-}
-
-Tensor decode_tensor(std::span<const std::uint8_t> bytes,
-                     const TensorWireLimits& limits) {
+/// Shared checked parse of the `u32 rank | u32 dims[rank]` prefix both
+/// codecs start with. Returns the byte offset past the dims.
+std::size_t decode_shape_header(std::span<const std::uint8_t> bytes,
+                                const TensorWireLimits& limits, Shape& shape,
+                                std::size_t& numel) {
   if (bytes.size() < 4)
     throw TensorCodecError{"decode_tensor: truncated rank"};
   const std::uint32_t rank = get_u32(bytes, 0);
@@ -64,8 +54,8 @@ Tensor decode_tensor(std::span<const std::uint8_t> bytes,
                            "]"};
   if (bytes.size() < 4 + std::size_t{4} * rank)
     throw TensorCodecError{"decode_tensor: truncated dims"};
-  Shape shape(rank);
-  std::size_t numel = 1;
+  shape.assign(rank, 0);
+  numel = 1;
   for (std::uint32_t i = 0; i < rank; ++i) {
     const std::uint32_t d = get_u32(bytes, 4 + std::size_t{4} * i);
     if (d == 0) throw TensorCodecError{"decode_tensor: zero dim"};
@@ -75,7 +65,35 @@ Tensor decode_tensor(std::span<const std::uint8_t> bytes,
     numel *= d;
     shape[i] = d;
   }
-  const std::size_t header = 4 + std::size_t{4} * rank;
+  return 4 + std::size_t{4} * rank;
+}
+
+void encode_shape_header(const Tensor& t, std::vector<std::uint8_t>& out) {
+  put_u32(out, static_cast<std::uint32_t>(t.rank()));
+  for (const auto d : t.shape()) {
+    if (d > ~std::uint32_t{0})
+      throw TensorCodecError{"encode_tensor: dim exceeds u32"};
+    put_u32(out, static_cast<std::uint32_t>(d));
+  }
+}
+
+}  // namespace
+
+std::size_t encoded_tensor_bytes(const Tensor& t) {
+  return 4 + 4 * t.rank() + 4 * t.numel();
+}
+
+void encode_tensor(const Tensor& t, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + encoded_tensor_bytes(t));
+  encode_shape_header(t, out);
+  for (const float v : t.data()) put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+Tensor decode_tensor(std::span<const std::uint8_t> bytes,
+                     const TensorWireLimits& limits) {
+  Shape shape;
+  std::size_t numel = 0;
+  const std::size_t header = decode_shape_header(bytes, limits, shape, numel);
   if (bytes.size() != header + 4 * numel)
     throw TensorCodecError{
         "decode_tensor: data section is " + std::to_string(bytes.size() -
@@ -85,6 +103,44 @@ Tensor decode_tensor(std::span<const std::uint8_t> bytes,
   std::vector<float> data(numel);
   for (std::size_t i = 0; i < numel; ++i)
     data[i] = std::bit_cast<float>(get_u32(bytes, header + 4 * i));
+  return Tensor{std::move(shape), std::move(data)};
+}
+
+std::size_t encoded_tensor_q8_bytes(const Tensor& t) {
+  return 4 + 4 * t.rank() + 4 + t.numel();
+}
+
+void encode_tensor_q8(const Tensor& t, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + encoded_tensor_q8_bytes(t));
+  encode_shape_header(t, out);
+  // Local absmax loop: serialize lives below nn/quant in the link order, so
+  // only the inline value helpers are borrowed from quantize.hpp.
+  float amax = 0.0f;
+  for (const float v : t.data()) amax = std::max(amax, std::fabs(v));
+  const float scale = quant::symmetric_scale(amax);
+  put_u32(out, std::bit_cast<std::uint32_t>(scale));
+  for (const float v : t.data())
+    out.push_back(quant::quantize_act_value(v, scale));
+}
+
+Tensor decode_tensor_q8(std::span<const std::uint8_t> bytes,
+                        const TensorWireLimits& limits) {
+  Shape shape;
+  std::size_t numel = 0;
+  const std::size_t header = decode_shape_header(bytes, limits, shape, numel);
+  if (bytes.size() < header + 4)
+    throw TensorCodecError{"decode_tensor_q8: truncated scale"};
+  const float scale = std::bit_cast<float>(get_u32(bytes, header));
+  if (!std::isfinite(scale) || scale <= 0.0f)
+    throw TensorCodecError{"decode_tensor_q8: bad scale"};
+  if (bytes.size() != header + 4 + numel)
+    throw TensorCodecError{
+        "decode_tensor_q8: data section is " +
+        std::to_string(bytes.size() - header - 4) + " bytes, shape " +
+        shape_str(shape) + " needs " + std::to_string(numel)};
+  std::vector<float> data(numel);
+  for (std::size_t i = 0; i < numel; ++i)
+    data[i] = quant::dequantize_act_value(bytes[header + 4 + i], scale);
   return Tensor{std::move(shape), std::move(data)};
 }
 

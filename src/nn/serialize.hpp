@@ -59,6 +59,24 @@ void encode_tensor(const Tensor& t, std::vector<std::uint8_t>& out);
 [[nodiscard]] Tensor decode_tensor(std::span<const std::uint8_t> bytes,
                                    const TensorWireLimits& limits = {});
 
+/// Quantized (q8) tensor codec for split activation offload (DESIGN.md §16):
+///   u32 rank | u32 dims[rank] | f32 scale | u8 data[numel]
+/// Data uses the nn/quant offset-128 activation encoding (zero point = byte
+/// 128, per-tensor scale = absmax / 127, round-to-nearest-even) — ~4x
+/// smaller on the wire than the f32 codec. Encode-then-decode equals
+/// quantize-then-dequantize of the source tensor bit-for-bit, which is what
+/// lets a device predict the edge's view of a shipped activation exactly.
+void encode_tensor_q8(const Tensor& t, std::vector<std::uint8_t>& out);
+
+/// Exact size in bytes encode_tensor_q8() will append for `t`.
+[[nodiscard]] std::size_t encoded_tensor_q8_bytes(const Tensor& t);
+
+/// Checked decode of exactly `bytes`, dequantized back to an fp32 tensor.
+/// Throws TensorCodecError like decode_tensor, plus on a non-finite or
+/// non-positive scale.
+[[nodiscard]] Tensor decode_tensor_q8(std::span<const std::uint8_t> bytes,
+                                      const TensorWireLimits& limits = {});
+
 /// Write all parameters plus persistent state buffers to a stream. Pass the
 /// network's Layer::state() tensors as `state` (may be empty). Throws
 /// std::runtime_error on I/O error.

@@ -89,6 +89,14 @@ BatchedLiveEngine::BatchedLiveEngine(
     arena_ = std::make_unique<memplan::InferenceArena>(std::move(plan));
 }
 
+void BatchedLiveEngine::set_quant_backbone(
+    std::shared_ptr<const nn::quant::QuantizedBackbone> quant) {
+  if (quant && &quant->net() != net_)
+    throw std::invalid_argument{
+        "BatchedLiveEngine: quantized backbone wraps a different network"};
+  quant_ = std::move(quant);
+}
+
 std::vector<InferenceOutcome> BatchedLiveEngine::run_batched(
     std::span<const BatchItem> items, const core::TimeDistribution& dist) {
   const std::size_t n = net_->num_exits();
@@ -177,7 +185,8 @@ std::vector<InferenceOutcome> BatchedLiveEngine::run_batched(
       EINET_SPAN(conv_span, "runtime.conv", kRuntime);
       conv_span.exit(static_cast<std::int64_t>(i))
           .value(static_cast<double>(alive.size()));
-      features = net_->run_conv_part(i, features);
+      features = quant_ ? quant_->run_conv_part(i, features)
+                        : net_->run_conv_part(i, features);
     }
 
     for (std::size_t r = 0; r < alive.size(); ++r) {

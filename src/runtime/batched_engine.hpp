@@ -24,6 +24,7 @@
 
 #include "models/multiexit.hpp"
 #include "nn/memplan/arena.hpp"
+#include "nn/quant/backbone.hpp"
 #include "predictor/activation_cache.hpp"
 #include "runtime/elastic_engine.hpp"
 
@@ -74,6 +75,16 @@ class BatchedLiveEngine {
     return arena_ ? arena_->scratch_overflows() : 0;
   }
 
+  /// Attach a quantized backbone (must be built over this engine's network):
+  /// the shared stacked conv parts then execute int8 — with per-sample
+  /// activation scales inside, so each member's rows are bit-identical to a
+  /// solo quantized run — while branches, predictor and planner stay fp32.
+  /// nullptr restores the fp32 trunk.
+  void set_quant_backbone(
+      std::shared_ptr<const nn::quant::QuantizedBackbone> quant);
+  /// True when conv parts currently run int8.
+  [[nodiscard]] bool quantized() const { return quant_ != nullptr; }
+
   /// Run every item to its forced exit, sharing each block's conv part over
   /// one stacked tensor. Returns one outcome per item, in item order.
   [[nodiscard]] std::vector<InferenceOutcome> run_batched(
@@ -93,6 +104,8 @@ class BatchedLiveEngine {
   // Per-engine planned storage for the per-sample branch path; null =
   // unplanned.
   std::unique_ptr<memplan::InferenceArena> arena_;
+  // Int8 trunk over *net_; null = fp32 conv parts (the default).
+  std::shared_ptr<const nn::quant::QuantizedBackbone> quant_;
 };
 
 }  // namespace einet::runtime

@@ -51,6 +51,14 @@ LiveElasticEngine::LiveElasticEngine(
     arena_ = std::make_unique<memplan::InferenceArena>(std::move(plan));
 }
 
+void LiveElasticEngine::set_quant_backbone(
+    std::shared_ptr<const nn::quant::QuantizedBackbone> quant) {
+  if (quant && &quant->net() != net_)
+    throw std::invalid_argument{
+        "LiveElasticEngine: quantized backbone wraps a different network"};
+  quant_ = std::move(quant);
+}
+
 core::ExitPlan LiveElasticEngine::initial_plan(
     predictor::ActivationCacheSession& session, std::size_t from,
     const core::ExitPlan& base, const core::TimeDistribution& dist,
@@ -102,10 +110,14 @@ bool LiveElasticEngine::run_range(std::size_t begin, std::size_t end,
         nn::Shape nchw{1};
         nchw.insert(nchw.end(), chw.begin(), chw.end());
         nn::Tensor& next = arena_->feature(i + 1, std::move(nchw));
-        net_->run_conv_part_into(i, *cur, next, arena_->workspace());
+        if (quant_)
+          quant_->run_conv_part_into(i, *cur, next, arena_->workspace());
+        else
+          net_->run_conv_part_into(i, *cur, next, arena_->workspace());
         cur = &next;
       } else {
-        features = net_->run_conv_part(i, features);
+        features = quant_ ? quant_->run_conv_part(i, features)
+                          : net_->run_conv_part(i, features);
       }
     }
 

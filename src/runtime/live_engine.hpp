@@ -16,6 +16,7 @@
 
 #include "models/multiexit.hpp"
 #include "nn/memplan/arena.hpp"
+#include "nn/quant/backbone.hpp"
 #include "predictor/activation_cache.hpp"
 #include "runtime/elastic_engine.hpp"
 #include "runtime/split_state.hpp"
@@ -68,6 +69,19 @@ class LiveElasticEngine {
   [[nodiscard]] std::size_t arena_scratch_overflows() const {
     return arena_ ? arena_->scratch_overflows() : 0;
   }
+
+  /// Attach a quantized backbone (must be built over this engine's network):
+  /// conv parts then execute int8 with the fused requantize+bias+ReLU
+  /// epilogue, while exit branches, predictor and planner stay fp32. Applies
+  /// to run / run_cancellable / run_prefix / run_resume alike (the split
+  /// halves ride the same run_range). nullptr restores the fp32 trunk.
+  /// Callers pairing an arena with a quantized trunk should construct the
+  /// engine with the backbone's own plan() so int8 scratch lifetimes are the
+  /// ones being planned.
+  void set_quant_backbone(
+      std::shared_ptr<const nn::quant::QuantizedBackbone> quant);
+  /// True when conv parts currently run int8.
+  [[nodiscard]] bool quantized() const { return quant_ != nullptr; }
 
   /// Run one sample (CHW image + label) to its forced exit.
   [[nodiscard]] InferenceOutcome run(const nn::Tensor& image,
@@ -136,6 +150,8 @@ class LiveElasticEngine {
   std::shared_ptr<const predictor::CSPredictor> predictor_owner_;
   // Per-engine planned activation storage; null = unplanned path.
   std::unique_ptr<memplan::InferenceArena> arena_;
+  // Int8 trunk over *net_; null = fp32 conv parts (the default).
+  std::shared_ptr<const nn::quant::QuantizedBackbone> quant_;
 };
 
 }  // namespace einet::runtime

@@ -97,6 +97,18 @@ std::string MetricsSnapshot::to_string() const {
                  mib(memory.planned_total_bytes), mib(rss_bytes)});
     out << mem.str();
   }
+
+  if (has_quant) {
+    util::Table qt{{"quant", "int8 tasks", "fp32 tasks", "fallbacks",
+                    "weights MiB", "arena/worker MiB"}};
+    const auto mib = [](std::uint64_t b) {
+      return util::Table::num(static_cast<double>(b) / (1024.0 * 1024.0), 2);
+    };
+    qt.add_row({quant.enabled ? "int8" : "fp32", std::to_string(quant_int8),
+                std::to_string(quant_fp32), std::to_string(quant_fallbacks),
+                mib(quant.weight_bytes), mib(quant.arena_bytes_per_worker)});
+    out << qt.str();
+  }
   return out.str();
 }
 
@@ -187,6 +199,17 @@ std::string MetricsSnapshot::to_json() const {
     json.kv("weight_bytes", memory.weight_bytes);
     json.kv("bytes_per_worker", memory.bytes_per_worker);
     json.kv("planned_total_bytes", memory.planned_total_bytes);
+    json.end_object();
+  }
+  if (has_quant) {
+    json.key("quant");
+    json.begin_object();
+    json.kv("enabled", quant.enabled);
+    json.kv("int8_tasks", quant_int8);
+    json.kv("fp32_tasks", quant_fp32);
+    json.kv("fallbacks", quant_fallbacks);
+    json.kv("weight_bytes", quant.weight_bytes);
+    json.kv("arena_bytes_per_worker", quant.arena_bytes_per_worker);
     json.end_object();
   }
   json.end_object();
@@ -282,6 +305,13 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.has_memory = true;
     snap.memory = memory_;
   }
+  if (has_quant_) {
+    snap.has_quant = true;
+    snap.quant = quant_;
+  }
+  snap.quant_int8 = quant_int8_.load(std::memory_order_relaxed);
+  snap.quant_fp32 = quant_fp32_.load(std::memory_order_relaxed);
+  snap.quant_fallbacks = quant_fallbacks_.load(std::memory_order_relaxed);
   snap.rss_bytes = util::current_rss_bytes();
   std::lock_guard lock{latency_mu_};
   snap.queue_wait = summarize(queue_wait_);

@@ -66,6 +66,21 @@ struct MemoryGauges {
   std::uint64_t planned_total_bytes = 0;
 };
 
+/// Static accounting for a quantized deployment (DESIGN.md §16): whether the
+/// trunk serves int8 and the planner-side byte counts of the int8 artifacts.
+/// Set once via MetricsRegistry::set_quant before serving starts.
+struct QuantGauges {
+  /// True when the deployment's workers carry a quantized backbone.
+  bool enabled = false;
+  /// Bytes of the shared int8 weight copy (s8 data + per-channel scales +
+  /// zero-point compensation + fp32 biases).
+  std::uint64_t weight_bytes = 0;
+  /// Planned activation + scratch bytes of one worker's int8-era arena —
+  /// smaller than the fp32 plan because u8 im2col/quantization slots shrink
+  /// the recorded scratch lifetimes.
+  std::uint64_t arena_bytes_per_worker = 0;
+};
+
 struct MetricsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
@@ -117,6 +132,17 @@ struct MetricsSnapshot {
   /// Present when set_memory was called (memory-planned deployment).
   bool has_memory = false;
   MemoryGauges memory;
+  /// Tasks served through a quantized (int8) trunk vs the fp32 trunk.
+  /// Invariant after a graceful drain when quant accounting is on:
+  /// quant_int8 + quant_fp32 == completed (checked by check_metrics.py).
+  std::uint64_t quant_int8 = 0;
+  std::uint64_t quant_fp32 = 0;
+  /// Requests that asked for int8 but fell back to fp32 (e.g. no quantized
+  /// artifact set for the model).
+  std::uint64_t quant_fallbacks = 0;
+  /// Present when set_quant was called.
+  bool has_quant = false;
+  QuantGauges quant;
   /// Process RSS sampled at snapshot time (0 when the platform cannot
   /// report it). Always present — useful even without a memory plan.
   std::uint64_t rss_bytes = 0;
@@ -168,6 +194,23 @@ class MetricsRegistry {
     has_memory_ = true;
   }
 
+  /// Publish the deployment's quantization accounting. Call before serving
+  /// starts — like set_memory, the field is unsynchronized by design.
+  void set_quant(const QuantGauges& gauges) {
+    quant_ = gauges;
+    has_quant_ = true;
+  }
+  /// Record which trunk served one finished task (call alongside
+  /// on_completed; the drain invariant ties the two streams together).
+  void on_quant_task(bool int8) {
+    (int8 ? quant_int8_ : quant_fp32_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Record a request that wanted int8 but was served fp32.
+  void on_quant_fallback() {
+    quant_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
@@ -182,6 +225,9 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> preempted_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> bypassed_{0};
+  std::atomic<std::uint64_t> quant_int8_{0};
+  std::atomic<std::uint64_t> quant_fp32_{0};
+  std::atomic<std::uint64_t> quant_fallbacks_{0};
 
   struct LatencyTrack {
     util::RunningStats stats;
@@ -207,6 +253,8 @@ class MetricsRegistry {
   obs::telemetry::SloMonitor* slo_ = nullptr;
   bool has_memory_ = false;
   MemoryGauges memory_;
+  bool has_quant_ = false;
+  QuantGauges quant_;
 
   mutable std::mutex latency_mu_;
   LatencyTrack queue_wait_;

@@ -58,16 +58,34 @@ SharedModel freeze_model(models::MultiExitNetwork&& net,
   return model;
 }
 
+void quantize_model(SharedModel& model) {
+  if (!model.net)
+    throw std::invalid_argument{"quantize_model: model not frozen"};
+  if (model.quant) return;
+  auto quant = std::make_shared<const nn::quant::QuantizedBackbone>(*model.net);
+  model.quant_plan =
+      std::make_shared<const memplan::MemoryPlan>(quant->plan());
+  model.quant_weight_bytes = quant->weight_bytes();
+  model.quant = std::move(quant);
+}
+
 std::vector<std::unique_ptr<runtime::LiveElasticEngine>> make_worker_engines(
     const SharedModel& model, const profiling::ETProfile& et,
-    const runtime::ElasticConfig& config, std::size_t workers) {
+    const runtime::ElasticConfig& config, std::size_t workers,
+    bool quantized) {
   if (!model.net || !model.predictor)
     throw std::invalid_argument{"make_worker_engines: model not frozen"};
+  if (quantized && !model.quant)
+    throw std::invalid_argument{
+        "make_worker_engines: quantized engines need quantize_model first"};
   std::vector<std::unique_ptr<runtime::LiveElasticEngine>> engines;
   engines.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w)
+  for (std::size_t w = 0; w < workers; ++w) {
     engines.push_back(std::make_unique<runtime::LiveElasticEngine>(
-        model.net, et, model.predictor, config, model.plan));
+        model.net, et, model.predictor, config,
+        quantized ? model.quant_plan : model.plan));
+    if (quantized) engines.back()->set_quant_backbone(model.quant);
+  }
   return engines;
 }
 

@@ -23,6 +23,7 @@
 #include "models/multiexit.hpp"
 #include "nn/memplan/budget.hpp"
 #include "nn/memplan/plan.hpp"
+#include "nn/quant/backbone.hpp"
 #include "predictor/cs_predictor.hpp"
 #include "runtime/live_engine.hpp"
 #include "serving/worker_pool.hpp"
@@ -46,10 +47,28 @@ struct SharedModel {
   std::shared_ptr<const memplan::MemoryPlan> plan;
   std::size_t weight_bytes = 0;
 
+  /// Int8 trunk derived from `net` (DESIGN.md §16); null until
+  /// quantize_model runs. The backbone holds a pointer into `net`, so it
+  /// shares the same lifetime rules as every worker engine.
+  std::shared_ptr<const nn::quant::QuantizedBackbone> quant;
+  /// Activation plan recorded over the *quantized* stepwise path: u8
+  /// im2col / quantization scratch shrinks the planned arena below `plan`.
+  std::shared_ptr<const memplan::MemoryPlan> quant_plan;
+  /// Bytes of the int8 weight copy (s8 data + scales + zero-point
+  /// compensation + fp32 biases). Additive to weight_bytes: the fp32 copy
+  /// stays resident for branches and fallback.
+  std::size_t quant_weight_bytes = 0;
+
   /// Planned activation + scratch bytes of one worker's arena.
   [[nodiscard]] std::size_t arena_bytes() const {
     return plan ? plan->arena_bytes() : 0;
   }
+  /// Planned bytes of one worker's int8-era arena (0 until quantized).
+  [[nodiscard]] std::size_t quant_arena_bytes() const {
+    return quant_plan ? quant_plan->arena_bytes() : 0;
+  }
+  /// True once quantize_model has attached the int8 trunk.
+  [[nodiscard]] bool quantized() const { return quant != nullptr; }
   /// Planned steady-state model memory for `workers` workers: one weight
   /// copy plus one arena each.
   [[nodiscard]] std::size_t bytes_for(std::size_t workers) const {
@@ -72,13 +91,23 @@ struct SharedModel {
     models::MultiExitNetwork&& net,
     std::unique_ptr<predictor::CSPredictor> predictor);
 
+/// Derive the int8 trunk from an already-frozen model: per-output-channel
+/// weight quantization of every backbone Conv2d/Linear, the quantized-path
+/// activation MemoryPlan, and the int8 weight byte count. Idempotent
+/// (re-quantizing an already-quantized model is a no-op); throws if the
+/// model is not frozen.
+void quantize_model(SharedModel& model);
+
 /// Build `workers` live engines over one SharedModel: each holds shared
 /// ownership of the single weight copy and (when the model carries a plan)
 /// its own private InferenceArena. Outcomes are bit-identical to
-/// per-worker-clone engines; only memory changes.
+/// per-worker-clone engines; only memory changes. With `quantized` set the
+/// model must have been through quantize_model: every engine then carries
+/// the shared int8 trunk and sizes its arena from the quantized plan.
 [[nodiscard]] std::vector<std::unique_ptr<runtime::LiveElasticEngine>>
 make_worker_engines(const SharedModel& model, const profiling::ETProfile& et,
-                    const runtime::ElasticConfig& config, std::size_t workers);
+                    const runtime::ElasticConfig& config, std::size_t workers,
+                    bool quantized = false);
 
 /// EngineFactory producing one ElasticEngine replica per worker, every
 /// replica planning through ONE shared predictor clone (predict() is const

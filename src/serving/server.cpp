@@ -7,6 +7,18 @@
 #include "obs/trace.hpp"
 
 namespace einet::serving {
+namespace {
+
+/// ServerConfig::quant is the deployment's single precision switch; the
+/// pool does the per-task attribution, so the mode is copied onto its
+/// config here (overriding any directly-set pool.quant).
+WorkerPoolConfig pool_config(const ServerConfig& config) {
+  WorkerPoolConfig pool = config.pool;
+  pool.quant = config.quant;
+  return pool;
+}
+
+}  // namespace
 
 EdgeServer::EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
                        TaskRunner runner, ServerConfig config)
@@ -16,7 +28,7 @@ EdgeServer::EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
       queue_(config.queue_capacity, config.overflow),
       pool_(std::make_unique<WorkerPool>(queue_, metrics_, clock_,
                                          std::move(factory), std::move(runner),
-                                         config.pool)) {
+                                         pool_config(config))) {
   metrics_.attach_slo(&slo_);
   pool_->start();
 }
@@ -36,7 +48,7 @@ EdgeServer::EdgeServer(const profiling::ETProfile& et, EngineFactory factory,
           std::move(compat))),
       pool_(std::make_unique<WorkerPool>(*batch_queue_, metrics_, clock_,
                                          std::move(factory), std::move(runner),
-                                         config.pool)) {
+                                         pool_config(config))) {
   metrics_.attach_slo(&slo_);
   pool_->start();
   assembler_->start();

@@ -45,6 +45,14 @@ struct ServerConfig {
   /// tighten them to arm the monitor. The server always owns a monitor so
   /// snapshots carry window rates even when no threshold is set.
   obs::telemetry::SloConfig slo;
+  /// Trunk precision (QuantMode lives in worker_pool.hpp). The server
+  /// facade itself is precision-agnostic — the runner / engine factory the
+  /// caller wires decides what executes — but the mode travels here so
+  /// deployment code (examples, net front-end) has one switch to build
+  /// engines, pick the "-q8" artifact set and publish QuantGauges from. The
+  /// ctor copies it over pool.quant, arming the pool's per-task int8/fp32
+  /// attribution and fallback detection.
+  QuantMode quant = QuantMode::kFp32;
 };
 
 enum class SubmitStatus {

@@ -113,6 +113,28 @@ void render(EdgeServer& server, PromWriter& prom) {
                static_cast<double>(mem.planned_total_bytes),
                {{"kind", "planned_total"}});
   }
+  if (snap.has_quant) {
+    const auto& q = snap.quant;
+    prom.gauge("einet_serving_quant_enabled",
+               "1 while the deployment serves an int8 trunk",
+               q.enabled ? 1.0 : 0.0);
+    const char* const req_help = "Tasks served per trunk precision";
+    prom.counter("einet_serving_quant_requests_total", req_help,
+                 static_cast<double>(snap.quant_int8), {{"mode", "int8"}});
+    prom.counter("einet_serving_quant_requests_total", req_help,
+                 static_cast<double>(snap.quant_fp32), {{"mode", "fp32"}});
+    prom.counter("einet_serving_quant_fallbacks_total",
+                 "Requests that asked for int8 but were served fp32",
+                 static_cast<double>(snap.quant_fallbacks));
+    const char* const qb_help =
+        "Quantized deployment bytes: shared int8 weight copy, per-worker "
+        "int8-era arena";
+    prom.gauge("einet_serving_quant_bytes", qb_help,
+               static_cast<double>(q.weight_bytes), {{"kind", "weights"}});
+    prom.gauge("einet_serving_quant_bytes", qb_help,
+               static_cast<double>(q.arena_bytes_per_worker),
+               {{"kind", "arena_per_worker"}});
+  }
   if (snap.has_slo) {
     const auto& slo = snap.slo;
     prom.gauge("einet_serving_slo_hit_rate",

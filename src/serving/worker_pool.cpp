@@ -4,6 +4,7 @@
 #include <exception>
 #include <stdexcept>
 
+#include "nn/quant/profile.hpp"
 #include "obs/trace.hpp"
 #include "scenario/injector.hpp"
 #include "util/logging.hpp"
@@ -52,12 +53,18 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::start() {
   if (!threads_.empty()) throw std::logic_error{"WorkerPool: already started"};
   engines_.reserve(config_.num_workers);
+  engine_int8_.reserve(config_.num_workers);
   rngs_.reserve(config_.num_workers);
   util::Rng seeder{config_.seed};
   for (std::size_t w = 0; w < config_.num_workers; ++w) {
     engines_.push_back(factory_(w));
     if (engines_.back() == nullptr)
       throw std::runtime_error{"WorkerPool: factory returned null engine"};
+    // In replay mode the replica's behaviour is a pure function of its
+    // profile set; the "-q8" model tag on the ET-profile is therefore the
+    // ground truth for which trunk this worker serves.
+    engine_int8_.push_back(
+        nn::quant::is_quant_profile(engines_.back()->et_profile()));
     rngs_.push_back(seeder.split());
   }
   threads_.reserve(config_.num_workers);
@@ -130,6 +137,15 @@ void WorkerPool::finish_task(Task& task, TaskResult& result) {
       .value =
           result.outcome.has_result && result.outcome.correct ? 1.0 : 0.0);
   metrics_.on_completed(result);
+  // Precision attribution (DESIGN.md §16): pair every completion with the
+  // trunk that served it so quant_int8 + quant_fp32 == completed holds
+  // after a drain. A replica that cannot honour a requested kInt8 (it was
+  // built from the fp32 artifact set) serves fp32 and ticks the fallback
+  // counter — the mismatch is visible instead of silently mispriced.
+  const bool wants_int8 = config_.quant == QuantMode::kInt8;
+  const bool served_int8 = wants_int8 && engine_int8_[result.worker_id];
+  if (wants_int8 && !served_int8) metrics_.on_quant_fallback();
+  metrics_.on_quant_task(served_int8);
   // Push-style delivery (the net front-end's response path): fires after
   // the metrics so a callback observing a snapshot sees its own task.
   if (task.on_complete) task.on_complete(result);

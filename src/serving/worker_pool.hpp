@@ -43,6 +43,11 @@ using EngineFactory =
 using TaskRunner = std::function<runtime::InferenceOutcome(
     runtime::ElasticEngine&, const Task&, util::Rng&)>;
 
+/// Trunk precision a deployment serves with (DESIGN.md §16). kInt8 runs conv
+/// parts through the quantized backbone (branches / predictor / planner stay
+/// fp32) and plans against the matching "-q8" artifact set.
+enum class QuantMode { kFp32, kInt8 };
+
 struct WorkerPoolConfig {
   std::size_t num_workers = 1;
   /// Base seed; per-worker streams are split off it in worker order.
@@ -51,6 +56,13 @@ struct WorkerPoolConfig {
   /// injector before execution (Task::cancel carries the token into the
   /// runner) and journaled after it. Not owned; must outlive the pool.
   scenario::PreemptionInjector* injector = nullptr;
+  /// Requested trunk precision (EdgeServer copies ServerConfig::quant here).
+  /// Every finished task is attributed to the trunk that actually served it:
+  /// int8 when this asks for kInt8 AND the worker's replica serves the "-q8"
+  /// artifact set, fp32 otherwise — with a fallback tick whenever kInt8 was
+  /// requested but the replica cannot honour it. The int8/fp32 counters
+  /// always run; MetricsSnapshot only renders them once set_quant was called.
+  QuantMode quant = QuantMode::kFp32;
 };
 
 class WorkerPool {
@@ -104,6 +116,9 @@ class WorkerPool {
   batch::MicroBatchRunner batch_runner_;
   WorkerPoolConfig config_;
   std::vector<std::unique_ptr<runtime::ElasticEngine>> engines_;
+  /// Per-worker: does this replica serve the quantized ("-q8") artifact
+  /// set? Filled in start() alongside engines_; read by finish_task.
+  std::vector<bool> engine_int8_;
   std::vector<util::Rng> rngs_;
   std::vector<std::thread> threads_;
 };

@@ -9,13 +9,14 @@
 namespace einet::split {
 
 std::vector<double> activation_frame_bytes(
-    const models::MultiExitNetwork& net) {
+    const models::MultiExitNetwork& net, bool q8) {
   const std::size_t n = net.num_exits();
   std::vector<double> bytes(n + 1, 0.0);
   // Build a shape-faithful dummy frame per k and ask the protocol layer for
   // its exact wire size — no duplicated layout arithmetic to drift.
   for (std::size_t k = 0; k < n; ++k) {
     net::ActivationFrame f;
+    f.dtype = q8 ? net::ActDtype::kQ8 : net::ActDtype::kF32;
     f.start_block = static_cast<std::uint32_t>(k);
     f.state.plan_bits.assign(n, 0);
     f.state.session_conf.assign(k, 0.0f);

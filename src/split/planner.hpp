@@ -33,8 +33,11 @@ namespace einet::split {
 /// Exact wire size of the block-k offload frame for every k in [0, n]
 /// (entry n is 0 — no offload). Matches net::activation_wire_bytes for a
 /// frame built from `net`'s feature shapes and a k-entry session trace.
+/// With `q8` set the table prices the quantized payload codec (~4x smaller
+/// activation section) — pair it with SplitClientConfig::q8_activation so
+/// the planner's transfer cost matches what actually ships.
 [[nodiscard]] std::vector<double> activation_frame_bytes(
-    const models::MultiExitNetwork& net);
+    const models::MultiExitNetwork& net, bool q8 = false);
 
 struct SplitPlannerConfig {
   /// Per-block times on the device tier (prefix cost model).

@@ -97,6 +97,8 @@ SplitRequestResult SplitClient::run(const nn::Tensor& image, std::size_t label,
   net::ActivationFrame frame;
   frame.deadline_ms = deadline_ms;
   frame.label = label;
+  frame.dtype =
+      config_.q8_activation ? net::ActDtype::kQ8 : net::ActDtype::kF32;
   frame.start_block = static_cast<std::uint32_t>(decision.split_block);
   frame.state = std::move(prefix.state);
   frame.activation = std::move(prefix.activation);

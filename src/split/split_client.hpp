@@ -49,6 +49,13 @@ struct SplitClientConfig {
   /// (num_blocks = stay local). The planner is still constructed — its
   /// validation and the estimator keep running.
   std::optional<std::size_t> force_split;
+  /// Ship offload activations through the q8 tensor codec (~4x smaller on
+  /// the wire; the edge dequantizes on decode). The resumed outcome then
+  /// equals a local continuation on the dequantized activation — not on the
+  /// exact fp32 one — so enable it together with
+  /// activation_frame_bytes(net, /*q8=*/true) in the planner config, which
+  /// keeps the priced and shipped payload sizes in lock-step.
+  bool q8_activation = false;
 };
 
 /// One resolved request, as seen from the device.

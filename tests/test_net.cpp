@@ -18,6 +18,7 @@
 #include "net/client.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"
+#include "nn/serialize.hpp"
 #include "serving/replicate.hpp"
 #include "serving/server.hpp"
 #include "util/rng.hpp"
@@ -330,16 +331,16 @@ TEST(Protocol, ActivationGoldenBytes) {
   const ActivationFrame f = tiny_activation();
   const std::vector<std::uint8_t> expected = {
       // header: magic "EINT", version 1, type kActivation, reserved,
-      // body len 113
-      0x45, 0x49, 0x4E, 0x54, 0x01, 0x04, 0x00, 0x00, 0x71, 0x00, 0x00, 0x00,
+      // body len 114
+      0x45, 0x49, 0x4E, 0x54, 0x01, 0x04, 0x00, 0x00, 0x72, 0x00, 0x00, 0x00,
       // request_id (u64 LE)
       0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
       // deadline 1.5 (f64 LE)
       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,
       // label (u64 LE)
       0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-      // codec version
-      0x01,
+      // codec version 2, payload dtype f32
+      0x02, 0x00,
       // start_block (u32 LE), num_exits (u32 LE)
       0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
       // plan bits
@@ -366,6 +367,89 @@ TEST(Protocol, ActivationGoldenBytes) {
   EXPECT_EQ(bytes, expected);
   EXPECT_EQ(bytes.size(), activation_wire_bytes(f));
   EXPECT_EQ(encode_activation(f), encode_activation(f));
+}
+
+// The v1 body layout (no dtype byte) must keep encoding and decoding
+// byte-identically: deployed devices that predate the q8 codec still ship
+// v1 frames.
+TEST(Protocol, ActivationV1GoldenBytes) {
+  ActivationFrame f = tiny_activation();
+  f.codec_version = 1;
+  const std::vector<std::uint8_t> expected = {
+      // header: magic "EINT", version 1, type kActivation, reserved,
+      // body len 113
+      0x45, 0x49, 0x4E, 0x54, 0x01, 0x04, 0x00, 0x00, 0x71, 0x00, 0x00, 0x00,
+      // request_id (u64 LE)
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+      // deadline 1.5 (f64 LE)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,
+      // label (u64 LE)
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // codec version 1 (no dtype byte)
+      0x01,
+      // start_block (u32 LE), num_exits (u32 LE)
+      0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+      // plan bits
+      0x01, 0x00,
+      // session_conf 0.5f
+      0x00, 0x00, 0x00, 0x3F,
+      // sim_t_ms 2.5 (f64 LE)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x40,
+      // last_conf 1.0f
+      0x00, 0x00, 0x80, 0x3F,
+      // has_result, exit_index 0 (u64), correct
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01,
+      // result_time_ms 1.5 (f64 LE)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,
+      // branches_executed 1, searches_run 2 (u64 LE)
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // planner_ms 0.25 (f64 LE)
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD0, 0x3F,
+      // tensor codec: rank 2, dims (1, 2), data 1.0f, -2.0f
+      0x02, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x80, 0x3F, 0x00, 0x00, 0x00, 0xC0};
+  const auto bytes = encode_activation(f);
+  EXPECT_EQ(bytes, expected);
+  EXPECT_EQ(bytes.size(), activation_wire_bytes(f));
+  // v1 bodies decode as implicit f32 payloads.
+  const std::vector<std::uint8_t> body{bytes.begin() + 12, bytes.end()};
+  const ActivationFrame back = decode_activation(body);
+  EXPECT_EQ(back.codec_version, 1);
+  EXPECT_EQ(back.dtype, ActDtype::kF32);
+  ASSERT_EQ(back.activation.data().size(), f.activation.data().size());
+  for (std::size_t i = 0; i < f.activation.data().size(); ++i)
+    EXPECT_EQ(back.activation.data()[i], f.activation.data()[i]) << i;
+}
+
+// A q8 frame round-trips to exactly deq(q(activation)) — the device can
+// predict the edge's view of the payload bit-for-bit — and is smaller on
+// the wire than its f32 twin.
+TEST(Protocol, ActivationQ8RoundTrip) {
+  ActivationFrame f = tiny_activation();
+  util::Rng rng{13};
+  std::vector<float> data(1 * 3 * 4 * 4);
+  for (auto& v : data) v = rng.uniform_f(-2.0f, 2.0f);
+  f.activation = nn::Tensor{{1, 3, 4, 4}, data};
+  f.dtype = ActDtype::kQ8;
+
+  const auto bytes = encode_activation(f);
+  EXPECT_EQ(bytes.size(), activation_wire_bytes(f));
+  ActivationFrame f32_twin = tiny_activation();
+  f32_twin.activation = f.activation;
+  EXPECT_LT(bytes.size(), activation_wire_bytes(f32_twin));
+
+  const std::vector<std::uint8_t> body{bytes.begin() + 12, bytes.end()};
+  const ActivationFrame back = decode_activation(body);
+  EXPECT_EQ(back.dtype, ActDtype::kQ8);
+  ASSERT_EQ(back.activation.shape(), f.activation.shape());
+  std::vector<std::uint8_t> blob;
+  nn::encode_tensor_q8(f.activation, blob);
+  const nn::Tensor deq = nn::decode_tensor_q8(blob);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(back.activation.data()[i], deq.data()[i]) << i;
+    EXPECT_NEAR(back.activation.data()[i], data[i], 2.0f / 127.0f) << i;
+  }
 }
 
 TEST(Protocol, ActivationRoundTripByteAtATime) {

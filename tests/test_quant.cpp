@@ -1,0 +1,646 @@
+// Int8 quantized-compute suite (DESIGN.md §16): quantization round-trip
+// error bounds, per-channel weight scales + zero-point compensation algebra,
+// SIMD-vs-scalar quantizer bit-identity, int8 microkernel exactness against
+// the naive reference (kN/kT/transposed-C), fused-vs-unfused epilogue
+// bit-identity, 1-vs-4-thread determinism, quantized-conv error bounds vs
+// the fp32 layer, live/batched/split engine agreement with a quantized
+// trunk, and the "-q8" artifact discipline (fp32 profile files stay
+// byte-identical when the quantized set is generated next to them).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/time_distribution.hpp"
+#include "data/synthetic.hpp"
+#include "models/backbones.hpp"
+#include "models/trainer.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/memplan/plan.hpp"
+#include "nn/memplan/profile.hpp"
+#include "nn/quant/backbone.hpp"
+#include "nn/quant/profile.hpp"
+#include "nn/quant/qgemm.hpp"
+#include "nn/quant/quantize.hpp"
+#include "nn/workspace.hpp"
+#include "predictor/cs_predictor.hpp"
+#include "profiling/platform.hpp"
+#include "profiling/profiler.hpp"
+#include "runtime/batched_engine.hpp"
+#include "runtime/live_engine.hpp"
+#include "util/rng.hpp"
+
+namespace einet {
+namespace {
+
+using nn::quant::kActZeroPoint;
+using nn::quant::QuantizedMatrix;
+using nn::quant::RequantParams;
+
+// ------------------------------------------------------------- primitives
+
+TEST(Quantize, SymmetricScale) {
+  EXPECT_FLOAT_EQ(nn::quant::symmetric_scale(127.0f), 1.0f);
+  EXPECT_FLOAT_EQ(nn::quant::symmetric_scale(1.0f), 1.0f / 127.0f);
+  // All-zero tensors get scale 1 so dequantization stays well-defined.
+  EXPECT_FLOAT_EQ(nn::quant::symmetric_scale(0.0f), 1.0f);
+}
+
+TEST(Quantize, AbsmaxMatchesScalarScan) {
+  util::Rng rng{11};
+  for (const std::size_t n : {0UL, 1UL, 7UL, 15UL, 16UL, 17UL, 33UL, 1003UL}) {
+    std::vector<float> x(n);
+    for (auto& v : x) v = rng.uniform_f(-9.0f, 9.0f);
+    float ref = 0.0f;
+    for (float v : x) ref = std::max(ref, std::fabs(v));
+    EXPECT_EQ(nn::quant::absmax(x.data(), n), ref) << "n=" << n;
+  }
+  // The max must see negative extrema too.
+  const float neg[3] = {0.5f, -4.0f, 1.0f};
+  EXPECT_EQ(nn::quant::absmax(neg, 3), 4.0f);
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfScale) {
+  util::Rng rng{12};
+  std::vector<float> x(517);
+  for (auto& v : x) v = rng.uniform_f(-3.0f, 3.0f);
+  std::vector<std::uint8_t> q(x.size());
+  const float scale = nn::quant::quantize_acts(x.data(), x.size(), q.data());
+
+  float am = 0.0f;
+  for (float v : x) am = std::max(am, std::fabs(v));
+  EXPECT_FLOAT_EQ(scale, nn::quant::symmetric_scale(am));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float back = nn::quant::dequantize_act_value(q[i], scale);
+    // Round-to-nearest with a scale that covers the whole range: the error
+    // of every value is at most half a quantization step.
+    EXPECT_LE(std::fabs(back - x[i]), 0.5f * scale + 1e-7f) << "i=" << i;
+  }
+}
+
+TEST(Quantize, SaturationAndRoundHalfToEven) {
+  // Values past +-127 steps saturate instead of wrapping.
+  EXPECT_EQ(nn::quant::quantize_act_value(1e6f, 1.0f), 255);
+  EXPECT_EQ(nn::quant::quantize_act_value(-1e6f, 1.0f), 1);
+  EXPECT_EQ(nn::quant::quantize_weight_value(1e6f, 1.0f), 127);
+  EXPECT_EQ(nn::quant::quantize_weight_value(-1e6f, 1.0f), -127);
+  // Zero maps exactly to the zero point.
+  EXPECT_EQ(nn::quant::quantize_act_value(0.0f, 0.25f), kActZeroPoint);
+  // nearbyint under the default environment is round-half-to-even.
+  EXPECT_EQ(nn::quant::quantize_act_value(0.5f, 1.0f), kActZeroPoint);
+  EXPECT_EQ(nn::quant::quantize_act_value(1.5f, 1.0f), kActZeroPoint + 2);
+  EXPECT_EQ(nn::quant::quantize_act_value(2.5f, 1.0f), kActZeroPoint + 2);
+  EXPECT_EQ(nn::quant::quantize_act_value(-0.5f, 1.0f), kActZeroPoint);
+}
+
+TEST(Quantize, SimdActsBitIdenticalToScalarHelper) {
+  // The vectorized quantize_acts must produce exactly the bytes the scalar
+  // inline helper would, for every vector-width remainder.
+  util::Rng rng{13};
+  for (const std::size_t n :
+       {1UL, 7UL, 8UL, 15UL, 16UL, 17UL, 31UL, 32UL, 33UL, 64UL, 1003UL}) {
+    std::vector<float> x(n);
+    for (auto& v : x) v = rng.uniform_f(-5.0f, 5.0f);
+    std::vector<std::uint8_t> q(n);
+    const float scale = nn::quant::quantize_acts(x.data(), n, q.data());
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(q[i], nn::quant::quantize_act_value(x[i], scale))
+          << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(Quantize, PerChannelWeightScalesAndCompensation) {
+  // Three rows with very different dynamic ranges: each row must get its own
+  // scale (absmax_row / 127) and its own comp = 128 * sum of quantized codes.
+  const std::size_t rows = 3, cols = 5;
+  const std::vector<float> w = {
+      0.1f,  -0.2f,  0.05f, 0.2f,  -0.1f,   // absmax 0.2
+      10.0f, -40.0f, 25.0f, 5.0f,  -1.0f,   // absmax 40
+      0.0f,  0.0f,   0.0f,  0.0f,  0.0f,    // all-zero row -> scale 1
+  };
+  const QuantizedMatrix q = nn::quant::quantize_weights(w.data(), rows, cols);
+  ASSERT_EQ(q.rows, rows);
+  ASSERT_EQ(q.cols, cols);
+  EXPECT_FLOAT_EQ(q.scale[0], 0.2f / 127.0f);
+  EXPECT_FLOAT_EQ(q.scale[1], 40.0f / 127.0f);
+  EXPECT_FLOAT_EQ(q.scale[2], 1.0f);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::int32_t sum = 0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::int8_t expect =
+          nn::quant::quantize_weight_value(w[r * cols + c], q.scale[r]);
+      EXPECT_EQ(q.data[r * cols + c], expect) << "r=" << r << " c=" << c;
+      sum += q.data[r * cols + c];
+    }
+    EXPECT_EQ(q.comp[r], 128 * sum) << "r=" << r;
+  }
+  // The absmax element of each row must quantize to exactly +-127.
+  EXPECT_EQ(q.data[1 * cols + 1], -127);
+  EXPECT_EQ(q.bytes(), rows * cols + rows * sizeof(float) +
+                           rows * sizeof(std::int32_t));
+}
+
+// ------------------------------------------------------------------ qgemm
+
+struct QGemmCase {
+  std::size_t m, n, k;
+};
+
+/// Random quantized operands for one GEMM shape. Activations are stored in
+/// the layout `tact` selects (kN: k x n, kT: n x k).
+struct QGemmOperands {
+  std::vector<std::int8_t> w;
+  std::vector<std::uint8_t> act;
+  std::vector<std::int32_t> comp;
+  std::size_t lda;
+
+  static QGemmOperands make(const QGemmCase& c, nn::Trans tact,
+                            util::Rng& rng) {
+    QGemmOperands o;
+    o.w.resize(c.m * c.k);
+    for (auto& v : o.w)
+      v = static_cast<std::int8_t>(static_cast<int>(rng.uniform_int(255)) -
+                                   127);
+    o.act.resize(c.k * c.n);
+    for (auto& v : o.act)
+      v = static_cast<std::uint8_t>(1 + rng.uniform_int(255));
+    o.comp.resize(c.m);
+    for (std::size_t r = 0; r < c.m; ++r) {
+      std::int32_t sum = 0;
+      for (std::size_t x = 0; x < c.k; ++x) sum += o.w[r * c.k + x];
+      o.comp[r] = 128 * sum;
+    }
+    o.lda = tact == nn::Trans::kN ? c.n : c.k;
+    return o;
+  }
+};
+
+const QGemmCase kCases[] = {
+    {1, 1, 1},    // degenerate
+    {8, 32, 4},   // exactly one AVX-512 VNNI tile / k-group
+    {7, 31, 5},   // sub-tile remainders on every dimension
+    {17, 33, 9},  // tile tails in m and n, odd k
+    {64, 40, 64},
+    {5, 8, 128},  // deep k, narrow output
+    {128, 1, 36},  // linear layer shape: single column
+};
+
+TEST(QGemm, KernelNameIsKnown) {
+  const std::string name = nn::quant::qgemm_kernel_name();
+  EXPECT_TRUE(name == "avx512-vnni" || name == "avx2-maddwd" ||
+              name == "scalar")
+      << name;
+}
+
+TEST(QGemm, MatchesReferenceForBothActLayouts) {
+  util::Rng rng{21};
+  for (const auto tact : {nn::Trans::kN, nn::Trans::kT}) {
+    for (const auto& c : kCases) {
+      const auto o = QGemmOperands::make(c, tact, rng);
+      std::vector<std::int32_t> got(c.m * c.n, -1), ref(c.m * c.n, -2);
+      nn::quant::qgemm_i32(tact, c.m, c.n, c.k, o.w.data(), c.k, o.act.data(),
+                           o.lda, o.comp.data(), got.data(), c.n, false);
+      nn::quant::qgemm_i32_reference(tact, c.m, c.n, c.k, o.w.data(), c.k,
+                                     o.act.data(), o.lda, ref.data(), c.n,
+                                     false);
+      ASSERT_EQ(0, std::memcmp(got.data(), ref.data(),
+                               got.size() * sizeof(std::int32_t)))
+          << "tact=" << (tact == nn::Trans::kN ? "kN" : "kT") << " m=" << c.m
+          << " n=" << c.n << " k=" << c.k;
+    }
+  }
+}
+
+TEST(QGemm, TransposedCMatchesReference) {
+  util::Rng rng{22};
+  const QGemmCase c{17, 9, 21};
+  const auto o = QGemmOperands::make(c, nn::Trans::kT, rng);
+  std::vector<std::int32_t> got(c.n * c.m, -1), ref(c.n * c.m, -2);
+  nn::quant::qgemm_i32(nn::Trans::kT, c.m, c.n, c.k, o.w.data(), c.k,
+                       o.act.data(), o.lda, o.comp.data(), got.data(), c.m,
+                       true);
+  nn::quant::qgemm_i32_reference(nn::Trans::kT, c.m, c.n, c.k, o.w.data(),
+                                 c.k, o.act.data(), o.lda, ref.data(), c.m,
+                                 true);
+  EXPECT_EQ(0, std::memcmp(got.data(), ref.data(),
+                           got.size() * sizeof(std::int32_t)));
+}
+
+TEST(QGemm, FusedBitIdenticalToUnfusedPlusRequantize) {
+  util::Rng rng{23};
+  for (const bool relu : {false, true}) {
+    for (const bool with_bias : {false, true}) {
+      const QGemmCase c{17, 33, 40};
+      const auto o = QGemmOperands::make(c, nn::Trans::kN, rng);
+      std::vector<float> scale(c.m), bias(c.m);
+      for (std::size_t r = 0; r < c.m; ++r) {
+        scale[r] = rng.uniform_f(1e-4f, 1e-2f);
+        bias[r] = rng.uniform_f(-1.0f, 1.0f);
+      }
+      const RequantParams rq{scale.data(), with_bias ? bias.data() : nullptr,
+                             o.comp.data(), relu};
+      std::vector<float> fused(c.m * c.n, -7.0f);
+      nn::quant::qgemm_fused(nn::Trans::kN, c.m, c.n, c.k, o.w.data(), c.k,
+                             o.act.data(), o.lda, rq, fused.data(), c.n,
+                             false);
+      std::vector<std::int32_t> acc(c.m * c.n);
+      nn::quant::qgemm_i32(nn::Trans::kN, c.m, c.n, c.k, o.w.data(), c.k,
+                           o.act.data(), o.lda, o.comp.data(), acc.data(),
+                           c.n, false);
+      std::vector<float> unfused(c.m * c.n);
+      for (std::size_t r = 0; r < c.m; ++r)
+        for (std::size_t j = 0; j < c.n; ++j)
+          unfused[r * c.n + j] = nn::quant::requantize_one(
+              acc[r * c.n + j], scale[r], with_bias ? bias[r] : 0.0f, relu);
+      ASSERT_EQ(0, std::memcmp(fused.data(), unfused.data(),
+                               fused.size() * sizeof(float)))
+          << "relu=" << relu << " bias=" << with_bias;
+    }
+  }
+}
+
+TEST(QGemm, BitIdenticalAcrossThreadCounts) {
+  const std::size_t saved = nn::gemm_threads();
+  util::Rng rng{24};
+  const QGemmCase c{64, 256, 128};
+  const auto o = QGemmOperands::make(c, nn::Trans::kN, rng);
+  std::vector<float> scale(c.m, 1e-3f);
+  const RequantParams rq{scale.data(), nullptr, o.comp.data(), true};
+
+  std::vector<std::int32_t> i32_1(c.m * c.n), i32_4(c.m * c.n);
+  std::vector<float> f_1(c.m * c.n), f_4(c.m * c.n);
+  nn::set_gemm_threads(1);
+  nn::quant::qgemm_i32(nn::Trans::kN, c.m, c.n, c.k, o.w.data(), c.k,
+                       o.act.data(), o.lda, o.comp.data(), i32_1.data(), c.n,
+                       false);
+  nn::quant::qgemm_fused(nn::Trans::kN, c.m, c.n, c.k, o.w.data(), c.k,
+                         o.act.data(), o.lda, rq, f_1.data(), c.n, false);
+  nn::set_gemm_threads(4);
+  nn::quant::qgemm_i32(nn::Trans::kN, c.m, c.n, c.k, o.w.data(), c.k,
+                       o.act.data(), o.lda, o.comp.data(), i32_4.data(), c.n,
+                       false);
+  nn::quant::qgemm_fused(nn::Trans::kN, c.m, c.n, c.k, o.w.data(), c.k,
+                         o.act.data(), o.lda, rq, f_4.data(), c.n, false);
+  nn::set_gemm_threads(saved);
+
+  EXPECT_EQ(0, std::memcmp(i32_1.data(), i32_4.data(),
+                           i32_1.size() * sizeof(std::int32_t)));
+  EXPECT_EQ(0,
+            std::memcmp(f_1.data(), f_4.data(), f_1.size() * sizeof(float)));
+}
+
+// --------------------------------------------------------- quantized conv
+
+TEST(QuantConv, BatchRowsBitIdenticalToSoloRuns) {
+  util::Rng rng{31};
+  const nn::Conv2dSpec spec{.in_channels = 3,
+                            .out_channels = 8,
+                            .kernel = 3,
+                            .stride = 1,
+                            .padding = 1};
+  nn::Conv2d conv{spec, rng};
+  const nn::quant::QuantizedConv2d qconv{conv, /*fuse_relu=*/false};
+  nn::FreshWorkspace ws;
+
+  const std::size_t b = 3, h = 10, w = 10;
+  nn::Tensor batch{{b, spec.in_channels, h, w}};
+  for (auto& v : batch.data()) v = rng.uniform_f(-2.0f, 2.0f);
+  nn::Tensor stacked;
+  qconv.forward_into(batch, stacked, ws);
+
+  const std::size_t img = spec.in_channels * h * w;
+  const std::size_t out = stacked.numel() / b;
+  for (std::size_t s = 0; s < b; ++s) {
+    nn::Tensor one{{1, spec.in_channels, h, w}};
+    std::memcpy(one.raw(), batch.raw() + s * img, img * sizeof(float));
+    nn::Tensor y;
+    qconv.forward_into(one, y, ws);
+    ASSERT_EQ(y.numel(), out);
+    // Per-sample activation scales: stacking must not perturb a single bit.
+    ASSERT_EQ(0, std::memcmp(y.raw(), stacked.raw() + s * out,
+                             out * sizeof(float)))
+        << "sample " << s;
+  }
+}
+
+TEST(QuantConv, OutputWithinAnalyticQuantizationBound) {
+  util::Rng rng{32};
+  const nn::Conv2dSpec spec{.in_channels = 4,
+                            .out_channels = 6,
+                            .kernel = 3,
+                            .stride = 1,
+                            .padding = 1};
+  nn::Conv2d conv{spec, rng};
+  const nn::quant::QuantizedConv2d qconv{conv, /*fuse_relu=*/false};
+  nn::FreshWorkspace ws;
+
+  const std::size_t h = 8, w = 8;
+  nn::Tensor x{{1, spec.in_channels, h, w}};
+  for (auto& v : x.data()) v = rng.uniform_f(-1.5f, 1.5f);
+
+  nn::Tensor ref = conv.forward(x, /*train=*/false);
+  nn::Tensor got;
+  qconv.forward_into(x, got, ws);
+  ASSERT_EQ(got.numel(), ref.numel());
+
+  // Error budget per output element of channel oc (k = patch size):
+  //   |sum w*x - sum w_hat*x_hat|
+  //     <= 0.5 * scale_a * sum_k |w[oc][k]|           (activation rounding)
+  //      + 0.5 * scale_w[oc] * k * (absmax_x + eps)   (weight rounding)
+  // plus a small slack for the fp32 epilogue rounding.
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  const float absmax_x = nn::quant::absmax(x.raw(), x.numel());
+  const float scale_a = nn::quant::symmetric_scale(absmax_x);
+  const auto& qw = qconv.weights();
+  const auto wspan = conv.weight().value.data();
+  const std::size_t spatial = ref.numel() / spec.out_channels;
+  for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+    float wsum = 0.0f;
+    for (std::size_t i = 0; i < patch; ++i)
+      wsum += std::fabs(wspan[oc * patch + i]);
+    const float bound = 0.5f * scale_a * wsum +
+                        0.5f * qw.scale[oc] * static_cast<float>(patch) *
+                            (absmax_x + 0.5f * scale_a) +
+                        1e-4f;
+    for (std::size_t j = 0; j < spatial; ++j) {
+      const std::size_t idx = oc * spatial + j;
+      ASSERT_LE(std::fabs(got.raw()[idx] - ref.raw()[idx]), bound)
+          << "oc=" << oc << " j=" << j;
+    }
+  }
+}
+
+// -------------------------------------------------------- engine fixture
+
+struct QuantPipeline {
+  data::SyntheticDataset ds;
+  models::MultiExitNetwork net;
+  profiling::ETProfile et;
+  profiling::CSProfile cs;
+  std::unique_ptr<predictor::CSPredictor> pred;
+  // Built by SetUpTestSuite once the pipeline has its final address: the
+  // backbone borrows a pointer to `net`, so it must not witness the moves
+  // `build()` performs while assembling the struct.
+  std::shared_ptr<const nn::quant::QuantizedBackbone> quant;
+
+  static QuantPipeline build() {
+    auto spec = data::synth_cifar10_spec(120, 40);
+    auto ds = data::make_synthetic(spec);
+    util::Rng rng{7};
+    // B-AlexNet: plain Sequential conv parts (Conv2d + ReLU), so the
+    // backbone actually quantizes layers — msdnet's composite blocks would
+    // leave the int8 path vacuous.
+    auto net = models::make_b_alexnet(ds.train->input_shape(),
+                                      ds.train->num_classes(), rng);
+    models::MultiExitTrainer trainer{net};
+    models::TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 20;
+    trainer.train(*ds.train, tc);
+    auto et =
+        profiling::profile_execution_time(net, profiling::edge_fast_platform());
+    auto cs = profiling::profile_confidence(net, *ds.test);
+    predictor::CSPredictorConfig pc;
+    pc.hidden = 16;
+    pc.epochs = 6;
+    auto pred = std::make_unique<predictor::CSPredictor>(net.num_exits(), pc);
+    pred->train(cs);
+    return QuantPipeline{std::move(ds), std::move(net), std::move(et),
+                         std::move(cs), std::move(pred), nullptr};
+  }
+};
+
+class QuantEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new QuantPipeline(QuantPipeline::build());
+    pipeline_->quant =
+        std::make_shared<const nn::quant::QuantizedBackbone>(pipeline_->net);
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+  }
+  static QuantPipeline* pipeline_;
+};
+
+QuantPipeline* QuantEngineTest::pipeline_ = nullptr;
+
+void expect_outcome_identical(const runtime::InferenceOutcome& got,
+                              const runtime::InferenceOutcome& ref,
+                              const std::string& where) {
+  // planner_ms is wall-clock search telemetry and excluded, as in the fp32
+  // 1-vs-N contract; everything else must agree exactly.
+  EXPECT_EQ(got.has_result, ref.has_result) << where;
+  EXPECT_EQ(got.exit_index, ref.exit_index) << where;
+  EXPECT_EQ(got.correct, ref.correct) << where;
+  EXPECT_EQ(got.result_time_ms, ref.result_time_ms) << where;
+  EXPECT_EQ(got.deadline_ms, ref.deadline_ms) << where;
+  EXPECT_EQ(got.branches_executed, ref.branches_executed) << where;
+  EXPECT_EQ(got.searches_run, ref.searches_run) << where;
+  EXPECT_EQ(got.completed, ref.completed) << where;
+}
+
+TEST_F(QuantEngineTest, BackboneAccounting) {
+  auto& p = *pipeline_;
+  EXPECT_EQ(p.quant->num_exits(), p.net.num_exits());
+  EXPECT_GT(p.quant->quantized_layers(), 0u);
+  EXPECT_GT(p.quant->weight_bytes(), 0u);
+  // The u8 im2col scratch shrinks the planned arena versus the fp32 plan.
+  EXPECT_LE(p.quant->plan().arena_bytes(),
+            memplan::plan_for(p.net).arena_bytes());
+}
+
+TEST_F(QuantEngineTest, RunConvPartMatchesForwardInto) {
+  auto& p = *pipeline_;
+  nn::FreshWorkspace ws;
+  const auto& sample = p.ds.test->sample(0);
+  nn::Tensor cur = sample.image;  // CHW -> (1, C, H, W): conv parts are NCHW
+  cur.reshape({1, cur.dim(0), cur.dim(1), cur.dim(2)});
+  for (std::size_t i = 0; i < p.quant->num_exits(); ++i) {
+    const nn::Tensor a = p.quant->run_conv_part(i, cur);
+    nn::Tensor b;
+    p.quant->run_conv_part_into(i, cur, b, ws);
+    ASSERT_EQ(a.numel(), b.numel()) << "block " << i;
+    ASSERT_EQ(0, std::memcmp(a.raw(), b.raw(), a.numel() * sizeof(float)))
+        << "block " << i;
+    cur = a;
+  }
+}
+
+TEST_F(QuantEngineTest, BatchedQuantBitIdenticalToSoloQuant) {
+  auto& p = *pipeline_;
+  const runtime::ElasticConfig cfg;
+  runtime::LiveElasticEngine solo{p.net, p.et, p.pred.get(), cfg};
+  runtime::BatchedLiveEngine batched{p.net, p.et, p.pred.get(), cfg};
+  solo.set_quant_backbone(p.quant);
+  batched.set_quant_backbone(p.quant);
+  ASSERT_TRUE(solo.quantized());
+  ASSERT_TRUE(batched.quantized());
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+
+  util::Rng rng{42};
+  std::vector<runtime::BatchItem> items;
+  for (std::size_t s = 0; s < 6; ++s)
+    items.push_back({.image = &p.ds.test->sample(s).image,
+                     .label = p.ds.test->sample(s).label,
+                     .deadline_ms = dist.sample(rng)});
+  items[0].deadline_ms = p.et.conv_ms[0] * 0.5;  // killed before exit 0
+  items[1].deadline_ms = 2.0 * p.et.total_ms();  // always completes
+
+  const auto outcomes = batched.run_batched(items, dist);
+  ASSERT_EQ(outcomes.size(), items.size());
+  for (std::size_t s = 0; s < items.size(); ++s) {
+    const auto ref = solo.run(*items[s].image, items[s].label,
+                              items[s].deadline_ms, dist);
+    expect_outcome_identical(outcomes[s], ref,
+                             "batched sample " + std::to_string(s));
+  }
+}
+
+TEST_F(QuantEngineTest, PrefixResumeQuantBitIdenticalForEveryK) {
+  auto& p = *pipeline_;
+  const runtime::ElasticConfig cfg;
+  runtime::LiveElasticEngine device{p.net, p.et, p.pred.get(), cfg};
+  runtime::LiveElasticEngine edge{p.net, p.et, p.pred.get(), cfg};
+  device.set_quant_backbone(p.quant);
+  edge.set_quant_backbone(p.quant);
+  const core::UniformExitDistribution dist{p.et.total_ms()};
+  const std::size_t n = p.net.num_exits();
+  const double total = p.et.total_ms();
+
+  for (const double deadline : {0.6 * total, 3.0 * total}) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      const auto& sample = p.ds.test->sample(s);
+      const auto ref = device.run(sample.image, sample.label, deadline, dist);
+      for (std::size_t k = 0; k <= n; ++k) {
+        const std::string where = "deadline=" + std::to_string(deadline) +
+                                  " sample=" + std::to_string(s) +
+                                  " k=" + std::to_string(k);
+        auto prefix =
+            device.run_prefix(sample.image, sample.label, k, deadline, dist);
+        if (prefix.finished) {
+          expect_outcome_identical(prefix.outcome, ref, where + " (finished)");
+          continue;
+        }
+        const auto got = edge.run_resume(prefix.activation, sample.label, k,
+                                         prefix.state, deadline, dist);
+        expect_outcome_identical(got, ref, where);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- "-q8" artifacts
+
+TEST(QuantProfile, StemSuffix) {
+  EXPECT_EQ(nn::quant::quant_stem("cache/alexnet", false), "cache/alexnet");
+  EXPECT_EQ(nn::quant::quant_stem("cache/alexnet", true), "cache/alexnet-q8");
+  EXPECT_EQ(std::string{nn::quant::quant_suffix()}, "-q8");
+}
+
+TEST(QuantProfile, DerivedETHalvesConvOnly) {
+  profiling::ETProfile et;
+  et.model_name = "m";
+  et.platform_name = "p";
+  et.conv_ms = {4.0, 2.0, 1.0};
+  et.branch_ms = {0.5, 0.25, 0.125};
+  const auto q = nn::quant::quantized_execution_time(et);
+  ASSERT_EQ(q.conv_ms.size(), et.conv_ms.size());
+  for (std::size_t i = 0; i < et.conv_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(q.conv_ms[i],
+                     et.conv_ms[i] / nn::quant::kQuantConvSpeedup);
+    EXPECT_DOUBLE_EQ(q.branch_ms[i], et.branch_ms[i]);
+  }
+  EXPECT_NE(q.model_name.find(nn::quant::quant_suffix()), std::string::npos);
+  EXPECT_EQ(q.platform_name, et.platform_name);
+  q.validate();
+}
+
+TEST_F(QuantEngineTest, ConfidenceProfileBatchSizeInvariant) {
+  auto& p = *pipeline_;
+  // Per-sample activation scales make the stacked profiling pass bit-agree
+  // with a one-at-a-time pass over the same dataset.
+  const auto solo = nn::quant::profile_confidence_quant(*p.quant, *p.ds.test,
+                                                        /*batch_size=*/1);
+  const auto stacked = nn::quant::profile_confidence_quant(
+      *p.quant, *p.ds.test, /*batch_size=*/16);
+  ASSERT_EQ(solo.records.size(), p.ds.test->size());
+  ASSERT_EQ(stacked.records.size(), solo.records.size());
+  ASSERT_EQ(stacked.num_exits, solo.num_exits);
+  for (std::size_t r = 0; r < solo.records.size(); ++r) {
+    const auto& a = solo.records[r];
+    const auto& b = stacked.records[r];
+    ASSERT_EQ(a.label, b.label) << "record " << r;
+    ASSERT_EQ(a.correct, b.correct) << "record " << r;
+    ASSERT_EQ(a.confidence.size(), b.confidence.size()) << "record " << r;
+    for (std::size_t e = 0; e < a.confidence.size(); ++e) {
+      ASSERT_EQ(a.confidence[e], b.confidence[e])
+          << "record " << r << " exit " << e;
+      ASSERT_GE(a.confidence[e], 0.0f);
+      ASSERT_LE(a.confidence[e], 1.0f);
+    }
+  }
+  solo.validate();
+}
+
+/// Whole-file bytes, or empty if unreadable.
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(QuantEngineTest, Fp32ArtifactsStayByteIdenticalNextToQ8Set) {
+  auto& p = *pipeline_;
+  const auto dir = std::filesystem::path{::testing::TempDir()} /
+                   "einet_quant_artifacts";
+  std::filesystem::create_directories(dir);
+  const std::string stem = (dir / "model").string();
+
+  // fp32 artifact set, written first (the pre-quantization state).
+  p.et.save(stem + ".et.csv");
+  p.cs.save(stem + ".cs.csv");
+  const std::string et_bytes = slurp(stem + ".et.csv");
+  const std::string cs_bytes = slurp(stem + ".cs.csv");
+  ASSERT_FALSE(et_bytes.empty());
+  ASSERT_FALSE(cs_bytes.empty());
+
+  // Generating + saving the quantized set must only create the "-q8" twins.
+  const std::string qstem = nn::quant::quant_stem(stem, true);
+  const auto q_et = nn::quant::quantized_execution_time(p.et);
+  const auto q_cs =
+      nn::quant::profile_confidence_quant(*p.quant, *p.ds.test, 16);
+  q_et.save(qstem + ".et.csv");
+  q_cs.save(qstem + ".cs.csv");
+
+  EXPECT_EQ(slurp(stem + ".et.csv"), et_bytes);
+  EXPECT_EQ(slurp(stem + ".cs.csv"), cs_bytes);
+
+  // Loader selection: the suffix picks the artifact set, round-tripped
+  // through the same CSV codec.
+  const auto et_back = profiling::ETProfile::load(qstem + ".et.csv");
+  ASSERT_EQ(et_back.conv_ms.size(), q_et.conv_ms.size());
+  for (std::size_t i = 0; i < q_et.conv_ms.size(); ++i)
+    EXPECT_DOUBLE_EQ(et_back.conv_ms[i], q_et.conv_ms[i]);
+  const auto cs_back = profiling::CSProfile::load(qstem + ".cs.csv");
+  EXPECT_EQ(cs_back.records.size(), q_cs.records.size());
+  EXPECT_EQ(cs_back.num_exits, q_cs.num_exits);
+  // And the quantized CS really differs in name so it can't be mistaken for
+  // the fp32 artifact downstream.
+  EXPECT_NE(cs_back.model_name, p.cs.model_name);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace einet

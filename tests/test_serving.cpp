@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/time_distribution.hpp"
+#include "nn/quant/profile.hpp"
 #include "predictor/cs_predictor.hpp"
 #include "serving/admission.hpp"
 #include "serving/metrics.hpp"
@@ -381,6 +382,83 @@ TEST(EdgeServer, ShedsInfeasibleDeadlinesBeforeQueueing) {
   const auto snap = server.metrics();
   EXPECT_EQ(snap.shed, 1u);
   EXPECT_EQ(snap.completed, 1u);
+}
+
+// Precision attribution (DESIGN.md §16): every completion is paired with the
+// trunk that served it, and the pairing is derived from ground truth (the
+// replica's "-q8" profile tag), not from what the config merely asked for.
+TEST(EdgeServer, QuantAccountingCountsInt8Completions) {
+  const auto et_q8 = nn::quant::quantized_execution_time(tiny_et());
+  const auto cs = tiny_cs(16);
+  const core::UniformExitDistribution dist{et_q8.total_ms()};
+
+  ServerConfig config;
+  config.pool.num_workers = 2;
+  config.quant = QuantMode::kInt8;
+  EdgeServer server{
+      et_q8,
+      make_replicated_engine_factory(et_q8, nullptr, {},
+                                     std::vector<float>(4, 0.5f)),
+      einet_runner(dist), config};
+  server.registry().set_quant({.enabled = true, .weight_bytes = 1024});
+  for (int i = 0; i < 40; ++i)
+    server.submit(cs.records[i % cs.size()], 2.0 * et_q8.total_ms());
+  server.shutdown();
+
+  const auto snap = server.metrics();
+  ASSERT_GT(snap.completed, 0u);
+  EXPECT_EQ(snap.quant_int8, snap.completed);
+  EXPECT_EQ(snap.quant_fp32, 0u);
+  EXPECT_EQ(snap.quant_fallbacks, 0u);
+  EXPECT_TRUE(snap.has_quant);
+  EXPECT_NE(snap.to_json().find("\"quant\""), std::string::npos);
+}
+
+TEST(EdgeServer, QuantFallbackWhenInt8RequestedOnFp32Replicas) {
+  const auto et = tiny_et();  // fp32 artifact set: no "-q8" tag
+  const auto cs = tiny_cs(8);
+  const core::UniformExitDistribution dist{et.total_ms()};
+
+  ServerConfig config;
+  config.quant = QuantMode::kInt8;  // asked for int8, wired fp32 replicas
+  EdgeServer server{
+      et,
+      make_replicated_engine_factory(et, nullptr, {},
+                                     std::vector<float>(4, 0.5f)),
+      einet_runner(dist), config};
+  for (int i = 0; i < 20; ++i)
+    server.submit(cs.records[i % cs.size()], 2.0 * et.total_ms());
+  server.shutdown();
+
+  const auto snap = server.metrics();
+  ASSERT_GT(snap.completed, 0u);
+  EXPECT_EQ(snap.quant_fp32, snap.completed);
+  EXPECT_EQ(snap.quant_int8, 0u);
+  EXPECT_EQ(snap.quant_fallbacks, snap.completed);
+}
+
+TEST(EdgeServer, QuantCountersTickFp32UnderDefaultMode) {
+  const auto et = tiny_et();
+  const auto cs = tiny_cs(4);
+  const core::UniformExitDistribution dist{et.total_ms()};
+  EdgeServer server{
+      et,
+      make_replicated_engine_factory(et, nullptr, {},
+                                     std::vector<float>(4, 0.5f)),
+      einet_runner(dist)};
+  for (int i = 0; i < 10; ++i)
+    server.submit(cs.records[i % cs.size()], 2.0 * et.total_ms());
+  server.shutdown();
+
+  const auto snap = server.metrics();
+  ASSERT_GT(snap.completed, 0u);
+  // The counters run unconditionally (the invariant int8 + fp32 ==
+  // completed must hold whenever accounting is later rendered); without
+  // set_quant the snapshot simply does not render the block.
+  EXPECT_EQ(snap.quant_fp32, snap.completed);
+  EXPECT_EQ(snap.quant_int8 + snap.quant_fallbacks, 0u);
+  EXPECT_FALSE(snap.has_quant);
+  EXPECT_EQ(snap.to_json().find("\"quant\""), std::string::npos);
 }
 
 TEST(EdgeServer, OverflowRejectsWhenQueueIsFull) {
